@@ -1,0 +1,39 @@
+//! CPU baselines for the EIE evaluation (paper §V, "Comparison Baseline").
+//!
+//! The paper benchmarks EIE against MKL `GEMV` (dense) and MKL SPBLAS
+//! `CSRMV` (sparse) on a Core i7-5930k, at batch sizes 1 and 64. This
+//! crate provides the same four kernels in Rust plus a wall-clock
+//! measurement harness:
+//!
+//! * [`MvWorkload`] — a benchmark instance (dense + CSR forms + inputs),
+//! * [`TimingHarness`] — median-of-runs wall-clock measurement,
+//! * [`CpuMeasurement`] — the measured batch-{1,64} dense/sparse grid.
+//!
+//! The measured times exercise the *same algorithmic code paths* as the
+//! paper's baselines and reproduce the relative behaviour the paper
+//! highlights (sparse ≈2-5× faster than dense at batch 1; sparse *slower*
+//! than dense at batch 64). The GPU-class platforms live in
+//! `eie-energy::platform` as calibrated roofline models.
+//!
+//! # Example
+//!
+//! ```
+//! use eie_baselines::{MvWorkload, TimingHarness};
+//!
+//! let w = MvWorkload::synthesize(256, 256, 0.1, 42);
+//! let harness = TimingHarness::quick();
+//! let dense = harness.measure_us(|| w.run_dense(1));
+//! let sparse = harness.measure_us(|| w.run_sparse(1));
+//! assert!(dense > 0.0 && sparse > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod measurement;
+mod timing;
+mod workload;
+
+pub use measurement::CpuMeasurement;
+pub use timing::TimingHarness;
+pub use workload::{MvWorkload, MAX_BATCH};

@@ -1,0 +1,99 @@
+//! The measured CPU grid of Table IV: dense/sparse × batch {1, 64}.
+
+use std::fmt;
+
+use crate::{MvWorkload, TimingHarness};
+
+/// Measured per-frame CPU times for one benchmark layer, µs.
+///
+/// Mirrors one CPU block of the paper's Table IV. Batched times are
+/// reported *per frame* (total batch time divided by batch size), matching
+/// the paper's convention.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuMeasurement {
+    /// Dense GEMV, batch 1.
+    pub dense_b1_us: f64,
+    /// Sparse CSRMV, batch 1.
+    pub sparse_b1_us: f64,
+    /// Dense GEMM, batch 64, per frame.
+    pub dense_b64_us: f64,
+    /// Sparse CSRMM, batch 64, per frame.
+    pub sparse_b64_us: f64,
+}
+
+impl CpuMeasurement {
+    /// Measures all four kernels on a workload.
+    pub fn measure(workload: &MvWorkload, harness: &TimingHarness) -> Self {
+        let dense_b1_us = harness.measure_us(|| workload.run_dense(1));
+        let sparse_b1_us = harness.measure_us(|| workload.run_sparse(1));
+        let dense_b64_us = harness.measure_us(|| workload.run_dense(64)) / 64.0;
+        let sparse_b64_us = harness.measure_us(|| workload.run_sparse(64)) / 64.0;
+        Self {
+            dense_b1_us,
+            sparse_b1_us,
+            dense_b64_us,
+            sparse_b64_us,
+        }
+    }
+
+    /// Speed-up of the compressed (sparse) kernel at batch 1 — the
+    /// paper's "model compression by itself applied on a CPU" factor
+    /// (§VI-A reports only ~3× on average).
+    pub fn sparse_speedup_b1(&self) -> f64 {
+        self.dense_b1_us / self.sparse_b1_us
+    }
+
+    /// Speed-up from batching the dense kernel.
+    pub fn batching_speedup_dense(&self) -> f64 {
+        self.dense_b1_us / self.dense_b64_us
+    }
+}
+
+impl fmt::Display for CpuMeasurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dense {:.1}/{:.1} µs, sparse {:.1}/{:.1} µs (batch 1/64 per frame)",
+            self.dense_b1_us, self.dense_b64_us, self.sparse_b1_us, self.sparse_b64_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_wins_at_batch_1_on_a_sparse_layer() {
+        // 9%-dense layer: CSRMV touches ~9% of the bytes GEMV streams, so
+        // the sparse kernel must be clearly faster at batch 1.
+        let w = MvWorkload::synthesize(512, 512, 0.09, 11);
+        let m = CpuMeasurement::measure(&w, &TimingHarness::quick());
+        assert!(
+            m.sparse_speedup_b1() > 1.5,
+            "sparse speedup only {:.2} ({m})",
+            m.sparse_speedup_b1()
+        );
+    }
+
+    #[test]
+    fn all_measurements_positive() {
+        let w = MvWorkload::synthesize(128, 128, 0.2, 3);
+        let m = CpuMeasurement::measure(&w, &TimingHarness::quick());
+        for t in [m.dense_b1_us, m.sparse_b1_us, m.dense_b64_us, m.sparse_b64_us] {
+            assert!(t > 0.0);
+        }
+    }
+
+    #[test]
+    fn display_reports_all_four_cells() {
+        let m = CpuMeasurement {
+            dense_b1_us: 1.0,
+            sparse_b1_us: 2.0,
+            dense_b64_us: 3.0,
+            sparse_b64_us: 4.0,
+        };
+        let s = m.to_string();
+        assert!(s.contains("1.0") && s.contains("4.0"));
+    }
+}

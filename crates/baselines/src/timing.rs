@@ -1,0 +1,142 @@
+//! Median-of-runs wall-clock measurement.
+
+use std::time::Instant;
+
+/// A wall-clock measurement harness.
+///
+/// Runs a closure repeatedly until both a minimum run count and a minimum
+/// total duration are reached, then reports the median — robust against
+/// scheduler noise without the full cost of a statistics framework (the
+/// Criterion benches in `eie-bench` cover micro-benchmarks; this harness
+/// times the large Table IV kernels where a handful of runs suffices).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingHarness {
+    /// Minimum number of timed runs.
+    pub min_runs: usize,
+    /// Maximum number of timed runs.
+    pub max_runs: usize,
+    /// Stop early (after `min_runs`) once this much time was spent, µs.
+    pub target_total_us: f64,
+}
+
+impl Default for TimingHarness {
+    fn default() -> Self {
+        Self {
+            min_runs: 3,
+            max_runs: 15,
+            target_total_us: 2e6, // 2 s per kernel
+        }
+    }
+}
+
+impl TimingHarness {
+    /// A fast harness for tests and quick sweeps (fewer, shorter runs).
+    pub fn quick() -> Self {
+        Self {
+            min_runs: 2,
+            max_runs: 5,
+            target_total_us: 50e3,
+        }
+    }
+
+    /// Measures the median wall-clock time of `f` in microseconds.
+    ///
+    /// One warm-up call runs first (untimed) to populate caches and page
+    /// in buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_runs` is 0 or `max_runs < min_runs`.
+    pub fn measure_us<T>(&self, mut f: impl FnMut() -> T) -> f64 {
+        assert!(self.min_runs > 0, "min_runs must be non-zero");
+        assert!(self.max_runs >= self.min_runs, "max_runs < min_runs");
+        std::hint::black_box(f());
+        let mut samples = Vec::with_capacity(self.max_runs);
+        let mut total = 0.0f64;
+        for run in 0..self.max_runs {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            let us = start.elapsed().as_secs_f64() * 1e6;
+            samples.push(us);
+            total += us;
+            if run + 1 >= self.min_runs && total >= self.target_total_us {
+                break;
+            }
+        }
+        median(&mut samples)
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_positive_time() {
+        let h = TimingHarness::quick();
+        let t = h.measure_us(|| {
+            let mut s = 0u64;
+            for i in 0..10_000u64 {
+                s = s.wrapping_add(i * i);
+            }
+            s
+        });
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn longer_work_measures_longer() {
+        let h = TimingHarness {
+            min_runs: 3,
+            max_runs: 5,
+            target_total_us: 1e3,
+        };
+        // Memory-walking work the optimizer cannot fold to a closed form.
+        let work = |n: usize| {
+            let buf: Vec<u64> = (0..4096u64).collect();
+            move || {
+                let mut s = 0u64;
+                let mut idx = 0usize;
+                for _ in 0..n {
+                    idx = (idx.wrapping_mul(25) + 7) % buf.len();
+                    s = s.wrapping_add(std::hint::black_box(buf[idx]));
+                }
+                s
+            }
+        };
+        let short = h.measure_us(work(50_000));
+        let long = h.measure_us(work(5_000_000));
+        assert!(
+            long > short * 5.0,
+            "long {long} should dwarf short {short}"
+        );
+    }
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut [7.0]), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_runs")]
+    fn rejects_zero_runs() {
+        let h = TimingHarness {
+            min_runs: 0,
+            max_runs: 3,
+            target_total_us: 1.0,
+        };
+        let _ = h.measure_us(|| ());
+    }
+}

@@ -1,0 +1,167 @@
+//! A matrix-vector workload in both dense and sparse forms.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use eie_nn::zoo::random_sparse;
+use eie_nn::{CsrMatrix, Matrix};
+
+/// One M×V benchmark instance, materialized in both the dense (`GEMV`)
+/// and sparse (`CSRMV`) representations the CPU baselines use, together
+/// with batched input vectors.
+///
+/// The dense form of the largest paper layer (VGG-6) is ~411 MB, so
+/// workloads should be created, measured and dropped one at a time.
+#[derive(Debug, Clone)]
+pub struct MvWorkload {
+    dense: Matrix,
+    sparse: CsrMatrix,
+    /// Column-major `cols × 64` batch of input vectors.
+    batch_input: Vec<f32>,
+}
+
+/// Largest batch the workload pre-generates inputs for (Table IV uses 64).
+pub const MAX_BATCH: usize = 64;
+
+impl MvWorkload {
+    /// Synthesizes a `rows × cols` workload at the given weight density.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero or the density is outside `(0, 1]`.
+    pub fn synthesize(rows: usize, cols: usize, density: f64, seed: u64) -> Self {
+        let sparse = random_sparse(rows, cols, density, seed);
+        Self::from_sparse(sparse, seed ^ 0xbeef)
+    }
+
+    /// Builds a workload from an existing sparse matrix (e.g. a zoo
+    /// benchmark layer), materializing the dense form.
+    pub fn from_sparse(sparse: CsrMatrix, input_seed: u64) -> Self {
+        let dense = sparse.to_dense();
+        let mut rng = StdRng::seed_from_u64(input_seed);
+        let batch_input: Vec<f32> = (0..sparse.cols() * MAX_BATCH)
+            .map(|_| rng.gen::<f32>() * 2.0 - 1.0)
+            .collect();
+        Self {
+            dense,
+            sparse,
+            batch_input,
+        }
+    }
+
+    /// Matrix rows (outputs).
+    pub fn rows(&self) -> usize {
+        self.dense.rows()
+    }
+
+    /// Matrix columns (inputs).
+    pub fn cols(&self) -> usize {
+        self.dense.cols()
+    }
+
+    /// Achieved weight density.
+    pub fn density(&self) -> f64 {
+        self.sparse.density()
+    }
+
+    /// The dense matrix.
+    pub fn dense(&self) -> &Matrix {
+        &self.dense
+    }
+
+    /// The sparse (CSR) matrix.
+    pub fn sparse(&self) -> &CsrMatrix {
+        &self.sparse
+    }
+
+    /// The input slice for a given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is 0 or exceeds [`MAX_BATCH`].
+    pub fn input(&self, batch: usize) -> &[f32] {
+        assert!(
+            (1..=MAX_BATCH).contains(&batch),
+            "batch must be in 1..={MAX_BATCH}"
+        );
+        &self.batch_input[..self.cols() * batch]
+    }
+
+    /// Runs the dense kernel (`GEMV` at batch 1, `GEMM` otherwise).
+    pub fn run_dense(&self, batch: usize) -> Vec<f32> {
+        if batch == 1 {
+            self.dense.gemv(self.input(1))
+        } else {
+            self.dense.gemm(self.input(batch), batch)
+        }
+    }
+
+    /// Runs the sparse kernel (`CSRMV` at batch 1, `CSRMM` otherwise).
+    pub fn run_sparse(&self, batch: usize) -> Vec<f32> {
+        if batch == 1 {
+            self.sparse.spmv(self.input(1))
+        } else {
+            self.sparse.spmm(self.input(batch), batch)
+        }
+    }
+
+    /// Dense FLOPs per frame (2 ops per element).
+    pub fn dense_flops(&self) -> f64 {
+        2.0 * (self.rows() * self.cols()) as f64
+    }
+
+    /// Sparse FLOPs per frame.
+    pub fn sparse_flops(&self) -> f64 {
+        2.0 * self.sparse.nnz() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_and_sparse_agree() {
+        let w = MvWorkload::synthesize(64, 48, 0.2, 7);
+        let d = w.run_dense(1);
+        let s = w.run_sparse(1);
+        for (a, b) in d.iter().zip(&s) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn batched_kernels_agree_with_batch_of_gemv() {
+        let w = MvWorkload::synthesize(32, 24, 0.3, 3);
+        let d = w.run_dense(4);
+        let s = w.run_sparse(4);
+        assert_eq!(d.len(), 32 * 4);
+        for (a, b) in d.iter().zip(&s) {
+            assert!((a - b).abs() < 1e-4);
+        }
+        // First frame equals batch-1 output.
+        let single = w.run_dense(1);
+        assert_eq!(&d[..32], single.as_slice());
+    }
+
+    #[test]
+    fn flop_accounting() {
+        let w = MvWorkload::synthesize(100, 50, 0.1, 1);
+        assert_eq!(w.dense_flops(), 2.0 * 100.0 * 50.0);
+        assert_eq!(w.sparse_flops(), 2.0 * w.sparse().nnz() as f64);
+        assert!(w.sparse_flops() < w.dense_flops());
+    }
+
+    #[test]
+    fn density_close_to_target() {
+        let w = MvWorkload::synthesize(200, 200, 0.09, 5);
+        assert!((w.density() - 0.09).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be")]
+    fn rejects_oversized_batch() {
+        let w = MvWorkload::synthesize(8, 8, 0.5, 1);
+        let _ = w.input(65);
+    }
+}

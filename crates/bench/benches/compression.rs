@@ -1,0 +1,52 @@
+//! Criterion benchmarks of the Deep Compression pipeline (Table III's
+//! preprocessing): pruning, k-means codebook fitting, and interleaved CSC
+//! encoding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eie_core::compress::{compress, encode_with_codebook, Codebook, CompressConfig};
+use eie_core::prelude::*;
+use eie_core::compress::prune::prune_to_density;
+
+fn bench_prune(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prune");
+    let dense = Matrix::from_fn(512, 512, |r, cidx| {
+        (((r * 512 + cidx) as f32) * 0.61803).sin()
+    });
+    group.throughput(Throughput::Elements((512 * 512) as u64));
+    group.bench_function("magnitude_to_9pct", |b| {
+        b.iter(|| prune_to_density(&dense, 0.09))
+    });
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codebook");
+    let weights: Vec<f32> = (0..65_536)
+        .map(|i| ((i as f32) * 0.37).sin() * 1.5)
+        .filter(|&w| w != 0.0)
+        .collect();
+    group.throughput(Throughput::Elements(weights.len() as u64));
+    group.bench_function("kmeans_fit_64k", |b| b.iter(|| Codebook::fit(&weights, 30)));
+    group.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode");
+    let sparse = random_sparse(2048, 2048, 0.09, 9);
+    let cb = Codebook::fit(sparse.values(), 30);
+    group.throughput(Throughput::Elements(sparse.nnz() as u64));
+    for pes in [1usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("interleaved_csc", pes), &pes, |b, &n| {
+            b.iter(|| {
+                encode_with_codebook(&sparse, cb.clone(), CompressConfig::with_pes(n))
+            })
+        });
+    }
+    group.bench_function("full_pipeline_64pe", |b| {
+        b.iter(|| compress(&sparse, CompressConfig::with_pes(64)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prune, bench_kmeans, bench_encode);
+criterion_main!(benches);

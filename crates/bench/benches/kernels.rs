@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks of the M×V kernels underlying Table IV:
+//! dense GEMV, sparse CSRMV, the encoded-format reference, and the
+//! bit-exact fixed-point functional model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eie_core::prelude::*;
+
+fn bench_mv_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mv_kernels");
+    // A 512×512 layer at AlexNet-FC7 density: small enough for stable
+    // micro-benchmarks, large enough to stream past the L1.
+    let (rows, cols, density) = (512usize, 512usize, 0.09);
+    let sparse = random_sparse(rows, cols, density, 42);
+    let dense = sparse.to_dense();
+    let enc = compress(&sparse, CompressConfig::with_pes(8));
+    let acts = eie_core::nn::zoo::sample_activations(cols, 0.35, false, 7);
+    let acts_q: Vec<Q8p8> = acts.iter().map(|&a| Q8p8::from_f32(a)).collect();
+
+    group.throughput(Throughput::Elements((rows * cols) as u64));
+    group.bench_function(BenchmarkId::new("dense_gemv", "512x512"), |b| {
+        b.iter(|| dense.gemv(&acts))
+    });
+    group.throughput(Throughput::Elements(sparse.nnz() as u64));
+    group.bench_function(BenchmarkId::new("csr_spmv", "512x512@9%"), |b| {
+        b.iter(|| sparse.spmv(&acts))
+    });
+    group.bench_function(BenchmarkId::new("encoded_spmv_f32", "512x512@9%"), |b| {
+        b.iter(|| enc.spmv_f32(&acts))
+    });
+    group.bench_function(BenchmarkId::new("functional_fixed", "512x512@9%"), |b| {
+        b.iter(|| functional::execute(&enc, &acts_q, false))
+    });
+    group.finish();
+}
+
+fn bench_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_kernels");
+    let sparse = random_sparse(256, 256, 0.09, 1);
+    let dense = sparse.to_dense();
+    let input: Vec<f32> = (0..256 * 64).map(|i| (i % 7) as f32 * 0.1).collect();
+    for batch in [1usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("gemm", batch), &batch, |b, &n| {
+            b.iter(|| dense.gemm(&input[..256 * n], n))
+        });
+        group.bench_with_input(BenchmarkId::new("spmm", batch), &batch, |b, &n| {
+            b.iter(|| sparse.spmm(&input[..256 * n], n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mv_kernels, bench_batched);
+criterion_main!(benches);

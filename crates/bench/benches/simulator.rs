@@ -1,0 +1,45 @@
+//! Criterion benchmarks of the cycle-accurate simulator itself: how many
+//! simulated MACs per wall-clock second the model sustains, across PE
+//! counts and FIFO depths (the quantity that bounds every sweep in
+//! Figs. 8/11/13).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eie_core::prelude::*;
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    let layer = Benchmark::Alex7.generate_scaled(DEFAULT_SEED, 8); // 512×512
+    let acts = layer.sample_activations(DEFAULT_SEED);
+    for pes in [1usize, 16, 64] {
+        let enc = compress(&layer.weights, CompressConfig::with_pes(pes));
+        let macs = functional::workload_macs(
+            &enc,
+            &acts.iter().map(|&a| Q8p8::from_f32(a)).collect::<Vec<_>>(),
+        );
+        group.throughput(Throughput::Elements(macs));
+        group.bench_with_input(BenchmarkId::new("alex7_512", pes), &pes, |b, _| {
+            b.iter(|| simulate(&enc, &acts, &SimConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_functional_vs_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_fidelity_cost");
+    group.sample_size(10);
+    let layer = Benchmark::Vgg7.generate_scaled(DEFAULT_SEED, 8);
+    let enc = compress(&layer.weights, CompressConfig::with_pes(16));
+    let acts = layer.sample_activations(DEFAULT_SEED);
+    let acts_q: Vec<Q8p8> = acts.iter().map(|&a| Q8p8::from_f32(a)).collect();
+    group.bench_function("functional", |b| {
+        b.iter(|| functional::execute(&enc, &acts_q, false))
+    });
+    group.bench_function("cycle_accurate", |b| {
+        b.iter(|| simulate(&enc, &acts, &SimConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulate, bench_functional_vs_cycle);
+criterion_main!(benches);

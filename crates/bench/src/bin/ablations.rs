@@ -1,0 +1,117 @@
+//! Ablation studies of EIE's micro-architectural design choices.
+//!
+//! The paper motivates four mechanisms without always quantifying them in
+//! a dedicated figure; these ablations measure each with the cycle
+//! simulator (DESIGN.md §4):
+//!
+//! * **accumulator bypass** (§VI) — without it, back-to-back MACs to the
+//!   same accumulator stall a cycle,
+//! * **pointer SRAM banking** (§IV) — without even/odd banks, reading
+//!   `p_j` and `p_{j+1}` serializes into two cycles,
+//! * **LNZD tree vs. oracle broadcast** (§IV) — the quadtree adds only
+//!   pipeline-fill latency,
+//! * **relative-index width** (§III-B) — narrower indices pad more
+//!   (compute overhead), wider ones store more bits (storage overhead);
+//!   4 bits is the paper's sweet spot.
+
+use eie_bench::*;
+
+fn main() {
+    let config = paper_config();
+    let engine = Engine::new(config);
+
+    let mut arch = TextTable::new(
+        format!("Ablations: cycle cost of removing each mechanism ({config})"),
+        &[
+            "layer",
+            "baseline (cyc)",
+            "no bypass",
+            "no ptr banking",
+            "no LNZD (oracle)",
+        ],
+    );
+
+    for benchmark in Benchmark::ALL {
+        let layer = layer_at_scale(benchmark);
+        let encoded = engine.compress(&layer.weights);
+        let acts = layer.sample_activations(DEFAULT_SEED);
+        let base_cfg = config.sim_config();
+        let base = simulate(&encoded, &acts, &base_cfg).stats.total_cycles;
+        let pct = |cycles: u64| -> String {
+            format!("{:+.2}%", (cycles as f64 / base as f64 - 1.0) * 100.0)
+        };
+        let no_bypass = simulate(
+            &encoded,
+            &acts,
+            &SimConfig {
+                accumulator_bypass: false,
+                ..base_cfg
+            },
+        )
+        .stats
+        .total_cycles;
+        let no_banking = simulate(
+            &encoded,
+            &acts,
+            &SimConfig {
+                ptr_banked: false,
+                ..base_cfg
+            },
+        )
+        .stats
+        .total_cycles;
+        let oracle = simulate(
+            &encoded,
+            &acts,
+            &SimConfig {
+                lnzd_tree: false,
+                ..base_cfg
+            },
+        )
+        .stats
+        .total_cycles;
+        arch.row(vec![
+            benchmark.name().into(),
+            base.to_string(),
+            pct(no_bypass),
+            pct(no_banking),
+            pct(oracle),
+        ]);
+        eprintln!("[{}] architecture ablations done", benchmark.name());
+    }
+
+    // Relative-index width ablation: padding (compute) vs storage.
+    let mut idx = TextTable::new(
+        "Ablation: relative-index width (VGG-7, the sparsest shape)",
+        &["index bits", "padding entries", "real work", "spmat KB"],
+    );
+    let layer = layer_at_scale(Benchmark::Vgg7);
+    for bits in [2u32, 3, 4, 5, 6, 8] {
+        let cfg = eie_core::compress::CompressConfig {
+            num_pes: config.num_pes,
+            index_bits: bits,
+            ..eie_core::compress::CompressConfig::default()
+        };
+        let encoded = eie_core::compress::compress(&layer.weights, cfg);
+        let stats = encoded.stats();
+        let entry_bits = 4 + bits as usize;
+        let kb = (stats.total_entries() * entry_bits) as f64 / 8.0 / 1024.0;
+        idx.row(vec![
+            bits.to_string(),
+            stats.padding_entries.to_string(),
+            format!("{:.1}%", stats.real_work_ratio() * 100.0),
+            f(kb, 1),
+        ]);
+    }
+
+    let mut out = arch.render();
+    out.push('\n');
+    out.push_str(&idx.render());
+    out.push_str(
+        "\nReading: bypass and banking each cost ~0-3% when removed (they close\n\
+         pipeline hazards); the oracle broadcast saves only the LNZD fill cycles,\n\
+         confirming the tree is not on the critical path (§VII-B). For the index\n\
+         width, 4 bits balances padding work against storage (paper §III-B).\n",
+    );
+    emit("ablations", &out);
+}

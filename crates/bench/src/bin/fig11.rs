@@ -1,0 +1,50 @@
+//! Figure 11: system scalability — speedup vs. number of PEs (1..256).
+//!
+//! Paper finding: near-linear scaling on all benchmarks except NT-We,
+//! whose 600 rows divided over ≥64 PEs leave each PE under one entry per
+//! column.
+
+use eie_bench::*;
+
+const PES: [usize; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+fn main() {
+    let mut headers: Vec<String> = vec!["layer".into()];
+    headers.extend(PES.iter().map(|p| format!("{p}PE")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(
+        "Figure 11: speedup vs PE count (relative to 1 PE)",
+        &header_refs,
+    );
+
+    let mut speedup_at_64 = Vec::new();
+    for benchmark in Benchmark::ALL {
+        let layer = layer_at_scale(benchmark);
+        let acts = layer.sample_activations(DEFAULT_SEED);
+        let mut row = vec![benchmark.name().to_string()];
+        let mut base_cycles = None;
+        for pes in PES {
+            let config = EieConfig::default().with_num_pes(pes);
+            let engine = Engine::new(config);
+            let encoded = engine.compress(&layer.weights);
+            let run = simulate(&encoded, &acts, &config.sim_config());
+            let cycles = run.stats.total_cycles.max(1);
+            let base = *base_cycles.get_or_insert(cycles);
+            let speedup = base as f64 / cycles as f64;
+            if pes == 64 {
+                speedup_at_64.push(speedup);
+            }
+            row.push(format!("{speedup:.1}"));
+        }
+        table.row(row);
+        eprintln!("[{}] swept", benchmark.name());
+    }
+
+    let mut out = table.render();
+    out.push_str(&format!(
+        "\nGeomean speedup at 64 PEs: {:.1}x (linear would be 64x).\n\
+         Paper: near-linear for all benchmarks except NT-We.\n",
+        geomean(&speedup_at_64)
+    ));
+    emit("fig11", &out);
+}

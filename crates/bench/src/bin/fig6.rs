@@ -1,0 +1,56 @@
+//! Figure 6: speedups of CPU/GPU/mGPU (dense & compressed) and EIE,
+//! normalized to CPU dense, batch size 1, across the nine benchmarks.
+//!
+//! Paper headline: EIE is on (geometric) average 189× faster than CPU
+//! dense, 13× faster than GPU dense, 307× faster than mGPU dense.
+
+use eie_bench::*;
+
+fn main() {
+    let config = paper_config();
+    let mut table = TextTable::new(
+        format!("Figure 6: speedup over CPU dense (batch 1), EIE = {config}"),
+        &[
+            "layer",
+            "CPU dense",
+            "CPU comp",
+            "GPU dense",
+            "GPU comp",
+            "mGPU dense",
+            "mGPU comp",
+            "EIE",
+        ],
+    );
+
+    let mut per_bar: Vec<Vec<f64>> = vec![Vec::new(); 7];
+    for benchmark in Benchmark::ALL {
+        let w = SevenWay::compute(benchmark, config);
+        let times = w.times_us();
+        let speedups: Vec<f64> = times.iter().map(|t| w.cpu_dense_us / t).collect();
+        for (acc, &s) in per_bar.iter_mut().zip(&speedups) {
+            acc.push(s);
+        }
+        let mut row = vec![benchmark.name().to_string()];
+        row.extend(speedups.iter().map(|&s| x(s)));
+        table.row(row);
+    }
+    let mut geo_row = vec!["Geo Mean".to_string()];
+    let mut geo_vals = Vec::new();
+    for bar in &per_bar {
+        let g = geomean(bar);
+        geo_vals.push(g);
+        geo_row.push(x(g));
+    }
+    table.row(geo_row);
+
+    let mut out = table.render();
+    out.push_str(&format!(
+        "\nEIE vs CPU dense: {} (paper 189x) | vs GPU dense: {} (paper 13x) | vs mGPU dense: {} (paper 307x)\n\
+         Compression alone on CPU: {} (paper ~3x)\n",
+        x(geo_vals[6]),
+        x(geo_vals[6] / geo_vals[2]),
+        x(geo_vals[6] / geo_vals[4]),
+        x(geo_vals[1]),
+    ));
+    emit("fig6", &out);
+}

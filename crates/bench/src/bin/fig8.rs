@@ -1,0 +1,50 @@
+//! Figure 8: load-balance efficiency vs. activation-queue (FIFO) depth,
+//! swept 1..256 in powers of two across the nine benchmarks at 64 PEs.
+//!
+//! Paper finding: efficiency is ~50% at depth 1, improves steeply to
+//! depth 8, then flattens — hence the chosen depth of 8. NT-We stays
+//! poorer than the rest (each PE averages under one entry per column).
+
+use eie_bench::*;
+
+const DEPTHS: [usize; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+fn main() {
+    let config = paper_config();
+    let engine = Engine::new(config);
+    let mut headers: Vec<String> = vec!["layer".into()];
+    headers.extend(DEPTHS.iter().map(|d| format!("FIFO={d}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(
+        format!("Figure 8: load balance vs FIFO depth ({config})"),
+        &header_refs,
+    );
+
+    for benchmark in Benchmark::ALL {
+        let layer = layer_at_scale(benchmark);
+        let encoded = engine.compress(&layer.weights);
+        let acts = layer.sample_activations(DEFAULT_SEED);
+        let mut row = vec![benchmark.name().to_string()];
+        let mut last = 0.0;
+        for depth in DEPTHS {
+            let sim_cfg = SimConfig {
+                fifo_depth: depth,
+                ..config.sim_config()
+            };
+            let run = simulate(&encoded, &acts, &sim_cfg);
+            let eff = run.stats.load_balance_efficiency();
+            row.push(format!("{:.1}%", eff * 100.0));
+            last = eff;
+        }
+        let _ = last;
+        table.row(row);
+        eprintln!("[{}] swept", benchmark.name());
+    }
+
+    let mut out = table.render();
+    out.push_str(
+        "\nPaper: ~50% of cycles idle at FIFO=1; diminishing returns beyond depth 8\n\
+         (the chosen design point). NT-We remains the worst-balanced benchmark.\n",
+    );
+    emit("fig8", &out);
+}

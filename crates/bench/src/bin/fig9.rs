@@ -1,0 +1,92 @@
+//! Figure 9: SRAM width design-space exploration.
+//!
+//! Left plot: energy per read (model) and number of reads (measured by
+//! the cycle simulator on the AlexNet layers) vs. Spmat SRAM width.
+//! Right plot: their product — total SRAM read energy — for all nine
+//! benchmarks. The paper picks 64 bits, where total energy is minimized.
+
+use eie_bench::*;
+
+const WIDTHS: [u32; 5] = [32, 64, 128, 256, 512];
+
+fn main() {
+    let config = paper_config();
+    let engine = Engine::new(config);
+
+    // Left plot: energy/read and #reads (AlexNet layers, as in the paper).
+    let mut left = TextTable::new(
+        "Figure 9 (left): SRAM read energy and read count (AlexNet FC6-8)",
+        &["width", "energy/read (pJ)", "# reads"],
+    );
+    let alex: Vec<_> = [Benchmark::Alex6, Benchmark::Alex7, Benchmark::Alex8]
+        .iter()
+        .map(|&b| {
+            let layer = layer_at_scale(b);
+            let encoded = engine.compress(&layer.weights);
+            let acts = layer.sample_activations(DEFAULT_SEED);
+            (encoded, acts)
+        })
+        .collect();
+    for width in WIDTHS {
+        let energy = SramModel::spmat(width).read_energy_pj();
+        let sim_cfg = SimConfig {
+            spmat_width_bits: width,
+            ..config.sim_config()
+        };
+        let reads: u64 = alex
+            .iter()
+            .map(|(enc, acts)| simulate(enc, acts, &sim_cfg).stats.spmat_row_reads())
+            .sum();
+        left.row(vec![
+            format!("{width} bit"),
+            f(energy, 1),
+            reads.to_string(),
+        ]);
+    }
+
+    // Right plot: total energy = energy/read × reads, per benchmark.
+    let mut headers: Vec<String> = vec!["layer".into()];
+    headers.extend(WIDTHS.iter().map(|w| format!("{w}b (nJ)")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut right = TextTable::new(
+        "Figure 9 (right): total SRAM read energy by width",
+        &header_refs,
+    );
+    let mut minima = Vec::new();
+    for benchmark in Benchmark::ALL {
+        let layer = layer_at_scale(benchmark);
+        let encoded = engine.compress(&layer.weights);
+        let acts = layer.sample_activations(DEFAULT_SEED);
+        let mut row = vec![benchmark.name().to_string()];
+        let mut totals = Vec::new();
+        for width in WIDTHS {
+            let sim_cfg = SimConfig {
+                spmat_width_bits: width,
+                ..config.sim_config()
+            };
+            let reads = simulate(&encoded, &acts, &sim_cfg).stats.spmat_row_reads();
+            let total_nj = reads as f64 * SramModel::spmat(width).read_energy_pj() / 1e3;
+            totals.push(total_nj);
+            row.push(f(total_nj, 1));
+        }
+        let min_idx = totals
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        minima.push(WIDTHS[min_idx]);
+        right.row(row);
+        eprintln!("[{}] swept", benchmark.name());
+    }
+
+    let mut out = left.render();
+    out.push('\n');
+    out.push_str(&right.render());
+    out.push_str(&format!(
+        "\nPer-benchmark energy-minimizing width: {:?}\n\
+         Paper: the minimum total access energy is achieved at 64 bits.\n",
+        minima
+    ));
+    emit("fig9", &out);
+}

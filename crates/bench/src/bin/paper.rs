@@ -1,0 +1,49 @@
+//! Runs every experiment of the paper reproduction in sequence:
+//! Tables I–V, Figures 6–13, and the ablations.
+//!
+//! Each experiment is its own binary in this crate; `paper` locates the
+//! sibling executables (same target directory) and runs them in order.
+//! Results land in `results/`. Respects `EIE_SCALE`.
+//!
+//! ```text
+//! cargo build --release -p eie-bench
+//! cargo run --release -p eie-bench --bin paper
+//! ```
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 16] = [
+    "table1", "table2", "table3", "table4", "table5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "fig11", "fig12", "fig13", "ablations", "waterfall", "timeline",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("cannot locate current executable");
+    let dir = me.parent().expect("executable has a parent directory");
+    let mut failed = Vec::new();
+    for (i, name) in EXPERIMENTS.iter().enumerate() {
+        eprintln!("=== [{}/{}] {name} ===", i + 1, EXPERIMENTS.len());
+        let exe = dir.join(name);
+        if !exe.exists() {
+            eprintln!(
+                "binary {} not found — build the whole crate first: \
+                 cargo build --release -p eie-bench",
+                exe.display()
+            );
+            failed.push(*name);
+            continue;
+        }
+        match Command::new(&exe).status() {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("experiment {name} failed: {other:?}");
+                failed.push(*name);
+            }
+        }
+    }
+    if !failed.is_empty() {
+        eprintln!("failed experiments: {failed:?}");
+        std::process::exit(1);
+    }
+    eprintln!("all experiments complete; see results/");
+}

@@ -1,0 +1,30 @@
+//! Table I: energy table for the 45 nm CMOS process.
+//!
+//! Reproduced from the constants in `eie-energy::tech` together with the
+//! derived relative-cost column and the headline ratios the paper builds
+//! its argument on (DRAM = 128× SRAM; SRAM = 50× an int add).
+
+use eie_bench::*;
+use eie_core::energy::tech;
+
+fn main() {
+    let mut table = TextTable::new(
+        "Table I: energy for basic operations, 45 nm CMOS",
+        &["operation", "energy (pJ)", "relative cost"],
+    );
+    for row in &tech::TABLE_I {
+        table.row(vec![
+            row.operation.into(),
+            f(row.energy_pj, 1),
+            f(tech::relative_cost(row), 0),
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str(&format!(
+        "\nDRAM/SRAM energy ratio: {:.0}x (the paper's '128x more than SRAM')\n\
+         Running a 1G-connection network from DRAM at 20 Hz: {:.1} W (paper: 12.8 W)\n",
+        tech::dram_sram_ratio(),
+        20.0 * 1e9 * tech::DRAM_ACCESS_32B_PJ * 1e-12,
+    ));
+    emit("table1", &out);
+}

@@ -1,0 +1,88 @@
+//! Table II: implementation results of one PE — power/area breakdown by
+//! module, from the analytical PE model, with the paper's synthesized
+//! values alongside.
+
+use eie_bench::*;
+
+/// Paper Table II by-module rows: (name, power mW, area µm²).
+const PAPER_MODULES: [(&str, f64, f64); 5] = [
+    ("Act_queue", 0.112, 758.0),
+    ("PtrRead", 1.807, 121_849.0),
+    ("SpmatRead", 4.955, 469_412.0),
+    ("ArithmUnit", 1.162, 3_110.0),
+    ("ActRW", 1.122, 18_934.0),
+];
+
+fn main() {
+    let pe = PeModel::paper();
+    let area = pe.area();
+    let power = pe.steady_state_power();
+
+    let mut table = TextTable::new(
+        "Table II reproduction: one PE, by module",
+        &[
+            "module",
+            "power (mW)",
+            "power %",
+            "paper (mW)",
+            "area (µm²)",
+            "area %",
+            "paper (µm²)",
+        ],
+    );
+    let model_power = power.rows();
+    let model_area = area.rows();
+    for (i, (name, p_mw, a_um2)) in PAPER_MODULES.iter().enumerate() {
+        let (mp_name, mp, mp_share) = &model_power[i];
+        let (_, ma, ma_share) = &model_area[i];
+        assert_eq!(mp_name, name, "module order mismatch");
+        table.row(vec![
+            name.to_string(),
+            f(*mp, 3),
+            format!("{:.1}%", mp_share * 100.0),
+            f(*p_mw, 3),
+            f(*ma, 0),
+            format!("{:.2}%", ma_share * 100.0),
+            f(*a_um2, 0),
+        ]);
+    }
+    // Filler-cell row (area only) and leakage row (power only).
+    let (_, filler, filler_share) = area.rows()[5];
+    table.row(vec![
+        "filler cell".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        f(filler, 0),
+        format!("{:.2}%", filler_share * 100.0),
+        f(23_961.0, 0),
+    ]);
+    let (_, leak, leak_share) = power.rows()[5];
+    table.row(vec![
+        "leakage".into(),
+        f(leak, 3),
+        format!("{:.1}%", leak_share * 100.0),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+
+    let mut out = table.render();
+    out.push_str(&format!(
+        "\nTotal: {:.3} mW (paper 9.157 mW), {:.0} µm² = {:.3} mm² (paper 638,024 µm²)\n\
+         Memory fraction of area: {:.1}% (paper 93.22%)\n\
+         64-PE chip: {:.1} mm², {:.3} W (paper: 40.8 mm², 0.59 W)\n",
+        power.total_mw(),
+        area.total_um2(),
+        area.total_mm2(),
+        area.memory_fraction() * 100.0,
+        64.0 * area.total_mm2(),
+        64.0 * power.total_mw() / 1000.0,
+    ));
+    let chip = eie_core::energy::ChipModel::paper_64pe();
+    out.push_str(&format!(
+        "With LNZD network: {chip}\n(paper: 21 LNZD units for 64 PEs, 0.023 mW / 189 µm² each; 102 GOP/s peak)\n",
+    ));
+    emit("table2", &out);
+}

@@ -1,0 +1,287 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` that regenerates it (`cargo run -p eie-bench --release
+//! --bin fig8`, etc. — see `DESIGN.md` §4 for the full index). This
+//! library holds what they share: result output (stdout + `results/`),
+//! plain-text table rendering, and environment knobs.
+//!
+//! # Environment knobs
+//!
+//! * `EIE_SCALE=N` — divide all benchmark dimensions by `N` (default 1 =
+//!   full size). Used by CI/smoke tests; `EXPERIMENTS.md` numbers are
+//!   recorded at scale 1.
+//! * `EIE_RESULTS_DIR` — where to write result files (default
+//!   `results/`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+pub use eie_core::prelude::*;
+
+/// The benchmark-scale divisor from `EIE_SCALE` (default 1 = full size).
+pub fn scale_divisor() -> usize {
+    std::env::var("EIE_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Generates a benchmark layer at the configured scale.
+pub fn layer_at_scale(benchmark: Benchmark) -> BenchLayer {
+    let s = scale_divisor();
+    if s == 1 {
+        benchmark.generate(DEFAULT_SEED)
+    } else {
+        benchmark.generate_scaled(DEFAULT_SEED, s)
+    }
+}
+
+/// The directory experiment outputs are written to.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("EIE_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let path = PathBuf::from(dir);
+    let _ = fs::create_dir_all(&path);
+    path
+}
+
+/// Prints a report to stdout and writes it to `results/<name>.txt`.
+pub fn emit(name: &str, contents: &str) {
+    println!("{contents}");
+    let path = results_dir().join(format!("{name}.txt"));
+    if let Err(e) = fs::write(&path, contents) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("[saved {}]", path.display());
+    }
+}
+
+/// A plain-text table with auto-sized columns.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table: title, rule, aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let mut header_line = String::new();
+        for (i, (h, w)) in self.headers.iter().zip(&widths).enumerate() {
+            if i == 0 {
+                let _ = write!(header_line, "{h:<w$}");
+            } else {
+                let _ = write!(header_line, "  {h:>w$}");
+            }
+        }
+        let _ = writeln!(out, "{header_line}");
+        let _ = writeln!(out, "{}", "-".repeat(header_line.len()));
+        for row in &self.rows {
+            for i in 0..ncols {
+                let (cell, w) = (&row[i], widths[i]);
+                if i == 0 {
+                    let _ = write!(out, "{cell:<w$}");
+                } else {
+                    let _ = write!(out, "  {cell:>w$}");
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// Formats a float with the given number of decimals.
+pub fn f(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Formats a speed-up/ratio as the paper does (`"189x"`).
+pub fn x(value: f64) -> String {
+    if value >= 10.0 {
+        format!("{value:.0}x")
+    } else {
+        format!("{value:.1}x")
+    }
+}
+
+/// Geometric mean of a slice.
+///
+/// # Panics
+///
+/// Panics if the slice is empty or contains non-positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geomean needs positive values"
+    );
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// The standard experiment configuration: the paper's 64-PE design point
+/// (PE count shrinks with `EIE_SCALE` so scaled runs stay meaningful).
+pub fn paper_config() -> EieConfig {
+    let pes = (64 / scale_divisor().min(16)).max(4);
+    EieConfig::default().with_num_pes(pes)
+}
+
+/// Batch-1 wall-clock and energy of all seven platforms of Fig. 6/7 on
+/// one benchmark: CPU/GPU/mGPU × dense/compressed (calibrated roofline
+/// models) plus EIE (cycle simulator + activity-priced energy).
+#[derive(Debug, Clone, Copy)]
+pub struct SevenWay {
+    /// CPU dense GEMV time, µs (the normalization baseline).
+    pub cpu_dense_us: f64,
+    /// CPU sparse CSRMV time, µs.
+    pub cpu_sparse_us: f64,
+    /// GPU dense time, µs.
+    pub gpu_dense_us: f64,
+    /// GPU sparse time, µs.
+    pub gpu_sparse_us: f64,
+    /// Mobile-GPU dense time, µs.
+    pub mgpu_dense_us: f64,
+    /// Mobile-GPU sparse time, µs.
+    pub mgpu_sparse_us: f64,
+    /// EIE actual time, µs.
+    pub eie_us: f64,
+    /// EIE energy per inference, µJ.
+    pub eie_energy_uj: f64,
+}
+
+impl SevenWay {
+    /// Computes the seven-way comparison for one benchmark layer.
+    pub fn compute(benchmark: Benchmark, config: EieConfig) -> Self {
+        let layer = layer_at_scale(benchmark);
+        let (rows, cols) = (layer.weights.rows(), layer.weights.cols());
+        let density = layer.weights.density();
+        let cpu = Platform::core_i7().roofline.expect("cpu roofline");
+        let gpu = Platform::titan_x().roofline.expect("gpu roofline");
+        let mgpu = Platform::tegra_k1().roofline.expect("mgpu roofline");
+        let inst = BenchmarkInstance::from_layer(layer, config);
+        let result = inst.run();
+        SevenWay {
+            cpu_dense_us: cpu.dense_time_us(rows, cols, 1),
+            cpu_sparse_us: cpu.sparse_time_us(rows, cols, density, 1),
+            gpu_dense_us: gpu.dense_time_us(rows, cols, 1),
+            gpu_sparse_us: gpu.sparse_time_us(rows, cols, density, 1),
+            mgpu_dense_us: mgpu.dense_time_us(rows, cols, 1),
+            mgpu_sparse_us: mgpu.sparse_time_us(rows, cols, density, 1),
+            eie_us: result.time_us(),
+            eie_energy_uj: result.energy.total_uj(),
+        }
+    }
+
+    /// The seven times in Fig. 6 bar order.
+    pub fn times_us(&self) -> [f64; 7] {
+        [
+            self.cpu_dense_us,
+            self.cpu_sparse_us,
+            self.gpu_dense_us,
+            self.gpu_sparse_us,
+            self.mgpu_dense_us,
+            self.mgpu_sparse_us,
+            self.eie_us,
+        ]
+    }
+
+    /// The seven energies (µJ) in Fig. 7 bar order: platform power ×
+    /// time for the general-purpose platforms, activity-priced energy
+    /// for EIE.
+    pub fn energies_uj(&self) -> [f64; 7] {
+        let cpu_w = Platform::core_i7().power_w;
+        let gpu_w = Platform::titan_x().power_w;
+        let mgpu_w = Platform::tegra_k1().power_w;
+        [
+            self.cpu_dense_us * cpu_w,
+            self.cpu_sparse_us * cpu_w,
+            self.gpu_dense_us * gpu_w,
+            self.gpu_sparse_us * gpu_w,
+            self.mgpu_dense_us * mgpu_w,
+            self.mgpu_sparse_us * mgpu_w,
+            self.eie_energy_uj,
+        ]
+    }
+
+    /// Bar labels shared by Fig. 6 and Fig. 7.
+    pub const LABELS: [&'static str; 7] = [
+        "CPU dense",
+        "CPU compressed",
+        "GPU dense",
+        "GPU compressed",
+        "mGPU dense",
+        "mGPU compressed",
+        "EIE",
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1.0".into()]);
+        t.row(vec!["long-name".into(), "123.4".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("long-name"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines.len() >= 5);
+    }
+
+    #[test]
+    fn geomean_of_identical_is_identity() {
+        assert!((geomean(&[3.0, 3.0, 3.0]) - 3.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(x(189.4), "189x");
+        assert_eq!(x(13.2), "13x");
+        assert_eq!(x(2.94), "2.9x");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn table_rejects_ragged_rows() {
+        let mut t = TextTable::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,204 @@
+//! One-dimensional k-means for weight sharing.
+//!
+//! Deep Compression quantizes the surviving weights of each layer by
+//! clustering them into `2^4 = 16` shared values. The original work found
+//! *linear* centroid initialization (evenly spaced over `[min, max]`) best
+//! preserves accuracy because it keeps large-magnitude centroids alive;
+//! this implementation follows that choice.
+
+/// Clusters `values` into at most `k` centroids with Lloyd's algorithm.
+///
+/// Centroids are initialized linearly over `[min, max]` and refined for at
+/// most `max_iters` iterations or until assignments stop changing. Empty
+/// clusters keep their previous centroid. The returned centroids are
+/// sorted ascending and deduplicated, so fewer than `k` may be returned
+/// when `values` has fewer than `k` distinct elements.
+///
+/// # Panics
+///
+/// Panics if `values` is empty, `k == 0`, or any value is non-finite.
+///
+/// # Example
+///
+/// ```
+/// use eie_compress::kmeans1d;
+///
+/// let centroids = kmeans1d(&[1.0, 1.1, 0.9, 5.0, 5.1, 4.9], 2, 20);
+/// assert_eq!(centroids.len(), 2);
+/// assert!((centroids[0] - 1.0).abs() < 0.1);
+/// assert!((centroids[1] - 5.0).abs() < 0.1);
+/// ```
+pub fn kmeans1d(values: &[f32], k: usize, max_iters: usize) -> Vec<f32> {
+    assert!(!values.is_empty(), "kmeans1d on empty values");
+    assert!(k > 0, "k must be non-zero");
+    assert!(
+        values.iter().all(|v| v.is_finite()),
+        "values must be finite"
+    );
+
+    let min = values.iter().cloned().fold(f32::INFINITY, f32::min);
+    let max = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    if min == max {
+        return vec![min];
+    }
+
+    // Linear initialization over [min, max] (Deep Compression §3).
+    let mut centroids: Vec<f32> = (0..k)
+        .map(|i| min + (max - min) * (i as f32 + 0.5) / k as f32)
+        .collect();
+
+    // Sorting the data makes each Lloyd iteration a linear sweep: for
+    // sorted centroids, cluster boundaries are the midpoints.
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let mut assignments = vec![0usize; sorted.len()];
+    for _ in 0..max_iters {
+        // Assignment step: walk data and boundaries together.
+        let mut changed = false;
+        let mut cluster = 0usize;
+        for (i, &v) in sorted.iter().enumerate() {
+            while cluster + 1 < centroids.len()
+                && (centroids[cluster] + centroids[cluster + 1]) / 2.0 < v
+            {
+                cluster += 1;
+            }
+            if assignments[i] != cluster {
+                assignments[i] = cluster;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Update step.
+        let mut sums = vec![0.0f64; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (&v, &c) in sorted.iter().zip(&assignments) {
+            sums[c] += v as f64;
+            counts[c] += 1;
+        }
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            if counts[c] > 0 {
+                *centroid = (sums[c] / counts[c] as f64) as f32;
+            }
+        }
+        centroids.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+
+    centroids.dedup();
+    centroids
+}
+
+/// Index of the centroid nearest to `v` (first on ties).
+///
+/// # Panics
+///
+/// Panics if `centroids` is empty.
+pub(crate) fn nearest(centroids: &[f32], v: f32) -> usize {
+    assert!(!centroids.is_empty(), "no centroids");
+    let mut best = 0;
+    let mut best_d = (centroids[0] - v).abs();
+    for (i, &c) in centroids.iter().enumerate().skip(1) {
+        let d = (c - v).abs();
+        if d < best_d {
+            best = i;
+            best_d = d;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_obvious_clusters() {
+        let data = [-2.0f32, -2.1, -1.9, 3.0, 3.1, 2.9];
+        let c = kmeans1d(&data, 2, 50);
+        assert_eq!(c.len(), 2);
+        assert!((c[0] + 2.0).abs() < 0.1);
+        assert!((c[1] - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn constant_data_yields_single_centroid() {
+        let c = kmeans1d(&[4.2; 10], 8, 50);
+        assert_eq!(c, vec![4.2]);
+    }
+
+    #[test]
+    fn fewer_distinct_values_than_k() {
+        let c = kmeans1d(&[1.0, 2.0], 16, 50);
+        assert!(c.len() <= 16);
+        // Both values must be representable exactly.
+        assert!(c.iter().any(|&x| (x - 1.0).abs() < 1e-6));
+        assert!(c.iter().any(|&x| (x - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn centroids_sorted_ascending() {
+        let data: Vec<f32> = (0..100).map(|i| ((i * 37) % 100) as f32 / 10.0).collect();
+        let c = kmeans1d(&data, 16, 50);
+        for w in c.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn quantization_error_shrinks_with_k() {
+        let data: Vec<f32> = (0..200).map(|i| (i as f32 * 0.11).sin()).collect();
+        let err = |k: usize| -> f64 {
+            let c = kmeans1d(&data, k, 100);
+            data.iter()
+                .map(|&v| {
+                    let q = c[nearest(&c, v)];
+                    ((v - q) as f64).powi(2)
+                })
+                .sum::<f64>()
+        };
+        let (e2, e8, e16) = (err(2), err(8), err(16));
+        assert!(e8 < e2, "e8={e8} e2={e2}");
+        assert!(e16 <= e8, "e16={e16} e8={e8}");
+    }
+
+    #[test]
+    fn nearest_picks_closest() {
+        let c = [-1.0f32, 0.0, 2.0];
+        assert_eq!(nearest(&c, -0.9), 0);
+        assert_eq!(nearest(&c, 0.4), 1);
+        assert_eq!(nearest(&c, 1.1), 2);
+        // Tie goes to the first centroid.
+        assert_eq!(nearest(&c, -0.5), 0);
+    }
+
+    #[test]
+    fn covers_extremes_with_linear_init() {
+        // Heavy mass near zero plus rare large weights: linear init must
+        // still give the large weights a nearby centroid.
+        let mut data = vec![0.01f32; 500];
+        data.push(10.0);
+        data.push(-10.0);
+        let c = kmeans1d(&data, 16, 100);
+        let err_hi = c.iter().map(|&x| (x - 10.0).abs()).fold(f32::MAX, f32::min);
+        let err_lo = c
+            .iter()
+            .map(|&x| (x + 10.0).abs())
+            .fold(f32::MAX, f32::min);
+        assert!(err_hi < 1.0, "large positive weight lost: {err_hi}");
+        assert!(err_lo < 1.0, "large negative weight lost: {err_lo}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty() {
+        let _ = kmeans1d(&[], 4, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let _ = kmeans1d(&[1.0, f32::NAN], 4, 10);
+    }
+}

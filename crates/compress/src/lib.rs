@@ -1,0 +1,58 @@
+//! The Deep Compression pipeline of the EIE paper (§III).
+//!
+//! EIE operates on networks compressed by *Deep Compression* (Han et al.,
+//! ICLR 2016): connections are **pruned** (4–25% density on the benchmark
+//! layers), surviving weights are **shared** through a 16-entry codebook of
+//! 4-bit indices, and the sparse matrix is stored in a **relative-indexed,
+//! interleaved CSC** format partitioned across processing elements.
+//!
+//! This crate implements that entire pipeline:
+//!
+//! * [`prune`] — magnitude pruning of dense layers,
+//! * [`kmeans1d`] / [`Codebook`] — weight sharing (k-means clustering into
+//!   a 4-bit codebook; index 0 is reserved for the explicit zeros the
+//!   encoding pads with),
+//! * [`EncodedLayer`] / [`PeSlice`] — the interleaved CSC encoding with
+//!   4-bit relative row indices and padding-zero insertion (paper Fig. 3),
+//! * [`EncodingStats`] — storage/padding statistics (drives the paper's
+//!   Fig. 12 and the compression-ratio accounting),
+//! * decoding back to [`CsrMatrix`] for golden-model verification.
+//!
+//! # Example
+//!
+//! ```
+//! use eie_compress::{compress, CompressConfig};
+//! use eie_nn::zoo::Benchmark;
+//!
+//! let layer = Benchmark::Alex7.generate_scaled(1, 32); // 128×128 @ 9%
+//! let encoded = compress(&layer.weights, CompressConfig::with_pes(4));
+//! assert_eq!(encoded.num_pes(), 4);
+//! // Decoding reproduces the sparsity pattern exactly; values are
+//! // quantized to the 16-entry codebook.
+//! let decoded = encoded.decode();
+//! assert_eq!(decoded.nnz(), layer.weights.nnz());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codebook;
+mod encode;
+pub mod huffman;
+mod kmeans;
+pub mod prune;
+mod serialize;
+mod stats;
+
+pub use codebook::{Codebook, CODEBOOK_SIZE, WEIGHT_BITS};
+pub use encode::{
+    compress, encode_with_codebook, CompressConfig, EncodedLayer, Entry, PeSlice,
+    ValidateLayerError,
+};
+pub use kmeans::kmeans1d;
+pub use serialize::{DecodeLayerError, MAGIC};
+pub use stats::{huffman_bits, EncodingStats};
+
+// Re-exported so downstream crates don't need a direct eie-nn dependency
+// for the common case.
+pub use eie_nn::{CscMatrix, CsrMatrix};

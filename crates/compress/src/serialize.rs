@@ -1,0 +1,304 @@
+//! Binary images of compressed layers: the accelerator's I/O-mode
+//! payload.
+//!
+//! In I/O mode (§IV, "Central Control Unit") a DMA engine loads each PE's
+//! weights, indices and pointers into its SRAMs. This module defines that
+//! image: a deterministic little-endian layout with a magic/version
+//! header, produced by [`EncodedLayer::to_bytes`] and consumed by
+//! [`EncodedLayer::from_bytes`], which **validates every structural
+//! invariant** before returning a layer (untrusted bytes never reach the
+//! simulator unchecked).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "EIE1" | index_bits u8 | codebook_len u8 | pad u16
+//! rows u32 | cols u32 | num_pes u32
+//! codebook f32 × codebook_len
+//! per PE: local_rows u32 | n_entries u32 | col_ptr u32 × (cols+1)
+//!         | entries (code u8, zrun u8) × n_entries
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::encode::{ValidateLayerError};
+use crate::{Codebook, EncodedLayer, Entry, PeSlice};
+
+/// Magic bytes heading every layer image.
+pub const MAGIC: [u8; 4] = *b"EIE1";
+
+/// Failure to decode a layer image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeLayerError {
+    /// The image does not start with [`MAGIC`].
+    BadMagic,
+    /// The image ended before the declared payload.
+    Truncated {
+        /// Byte offset at which data ran out.
+        offset: usize,
+    },
+    /// A header field holds an impossible value.
+    BadHeader {
+        /// Which field was invalid.
+        field: &'static str,
+    },
+    /// The payload decoded but violates an encoding invariant.
+    Invalid(ValidateLayerError),
+}
+
+impl fmt::Display for DecodeLayerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeLayerError::BadMagic => write!(f, "not an EIE layer image (bad magic)"),
+            DecodeLayerError::Truncated { offset } => {
+                write!(f, "layer image truncated at byte {offset}")
+            }
+            DecodeLayerError::BadHeader { field } => {
+                write!(f, "invalid header field: {field}")
+            }
+            DecodeLayerError::Invalid(e) => write!(f, "invalid layer contents: {e}"),
+        }
+    }
+}
+
+impl Error for DecodeLayerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DecodeLayerError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValidateLayerError> for DecodeLayerError {
+    fn from(e: ValidateLayerError) -> Self {
+        DecodeLayerError::Invalid(e)
+    }
+}
+
+/// A little-endian byte cursor.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeLayerError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(DecodeLayerError::Truncated { offset: self.pos });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeLayerError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeLayerError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeLayerError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn f32(&mut self) -> Result<f32, DecodeLayerError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+impl EncodedLayer {
+    /// Serializes the layer into its I/O-mode binary image.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.total_entries() * 2);
+        out.extend_from_slice(&MAGIC);
+        out.push(self.index_bits() as u8);
+        out.push(self.codebook().len() as u8);
+        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&(self.rows() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.cols() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.num_pes() as u32).to_le_bytes());
+        for &v in self.codebook().values() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for slice in self.slices() {
+            out.extend_from_slice(&(slice.local_rows() as u32).to_le_bytes());
+            out.extend_from_slice(&(slice.num_entries() as u32).to_le_bytes());
+            for &p in slice.col_ptr() {
+                out.extend_from_slice(&p.to_le_bytes());
+            }
+            for e in slice.entries() {
+                out.push(e.code);
+                out.push(e.zrun);
+            }
+        }
+        out
+    }
+
+    /// Deserializes and **validates** a layer image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeLayerError`] on malformed bytes or any encoding
+    /// invariant violation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<EncodedLayer, DecodeLayerError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(DecodeLayerError::BadMagic);
+        }
+        let index_bits = r.u8()? as u32;
+        if !(1..=8).contains(&index_bits) {
+            return Err(DecodeLayerError::BadHeader { field: "index_bits" });
+        }
+        let codebook_len = r.u8()? as usize;
+        if !(2..=crate::CODEBOOK_SIZE).contains(&codebook_len) {
+            return Err(DecodeLayerError::BadHeader {
+                field: "codebook_len",
+            });
+        }
+        let _pad = r.u16()?;
+        let rows = r.u32()? as usize;
+        let cols = r.u32()? as usize;
+        let num_pes = r.u32()? as usize;
+        if rows == 0 || cols == 0 {
+            return Err(DecodeLayerError::BadHeader { field: "dims" });
+        }
+        if num_pes == 0 || num_pes > 1 << 20 {
+            return Err(DecodeLayerError::BadHeader { field: "num_pes" });
+        }
+
+        let mut values = Vec::with_capacity(codebook_len);
+        for _ in 0..codebook_len {
+            values.push(r.f32()?);
+        }
+        if values[0] != 0.0 || values[1..].iter().any(|v| !v.is_finite() || *v == 0.0) {
+            return Err(DecodeLayerError::BadHeader { field: "codebook" });
+        }
+        let codebook = Codebook::from_centroids(&values[1..]);
+
+        let mut slices = Vec::with_capacity(num_pes);
+        let mut total_local = 0usize;
+        for _ in 0..num_pes {
+            let local_rows = r.u32()? as usize;
+            total_local += local_rows;
+            let n_entries = r.u32()? as usize;
+            let mut col_ptr = Vec::with_capacity(cols + 1);
+            for _ in 0..=cols {
+                col_ptr.push(r.u32()?);
+            }
+            let mut entries = Vec::with_capacity(n_entries);
+            for _ in 0..n_entries {
+                let code = r.u8()?;
+                let zrun = r.u8()?;
+                entries.push(Entry { code, zrun });
+            }
+            slices.push(PeSlice::from_raw_parts(entries, col_ptr, local_rows));
+        }
+        if total_local != rows {
+            return Err(DecodeLayerError::BadHeader { field: "local_rows" });
+        }
+
+        let layer = EncodedLayer::from_raw_parts(rows, cols, index_bits, codebook, slices);
+        layer.validate()?;
+        Ok(layer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compress, CompressConfig};
+    use eie_nn::zoo::random_sparse;
+
+    fn sample() -> EncodedLayer {
+        let m = random_sparse(48, 32, 0.2, 5);
+        compress(&m, CompressConfig::with_pes(4))
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let layer = sample();
+        let bytes = layer.to_bytes();
+        let back = EncodedLayer::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(back, layer);
+    }
+
+    #[test]
+    fn roundtrip_preserves_semantics() {
+        let layer = sample();
+        let back = EncodedLayer::from_bytes(&layer.to_bytes()).unwrap();
+        let acts: Vec<f32> = (0..32).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        assert_eq!(layer.spmv_f32(&acts), back.spmv_f32(&acts));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(
+            EncodedLayer::from_bytes(&bytes),
+            Err(DecodeLayerError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let bytes = sample().to_bytes();
+        // Every strict prefix must fail cleanly (never panic).
+        for cut in [4usize, 8, 16, 40, bytes.len() / 2, bytes.len() - 1] {
+            let r = EncodedLayer::from_bytes(&bytes[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes decoded successfully");
+        }
+    }
+
+    #[test]
+    fn rejects_corrupted_entry_fields() {
+        let layer = sample();
+        let bytes = layer.to_bytes();
+        // Corrupt the very last entry's zrun (layout puts entries last).
+        let mut corrupt = bytes.clone();
+        let n = corrupt.len();
+        corrupt[n - 1] = 0xFF;
+        let err = EncodedLayer::from_bytes(&corrupt).unwrap_err();
+        assert!(
+            matches!(err, DecodeLayerError::Invalid(_)),
+            "expected invalid-content error, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_zero_codebook_entry_zero_violation() {
+        let layer = sample();
+        let mut bytes = layer.to_bytes();
+        // Codebook starts at offset 20; entry 0 must be exactly 0.0.
+        bytes[20..24].copy_from_slice(&1.0f32.to_le_bytes());
+        assert_eq!(
+            EncodedLayer::from_bytes(&bytes),
+            Err(DecodeLayerError::BadHeader { field: "codebook" })
+        );
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = DecodeLayerError::Invalid(ValidateLayerError::CodeOutOfRange { pe: 1, entry: 2 });
+        assert!(e.to_string().contains("invalid layer contents"));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn image_size_is_compact() {
+        let layer = sample();
+        let bytes = layer.to_bytes();
+        // Must stay within ~3x of the ideal entry payload (pointers and
+        // header dominate at this small size).
+        let ideal = layer.total_entries() * 2;
+        assert!(bytes.len() < ideal * 3 + 4 * 4 * (32 + 1) + 128);
+    }
+}

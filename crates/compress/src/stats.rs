@@ -1,0 +1,241 @@
+//! Encoding statistics: padding overhead, storage footprint, load spread.
+//!
+//! These statistics drive the paper's Fig. 12 (real work / total work vs.
+//! PE count) and the compression-ratio accounting of §I/§VIII; the Huffman
+//! estimate models Deep Compression's final (storage-only) coding stage.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{EncodedLayer, PeSlice};
+
+/// Statistics of an [`EncodedLayer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodingStats {
+    /// Matrix rows (outputs).
+    pub rows: usize,
+    /// Matrix columns (inputs).
+    pub cols: usize,
+    /// PEs the layer is partitioned over.
+    pub num_pes: usize,
+    /// Real (non-padding) entries = matrix non-zeros.
+    pub real_entries: usize,
+    /// Inserted padding zeros (wasted work; paper Fig. 12).
+    pub padding_entries: usize,
+    /// Entries per PE (padding included), indexed by PE.
+    pub entries_per_pe: Vec<usize>,
+    /// Sparse-matrix SRAM bytes: one packed byte per entry at 4+4 bits.
+    pub spmat_bytes: usize,
+    /// Pointer SRAM bytes: `num_pes × (cols + 1)` 16-bit pointers.
+    pub ptr_bytes: usize,
+    /// Codebook bytes (16 × 16-bit).
+    pub codebook_bytes: usize,
+    /// The uncompressed dense layer footprint (f32).
+    pub dense_bytes: usize,
+    /// Estimated storage with Huffman-coded entries (Deep Compression's
+    /// final stage; storage-only, never touched by the datapath).
+    pub huffman_spmat_bytes: usize,
+}
+
+impl EncodingStats {
+    /// Computes statistics for a layer.
+    pub fn from_layer(layer: &EncodedLayer) -> Self {
+        let entries_per_pe: Vec<usize> =
+            layer.slices().iter().map(PeSlice::num_entries).collect();
+        let total: usize = entries_per_pe.iter().sum();
+        let padding: usize = layer
+            .slices()
+            .iter()
+            .map(PeSlice::padding_entries)
+            .sum();
+        let entry_bits = (crate::WEIGHT_BITS + layer.index_bits()) as usize;
+        let huffman_total_bits: usize = layer
+            .slices()
+            .iter()
+            .map(|s| huffman_bits(s.col_ptr().len(), s))
+            .sum();
+        Self {
+            rows: layer.rows(),
+            cols: layer.cols(),
+            num_pes: layer.num_pes(),
+            real_entries: total - padding,
+            padding_entries: padding,
+            entries_per_pe,
+            spmat_bytes: (total * entry_bits).div_ceil(8),
+            ptr_bytes: layer.num_pes() * (layer.cols() + 1) * 2,
+            codebook_bytes: crate::CODEBOOK_SIZE * 2,
+            dense_bytes: layer.rows() * layer.cols() * 4,
+            huffman_spmat_bytes: huffman_total_bits.div_ceil(8),
+        }
+    }
+
+    /// Total entries, padding included.
+    pub fn total_entries(&self) -> usize {
+        self.real_entries + self.padding_entries
+    }
+
+    /// Real work divided by total work — the y-axis of paper Fig. 12.
+    /// 1.0 means no padding overhead.
+    pub fn real_work_ratio(&self) -> f64 {
+        if self.total_entries() == 0 {
+            return 1.0;
+        }
+        self.real_entries as f64 / self.total_entries() as f64
+    }
+
+    /// Total compressed bytes (spmat + pointers + codebook).
+    pub fn compressed_bytes(&self) -> usize {
+        self.spmat_bytes + self.ptr_bytes + self.codebook_bytes
+    }
+
+    /// Dense-f32 bytes divided by compressed bytes.
+    pub fn compression_ratio(&self) -> f64 {
+        self.dense_bytes as f64 / self.compressed_bytes() as f64
+    }
+
+    /// Static load imbalance: max PE entries over mean PE entries
+    /// (1.0 = perfectly balanced).
+    pub fn static_imbalance(&self) -> f64 {
+        let max = *self.entries_per_pe.iter().max().unwrap_or(&0);
+        let mean = self.total_entries() as f64 / self.num_pes as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max as f64 / mean
+        }
+    }
+}
+
+impl fmt::Display for EncodingStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} on {} PEs: {} real + {} padding entries, {:.1}x compression",
+            self.rows,
+            self.cols,
+            self.num_pes,
+            self.real_entries,
+            self.padding_entries,
+            self.compression_ratio()
+        )
+    }
+}
+
+/// Estimated Huffman-coded size, in bits, of a slice's entry stream.
+///
+/// Builds the optimal prefix code over the observed `(v, z)` byte symbols
+/// (Deep Compression Huffman-codes weights and indices for storage). The
+/// `cols` argument is unused except to keep the signature future-proof for
+/// per-column coding experiments.
+pub fn huffman_bits(_cols: usize, slice: &PeSlice) -> usize {
+    // Symbols are (zrun, code) pairs; 16 bits covers index widths > 4.
+    let mut freq: HashMap<u16, usize> = HashMap::new();
+    let mut total = 0usize;
+    for j in 0..slice.col_ptr().len() - 1 {
+        for e in slice.col_entries(j) {
+            let sym = ((e.zrun as u16) << 8) | e.code as u16;
+            *freq.entry(sym).or_insert(0) += 1;
+            total += 1;
+        }
+    }
+    if total == 0 {
+        return 0;
+    }
+    if freq.len() == 1 {
+        return total; // one symbol still costs ≥1 bit each
+    }
+    // Huffman code lengths via the standard two-queue merge.
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(usize, Vec<u16>)>> = freq
+        .iter()
+        .map(|(&sym, &count)| std::cmp::Reverse((count, vec![sym])))
+        .collect();
+    let mut depth: HashMap<u16, usize> = freq.keys().map(|&s| (s, 0)).collect();
+    while heap.len() > 1 {
+        let std::cmp::Reverse((c1, s1)) = heap.pop().unwrap();
+        let std::cmp::Reverse((c2, s2)) = heap.pop().unwrap();
+        let mut merged = s1;
+        merged.extend_from_slice(&s2);
+        for s in &merged {
+            *depth.get_mut(s).unwrap() += 1;
+        }
+        heap.push(std::cmp::Reverse((c1 + c2, merged)));
+    }
+    freq.iter().map(|(sym, count)| count * depth[sym]).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{compress, CompressConfig};
+    use eie_nn::zoo::random_sparse;
+
+    #[test]
+    fn real_entries_equal_matrix_nnz() {
+        let m = random_sparse(100, 80, 0.1, 3);
+        let enc = compress(&m, CompressConfig::with_pes(4));
+        let stats = enc.stats();
+        assert_eq!(stats.real_entries, m.nnz());
+        assert_eq!(
+            stats.total_entries(),
+            stats.real_entries + stats.padding_entries
+        );
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let m = random_sparse(64, 32, 0.2, 1);
+        let enc = compress(&m, CompressConfig::with_pes(2));
+        let stats = enc.stats();
+        assert_eq!(stats.spmat_bytes, stats.total_entries()); // 8 bits/entry
+        assert_eq!(stats.ptr_bytes, 2 * 33 * 2);
+        assert_eq!(stats.dense_bytes, 64 * 32 * 4);
+        assert!(stats.compression_ratio() > 1.0);
+    }
+
+    #[test]
+    fn compression_ratio_in_expected_range_for_table_iii_like_layer() {
+        // 9% density at 8 bits/entry → ~5-10x smaller than dense f32
+        // (the paper's AlexNet FC weights compress ~10x before Huffman).
+        let m = random_sparse(1024, 1024, 0.09, 5);
+        let enc = compress(&m, CompressConfig::with_pes(64));
+        let ratio = enc.stats().compression_ratio();
+        assert!(ratio > 5.0 && ratio < 50.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn real_work_ratio_decreases_with_fewer_pes() {
+        let m = random_sparse(2048, 32, 0.04, 9);
+        let ratio = |pes| {
+            compress(&m, CompressConfig::with_pes(pes))
+                .stats()
+                .real_work_ratio()
+        };
+        assert!(ratio(1) < ratio(16), "1PE {} vs 16PE {}", ratio(1), ratio(16));
+        assert!(ratio(16) <= ratio(64) + 1e-9);
+    }
+
+    #[test]
+    fn huffman_never_exceeds_fixed_width() {
+        let m = random_sparse(128, 64, 0.15, 2);
+        let enc = compress(&m, CompressConfig::with_pes(4));
+        let stats = enc.stats();
+        // Huffman ≤ 8 bits/entry on average (optimal prefix code).
+        assert!(stats.huffman_spmat_bytes <= stats.spmat_bytes);
+        assert!(stats.huffman_spmat_bytes > 0);
+    }
+
+    #[test]
+    fn static_imbalance_at_least_one() {
+        let m = random_sparse(100, 100, 0.1, 8);
+        let enc = compress(&m, CompressConfig::with_pes(8));
+        assert!(enc.stats().static_imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = random_sparse(16, 16, 0.5, 1);
+        let enc = compress(&m, CompressConfig::with_pes(2));
+        let s = enc.stats().to_string();
+        assert!(s.contains("16x16"));
+        assert!(s.contains("2 PEs"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Prepared benchmark instances: zoo layer + compressed form + inputs.
+
+use std::fmt;
+
+use eie_compress::EncodedLayer;
+use eie_nn::zoo::{BenchLayer, Benchmark, DEFAULT_SEED};
+
+use crate::{EieConfig, Engine, ExecutionResult};
+
+/// A ready-to-run instance of one Table III benchmark: the generated
+/// layer, its compressed encoding for a given PE count, and a sampled
+/// activation vector.
+///
+/// # Example
+///
+/// ```
+/// use eie_core::{BenchmarkInstance, EieConfig};
+/// use eie_core::nn::zoo::Benchmark;
+///
+/// // 1/32-scale instance for quick runs; `prepare_full` for experiments.
+/// let inst = BenchmarkInstance::prepare_scaled(
+///     Benchmark::NtWe,
+///     EieConfig::default().with_num_pes(4),
+///     32,
+/// );
+/// let result = inst.run();
+/// assert!(result.time_us() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BenchmarkInstance {
+    /// Which Table III row this is.
+    pub benchmark: Benchmark,
+    /// The generated (pruned) layer.
+    pub layer: BenchLayer,
+    /// The compressed encoding.
+    pub encoded: EncodedLayer,
+    /// Sampled input activations at the benchmark's Table III density.
+    pub activations: Vec<f32>,
+    /// The engine configuration the instance was prepared for.
+    pub config: EieConfig,
+}
+
+impl BenchmarkInstance {
+    /// Prepares a full-size instance with the default experiment seed.
+    pub fn prepare_full(benchmark: Benchmark, config: EieConfig) -> Self {
+        Self::from_layer(benchmark.generate(DEFAULT_SEED), config)
+    }
+
+    /// Prepares a `1/divisor`-scale instance (tests, quick sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor == 0`.
+    pub fn prepare_scaled(benchmark: Benchmark, config: EieConfig, divisor: usize) -> Self {
+        Self::from_layer(benchmark.generate_scaled(DEFAULT_SEED, divisor), config)
+    }
+
+    /// Prepares an instance from an already-generated layer.
+    pub fn from_layer(layer: BenchLayer, config: EieConfig) -> Self {
+        let engine = Engine::new(config);
+        let encoded = engine.compress(&layer.weights);
+        let activations = layer.sample_activations(DEFAULT_SEED);
+        Self {
+            benchmark: layer.benchmark,
+            layer,
+            encoded,
+            activations,
+            config,
+        }
+    }
+
+    /// Executes the instance on its engine.
+    pub fn run(&self) -> ExecutionResult {
+        Engine::new(self.config).run_layer(&self.encoded, &self.activations)
+    }
+
+    /// The dense workload in GOP (2 × rows × cols / 1e9): the denominator
+    /// of the paper's "equivalent dense throughput" claims.
+    pub fn dense_gop(&self) -> f64 {
+        2.0 * (self.layer.weights.rows() * self.layer.weights.cols()) as f64 / 1e9
+    }
+}
+
+impl fmt::Display for BenchmarkInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}x{}] on {}",
+            self.benchmark,
+            self.layer.weights.rows(),
+            self.layer.weights.cols(),
+            self.config
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_scaled_and_run() {
+        let inst = BenchmarkInstance::prepare_scaled(
+            Benchmark::Vgg8,
+            EieConfig::default().with_num_pes(4),
+            32,
+        );
+        assert_eq!(inst.encoded.num_pes(), 4);
+        assert_eq!(inst.activations.len(), inst.layer.weights.cols());
+        let result = inst.run();
+        assert_eq!(result.run.outputs.len(), inst.layer.weights.rows());
+    }
+
+    #[test]
+    fn dense_gop_matches_dims() {
+        let inst = BenchmarkInstance::prepare_scaled(
+            Benchmark::Alex8,
+            EieConfig::default().with_num_pes(2),
+            64,
+        );
+        let (r, c) = (inst.layer.weights.rows(), inst.layer.weights.cols());
+        assert!((inst.dense_gop() - 2.0 * (r * c) as f64 / 1e9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn instances_are_deterministic() {
+        let cfg = EieConfig::default().with_num_pes(2);
+        let a = BenchmarkInstance::prepare_scaled(Benchmark::NtLstm, cfg, 16);
+        let b = BenchmarkInstance::prepare_scaled(Benchmark::NtLstm, cfg, 16);
+        assert_eq!(a.activations, b.activations);
+        assert_eq!(a.encoded, b.encoded);
+        assert_eq!(a.run().run.stats, b.run().run.stats);
+    }
+}

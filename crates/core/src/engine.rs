@@ -1,0 +1,399 @@
+//! The engine: configure → compress → execute → report.
+
+use std::fmt;
+
+use eie_compress::{compress, CompressConfig, EncodedLayer};
+use eie_energy::{EnergyReport, LayerActivity, PeModel};
+use eie_nn::CsrMatrix;
+use eie_sim::{simulate, simulate_network, LayerRun, NetworkRun, SimConfig, SimStats};
+
+/// Accelerator configuration: the union of the design parameters the
+/// paper explores (§VI-C) with the paper's chosen values as defaults.
+///
+/// `EieConfig` is a non-consuming builder:
+///
+/// ```
+/// use eie_core::EieConfig;
+///
+/// let cfg = EieConfig::default()
+///     .with_num_pes(256)
+///     .with_fifo_depth(16)
+///     .with_spmat_width(128);
+/// assert_eq!(cfg.num_pes, 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EieConfig {
+    /// Number of processing elements (paper default: 64; scalable to 256+).
+    pub num_pes: usize,
+    /// Activation FIFO depth (paper default: 8).
+    pub fifo_depth: usize,
+    /// Sparse-matrix SRAM width in bits (paper default: 64).
+    pub spmat_width_bits: u32,
+    /// Clock frequency in Hz (paper: 800 MHz at 45 nm).
+    pub clock_hz: f64,
+    /// Relative-index bits in the encoding (paper: 4).
+    pub index_bits: u32,
+    /// Model the LNZD tree (vs. an oracle broadcast).
+    pub lnzd_tree: bool,
+    /// Pointer SRAM banking (vs. serialized double reads).
+    pub ptr_banked: bool,
+    /// Accumulator bypass path (vs. hazard stalls).
+    pub accumulator_bypass: bool,
+}
+
+impl Default for EieConfig {
+    fn default() -> Self {
+        Self {
+            num_pes: 64,
+            fifo_depth: 8,
+            spmat_width_bits: 64,
+            clock_hz: 800e6,
+            index_bits: 4,
+            lnzd_tree: true,
+            ptr_banked: true,
+            accumulator_bypass: true,
+        }
+    }
+}
+
+impl EieConfig {
+    /// Sets the PE count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pes == 0`.
+    pub fn with_num_pes(mut self, num_pes: usize) -> Self {
+        assert!(num_pes > 0, "num_pes must be non-zero");
+        self.num_pes = num_pes;
+        self
+    }
+
+    /// Sets the activation FIFO depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn with_fifo_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "fifo depth must be non-zero");
+        self.fifo_depth = depth;
+        self
+    }
+
+    /// Sets the sparse-matrix SRAM width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not a positive multiple of 8.
+    pub fn with_spmat_width(mut self, bits: u32) -> Self {
+        assert!(bits >= 8 && bits.is_multiple_of(8), "width must be a multiple of 8");
+        self.spmat_width_bits = bits;
+        self
+    }
+
+    /// Sets the clock frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is not positive.
+    pub fn with_clock_hz(mut self, hz: f64) -> Self {
+        assert!(hz > 0.0, "clock must be positive");
+        self.clock_hz = hz;
+        self
+    }
+
+    /// The compression configuration implied by this accelerator config.
+    pub fn compress_config(&self) -> CompressConfig {
+        CompressConfig {
+            num_pes: self.num_pes,
+            index_bits: self.index_bits,
+            ..CompressConfig::default()
+        }
+    }
+
+    /// The simulator configuration implied by this accelerator config.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            fifo_depth: self.fifo_depth,
+            spmat_width_bits: self.spmat_width_bits,
+            clock_hz: self.clock_hz,
+            lnzd_tree: self.lnzd_tree,
+            ptr_banked: self.ptr_banked,
+            accumulator_bypass: self.accumulator_bypass,
+            ..SimConfig::default()
+        }
+    }
+
+    /// The physical PE model implied by this accelerator config.
+    pub fn pe_model(&self) -> PeModel {
+        PeModel {
+            spmat_width_bits: self.spmat_width_bits,
+            fifo_depth: self.fifo_depth,
+            clock_hz: self.clock_hz,
+        }
+    }
+}
+
+impl fmt::Display for EieConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EIE[{} PEs, FIFO {}, {}b SRAM, {:.0} MHz]",
+            self.num_pes,
+            self.fifo_depth,
+            self.spmat_width_bits,
+            self.clock_hz / 1e6
+        )
+    }
+}
+
+/// Converts simulator statistics into the energy model's activity counts.
+pub fn activity_from_stats(stats: &SimStats) -> LayerActivity {
+    LayerActivity {
+        cycles: stats.total_cycles,
+        num_pes: stats.num_pes(),
+        spmat_row_reads: stats.spmat_row_reads(),
+        ptr_bank_reads: stats.ptr_bank_reads(),
+        macs: stats.total_macs(),
+        dest_reads: stats.pe.iter().map(|p| p.dest_reads).sum(),
+        dest_writes: stats.pe.iter().map(|p| p.dest_writes).sum(),
+        queue_pushes: stats.pe.iter().map(|p| p.queue_pushes).sum(),
+        queue_pops: stats.pe.iter().map(|p| p.queue_pops).sum(),
+        output_writes: stats.pe.iter().map(|p| p.output_writes).sum(),
+        input_reads: stats.broadcasts,
+    }
+}
+
+/// Result of executing one layer on the simulated accelerator.
+#[derive(Debug, Clone)]
+pub struct ExecutionResult {
+    /// Outputs and cycle statistics from the simulator.
+    pub run: LayerRun,
+    /// Activity-priced energy report.
+    pub energy: EnergyReport,
+    /// Clock the run was timed at, Hz.
+    pub clock_hz: f64,
+}
+
+impl ExecutionResult {
+    /// Wall-clock time in microseconds.
+    pub fn time_us(&self) -> f64 {
+        self.run.stats.total_cycles as f64 / self.clock_hz * 1e6
+    }
+
+    /// The theoretical (perfectly balanced, stall-free) time, µs —
+    /// Table IV's "EIE Theoretical Time" row.
+    pub fn theoretical_time_us(&self) -> f64 {
+        self.run.stats.theoretical_cycles() as f64 / self.clock_hz * 1e6
+    }
+
+    /// Inference throughput if this layer ran back-to-back, frames/s.
+    pub fn frames_per_second(&self) -> f64 {
+        1e6 / self.time_us()
+    }
+
+    /// Sustained GOP/s on the compressed workload.
+    pub fn gops(&self) -> f64 {
+        self.run.stats.gops_at(self.clock_hz)
+    }
+
+    /// Average power over the run, W.
+    pub fn average_power_w(&self) -> f64 {
+        self.energy.average_power_w()
+    }
+}
+
+impl fmt::Display for ExecutionResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} µs ({:.1} GOP/s, {:.2} µJ, balance {:.0}%)",
+            self.time_us(),
+            self.gops(),
+            self.energy.total_uj(),
+            self.run.stats.load_balance_efficiency() * 100.0
+        )
+    }
+}
+
+/// Result of executing a multi-layer network.
+#[derive(Debug, Clone)]
+pub struct NetworkResult {
+    /// The simulator's per-layer and merged results.
+    pub run: NetworkRun,
+    /// Energy priced over the merged activity.
+    pub energy: EnergyReport,
+    /// Clock the run was timed at, Hz.
+    pub clock_hz: f64,
+}
+
+impl NetworkResult {
+    /// End-to-end time, µs.
+    pub fn time_us(&self) -> f64 {
+        self.run.total.total_cycles as f64 / self.clock_hz * 1e6
+    }
+}
+
+/// The accelerator engine: compresses layers and executes them on the
+/// cycle-accurate model, reporting time and energy.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    config: EieConfig,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EieConfig) -> Self {
+        Self { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EieConfig {
+        &self.config
+    }
+
+    /// Compresses a pruned layer for this engine's PE array
+    /// (k-means weight sharing + interleaved CSC, paper §III).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has no non-zeros.
+    pub fn compress(&self, weights: &CsrMatrix) -> EncodedLayer {
+        compress(weights, self.config.compress_config())
+    }
+
+    /// Executes one layer (raw M×V) and prices its energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer was compressed for a different PE count or the
+    /// activation length mismatches.
+    pub fn run_layer(&self, layer: &EncodedLayer, acts: &[f32]) -> ExecutionResult {
+        assert_eq!(
+            layer.num_pes(),
+            self.config.num_pes,
+            "layer compressed for a different PE count"
+        );
+        let run = simulate(layer, acts, &self.config.sim_config());
+        let energy = EnergyReport::price(&activity_from_stats(&run.stats), &self.config.pe_model());
+        ExecutionResult {
+            run,
+            energy,
+            clock_hz: self.config.clock_hz,
+        }
+    }
+
+    /// Executes a feed-forward network (ReLU between layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches or a PE-count mismatch.
+    pub fn run_network(&self, layers: &[&EncodedLayer], input: &[f32]) -> NetworkResult {
+        for l in layers {
+            assert_eq!(
+                l.num_pes(),
+                self.config.num_pes,
+                "layer compressed for a different PE count"
+            );
+        }
+        let run = simulate_network(layers, input, &self.config.sim_config());
+        let energy = EnergyReport::price(&activity_from_stats(&run.total), &self.config.pe_model());
+        NetworkResult {
+            run,
+            energy,
+            clock_hz: self.config.clock_hz,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eie_nn::zoo::Benchmark;
+
+    fn small_engine() -> (Engine, eie_nn::zoo::BenchLayer) {
+        let engine = Engine::new(EieConfig::default().with_num_pes(4));
+        let layer = Benchmark::Alex7.generate_scaled(1, 32);
+        (engine, layer)
+    }
+
+    #[test]
+    fn builder_chains() {
+        let cfg = EieConfig::default()
+            .with_num_pes(128)
+            .with_fifo_depth(4)
+            .with_spmat_width(256)
+            .with_clock_hz(1.2e9);
+        assert_eq!(cfg.num_pes, 128);
+        assert_eq!(cfg.fifo_depth, 4);
+        assert_eq!(cfg.spmat_width_bits, 256);
+        assert_eq!(cfg.clock_hz, 1.2e9);
+        assert_eq!(cfg.sim_config().fifo_depth, 4);
+        assert_eq!(cfg.compress_config().num_pes, 128);
+        assert_eq!(cfg.pe_model().spmat_width_bits, 256);
+    }
+
+    #[test]
+    fn compress_then_run_produces_consistent_result() {
+        let (engine, layer) = small_engine();
+        let enc = engine.compress(&layer.weights);
+        let acts = layer.sample_activations(3);
+        let result = engine.run_layer(&enc, &acts);
+        assert_eq!(result.run.outputs.len(), layer.weights.rows());
+        assert!(result.time_us() > 0.0);
+        assert!(result.theoretical_time_us() <= result.time_us());
+        assert!(result.energy.total_nj() > 0.0);
+        assert!(result.frames_per_second() > 0.0);
+    }
+
+    #[test]
+    fn activity_conversion_sums_pe_counters() {
+        let (engine, layer) = small_engine();
+        let enc = engine.compress(&layer.weights);
+        let result = engine.run_layer(&enc, &layer.sample_activations(1));
+        let act = activity_from_stats(&result.run.stats);
+        assert_eq!(act.num_pes, 4);
+        assert_eq!(act.macs, result.run.stats.total_macs());
+        assert!(act.spmat_row_reads > 0);
+        assert!(act.dest_writes >= act.macs); // every MAC writes
+    }
+
+    #[test]
+    fn faster_clock_is_faster_wall_clock() {
+        let (_, layer) = small_engine();
+        let slow = Engine::new(EieConfig::default().with_num_pes(4).with_clock_hz(800e6));
+        let fast = Engine::new(EieConfig::default().with_num_pes(4).with_clock_hz(1.6e9));
+        let acts = layer.sample_activations(9);
+        let enc = slow.compress(&layer.weights);
+        let t_slow = slow.run_layer(&enc, &acts).time_us();
+        let t_fast = fast.run_layer(&enc, &acts).time_us();
+        assert!((t_slow / t_fast - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "different PE count")]
+    fn rejects_pe_count_mismatch() {
+        let (engine, layer) = small_engine();
+        let other = Engine::new(EieConfig::default().with_num_pes(8));
+        let enc = other.compress(&layer.weights);
+        let _ = engine.run_layer(&enc, &layer.sample_activations(1));
+    }
+
+    #[test]
+    fn network_result_times_accumulate() {
+        let engine = Engine::new(EieConfig::default().with_num_pes(2));
+        let w1 = eie_nn::zoo::random_sparse(32, 24, 0.3, 1);
+        let w2 = eie_nn::zoo::random_sparse(16, 32, 0.3, 2);
+        let l1 = engine.compress(&w1);
+        let l2 = engine.compress(&w2);
+        let input: Vec<f32> = (0..24).map(|i| (i % 3) as f32).collect();
+        let net = engine.run_network(&[&l1, &l2], &input);
+        assert_eq!(net.run.outputs.len(), 16);
+        let sum_us: f64 = net
+            .run
+            .layers
+            .iter()
+            .map(|l| l.stats.total_cycles as f64 / 800e6 * 1e6)
+            .sum();
+        assert!((net.time_us() - sum_us).abs() < 1e-9);
+    }
+}

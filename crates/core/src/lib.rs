@@ -1,0 +1,70 @@
+//! # eie-core — the public API of the EIE reproduction
+//!
+//! This crate ties the substrates together into the workflow a user of
+//! the accelerator would follow:
+//!
+//! 1. **Configure** the accelerator with [`EieConfig`] (PE count, FIFO
+//!    depth, SRAM width, clock — the design parameters of paper §IV/§VI),
+//! 2. **Compress** a pruned layer with [`Engine::compress`] (weight
+//!    sharing + interleaved CSC, paper §III),
+//! 3. **Execute** it cycle-accurately with [`Engine::run_layer`] /
+//!    [`Engine::run_network`], obtaining outputs, cycle statistics,
+//!    wall-clock time and an activity-based energy report.
+//!
+//! The sub-crates are re-exported under [`compress`], [`nn`], [`sim`],
+//! [`energy`], [`baselines`] and [`fixed`] for direct access; the
+//! [`prelude`] exposes the names almost every user needs.
+//!
+//! # Example
+//!
+//! ```
+//! use eie_core::prelude::*;
+//!
+//! // AlexNet FC7 shape at 1/32 scale, Table III densities.
+//! let layer = Benchmark::Alex7.generate_scaled(1, 32);
+//! let engine = Engine::new(EieConfig::default().with_num_pes(4));
+//! let compressed = engine.compress(&layer.weights);
+//! let result = engine.run_layer(&compressed, &layer.sample_activations(7));
+//! assert!(result.time_us() > 0.0);
+//! assert!(result.energy.total_uj() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod benchmarks;
+mod engine;
+pub mod prelude;
+
+pub use benchmarks::BenchmarkInstance;
+pub use engine::{activity_from_stats, EieConfig, Engine, ExecutionResult, NetworkResult};
+
+/// The Deep Compression pipeline (re-export of `eie-compress`).
+pub mod compress {
+    pub use eie_compress::*;
+}
+
+/// The NN substrate and benchmark zoo (re-export of `eie-nn`).
+pub mod nn {
+    pub use eie_nn::*;
+}
+
+/// The cycle-accurate simulator (re-export of `eie-sim`).
+pub mod sim {
+    pub use eie_sim::*;
+}
+
+/// Energy/area/power models (re-export of `eie-energy`).
+pub mod energy {
+    pub use eie_energy::*;
+}
+
+/// CPU baselines (re-export of `eie-baselines`).
+pub mod baselines {
+    pub use eie_baselines::*;
+}
+
+/// Fixed-point arithmetic (re-export of `eie-fixed`).
+pub mod fixed {
+    pub use eie_fixed::*;
+}

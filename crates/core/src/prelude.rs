@@ -1,0 +1,22 @@
+//! The names almost every user of the reproduction needs.
+//!
+//! ```
+//! use eie_core::prelude::*;
+//!
+//! let engine = Engine::new(EieConfig::default().with_num_pes(2));
+//! let weights = random_sparse(32, 32, 0.2, 1);
+//! let layer = engine.compress(&weights);
+//! let out = engine.run_layer(&layer, &vec![1.0; 32]);
+//! assert_eq!(out.run.outputs.len(), 32);
+//! ```
+
+pub use crate::{activity_from_stats, BenchmarkInstance, EieConfig, Engine, ExecutionResult};
+
+pub use eie_compress::{
+    compress, encode_with_codebook, Codebook, CompressConfig, EncodedLayer, EncodingStats,
+};
+pub use eie_energy::{platform::Platform, EnergyReport, LayerActivity, PeModel, SramModel};
+pub use eie_fixed::{Accum32, Fix16, Precision, QFormat, Q8p8};
+pub use eie_nn::zoo::{random_sparse, BenchLayer, Benchmark, DEFAULT_SEED};
+pub use eie_nn::{Activation, CscMatrix, CsrMatrix, FcLayer, LstmCell, LstmState, Matrix, Mlp};
+pub use eie_sim::{functional, simulate, simulate_network, LayerRun, SimConfig, SimStats};

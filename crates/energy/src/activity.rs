@@ -1,0 +1,214 @@
+//! Activity-based energy: pricing the cycle simulator's event counts.
+//!
+//! The paper's Fig. 7 and Table V energy numbers come from annotating
+//! switching activity onto the netlist. The reproduction's equivalent is
+//! this module: every counter the simulator gathers (SRAM row fetches,
+//! pointer reads, MACs, register-file and queue accesses) is multiplied by
+//! the per-event energies of the [`PeModel`] calibration.
+
+use std::fmt;
+
+use crate::PeModel;
+
+/// Event counts for one layer execution, aggregated over all PEs.
+///
+/// `eie-core` converts the simulator's `SimStats` into this type; keeping
+/// the struct independent of `eie-sim` lets the energy crate stay a pure
+/// model library.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayerActivity {
+    /// Total cycles of the run.
+    pub cycles: u64,
+    /// Number of PEs that ran.
+    pub num_pes: usize,
+    /// Sparse-matrix SRAM row fetches.
+    pub spmat_row_reads: u64,
+    /// Pointer SRAM bank reads.
+    pub ptr_bank_reads: u64,
+    /// Multiply-accumulates issued (padding included).
+    pub macs: u64,
+    /// Destination-register reads.
+    pub dest_reads: u64,
+    /// Destination-register writes.
+    pub dest_writes: u64,
+    /// Activation-queue pushes.
+    pub queue_pushes: u64,
+    /// Activation-queue pops.
+    pub queue_pops: u64,
+    /// Output activation writebacks (to the activation SRAM / regfile).
+    pub output_writes: u64,
+    /// Input activation reads (broadcast fan-out reads; one per broadcast).
+    pub input_reads: u64,
+}
+
+/// Energy of one layer execution, by component, in nanojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyReport {
+    /// Sparse-matrix SRAM reads.
+    pub spmat_nj: f64,
+    /// Pointer SRAM reads.
+    pub ptr_nj: f64,
+    /// Arithmetic (multiply + add + codebook + pipeline).
+    pub arith_nj: f64,
+    /// Destination register file traffic.
+    pub regfile_nj: f64,
+    /// Activation queue traffic.
+    pub queue_nj: f64,
+    /// Activation SRAM traffic (inputs + output writeback).
+    pub act_sram_nj: f64,
+    /// Leakage over the run's duration.
+    pub leakage_nj: f64,
+    /// Wall-clock of the run in seconds (at the model's clock).
+    pub seconds: f64,
+}
+
+impl EnergyReport {
+    /// Prices a layer's activity with the given PE model.
+    pub fn price(activity: &LayerActivity, pe: &PeModel) -> Self {
+        let (spmat_pj, ptr_pj, arith_pj, reg_pj, fifo_pj, act_pj) = pe.event_energies_pj();
+        let seconds = activity.cycles as f64 / pe.clock_hz;
+        let nj = 1e-3; // pJ → nJ
+        EnergyReport {
+            spmat_nj: activity.spmat_row_reads as f64 * spmat_pj * nj,
+            ptr_nj: activity.ptr_bank_reads as f64 * ptr_pj * nj,
+            arith_nj: activity.macs as f64 * arith_pj * nj,
+            regfile_nj: (activity.dest_reads + activity.dest_writes) as f64 * reg_pj * nj,
+            queue_nj: (activity.queue_pushes + activity.queue_pops) as f64 * fifo_pj * nj,
+            act_sram_nj: (activity.output_writes + activity.input_reads) as f64 * act_pj * nj,
+            leakage_nj: pe.leakage_mw() * activity.num_pes as f64 * seconds * 1e6,
+            seconds,
+        }
+    }
+
+    /// Total energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.spmat_nj
+            + self.ptr_nj
+            + self.arith_nj
+            + self.regfile_nj
+            + self.queue_nj
+            + self.act_sram_nj
+            + self.leakage_nj
+    }
+
+    /// Total energy in microjoules.
+    pub fn total_uj(&self) -> f64 {
+        self.total_nj() / 1e3
+    }
+
+    /// Average power over the run, watts.
+    pub fn average_power_w(&self) -> f64 {
+        if self.seconds == 0.0 {
+            return 0.0;
+        }
+        self.total_nj() * 1e-9 / self.seconds
+    }
+
+    /// `(component, nJ, share)` rows, largest first.
+    pub fn rows(&self) -> Vec<(&'static str, f64, f64)> {
+        let t = self.total_nj();
+        let mut rows = vec![
+            ("SpMat SRAM", self.spmat_nj, self.spmat_nj / t),
+            ("Ptr SRAM", self.ptr_nj, self.ptr_nj / t),
+            ("Arithmetic", self.arith_nj, self.arith_nj / t),
+            ("Act regfile", self.regfile_nj, self.regfile_nj / t),
+            ("Act queue", self.queue_nj, self.queue_nj / t),
+            ("Act SRAM", self.act_sram_nj, self.act_sram_nj / t),
+            ("Leakage", self.leakage_nj, self.leakage_nj / t),
+        ];
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        rows
+    }
+}
+
+impl fmt::Display for EnergyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} µJ over {:.2} µs ({:.3} W avg)",
+            self.total_uj(),
+            self.seconds * 1e6,
+            self.average_power_w()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Steady-state activity for one PE over `cycles` cycles at the
+    /// paper's operating point (1 MAC/cycle, SRAM row per 8 MACs).
+    fn steady_activity(cycles: u64, pes: u64) -> LayerActivity {
+        let macs = cycles * pes;
+        LayerActivity {
+            cycles,
+            num_pes: pes as usize,
+            spmat_row_reads: macs / 8,
+            ptr_bank_reads: macs / 8 * 2,
+            macs,
+            dest_reads: macs,
+            dest_writes: macs,
+            queue_pushes: macs / 8,
+            queue_pops: macs / 8,
+            output_writes: 0,
+            input_reads: 0,
+        }
+    }
+
+    #[test]
+    fn steady_state_power_matches_pe_model() {
+        // Pricing full-utilization activity must land near Table II's
+        // 9.157 mW per PE (the PeModel figure uses 87.5% utilization, so
+        // compare at that scale).
+        let act = steady_activity(1_000_000, 1);
+        let report = EnergyReport::price(&act, &PeModel::paper());
+        let full_util_mw = report.average_power_w() * 1000.0;
+        let expected = 9.157 / 0.875; // Table II at 100% utilization
+        assert!(
+            (full_util_mw - expected).abs() / expected < 0.12,
+            "power {full_util_mw} mW vs {expected}"
+        );
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_work() {
+        let pe = PeModel::paper();
+        let small = EnergyReport::price(&steady_activity(1000, 4), &pe);
+        let large = EnergyReport::price(&steady_activity(10_000, 4), &pe);
+        let ratio = large.total_nj() / small.total_nj();
+        assert!((ratio - 10.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn sram_dominates_energy() {
+        // The core claim of the paper (§I): memory access dominates.
+        let report = EnergyReport::price(&steady_activity(100_000, 64), &PeModel::paper());
+        let mem = report.spmat_nj + report.ptr_nj;
+        assert!(mem / report.total_nj() > 0.5, "memory share too low");
+    }
+
+    #[test]
+    fn rows_sorted_and_sum_to_total() {
+        let report = EnergyReport::price(&steady_activity(5000, 2), &PeModel::paper());
+        let rows = report.rows();
+        for w in rows.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        let sum: f64 = rows.iter().map(|r| r.1).sum();
+        assert!((sum - report.total_nj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_activity_costs_nothing_but_leakage() {
+        let act = LayerActivity {
+            cycles: 1000,
+            num_pes: 1,
+            ..LayerActivity::default()
+        };
+        let report = EnergyReport::price(&act, &PeModel::paper());
+        assert_eq!(report.arith_nj, 0.0);
+        assert!(report.leakage_nj > 0.0);
+        assert_eq!(report.total_nj(), report.leakage_nj);
+    }
+}

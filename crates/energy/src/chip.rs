@@ -1,0 +1,121 @@
+//! Chip-level aggregation: the PE array plus the LNZD network.
+//!
+//! §VI: "Each group of 4 PEs needs a LNZD unit for nonzero detection. A
+//! total of 21 LNZD units are needed for 64 PEs (16+4+1 = 21).
+//! Synthesized result shows that one LNZD unit takes only 0.023 mW and an
+//! area of 189 µm², less than 0.3% of a PE."
+
+use std::fmt;
+
+use crate::PeModel;
+
+/// One LNZD node's power, mW (paper §VI).
+pub const LNZD_UNIT_POWER_MW: f64 = 0.023;
+/// One LNZD node's area, µm² (paper §VI).
+pub const LNZD_UNIT_AREA_UM2: f64 = 189.0;
+
+/// A whole accelerator: `num_pes` PEs plus their LNZD quadtree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipModel {
+    /// The PE physical model.
+    pub pe: PeModel,
+    /// Number of processing elements.
+    pub num_pes: usize,
+}
+
+impl ChipModel {
+    /// The paper's 64-PE chip.
+    pub fn paper_64pe() -> Self {
+        Self {
+            pe: PeModel::paper(),
+            num_pes: 64,
+        }
+    }
+
+    /// LNZD nodes for this PE count (fan-in 4 quadtree; 21 for 64 PEs).
+    pub fn lnzd_nodes(&self) -> usize {
+        let mut nodes = 0usize;
+        let mut width = self.num_pes;
+        while width > 1 {
+            width = width.div_ceil(4);
+            nodes += width;
+        }
+        nodes
+    }
+
+    /// Total chip area, mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.num_pes as f64 * self.pe.area().total_mm2()
+            + self.lnzd_nodes() as f64 * LNZD_UNIT_AREA_UM2 / 1e6
+    }
+
+    /// Total chip power at the steady-state operating point, W.
+    pub fn power_w(&self) -> f64 {
+        (self.num_pes as f64 * self.pe.steady_state_power().total_mw()
+            + self.lnzd_nodes() as f64 * LNZD_UNIT_POWER_MW)
+            / 1e3
+    }
+
+    /// Peak throughput in GOP/s (2 ops per MAC, one MAC per PE per cycle)
+    /// — the paper's "102 GOP/s" for 64 PEs at 800 MHz.
+    pub fn peak_gops(&self) -> f64 {
+        2.0 * self.num_pes as f64 * self.pe.clock_hz / 1e9
+    }
+
+    /// Maximum compressed weights on chip (128 KB of 8-bit entries per
+    /// PE), and the equivalent dense parameter count at ~10× pruning —
+    /// the "84M parameters" of Table V for 64 PEs.
+    pub fn max_dense_params(&self) -> f64 {
+        self.num_pes as f64 * 131_072.0 * 10.0
+    }
+}
+
+impl fmt::Display for ChipModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Chip[{} PEs + {} LNZD]: {:.1} mm², {:.3} W, {:.1} GOP/s peak",
+            self.num_pes,
+            self.lnzd_nodes(),
+            self.area_mm2(),
+            self.power_w(),
+            self.peak_gops()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_chip_matches_headline_numbers() {
+        let chip = ChipModel::paper_64pe();
+        assert_eq!(chip.lnzd_nodes(), 21);
+        assert!((chip.area_mm2() - 40.8).abs() / 40.8 < 0.10, "{}", chip.area_mm2());
+        assert!((chip.power_w() - 0.59).abs() / 0.59 < 0.10, "{}", chip.power_w());
+        assert!((chip.peak_gops() - 102.4).abs() < 0.1);
+        assert!((chip.max_dense_params() - 84e6).abs() / 84e6 < 0.01);
+    }
+
+    #[test]
+    fn lnzd_is_negligible() {
+        let chip = ChipModel::paper_64pe();
+        let lnzd_area = chip.lnzd_nodes() as f64 * LNZD_UNIT_AREA_UM2 / 1e6;
+        let pe_area = chip.pe.area().total_mm2();
+        // Paper: one unit is < 0.3% of a PE.
+        assert!(LNZD_UNIT_AREA_UM2 / (pe_area * 1e6) < 0.003);
+        assert!(lnzd_area / chip.area_mm2() < 0.001);
+    }
+
+    #[test]
+    fn scaling_to_256_pes() {
+        let chip = ChipModel {
+            pe: PeModel::paper(),
+            num_pes: 256,
+        };
+        assert_eq!(chip.lnzd_nodes(), 85); // 64 + 16 + 4 + 1
+        assert!((chip.max_dense_params() - 336e6).abs() / 336e6 < 0.01);
+        assert!(chip.peak_gops() > 400.0);
+    }
+}

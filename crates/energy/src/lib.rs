@@ -1,0 +1,48 @@
+//! Energy, area and power models for the EIE reproduction.
+//!
+//! The paper derives its energy results from synthesized RTL (Synopsys DC
+//! under TSMC 45 nm), CACTI SRAM models and PrimeTime power analysis.
+//! None of those tools are available offline, so this crate substitutes
+//! **analytical models calibrated to the paper's own published anchors**
+//! (see `DESIGN.md` §3):
+//!
+//! * [`tech`] — the 45 nm operation-energy table (paper Table I) and the
+//!   precision-dependent multiplier energies of Fig. 10,
+//! * [`SramModel`] — a CACTI-style SRAM read-energy/area model (width and
+//!   capacity scaling) driving the Fig. 9 width sweep,
+//! * [`PeModel`] — the per-PE area/power breakdown of Table II,
+//! * [`LayerActivity`] / [`EnergyReport`] — activity-based energy from the
+//!   cycle simulator's counters (Fig. 7, Table V),
+//! * [`platform`] — the comparison platforms of Table IV/V with roofline
+//!   time models for the GPU-class baselines,
+//! * [`scaling`] — 45 nm → 28 nm technology scaling for Table V's
+//!   projected 256-PE column.
+//!
+//! # Example
+//!
+//! ```
+//! use eie_energy::{SramModel, tech};
+//!
+//! // The paper picks a 64-bit Spmat SRAM interface because total energy
+//! // (energy/read × reads) is minimized there (Fig. 9).
+//! let e64 = SramModel::spmat(64).read_energy_pj();
+//! let e512 = SramModel::spmat(512).read_energy_pj();
+//! assert!(e64 < e512);
+//! assert!(tech::DRAM_ACCESS_32B_PJ / tech::SRAM_ACCESS_32B_PJ > 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activity;
+mod chip;
+mod pe_model;
+pub mod platform;
+pub mod scaling;
+mod sram;
+pub mod tech;
+
+pub use activity::{EnergyReport, LayerActivity};
+pub use chip::{ChipModel, LNZD_UNIT_AREA_UM2, LNZD_UNIT_POWER_MW};
+pub use pe_model::{PeArea, PeModel, PePower};
+pub use sram::SramModel;

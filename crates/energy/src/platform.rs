@@ -1,0 +1,365 @@
+//! The comparison platforms of Tables IV and V.
+//!
+//! The paper benchmarks EIE against a Core i7-5930k (MKL), a GeForce
+//! Titan X and a Tegra K1 (cuBLAS/cuSPARSE), plus published numbers for
+//! A-Eye (FPGA), DaDianNao and TrueNorth (ASICs). None of that hardware is
+//! available offline, so (per `DESIGN.md` §3) the GPU-class platforms are
+//! modelled with **bandwidth/compute rooflines** — batch-1 M×V is
+//! memory-bound, which is the paper's own explanation of the measurements
+//! (§II, §VIII) — with per-platform efficiency factors calibrated once on
+//! the AlexNet-FC7 row of Table IV and then applied unchanged to all nine
+//! benchmarks. The ASIC comparators keep their published spec numbers,
+//! exactly as the paper cites them.
+
+use std::fmt;
+
+/// The kind of device a platform is (Table V "Platform Type" row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlatformKind {
+    /// General-purpose CPU.
+    Cpu,
+    /// Desktop GPU.
+    Gpu,
+    /// Mobile GPU.
+    MobileGpu,
+    /// FPGA accelerator.
+    Fpga,
+    /// Fixed-function ASIC.
+    Asic,
+}
+
+impl fmt::Display for PlatformKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PlatformKind::Cpu => "CPU",
+            PlatformKind::Gpu => "GPU",
+            PlatformKind::MobileGpu => "mGPU",
+            PlatformKind::Fpga => "FPGA",
+            PlatformKind::Asic => "ASIC",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A roofline execution model for a memory-bandwidth-limited device.
+///
+/// Batch-1 M×V streams the whole weight matrix once, so
+/// `time = bytes / (bandwidth × efficiency)`; batched execution reuses
+/// weights and is modelled by an effective GEMM/SpMM throughput. The
+/// efficiency constants are calibrated on Table IV's FC7 row (see module
+/// docs) — the model is then *predictive* for the other eight benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roofline {
+    /// Peak memory bandwidth, GB/s.
+    pub mem_bw_gbs: f64,
+    /// Achieved fraction of peak bandwidth for dense GEMV.
+    pub dense_bw_eff: f64,
+    /// Achieved fraction of peak bandwidth for CSR SpMV.
+    pub sparse_bw_eff: f64,
+    /// Effective dense GEMM throughput at batch 64, GFLOP/s.
+    pub gemm_gflops: f64,
+    /// Effective sparse (CSRMM) throughput at batch 64, GFLOP/s.
+    pub spmm_gflops: f64,
+    /// Fixed kernel-launch overhead per M×V call, µs.
+    pub launch_overhead_us: f64,
+}
+
+impl Roofline {
+    /// Per-frame time of a dense `rows × cols` M×V at the given batch
+    /// size, µs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn dense_time_us(&self, rows: usize, cols: usize, batch: usize) -> f64 {
+        assert!(batch > 0, "batch must be non-zero");
+        let weight_bytes = (rows * cols * 4) as f64;
+        let mem_us = weight_bytes / (self.mem_bw_gbs * self.dense_bw_eff) / 1e3;
+        let flops = 2.0 * (rows * cols) as f64 * batch as f64;
+        let compute_us = flops / self.gemm_gflops / 1e3;
+        (mem_us.max(compute_us) + self.launch_overhead_us) / batch as f64
+    }
+
+    /// Per-frame time of a CSR sparse M×V (`density` non-zeros) at the
+    /// given batch size, µs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn sparse_time_us(&self, rows: usize, cols: usize, density: f64, batch: usize) -> f64 {
+        assert!(batch > 0, "batch must be non-zero");
+        let nnz = (rows * cols) as f64 * density;
+        // CSR: 4-byte value + 4-byte column index per nnz + row pointers.
+        let bytes = nnz * 8.0 + (rows as f64 + 1.0) * 4.0;
+        let mem_us = bytes / (self.mem_bw_gbs * self.sparse_bw_eff) / 1e3;
+        // Batch-1 CSRMV is bandwidth-bound on every platform here (§II);
+        // the effective-CSRMM throughput constant models multi-vector
+        // scheduling inefficiency and only binds for batch > 1.
+        let compute_us = if batch > 1 {
+            2.0 * nnz * batch as f64 / self.spmm_gflops / 1e3
+        } else {
+            0.0
+        };
+        (mem_us.max(compute_us) + self.launch_overhead_us) / batch as f64
+    }
+}
+
+/// A row of Table V: published specs plus (for the GPU-class devices) a
+/// calibrated roofline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Platform {
+    /// Display name.
+    pub name: &'static str,
+    /// Device class.
+    pub kind: PlatformKind,
+    /// Release year.
+    pub year: u32,
+    /// Process node, nm (`None` = not applicable/published).
+    pub tech_nm: Option<u32>,
+    /// Clock, MHz (`None` for asynchronous TrueNorth).
+    pub clock_mhz: Option<f64>,
+    /// Memory type string of Table V.
+    pub memory: &'static str,
+    /// Max DNN model size (#params) string of Table V.
+    pub max_model_params: &'static str,
+    /// Quantization strategy string of Table V.
+    pub quantization: &'static str,
+    /// Die/chip area, mm².
+    pub area_mm2: Option<f64>,
+    /// Power, W (measured for the silicon platforms).
+    pub power_w: f64,
+    /// Published AlexNet-FC7 M×V throughput, frames/s (comparator
+    /// platforms only; EIE's own throughput comes from the simulator).
+    pub reported_fc7_fps: Option<f64>,
+    /// Execution model, for the platforms we predict times for.
+    pub roofline: Option<Roofline>,
+}
+
+impl Platform {
+    /// Intel Core i7-5930K (Haswell-E), the paper's CPU baseline.
+    ///
+    /// Roofline calibrated to the MKL rows of Table IV (FC7: dense
+    /// 6187 µs, sparse 1282 µs at batch 1).
+    pub fn core_i7() -> Self {
+        Self {
+            name: "Core i7-5930K",
+            kind: PlatformKind::Cpu,
+            year: 2014,
+            tech_nm: Some(22),
+            clock_mhz: Some(3500.0),
+            memory: "DRAM",
+            max_model_params: "<16G",
+            quantization: "32-bit float",
+            area_mm2: Some(356.0),
+            power_w: 73.0,
+            reported_fc7_fps: None,
+            roofline: Some(Roofline {
+                mem_bw_gbs: 68.0,
+                dense_bw_eff: 0.16,
+                sparse_bw_eff: 0.138,
+                gemm_gflops: 177.0,
+                spmm_gflops: 4.4,
+                launch_overhead_us: 0.0,
+            }),
+        }
+    }
+
+    /// NVIDIA GeForce GTX Titan X, the paper's GPU baseline.
+    pub fn titan_x() -> Self {
+        Self {
+            name: "GeForce Titan X",
+            kind: PlatformKind::Gpu,
+            year: 2015,
+            tech_nm: Some(28),
+            clock_mhz: Some(1075.0),
+            memory: "DRAM",
+            max_model_params: "<3G",
+            quantization: "32-bit float",
+            area_mm2: Some(601.0),
+            power_w: 159.0,
+            reported_fc7_fps: None,
+            roofline: Some(Roofline {
+                mem_bw_gbs: 336.0,
+                dense_bw_eff: 0.82,
+                sparse_bw_eff: 0.55,
+                gemm_gflops: 3770.0,
+                spmm_gflops: 58.7,
+                launch_overhead_us: 5.0,
+            }),
+        }
+    }
+
+    /// NVIDIA Tegra K1, the paper's mobile-GPU baseline.
+    pub fn tegra_k1() -> Self {
+        Self {
+            name: "Tegra K1",
+            kind: PlatformKind::MobileGpu,
+            year: 2014,
+            tech_nm: Some(28),
+            clock_mhz: Some(852.0),
+            memory: "DRAM",
+            max_model_params: "<500M",
+            quantization: "32-bit float",
+            area_mm2: None,
+            power_w: 5.1,
+            reported_fc7_fps: None,
+            roofline: Some(Roofline {
+                mem_bw_gbs: 14.9,
+                dense_bw_eff: 0.78,
+                sparse_bw_eff: 0.645,
+                gemm_gflops: 16.3,
+                spmm_gflops: 2.2,
+                launch_overhead_us: 20.0,
+            }),
+        }
+    }
+
+    /// A-Eye, the FPGA comparator (Qiu et al., FPGA'16).
+    pub fn a_eye() -> Self {
+        Self {
+            name: "A-Eye",
+            kind: PlatformKind::Fpga,
+            year: 2015,
+            tech_nm: Some(28),
+            clock_mhz: Some(150.0),
+            memory: "DRAM",
+            max_model_params: "<500M",
+            quantization: "16-bit fixed",
+            area_mm2: None,
+            power_w: 9.63,
+            reported_fc7_fps: Some(33.0),
+            roofline: None,
+        }
+    }
+
+    /// DaDianNao, the eDRAM ASIC comparator (Chen et al., MICRO'14).
+    ///
+    /// The paper estimates its M×V throughput from peak eDRAM bandwidth
+    /// (16 tiles × 4 banks × 1024 b / 606 MHz ≈ 4964 GB/s) because M×V is
+    /// completely memory bound; [`Platform::dadiannao_fc7_fps`] reproduces
+    /// that estimate.
+    pub fn dadiannao() -> Self {
+        Self {
+            name: "DaDianNao",
+            kind: PlatformKind::Asic,
+            year: 2014,
+            tech_nm: Some(28),
+            clock_mhz: Some(606.0),
+            memory: "eDRAM",
+            max_model_params: "18M",
+            quantization: "16-bit fixed",
+            area_mm2: Some(67.7),
+            power_w: 15.97,
+            reported_fc7_fps: Some(147_938.0),
+            roofline: None,
+        }
+    }
+
+    /// TrueNorth, the neuromorphic ASIC comparator (Esser et al., 2016).
+    pub fn truenorth() -> Self {
+        Self {
+            name: "TrueNorth",
+            kind: PlatformKind::Asic,
+            year: 2014,
+            tech_nm: Some(28),
+            clock_mhz: None,
+            memory: "SRAM",
+            max_model_params: "256M",
+            quantization: "1-bit fixed",
+            area_mm2: Some(430.0),
+            power_w: 0.18,
+            reported_fc7_fps: Some(1_989.0),
+            roofline: None,
+        }
+    }
+
+    /// The paper's bandwidth-bound throughput estimate for DaDianNao on a
+    /// 16-bit dense `rows × cols` layer, frames/s.
+    pub fn dadiannao_fc7_fps(rows: usize, cols: usize) -> f64 {
+        let bw_gbs = 16.0 * 4.0 * (1024.0 / 8.0) * 606e6 / 1e9; // ≈ 4964 GB/s
+        let bytes = (rows * cols * 2) as f64;
+        bw_gbs * 1e9 / bytes
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FC7: (usize, usize, f64) = (4096, 4096, 0.09);
+
+    #[test]
+    fn titan_x_calibration_reproduces_fc7_row() {
+        let g = Platform::titan_x().roofline.unwrap();
+        let (r, c, d) = FC7;
+        // Table IV: dense 243.0, sparse 65.8, dense64 8.9, sparse64 51.5.
+        assert!((g.dense_time_us(r, c, 1) - 243.0).abs() / 243.0 < 0.05);
+        assert!((g.sparse_time_us(r, c, d, 1) - 65.8).abs() / 65.8 < 0.10);
+        assert!((g.dense_time_us(r, c, 64) - 8.9).abs() / 8.9 < 0.10);
+        assert!((g.sparse_time_us(r, c, d, 64) - 51.5).abs() / 51.5 < 0.10);
+    }
+
+    #[test]
+    fn tegra_k1_calibration_reproduces_fc7_row() {
+        let g = Platform::tegra_k1().roofline.unwrap();
+        let (r, c, d) = FC7;
+        // Table IV: dense 5765.0, sparse 1256.5.
+        assert!((g.dense_time_us(r, c, 1) - 5765.0).abs() / 5765.0 < 0.05);
+        assert!((g.sparse_time_us(r, c, d, 1) - 1256.5).abs() / 1256.5 < 0.10);
+    }
+
+    #[test]
+    fn core_i7_calibration_reproduces_fc7_row() {
+        let g = Platform::core_i7().roofline.unwrap();
+        let (r, c, d) = FC7;
+        // Table IV: dense 6187.1, sparse 1282.1.
+        assert!((g.dense_time_us(r, c, 1) - 6187.1).abs() / 6187.1 < 0.05);
+        assert!((g.sparse_time_us(r, c, d, 1) - 1282.1).abs() / 1282.1 < 0.10);
+    }
+
+    #[test]
+    fn calibrated_model_predicts_other_benchmarks() {
+        // FC6 (9216→4096) was NOT used for calibration. Table IV: Titan X
+        // dense 541.5 µs — a pure bandwidth prediction should land within
+        // ~15%.
+        let g = Platform::titan_x().roofline.unwrap();
+        let t = g.dense_time_us(4096, 9216, 1);
+        assert!((t - 541.5).abs() / 541.5 < 0.15, "predicted {t}");
+    }
+
+    #[test]
+    fn sparse_beats_dense_at_batch_1_but_not_at_64() {
+        // The paper's central CPU/GPU observation (Table IV).
+        for p in [Platform::core_i7(), Platform::titan_x()] {
+            let g = p.roofline.unwrap();
+            let (r, c, d) = FC7;
+            assert!(g.sparse_time_us(r, c, d, 1) < g.dense_time_us(r, c, 1));
+            assert!(g.sparse_time_us(r, c, d, 64) > g.dense_time_us(r, c, 64));
+        }
+    }
+
+    #[test]
+    fn dadiannao_estimate_matches_table_v() {
+        let fps = Platform::dadiannao_fc7_fps(4096, 4096);
+        assert!(
+            (fps - 147_938.0).abs() / 147_938.0 < 0.02,
+            "DaDianNao fps {fps}"
+        );
+    }
+
+    #[test]
+    fn spec_rows_match_table_v() {
+        assert_eq!(Platform::core_i7().power_w, 73.0);
+        assert_eq!(Platform::titan_x().area_mm2, Some(601.0));
+        assert_eq!(Platform::tegra_k1().power_w, 5.1);
+        assert_eq!(Platform::dadiannao().power_w, 15.97);
+        assert_eq!(Platform::truenorth().reported_fc7_fps, Some(1_989.0));
+        assert_eq!(Platform::a_eye().reported_fc7_fps, Some(33.0));
+    }
+}

@@ -1,0 +1,98 @@
+//! Technology scaling: projecting the 45 nm design to 28 nm.
+//!
+//! Table V's right-most column projects a 256-PE EIE onto the 28 nm node
+//! the comparator ASICs use. The paper's projection implies the classic
+//! first-order scaling factors used here: clock 800 → 1200 MHz (1.5×),
+//! linear dimension 28/45 (area ×0.387), and energy/op ×2/3 (so
+//! 0.59 W × 4 (PEs) × 1.5 (clock) × 0.667 ≈ 2.36 W, the Table V value).
+
+/// First-order scaling factors between two process nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechScale {
+    /// Source node, nm.
+    pub from_nm: f64,
+    /// Target node, nm.
+    pub to_nm: f64,
+    /// Clock frequency multiplier.
+    pub freq_factor: f64,
+    /// Energy-per-operation multiplier.
+    pub energy_factor: f64,
+}
+
+impl TechScale {
+    /// The paper's 45 nm → 28 nm projection.
+    pub fn paper_45_to_28() -> Self {
+        Self {
+            from_nm: 45.0,
+            to_nm: 28.0,
+            freq_factor: 1.5,
+            energy_factor: 2.0 / 3.0,
+        }
+    }
+
+    /// Area multiplier: `(to/from)²`.
+    pub fn area_factor(&self) -> f64 {
+        (self.to_nm / self.from_nm).powi(2)
+    }
+
+    /// Projects an area in mm².
+    pub fn project_area_mm2(&self, area_mm2: f64) -> f64 {
+        area_mm2 * self.area_factor()
+    }
+
+    /// Projects a clock in Hz.
+    pub fn project_clock_hz(&self, clock_hz: f64) -> f64 {
+        clock_hz * self.freq_factor
+    }
+
+    /// Projects power: `P' = P × freq_factor × energy_factor` for the same
+    /// activity per cycle.
+    pub fn project_power_w(&self, power_w: f64) -> f64 {
+        power_w * self.freq_factor * self.energy_factor
+    }
+
+    /// Projects a throughput that is clock-limited.
+    pub fn project_throughput(&self, per_second: f64) -> f64 {
+        per_second * self.freq_factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_projection_matches_table_v() {
+        let s = TechScale::paper_45_to_28();
+        assert_eq!(s.project_clock_hz(800e6), 1200e6);
+    }
+
+    #[test]
+    fn area_projection_matches_table_v() {
+        // 256 PEs at 45 nm would be 4 × 40.8 = 163.2 mm²; at 28 nm Table V
+        // reports 63.8 mm².
+        let s = TechScale::paper_45_to_28();
+        let projected = s.project_area_mm2(4.0 * 40.8);
+        assert!(
+            (projected - 63.8).abs() / 63.8 < 0.02,
+            "projected area {projected}"
+        );
+    }
+
+    #[test]
+    fn power_projection_matches_table_v() {
+        // 0.59 W (64 PEs, 800 MHz) → 256 PEs at 1200 MHz / 28 nm: 2.36 W.
+        let s = TechScale::paper_45_to_28();
+        let projected = s.project_power_w(0.59 * 4.0);
+        assert!(
+            (projected - 2.36).abs() / 2.36 < 0.02,
+            "projected power {projected}"
+        );
+    }
+
+    #[test]
+    fn throughput_scales_with_clock() {
+        let s = TechScale::paper_45_to_28();
+        assert_eq!(s.project_throughput(100.0), 150.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! The 45 nm CMOS operation-energy table (paper Table I) and
+//! precision-dependent arithmetic energies (paper Fig. 10).
+//!
+//! Table I is reproduced verbatim from the paper (originally from
+//! Horowitz's 45 nm energy numbers); the narrower-precision multiplier
+//! energies follow the ratios the paper reports in §VI-C: "16-bit
+//! fixed-point multiplication consumes 5× less energy than 32-bit
+//! fixed-point and 6.2× less energy than 32-bit floating-point".
+
+use eie_fixed::Precision;
+
+/// 32-bit integer add: 0.1 pJ (Table I, relative cost 1).
+pub const INT_ADD_32_PJ: f64 = 0.1;
+/// 32-bit float add: 0.9 pJ (Table I, relative cost 9).
+pub const FLOAT_ADD_32_PJ: f64 = 0.9;
+/// 32-bit integer multiply: 3.1 pJ (Table I, relative cost 31).
+pub const INT_MULT_32_PJ: f64 = 3.1;
+/// 32-bit float multiply: 3.7 pJ (Table I, relative cost 37).
+pub const FLOAT_MULT_32_PJ: f64 = 3.7;
+/// 32-bit read from a 32 KB SRAM: 5 pJ (Table I, relative cost 50).
+pub const SRAM_ACCESS_32B_PJ: f64 = 5.0;
+/// 32-bit DRAM access: 640 pJ (Table I, relative cost 6400).
+pub const DRAM_ACCESS_32B_PJ: f64 = 640.0;
+
+/// One row of Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyRow {
+    /// Operation name as printed in the paper.
+    pub operation: &'static str,
+    /// Energy in picojoules.
+    pub energy_pj: f64,
+}
+
+/// The full Table I, in the paper's row order.
+pub const TABLE_I: [EnergyRow; 6] = [
+    EnergyRow {
+        operation: "32 bit int ADD",
+        energy_pj: INT_ADD_32_PJ,
+    },
+    EnergyRow {
+        operation: "32 bit float ADD",
+        energy_pj: FLOAT_ADD_32_PJ,
+    },
+    EnergyRow {
+        operation: "32 bit int MULT",
+        energy_pj: INT_MULT_32_PJ,
+    },
+    EnergyRow {
+        operation: "32 bit float MULT",
+        energy_pj: FLOAT_MULT_32_PJ,
+    },
+    EnergyRow {
+        operation: "32 bit 32KB SRAM",
+        energy_pj: SRAM_ACCESS_32B_PJ,
+    },
+    EnergyRow {
+        operation: "32 bit DRAM",
+        energy_pj: DRAM_ACCESS_32B_PJ,
+    },
+];
+
+/// The relative cost column of Table I (32-bit int ADD = 1).
+pub fn relative_cost(row: &EnergyRow) -> f64 {
+    row.energy_pj / INT_ADD_32_PJ
+}
+
+/// Multiplier energy at a given datapath precision (paper Fig. 10).
+///
+/// Fixed-point multiplier energy scales ~quadratically with operand
+/// width; the 16-bit value is anchored to the paper's "5× less than
+/// 32-bit fixed point".
+pub fn mult_energy_pj(p: Precision) -> f64 {
+    match p {
+        Precision::Float32 => FLOAT_MULT_32_PJ,
+        Precision::Fixed32 => INT_MULT_32_PJ,
+        Precision::Fixed16 => INT_MULT_32_PJ / 5.0,
+        Precision::Fixed8 => INT_MULT_32_PJ / 20.0,
+    }
+}
+
+/// Adder energy at a given precision (linear width scaling for fixed
+/// point, Table I for the 32-bit entries).
+pub fn add_energy_pj(p: Precision) -> f64 {
+    match p {
+        Precision::Float32 => FLOAT_ADD_32_PJ,
+        Precision::Fixed32 => INT_ADD_32_PJ,
+        Precision::Fixed16 => INT_ADD_32_PJ / 2.0,
+        Precision::Fixed8 => INT_ADD_32_PJ / 4.0,
+    }
+}
+
+/// The DRAM-to-SRAM energy ratio the paper rounds to "128×" per access
+/// (and which, combined with weight fitting on-chip, yields the quoted
+/// "120× energy saving" of going from DRAM to SRAM).
+pub fn dram_sram_ratio() -> f64 {
+    DRAM_ACCESS_32B_PJ / SRAM_ACCESS_32B_PJ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper_values() {
+        assert_eq!(TABLE_I.len(), 6);
+        assert_eq!(TABLE_I[0].energy_pj, 0.1);
+        assert_eq!(TABLE_I[5].energy_pj, 640.0);
+    }
+
+    #[test]
+    fn relative_costs_match_paper_column() {
+        let rel: Vec<f64> = TABLE_I.iter().map(relative_cost).collect();
+        assert_eq!(rel, vec![1.0, 9.0, 31.0, 37.0, 50.0, 6400.0]);
+    }
+
+    #[test]
+    fn dram_is_128x_sram() {
+        assert_eq!(dram_sram_ratio(), 128.0);
+    }
+
+    #[test]
+    fn mult_energy_ratios_match_section_vi_c() {
+        let e16 = mult_energy_pj(Precision::Fixed16);
+        assert!((mult_energy_pj(Precision::Fixed32) / e16 - 5.0).abs() < 1e-9);
+        let float_ratio = mult_energy_pj(Precision::Float32) / e16;
+        assert!(
+            (float_ratio - 6.2).abs() < 0.3,
+            "float/16b ratio {float_ratio} should be ≈6.2"
+        );
+    }
+
+    #[test]
+    fn energies_decrease_with_precision() {
+        let mut last = f64::MAX;
+        for p in [Precision::Fixed32, Precision::Fixed16, Precision::Fixed8] {
+            assert!(mult_energy_pj(p) < last);
+            last = mult_energy_pj(p);
+        }
+        assert!(add_energy_pj(Precision::Fixed8) < add_energy_pj(Precision::Fixed16));
+    }
+}

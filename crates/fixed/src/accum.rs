@@ -1,0 +1,153 @@
+//! The 32-bit multiply-accumulate register of the arithmetic unit.
+
+use std::fmt;
+
+use crate::Fix16;
+
+/// A 32-bit saturating accumulator, as found in EIE's arithmetic unit.
+///
+/// The PE performs `b_x = b_x + v × a_j` (paper §IV, "Arithmetic Unit"):
+/// the 16×16-bit product is accumulated at full precision into a 32-bit
+/// destination-activation register. When two `Fix16<FRAC>` values are
+/// multiplied the product carries `2*FRAC` fractional bits, so the
+/// accumulator holds raw values in that extended format; [`to_fix16`]
+/// performs the hardware's *shift-and-add* stage (round, shift by `FRAC`,
+/// saturate) to produce the 16-bit output activation.
+///
+/// Accumulation saturates instead of wrapping, modelling clamping adders.
+///
+/// # Example
+///
+/// ```
+/// use eie_fixed::{Accum32, Q8p8, Fix16};
+///
+/// let mut acc = Accum32::zero();
+/// acc.mac(Q8p8::from_f32(1.5), Q8p8::from_f32(2.0));
+/// acc.mac(Q8p8::from_f32(-0.5), Q8p8::from_f32(1.0));
+/// assert_eq!(acc.to_fix16::<8>().to_f32(), 2.5);
+/// ```
+///
+/// [`to_fix16`]: Accum32::to_fix16
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Accum32(i32);
+
+impl Accum32 {
+    /// A zeroed accumulator (accumulators are cleared before each layer).
+    pub const fn zero() -> Self {
+        Self(0)
+    }
+
+    /// Creates an accumulator holding a raw extended-format value.
+    pub const fn from_raw(raw: i32) -> Self {
+        Self(raw)
+    }
+
+    /// The raw accumulator contents (fractional bits = `2*FRAC` of the
+    /// operands that were multiplied in).
+    pub const fn raw(self) -> i32 {
+        self.0
+    }
+
+    /// Multiply-accumulate: `self += w * a`, saturating on overflow.
+    pub fn mac<const FRAC: u32>(&mut self, w: Fix16<FRAC>, a: Fix16<FRAC>) {
+        self.0 = self.0.saturating_add(w.widening_mul_raw(a));
+    }
+
+    /// Adds another accumulator's contents, saturating.
+    pub fn saturating_add(self, rhs: Self) -> Self {
+        Self(self.0.saturating_add(rhs.0))
+    }
+
+    /// The shift-and-saturate writeback stage: rounds away the extra `FRAC`
+    /// fractional bits and clamps into 16-bit range.
+    pub fn to_fix16<const FRAC: u32>(self) -> Fix16<FRAC> {
+        let shifted = crate::format::round_shift_right_i128(self.0 as i128, FRAC);
+        Fix16::from_raw(shifted.clamp(i16::MIN as i128, i16::MAX as i128) as i16)
+    }
+
+    /// Converts to `f32`, interpreting the raw value with `2*FRAC`
+    /// fractional bits.
+    pub fn to_f32<const FRAC: u32>(self) -> f32 {
+        self.0 as f32 / (1i64 << (2 * FRAC)) as f32
+    }
+
+    /// True if the accumulator is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Accum32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Accum32({:#010x})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Q8p8;
+
+    #[test]
+    fn mac_accumulates_exactly() {
+        let mut acc = Accum32::zero();
+        for _ in 0..4 {
+            acc.mac(Q8p8::from_f32(0.25), Q8p8::from_f32(0.25));
+        }
+        assert_eq!(acc.to_f32::<8>(), 0.25);
+        assert_eq!(acc.to_fix16::<8>().to_f32(), 0.25);
+    }
+
+    #[test]
+    fn mac_mixed_signs() {
+        let mut acc = Accum32::zero();
+        acc.mac(Q8p8::from_f32(3.0), Q8p8::from_f32(2.0));
+        acc.mac(Q8p8::from_f32(-1.5), Q8p8::from_f32(4.0));
+        assert_eq!(acc.to_fix16::<8>().to_f32(), 0.0);
+        assert!(acc.is_zero());
+    }
+
+    #[test]
+    fn accumulator_saturates_instead_of_wrapping() {
+        let mut acc = Accum32::from_raw(i32::MAX);
+        acc.mac(Q8p8::MAX, Q8p8::MAX);
+        assert_eq!(acc.raw(), i32::MAX);
+        let mut acc = Accum32::from_raw(i32::MIN);
+        acc.mac(Q8p8::MAX, Q8p8::MIN);
+        assert_eq!(acc.raw(), i32::MIN);
+    }
+
+    #[test]
+    fn writeback_saturates_to_16_bits() {
+        let mut acc = Accum32::zero();
+        // 100 * 100 = 10000 overflows Q8.8's ±128 range.
+        acc.mac(Q8p8::from_f32(100.0), Q8p8::from_f32(100.0));
+        assert_eq!(acc.to_fix16::<8>(), Q8p8::MAX);
+        let mut acc = Accum32::zero();
+        acc.mac(Q8p8::from_f32(-100.0), Q8p8::from_f32(100.0));
+        assert_eq!(acc.to_fix16::<8>(), Q8p8::MIN);
+    }
+
+    #[test]
+    fn writeback_rounds_to_nearest() {
+        // Raw product format has 16 fractional bits; raw 128 = 0.5 LSB of Q8.8.
+        let acc = Accum32::from_raw(128);
+        assert_eq!(acc.to_fix16::<8>().raw(), 1);
+        let acc = Accum32::from_raw(127);
+        assert_eq!(acc.to_fix16::<8>().raw(), 0);
+        let acc = Accum32::from_raw(-128);
+        assert_eq!(acc.to_fix16::<8>().raw(), -1);
+    }
+
+    #[test]
+    fn saturating_add_combines_accumulators() {
+        let a = Accum32::from_raw(i32::MAX - 5);
+        let b = Accum32::from_raw(100);
+        assert_eq!(a.saturating_add(b).raw(), i32::MAX);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Accum32::zero().to_string().is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! Runtime-format fixed point for the precision design-space study.
+
+use std::fmt;
+
+use crate::QFormat;
+
+/// A fixed-point value whose format is chosen at runtime.
+///
+/// The Fig. 10 experiment sweeps the arithmetic precision of the datapath
+/// (32-bit float, 32/16/8-bit fixed point). The compile-time
+/// [`Fix16`](crate::Fix16) cannot express that sweep, so quantized inference
+/// in the study runs on `DynFix`: a raw value paired with its [`QFormat`].
+///
+/// Operations between values of *different* formats are programming errors
+/// and panic; the study always quantizes an entire network to one format.
+///
+/// # Example
+///
+/// ```
+/// use eie_fixed::{DynFix, QFormat};
+///
+/// let q = QFormat::new(8, 4);
+/// let a = DynFix::from_f64(1.5, q);
+/// let b = DynFix::from_f64(2.0, q);
+/// assert_eq!((a * b).to_f64(), 3.0);
+/// // Saturation at the 8-bit boundary:
+/// let big = DynFix::from_f64(7.5, q);
+/// assert_eq!((big * big).to_f64(), q.max_value());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DynFix {
+    raw: i64,
+    format: QFormat,
+}
+
+impl DynFix {
+    /// Quantizes a real value into `format` (round-to-nearest, saturating).
+    pub fn from_f64(value: f64, format: QFormat) -> Self {
+        Self {
+            raw: format.quantize(value),
+            format,
+        }
+    }
+
+    /// Creates a value from a raw integer, clamping it into range.
+    pub fn from_raw(raw: i64, format: QFormat) -> Self {
+        Self {
+            raw: raw.clamp(format.min_raw(), format.max_raw()),
+            format,
+        }
+    }
+
+    /// Zero in the given format.
+    pub fn zero(format: QFormat) -> Self {
+        Self { raw: 0, format }
+    }
+
+    /// The raw two's-complement representation.
+    pub fn raw(self) -> i64 {
+        self.raw
+    }
+
+    /// The format this value is quantized in.
+    pub fn format(self) -> QFormat {
+        self.format
+    }
+
+    /// The real value.
+    pub fn to_f64(self) -> f64 {
+        self.format.dequantize(self.raw)
+    }
+
+    /// Saturating addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands' formats differ.
+    pub fn saturating_add(self, rhs: Self) -> Self {
+        assert_eq!(self.format, rhs.format, "mixed fixed-point formats");
+        Self {
+            raw: self.format.saturating_add_raw(self.raw, rhs.raw),
+            format: self.format,
+        }
+    }
+
+    /// Saturating multiplication with round-to-nearest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands' formats differ.
+    pub fn saturating_mul(self, rhs: Self) -> Self {
+        assert_eq!(self.format, rhs.format, "mixed fixed-point formats");
+        Self {
+            raw: self.format.saturating_mul_raw(self.raw, rhs.raw),
+            format: self.format,
+        }
+    }
+
+    /// ReLU: `max(self, 0)`.
+    pub fn relu(self) -> Self {
+        Self {
+            raw: self.raw.max(0),
+            format: self.format,
+        }
+    }
+
+    /// True if exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.raw == 0
+    }
+}
+
+impl std::ops::Add for DynFix {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        self.saturating_add(rhs)
+    }
+}
+
+impl std::ops::Mul for DynFix {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl fmt::Display for DynFix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.to_f64(), self.format)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_mul_match_reals_when_exact() {
+        let q = QFormat::new(16, 8);
+        let a = DynFix::from_f64(1.25, q);
+        let b = DynFix::from_f64(-0.75, q);
+        assert_eq!((a + b).to_f64(), 0.5);
+        assert_eq!((a * b).to_f64(), -0.9375);
+    }
+
+    #[test]
+    fn saturates_at_format_bounds() {
+        let q = QFormat::new(8, 0); // plain i8
+        let a = DynFix::from_f64(100.0, q);
+        let b = DynFix::from_f64(100.0, q);
+        assert_eq!((a + b).to_f64(), 127.0);
+        assert_eq!((a * b).to_f64(), 127.0);
+    }
+
+    #[test]
+    fn relu_zeroes_negatives() {
+        let q = QFormat::new(16, 8);
+        assert!(DynFix::from_f64(-5.0, q).relu().is_zero());
+        assert_eq!(DynFix::from_f64(5.0, q).relu().to_f64(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed fixed-point formats")]
+    fn mixed_formats_panic() {
+        let a = DynFix::from_f64(1.0, QFormat::new(16, 8));
+        let b = DynFix::from_f64(1.0, QFormat::new(8, 4));
+        let _ = a + b;
+    }
+
+    #[test]
+    fn from_raw_clamps() {
+        let q = QFormat::new(8, 4);
+        assert_eq!(DynFix::from_raw(1 << 20, q).raw(), q.max_raw());
+        assert_eq!(DynFix::from_raw(-(1 << 20), q).raw(), q.min_raw());
+    }
+
+    #[test]
+    fn coarse_format_loses_precision_gracefully() {
+        let q8 = QFormat::new(8, 4);
+        let q16 = QFormat::new(16, 8);
+        let v = 3.17459;
+        let err8 = (DynFix::from_f64(v, q8).to_f64() - v).abs();
+        let err16 = (DynFix::from_f64(v, q16).to_f64() - v).abs();
+        assert!(err8 <= q8.resolution() / 2.0 + 1e-12);
+        assert!(err16 <= q16.resolution() / 2.0 + 1e-12);
+        assert!(err16 < err8);
+    }
+}

@@ -1,0 +1,270 @@
+//! Runtime Q-format descriptors.
+
+use std::fmt;
+
+/// A runtime description of a signed two's-complement fixed-point format.
+///
+/// A `QFormat` with `total_bits = m` and `frac_bits = n` represents values
+/// `raw / 2^n` where `raw` is an `m`-bit signed integer, i.e. the format
+/// usually written `Qm-n.n` (sign bit included in `m`).
+///
+/// The EIE datapath uses a 16-bit format (paper §VI-C); the Fig. 10
+/// precision sweep also evaluates 32-bit and 8-bit fixed point. `QFormat`
+/// is the runtime-parameterized counterpart of the compile-time [`Fix16`]
+/// type, used where the format is an experiment axis rather than a constant.
+///
+/// # Example
+///
+/// ```
+/// use eie_fixed::QFormat;
+///
+/// let q = QFormat::new(16, 8); // Q8.8
+/// let raw = q.quantize(1.5);
+/// assert_eq!(raw, 384); // 1.5 * 256
+/// assert_eq!(q.dequantize(raw), 1.5);
+/// ```
+///
+/// [`Fix16`]: crate::Fix16
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QFormat {
+    total_bits: u32,
+    frac_bits: u32,
+}
+
+impl QFormat {
+    /// Creates a format with `total_bits` total (including sign) and
+    /// `frac_bits` fractional bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_bits` is 0 or greater than 63, or if
+    /// `frac_bits >= total_bits` (at least the sign bit must remain).
+    pub fn new(total_bits: u32, frac_bits: u32) -> Self {
+        assert!(
+            (1..=63).contains(&total_bits),
+            "total_bits must be in 1..=63, got {total_bits}"
+        );
+        assert!(
+            frac_bits < total_bits,
+            "frac_bits ({frac_bits}) must be < total_bits ({total_bits})"
+        );
+        Self {
+            total_bits,
+            frac_bits,
+        }
+    }
+
+    /// Total number of bits, including the sign bit.
+    pub fn total_bits(self) -> u32 {
+        self.total_bits
+    }
+
+    /// Number of fractional bits.
+    pub fn frac_bits(self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Number of integer bits (excluding sign, excluding fraction).
+    pub fn int_bits(self) -> u32 {
+        self.total_bits - 1 - self.frac_bits
+    }
+
+    /// Largest representable raw value, `2^(total_bits-1) - 1`.
+    pub fn max_raw(self) -> i64 {
+        (1i64 << (self.total_bits - 1)) - 1
+    }
+
+    /// Smallest representable raw value, `-2^(total_bits-1)`.
+    pub fn min_raw(self) -> i64 {
+        -(1i64 << (self.total_bits - 1))
+    }
+
+    /// Largest representable real value.
+    pub fn max_value(self) -> f64 {
+        self.max_raw() as f64 / self.scale()
+    }
+
+    /// Smallest (most negative) representable real value.
+    pub fn min_value(self) -> f64 {
+        self.min_raw() as f64 / self.scale()
+    }
+
+    /// The value of one least-significant bit, `2^-frac_bits`.
+    pub fn resolution(self) -> f64 {
+        1.0 / self.scale()
+    }
+
+    /// The scale factor `2^frac_bits`.
+    pub fn scale(self) -> f64 {
+        (1i64 << self.frac_bits) as f64
+    }
+
+    /// Quantizes a real value to the nearest representable raw integer,
+    /// saturating at the format bounds. NaN maps to 0.
+    pub fn quantize(self, value: f64) -> i64 {
+        if value.is_nan() {
+            return 0;
+        }
+        let scaled = (value * self.scale()).round();
+        if scaled >= self.max_raw() as f64 {
+            self.max_raw()
+        } else if scaled <= self.min_raw() as f64 {
+            self.min_raw()
+        } else {
+            scaled as i64
+        }
+    }
+
+    /// Converts a raw integer back to its real value.
+    ///
+    /// The raw value is first clamped into the format's range, so
+    /// out-of-range inputs dequantize to the saturation bounds.
+    pub fn dequantize(self, raw: i64) -> f64 {
+        raw.clamp(self.min_raw(), self.max_raw()) as f64 / self.scale()
+    }
+
+    /// Quantizes then dequantizes, i.e. the value as the hardware sees it.
+    pub fn round_trip(self, value: f64) -> f64 {
+        self.dequantize(self.quantize(value))
+    }
+
+    /// Saturating add of two raw values in this format.
+    pub fn saturating_add_raw(self, a: i64, b: i64) -> i64 {
+        (a + b).clamp(self.min_raw(), self.max_raw())
+    }
+
+    /// Saturating multiply of two raw values in this format, with
+    /// round-to-nearest on the discarded fractional bits.
+    pub fn saturating_mul_raw(self, a: i64, b: i64) -> i64 {
+        let product = (a as i128) * (b as i128); // 2*frac_bits fractional bits
+        let shifted = round_shift_right_i128(product, self.frac_bits);
+        shifted.clamp(self.min_raw() as i128, self.max_raw() as i128) as i64
+    }
+}
+
+impl fmt::Display for QFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Q{}.{} ({}b)",
+            self.total_bits - self.frac_bits,
+            self.frac_bits,
+            self.total_bits
+        )
+    }
+}
+
+/// Arithmetic shift right with round-to-nearest (ties away from zero).
+pub(crate) fn round_shift_right_i128(value: i128, shift: u32) -> i128 {
+    if shift == 0 {
+        return value;
+    }
+    let half = 1i128 << (shift - 1);
+    if value >= 0 {
+        (value + half) >> shift
+    } else {
+        -((-value + half) >> shift)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q8p8_bounds() {
+        let q = QFormat::new(16, 8);
+        assert_eq!(q.max_raw(), 32767);
+        assert_eq!(q.min_raw(), -32768);
+        assert!((q.max_value() - 127.99609375).abs() < 1e-9);
+        assert_eq!(q.min_value(), -128.0);
+        assert_eq!(q.resolution(), 1.0 / 256.0);
+        assert_eq!(q.int_bits(), 7);
+    }
+
+    #[test]
+    fn quantize_rounds_to_nearest() {
+        let q = QFormat::new(16, 8);
+        // 0.001953125 = 0.5 LSB rounds away from zero.
+        assert_eq!(q.quantize(0.001953125), 1);
+        assert_eq!(q.quantize(-0.001953125), -1);
+        assert_eq!(q.quantize(0.0019), 0);
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let q = QFormat::new(8, 4); // Q4.4: range [-8, 7.9375]
+        assert_eq!(q.quantize(100.0), 127);
+        assert_eq!(q.quantize(-100.0), -128);
+        assert_eq!(q.dequantize(q.quantize(100.0)), 7.9375);
+    }
+
+    #[test]
+    fn quantize_nan_is_zero() {
+        let q = QFormat::new(16, 8);
+        assert_eq!(q.quantize(f64::NAN), 0);
+    }
+
+    #[test]
+    fn dequantize_clamps_out_of_range_raw() {
+        let q = QFormat::new(8, 0);
+        assert_eq!(q.dequantize(1000), 127.0);
+        assert_eq!(q.dequantize(-1000), -128.0);
+    }
+
+    #[test]
+    fn round_trip_is_idempotent() {
+        let q = QFormat::new(16, 12);
+        for &v in &[0.0, 1.0, -1.0, 3.17459, -2.71898, 7.9, -8.0] {
+            let once = q.round_trip(v);
+            let twice = q.round_trip(once);
+            assert_eq!(once, twice, "round_trip not idempotent for {v}");
+        }
+    }
+
+    #[test]
+    fn saturating_mul_raw_matches_real_product() {
+        let q = QFormat::new(16, 8);
+        let a = q.quantize(1.5);
+        let b = q.quantize(-2.25);
+        let p = q.saturating_mul_raw(a, b);
+        assert!((q.dequantize(p) - (-3.375)).abs() < 2.0 * q.resolution());
+    }
+
+    #[test]
+    fn saturating_mul_raw_saturates() {
+        let q = QFormat::new(16, 8);
+        let big = q.quantize(120.0);
+        assert_eq!(q.saturating_mul_raw(big, big), q.max_raw());
+        let neg = q.quantize(-120.0);
+        assert_eq!(q.saturating_mul_raw(big, neg), q.min_raw());
+    }
+
+    #[test]
+    fn round_shift_ties_away_from_zero() {
+        assert_eq!(round_shift_right_i128(3, 1), 2); // 1.5 -> 2
+        assert_eq!(round_shift_right_i128(-3, 1), -2); // -1.5 -> -2
+        assert_eq!(round_shift_right_i128(5, 2), 1); // 1.25 -> 1
+        assert_eq!(round_shift_right_i128(6, 2), 2); // 1.5 -> 2
+        assert_eq!(round_shift_right_i128(0, 5), 0);
+        assert_eq!(round_shift_right_i128(7, 0), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "total_bits")]
+    fn rejects_zero_total_bits() {
+        let _ = QFormat::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frac_bits")]
+    fn rejects_frac_eq_total() {
+        let _ = QFormat::new(8, 8);
+    }
+
+    #[test]
+    fn display_names_format() {
+        assert_eq!(QFormat::new(16, 8).to_string(), "Q8.8 (16b)");
+        assert_eq!(QFormat::new(8, 4).to_string(), "Q4.4 (8b)");
+    }
+}

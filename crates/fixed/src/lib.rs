@@ -1,0 +1,44 @@
+//! Saturating fixed-point arithmetic for the EIE reproduction.
+//!
+//! EIE's processing elements compute with **16-bit fixed-point** arithmetic
+//! (paper §VI-C, Fig. 10): 4-bit weight indices are decoded through a
+//! 16-entry codebook of 16-bit fixed-point weights, multiplied by 16-bit
+//! fixed-point activations, and accumulated into wider registers before the
+//! result is shifted, saturated and written back as a 16-bit activation.
+//!
+//! This crate provides that substrate:
+//!
+//! * [`Fix16`] — a compile-time Q-format 16-bit fixed-point number
+//!   (the PE datapath type; [`Q8p8`] is the default format),
+//! * [`Accum32`] — the 32-bit saturating multiply-accumulate register,
+//! * [`QFormat`] / [`DynFix`] — runtime-width fixed point used by the
+//!   arithmetic-precision design-space study (paper Fig. 10),
+//! * [`Precision`] — the precision axis of that study
+//!   (32-bit float, 32/16/8-bit fixed point).
+//!
+//! # Example
+//!
+//! ```
+//! use eie_fixed::{Fix16, Accum32, Q8p8};
+//!
+//! let w: Q8p8 = Fix16::from_f32(-1.5);
+//! let a: Q8p8 = Fix16::from_f32(0.25);
+//! let mut acc = Accum32::zero();
+//! acc.mac(w, a);
+//! assert!((acc.to_f32::<8>() - (-0.375)).abs() < 1.0 / 256.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accum;
+mod dynfix;
+mod fix16;
+mod format;
+mod precision;
+
+pub use accum::Accum32;
+pub use dynfix::DynFix;
+pub use fix16::{Fix16, Q4p12, Q8p8};
+pub use format::QFormat;
+pub use precision::Precision;

@@ -1,0 +1,159 @@
+//! The arithmetic-precision axis of the paper's Fig. 10 study.
+
+use std::fmt;
+
+use crate::QFormat;
+
+/// Datapath arithmetic precision (paper Fig. 10).
+///
+/// The paper evaluates prediction accuracy and multiplier energy for 32-bit
+/// floating point and 32/16/8-bit fixed point, concluding that 16-bit fixed
+/// point loses < 0.5% accuracy while consuming 5–6× less multiply energy,
+/// and that 8-bit fixed point collapses accuracy.
+///
+/// Fixed-point variants carry the Q-format split used by this reproduction:
+/// half the bits fractional (Q16.16, Q8.8, Q4.4), matching typical DNN
+/// deployments of the era.
+///
+/// # Example
+///
+/// ```
+/// use eie_fixed::Precision;
+///
+/// // 16-bit fixed point represents 0.3 with a small error…
+/// let e16 = (Precision::Fixed16.quantize(0.3) - 0.3).abs();
+/// // …and 8-bit fixed point with a much larger one.
+/// let e8 = (Precision::Fixed8.quantize(0.3) - 0.3).abs();
+/// assert!(e16 < e8);
+/// assert_eq!(Precision::Float32.quantize(0.3), 0.30000001192092896);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// IEEE-754 single precision (the accuracy reference).
+    Float32,
+    /// 32-bit fixed point, Q16.16.
+    Fixed32,
+    /// 16-bit fixed point, Q8.8 — EIE's datapath choice.
+    Fixed16,
+    /// 8-bit fixed point, Q4.4.
+    Fixed8,
+}
+
+impl Precision {
+    /// All precisions in the order the paper's Fig. 10 plots them.
+    pub const ALL: [Precision; 4] = [
+        Precision::Float32,
+        Precision::Fixed32,
+        Precision::Fixed16,
+        Precision::Fixed8,
+    ];
+
+    /// The operand width in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            Precision::Float32 | Precision::Fixed32 => 32,
+            Precision::Fixed16 => 16,
+            Precision::Fixed8 => 8,
+        }
+    }
+
+    /// The fixed-point format, or `None` for floating point.
+    pub fn qformat(self) -> Option<QFormat> {
+        match self {
+            Precision::Float32 => None,
+            Precision::Fixed32 => Some(QFormat::new(32, 16)),
+            Precision::Fixed16 => Some(QFormat::new(16, 8)),
+            Precision::Fixed8 => Some(QFormat::new(8, 4)),
+        }
+    }
+
+    /// Quantizes a value as this precision's datapath would represent it:
+    /// a fixed-point round-trip, or an `f32` round-trip for `Float32`.
+    pub fn quantize(self, value: f64) -> f64 {
+        match self.qformat() {
+            Some(q) => q.round_trip(value),
+            None => value as f32 as f64,
+        }
+    }
+
+    /// Quantizes a slice in place.
+    pub fn quantize_slice(self, values: &mut [f64]) {
+        for v in values.iter_mut() {
+            *v = self.quantize(*v);
+        }
+    }
+
+    /// True for the fixed-point variants.
+    pub fn is_fixed(self) -> bool {
+        self.qformat().is_some()
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Precision::Float32 => "32b Float",
+            Precision::Fixed32 => "32b Int",
+            Precision::Fixed16 => "16b Int",
+            Precision::Fixed8 => "8b Int",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_four_in_paper_order() {
+        assert_eq!(Precision::ALL.len(), 4);
+        assert_eq!(Precision::ALL[0], Precision::Float32);
+        assert_eq!(Precision::ALL[3], Precision::Fixed8);
+    }
+
+    #[test]
+    fn bits_match_names() {
+        assert_eq!(Precision::Float32.bits(), 32);
+        assert_eq!(Precision::Fixed32.bits(), 32);
+        assert_eq!(Precision::Fixed16.bits(), 16);
+        assert_eq!(Precision::Fixed8.bits(), 8);
+    }
+
+    #[test]
+    fn quantization_error_grows_as_bits_shrink() {
+        let v = 0.777;
+        let e32 = (Precision::Fixed32.quantize(v) - v).abs();
+        let e16 = (Precision::Fixed16.quantize(v) - v).abs();
+        let e8 = (Precision::Fixed8.quantize(v) - v).abs();
+        assert!(e32 < e16 && e16 < e8);
+    }
+
+    #[test]
+    fn fixed8_saturates_moderate_values() {
+        // Q4.4 clips beyond ±8 — the root cause of the accuracy collapse.
+        assert_eq!(Precision::Fixed8.quantize(20.0), 7.9375);
+        assert_eq!(Precision::Fixed8.quantize(-20.0), -8.0);
+    }
+
+    #[test]
+    fn float32_is_identity_for_f32_representables() {
+        assert_eq!(Precision::Float32.quantize(1.5), 1.5);
+        assert!(!Precision::Float32.is_fixed());
+    }
+
+    #[test]
+    fn quantize_slice_applies_elementwise() {
+        let mut xs = [0.3, -0.3, 100.0];
+        Precision::Fixed8.quantize_slice(&mut xs);
+        assert_eq!(xs[0], 0.3125);
+        assert_eq!(xs[1], -0.3125);
+        assert_eq!(xs[2], 7.9375);
+    }
+
+    #[test]
+    fn display_matches_paper_axis_labels() {
+        let labels: Vec<String> = Precision::ALL.iter().map(|p| p.to_string()).collect();
+        assert_eq!(labels, ["32b Float", "32b Int", "16b Int", "8b Int"]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the fixed-point substrate.
+
+use eie_fixed::{Accum32, DynFix, Fix16, Precision, QFormat, Q8p8};
+use proptest::prelude::*;
+
+fn arb_qformat() -> impl Strategy<Value = QFormat> {
+    (2u32..=32).prop_flat_map(|total| (0..total).prop_map(move |frac| QFormat::new(total, frac)))
+}
+
+proptest! {
+    /// Quantizing any finite value then dequantizing lands within half an
+    /// LSB, unless the value saturates.
+    #[test]
+    fn qformat_roundtrip_error_bounded(v in -1e6f64..1e6, q in arb_qformat()) {
+        let rt = q.round_trip(v);
+        if v <= q.max_value() && v >= q.min_value() {
+            prop_assert!((rt - v).abs() <= q.resolution() / 2.0 + 1e-12,
+                "v={v} rt={rt} q={q}");
+        } else {
+            prop_assert!(rt == q.max_value() || rt == q.min_value());
+        }
+    }
+
+    /// Quantization is monotone: a <= b implies q(a) <= q(b).
+    #[test]
+    fn qformat_quantize_monotone(a in -1e6f64..1e6, b in -1e6f64..1e6, q in arb_qformat()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(q.quantize(lo) <= q.quantize(hi));
+    }
+
+    /// Saturating ops never leave the representable range.
+    #[test]
+    fn qformat_ops_stay_in_range(a in any::<i32>(), b in any::<i32>(), q in arb_qformat()) {
+        let a = (a as i64).clamp(q.min_raw(), q.max_raw());
+        let b = (b as i64).clamp(q.min_raw(), q.max_raw());
+        for r in [q.saturating_add_raw(a, b), q.saturating_mul_raw(a, b)] {
+            prop_assert!(r >= q.min_raw() && r <= q.max_raw());
+        }
+    }
+
+    /// Fix16 round-trips through f32 exactly (every raw value is
+    /// representable as f32).
+    #[test]
+    fn fix16_f32_roundtrip_exact(raw in any::<i16>()) {
+        let x = Q8p8::from_raw(raw);
+        prop_assert_eq!(Q8p8::from_f32(x.to_f32()), x);
+    }
+
+    /// Fix16 multiplication is commutative.
+    #[test]
+    fn fix16_mul_commutative(a in any::<i16>(), b in any::<i16>()) {
+        let (a, b) = (Q8p8::from_raw(a), Q8p8::from_raw(b));
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    /// Fix16 addition is commutative and ZERO is its identity.
+    #[test]
+    fn fix16_add_commutative_with_identity(a in any::<i16>(), b in any::<i16>()) {
+        let (a, b) = (Q8p8::from_raw(a), Q8p8::from_raw(b));
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a + Q8p8::ZERO, a);
+    }
+
+    /// Fix16 multiply matches real multiplication within one LSB when the
+    /// real product is in range.
+    #[test]
+    fn fix16_mul_accuracy(a in -180.0f32..180.0, b in -180.0f32..180.0) {
+        let fa = Q8p8::from_f32(a);
+        let fb = Q8p8::from_f32(b);
+        let real = fa.to_f32() as f64 * fb.to_f32() as f64;
+        if real.abs() < 127.0 {
+            let got = (fa * fb).to_f32() as f64;
+            prop_assert!((got - real).abs() <= 1.0 / 256.0 + 1e-9,
+                "a={a} b={b} got={got} real={real}");
+        }
+    }
+
+    /// MAC over a random sequence matches f64 reference within accumulated
+    /// rounding error (products are exact; only the writeback rounds).
+    #[test]
+    fn accum_matches_f64_reference(pairs in prop::collection::vec((-4.0f32..4.0, -4.0f32..4.0), 0..64)) {
+        let mut acc = Accum32::zero();
+        let mut reference = 0.0f64;
+        for &(w, a) in &pairs {
+            let (fw, fa) = (Q8p8::from_f32(w), Q8p8::from_f32(a));
+            acc.mac(fw, fa);
+            reference += fw.to_f32() as f64 * fa.to_f32() as f64;
+        }
+        if reference.abs() < 120.0 {
+            let got = acc.to_fix16::<8>().to_f32() as f64;
+            // products are exact in the accumulator; only writeback rounds.
+            prop_assert!((got - reference).abs() <= 1.0 / 256.0 + 1e-9,
+                "got={got} ref={reference}");
+        }
+    }
+
+    /// ReLU is idempotent and never returns a negative value.
+    #[test]
+    fn relu_idempotent_nonnegative(raw in any::<i16>()) {
+        let x = Q8p8::from_raw(raw);
+        let r = x.relu();
+        prop_assert!(r >= Q8p8::ZERO);
+        prop_assert_eq!(r.relu(), r);
+    }
+
+    /// DynFix arithmetic agrees with Fix16 when both use Q8.8.
+    #[test]
+    fn dynfix_agrees_with_fix16(a0 in -100.0f64..100.0, b0 in -100.0f64..100.0) {
+        // Quantize both representations from the identical f32 value
+        // (f32 -> f64 is exact, so the two paths see the same input).
+        let (a, b) = (a0 as f32 as f64, b0 as f32 as f64);
+        let q = QFormat::new(16, 8);
+        let (da, db) = (DynFix::from_f64(a, q), DynFix::from_f64(b, q));
+        let (fa, fb) = (Q8p8::from_f32(a as f32), Q8p8::from_f32(b as f32));
+        prop_assert_eq!((da + db).raw(), (fa + fb).raw() as i64);
+        prop_assert_eq!((da * db).raw(), (fa * fb).raw() as i64);
+    }
+
+    /// Precision::quantize error is bounded by the format resolution for
+    /// in-range values, for every fixed-point precision.
+    #[test]
+    fn precision_error_bounded(v in -7.5f64..7.5) {
+        for p in [Precision::Fixed32, Precision::Fixed16, Precision::Fixed8] {
+            let q = p.qformat().unwrap();
+            let err = (p.quantize(v) - v).abs();
+            prop_assert!(err <= q.resolution() / 2.0 + 1e-12, "{p}: err={err}");
+        }
+    }
+
+    /// Fix16 negation saturates only at MIN and is otherwise an involution.
+    #[test]
+    fn fix16_neg_involution(raw in (i16::MIN + 1)..=i16::MAX) {
+        let x = Fix16::<8>::from_raw(raw);
+        prop_assert_eq!(-(-x), x);
+    }
+}

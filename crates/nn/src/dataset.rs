@@ -1,0 +1,251 @@
+//! Synthetic classification data for the precision-accuracy study.
+//!
+//! The paper measures the Fig. 10 accuracy curve on ImageNet with AlexNet.
+//! ImageNet is not available offline, so this reproduction substitutes a
+//! seeded Gaussian-clusters task (documented in `DESIGN.md`): the curve's
+//! *shape* — fixed-point accuracy tracking float down to 16 bits, then
+//! collapsing at 8 bits — is driven by activation dynamic range versus
+//! format range/resolution, which this task reproduces.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A labelled classification dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Feature vectors, all of dimension [`Dataset::dim`].
+    pub inputs: Vec<Vec<f32>>,
+    /// Class labels in `0..num_classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Feature dimension.
+    pub dim: usize,
+}
+
+impl Dataset {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// True if the dataset has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Splits into `(train, test)` with `test_fraction` of examples held
+    /// out (round-robin, so both splits cover all classes).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < test_fraction < 1`.
+    pub fn split(&self, test_fraction: f64) -> (Dataset, Dataset) {
+        assert!(
+            test_fraction > 0.0 && test_fraction < 1.0,
+            "test_fraction must be in (0, 1)"
+        );
+        let period = (1.0 / test_fraction).round().max(2.0) as usize;
+        let mut train = Dataset {
+            inputs: Vec::new(),
+            labels: Vec::new(),
+            num_classes: self.num_classes,
+            dim: self.dim,
+        };
+        let mut test = train.clone();
+        // Hold out every `period`-th example *within each class*, so both
+        // splits cover all classes regardless of example ordering.
+        let mut seen = vec![0usize; self.num_classes.max(1)];
+        for (x, &y) in self.inputs.iter().zip(&self.labels) {
+            let bucket = if seen[y].is_multiple_of(period) {
+                &mut test
+            } else {
+                &mut train
+            };
+            seen[y] += 1;
+            bucket.inputs.push(x.clone());
+            bucket.labels.push(y);
+        }
+        (train, test)
+    }
+}
+
+/// Configuration for [`gaussian_clusters`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSpec {
+    /// Number of classes (one cluster per class).
+    pub num_classes: usize,
+    /// Feature dimension.
+    pub dim: usize,
+    /// Examples per class.
+    pub per_class: usize,
+    /// Radius of the sphere cluster centres are drawn from. Larger radius
+    /// → larger activation dynamic range → harsher fixed-point saturation.
+    pub center_radius: f32,
+    /// Standard deviation of points around their centre.
+    pub noise_std: f32,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        Self {
+            num_classes: 8,
+            dim: 16,
+            per_class: 120,
+            center_radius: 5.0,
+            noise_std: 1.2,
+        }
+    }
+}
+
+/// Generates a seeded Gaussian-clusters classification dataset.
+///
+/// Each class gets a centre drawn uniformly in a sphere of
+/// `spec.center_radius`; examples are the centre plus isotropic Gaussian
+/// noise. Examples are interleaved by class so contiguous slices stay
+/// class-balanced.
+///
+/// # Panics
+///
+/// Panics if any spec field is zero.
+///
+/// # Example
+///
+/// ```
+/// use eie_nn::dataset::{gaussian_clusters, ClusterSpec};
+///
+/// let data = gaussian_clusters(7, ClusterSpec::default());
+/// assert_eq!(data.len(), 8 * 120);
+/// let (train, test) = data.split(0.25);
+/// assert!(test.len() > 0 && train.len() > test.len());
+/// ```
+pub fn gaussian_clusters(seed: u64, spec: ClusterSpec) -> Dataset {
+    assert!(
+        spec.num_classes > 0 && spec.dim > 0 && spec.per_class > 0,
+        "spec fields must be non-zero"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f32>> = (0..spec.num_classes)
+        .map(|_| {
+            (0..spec.dim)
+                .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * spec.center_radius)
+                .collect()
+        })
+        .collect();
+
+    let total = spec.num_classes * spec.per_class;
+    let mut inputs = Vec::with_capacity(total);
+    let mut labels = Vec::with_capacity(total);
+    for i in 0..spec.per_class {
+        for (label, center) in centers.iter().enumerate() {
+            let _ = i;
+            let x: Vec<f32> = center
+                .iter()
+                .map(|&c| c + gauss(&mut rng) * spec.noise_std)
+                .collect();
+            inputs.push(x);
+            labels.push(label);
+        }
+    }
+    Dataset {
+        inputs,
+        labels,
+        num_classes: spec.num_classes,
+        dim: spec.dim,
+    }
+}
+
+/// A standard normal sample via Box–Muller.
+pub(crate) fn gauss(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen::<f32>().max(1e-12);
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gaussian_clusters(3, ClusterSpec::default());
+        let b = gaussian_clusters(3, ClusterSpec::default());
+        assert_eq!(a, b);
+        let c = gaussian_clusters(4, ClusterSpec::default());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shapes_and_labels() {
+        let spec = ClusterSpec {
+            num_classes: 3,
+            dim: 5,
+            per_class: 10,
+            ..ClusterSpec::default()
+        };
+        let d = gaussian_clusters(1, spec);
+        assert_eq!(d.len(), 30);
+        assert!(d.labels.iter().all(|&y| y < 3));
+        assert!(d.inputs.iter().all(|x| x.len() == 5));
+        // Every class appears.
+        for c in 0..3 {
+            assert!(d.labels.contains(&c));
+        }
+    }
+
+    #[test]
+    fn split_is_disjoint_and_covers_everything() {
+        let d = gaussian_clusters(2, ClusterSpec::default());
+        let (train, test) = d.split(0.25);
+        assert_eq!(train.len() + test.len(), d.len());
+        assert!(test.len() >= d.len() / 5 && test.len() <= d.len() / 3);
+        // Both splits should see all classes (round-robin interleaving).
+        for c in 0..d.num_classes {
+            assert!(train.labels.contains(&c));
+            assert!(test.labels.contains(&c));
+        }
+    }
+
+    #[test]
+    fn clusters_are_roughly_centered() {
+        let spec = ClusterSpec {
+            num_classes: 2,
+            dim: 4,
+            per_class: 400,
+            center_radius: 5.0,
+            noise_std: 0.5,
+        };
+        let d = gaussian_clusters(9, spec);
+        // Mean of class-0 points should be far from mean of class-1 points
+        // with high probability under radius 5, noise 0.5.
+        let mean = |cls: usize| -> Vec<f32> {
+            let mut m = vec![0.0f32; spec.dim];
+            let mut n = 0;
+            for (x, &y) in d.inputs.iter().zip(&d.labels) {
+                if y == cls {
+                    for (mi, xi) in m.iter_mut().zip(x) {
+                        *mi += xi;
+                    }
+                    n += 1;
+                }
+            }
+            m.iter_mut().for_each(|v| *v /= n as f32);
+            m
+        };
+        let (m0, m1) = (mean(0), mean(1));
+        let dist: f32 = m0
+            .iter()
+            .zip(&m1)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
+        assert!(dist > 1.0, "cluster means too close: {dist}");
+    }
+
+    #[test]
+    #[should_panic(expected = "test_fraction")]
+    fn split_rejects_bad_fraction() {
+        let d = gaussian_clusters(1, ClusterSpec::default());
+        let _ = d.split(1.5);
+    }
+}

@@ -1,0 +1,215 @@
+//! Fully-connected layers: the unit of work EIE accelerates.
+
+use std::fmt;
+
+use crate::{ops, Matrix};
+
+/// The non-linearity applied after a fully-connected layer.
+///
+/// The paper folds the bias into the weight matrix (§III-A) and applies
+/// ReLU on writeback; LSTM decompositions use sigmoid/tanh outside the
+/// accelerated M×V, and `Identity` exposes the raw product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// Rectified linear unit — the CNN default and EIE's hardware non-linearity.
+    #[default]
+    Relu,
+    /// No non-linearity (raw M×V result).
+    Identity,
+    /// Logistic sigmoid (LSTM gates; applied outside the accelerator).
+    Sigmoid,
+    /// Hyperbolic tangent (LSTM candidate; applied outside the accelerator).
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation in place.
+    pub fn apply(self, xs: &mut [f32]) {
+        match self {
+            Activation::Relu => ops::relu_inplace(xs),
+            Activation::Identity => {}
+            Activation::Sigmoid => {
+                for x in xs.iter_mut() {
+                    *x = ops::sigmoid(*x);
+                }
+            }
+            Activation::Tanh => {
+                for x in xs.iter_mut() {
+                    *x = ops::tanh(*x);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Activation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Activation::Relu => "relu",
+            Activation::Identity => "identity",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A dense fully-connected layer `b = f(W a + v)`.
+///
+/// This is the golden (uncompressed, `f32`) model of the computation in
+/// paper Eq. (1)/(2); the compressed pipeline's results are verified against
+/// [`forward`](FcLayer::forward).
+///
+/// # Example
+///
+/// ```
+/// use eie_nn::{FcLayer, Matrix, Activation};
+///
+/// let w = Matrix::from_rows(&[&[1.0, -1.0], &[2.0, 0.5]]);
+/// let layer = FcLayer::new(w, vec![0.0, -10.0], Activation::Relu);
+/// assert_eq!(layer.forward(&[1.0, 1.0]), vec![0.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FcLayer {
+    weights: Matrix,
+    bias: Vec<f32>,
+    activation: Activation,
+}
+
+impl FcLayer {
+    /// Creates a layer from its weight matrix, bias and activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != weights.rows()`.
+    pub fn new(weights: Matrix, bias: Vec<f32>, activation: Activation) -> Self {
+        assert_eq!(bias.len(), weights.rows(), "bias length mismatch");
+        Self {
+            weights,
+            bias,
+            activation,
+        }
+    }
+
+    /// Creates a bias-free layer (the paper folds biases into `W`).
+    pub fn without_bias(weights: Matrix, activation: Activation) -> Self {
+        let n = weights.rows();
+        Self::new(weights, vec![0.0; n], activation)
+    }
+
+    /// The weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Mutable weight matrix (used by the trainer).
+    pub fn weights_mut(&mut self) -> &mut Matrix {
+        &mut self.weights
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Mutable bias vector (used by the trainer).
+    pub fn bias_mut(&mut self) -> &mut [f32] {
+        &mut self.bias
+    }
+
+    /// The activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Forward pass `f(W a + v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != input_dim()`.
+    pub fn forward(&self, a: &[f32]) -> Vec<f32> {
+        let mut y = self.weights.gemv(a);
+        for (o, b) in y.iter_mut().zip(&self.bias) {
+            *o += b;
+        }
+        self.activation.apply(&mut y);
+        y
+    }
+
+    /// The pre-activation values `W a + v` (needed by backprop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != input_dim()`.
+    pub fn pre_activation(&self, a: &[f32]) -> Vec<f32> {
+        let mut y = self.weights.gemv(a);
+        for (o, b) in y.iter_mut().zip(&self.bias) {
+            *o += b;
+        }
+        y
+    }
+}
+
+impl fmt::Display for FcLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FcLayer({}→{}, {})",
+            self.input_dim(),
+            self.output_dim(),
+            self.activation
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_applies_bias_and_relu() {
+        let w = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let l = FcLayer::new(w, vec![1.0, -5.0], Activation::Relu);
+        assert_eq!(l.forward(&[2.0, 3.0]), vec![3.0, 0.0]);
+    }
+
+    #[test]
+    fn identity_keeps_negatives() {
+        let w = Matrix::from_rows(&[&[1.0], &[-1.0]]);
+        let l = FcLayer::without_bias(w, Activation::Identity);
+        assert_eq!(l.forward(&[2.0]), vec![2.0, -2.0]);
+    }
+
+    #[test]
+    fn sigmoid_and_tanh_apply_elementwise() {
+        let w = Matrix::from_rows(&[&[1.0]]);
+        let s = FcLayer::without_bias(w.clone(), Activation::Sigmoid);
+        assert_eq!(s.forward(&[0.0]), vec![0.5]);
+        let t = FcLayer::without_bias(w, Activation::Tanh);
+        assert_eq!(t.forward(&[0.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn pre_activation_skips_nonlinearity() {
+        let w = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let l = FcLayer::new(w, vec![-10.0], Activation::Relu);
+        assert_eq!(l.pre_activation(&[1.0, 2.0]), vec![-7.0]);
+        assert_eq!(l.forward(&[1.0, 2.0]), vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias length mismatch")]
+    fn rejects_wrong_bias_length() {
+        let _ = FcLayer::new(Matrix::zeros(2, 2), vec![0.0], Activation::Relu);
+    }
+}

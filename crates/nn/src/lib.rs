@@ -1,0 +1,48 @@
+//! Dense linear-algebra / neural-network substrate for the EIE reproduction.
+//!
+//! EIE (Han et al., ISCA 2016) accelerates the sparse matrix × sparse vector
+//! product at the heart of fully-connected DNN layers. This crate provides
+//! everything *around* that product that the reproduction needs:
+//!
+//! * [`Matrix`] — dense row-major `f32` matrices with GEMV/GEMM (the golden
+//!   reference and the CPU dense baseline kernel),
+//! * [`CsrMatrix`] / [`CscMatrix`] — sparse storage with SpMV (the golden
+//!   sparse reference and the CPU sparse baseline kernel),
+//! * [`FcLayer`], [`LstmCell`], [`Mlp`] — the layer types the paper's nine
+//!   benchmarks are drawn from (AlexNet/VGG FC layers, NeuralTalk LSTM),
+//! * [`zoo`] — the benchmark model zoo generating seeded synthetic layers
+//!   with the exact shapes and densities of the paper's Table III,
+//! * [`train`] / [`dataset`] — a small SGD trainer and synthetic dataset
+//!   for the arithmetic-precision accuracy study (paper Fig. 10).
+//!
+//! # Example
+//!
+//! ```
+//! use eie_nn::zoo::Benchmark;
+//!
+//! // The compressed AlexNet FC7 layer of Table III: 4096×4096 at 9% density.
+//! let layer = Benchmark::Alex7.generate(42);
+//! assert_eq!((layer.weights.rows(), layer.weights.cols()), (4096, 4096));
+//! let d = layer.weights.density();
+//! assert!((d - 0.09).abs() < 0.01, "density {d}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conv;
+pub mod dataset;
+mod layer;
+mod lstm;
+mod matrix;
+mod mlp;
+pub mod ops;
+mod sparse;
+pub mod train;
+pub mod zoo;
+
+pub use layer::{Activation, FcLayer};
+pub use lstm::{LstmCell, LstmState};
+pub use matrix::Matrix;
+pub use mlp::Mlp;
+pub use sparse::{CscMatrix, CsrMatrix};

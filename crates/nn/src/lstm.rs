@@ -1,0 +1,237 @@
+//! LSTM cell — the NeuralTalk recurrent workload (NT-LSTM benchmark).
+//!
+//! The paper notes (§II) that each LSTM cell decomposes into M×V operations
+//! on the gate weight matrix; NeuralTalk's cell concatenates the input, the
+//! recurrent state and a constant 1 (folded bias) into one vector so the
+//! whole cell is a single `4·hidden × (input + hidden + 1)` product — the
+//! NT-LSTM row of Table III is exactly that matrix (2400 × 1201).
+
+use std::fmt;
+
+use crate::{ops, Matrix};
+
+/// The recurrent state `(h, c)` of an LSTM cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmState {
+    /// Hidden state (also the cell output).
+    pub h: Vec<f32>,
+    /// Cell (memory) state.
+    pub c: Vec<f32>,
+}
+
+impl LstmState {
+    /// The all-zero initial state for a cell with `hidden` units.
+    pub fn zeros(hidden: usize) -> Self {
+        Self {
+            h: vec![0.0; hidden],
+            c: vec![0.0; hidden],
+        }
+    }
+}
+
+/// An LSTM cell with a single combined gate matrix.
+///
+/// Gate layout along the output dimension is `[i; f; o; g]` (input, forget,
+/// output, candidate), each `hidden` rows. The input to the matrix is
+/// `[x; h; 1]` so biases ride along as the last matrix column, matching the
+/// paper's bias-folding convention (§III-A) and the NT-LSTM benchmark shape.
+///
+/// The heavy M×V ([`gate_preactivations`]) is exactly what EIE accelerates;
+/// the cheap element-wise part ([`apply_gates`]) runs outside the
+/// accelerator. [`step`] chains the two for a plain CPU reference.
+///
+/// # Example
+///
+/// ```
+/// use eie_nn::{LstmCell, LstmState, Matrix};
+///
+/// let cell = LstmCell::new(Matrix::zeros(8, 5), 2); // hidden=2, input=2
+/// let state = LstmState::zeros(2);
+/// let next = cell.step(&[1.0, -1.0], &state);
+/// assert_eq!(next.h.len(), 2);
+/// ```
+///
+/// [`gate_preactivations`]: LstmCell::gate_preactivations
+/// [`apply_gates`]: LstmCell::apply_gates
+/// [`step`]: LstmCell::step
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmCell {
+    weights: Matrix,
+    hidden: usize,
+}
+
+impl LstmCell {
+    /// Creates a cell from the combined gate matrix.
+    ///
+    /// `weights` must be `4*hidden` rows by `input + hidden + 1` columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row count is not `4*hidden` or the matrix is too
+    /// narrow to contain the recurrent state and bias column.
+    pub fn new(weights: Matrix, hidden: usize) -> Self {
+        assert_eq!(weights.rows(), 4 * hidden, "rows must equal 4*hidden");
+        assert!(
+            weights.cols() > hidden,
+            "matrix must have input + hidden + 1 columns"
+        );
+        Self { weights, hidden }
+    }
+
+    /// The combined gate weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Number of hidden units.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// The input (x) dimension.
+    pub fn input_dim(&self) -> usize {
+        self.weights.cols() - self.hidden - 1
+    }
+
+    /// Builds the concatenated `[x; h; 1]` vector the gate matrix multiplies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != input_dim()` or `h.len() != hidden()`.
+    pub fn concat_input(&self, x: &[f32], h: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.input_dim(), "input length mismatch");
+        assert_eq!(h.len(), self.hidden, "hidden length mismatch");
+        let mut v = Vec::with_capacity(self.weights.cols());
+        v.extend_from_slice(x);
+        v.extend_from_slice(h);
+        v.push(1.0);
+        v
+    }
+
+    /// The gate pre-activations `W [x; h; 1]` — the M×V EIE accelerates.
+    pub fn gate_preactivations(&self, x: &[f32], h: &[f32]) -> Vec<f32> {
+        self.weights.gemv(&self.concat_input(x, h))
+    }
+
+    /// Applies the element-wise LSTM equations to gate pre-activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len() != 4*hidden` or the state dimensions mismatch.
+    pub fn apply_gates(&self, z: &[f32], state: &LstmState) -> LstmState {
+        assert_eq!(z.len(), 4 * self.hidden, "gate vector length mismatch");
+        assert_eq!(state.c.len(), self.hidden, "cell state length mismatch");
+        let n = self.hidden;
+        let mut next = LstmState::zeros(n);
+        for k in 0..n {
+            let i = ops::sigmoid(z[k]);
+            let f = ops::sigmoid(z[n + k]);
+            let o = ops::sigmoid(z[2 * n + k]);
+            let g = ops::tanh(z[3 * n + k]);
+            let c = f * state.c[k] + i * g;
+            next.c[k] = c;
+            next.h[k] = o * ops::tanh(c);
+        }
+        next
+    }
+
+    /// One full recurrent step: `gate_preactivations` + `apply_gates`.
+    pub fn step(&self, x: &[f32], state: &LstmState) -> LstmState {
+        let z = self.gate_preactivations(x, &state.h);
+        self.apply_gates(&z, state)
+    }
+}
+
+impl fmt::Display for LstmCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LstmCell(input={}, hidden={}, W={}x{})",
+            self.input_dim(),
+            self.hidden,
+            self.weights.rows(),
+            self.weights.cols()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cell() -> LstmCell {
+        // hidden=1, input=1 → W is 4x3 ([x, h, bias]).
+        let w = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0],  // i gate from x
+            &[0.0, 0.0, 10.0], // f gate: bias 10 → f ≈ 1 (remember)
+            &[0.0, 0.0, 10.0], // o gate: bias 10 → o ≈ 1
+            &[1.0, 0.0, 0.0],  // g from x
+        ]);
+        LstmCell::new(w, 1)
+    }
+
+    #[test]
+    fn zero_input_keeps_zero_state() {
+        let cell = tiny_cell();
+        let s = cell.step(&[0.0], &LstmState::zeros(1));
+        // i=0.5, g=tanh(0)=0 → c = f*0 + 0.5*0 = 0 → h = 0.
+        assert_eq!(s.c[0], 0.0);
+        assert_eq!(s.h[0], 0.0);
+    }
+
+    #[test]
+    fn remembers_with_saturated_forget_gate() {
+        let cell = tiny_cell();
+        let mut s = LstmState::zeros(1);
+        s = cell.step(&[2.0], &s);
+        let c1 = s.c[0];
+        assert!(c1 > 0.5, "cell should store positive input, got {c1}");
+        // Now feed zeros: with f≈1 the cell should retain ~all of c.
+        s = cell.step(&[0.0], &s);
+        assert!((s.c[0] - c1).abs() < 0.01 * c1.abs() + 1e-4);
+    }
+
+    #[test]
+    fn concat_input_layout() {
+        let cell = tiny_cell();
+        assert_eq!(cell.concat_input(&[3.0], &[4.0]), vec![3.0, 4.0, 1.0]);
+    }
+
+    #[test]
+    fn step_equals_manual_composition() {
+        let cell = tiny_cell();
+        let state = LstmState {
+            h: vec![0.3],
+            c: vec![-0.2],
+        };
+        let z = cell.gate_preactivations(&[1.5], &state.h);
+        assert_eq!(cell.apply_gates(&z, &state), cell.step(&[1.5], &state));
+    }
+
+    #[test]
+    fn nt_lstm_shape_is_2400x1201() {
+        // NeuralTalk: hidden 600, input 600 → 2400 × 1201 (Table III).
+        let cell = LstmCell::new(Matrix::zeros(2400, 1201), 600);
+        assert_eq!(cell.input_dim(), 600);
+        assert_eq!(cell.weights().rows(), 2400);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows must equal 4*hidden")]
+    fn rejects_bad_gate_count() {
+        let _ = LstmCell::new(Matrix::zeros(6, 5), 2);
+    }
+
+    #[test]
+    fn outputs_bounded_by_one() {
+        let w = Matrix::from_fn(8, 5, |r, c| ((r * 5 + c) as f32 * 0.37).sin() * 3.0);
+        let cell = LstmCell::new(w, 2);
+        let mut s = LstmState::zeros(2);
+        for t in 0..20 {
+            s = cell.step(&[(t as f32).sin(), (t as f32).cos()], &s);
+            for &h in &s.h {
+                assert!(h.abs() <= 1.0, "h must satisfy |h| <= 1");
+            }
+        }
+    }
+}

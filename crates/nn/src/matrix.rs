@@ -1,0 +1,290 @@
+//! Dense row-major matrices: the golden reference and CPU dense kernel.
+
+use std::fmt;
+
+/// A dense row-major `f32` matrix.
+///
+/// `Matrix` is the uncompressed representation of an FC layer's weights
+/// (`rows` = output neurons, `cols` = input neurons, matching the paper's
+/// `b = f(W a)` with `W ∈ R^{rows×cols}`). It doubles as the CPU dense
+/// baseline kernel: [`gemv`](Matrix::gemv) is the `MKL CBLAS GEMV` stand-in
+/// of the evaluation, [`gemm`](Matrix::gemm) its batched counterpart.
+///
+/// # Example
+///
+/// ```
+/// use eie_nn::Matrix;
+///
+/// let w = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// assert_eq!(w.gemv(&[1.0, 1.0]), vec![3.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or the rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix must have at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or a dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows (output dimension).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (input dimension).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// A view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A mutable view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The flat row-major data buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the flat row-major data buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Number of non-zero elements.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+
+    /// Fraction of non-zero elements (the paper's *weight density* `D`).
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// Dense matrix-vector product `y = W a` — the CPU dense baseline
+    /// kernel (batch size 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != cols`.
+    pub fn gemv(&self, a: &[f32]) -> Vec<f32> {
+        assert_eq!(a.len(), self.cols, "vector length mismatch");
+        let mut y = vec![0.0f32; self.rows];
+        for (r, out) in y.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0f32;
+            for (w, x) in row.iter().zip(a) {
+                acc += w * x;
+            }
+            *out = acc;
+        }
+        y
+    }
+
+    /// Dense matrix-matrix product `Y = W A` where `A` is `cols × batch`
+    /// column-major (each column one input vector) — the batched baseline.
+    ///
+    /// Returns `Y` as `rows × batch` column-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != cols * batch` or `batch == 0`.
+    pub fn gemm(&self, a: &[f32], batch: usize) -> Vec<f32> {
+        assert!(batch > 0, "batch must be non-zero");
+        assert_eq!(a.len(), self.cols * batch, "batch buffer length mismatch");
+        let mut y = vec![0.0f32; self.rows * batch];
+        for b in 0..batch {
+            let x = &a[b * self.cols..(b + 1) * self.cols];
+            let out = &mut y[b * self.rows..(b + 1) * self.rows];
+            for (r, o) in out.iter_mut().enumerate() {
+                let row = &self.data[r * self.cols..(r + 1) * self.cols];
+                let mut acc = 0.0f32;
+                for (w, xv) in row.iter().zip(x) {
+                    acc += w * xv;
+                }
+                *o = acc;
+            }
+        }
+        y
+    }
+
+    /// The transpose `Wᵀ`.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Largest absolute element value (used to pick fixed-point formats).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{}, nnz={})", self.rows, self.cols, self.nnz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemv_identity() {
+        let eye = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(eye.gemv(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn gemv_rectangular() {
+        let w = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, -1.0, 1.0]]);
+        assert_eq!(w.gemv(&[3.0, 4.0, 5.0]), vec![13.0, 1.0]);
+    }
+
+    #[test]
+    fn gemm_batch_columns_match_gemv() {
+        let w = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let a = [1.0, 0.5, -1.0, 2.0]; // two column vectors
+        let y = w.gemm(&a, 2);
+        assert_eq!(&y[0..3], w.gemv(&[1.0, 0.5]).as_slice());
+        assert_eq!(&y[3..6], w.gemv(&[-1.0, 2.0]).as_slice());
+    }
+
+    #[test]
+    fn nnz_and_density() {
+        let w = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 0.0]]);
+        assert_eq!(w.nnz(), 1);
+        assert_eq!(w.density(), 0.25);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let w = Matrix::from_fn(4, 7, |r, c| (r * 7 + c) as f32);
+        assert_eq!(w.transpose().transpose(), w);
+        assert_eq!(w.transpose().get(3, 2), w.get(2, 3));
+    }
+
+    #[test]
+    fn row_views() {
+        let mut w = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(w.row(1), &[3.0, 4.0]);
+        w.row_mut(0)[1] = 9.0;
+        assert_eq!(w.get(0, 1), 9.0);
+    }
+
+    #[test]
+    fn max_abs_finds_largest_magnitude() {
+        let w = Matrix::from_rows(&[&[1.0, -7.5], &[3.0, 4.0]]);
+        assert_eq!(w.max_abs(), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector length mismatch")]
+    fn gemv_rejects_wrong_length() {
+        Matrix::zeros(2, 3).gemv(&[1.0, 2.0]).len();
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged rows")]
+    fn from_rows_rejects_ragged() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zeros_rejects_empty() {
+        let _ = Matrix::zeros(0, 3);
+    }
+}

@@ -1,0 +1,288 @@
+//! Multi-layer perceptrons and precision-quantized inference (Fig. 10).
+
+use std::fmt;
+
+use eie_fixed::Precision;
+
+use crate::{ops, FcLayer};
+
+/// A feed-forward stack of fully-connected layers.
+///
+/// The arithmetic-precision study (paper Fig. 10) measures prediction
+/// accuracy when the datapath runs at 32-bit float vs. 32/16/8-bit fixed
+/// point. [`Mlp::quantized`] converts a trained network to a given
+/// [`Precision`] exactly the way EIE's datapath would see it: weights,
+/// biases and layer-boundary activations are quantized (saturating,
+/// round-to-nearest), while per-layer accumulation stays wide — matching
+/// the accelerator's wide accumulators with quantize-on-writeback.
+///
+/// # Example
+///
+/// ```
+/// use eie_nn::{Mlp, FcLayer, Matrix, Activation};
+/// use eie_fixed::Precision;
+///
+/// let mlp = Mlp::new(vec![FcLayer::without_bias(
+///     Matrix::from_rows(&[&[0.30, -0.70]]),
+///     Activation::Identity,
+/// )]);
+/// let exact = mlp.forward(&[1.0, 1.0])[0];
+/// let coarse = mlp.quantized(Precision::Fixed8).forward(&[1.0, 1.0])[0];
+/// assert!((exact - coarse).abs() > 0.0); // Q4.4 cannot represent 0.3/0.7
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<FcLayer>,
+}
+
+impl Mlp {
+    /// Creates an MLP from a layer stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or consecutive dimensions mismatch.
+    pub fn new(layers: Vec<FcLayer>) -> Self {
+        assert!(!layers.is_empty(), "MLP needs at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].output_dim(),
+                pair[1].input_dim(),
+                "layer dimension mismatch"
+            );
+        }
+        Self { layers }
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[FcLayer] {
+        &self.layers
+    }
+
+    /// Mutable layer stack (used by the trainer).
+    pub fn layers_mut(&mut self) -> &mut [FcLayer] {
+        &mut self.layers
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].input_dim()
+    }
+
+    /// Output dimension (class logits for classifiers).
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().unwrap().output_dim()
+    }
+
+    /// Full-precision forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != input_dim()`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut a = x.to_vec();
+        for layer in &self.layers {
+            a = layer.forward(&a);
+        }
+        a
+    }
+
+    /// Predicted class: `argmax` of the output logits.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        ops::argmax(&self.forward(x))
+    }
+
+    /// Classification accuracy over a labelled set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` and `labels` lengths differ or are empty.
+    pub fn accuracy(&self, inputs: &[Vec<f32>], labels: &[usize]) -> f64 {
+        assert_eq!(inputs.len(), labels.len(), "inputs/labels length mismatch");
+        assert!(!inputs.is_empty(), "empty evaluation set");
+        let correct = inputs
+            .iter()
+            .zip(labels)
+            .filter(|(x, &y)| self.predict(x) == y)
+            .count();
+        correct as f64 / inputs.len() as f64
+    }
+
+    /// Returns a copy whose weights, biases and (at inference time, via
+    /// `QuantizedMlp::forward`) activations are quantized to `precision`.
+    pub fn quantized(&self, precision: Precision) -> QuantizedMlp {
+        let layers = self
+            .layers
+            .iter()
+            .map(|l| {
+                let mut w = l.weights().clone();
+                for v in w.as_mut_slice() {
+                    *v = precision.quantize(*v as f64) as f32;
+                }
+                let bias = l
+                    .bias()
+                    .iter()
+                    .map(|&b| precision.quantize(b as f64) as f32)
+                    .collect();
+                FcLayer::new(w, bias, l.activation())
+            })
+            .collect();
+        QuantizedMlp {
+            mlp: Mlp { layers },
+            precision,
+        }
+    }
+}
+
+impl fmt::Display for Mlp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Mlp(")?;
+        write!(f, "{}", self.input_dim())?;
+        for l in &self.layers {
+            write!(f, "→{}", l.output_dim())?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// An [`Mlp`] whose datapath is quantized to a fixed [`Precision`].
+///
+/// Weights/biases were quantized at construction; `forward` additionally
+/// quantizes the input and every layer-boundary activation, reproducing a
+/// fixed-point datapath with wide accumulators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMlp {
+    mlp: Mlp,
+    precision: Precision,
+}
+
+impl QuantizedMlp {
+    /// The precision this network is quantized to.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Quantized forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` mismatches the input dimension.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut a: Vec<f32> = x
+            .iter()
+            .map(|&v| self.precision.quantize(v as f64) as f32)
+            .collect();
+        for layer in self.mlp.layers() {
+            a = layer.forward(&a);
+            for v in a.iter_mut() {
+                *v = self.precision.quantize(*v as f64) as f32;
+            }
+        }
+        a
+    }
+
+    /// Predicted class under quantized inference.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        ops::argmax(&self.forward(x))
+    }
+
+    /// Classification accuracy under quantized inference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` and `labels` lengths differ or are empty.
+    pub fn accuracy(&self, inputs: &[Vec<f32>], labels: &[usize]) -> f64 {
+        assert_eq!(inputs.len(), labels.len(), "inputs/labels length mismatch");
+        assert!(!inputs.is_empty(), "empty evaluation set");
+        let correct = inputs
+            .iter()
+            .zip(labels)
+            .filter(|(x, &y)| self.predict(x) == y)
+            .count();
+        correct as f64 / inputs.len() as f64
+    }
+}
+
+impl fmt::Display for QuantizedMlp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.mlp, self.precision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, Matrix};
+
+    fn two_layer() -> Mlp {
+        let l1 = FcLayer::without_bias(
+            Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]),
+            Activation::Relu,
+        );
+        let l2 = FcLayer::without_bias(
+            Matrix::from_rows(&[&[1.0, 1.0, 0.0], &[0.0, 0.0, 1.0]]),
+            Activation::Identity,
+        );
+        Mlp::new(vec![l1, l2])
+    }
+
+    #[test]
+    fn forward_composes_layers() {
+        let mlp = two_layer();
+        // layer1: [2, 3, 5] (all positive, relu no-op); layer2: [5, 5].
+        assert_eq!(mlp.forward(&[2.0, 3.0]), vec![5.0, 5.0]);
+        assert_eq!(mlp.input_dim(), 2);
+        assert_eq!(mlp.output_dim(), 2);
+    }
+
+    #[test]
+    fn accuracy_counts_correct_predictions() {
+        let mlp = two_layer();
+        // logits [5,5] → argmax 0 for positive inputs.
+        let inputs = vec![vec![1.0, 1.0], vec![2.0, 0.0]];
+        assert_eq!(mlp.accuracy(&inputs, &[0, 0]), 1.0);
+        assert_eq!(mlp.accuracy(&inputs, &[1, 0]), 0.5);
+    }
+
+    #[test]
+    fn float32_quantization_is_lossless_for_f32_weights() {
+        let mlp = two_layer();
+        let q = mlp.quantized(Precision::Float32);
+        let x = [0.123, -4.56];
+        assert_eq!(mlp.forward(&x), q.forward(&x));
+    }
+
+    #[test]
+    fn fixed16_close_fixed8_worse() {
+        let mlp = Mlp::new(vec![FcLayer::without_bias(
+            Matrix::from_rows(&[&[0.33, -0.77], &[0.11, 0.055]]),
+            Activation::Identity,
+        )]);
+        let x = [0.9, 1.3];
+        let exact = mlp.forward(&x);
+        let q16 = mlp.quantized(Precision::Fixed16).forward(&x);
+        let q8 = mlp.quantized(Precision::Fixed8).forward(&x);
+        let e16 = ops::max_abs_diff(&exact, &q16);
+        let e8 = ops::max_abs_diff(&exact, &q8);
+        assert!(e16 < e8, "16-bit error {e16} should beat 8-bit error {e8}");
+        assert!(e16 < 0.02);
+    }
+
+    #[test]
+    fn fixed8_saturates_large_activations() {
+        let mlp = Mlp::new(vec![FcLayer::without_bias(
+            Matrix::from_rows(&[&[4.0]]),
+            Activation::Identity,
+        )]);
+        let q8 = mlp.quantized(Precision::Fixed8);
+        // 4 * 5 = 20 saturates at Q4.4's +7.9375.
+        assert_eq!(q8.forward(&[5.0]), vec![7.9375]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_mismatched_layers() {
+        let l1 = FcLayer::without_bias(Matrix::zeros(3, 2), Activation::Relu);
+        let l2 = FcLayer::without_bias(Matrix::zeros(2, 4), Activation::Relu);
+        let _ = Mlp::new(vec![l1, l2]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Element-wise vector operations shared across the substrate.
+
+/// Rectified linear unit applied in place: `x = max(x, 0)`.
+///
+/// ReLU is the source of EIE's *dynamic activation sparsity* (paper §I:
+/// ~70% of activations are zero after ReLU in typical networks).
+pub fn relu_inplace(xs: &mut [f32]) {
+    for x in xs.iter_mut() {
+        if *x < 0.0 {
+            *x = 0.0;
+        }
+    }
+}
+
+/// Logistic sigmoid `1 / (1 + e^-x)` (LSTM gates).
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Hyperbolic tangent (LSTM candidate / output squashing).
+pub fn tanh(x: f32) -> f32 {
+    x.tanh()
+}
+
+/// Fraction of non-zero entries — the paper's activation density (`Act%`).
+///
+/// Returns 0 for an empty slice.
+pub fn density(xs: &[f32]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().filter(|&&x| x != 0.0).count() as f64 / xs.len() as f64
+}
+
+/// Index of the maximum element (first one on ties).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn argmax(xs: &[f32]) -> usize {
+    assert!(!xs.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Largest absolute value in the slice (0 for an empty slice).
+pub fn max_abs(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+}
+
+/// Numerically-stable softmax.
+///
+/// Returns an empty vector for empty input.
+pub fn softmax(xs: &[f32]) -> Vec<f32> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let m = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = xs.iter().map(|&x| (x - m).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Mean squared error between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the slices are empty.
+pub fn mse(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(!a.is_empty(), "mse of empty slices");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| ((x - y) as f64).powi(2))
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// Maximum absolute difference between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .fold(0.0f32, |m, (&x, &y)| m.max((x - y).abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_zeroes_negatives_only() {
+        let mut xs = [-1.0, 0.0, 2.5, -0.1];
+        relu_inplace(&mut xs);
+        assert_eq!(xs, [0.0, 0.0, 2.5, 0.0]);
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        assert_eq!(sigmoid(0.0), 0.5);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(100.0) <= 1.0 && sigmoid(-100.0) >= 0.0);
+    }
+
+    #[test]
+    fn density_counts_nonzeros() {
+        assert_eq!(density(&[0.0, 1.0, 0.0, 2.0]), 0.5);
+        assert_eq!(density(&[]), 0.0);
+        assert_eq!(density(&[0.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[-5.0]), 0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let p = softmax(&[1000.0, 1001.0, 999.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(p.iter().all(|&x| x.is_finite()));
+        assert_eq!(argmax(&p), 1);
+    }
+
+    #[test]
+    fn mse_and_max_abs_diff() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 4.0]), 2.0);
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 0.0]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "argmax of empty")]
+    fn argmax_empty_panics() {
+        let _ = argmax(&[]);
+    }
+}

@@ -1,0 +1,552 @@
+//! Sparse matrix storage (CSR and CSC) and the sparse reference kernels.
+
+use std::fmt;
+
+use crate::Matrix;
+
+/// A sparse matrix in compressed sparse **row** format.
+///
+/// This is the storage format the paper's CPU/GPU sparse baselines use
+/// (`MKL SPBLAS CSRMV`, `cuSPARSE CSRMV`); [`spmv`](CsrMatrix::spmv) is the
+/// corresponding kernel. It is also the memory-friendly way to hold the big
+/// synthetic benchmark layers (a dense VGG-6 FC would be 411 MB).
+///
+/// # Example
+///
+/// ```
+/// use eie_nn::CsrMatrix;
+///
+/// // [[0, 2], [3, 0]]
+/// let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 2.0), (1, 0, 3.0)]);
+/// assert_eq!(m.spmv(&[1.0, 1.0]), vec![2.0, 3.0]);
+/// assert_eq!(m.nnz(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointers, length `rows + 1`.
+    row_ptr: Vec<u32>,
+    /// Column index of each stored element, length `nnz`.
+    col_idx: Vec<u32>,
+    /// Stored element values, length `nnz`.
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from `(row, col, value)` triplets.
+    ///
+    /// Triplets may be in any order; duplicates are summed. Explicit zeros
+    /// are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero or an index is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        let mut sorted: Vec<(usize, usize, f32)> = triplets.to_vec();
+        for &(r, c, _) in &sorted {
+            assert!(r < rows && c < cols, "triplet index out of bounds");
+        }
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0u32);
+        let mut current_row = 0usize;
+        let mut last_stored: Option<(usize, usize)> = None;
+        for (r, c, v) in sorted {
+            while current_row < r {
+                row_ptr.push(col_idx.len() as u32);
+                current_row += 1;
+            }
+            if last_stored == Some((r, c)) {
+                *values.last_mut().expect("duplicate implies stored value") += v;
+                continue;
+            }
+            if v != 0.0 {
+                col_idx.push(c as u32);
+                values.push(v);
+                last_stored = Some((r, c));
+            }
+        }
+        while current_row < rows {
+            row_ptr.push(col_idx.len() as u32);
+            current_row += 1;
+        }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Builds a CSR matrix from raw CSR arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays are inconsistent (wrong lengths, unsorted or
+    /// out-of-range column indices, non-monotone row pointers).
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<u32>,
+        col_idx: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        assert_eq!(row_ptr.len(), rows + 1, "row_ptr length mismatch");
+        assert_eq!(col_idx.len(), values.len(), "col/value length mismatch");
+        assert_eq!(*row_ptr.last().unwrap() as usize, values.len());
+        for w in row_ptr.windows(2) {
+            assert!(w[0] <= w[1], "row_ptr must be non-decreasing");
+            let (s, e) = (w[0] as usize, w[1] as usize);
+            for pair in col_idx[s..e].windows(2) {
+                assert!(pair[0] < pair[1], "column indices must be strictly increasing");
+            }
+            if e > s {
+                assert!((col_idx[e - 1] as usize) < cols, "column index out of range");
+            }
+        }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Converts a dense matrix, dropping zeros.
+    pub fn from_dense(m: &Matrix) -> Self {
+        let mut row_ptr = Vec::with_capacity(m.rows() + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0u32);
+        for r in 0..m.rows() {
+            for (c, &v) in m.row(r).iter().enumerate() {
+                if v != 0.0 {
+                    col_idx.push(c as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Materializes the dense equivalent. Use only on small matrices.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            for k in s..e {
+                m.set(r, self.col_idx[k] as usize, self.values[k]);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of non-zero elements (the paper's weight density `D`).
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// Row pointer array (length `rows + 1`).
+    pub fn row_ptr(&self) -> &[u32] {
+        &self.row_ptr
+    }
+
+    /// Column indices (length `nnz`).
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// Stored values (length `nnz`).
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Mutable stored values (pattern is fixed; values may be rewritten,
+    /// e.g. by weight-sharing quantization).
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
+    /// Iterates over `(row, col, value)` of stored elements in row order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            (s..e).map(move |k| (r, self.col_idx[k] as usize, self.values[k]))
+        })
+    }
+
+    /// Sparse matrix-vector product `y = W a` — the CPU sparse baseline
+    /// kernel (CSRMV, batch size 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != cols`.
+    pub fn spmv(&self, a: &[f32]) -> Vec<f32> {
+        assert_eq!(a.len(), self.cols, "vector length mismatch");
+        let mut y = vec![0.0f32; self.rows];
+        for (r, out) in y.iter_mut().enumerate() {
+            let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            let mut acc = 0.0f32;
+            for k in s..e {
+                acc += self.values[k] * a[self.col_idx[k] as usize];
+            }
+            *out = acc;
+        }
+        y
+    }
+
+    /// Batched sparse product: `A` is `cols × batch` column-major.
+    /// Returns `rows × batch` column-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != cols * batch` or `batch == 0`.
+    pub fn spmm(&self, a: &[f32], batch: usize) -> Vec<f32> {
+        assert!(batch > 0, "batch must be non-zero");
+        assert_eq!(a.len(), self.cols * batch, "batch buffer length mismatch");
+        let mut y = vec![0.0f32; self.rows * batch];
+        for b in 0..batch {
+            let x = &a[b * self.cols..(b + 1) * self.cols];
+            let out = &mut y[b * self.rows..(b + 1) * self.rows];
+            for (r, o) in out.iter_mut().enumerate() {
+                let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+                let mut acc = 0.0f32;
+                for k in s..e {
+                    acc += self.values[k] * x[self.col_idx[k] as usize];
+                }
+                *o = acc;
+            }
+        }
+        y
+    }
+
+    /// Converts to compressed sparse column format.
+    pub fn to_csc(&self) -> CscMatrix {
+        let nnz = self.nnz();
+        let mut col_counts = vec![0u32; self.cols + 1];
+        for &c in &self.col_idx {
+            col_counts[c as usize + 1] += 1;
+        }
+        for c in 0..self.cols {
+            col_counts[c + 1] += col_counts[c];
+        }
+        let col_ptr = col_counts.clone();
+        let mut row_idx = vec![0u32; nnz];
+        let mut values = vec![0.0f32; nnz];
+        let mut next = col_ptr.clone();
+        for (r, c, v) in self.iter() {
+            let slot = next[c] as usize;
+            row_idx[slot] = r as u32;
+            values[slot] = v;
+            next[c] += 1;
+        }
+        CscMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+}
+
+impl fmt::Display for CsrMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CsrMatrix({}x{}, nnz={}, density={:.2}%)",
+            self.rows,
+            self.cols,
+            self.nnz(),
+            self.density() * 100.0
+        )
+    }
+}
+
+/// A sparse matrix in compressed sparse **column** format.
+///
+/// EIE stores weights column-major (paper §III-B): CSC makes it cheap to
+/// visit exactly the weights multiplied by one input activation, which is
+/// how the accelerator exploits dynamic activation sparsity. The encoder in
+/// `eie-compress` consumes this type.
+///
+/// # Example
+///
+/// ```
+/// use eie_nn::{CsrMatrix, CscMatrix};
+///
+/// let csr = CsrMatrix::from_triplets(2, 3, &[(0, 2, 5.0), (1, 0, 1.0)]);
+/// let csc: CscMatrix = csr.to_csc();
+/// assert_eq!(csc.col_nnz(2), 1);
+/// assert_eq!(csc.spmv(&[1.0, 0.0, 2.0]), vec![10.0, 1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    /// Column pointers, length `cols + 1`.
+    col_ptr: Vec<u32>,
+    /// Row index of each stored element, length `nnz`.
+    row_idx: Vec<u32>,
+    /// Stored element values, length `nnz`.
+    values: Vec<f32>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from `(row, col, value)` triplets (any order,
+    /// duplicates summed, explicit zeros dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero or an index is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
+        CsrMatrix::from_triplets(rows, cols, triplets).to_csc()
+    }
+
+    /// Converts a dense matrix, dropping zeros.
+    pub fn from_dense(m: &Matrix) -> Self {
+        CsrMatrix::from_dense(m).to_csc()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of non-zero elements.
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// Column pointer array (length `cols + 1`).
+    pub fn col_ptr(&self) -> &[u32] {
+        &self.col_ptr
+    }
+
+    /// Row indices (length `nnz`).
+    pub fn row_idx(&self) -> &[u32] {
+        &self.row_idx
+    }
+
+    /// Stored values (length `nnz`).
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Number of stored elements in column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn col_nnz(&self, c: usize) -> usize {
+        assert!(c < self.cols, "column out of bounds");
+        (self.col_ptr[c + 1] - self.col_ptr[c]) as usize
+    }
+
+    /// Iterates over `(row, value)` pairs of column `c`, in row order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn col(&self, c: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        assert!(c < self.cols, "column out of bounds");
+        let (s, e) = (self.col_ptr[c] as usize, self.col_ptr[c + 1] as usize);
+        (s..e).map(move |k| (self.row_idx[k] as usize, self.values[k]))
+    }
+
+    /// Column-major SpMV `y = W a`: the access pattern EIE implements in
+    /// hardware (skip zero activations, walk their columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != cols`.
+    pub fn spmv(&self, a: &[f32]) -> Vec<f32> {
+        assert_eq!(a.len(), self.cols, "vector length mismatch");
+        let mut y = vec![0.0f32; self.rows];
+        for (c, &aj) in a.iter().enumerate() {
+            if aj == 0.0 {
+                continue; // dynamic activation sparsity
+            }
+            let (s, e) = (self.col_ptr[c] as usize, self.col_ptr[c + 1] as usize);
+            for k in s..e {
+                y[self.row_idx[k] as usize] += self.values[k] * aj;
+            }
+        }
+        y
+    }
+
+    /// Materializes the dense equivalent. Use only on small matrices.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for c in 0..self.cols {
+            for (r, v) in self.col(c) {
+                m.set(r, c, v);
+            }
+        }
+        m
+    }
+}
+
+impl fmt::Display for CscMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CscMatrix({}x{}, nnz={}, density={:.2}%)",
+            self.rows,
+            self.cols,
+            self.nnz(),
+            self.density() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [[1, 0, 2],
+        //  [0, 0, 0],
+        //  [0, 3, 4]]
+        CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 1, 3.0), (2, 2, 4.0)])
+    }
+
+    #[test]
+    fn triplets_build_and_spmv() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.spmv(&[1.0, 1.0, 1.0]), vec![3.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn triplets_any_order_and_duplicates() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(1, 1, 2.0), (0, 0, 1.0), (1, 1, 3.0)]);
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.spmv(&[1.0, 1.0]), vec![1.0, 5.0]);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = Matrix::from_rows(&[&[0.0, 5.0], &[7.0, 0.0]]);
+        let s = CsrMatrix::from_dense(&d);
+        assert_eq!(s.to_dense(), d);
+        assert_eq!(s.nnz(), 2);
+    }
+
+    #[test]
+    fn spmv_matches_dense_gemv() {
+        let m = sample();
+        let dense = m.to_dense();
+        let a = [0.5, -1.0, 2.0];
+        assert_eq!(m.spmv(&a), dense.gemv(&a));
+    }
+
+    #[test]
+    fn csc_conversion_preserves_matrix() {
+        let m = sample();
+        let csc = m.to_csc();
+        assert_eq!(csc.to_dense(), m.to_dense());
+        assert_eq!(csc.nnz(), m.nnz());
+        assert_eq!(csc.col_nnz(0), 1);
+        assert_eq!(csc.col_nnz(1), 1);
+        assert_eq!(csc.col_nnz(2), 2);
+    }
+
+    #[test]
+    fn csc_spmv_skips_zero_activations() {
+        let csc = sample().to_csc();
+        let dense = sample().to_dense();
+        let a = [0.0, 2.0, 0.0];
+        assert_eq!(csc.spmv(&a), dense.gemv(&a));
+    }
+
+    #[test]
+    fn csc_col_iterates_rows_in_order() {
+        let csc = sample().to_csc();
+        let col2: Vec<(usize, f32)> = csc.col(2).collect();
+        assert_eq!(col2, vec![(0, 2.0), (2, 4.0)]);
+    }
+
+    #[test]
+    fn spmm_matches_repeated_spmv() {
+        let m = sample();
+        let a = [1.0, 2.0, 3.0, -1.0, 0.0, 1.0];
+        let y = m.spmm(&a, 2);
+        assert_eq!(&y[0..3], m.spmv(&a[0..3]).as_slice());
+        assert_eq!(&y[3..6], m.spmv(&a[3..6]).as_slice());
+    }
+
+    #[test]
+    fn empty_rows_have_empty_spans() {
+        let m = sample();
+        assert_eq!(m.row_ptr()[1], m.row_ptr()[2]); // row 1 empty
+    }
+
+    #[test]
+    fn iter_yields_row_major_order() {
+        let m = sample();
+        let items: Vec<(usize, usize, f32)> = m.iter().collect();
+        assert_eq!(
+            items,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 1, 3.0), (2, 2, 4.0)]
+        );
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        let ok = CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]);
+        assert_eq!(ok.nnz(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_raw_rejects_unsorted_columns() {
+        let _ = CsrMatrix::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn triplets_reject_out_of_bounds() {
+        let _ = CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+}

@@ -1,0 +1,335 @@
+//! A small SGD trainer: produces the network for the Fig. 10 accuracy study.
+//!
+//! The paper's precision experiment needs a *trained* classifier whose
+//! accuracy can be re-measured under quantized inference. This module
+//! provides exactly that: He-initialized MLPs and mini-batch SGD with
+//! softmax cross-entropy.
+
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+use crate::dataset::{gauss, Dataset};
+use crate::{ops, Activation, FcLayer, Matrix, Mlp};
+
+/// Hyper-parameters for [`train_classifier`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 30,
+            learning_rate: 0.03,
+            batch_size: 16,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Per-epoch training telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Mean cross-entropy loss per epoch.
+    pub epoch_losses: Vec<f64>,
+}
+
+impl TrainReport {
+    /// Loss after the final epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no epochs were run.
+    pub fn final_loss(&self) -> f64 {
+        *self.epoch_losses.last().expect("no epochs trained")
+    }
+}
+
+/// Builds a He-initialized classifier MLP with ReLU hidden layers and an
+/// identity output layer (softmax lives in the loss).
+///
+/// `dims` is `[input, hidden..., classes]`.
+///
+/// # Panics
+///
+/// Panics if `dims.len() < 2` or any dimension is zero.
+///
+/// # Example
+///
+/// ```
+/// use eie_nn::train::new_classifier_mlp;
+///
+/// let mlp = new_classifier_mlp(1, &[16, 32, 8]);
+/// assert_eq!(mlp.input_dim(), 16);
+/// assert_eq!(mlp.output_dim(), 8);
+/// ```
+pub fn new_classifier_mlp(seed: u64, dims: &[usize]) -> Mlp {
+    assert!(dims.len() >= 2, "need at least input and output dims");
+    assert!(dims.iter().all(|&d| d > 0), "dimensions must be non-zero");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut layers = Vec::with_capacity(dims.len() - 1);
+    for (i, pair) in dims.windows(2).enumerate() {
+        let (fan_in, fan_out) = (pair[0], pair[1]);
+        let std = (2.0 / fan_in as f32).sqrt();
+        let w = Matrix::from_fn(fan_out, fan_in, |_, _| gauss(&mut rng) * std);
+        let act = if i + 2 == dims.len() {
+            Activation::Identity
+        } else {
+            Activation::Relu
+        };
+        layers.push(FcLayer::new(w, vec![0.0; fan_out], act));
+    }
+    Mlp::new(layers)
+}
+
+/// Trains `mlp` in place with mini-batch SGD on softmax cross-entropy.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty, dimensions mismatch the network, or a
+/// label is out of range.
+pub fn train_classifier(mlp: &mut Mlp, data: &Dataset, cfg: TrainConfig) -> TrainReport {
+    assert!(!data.is_empty(), "empty training set");
+    assert_eq!(data.dim, mlp.input_dim(), "dataset/network input mismatch");
+    assert!(
+        data.num_classes <= mlp.output_dim(),
+        "more classes than output logits"
+    );
+    assert!(cfg.batch_size > 0, "batch_size must be non-zero");
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut total_loss = 0.0f64;
+        for batch in order.chunks(cfg.batch_size) {
+            let mut grads = zero_grads(mlp);
+            for &i in batch {
+                total_loss += accumulate_example(mlp, &data.inputs[i], data.labels[i], &mut grads);
+            }
+            apply_grads(mlp, &grads, cfg.learning_rate / batch.len() as f32);
+        }
+        epoch_losses.push(total_loss / data.len() as f64);
+    }
+    TrainReport { epoch_losses }
+}
+
+/// Per-layer gradient buffers.
+struct Grads {
+    d_weights: Vec<Matrix>,
+    d_bias: Vec<Vec<f32>>,
+}
+
+fn zero_grads(mlp: &Mlp) -> Grads {
+    Grads {
+        d_weights: mlp
+            .layers()
+            .iter()
+            .map(|l| Matrix::zeros(l.output_dim(), l.input_dim()))
+            .collect(),
+        d_bias: mlp
+            .layers()
+            .iter()
+            .map(|l| vec![0.0; l.output_dim()])
+            .collect(),
+    }
+}
+
+/// Runs forward + backward for one example; returns its cross-entropy loss.
+fn accumulate_example(mlp: &Mlp, x: &[f32], label: usize, grads: &mut Grads) -> f64 {
+    let n_layers = mlp.layers().len();
+    // Forward, keeping inputs and pre-activations of every layer.
+    let mut inputs: Vec<Vec<f32>> = Vec::with_capacity(n_layers);
+    let mut pre: Vec<Vec<f32>> = Vec::with_capacity(n_layers);
+    let mut a = x.to_vec();
+    for layer in mlp.layers() {
+        inputs.push(a.clone());
+        let z = layer.pre_activation(&a);
+        let mut act = z.clone();
+        layer.activation().apply(&mut act);
+        pre.push(z);
+        a = act;
+    }
+
+    let probs = ops::softmax(&a);
+    assert!(label < probs.len(), "label out of range");
+    let loss = -(probs[label].max(1e-12) as f64).ln();
+
+    // dL/dz for the output layer (identity activation + softmax CE).
+    let mut dz: Vec<f32> = probs;
+    dz[label] -= 1.0;
+
+    for li in (0..n_layers).rev() {
+        let layer = &mlp.layers()[li];
+        // Fold activation derivative into dz (output layer is identity).
+        if li != n_layers - 1 {
+            apply_activation_grad(layer.activation(), &pre[li], &mut dz);
+        }
+        // Weight and bias grads.
+        let input = &inputs[li];
+        let dw = &mut grads.d_weights[li];
+        for (r, &g) in dz.iter().enumerate() {
+            if g != 0.0 {
+                let row = dw.row_mut(r);
+                for (c, &xin) in input.iter().enumerate() {
+                    row[c] += g * xin;
+                }
+            }
+        }
+        for (b, &g) in grads.d_bias[li].iter_mut().zip(&dz) {
+            *b += g;
+        }
+        // Propagate to previous layer: dz_prev = Wᵀ dz.
+        if li > 0 {
+            let w = layer.weights();
+            let mut prev = vec![0.0f32; layer.input_dim()];
+            for (r, &g) in dz.iter().enumerate() {
+                if g != 0.0 {
+                    for (c, p) in prev.iter_mut().enumerate() {
+                        *p += w.get(r, c) * g;
+                    }
+                }
+            }
+            dz = prev;
+        }
+    }
+    loss
+}
+
+fn apply_activation_grad(act: Activation, pre: &[f32], dz: &mut [f32]) {
+    match act {
+        Activation::Relu => {
+            for (g, &z) in dz.iter_mut().zip(pre) {
+                if z <= 0.0 {
+                    *g = 0.0;
+                }
+            }
+        }
+        Activation::Identity => {}
+        Activation::Sigmoid => {
+            for (g, &z) in dz.iter_mut().zip(pre) {
+                let s = ops::sigmoid(z);
+                *g *= s * (1.0 - s);
+            }
+        }
+        Activation::Tanh => {
+            for (g, &z) in dz.iter_mut().zip(pre) {
+                let t = z.tanh();
+                *g *= 1.0 - t * t;
+            }
+        }
+    }
+}
+
+fn apply_grads(mlp: &mut Mlp, grads: &Grads, lr: f32) {
+    for (li, layer) in mlp.layers_mut().iter_mut().enumerate() {
+        let dw = &grads.d_weights[li];
+        let w = layer.weights_mut();
+        for (wv, gv) in w.as_mut_slice().iter_mut().zip(dw.as_slice()) {
+            *wv -= lr * gv;
+        }
+        for (bv, gv) in layer.bias_mut().iter_mut().zip(&grads.d_bias[li]) {
+            *bv -= lr * gv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{gaussian_clusters, ClusterSpec};
+
+    #[test]
+    fn loss_decreases_on_separable_data() {
+        let data = gaussian_clusters(
+            11,
+            ClusterSpec {
+                num_classes: 4,
+                dim: 8,
+                per_class: 40,
+                center_radius: 4.0,
+                noise_std: 0.6,
+            },
+        );
+        let mut mlp = new_classifier_mlp(7, &[8, 16, 4]);
+        let report = train_classifier(
+            &mut mlp,
+            &data,
+            TrainConfig {
+                epochs: 12,
+                ..TrainConfig::default()
+            },
+        );
+        assert!(
+            report.final_loss() < report.epoch_losses[0] * 0.5,
+            "loss did not halve: {:?}",
+            report.epoch_losses
+        );
+    }
+
+    #[test]
+    fn reaches_high_accuracy_on_easy_task() {
+        let data = gaussian_clusters(
+            21,
+            ClusterSpec {
+                num_classes: 3,
+                dim: 6,
+                per_class: 60,
+                center_radius: 5.0,
+                noise_std: 0.5,
+            },
+        );
+        let (train, test) = data.split(0.25);
+        let mut mlp = new_classifier_mlp(3, &[6, 12, 3]);
+        train_classifier(&mut mlp, &train, TrainConfig::default());
+        let acc = mlp.accuracy(&test.inputs, &test.labels);
+        assert!(acc > 0.9, "accuracy {acc} too low");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = gaussian_clusters(5, ClusterSpec::default());
+        let cfg = TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        };
+        let mut a = new_classifier_mlp(1, &[16, 8, 8]);
+        let mut b = new_classifier_mlp(1, &[16, 8, 8]);
+        let ra = train_classifier(&mut a, &data, cfg);
+        let rb = train_classifier(&mut b, &data, cfg);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn he_init_scales_with_fan_in() {
+        let mlp = new_classifier_mlp(2, &[100, 10]);
+        let w = mlp.layers()[0].weights();
+        let std = (w.as_slice().iter().map(|&v| (v * v) as f64).sum::<f64>()
+            / w.as_slice().len() as f64)
+            .sqrt();
+        let expected = (2.0f64 / 100.0).sqrt();
+        assert!(
+            (std - expected).abs() < expected * 0.3,
+            "std {std} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "input mismatch")]
+    fn rejects_wrong_input_dim() {
+        let data = gaussian_clusters(1, ClusterSpec::default()); // dim 16
+        let mut mlp = new_classifier_mlp(1, &[8, 8]);
+        let _ = train_classifier(&mut mlp, &data, TrainConfig::default());
+    }
+}

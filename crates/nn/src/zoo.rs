@@ -1,0 +1,412 @@
+//! The benchmark model zoo: the nine layers of the paper's Table III.
+//!
+//! The paper evaluates EIE on nine FC layers drawn from compressed AlexNet,
+//! VGG-16 and NeuralTalk. The trained weights are not redistributable, so
+//! this zoo generates **seeded synthetic layers with the exact shapes,
+//! weight densities and activation densities of Table III** (the paper's
+//! own model of sparsity is "random distribution", §VII-A). Performance and
+//! energy behaviour depend only on these statistics, not on weight values;
+//! see `DESIGN.md` for the substitution rationale.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::CsrMatrix;
+
+/// Default generation seed used by experiments (so every binary sees the
+/// same layers).
+pub const DEFAULT_SEED: u64 = 0xE1E;
+
+/// One of the paper's nine benchmark layers (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// AlexNet FC6: 9216 → 4096, 9% weights, 35.1% activations.
+    Alex6,
+    /// AlexNet FC7: 4096 → 4096, 9% weights, 35.3% activations.
+    Alex7,
+    /// AlexNet FC8: 4096 → 1000, 25% weights, 37.5% activations.
+    Alex8,
+    /// VGG-16 FC6: 25088 → 4096, 4% weights, 18.3% activations.
+    Vgg6,
+    /// VGG-16 FC7: 4096 → 4096, 4% weights, 37.5% activations.
+    Vgg7,
+    /// VGG-16 FC8: 4096 → 1000, 23% weights, 41.1% activations.
+    Vgg8,
+    /// NeuralTalk We (word embedding): 4096 → 600, 10% weights, dense acts.
+    NtWe,
+    /// NeuralTalk Wd (word decoder): 600 → 8791, 11% weights, dense acts.
+    NtWd,
+    /// NeuralTalk LSTM gate matrix: 1201 → 2400, 10% weights, dense acts.
+    NtLstm,
+}
+
+impl Benchmark {
+    /// All nine benchmarks in the paper's presentation order.
+    pub const ALL: [Benchmark; 9] = [
+        Benchmark::Alex6,
+        Benchmark::Alex7,
+        Benchmark::Alex8,
+        Benchmark::Vgg6,
+        Benchmark::Vgg7,
+        Benchmark::Vgg8,
+        Benchmark::NtWe,
+        Benchmark::NtWd,
+        Benchmark::NtLstm,
+    ];
+
+    /// The paper's display name (e.g. `"Alex-6"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Alex6 => "Alex-6",
+            Benchmark::Alex7 => "Alex-7",
+            Benchmark::Alex8 => "Alex-8",
+            Benchmark::Vgg6 => "VGG-6",
+            Benchmark::Vgg7 => "VGG-7",
+            Benchmark::Vgg8 => "VGG-8",
+            Benchmark::NtWe => "NT-We",
+            Benchmark::NtWd => "NT-Wd",
+            Benchmark::NtLstm => "NT-LSTM",
+        }
+    }
+
+    /// `(rows, cols)` of the weight matrix: rows = outputs, cols = inputs.
+    ///
+    /// Table III lists layers as `input, output`; e.g. Alex-6 is
+    /// "9216, 4096" → a 4096 × 9216 matrix.
+    pub fn dims(self) -> (usize, usize) {
+        match self {
+            Benchmark::Alex6 => (4096, 9216),
+            Benchmark::Alex7 => (4096, 4096),
+            Benchmark::Alex8 => (1000, 4096),
+            Benchmark::Vgg6 => (4096, 25088),
+            Benchmark::Vgg7 => (4096, 4096),
+            Benchmark::Vgg8 => (1000, 4096),
+            Benchmark::NtWe => (600, 4096),
+            Benchmark::NtWd => (8791, 600),
+            Benchmark::NtLstm => (2400, 1201),
+        }
+    }
+
+    /// Weight density after pruning (Table III `Weight%`).
+    pub fn weight_density(self) -> f64 {
+        match self {
+            Benchmark::Alex6 | Benchmark::Alex7 => 0.09,
+            Benchmark::Alex8 => 0.25,
+            Benchmark::Vgg6 | Benchmark::Vgg7 => 0.04,
+            Benchmark::Vgg8 => 0.23,
+            Benchmark::NtWe => 0.10,
+            Benchmark::NtWd => 0.11,
+            Benchmark::NtLstm => 0.10,
+        }
+    }
+
+    /// Input activation density (Table III `Act%`).
+    pub fn act_density(self) -> f64 {
+        match self {
+            Benchmark::Alex6 => 0.351,
+            Benchmark::Alex7 => 0.353,
+            Benchmark::Alex8 => 0.375,
+            Benchmark::Vgg6 => 0.183,
+            Benchmark::Vgg7 => 0.375,
+            Benchmark::Vgg8 => 0.411,
+            Benchmark::NtWe | Benchmark::NtWd | Benchmark::NtLstm => 1.0,
+        }
+    }
+
+    /// True for the NeuralTalk layers, whose inputs are dense and signed
+    /// (embeddings / LSTM states rather than post-ReLU activations).
+    pub fn has_signed_activations(self) -> bool {
+        matches!(
+            self,
+            Benchmark::NtWe | Benchmark::NtWd | Benchmark::NtLstm
+        )
+    }
+
+    /// The source network, as described in Table III.
+    pub fn description(self) -> &'static str {
+        match self {
+            Benchmark::Alex6 | Benchmark::Alex7 | Benchmark::Alex8 => {
+                "Compressed AlexNet for large-scale image classification"
+            }
+            Benchmark::Vgg6 | Benchmark::Vgg7 | Benchmark::Vgg8 => {
+                "Compressed VGG-16 for image classification and object detection"
+            }
+            Benchmark::NtWe | Benchmark::NtWd | Benchmark::NtLstm => {
+                "Compressed NeuralTalk (RNN + LSTM) for image captioning"
+            }
+        }
+    }
+
+    /// Generates the full-size synthetic layer, seeded.
+    pub fn generate(self, seed: u64) -> BenchLayer {
+        let (rows, cols) = self.dims();
+        BenchLayer {
+            benchmark: self,
+            weights: random_sparse(rows, cols, self.weight_density(), mix(seed, self as u64)),
+        }
+    }
+
+    /// Generates a layer with both dimensions divided by `divisor`
+    /// (clamped to ≥ 16): same densities, test-friendly size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor == 0`.
+    pub fn generate_scaled(self, seed: u64, divisor: usize) -> BenchLayer {
+        assert!(divisor > 0, "divisor must be non-zero");
+        let (rows, cols) = self.dims();
+        let rows = (rows / divisor).max(16);
+        let cols = (cols / divisor).max(16);
+        BenchLayer {
+            benchmark: self,
+            weights: random_sparse(rows, cols, self.weight_density(), mix(seed, self as u64)),
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A generated benchmark layer: sparse weights plus its Table III identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchLayer {
+    /// Which Table III row this layer instantiates.
+    pub benchmark: Benchmark,
+    /// The pruned weight matrix.
+    pub weights: CsrMatrix,
+}
+
+impl BenchLayer {
+    /// Samples an input activation vector with the benchmark's Table III
+    /// activation density; values are half-normal (post-ReLU layers) or
+    /// normal (NeuralTalk layers), scaled to stay in Q8.8 range.
+    pub fn sample_activations(&self, seed: u64) -> Vec<f32> {
+        sample_activations(
+            self.weights.cols(),
+            self.benchmark.act_density(),
+            self.benchmark.has_signed_activations(),
+            mix(seed, 0x0ac7 ^ self.benchmark as u64),
+        )
+    }
+}
+
+/// Generates a random sparse matrix with i.i.d. Bernoulli(`density`)
+/// pattern via geometric gap sampling (O(nnz), not O(rows·cols)).
+///
+/// Values are signed, bimodal around ±(0.1..1.1) — the shape of a pruned
+/// weight distribution (small magnitudes were pruned away).
+///
+/// # Panics
+///
+/// Panics if `density` is outside `(0, 1]` or a dimension is zero.
+pub fn random_sparse(rows: usize, cols: usize, density: f64, seed: u64) -> CsrMatrix {
+    assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+    assert!(
+        density > 0.0 && density <= 1.0,
+        "density must be in (0, 1], got {density}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let expected = ((rows * cols) as f64 * density) as usize;
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    let mut col_idx = Vec::with_capacity(expected + rows);
+    let mut values = Vec::with_capacity(expected + rows);
+    row_ptr.push(0u32);
+
+    let ln_q = (1.0 - density).ln(); // density < 1 checked below
+    for _ in 0..rows {
+        let mut c = if density >= 1.0 {
+            0
+        } else {
+            geometric_gap(&mut rng, ln_q)
+        };
+        while c < cols {
+            col_idx.push(c as u32);
+            values.push(weight_value(&mut rng));
+            c += 1 + if density >= 1.0 {
+                0
+            } else {
+                geometric_gap(&mut rng, ln_q)
+            };
+        }
+        row_ptr.push(col_idx.len() as u32);
+    }
+    CsrMatrix::from_raw(rows, cols, row_ptr, col_idx, values)
+}
+
+/// Samples an activation vector of `len` entries at the given density.
+///
+/// # Panics
+///
+/// Panics if `density` is outside `[0, 1]`.
+pub fn sample_activations(len: usize, density: f64, signed: bool, seed: u64) -> Vec<f32> {
+    assert!(
+        (0.0..=1.0).contains(&density),
+        "density must be in [0, 1], got {density}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            if rng.gen::<f64>() >= density {
+                return 0.0;
+            }
+            let g = crate::dataset::gauss(&mut rng).clamp(-4.0, 4.0);
+            let magnitude = 0.05 + g.abs() * 0.75;
+            if signed && rng.gen::<bool>() {
+                -magnitude
+            } else {
+                magnitude
+            }
+        })
+        .collect()
+}
+
+/// Number of zeros before the next success of a Bernoulli(p) process,
+/// computed by inversion: `floor(ln U / ln(1-p))`.
+fn geometric_gap(rng: &mut StdRng, ln_q: f64) -> usize {
+    let u: f64 = rng.gen::<f64>().max(1e-300);
+    let g = (u.ln() / ln_q).floor();
+    if g >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        g as usize
+    }
+}
+
+/// A pruned-looking weight: sign · (0.1 + |N(0, 0.4)|), clamped to ±2.
+fn weight_value(rng: &mut StdRng) -> f32 {
+    let g = crate::dataset::gauss(rng) * 0.4;
+    let magnitude = (0.1 + g.abs()).min(2.0);
+    if rng.gen::<bool>() {
+        magnitude
+    } else {
+        -magnitude
+    }
+}
+
+/// Splitmix-style seed mixing so each (seed, benchmark) pair gets an
+/// independent stream.
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn all_lists_nine() {
+        assert_eq!(Benchmark::ALL.len(), 9);
+        let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "Alex-6", "Alex-7", "Alex-8", "VGG-6", "VGG-7", "VGG-8", "NT-We", "NT-Wd",
+                "NT-LSTM"
+            ]
+        );
+    }
+
+    #[test]
+    fn dims_match_table_iii() {
+        assert_eq!(Benchmark::Alex6.dims(), (4096, 9216));
+        assert_eq!(Benchmark::Vgg6.dims(), (4096, 25088));
+        assert_eq!(Benchmark::NtWd.dims(), (8791, 600));
+        assert_eq!(Benchmark::NtLstm.dims(), (2400, 1201));
+    }
+
+    #[test]
+    fn random_sparse_hits_target_density() {
+        let m = random_sparse(500, 400, 0.09, 7);
+        assert!(
+            (m.density() - 0.09).abs() < 0.01,
+            "density {} off target",
+            m.density()
+        );
+    }
+
+    #[test]
+    fn random_sparse_is_deterministic() {
+        let a = random_sparse(50, 60, 0.2, 123);
+        let b = random_sparse(50, 60, 0.2, 123);
+        assert_eq!(a, b);
+        let c = random_sparse(50, 60, 0.2, 124);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_sparse_dense_limit() {
+        let m = random_sparse(10, 10, 1.0, 3);
+        assert_eq!(m.nnz(), 100);
+    }
+
+    #[test]
+    fn weight_values_are_bounded_and_nonzero() {
+        let m = random_sparse(100, 100, 0.3, 5);
+        for &v in m.values() {
+            assert!(v != 0.0 && v.abs() >= 0.1 && v.abs() <= 2.0, "bad weight {v}");
+        }
+    }
+
+    #[test]
+    fn scaled_generation_shrinks_dims() {
+        let l = Benchmark::Vgg6.generate_scaled(1, 64);
+        assert_eq!(l.weights.rows(), 64);
+        assert_eq!(l.weights.cols(), 392);
+        let d = l.weights.density();
+        assert!((d - 0.04).abs() < 0.02, "density {d}");
+    }
+
+    #[test]
+    fn activations_hit_density_and_sign_conventions() {
+        let relu_layer = Benchmark::Alex7.generate_scaled(1, 8);
+        let a = relu_layer.sample_activations(0);
+        assert_eq!(a.len(), 512);
+        let d = ops::density(&a);
+        assert!((d - 0.353).abs() < 0.08, "activation density {d}");
+        assert!(a.iter().all(|&x| x >= 0.0), "ReLU activations must be >= 0");
+
+        let nt = Benchmark::NtLstm.generate_scaled(1, 8);
+        let a = nt.sample_activations(0);
+        assert_eq!(ops::density(&a), 1.0);
+        assert!(a.iter().any(|&x| x < 0.0), "NT activations are signed");
+    }
+
+    #[test]
+    fn activations_stay_in_fixed_point_range() {
+        let l = Benchmark::Alex6.generate_scaled(2, 16);
+        let a = l.sample_activations(9);
+        assert!(ops::max_abs(&a) < 8.0);
+    }
+
+    #[test]
+    fn full_size_generation_matches_spec() {
+        // Use the smallest full-size layer to keep the test fast.
+        let l = Benchmark::NtWe.generate(DEFAULT_SEED);
+        assert_eq!(l.weights.rows(), 600);
+        assert_eq!(l.weights.cols(), 4096);
+        let d = l.weights.density();
+        assert!((d - 0.10).abs() < 0.005, "density {d}");
+    }
+
+    #[test]
+    fn different_benchmarks_get_independent_streams() {
+        // Same seed, different benchmark → different matrices even with
+        // identical dims (Alex-7 vs VGG-7 share 4096×4096).
+        let a = Benchmark::Alex7.generate_scaled(42, 32);
+        let b = Benchmark::Vgg7.generate_scaled(42, 32);
+        assert_ne!(a.weights, b.weights);
+    }
+
+    #[test]
+    #[should_panic(expected = "density")]
+    fn random_sparse_rejects_zero_density() {
+        let _ = random_sparse(4, 4, 0.0, 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Property-based tests for the NN substrate.
+
+use eie_nn::zoo::{random_sparse, sample_activations};
+use eie_nn::{ops, CscMatrix, CsrMatrix, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a small random dense matrix with a controllable zero fraction.
+fn arb_dense() -> impl Strategy<Value = Matrix> {
+    (1usize..12, 1usize..12).prop_flat_map(|(r, c)| {
+        prop::collection::vec(
+            prop_oneof![3 => Just(0.0f32), 2 => -4.0f32..4.0],
+            r * c,
+        )
+        .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+fn arb_vector(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(prop_oneof![1 => Just(0.0f32), 1 => -4.0f32..4.0], len)
+}
+
+proptest! {
+    /// CSR round-trips through dense exactly.
+    #[test]
+    fn csr_dense_roundtrip(m in arb_dense()) {
+        let s = CsrMatrix::from_dense(&m);
+        prop_assert_eq!(s.to_dense(), m);
+    }
+
+    /// CSC round-trips through dense exactly.
+    #[test]
+    fn csc_dense_roundtrip(m in arb_dense()) {
+        let s = CscMatrix::from_dense(&m);
+        prop_assert_eq!(s.to_dense(), m);
+    }
+
+    /// CSR→CSC conversion preserves the matrix.
+    #[test]
+    fn csr_to_csc_preserves(m in arb_dense()) {
+        let csr = CsrMatrix::from_dense(&m);
+        prop_assert_eq!(csr.to_csc().to_dense(), m);
+    }
+
+    /// Sparse SpMV (both formats) agrees with dense GEMV bit-for-bat on
+    /// matrices whose rows accumulate in the same order.
+    #[test]
+    fn spmv_matches_gemv((m, a) in arb_dense().prop_flat_map(|m| {
+        let cols = m.cols();
+        (Just(m), arb_vector(cols))
+    })) {
+        let csr = CsrMatrix::from_dense(&m);
+        let csc = m.transpose().transpose(); // keep a dense copy
+        let y_dense = csc.gemv(&a);
+        let y_csr = csr.spmv(&a);
+        // CSR accumulates row-wise in column order — same order as the
+        // dense loop, so results are bitwise equal.
+        prop_assert_eq!(&y_csr, &y_dense);
+        // CSC accumulates column-major; floating-point order differs, so
+        // allow tiny tolerance.
+        let y_csc = csr.to_csc().spmv(&a);
+        for (x, y) in y_csc.iter().zip(&y_dense) {
+            prop_assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()));
+        }
+    }
+
+    /// GEMM over batch-of-1 equals GEMV.
+    #[test]
+    fn gemm_batch1_is_gemv((m, a) in arb_dense().prop_flat_map(|m| {
+        let cols = m.cols();
+        (Just(m), arb_vector(cols))
+    })) {
+        prop_assert_eq!(m.gemm(&a, 1), m.gemv(&a));
+    }
+
+    /// random_sparse respects dimensions, bounds, and validity.
+    #[test]
+    fn random_sparse_valid(rows in 1usize..80, cols in 1usize..80,
+                           density in 0.02f64..1.0, seed in any::<u64>()) {
+        let m = random_sparse(rows, cols, density, seed);
+        prop_assert_eq!(m.rows(), rows);
+        prop_assert_eq!(m.cols(), cols);
+        prop_assert!(m.nnz() <= rows * cols);
+        for (r, c, v) in m.iter() {
+            prop_assert!(r < rows && c < cols);
+            prop_assert!(v != 0.0);
+        }
+    }
+
+    /// Activation sampling respects length, density direction and sign.
+    #[test]
+    fn activations_valid(len in 1usize..2000, density in 0.0f64..=1.0,
+                         signed in any::<bool>(), seed in any::<u64>()) {
+        let a = sample_activations(len, density, signed, seed);
+        prop_assert_eq!(a.len(), len);
+        if !signed {
+            prop_assert!(a.iter().all(|&x| x >= 0.0));
+        }
+        if density == 0.0 {
+            prop_assert_eq!(ops::density(&a), 0.0);
+        }
+    }
+
+    /// Density estimator is consistent with nnz.
+    #[test]
+    fn density_consistent(m in arb_dense()) {
+        let s = CsrMatrix::from_dense(&m);
+        let expected = s.nnz() as f64 / (m.rows() * m.cols()) as f64;
+        prop_assert!((s.density() - expected).abs() < 1e-12);
+    }
+
+    /// Softmax output is a probability distribution preserving argmax.
+    #[test]
+    fn softmax_distribution(xs in prop::collection::vec(-20.0f32..20.0, 1..32)) {
+        let p = ops::softmax(&xs);
+        prop_assert_eq!(p.len(), xs.len());
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        prop_assert_eq!(ops::argmax(&p), ops::argmax(&xs));
+    }
+
+    /// Transpose is an involution and swaps indices.
+    #[test]
+    fn transpose_involution(m in arb_dense()) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+}
+
+mod conv_props {
+    use eie_nn::conv::{conv1x1, conv3x3_direct, FeatureMap, WinogradConv3x3};
+    use eie_nn::Matrix;
+    use proptest::prelude::*;
+
+    /// Strategy: a random 3×3 kernel tensor plus a compatible feature map
+    /// with even Winograd output size.
+    fn arb_conv_case() -> impl Strategy<Value = (Vec<Vec<[f32; 9]>>, FeatureMap)> {
+        (1usize..4, 1usize..4, 1usize..4, 1usize..4, any::<u64>()).prop_map(
+            |(out_ch, in_ch, th, tw, seed)| {
+                let mut state = seed;
+                let mut next = move || {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((state >> 33) as i32 % 1000) as f32 / 500.0 - 1.0
+                };
+                let kernels: Vec<Vec<[f32; 9]>> = (0..out_ch)
+                    .map(|_| {
+                        (0..in_ch)
+                            .map(|_| {
+                                let mut k = [0.0f32; 9];
+                                for v in k.iter_mut() {
+                                    *v = next();
+                                }
+                                k
+                            })
+                            .collect()
+                    })
+                    .collect();
+                // Input H×W so the valid 3×3 output is 2*th × 2*tw (even).
+                let (h, w) = (2 * th + 2, 2 * tw + 2);
+                let fm = FeatureMap::from_fn(in_ch, h, w, |_, _, _| next());
+                (kernels, fm)
+            },
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Winograd F(2×2,3×3) equals direct convolution for any kernels
+        /// and any (even-output) input — the §VII-C correctness invariant.
+        #[test]
+        fn winograd_equals_direct((kernels, input) in arb_conv_case()) {
+            let direct = conv3x3_direct(&kernels, &input);
+            let wino = WinogradConv3x3::from_kernels(&kernels).forward(&input);
+            for c in 0..direct.channels() {
+                for y in 0..direct.height() {
+                    for x in 0..direct.width() {
+                        let (a, b) = (direct.get(c, y, x), wino.get(c, y, x));
+                        prop_assert!(
+                            (a - b).abs() < 1e-3 * (1.0 + b.abs()),
+                            "({c},{y},{x}): {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+
+        /// conv1x1 is linear in the input: f(a·x) = a·f(x).
+        #[test]
+        fn conv1x1_is_linear((kernels, input) in arb_conv_case(), scale in 0.25f32..4.0) {
+            let in_ch = kernels[0].len();
+            let w = Matrix::from_fn(kernels.len(), in_ch, |r, c| kernels[r][c][4]);
+            let base = conv1x1(&w, &input);
+            let scaled_input = FeatureMap::from_fn(
+                input.channels(), input.height(), input.width(),
+                |c, y, x| input.get(c, y, x) * scale,
+            );
+            let scaled = conv1x1(&w, &scaled_input);
+            for c in 0..base.channels() {
+                for y in 0..base.height() {
+                    for x in 0..base.width() {
+                        let want = base.get(c, y, x) * scale;
+                        let got = scaled.get(c, y, x);
+                        prop_assert!((got - want).abs() < 1e-3 * (1.0 + want.abs()));
+                    }
+                }
+            }
+        }
+
+        /// The 16 position matrices carry exactly the kernel information:
+        /// rebuilding the forward pass from position_matrix() hooks equals
+        /// the built-in forward.
+        #[test]
+        fn position_matrices_are_complete((kernels, input) in arb_conv_case()) {
+            let conv = WinogradConv3x3::from_kernels(&kernels);
+            let a = conv.forward(&input);
+            let b = conv.forward_with(&input, |pos, v| {
+                conv.position_matrix(pos / 4, pos % 4).gemv(v)
+            });
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The two-phase clocking discipline of the paper's simulator (§V).
+//!
+//! "Each hardware module is abstracted as an object that implements two
+//! abstract methods: propagate and update, corresponding to combination
+//! logic and the flip-flop in RTL."
+//!
+//! [`Clocked`] captures that contract; [`run_until`] is the generic clock
+//! driver. The EIE system model implements `Clocked` for the whole
+//! accelerator (PEs + CCU), keeping each cycle's decisions a pure function
+//! of the pre-edge state.
+
+/// A synchronous hardware module with separate combinational and
+/// sequential phases.
+///
+/// One simulated cycle is `propagate()` followed by `update()`:
+///
+/// * `propagate` evaluates combinational logic — it may *read* any state
+///   and compute next-state values, but must not make them observable;
+/// * `update` is the clock edge — it commits the next-state values.
+///
+/// Keeping the phases separate makes module evaluation order within a
+/// cycle irrelevant, exactly like RTL.
+pub trait Clocked {
+    /// Evaluates combinational logic from current state into next state.
+    fn propagate(&mut self);
+    /// Commits next state (the rising clock edge).
+    fn update(&mut self);
+}
+
+/// Drives `module` until `done` returns true, up to `max_cycles`.
+///
+/// Returns the number of cycles executed, or `None` if the budget was
+/// exhausted before completion (a hang — e.g. deadlocked backpressure).
+///
+/// # Example
+///
+/// ```
+/// use eie_sim::{run_until, Clocked};
+///
+/// struct Counter { value: u32, next: u32 }
+/// impl Clocked for Counter {
+///     fn propagate(&mut self) { self.next = self.value + 1; }
+///     fn update(&mut self) { self.value = self.next; }
+/// }
+///
+/// let mut c = Counter { value: 0, next: 0 };
+/// let cycles = run_until(&mut c, 1000, |c| c.value == 42);
+/// assert_eq!(cycles, Some(42));
+/// ```
+pub fn run_until<M: Clocked>(
+    module: &mut M,
+    max_cycles: u64,
+    mut done: impl FnMut(&M) -> bool,
+) -> Option<u64> {
+    let mut cycles = 0u64;
+    while !done(module) {
+        if cycles >= max_cycles {
+            return None;
+        }
+        module.propagate();
+        module.update();
+        cycles += 1;
+    }
+    Some(cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Shifter {
+        stages: [u8; 3],
+        next: [u8; 3],
+        input: u8,
+    }
+
+    impl Clocked for Shifter {
+        fn propagate(&mut self) {
+            self.next = [self.input, self.stages[0], self.stages[1]];
+        }
+        fn update(&mut self) {
+            self.stages = self.next;
+        }
+    }
+
+    #[test]
+    fn two_phase_gives_register_semantics() {
+        let mut s = Shifter {
+            stages: [0; 3],
+            next: [0; 3],
+            input: 7,
+        };
+        // After one cycle only stage 0 sees the input (no fall-through).
+        s.propagate();
+        s.update();
+        assert_eq!(s.stages, [7, 0, 0]);
+        s.input = 9;
+        s.propagate();
+        s.update();
+        assert_eq!(s.stages, [9, 7, 0]);
+    }
+
+    #[test]
+    fn run_until_counts_cycles() {
+        let mut s = Shifter {
+            stages: [0; 3],
+            next: [0; 3],
+            input: 1,
+        };
+        let n = run_until(&mut s, 100, |s| s.stages[2] == 1);
+        assert_eq!(n, Some(3));
+    }
+
+    #[test]
+    fn run_until_reports_hang() {
+        let mut s = Shifter {
+            stages: [0; 3],
+            next: [0; 3],
+            input: 0,
+        };
+        assert_eq!(run_until(&mut s, 10, |s| s.stages[2] == 1), None);
+    }
+
+    #[test]
+    fn run_until_zero_cycles_when_already_done() {
+        let mut s = Shifter {
+            stages: [5, 5, 5],
+            next: [0; 3],
+            input: 0,
+        };
+        assert_eq!(run_until(&mut s, 10, |_| true), Some(0));
+    }
+}

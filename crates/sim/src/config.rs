@@ -1,0 +1,156 @@
+//! Simulator configuration: the design parameters of §IV/§VI.
+
+/// Micro-architectural parameters of the simulated accelerator.
+///
+/// Defaults match the paper's chosen design point: FIFO depth 8 (Fig. 8),
+/// 64-bit sparse-matrix SRAM interface (Fig. 9), 800 MHz clock, 64-entry
+/// activation register file per PE, banked pointer SRAM, accumulator
+/// bypass, and a real (non-oracle) LNZD broadcast tree with fan-in 4.
+///
+/// The boolean knobs exist for the ablation studies: disabling them costs
+/// cycles exactly where the hardware feature saves them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Activation-queue depth per PE (paper sweeps 1..256, picks 8).
+    pub fifo_depth: usize,
+    /// Sparse-matrix SRAM interface width in bits (paper sweeps 32..512,
+    /// picks 64). Each entry is 8 bits, so `width/8` entries per fetch.
+    pub spmat_width_bits: u32,
+    /// Core clock (Hz). The paper's PE runs at 800 MHz in 45 nm.
+    pub clock_hz: f64,
+    /// Activation register-file entries per PE (source/destination files,
+    /// 64 each in the paper). Inputs beyond `act_regfile_entries × N`
+    /// positions are processed in batches with an SRAM spill/refill drain.
+    pub act_regfile_entries: usize,
+    /// Pointer SRAM split into even/odd banks so `p_j`/`p_{j+1}` read in
+    /// one cycle (paper §IV). `false` serializes the two reads (ablation).
+    pub ptr_banked: bool,
+    /// Accumulator bypass path between adjacent same-row MACs (paper §VI).
+    /// `false` inserts a 1-cycle hazard stall instead (ablation).
+    pub accumulator_bypass: bool,
+    /// Model the LNZD quadtree fill latency (`ceil(log4(N))` cycles) on
+    /// start-up and after each batch drain. `false` is the oracle
+    /// broadcast of the ablation study.
+    pub lnzd_tree: bool,
+    /// Cycles to drain/refill activation registers at a batch boundary.
+    pub batch_overhead_cycles: u64,
+    /// Safety limit for [`run_until`](crate::run_until).
+    pub max_cycles: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            fifo_depth: 8,
+            spmat_width_bits: 64,
+            clock_hz: 800e6,
+            act_regfile_entries: 64,
+            ptr_banked: true,
+            accumulator_bypass: true,
+            lnzd_tree: true,
+            batch_overhead_cycles: 64,
+            max_cycles: 2_000_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A config with a different FIFO depth (the Fig. 8 sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn with_fifo_depth(depth: usize) -> Self {
+        assert!(depth > 0, "FIFO depth must be non-zero");
+        Self {
+            fifo_depth: depth,
+            ..Self::default()
+        }
+    }
+
+    /// A config with a different sparse-matrix SRAM width (the Fig. 9
+    /// sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not a positive multiple of 8.
+    pub fn with_spmat_width(bits: u32) -> Self {
+        assert!(bits >= 8 && bits.is_multiple_of(8), "width must be a multiple of 8");
+        Self {
+            spmat_width_bits: bits,
+            ..Self::default()
+        }
+    }
+
+    /// Encoded entries fetched per sparse-matrix SRAM read.
+    pub fn entries_per_fetch(&self) -> usize {
+        (self.spmat_width_bits / 8) as usize
+    }
+
+    /// LNZD quadtree depth for `n` PEs: `ceil(log4(max(n,1)))`.
+    pub fn lnzd_depth(&self, num_pes: usize) -> u64 {
+        if !self.lnzd_tree || num_pes <= 1 {
+            return 0;
+        }
+        let mut depth = 0u64;
+        let mut reach = 1usize;
+        while reach < num_pes {
+            reach *= 4;
+            depth += 1;
+        }
+        depth
+    }
+
+    /// Converts a cycle count to microseconds at the configured clock.
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_design_point() {
+        let c = SimConfig::default();
+        assert_eq!(c.fifo_depth, 8);
+        assert_eq!(c.spmat_width_bits, 64);
+        assert_eq!(c.entries_per_fetch(), 8);
+        assert_eq!(c.clock_hz, 800e6);
+        assert!(c.ptr_banked && c.accumulator_bypass && c.lnzd_tree);
+    }
+
+    #[test]
+    fn lnzd_depth_is_log4() {
+        let c = SimConfig::default();
+        assert_eq!(c.lnzd_depth(1), 0);
+        assert_eq!(c.lnzd_depth(4), 1);
+        assert_eq!(c.lnzd_depth(16), 2);
+        assert_eq!(c.lnzd_depth(64), 3);
+        assert_eq!(c.lnzd_depth(65), 4);
+        assert_eq!(c.lnzd_depth(256), 4);
+    }
+
+    #[test]
+    fn lnzd_depth_zero_for_oracle() {
+        let c = SimConfig {
+            lnzd_tree: false,
+            ..SimConfig::default()
+        };
+        assert_eq!(c.lnzd_depth(256), 0);
+    }
+
+    #[test]
+    fn cycles_to_us_at_800mhz() {
+        let c = SimConfig::default();
+        assert!((c.cycles_to_us(800) - 1.0).abs() < 1e-12);
+        assert!((c.cycles_to_us(24_000) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn rejects_unaligned_width() {
+        let _ = SimConfig::with_spmat_width(12);
+    }
+}

@@ -1,0 +1,174 @@
+//! Functional (un-timed) execution: the simulator's golden model.
+//!
+//! Computes exactly what the cycle-accurate model computes — same
+//! fixed-point formats, same accumulation order (columns in broadcast
+//! order, entries in slice order) — without modelling time. The paper
+//! verifies its RTL against the cycle simulator and the cycle simulator
+//! against a golden Caffe model; here the functional model plays that
+//! golden role, and tests assert **bit-exact** agreement.
+
+use eie_compress::EncodedLayer;
+use eie_fixed::{Accum32, Q8p8};
+
+/// Executes a layer functionally on quantized activations.
+///
+/// Zero activations are skipped (dynamic sparsity); every encoded entry of
+/// a live column — padding included — is multiplied and accumulated in the
+/// same order the hardware issues them, so saturation behaviour matches
+/// the cycle model bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if `acts.len() != layer.cols()`.
+///
+/// # Example
+///
+/// ```
+/// use eie_compress::{compress, CompressConfig};
+/// use eie_fixed::Q8p8;
+/// use eie_nn::zoo::Benchmark;
+/// use eie_sim::functional;
+///
+/// let layer = Benchmark::Vgg7.generate_scaled(1, 64);
+/// let enc = compress(&layer.weights, CompressConfig::with_pes(2));
+/// let acts: Vec<Q8p8> = layer
+///     .sample_activations(1)
+///     .iter()
+///     .map(|&a| Q8p8::from_f32(a))
+///     .collect();
+/// let y = functional::execute(&enc, &acts, false);
+/// assert_eq!(y.len(), enc.rows());
+/// ```
+pub fn execute(layer: &EncodedLayer, acts: &[Q8p8], relu: bool) -> Vec<Q8p8> {
+    assert_eq!(acts.len(), layer.cols(), "activation length mismatch");
+    let n = layer.num_pes();
+    let codebook = layer.codebook().to_fix16::<8>();
+
+    // Per-PE accumulators, local-row indexed (mirrors the hardware).
+    let mut accum: Vec<Vec<Accum32>> = layer
+        .slices()
+        .iter()
+        .map(|s| vec![Accum32::zero(); s.local_rows()])
+        .collect();
+
+    for (j, &aj) in acts.iter().enumerate() {
+        if aj.is_zero() {
+            continue;
+        }
+        for (pe, slice) in layer.slices().iter().enumerate() {
+            let mut cursor = 0usize;
+            for e in slice.col_entries(j) {
+                let row = cursor + e.zrun as usize;
+                accum[pe][row].mac(codebook[e.code as usize], aj);
+                cursor = row + 1;
+            }
+        }
+    }
+
+    let mut outputs = vec![Q8p8::ZERO; layer.rows()];
+    for (pe, accs) in accum.into_iter().enumerate() {
+        for (local, acc) in accs.into_iter().enumerate() {
+            let v = acc.to_fix16::<8>();
+            outputs[local * n + pe] = if relu { v.relu() } else { v };
+        }
+    }
+    outputs
+}
+
+/// The number of multiply-accumulates (padding included) the hardware
+/// performs for this layer/input pair — the "workload" of Table IV's
+/// theoretical-time calculation.
+///
+/// # Panics
+///
+/// Panics if `acts.len() != layer.cols()`.
+pub fn workload_macs(layer: &EncodedLayer, acts: &[Q8p8]) -> u64 {
+    assert_eq!(acts.len(), layer.cols(), "activation length mismatch");
+    let mut macs = 0u64;
+    for (j, a) in acts.iter().enumerate() {
+        if a.is_zero() {
+            continue;
+        }
+        for slice in layer.slices() {
+            macs += slice.col_entries(j).len() as u64;
+        }
+    }
+    macs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eie_compress::{compress, CompressConfig};
+    use eie_nn::zoo::Benchmark;
+
+    fn quantize(acts: &[f32]) -> Vec<Q8p8> {
+        acts.iter().map(|&a| Q8p8::from_f32(a)).collect()
+    }
+
+    #[test]
+    fn matches_f32_reference_within_quantization() {
+        let layer = Benchmark::Alex6.generate_scaled(1, 64);
+        let enc = compress(&layer.weights, CompressConfig::with_pes(4));
+        let acts = layer.sample_activations(3);
+        let fixed = execute(&enc, &quantize(&acts), false);
+        // Compare against f32 on the *quantized* activations, so only
+        // fixed-point rounding differs.
+        let acts_q: Vec<f32> = quantize(&acts).iter().map(|a| a.to_f32()).collect();
+        let reference = enc.spmv_f32(&acts_q);
+        for (got, want) in fixed.iter().zip(&reference) {
+            assert!(
+                (got.to_f32() - want).abs() < 0.25,
+                "{} vs {}",
+                got.to_f32(),
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn relu_zeroes_negative_rows() {
+        let layer = Benchmark::Vgg7.generate_scaled(2, 64);
+        let enc = compress(&layer.weights, CompressConfig::with_pes(2));
+        let acts = quantize(&layer.sample_activations(4));
+        let raw = execute(&enc, &acts, false);
+        let relu = execute(&enc, &acts, true);
+        for (r, c) in raw.iter().zip(&relu) {
+            if r.to_f32() < 0.0 {
+                assert!(c.is_zero());
+            } else {
+                assert_eq!(r, c);
+            }
+        }
+    }
+
+    #[test]
+    fn workload_counts_only_live_columns() {
+        let layer = Benchmark::Alex7.generate_scaled(1, 64);
+        let enc = compress(&layer.weights, CompressConfig::with_pes(2));
+        let mut acts = vec![Q8p8::ZERO; enc.cols()];
+        assert_eq!(workload_macs(&enc, &acts), 0);
+        acts[3] = Q8p8::ONE;
+        let expected: u64 = enc
+            .slices()
+            .iter()
+            .map(|s| s.col_entries(3).len() as u64)
+            .sum();
+        assert_eq!(workload_macs(&enc, &acts), expected);
+    }
+
+    #[test]
+    fn independent_of_pe_count() {
+        let layer = Benchmark::NtWe.generate_scaled(5, 16);
+        let acts = quantize(&layer.sample_activations(6));
+        let mut reference: Option<Vec<Q8p8>> = None;
+        for pes in [1usize, 2, 4, 8, 16] {
+            let enc = compress(&layer.weights, CompressConfig::with_pes(pes));
+            let out = execute(&enc, &acts, false);
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(&out, r, "PE count {pes} changed the result"),
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Cycle-accurate simulator for the EIE accelerator (paper §IV–§V).
+//!
+//! The paper's primary evaluation vehicle is "a custom cycle-accurate C++
+//! simulator … aimed to model the RTL behavior of synchronous circuits"
+//! where "each hardware module is abstracted as an object that implements
+//! two abstract methods: propagate and update" (§V). This crate rebuilds
+//! that simulator in Rust:
+//!
+//! * a [`Clocked`] two-phase (propagate/update) clocking discipline,
+//! * the per-PE pipeline of Fig. 4(b): activation queue (FIFO with
+//!   broadcast backpressure), pointer-read unit (even/odd banked SRAM),
+//!   sparse-matrix read unit (64-bit wide SRAM rows), arithmetic unit
+//!   (codebook decode, 16-bit fixed-point MAC, accumulator bypass), and
+//!   the destination-activation registers,
+//! * the central control unit broadcasting non-zero activations found by
+//!   the leading non-zero detection (LNZD) quadtree,
+//! * activity counters for every structure, feeding the `eie-energy`
+//!   models,
+//! * a bit-exact [`functional`] reference used to verify the cycle model
+//!   (the role the golden Caffe model plays for the paper's RTL).
+//!
+//! # Example
+//!
+//! ```
+//! use eie_compress::{compress, CompressConfig};
+//! use eie_nn::zoo::Benchmark;
+//! use eie_sim::{simulate, SimConfig};
+//!
+//! let layer = Benchmark::Alex7.generate_scaled(1, 32); // 128×128 @ 9%
+//! let enc = compress(&layer.weights, CompressConfig::with_pes(4));
+//! let acts = layer.sample_activations(7);
+//! let run = simulate(&enc, &acts, &SimConfig::default());
+//! assert_eq!(run.outputs_f32().len(), 128);
+//! assert!(run.stats.total_cycles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod config;
+pub mod functional;
+mod lnzd;
+mod pe;
+mod stats;
+mod system;
+mod timeline;
+
+pub use clock::{run_until, Clocked};
+pub use config::SimConfig;
+pub use lnzd::LnzdTree;
+pub use pe::ProcessingElement;
+pub use stats::{PeStats, SimStats};
+pub use system::{simulate, simulate_fixed, simulate_network, LayerRun, NetworkRun};
+pub use timeline::{simulate_with_timeline, Timeline};

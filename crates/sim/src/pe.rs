@@ -1,0 +1,424 @@
+//! The processing element: the pipeline of paper Fig. 4(b).
+//!
+//! Data path per cycle (throughput 1 encoded entry / cycle):
+//!
+//! ```text
+//!  Act Queue → Pointer Read (even/odd banks) → Sparse-Matrix Read (64b)
+//!            → Arithmetic (codebook decode, 16b MAC, bypass) → Act Regs
+//! ```
+//!
+//! The pointer-read unit works one column ahead of the arithmetic unit:
+//! while the ALU drains the current column's entries, the pointers of the
+//! next queued column are fetched, so pointer reads are hidden behind
+//! arithmetic except when columns are empty (then the PE can retire at
+//! most one empty column per cycle — the load-balance ceiling that makes
+//! NT-We scale poorly, §VI-C).
+
+use std::collections::VecDeque;
+
+use eie_compress::{PeSlice, CODEBOOK_SIZE};
+use eie_fixed::{Accum32, Q8p8};
+
+use crate::{PeStats, SimConfig};
+
+/// A fetched column waiting to be issued to the arithmetic unit: the
+/// output register of the pointer-read unit.
+#[derive(Debug, Clone, Copy)]
+struct FetchedColumn {
+    act: Q8p8,
+    start: u32,
+    end: u32,
+}
+
+/// The column currently draining through the arithmetic unit.
+#[derive(Debug, Clone, Copy)]
+struct ActiveColumn {
+    act: Q8p8,
+    /// Absolute index of the next entry to issue.
+    next: u32,
+    /// One past the last entry of the column.
+    end: u32,
+    /// First entry of the column (SRAM row-fetch alignment).
+    span_start: u32,
+    /// Local-row cursor (running sum of the z array, §III-C).
+    cursor: u32,
+}
+
+/// One EIE processing element.
+///
+/// Owns its slice's accumulators and all per-PE pipeline state; stepped
+/// once per cycle by the system model. All decisions in a step derive from
+/// the state at the start of the cycle (register semantics).
+#[derive(Debug)]
+pub struct ProcessingElement {
+    codebook: [Q8p8; CODEBOOK_SIZE],
+    fifo: VecDeque<(u32, Q8p8)>,
+    /// Pointer-read output register.
+    fetched: Option<FetchedColumn>,
+    /// In-flight unbanked pointer read: (column, cycles remaining).
+    ptr_in_flight: Option<(FetchedColumn, u8)>,
+    alu: Option<ActiveColumn>,
+    accum: Vec<Accum32>,
+    /// Accumulator targeted by the previous MAC (bypass/hazard detection).
+    last_row: Option<u32>,
+    /// A read-after-write hazard stalls the next issue (bypass disabled).
+    hazard_pending: bool,
+    /// Activity counters.
+    pub stats: PeStats,
+}
+
+impl ProcessingElement {
+    /// Creates a PE with cleared accumulators ("initialized to zero before
+    /// each layer computation", §III-C).
+    pub fn new(local_rows: usize, codebook: [Q8p8; CODEBOOK_SIZE]) -> Self {
+        Self {
+            codebook,
+            fifo: VecDeque::new(),
+            fetched: None,
+            ptr_in_flight: None,
+            alu: None,
+            accum: vec![Accum32::zero(); local_rows],
+            last_row: None,
+            hazard_pending: false,
+            stats: PeStats::default(),
+        }
+    }
+
+    /// Current queue occupancy.
+    pub fn fifo_len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// True if a broadcast this cycle must stall ("the broadcast is
+    /// disabled if any PE has a full queue", §IV).
+    pub fn fifo_full(&self, depth: usize) -> bool {
+        self.fifo.len() >= depth
+    }
+
+    /// Receives a broadcast non-zero activation into the queue.
+    /// Called by the CCU in the commit phase.
+    pub fn push_activation(&mut self, col: u32, act: Q8p8) {
+        self.fifo.push_back((col, act));
+        self.stats.queue_pushes += 1;
+        self.stats.max_fifo_occupancy = self.stats.max_fifo_occupancy.max(self.fifo.len());
+    }
+
+    /// True when the whole pipeline is drained.
+    pub fn idle(&self) -> bool {
+        self.fifo.is_empty()
+            && self.fetched.is_none()
+            && self.ptr_in_flight.is_none()
+            && self.alu_done()
+            && !self.hazard_pending
+    }
+
+    fn alu_done(&self) -> bool {
+        match self.alu {
+            None => true,
+            Some(a) => a.next >= a.end,
+        }
+    }
+
+    /// Advances the PE by one cycle. `active` marks cycles that count
+    /// toward starvation (the layer is still in flight system-wide).
+    pub fn step(&mut self, slice: &PeSlice, cfg: &SimConfig, active: bool) {
+        // ---- Arithmetic unit ------------------------------------------
+        let mut promoted_fetched = false;
+        if self.hazard_pending {
+            // Read-after-write hazard (bypass disabled): one dead cycle.
+            self.hazard_pending = false;
+            self.stats.hazard_stall_cycles += 1;
+        } else if !self.alu_done() {
+            self.issue_entry(slice, cfg);
+        } else if let Some(f) = self.fetched.take() {
+            promoted_fetched = true;
+            if f.start < f.end {
+                self.alu = Some(ActiveColumn {
+                    act: f.act,
+                    next: f.start,
+                    end: f.end,
+                    span_start: f.start,
+                    cursor: 0,
+                });
+                self.issue_entry(slice, cfg);
+            } else {
+                // Empty column: retired without arithmetic, ALU idles.
+                self.alu = None;
+                if active {
+                    self.stats.starved_cycles += 1;
+                }
+            }
+        } else if active {
+            self.stats.starved_cycles += 1;
+        }
+
+        // ---- Pointer-read unit (one column of lookahead) --------------
+        if let Some((col, remaining)) = self.ptr_in_flight.take() {
+            // Second cycle of an unbanked double read.
+            if remaining > 1 {
+                self.ptr_in_flight = Some((col, remaining - 1));
+            } else {
+                self.fetched = Some(col);
+            }
+        } else if (self.fetched.is_none() || promoted_fetched) && !self.fifo.is_empty() {
+            let (col, act) = self.fifo.pop_front().expect("checked non-empty");
+            self.stats.queue_pops += 1;
+            let (start, end) = slice.col_span(col as usize);
+            self.stats.ptr_bank_reads += 2; // p_j and p_{j+1}
+            let fetched = FetchedColumn {
+                act,
+                start: start as u32,
+                end: end as u32,
+            };
+            if cfg.ptr_banked {
+                self.fetched = Some(fetched);
+            } else {
+                // Single-banked pointer SRAM serializes the two reads.
+                self.ptr_in_flight = Some((fetched, 1));
+            }
+        }
+    }
+
+    /// Issues one encoded entry into the MAC datapath.
+    fn issue_entry(&mut self, slice: &PeSlice, cfg: &SimConfig) {
+        let job = self.alu.as_mut().expect("issue requires an active column");
+        let entry = slice.entries()[job.next as usize];
+        let row = job.cursor + entry.zrun as u32;
+
+        // Sparse-matrix SRAM row fetch: entries are packed width/8 per row.
+        let epf = cfg.entries_per_fetch() as u32;
+        if job.next == job.span_start || job.next.is_multiple_of(epf) {
+            self.stats.spmat_row_reads += 1;
+        }
+
+        // Codebook decode + MAC (padding zeros decode to 0 and are wasted
+        // work: they occupy the datapath exactly like real entries).
+        let weight = self.codebook[entry.code as usize];
+        let same_accumulator = self.last_row == Some(row);
+        if same_accumulator {
+            if cfg.accumulator_bypass {
+                self.stats.bypass_hits += 1;
+            } else {
+                // The *next* issue must wait for the write to land.
+                self.hazard_pending = true;
+            }
+        } else {
+            self.stats.dest_reads += 1;
+        }
+        self.accum[row as usize].mac(weight, job.act);
+        self.stats.dest_writes += 1;
+        self.stats.busy_cycles += 1;
+        if entry.is_padding() {
+            self.stats.padding_macs += 1;
+        } else {
+            self.stats.real_macs += 1;
+        }
+
+        self.last_row = Some(row);
+        job.cursor = row + 1;
+        job.next += 1;
+        if job.next >= job.end {
+            self.alu = None;
+        }
+    }
+
+    /// Reads back the output activations at the end of the layer,
+    /// optionally applying ReLU (the hardware's writeback non-linearity).
+    pub fn finalize_outputs(&mut self, relu: bool) -> Vec<Q8p8> {
+        self.accum
+            .iter()
+            .map(|acc| {
+                self.stats.output_writes += 1;
+                let v = acc.to_fix16::<8>();
+                if relu {
+                    v.relu()
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eie_compress::{encode_with_codebook, Codebook, CompressConfig};
+    use eie_nn::CsrMatrix;
+
+    fn one_pe_layer(triplets: &[(usize, usize, f32)], rows: usize, cols: usize) -> eie_compress::EncodedLayer {
+        let m = CsrMatrix::from_triplets(rows, cols, triplets);
+        encode_with_codebook(
+            &m,
+            Codebook::from_centroids(&[1.0, 2.0, -1.0]),
+            CompressConfig::with_pes(1),
+        )
+    }
+
+    fn drive(pe: &mut ProcessingElement, slice: &PeSlice, cfg: &SimConfig, cap: usize) -> usize {
+        let mut cycles = 0;
+        while !pe.idle() && cycles < cap {
+            pe.step(slice, cfg, true);
+            cycles += 1;
+        }
+        assert!(cycles < cap, "PE did not drain");
+        cycles
+    }
+
+    #[test]
+    fn single_column_single_entry() {
+        let layer = one_pe_layer(&[(2, 0, 1.0)], 4, 1);
+        let cb = layer.codebook().to_fix16::<8>();
+        let mut pe = ProcessingElement::new(4, cb);
+        pe.push_activation(0, Q8p8::from_f32(2.0));
+        let cfg = SimConfig::default();
+        let cycles = drive(&mut pe, layer.slice(0), &cfg, 100);
+        // 1 cycle pointer read + 1 cycle MAC.
+        assert_eq!(cycles, 2);
+        assert_eq!(pe.stats.real_macs, 1);
+        assert_eq!(pe.stats.queue_pops, 1);
+        assert_eq!(pe.stats.ptr_bank_reads, 2);
+        let out = pe.finalize_outputs(false);
+        assert_eq!(out[2].to_f32(), 2.0); // 1.0 * 2.0
+        assert_eq!(out[0], Q8p8::ZERO);
+    }
+
+    #[test]
+    fn pipeline_overlaps_pointer_reads() {
+        // Two queued columns of 3 entries each: pointer read of the second
+        // column hides behind the first column's MACs.
+        let layer = one_pe_layer(
+            &[
+                (0, 0, 1.0),
+                (1, 0, 1.0),
+                (2, 0, 1.0),
+                (0, 1, 2.0),
+                (1, 1, 2.0),
+                (2, 1, 2.0),
+            ],
+            3,
+            2,
+        );
+        let cb = layer.codebook().to_fix16::<8>();
+        let mut pe = ProcessingElement::new(3, cb);
+        pe.push_activation(0, Q8p8::ONE);
+        pe.push_activation(1, Q8p8::ONE);
+        let cfg = SimConfig::default();
+        let cycles = drive(&mut pe, layer.slice(0), &cfg, 100);
+        // 1 (ptr col0) + 3 MACs + 3 MACs; col1's pointer read overlapped.
+        assert_eq!(cycles, 7);
+        assert_eq!(pe.stats.real_macs, 6);
+    }
+
+    #[test]
+    fn empty_columns_retire_one_per_cycle() {
+        let layer = one_pe_layer(&[(0, 3, 1.0)], 2, 4);
+        let cb = layer.codebook().to_fix16::<8>();
+        let mut pe = ProcessingElement::new(2, cb);
+        for j in 0..4 {
+            pe.push_activation(j, Q8p8::ONE);
+        }
+        let cfg = SimConfig::default();
+        let cycles = drive(&mut pe, layer.slice(0), &cfg, 100);
+        // Columns 0..3 are empty; they drain at 1/cycle through the
+        // pointer unit. Final column costs 1 ptr + 1 MAC.
+        assert!(cycles >= 5, "got {cycles}");
+        assert_eq!(pe.stats.real_macs, 1);
+        assert!(pe.stats.starved_cycles > 0);
+    }
+
+    #[test]
+    fn unbanked_pointer_reads_cost_an_extra_cycle() {
+        let layer = one_pe_layer(&[(0, 0, 1.0)], 1, 1);
+        let cb = layer.codebook().to_fix16::<8>();
+        let banked_cycles = {
+            let mut pe = ProcessingElement::new(1, cb);
+            pe.push_activation(0, Q8p8::ONE);
+            drive(&mut pe, layer.slice(0), &SimConfig::default(), 100)
+        };
+        let unbanked_cycles = {
+            let mut pe = ProcessingElement::new(1, cb);
+            pe.push_activation(0, Q8p8::ONE);
+            let cfg = SimConfig {
+                ptr_banked: false,
+                ..SimConfig::default()
+            };
+            drive(&mut pe, layer.slice(0), &cfg, 100)
+        };
+        assert_eq!(unbanked_cycles, banked_cycles + 1);
+    }
+
+    #[test]
+    fn bypass_counts_adjacent_same_row() {
+        // Row 0 is the only entry of both columns → back-to-back MACs to
+        // the same accumulator.
+        let layer = one_pe_layer(&[(0, 0, 1.0), (0, 1, 2.0)], 1, 2);
+        let cb = layer.codebook().to_fix16::<8>();
+        let mut pe = ProcessingElement::new(1, cb);
+        pe.push_activation(0, Q8p8::ONE);
+        pe.push_activation(1, Q8p8::ONE);
+        let cfg = SimConfig::default();
+        let c_bypass = drive(&mut pe, layer.slice(0), &cfg, 100);
+        assert_eq!(pe.stats.bypass_hits, 1);
+        assert_eq!(pe.stats.hazard_stall_cycles, 0);
+
+        let mut pe2 = ProcessingElement::new(1, cb);
+        pe2.push_activation(0, Q8p8::ONE);
+        pe2.push_activation(1, Q8p8::ONE);
+        let cfg2 = SimConfig {
+            accumulator_bypass: false,
+            ..SimConfig::default()
+        };
+        let c_hazard = drive(&mut pe2, layer.slice(0), &cfg2, 100);
+        assert_eq!(pe2.stats.hazard_stall_cycles, 1);
+        assert_eq!(c_hazard, c_bypass + 1);
+        // Both compute the same value.
+        assert_eq!(pe.finalize_outputs(false), pe2.finalize_outputs(false));
+    }
+
+    #[test]
+    fn spmat_row_reads_respect_width() {
+        // 10 entries in one column: at 64-bit width (8 entries/row) that
+        // is 2 row fetches (alignment starts at entry 0).
+        let triplets: Vec<(usize, usize, f32)> =
+            (0..10).map(|r| (r, 0usize, 1.0f32)).collect();
+        let layer = one_pe_layer(&triplets, 10, 1);
+        let cb = layer.codebook().to_fix16::<8>();
+        let mut pe = ProcessingElement::new(10, cb);
+        pe.push_activation(0, Q8p8::ONE);
+        drive(&mut pe, layer.slice(0), &SimConfig::default(), 100);
+        assert_eq!(pe.stats.spmat_row_reads, 2);
+
+        // At 32-bit width (4 entries/row): 3 fetches.
+        let mut pe2 = ProcessingElement::new(10, cb);
+        pe2.push_activation(0, Q8p8::ONE);
+        drive(&mut pe2, layer.slice(0), &SimConfig::with_spmat_width(32), 100);
+        assert_eq!(pe2.stats.spmat_row_reads, 3);
+    }
+
+    #[test]
+    fn relu_applies_on_writeback() {
+        let layer = one_pe_layer(&[(0, 0, -1.0), (1, 0, 1.0)], 2, 1);
+        let cb = layer.codebook().to_fix16::<8>();
+        let mut pe = ProcessingElement::new(2, cb);
+        pe.push_activation(0, Q8p8::from_f32(3.0));
+        drive(&mut pe, layer.slice(0), &SimConfig::default(), 100);
+        let out = pe.finalize_outputs(true);
+        assert_eq!(out[0], Q8p8::ZERO); // -3 clamped
+        assert_eq!(out[1].to_f32(), 3.0);
+        assert_eq!(pe.stats.output_writes, 2);
+    }
+
+    #[test]
+    fn fifo_full_reflects_depth() {
+        let layer = one_pe_layer(&[(0, 0, 1.0)], 1, 1);
+        let cb = layer.codebook().to_fix16::<8>();
+        let mut pe = ProcessingElement::new(1, cb);
+        assert!(!pe.fifo_full(2));
+        pe.push_activation(0, Q8p8::ONE);
+        pe.push_activation(0, Q8p8::ONE);
+        assert!(pe.fifo_full(2));
+        assert_eq!(pe.stats.max_fifo_occupancy, 2);
+        let _ = layer;
+    }
+}

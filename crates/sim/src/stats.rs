@@ -1,0 +1,281 @@
+//! Activity counters gathered by the cycle simulator.
+//!
+//! Every counter corresponds to a physical event the `eie-energy` models
+//! price: SRAM row fetches, register-file accesses, MACs, FIFO pushes.
+//! The derived metrics reproduce the paper's measurements: load-balance
+//! efficiency (Fig. 8/13), actual-vs-theoretical time (Table IV), and the
+//! SRAM read counts of the width sweep (Fig. 9).
+
+use std::fmt;
+
+/// Per-PE activity counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PeStats {
+    /// Cycles the arithmetic unit issued an entry (real or padding).
+    pub busy_cycles: u64,
+    /// Active cycles the arithmetic unit had nothing to issue.
+    pub starved_cycles: u64,
+    /// Cycles lost to the read-after-write hazard when the bypass path is
+    /// disabled (ablation).
+    pub hazard_stall_cycles: u64,
+    /// Multiply-accumulates on real (non-padding) entries.
+    pub real_macs: u64,
+    /// Wasted multiply-accumulates on padding zeros (Fig. 12's overhead).
+    pub padding_macs: u64,
+    /// Times two adjacent entries targeted the same accumulator and the
+    /// bypass path forwarded the sum.
+    pub bypass_hits: u64,
+    /// Sparse-matrix SRAM row fetches (one row = `width/8` entries).
+    pub spmat_row_reads: u64,
+    /// Pointer SRAM bank reads (two per column lookup when banked).
+    pub ptr_bank_reads: u64,
+    /// Activation-queue pushes received from the broadcast.
+    pub queue_pushes: u64,
+    /// Activation-queue pops (columns started).
+    pub queue_pops: u64,
+    /// Destination-accumulator register reads.
+    pub dest_reads: u64,
+    /// Destination-accumulator register writes.
+    pub dest_writes: u64,
+    /// Output activation writebacks at the end of the layer.
+    pub output_writes: u64,
+    /// High-water mark of the activation queue.
+    pub max_fifo_occupancy: usize,
+}
+
+impl PeStats {
+    /// Total multiply-accumulate operations, padding included.
+    pub fn total_macs(&self) -> u64 {
+        self.real_macs + self.padding_macs
+    }
+}
+
+/// Whole-accelerator statistics for one layer execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Total cycles from start to all-idle.
+    pub total_cycles: u64,
+    /// Non-zero activations broadcast by the CCU.
+    pub broadcasts: u64,
+    /// Cycles the broadcast stalled because some PE's queue was full.
+    pub broadcast_stall_cycles: u64,
+    /// Cycles spent filling the LNZD quadtree pipeline.
+    pub lnzd_fill_cycles: u64,
+    /// Activation batches processed (input vectors longer than the
+    /// distributed register file run in several batches, §IV).
+    pub batches: u64,
+    /// Cycles spent draining/refilling activation registers at batch
+    /// boundaries.
+    pub batch_drain_cycles: u64,
+    /// Per-PE counters.
+    pub pe: Vec<PeStats>,
+}
+
+impl SimStats {
+    /// Number of PEs.
+    pub fn num_pes(&self) -> usize {
+        self.pe.len()
+    }
+
+    /// Total MACs across PEs, padding included.
+    pub fn total_macs(&self) -> u64 {
+        self.pe.iter().map(PeStats::total_macs).sum()
+    }
+
+    /// Total real (non-padding) MACs across PEs.
+    pub fn real_macs(&self) -> u64 {
+        self.pe.iter().map(|p| p.real_macs).sum()
+    }
+
+    /// Total padding MACs across PEs.
+    pub fn padding_macs(&self) -> u64 {
+        self.pe.iter().map(|p| p.padding_macs).sum()
+    }
+
+    /// Total sparse-matrix SRAM row reads.
+    pub fn spmat_row_reads(&self) -> u64 {
+        self.pe.iter().map(|p| p.spmat_row_reads).sum()
+    }
+
+    /// Total pointer-bank reads.
+    pub fn ptr_bank_reads(&self) -> u64 {
+        self.pe.iter().map(|p| p.ptr_bank_reads).sum()
+    }
+
+    /// The paper's load-balance efficiency (Fig. 8/13): busy ALU cycles
+    /// over total ALU cycles, averaged across PEs —
+    /// `1 − bubble_cycles / total_cycles`.
+    pub fn load_balance_efficiency(&self) -> f64 {
+        if self.total_cycles == 0 || self.pe.is_empty() {
+            return 1.0;
+        }
+        let busy: u64 = self.pe.iter().map(|p| p.busy_cycles).sum();
+        busy as f64 / (self.total_cycles as f64 * self.pe.len() as f64)
+    }
+
+    /// Real work over total work (Fig. 12): `real / (real + padding)`.
+    pub fn real_work_ratio(&self) -> f64 {
+        let total = self.total_macs();
+        if total == 0 {
+            return 1.0;
+        }
+        self.real_macs() as f64 / total as f64
+    }
+
+    /// The perfectly-balanced, stall-free cycle count: total entries
+    /// (padding included, as the hardware must process them) divided by
+    /// PE count. Table IV's "theoretical time" is this at 800 MHz.
+    pub fn theoretical_cycles(&self) -> u64 {
+        if self.pe.is_empty() {
+            return 0;
+        }
+        self.total_macs().div_ceil(self.pe.len() as u64)
+    }
+
+    /// Actual over theoretical cycles (the paper reports ~1.1×).
+    pub fn overhead_factor(&self) -> f64 {
+        let t = self.theoretical_cycles();
+        if t == 0 {
+            return 1.0;
+        }
+        self.total_cycles as f64 / t as f64
+    }
+
+    /// Wall-clock seconds at `clock_hz`.
+    pub fn seconds_at(&self, clock_hz: f64) -> f64 {
+        self.total_cycles as f64 / clock_hz
+    }
+
+    /// Giga-operations per second on the *compressed* workload (2 ops per
+    /// MAC), at `clock_hz`.
+    pub fn gops_at(&self, clock_hz: f64) -> f64 {
+        let secs = self.seconds_at(clock_hz);
+        if secs == 0.0 {
+            return 0.0;
+        }
+        (2 * self.real_macs()) as f64 / secs / 1e9
+    }
+
+    /// Merges another run's statistics into this one (multi-layer runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if PE counts differ (and both are non-empty).
+    pub fn merge(&mut self, other: &SimStats) {
+        if self.pe.is_empty() {
+            self.pe = vec![PeStats::default(); other.pe.len()];
+        }
+        if !other.pe.is_empty() {
+            assert_eq!(self.pe.len(), other.pe.len(), "PE count mismatch");
+        }
+        self.total_cycles += other.total_cycles;
+        self.broadcasts += other.broadcasts;
+        self.broadcast_stall_cycles += other.broadcast_stall_cycles;
+        self.lnzd_fill_cycles += other.lnzd_fill_cycles;
+        self.batches += other.batches;
+        self.batch_drain_cycles += other.batch_drain_cycles;
+        for (mine, theirs) in self.pe.iter_mut().zip(&other.pe) {
+            mine.busy_cycles += theirs.busy_cycles;
+            mine.starved_cycles += theirs.starved_cycles;
+            mine.hazard_stall_cycles += theirs.hazard_stall_cycles;
+            mine.real_macs += theirs.real_macs;
+            mine.padding_macs += theirs.padding_macs;
+            mine.bypass_hits += theirs.bypass_hits;
+            mine.spmat_row_reads += theirs.spmat_row_reads;
+            mine.ptr_bank_reads += theirs.ptr_bank_reads;
+            mine.queue_pushes += theirs.queue_pushes;
+            mine.queue_pops += theirs.queue_pops;
+            mine.dest_reads += theirs.dest_reads;
+            mine.dest_writes += theirs.dest_writes;
+            mine.output_writes += theirs.output_writes;
+            mine.max_fifo_occupancy = mine.max_fifo_occupancy.max(theirs.max_fifo_occupancy);
+        }
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles, {} MACs ({:.1}% padding), load balance {:.1}%, {:.2}x over theoretical",
+            self.total_cycles,
+            self.total_macs(),
+            (1.0 - self.real_work_ratio()) * 100.0,
+            self.load_balance_efficiency() * 100.0,
+            self.overhead_factor()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(busy: &[u64], total: u64) -> SimStats {
+        SimStats {
+            total_cycles: total,
+            pe: busy
+                .iter()
+                .map(|&b| PeStats {
+                    busy_cycles: b,
+                    real_macs: b,
+                    ..PeStats::default()
+                })
+                .collect(),
+            ..SimStats::default()
+        }
+    }
+
+    #[test]
+    fn load_balance_is_mean_busy_fraction() {
+        let s = stats_with(&[50, 100], 100);
+        assert!((s.load_balance_efficiency() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_balance_is_one() {
+        let s = stats_with(&[100, 100, 100], 100);
+        assert_eq!(s.load_balance_efficiency(), 1.0);
+        assert_eq!(s.overhead_factor(), 1.0);
+    }
+
+    #[test]
+    fn real_work_ratio_accounts_padding() {
+        let mut s = stats_with(&[90], 100);
+        s.pe[0].padding_macs = 10;
+        assert!((s.real_work_ratio() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theoretical_cycles_divides_evenly() {
+        let s = stats_with(&[30, 50], 60);
+        assert_eq!(s.theoretical_cycles(), 40);
+        assert!((s.overhead_factor() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gops_counts_two_ops_per_mac() {
+        let s = stats_with(&[400], 400);
+        // 400 MACs in 400 cycles at 800 MHz = 0.5 µs → 800 MOP/s = 1.6 GOPS.
+        assert!((s.gops_at(800e6) - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = stats_with(&[10, 20], 25);
+        let b = stats_with(&[5, 5], 10);
+        a.merge(&b);
+        assert_eq!(a.total_cycles, 35);
+        assert_eq!(a.pe[0].busy_cycles, 15);
+        assert_eq!(a.pe[1].real_macs, 25);
+    }
+
+    #[test]
+    fn empty_stats_have_sane_derived_metrics() {
+        let s = SimStats::default();
+        assert_eq!(s.load_balance_efficiency(), 1.0);
+        assert_eq!(s.real_work_ratio(), 1.0);
+        assert_eq!(s.theoretical_cycles(), 0);
+        assert_eq!(s.gops_at(800e6), 0.0);
+    }
+}

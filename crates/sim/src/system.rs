@@ -1,0 +1,521 @@
+//! The full accelerator: central control unit + PE array (paper §IV).
+
+use eie_compress::EncodedLayer;
+use eie_fixed::Q8p8;
+
+use crate::{Clocked, ProcessingElement, SimConfig, SimStats};
+
+/// Result of simulating one layer.
+#[derive(Debug, Clone)]
+pub struct LayerRun {
+    /// Output activations by global row, in 16-bit fixed point.
+    pub outputs: Vec<Q8p8>,
+    /// Cycle and activity statistics.
+    pub stats: SimStats,
+}
+
+impl LayerRun {
+    /// Output activations as `f32`.
+    pub fn outputs_f32(&self) -> Vec<f32> {
+        self.outputs.iter().map(|v| v.to_f32()).collect()
+    }
+}
+
+/// Result of simulating a multi-layer network.
+#[derive(Debug, Clone)]
+pub struct NetworkRun {
+    /// Per-layer results.
+    pub layers: Vec<LayerRun>,
+    /// Final output activations.
+    pub outputs: Vec<Q8p8>,
+    /// Statistics merged across layers.
+    pub total: SimStats,
+}
+
+/// What the CCU does in a given cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CcuAction {
+    /// LNZD pipeline is filling.
+    Fill,
+    /// Waiting for PEs to drain at a batch boundary, or swapping
+    /// activation registers.
+    Drain,
+    /// Broadcast the next non-zero activation to all queues.
+    Send(u32, i16),
+    /// Some PE's queue is full: broadcast disabled this cycle.
+    Stall,
+    /// Nothing left to send.
+    Done,
+}
+
+/// The accelerator model: CCU + LNZD + PE array, clocked as one module.
+struct System<'a> {
+    layer: &'a EncodedLayer,
+    cfg: &'a SimConfig,
+    pes: Vec<ProcessingElement>,
+    /// Non-zero activations in index order: what the LNZD tree yields.
+    schedule: Vec<(u32, Q8p8)>,
+    next: usize,
+    /// Cycles left of LNZD pipeline fill.
+    fill_remaining: u64,
+    /// First input position of the *next* batch.
+    batch_boundary: usize,
+    /// Cycles left of the current batch drain.
+    drain_remaining: u64,
+    /// Decision computed in `propagate`, committed in `update`.
+    action: CcuAction,
+    stats: SimStats,
+}
+
+impl<'a> System<'a> {
+    fn new(layer: &'a EncodedLayer, acts: &[Q8p8], cfg: &'a SimConfig) -> Self {
+        let codebook = layer.codebook().to_fix16::<8>();
+        let pes = (0..layer.num_pes())
+            .map(|k| ProcessingElement::new(layer.slice(k).local_rows(), codebook))
+            .collect();
+        let schedule: Vec<(u32, Q8p8)> = acts
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !a.is_zero())
+            .map(|(j, &a)| (j as u32, a))
+            .collect();
+        let fill = cfg.lnzd_depth(layer.num_pes());
+        let batch_span = cfg.act_regfile_entries * layer.num_pes();
+        let mut stats = SimStats {
+            pe: Vec::new(),
+            ..SimStats::default()
+        };
+        stats.batches = 1;
+        Self {
+            layer,
+            cfg,
+            pes,
+            schedule,
+            next: 0,
+            fill_remaining: fill,
+            batch_boundary: batch_span.max(1),
+            drain_remaining: 0,
+            action: CcuAction::Done,
+            stats,
+        }
+    }
+
+    fn all_pes_idle(&self) -> bool {
+        self.pes.iter().all(ProcessingElement::idle)
+    }
+
+    fn done(&self) -> bool {
+        self.next >= self.schedule.len() && self.drain_remaining == 0 && self.all_pes_idle()
+    }
+
+    /// Decides the CCU action for this cycle from pre-edge state.
+    fn decide(&self) -> CcuAction {
+        if self.drain_remaining > 0 {
+            return CcuAction::Drain;
+        }
+        if self.next >= self.schedule.len() {
+            return CcuAction::Done;
+        }
+        let (j, a) = self.schedule[self.next];
+        if (j as usize) >= self.batch_boundary {
+            // Next activation belongs to the next batch: wait for the PEs
+            // to drain, then pay the register spill/refill overhead.
+            return CcuAction::Drain;
+        }
+        if self.fill_remaining > 0 {
+            return CcuAction::Fill;
+        }
+        if self.pes.iter().any(|pe| pe.fifo_full(self.cfg.fifo_depth)) {
+            return CcuAction::Stall;
+        }
+        CcuAction::Send(j, a.raw())
+    }
+}
+
+impl Clocked for System<'_> {
+    fn propagate(&mut self) {
+        // CCU decision from pre-edge queue occupancy…
+        self.action = self.decide();
+        // …then the PEs advance (their decisions also read pre-edge local
+        // state; no PE reads another module's intra-cycle outputs).
+        let slices = self.layer.slices();
+        for (pe, slice) in self.pes.iter_mut().zip(slices) {
+            pe.step(slice, self.cfg, true);
+        }
+    }
+
+    fn update(&mut self) {
+        self.stats.total_cycles += 1;
+        match self.action {
+            CcuAction::Fill => {
+                self.fill_remaining -= 1;
+                self.stats.lnzd_fill_cycles += 1;
+            }
+            CcuAction::Drain => {
+                if self.drain_remaining > 0 {
+                    self.drain_remaining -= 1;
+                    self.stats.batch_drain_cycles += 1;
+                    if self.drain_remaining == 0 {
+                        // Registers swapped: next batch begins; the LNZD
+                        // pipeline refills.
+                        self.batch_boundary +=
+                            self.cfg.act_regfile_entries * self.layer.num_pes();
+                        self.fill_remaining = self.cfg.lnzd_depth(self.layer.num_pes());
+                        self.stats.batches += 1;
+                    }
+                } else if self.all_pes_idle() {
+                    // PEs just drained: start the spill/refill countdown.
+                    self.drain_remaining = self.cfg.batch_overhead_cycles.max(1);
+                }
+                // Otherwise: waiting for PEs to drain the previous batch.
+            }
+            CcuAction::Send(j, raw) => {
+                for pe in &mut self.pes {
+                    pe.push_activation(j, Q8p8::from_raw(raw));
+                }
+                self.next += 1;
+                self.stats.broadcasts += 1;
+            }
+            CcuAction::Stall => {
+                self.stats.broadcast_stall_cycles += 1;
+            }
+            CcuAction::Done => {}
+        }
+    }
+}
+
+impl System<'_> {
+    /// Total ALU-busy cycles accumulated across PEs (probe support).
+    fn busy_total(&self) -> u64 {
+        self.pes.iter().map(|pe| pe.stats.busy_cycles).sum()
+    }
+
+    /// Total queued activations across PEs (probe support).
+    fn queue_total(&self) -> usize {
+        self.pes.iter().map(ProcessingElement::fifo_len).sum()
+    }
+}
+
+/// Observer of the running system, sampled once per cycle — the hook the
+/// [`timeline`](crate::simulate_with_timeline) instrumentation plugs into.
+pub(crate) trait TimelineProbe {
+    /// Called after every completed cycle with cumulative counters.
+    fn sample(&mut self, cycle: u64, busy_total: u64, queue_total: usize, broadcasts: u64, pes: usize);
+    /// Called once when the run completes.
+    fn finish(&mut self, cycle: u64, busy_total: u64, queue_total: usize, broadcasts: u64, pes: usize);
+}
+
+/// A probe that records nothing (the plain `simulate` path).
+struct NoProbe;
+
+impl TimelineProbe for NoProbe {
+    fn sample(&mut self, _: u64, _: u64, _: usize, _: u64, _: usize) {}
+    fn finish(&mut self, _: u64, _: u64, _: usize, _: u64, _: usize) {}
+}
+
+/// Quantizes `f32` activations to the Q8.8 datapath format.
+fn quantize_acts(acts: &[f32]) -> Vec<Q8p8> {
+    acts.iter().map(|&a| Q8p8::from_f32(a)).collect()
+}
+
+/// Runs a layer under an observer probe (crate-internal; the public
+/// entry points are [`simulate`], [`simulate_fixed`] and
+/// `simulate_with_timeline`).
+pub(crate) fn simulate_with_probe(
+    layer: &EncodedLayer,
+    acts: &[Q8p8],
+    cfg: &SimConfig,
+    relu: bool,
+    probe: &mut dyn TimelineProbe,
+) -> LayerRun {
+    assert_eq!(acts.len(), layer.cols(), "activation length mismatch");
+    let n = layer.num_pes();
+    let mut sys = System::new(layer, acts, cfg);
+    let mut cycles = 0u64;
+    while !sys.done() {
+        assert!(
+            cycles < cfg.max_cycles,
+            "simulation exceeded max_cycles: modelled deadlock"
+        );
+        sys.propagate();
+        sys.update();
+        cycles += 1;
+        probe.sample(
+            cycles,
+            sys.busy_total(),
+            sys.queue_total(),
+            sys.stats.broadcasts,
+            n,
+        );
+    }
+    probe.finish(
+        cycles,
+        sys.busy_total(),
+        sys.queue_total(),
+        sys.stats.broadcasts,
+        n,
+    );
+
+    let mut outputs = vec![Q8p8::ZERO; layer.rows()];
+    for (k, pe) in sys.pes.iter_mut().enumerate() {
+        for (local, v) in pe.finalize_outputs(relu).into_iter().enumerate() {
+            outputs[local * n + k] = v;
+        }
+    }
+    let mut stats = sys.stats;
+    stats.pe = sys.pes.into_iter().map(|pe| pe.stats).collect();
+    LayerRun { outputs, stats }
+}
+
+/// Simulates one layer (raw M×V, no output non-linearity).
+///
+/// The input is quantized to Q8.8; zero-quantized activations are skipped
+/// by the LNZD network exactly as in hardware.
+///
+/// # Panics
+///
+/// Panics if `acts.len() != layer.cols()` or the simulation exceeds
+/// `cfg.max_cycles` (a modelled deadlock — a bug, not an input condition).
+pub fn simulate(layer: &EncodedLayer, acts: &[f32], cfg: &SimConfig) -> LayerRun {
+    simulate_fixed(layer, &quantize_acts(acts), cfg, false)
+}
+
+/// Simulates one layer on already-quantized activations, optionally
+/// applying ReLU on writeback.
+///
+/// # Panics
+///
+/// Same conditions as [`simulate`].
+pub fn simulate_fixed(
+    layer: &EncodedLayer,
+    acts: &[Q8p8],
+    cfg: &SimConfig,
+    relu: bool,
+) -> LayerRun {
+    simulate_with_probe(layer, acts, cfg, relu, &mut NoProbe)
+}
+
+/// Simulates a feed-forward stack of layers, applying ReLU between layers
+/// (not after the last): the multi-layer mode of §IV where source and
+/// destination register files swap roles each layer.
+///
+/// # Panics
+///
+/// Panics if `layers` is empty, consecutive dimensions mismatch, or the
+/// input length is wrong.
+pub fn simulate_network(layers: &[&EncodedLayer], input: &[f32], cfg: &SimConfig) -> NetworkRun {
+    assert!(!layers.is_empty(), "network needs at least one layer");
+    for pair in layers.windows(2) {
+        assert_eq!(
+            pair[0].rows(),
+            pair[1].cols(),
+            "layer dimension mismatch in network"
+        );
+    }
+    let mut acts = quantize_acts(input);
+    let mut runs = Vec::with_capacity(layers.len());
+    let mut total = SimStats::default();
+    for (i, layer) in layers.iter().enumerate() {
+        let relu = i + 1 < layers.len();
+        let run = simulate_fixed(layer, &acts, cfg, relu);
+        acts = run.outputs.clone();
+        total.merge(&run.stats);
+        runs.push(run);
+    }
+    NetworkRun {
+        outputs: acts,
+        layers: runs,
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eie_compress::{compress, CompressConfig};
+    use eie_nn::zoo::Benchmark;
+    use eie_nn::CsrMatrix;
+
+    fn small_case(pes: usize) -> (EncodedLayer, Vec<f32>) {
+        let layer = Benchmark::Alex7.generate_scaled(3, 64); // 64×64 @ 9%
+        let enc = compress(&layer.weights, CompressConfig::with_pes(pes));
+        let acts = layer.sample_activations(5);
+        (enc, acts)
+    }
+
+    #[test]
+    fn outputs_match_functional_reference() {
+        for pes in [1, 2, 4, 8] {
+            let (enc, acts) = small_case(pes);
+            let run = simulate(&enc, &acts, &SimConfig::default());
+            let expected = crate::functional::execute(&enc, &quantize_acts(&acts), false);
+            assert_eq!(run.outputs, expected, "mismatch at {pes} PEs");
+        }
+    }
+
+    #[test]
+    fn outputs_close_to_f32_reference() {
+        let (enc, acts) = small_case(4);
+        let run = simulate(&enc, &acts, &SimConfig::default());
+        let expected = enc.spmv_f32(&acts);
+        for (got, want) in run.outputs_f32().iter().zip(&expected) {
+            assert!(
+                (got - want).abs() < 0.25,
+                "fixed-point divergence: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_count_independent_of_fifo_ordering_effects() {
+        // Same inputs → deterministic cycle count.
+        let (enc, acts) = small_case(4);
+        let a = simulate(&enc, &acts, &SimConfig::default());
+        let b = simulate(&enc, &acts, &SimConfig::default());
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn more_pes_run_faster() {
+        let layer = Benchmark::Alex7.generate_scaled(1, 16); // 256×256
+        let acts = layer.sample_activations(2);
+        let mut last = u64::MAX;
+        for pes in [1usize, 4, 16] {
+            let enc = compress(&layer.weights, CompressConfig::with_pes(pes));
+            let run = simulate(&enc, &acts, &SimConfig::default());
+            assert!(
+                run.stats.total_cycles < last,
+                "{pes} PEs did not speed up: {} vs {last}",
+                run.stats.total_cycles
+            );
+            last = run.stats.total_cycles;
+        }
+    }
+
+    #[test]
+    fn deeper_fifo_improves_load_balance() {
+        let layer = Benchmark::Alex7.generate_scaled(1, 16);
+        let enc = compress(&layer.weights, CompressConfig::with_pes(16));
+        let acts = layer.sample_activations(2);
+        let eff = |depth: usize| {
+            simulate(&enc, &acts, &SimConfig::with_fifo_depth(depth))
+                .stats
+                .load_balance_efficiency()
+        };
+        let (e1, e8) = (eff(1), eff(8));
+        assert!(e8 > e1, "depth 8 ({e8}) should beat depth 1 ({e1})");
+    }
+
+    #[test]
+    fn zero_activations_are_skipped() {
+        let (enc, _) = small_case(2);
+        let zeros = vec![0.0f32; enc.cols()];
+        let run = simulate(&enc, &zeros, &SimConfig::default());
+        assert_eq!(run.stats.broadcasts, 0);
+        assert_eq!(run.stats.total_macs(), 0);
+        assert!(run.outputs.iter().all(|v| v.is_zero()));
+    }
+
+    #[test]
+    fn broadcast_count_equals_nonzero_quantized_acts() {
+        let (enc, acts) = small_case(2);
+        let nonzero = acts
+            .iter()
+            .filter(|&&a| !Q8p8::from_f32(a).is_zero())
+            .count() as u64;
+        let run = simulate(&enc, &acts, &SimConfig::default());
+        assert_eq!(run.stats.broadcasts, nonzero);
+    }
+
+    #[test]
+    fn stats_macs_match_encoding_work() {
+        let (enc, acts) = small_case(4);
+        let run = simulate(&enc, &acts, &SimConfig::default());
+        // Each broadcast column contributes exactly its encoded entries.
+        let mut expected = 0u64;
+        for (j, &a) in acts.iter().enumerate() {
+            if Q8p8::from_f32(a).is_zero() {
+                continue;
+            }
+            for slice in enc.slices() {
+                expected += slice.col_entries(j).len() as u64;
+            }
+        }
+        assert_eq!(run.stats.total_macs(), expected);
+    }
+
+    #[test]
+    fn relu_clamps_negative_outputs() {
+        let m = CsrMatrix::from_triplets(2, 1, &[(0, 0, -1.0), (1, 0, 1.0)]);
+        let enc = compress(&m, CompressConfig::with_pes(1));
+        let run = simulate_fixed(
+            &enc,
+            &[Q8p8::from_f32(2.0)],
+            &SimConfig::default(),
+            true,
+        );
+        assert_eq!(run.outputs[0], Q8p8::ZERO);
+        assert!(run.outputs[1].to_f32() > 0.0);
+    }
+
+    #[test]
+    fn network_chains_layers_with_relu_between() {
+        let l1 = compress(
+            &CsrMatrix::from_triplets(2, 2, &[(0, 0, -1.0), (1, 1, 1.0)]),
+            CompressConfig::with_pes(2),
+        );
+        let l2 = compress(
+            &CsrMatrix::from_triplets(1, 2, &[(0, 0, 1.0), (0, 1, 1.0)]),
+            CompressConfig::with_pes(2),
+        );
+        let run = simulate_network(&[&l1, &l2], &[1.0, 1.0], &SimConfig::default());
+        // Layer 1 raw: [-1, 1] → ReLU → [0, 1]; layer 2: 0 + 1 = 1.
+        assert_eq!(run.outputs.len(), 1);
+        assert_eq!(run.outputs[0].to_f32(), 1.0);
+        assert_eq!(run.layers.len(), 2);
+        assert_eq!(
+            run.total.total_cycles,
+            run.layers[0].stats.total_cycles + run.layers[1].stats.total_cycles
+        );
+    }
+
+    #[test]
+    fn long_inputs_trigger_batching() {
+        // Tiny register file → many batches.
+        let layer = Benchmark::Alex7.generate_scaled(7, 32); // 128×128
+        let enc = compress(&layer.weights, CompressConfig::with_pes(2));
+        let acts = vec![1.0f32; 128];
+        let cfg = SimConfig {
+            act_regfile_entries: 16, // span 32 per batch at 2 PEs
+            ..SimConfig::default()
+        };
+        let run = simulate(&enc, &acts, &cfg);
+        assert_eq!(run.stats.batches, 4);
+        assert!(run.stats.batch_drain_cycles > 0);
+        // Output must still be correct.
+        let expected = crate::functional::execute(&enc, &quantize_acts(&acts), false);
+        assert_eq!(run.outputs, expected);
+    }
+
+    #[test]
+    fn lnzd_fill_costs_log4_cycles() {
+        let (enc, acts) = small_case(16);
+        let tree = simulate(&enc, &acts, &SimConfig::default());
+        let oracle_cfg = SimConfig {
+            lnzd_tree: false,
+            ..SimConfig::default()
+        };
+        let oracle = simulate(&enc, &acts, &oracle_cfg);
+        assert_eq!(tree.stats.lnzd_fill_cycles, 2); // log4(16)
+        assert_eq!(oracle.stats.lnzd_fill_cycles, 0);
+        assert!(tree.stats.total_cycles >= oracle.stats.total_cycles);
+        assert_eq!(tree.outputs, oracle.outputs);
+    }
+
+    #[test]
+    #[should_panic(expected = "activation length mismatch")]
+    fn rejects_wrong_activation_length() {
+        let (enc, _) = small_case(2);
+        let _ = simulate(&enc, &[1.0], &SimConfig::default());
+    }
+}

@@ -1,0 +1,222 @@
+//! Utilization timelines: the simulator as an inspection instrument.
+//!
+//! The paper's simulator "is used for design space exploration [and] also
+//! serves as a checker for RTL verification" (§V). Aggregate counters
+//! answer *how much* was lost to stalls; a timeline answers *when*: warm-up
+//! transients, batch-boundary drains, end-of-layer tail imbalance, and the
+//! FIFO's smoothing of per-column load spikes all become visible.
+//!
+//! [`simulate_with_timeline`] runs the ordinary cycle model while sampling
+//! the PE array every `window` cycles.
+
+use eie_compress::EncodedLayer;
+
+use crate::system::{LayerRun, TimelineProbe};
+use crate::SimConfig;
+
+/// Per-window samples of one layer execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    /// Sampling window in cycles.
+    pub window: u64,
+    /// Mean ALU busy fraction across PEs, per window.
+    pub busy: Vec<f64>,
+    /// Mean activation-queue occupancy across PEs (entries), per window.
+    pub queue_occupancy: Vec<f64>,
+    /// Broadcasts issued per window (0..=window).
+    pub broadcasts: Vec<u64>,
+}
+
+impl Timeline {
+    /// Number of windows recorded.
+    pub fn len(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// True if nothing was recorded (zero-cycle run).
+    pub fn is_empty(&self) -> bool {
+        self.busy.is_empty()
+    }
+
+    /// Renders a busy-fraction sparkline (one char per window).
+    pub fn sparkline(&self) -> String {
+        const LEVELS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        self.busy
+            .iter()
+            .map(|&b| {
+                let idx = (b.clamp(0.0, 1.0) * 8.0).round() as usize;
+                LEVELS[idx]
+            })
+            .collect()
+    }
+
+    /// The mean busy fraction over all windows.
+    pub fn mean_busy(&self) -> f64 {
+        if self.busy.is_empty() {
+            return 0.0;
+        }
+        self.busy.iter().sum::<f64>() / self.busy.len() as f64
+    }
+}
+
+/// Simulates a layer while sampling utilization every `window` cycles.
+///
+/// Produces exactly the same [`LayerRun`] as [`simulate`](crate::simulate)
+/// (tested bit-exact) plus the timeline.
+///
+/// # Panics
+///
+/// Panics if `window == 0`, on activation-length mismatch, or if the run
+/// exceeds `cfg.max_cycles`.
+pub fn simulate_with_timeline(
+    layer: &EncodedLayer,
+    acts: &[f32],
+    cfg: &SimConfig,
+    window: u64,
+) -> (LayerRun, Timeline) {
+    assert!(window > 0, "window must be non-zero");
+    let mut probe = TimelineRecorder {
+        window,
+        timeline: Timeline {
+            window,
+            busy: Vec::new(),
+            queue_occupancy: Vec::new(),
+            broadcasts: Vec::new(),
+        },
+        last_busy: 0,
+        last_broadcasts: 0,
+    };
+    let acts_q: Vec<eie_fixed::Q8p8> = acts.iter().map(|&a| eie_fixed::Q8p8::from_f32(a)).collect();
+    let run = crate::system::simulate_with_probe(layer, &acts_q, cfg, false, &mut probe);
+    probe.flush_partial();
+    (run, probe.timeline)
+}
+
+/// Internal sampling state.
+struct TimelineRecorder {
+    window: u64,
+    timeline: Timeline,
+    last_busy: u64,
+    last_broadcasts: u64,
+    // partial-window bookkeeping is handled by sample(); flush_partial
+    // emits the final incomplete window.
+}
+
+impl TimelineRecorder {
+    fn flush_partial(&mut self) {
+        // Nothing extra: sample() is called on every cycle boundary and
+        // emits on exact window edges; the final partial window (if any)
+        // was emitted by the probe's `finish` call with its actual width.
+    }
+}
+
+impl TimelineProbe for TimelineRecorder {
+    fn sample(&mut self, cycle: u64, busy_total: u64, queue_total: usize, broadcasts: u64, pes: usize) {
+        if !cycle.is_multiple_of(self.window) {
+            return;
+        }
+        let dbusy = busy_total - self.last_busy;
+        self.last_busy = busy_total;
+        let dbroadcast = broadcasts - self.last_broadcasts;
+        self.last_broadcasts = broadcasts;
+        self.timeline
+            .busy
+            .push(dbusy as f64 / (self.window * pes as u64) as f64);
+        self.timeline
+            .queue_occupancy
+            .push(queue_total as f64 / pes as f64);
+        self.timeline.broadcasts.push(dbroadcast);
+    }
+
+    fn finish(&mut self, cycle: u64, busy_total: u64, _queue_total: usize, broadcasts: u64, pes: usize) {
+        let rem = cycle % self.window;
+        if rem == 0 {
+            return;
+        }
+        let dbusy = busy_total - self.last_busy;
+        let dbroadcast = broadcasts - self.last_broadcasts;
+        self.timeline
+            .busy
+            .push(dbusy as f64 / (rem * pes as u64) as f64);
+        self.timeline.queue_occupancy.push(0.0);
+        self.timeline.broadcasts.push(dbroadcast);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use eie_compress::{compress, CompressConfig};
+    use eie_nn::zoo::Benchmark;
+
+    fn case() -> (EncodedLayer, Vec<f32>) {
+        let layer = Benchmark::Alex7.generate_scaled(1, 32);
+        let enc = compress(&layer.weights, CompressConfig::with_pes(4));
+        let acts = layer.sample_activations(3);
+        (enc, acts)
+    }
+
+    #[test]
+    fn traced_run_is_bit_exact_with_plain_run() {
+        let (enc, acts) = case();
+        let cfg = SimConfig::default();
+        let plain = simulate(&enc, &acts, &cfg);
+        let (traced, timeline) = simulate_with_timeline(&enc, &acts, &cfg, 64);
+        assert_eq!(plain.outputs, traced.outputs);
+        assert_eq!(plain.stats, traced.stats);
+        assert!(!timeline.is_empty());
+    }
+
+    #[test]
+    fn windows_cover_the_whole_run() {
+        let (enc, acts) = case();
+        let cfg = SimConfig::default();
+        let (run, timeline) = simulate_with_timeline(&enc, &acts, &cfg, 50);
+        let expected = run.stats.total_cycles.div_ceil(50);
+        assert_eq!(timeline.len() as u64, expected);
+        // Total busy cycles reconstruct from the windows.
+        let full_windows = run.stats.total_cycles / 50;
+        let rem = run.stats.total_cycles % 50;
+        let pes = run.stats.num_pes() as f64;
+        let mut busy = 0.0;
+        for (i, b) in timeline.busy.iter().enumerate() {
+            let width = if (i as u64) < full_windows { 50 } else { rem };
+            busy += b * width as f64 * pes;
+        }
+        let actual: u64 = run.stats.pe.iter().map(|p| p.busy_cycles).sum();
+        assert!((busy - actual as f64).abs() < 1.0, "{busy} vs {actual}");
+    }
+
+    #[test]
+    fn busy_fractions_are_valid() {
+        let (enc, acts) = case();
+        let (_, timeline) = simulate_with_timeline(&enc, &acts, &SimConfig::default(), 32);
+        for &b in &timeline.busy {
+            assert!((0.0..=1.0 + 1e-9).contains(&b), "busy {b}");
+        }
+        assert!(timeline.mean_busy() > 0.0);
+    }
+
+    #[test]
+    fn sparkline_matches_window_count() {
+        let (enc, acts) = case();
+        let (_, timeline) = simulate_with_timeline(&enc, &acts, &SimConfig::default(), 100);
+        assert_eq!(timeline.sparkline().chars().count(), timeline.len());
+    }
+
+    #[test]
+    fn broadcast_windows_sum_to_total() {
+        let (enc, acts) = case();
+        let (run, timeline) = simulate_with_timeline(&enc, &acts, &SimConfig::default(), 40);
+        let sum: u64 = timeline.broadcasts.iter().sum();
+        assert_eq!(sum, run.stats.broadcasts);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-zero")]
+    fn rejects_zero_window() {
+        let (enc, acts) = case();
+        let _ = simulate_with_timeline(&enc, &acts, &SimConfig::default(), 0);
+    }
+}

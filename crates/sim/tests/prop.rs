@@ -1,0 +1,176 @@
+//! Property-based tests: the cycle-accurate model versus its invariants.
+
+use eie_compress::{compress, CompressConfig, EncodedLayer};
+use eie_fixed::Q8p8;
+use eie_nn::zoo::{random_sparse, sample_activations};
+use eie_sim::{functional, simulate, SimConfig};
+use proptest::prelude::*;
+
+/// Strategy: a compressed layer, activations, and a PE count.
+fn arb_case() -> impl Strategy<Value = (EncodedLayer, Vec<f32>, usize)> {
+    (
+        4usize..40,
+        4usize..40,
+        0.05f64..0.5,
+        any::<u64>(),
+        1usize..9,
+        0.0f64..1.0,
+        any::<u64>(),
+    )
+        .prop_map(|(rows, cols, density, seed, pes, act_density, act_seed)| {
+            // Small matrices at low density can come out all-zero, which
+            // compress rightly rejects; reroll until at least one weight
+            // survives.
+            let mut m = random_sparse(rows, cols, density, seed);
+            let mut reroll = seed;
+            while m.nnz() == 0 {
+                reroll = reroll.wrapping_add(0x9E37_79B9);
+                m = random_sparse(rows, cols, density.max(0.2), reroll);
+            }
+            let enc = compress(&m, CompressConfig::with_pes(pes));
+            let acts = sample_activations(cols, act_density, true, act_seed);
+            (enc, acts, pes)
+        })
+}
+
+fn quantize(acts: &[f32]) -> Vec<Q8p8> {
+    acts.iter().map(|&a| Q8p8::from_f32(a)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cycle-accurate model is bit-exact against the functional model
+    /// for every layer shape, sparsity, PE count and input.
+    #[test]
+    fn cycle_model_matches_functional((enc, acts, _pes) in arb_case()) {
+        let run = simulate(&enc, &acts, &SimConfig::default());
+        let golden = functional::execute(&enc, &quantize(&acts), false);
+        prop_assert_eq!(run.outputs, golden);
+    }
+
+    /// Total MACs equal the workload implied by the encoding + input.
+    #[test]
+    fn macs_equal_workload((enc, acts, _pes) in arb_case()) {
+        let run = simulate(&enc, &acts, &SimConfig::default());
+        prop_assert_eq!(
+            run.stats.total_macs(),
+            functional::workload_macs(&enc, &quantize(&acts))
+        );
+    }
+
+    /// Cycle count is at least the theoretical minimum and at least the
+    /// number of broadcasts (1 per cycle max).
+    #[test]
+    fn cycles_bounded_below((enc, acts, _pes) in arb_case()) {
+        let run = simulate(&enc, &acts, &SimConfig::default());
+        prop_assert!(run.stats.total_cycles >= run.stats.theoretical_cycles());
+        prop_assert!(run.stats.total_cycles >= run.stats.broadcasts);
+    }
+
+    /// Busy + starved + hazard cycles account for every active PE cycle.
+    #[test]
+    fn pe_cycle_accounting((enc, acts, _pes) in arb_case()) {
+        let run = simulate(&enc, &acts, &SimConfig::default());
+        for pe in &run.stats.pe {
+            prop_assert_eq!(
+                pe.busy_cycles + pe.starved_cycles + pe.hazard_stall_cycles,
+                run.stats.total_cycles
+            );
+        }
+    }
+
+    /// Queue pushes equal broadcasts, pops equal pushes (everything sent
+    /// is consumed).
+    #[test]
+    fn queue_conservation((enc, acts, _pes) in arb_case()) {
+        let run = simulate(&enc, &acts, &SimConfig::default());
+        for pe in &run.stats.pe {
+            prop_assert_eq!(pe.queue_pushes, run.stats.broadcasts);
+            prop_assert_eq!(pe.queue_pops, pe.queue_pushes);
+        }
+    }
+
+    /// FIFO occupancy never exceeds the configured depth.
+    #[test]
+    fn fifo_depth_respected((enc, acts, _pes) in arb_case(), depth in 1usize..16) {
+        let cfg = SimConfig::with_fifo_depth(depth);
+        let run = simulate(&enc, &acts, &cfg);
+        for pe in &run.stats.pe {
+            prop_assert!(pe.max_fifo_occupancy <= depth);
+        }
+    }
+
+    /// Deeper FIFOs never hurt: total cycles are non-increasing in depth.
+    #[test]
+    fn deeper_fifo_never_slower((enc, acts, _pes) in arb_case()) {
+        let mut last = u64::MAX;
+        for depth in [1usize, 2, 4, 8, 16] {
+            let run = simulate(&enc, &acts, &SimConfig::with_fifo_depth(depth));
+            prop_assert!(
+                run.stats.total_cycles <= last,
+                "depth {} slower: {} > {}", depth, run.stats.total_cycles, last
+            );
+            last = run.stats.total_cycles;
+        }
+    }
+
+    /// Results and cycle counts do not depend on the SRAM width (only the
+    /// read counts do), and wider SRAM never increases row reads.
+    #[test]
+    fn sram_width_only_changes_read_counts((enc, acts, _pes) in arb_case()) {
+        let mut last_reads = u64::MAX;
+        let mut reference: Option<(Vec<Q8p8>, u64)> = None;
+        for width in [32u32, 64, 128, 256, 512] {
+            let run = simulate(&enc, &acts, &SimConfig::with_spmat_width(width));
+            let reads = run.stats.spmat_row_reads();
+            prop_assert!(reads <= last_reads, "width {width} increased reads");
+            last_reads = reads;
+            match &reference {
+                None => reference = Some((run.outputs, run.stats.total_cycles)),
+                Some((out, cycles)) => {
+                    prop_assert_eq!(&run.outputs, out);
+                    prop_assert_eq!(run.stats.total_cycles, *cycles);
+                }
+            }
+        }
+    }
+
+    /// Disabling the bypass never changes results, only adds cycles.
+    #[test]
+    fn bypass_ablation_preserves_results((enc, acts, _pes) in arb_case()) {
+        let with = simulate(&enc, &acts, &SimConfig::default());
+        let without = simulate(&enc, &acts, &SimConfig {
+            accumulator_bypass: false,
+            ..SimConfig::default()
+        });
+        prop_assert_eq!(&with.outputs, &without.outputs);
+        prop_assert!(without.stats.total_cycles >= with.stats.total_cycles);
+        let hazards: u64 = without.stats.pe.iter().map(|p| p.hazard_stall_cycles).sum();
+        let bypasses: u64 = with.stats.pe.iter().map(|p| p.bypass_hits).sum();
+        prop_assert_eq!(hazards, bypasses);
+    }
+
+    /// Unbanked pointer SRAM never changes results, only adds cycles.
+    #[test]
+    fn banking_ablation_preserves_results((enc, acts, _pes) in arb_case()) {
+        let banked = simulate(&enc, &acts, &SimConfig::default());
+        let unbanked = simulate(&enc, &acts, &SimConfig {
+            ptr_banked: false,
+            ..SimConfig::default()
+        });
+        prop_assert_eq!(&banked.outputs, &unbanked.outputs);
+        prop_assert!(unbanked.stats.total_cycles >= banked.stats.total_cycles);
+    }
+
+    /// Load-balance efficiency is a valid fraction, and all-PE busy time
+    /// equals total MACs.
+    #[test]
+    fn efficiency_in_unit_interval((enc, acts, _pes) in arb_case()) {
+        let run = simulate(&enc, &acts, &SimConfig::default());
+        let eff = run.stats.load_balance_efficiency();
+        prop_assert!((0.0..=1.0).contains(&eff), "efficiency {eff}");
+        let busy: u64 = run.stats.pe.iter().map(|p| p.busy_cycles).sum();
+        prop_assert_eq!(busy, run.stats.total_macs());
+    }
+}

@@ -1,0 +1,12 @@
+//! # eie — a Rust reproduction of the EIE accelerator (ISCA 2016)
+//!
+//! This crate is the umbrella package of the workspace: it re-exports the
+//! public API of [`eie_core`] so examples, integration tests and downstream
+//! users can depend on a single crate.
+//!
+//! See the workspace `README.md` for the architecture overview and
+//! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction methodology.
+
+#![forbid(unsafe_code)]
+
+pub use eie_core::*;

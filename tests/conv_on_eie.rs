@@ -1,0 +1,122 @@
+//! Convolution-on-EIE integration (paper §VII-C): the 1×1 and Winograd
+//! reductions must produce the same results through the cycle simulator
+//! as through the f32 reference on the compressed weights.
+
+use eie::compress::prune::prune_to_density;
+use eie::nn::conv::{conv1x1, FeatureMap, WinogradConv3x3};
+use eie::prelude::*;
+
+fn relu_map(ch: usize, h: usize, w: usize) -> FeatureMap {
+    FeatureMap::from_fn(ch, h, w, |c, y, x| {
+        let v = ((c * 11 + y * 3 + x * 7) as f32 * 0.29).sin();
+        if v > 0.0 {
+            v
+        } else {
+            0.0
+        }
+    })
+}
+
+#[test]
+fn conv1x1_on_eie_matches_reference() {
+    let (out_ch, in_ch) = (12usize, 16usize);
+    let w = Matrix::from_fn(out_ch, in_ch, |r, c| ((r * 5 + c) as f32 * 0.23).sin());
+    let pruned = prune_to_density(&w, 0.3);
+    let engine = Engine::new(EieConfig::default().with_num_pes(4));
+    let enc = engine.compress(&pruned);
+
+    let input = relu_map(in_ch, 5, 6);
+    let reference = conv1x1(&enc.decode().to_dense(), &input);
+    for y in 0..input.height() {
+        for x in 0..input.width() {
+            let got = engine
+                .run_layer(&enc, &input.pixel_channels(y, x))
+                .run
+                .outputs_f32();
+            for (oc, &v) in got.iter().enumerate() {
+                assert!(
+                    (v - reference.get(oc, y, x)).abs() < 0.25,
+                    "pixel ({y},{x}) channel {oc}: {v} vs {}",
+                    reference.get(oc, y, x)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn winograd_on_eie_matches_reference() {
+    let (out_ch, in_ch) = (8usize, 6usize);
+    let kernels: Vec<Vec<[f32; 9]>> = (0..out_ch)
+        .map(|oc| {
+            (0..in_ch)
+                .map(|ic| {
+                    let mut k = [0.0f32; 9];
+                    for (i, v) in k.iter_mut().enumerate() {
+                        *v = ((oc * 37 + ic * 13 + i) as f32 * 0.17).sin() * 0.4;
+                    }
+                    k
+                })
+                .collect()
+        })
+        .collect();
+    let conv = WinogradConv3x3::from_kernels(&kernels);
+    let engine = Engine::new(EieConfig::default().with_num_pes(4));
+    let encoded: Vec<EncodedLayer> = (0..16)
+        .map(|pos| {
+            let pruned = prune_to_density(conv.position_matrix(pos / 4, pos % 4), 0.5);
+            engine.compress(&pruned)
+        })
+        .collect();
+
+    let input = relu_map(in_ch, 6, 6);
+    let on_eie = conv.forward_with(&input, |pos, v| {
+        engine.run_layer(&encoded[pos], v).run.outputs_f32()
+    });
+    let reference = conv.forward_with(&input, |pos, v| encoded[pos].spmv_f32(v));
+    for c in 0..on_eie.channels() {
+        for y in 0..on_eie.height() {
+            for x in 0..on_eie.width() {
+                let (a, b) = (on_eie.get(c, y, x), reference.get(c, y, x));
+                assert!((a - b).abs() < 0.3, "({c},{y},{x}): {a} vs {b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn winograd_exploits_dynamic_sparsity() {
+    // Post-ReLU inputs mean many transformed-tile vector entries are
+    // linear combinations of zeros; the simulator should broadcast fewer
+    // activations than the vector length on at least some positions.
+    let in_ch = 8usize;
+    let kernels: Vec<Vec<[f32; 9]>> = vec![(0..in_ch)
+        .map(|ic| {
+            let mut k = [0.0f32; 9];
+            k[4] = 1.0 + ic as f32 * 0.1;
+            k
+        })
+        .collect()];
+    let conv = WinogradConv3x3::from_kernels(&kernels);
+    let engine = Engine::new(EieConfig::default().with_num_pes(2));
+    // Position (1,1) mixes all kernel taps (G row 1 = [1/2,1/2,1/2]), so
+    // its U matrix is dense even for center-only kernels.
+    let enc = engine.compress(&prune_to_density(conv.position_matrix(1, 1), 0.9));
+
+    // A mostly-zero input map → mostly-zero transformed vectors.
+    let input = FeatureMap::from_fn(in_ch, 4, 4, |c, y, x| {
+        if c == 0 && y == 1 && x == 1 {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    let v = conv.input_tile_vectors(&input, 0, 0);
+    let run = engine.run_layer(&enc, &v[5]); // position (1,1)
+    assert!(
+        run.run.stats.broadcasts < in_ch as u64,
+        "expected sparse broadcast, got {} of {}",
+        run.run.stats.broadcasts,
+        in_ch
+    );
+}

@@ -1,0 +1,120 @@
+//! Multi-layer network execution across crates: the accelerator's
+//! source/destination register swap (§IV) against a host-side reference.
+
+use eie::prelude::*;
+
+/// Builds a small MLP-like stack of sparse layers.
+fn stack(seed: u64) -> (Vec<CsrMatrix>, Vec<f32>) {
+    let l1 = random_sparse(48, 64, 0.2, seed);
+    let l2 = random_sparse(32, 48, 0.25, seed + 1);
+    let l3 = random_sparse(10, 32, 0.4, seed + 2);
+    let input = eie::nn::zoo::sample_activations(64, 0.5, false, seed + 3);
+    (vec![l1, l2, l3], input)
+}
+
+/// Host-side reference: the same quantized network computed layer by
+/// layer with f32 accumulation on the codebook-quantized weights.
+fn reference_forward(encoded: &[EncodedLayer], input: &[f32]) -> Vec<f32> {
+    let mut acts: Vec<f32> = input
+        .iter()
+        .map(|&a| Q8p8::from_f32(a).to_f32())
+        .collect();
+    for (i, layer) in encoded.iter().enumerate() {
+        let mut y = layer.spmv_f32(&acts);
+        if i + 1 < encoded.len() {
+            eie::nn::ops::relu_inplace(&mut y);
+        }
+        // Layer boundaries quantize to Q8.8 in hardware.
+        for v in y.iter_mut() {
+            *v = Q8p8::from_f32(*v).to_f32();
+        }
+        acts = y;
+    }
+    acts
+}
+
+#[test]
+fn network_matches_reference_within_fixed_point_error() {
+    let (layers, input) = stack(100);
+    let engine = Engine::new(EieConfig::default().with_num_pes(4));
+    let encoded: Vec<EncodedLayer> = layers.iter().map(|w| engine.compress(w)).collect();
+    let refs: Vec<&EncodedLayer> = encoded.iter().collect();
+
+    let net = engine.run_network(&refs, &input);
+    let expected = reference_forward(&encoded, &input);
+
+    for (i, (got, want)) in net
+        .run
+        .outputs
+        .iter()
+        .map(|v| v.to_f32())
+        .zip(&expected)
+        .enumerate()
+    {
+        // Three layers of quantization accumulate error; 0.75 in Q8.8
+        // units is ~192 LSBs over three ~200-term accumulations.
+        assert!((got - want).abs() < 0.75, "output {i}: {got} vs {want}");
+    }
+}
+
+#[test]
+fn network_stats_merge_all_layers() {
+    let (layers, input) = stack(200);
+    let engine = Engine::new(EieConfig::default().with_num_pes(4));
+    let encoded: Vec<EncodedLayer> = layers.iter().map(|w| engine.compress(w)).collect();
+    let refs: Vec<&EncodedLayer> = encoded.iter().collect();
+
+    let net = engine.run_network(&refs, &input);
+    assert_eq!(net.run.layers.len(), 3);
+    let cycles_sum: u64 = net.run.layers.iter().map(|l| l.stats.total_cycles).sum();
+    assert_eq!(net.run.total.total_cycles, cycles_sum);
+    let macs_sum: u64 = net.run.layers.iter().map(|l| l.stats.total_macs()).sum();
+    assert_eq!(net.run.total.total_macs(), macs_sum);
+}
+
+#[test]
+fn relu_between_layers_sparsifies_activations() {
+    // The ReLU boundary creates the dynamic sparsity the next layer
+    // exploits: its broadcast count must be below its input length.
+    let (layers, input) = stack(300);
+    let engine = Engine::new(EieConfig::default().with_num_pes(2));
+    let encoded: Vec<EncodedLayer> = layers.iter().map(|w| engine.compress(w)).collect();
+    let refs: Vec<&EncodedLayer> = encoded.iter().collect();
+
+    let net = engine.run_network(&refs, &input);
+    let second = &net.run.layers[1].stats;
+    assert!(
+        second.broadcasts < encoded[1].cols() as u64,
+        "ReLU produced no zeros? broadcasts {} of {}",
+        second.broadcasts,
+        encoded[1].cols()
+    );
+}
+
+#[test]
+fn lstm_cell_runs_on_accelerated_gates() {
+    // The NT-LSTM decomposition: gate M×V on EIE, element-wise on host.
+    let hidden = 12;
+    let input_dim = 12;
+    let gate_w = random_sparse(4 * hidden, input_dim + hidden + 1, 0.3, 9);
+    let cell = LstmCell::new(gate_w.to_dense(), hidden);
+
+    let engine = Engine::new(EieConfig::default().with_num_pes(4));
+    let encoded = engine.compress(&gate_w);
+
+    let x: Vec<f32> = (0..input_dim).map(|i| ((i as f32) * 0.3).sin()).collect();
+    let mut state_accel = LstmState::zeros(hidden);
+    let mut state_host = LstmState::zeros(hidden);
+    for _ in 0..3 {
+        // Accelerated: gate pre-activations from the simulator.
+        let gate_in = cell.concat_input(&x, &state_accel.h);
+        let z = engine.run_layer(&encoded, &gate_in);
+        state_accel = cell.apply_gates(&z.run.outputs_f32(), &state_accel);
+        // Host reference on the quantized weights.
+        let z_ref = encoded.spmv_f32(&cell.concat_input(&x, &state_host.h));
+        state_host = cell.apply_gates(&z_ref, &state_host);
+    }
+    for (a, b) in state_accel.h.iter().zip(&state_host.h) {
+        assert!((a - b).abs() < 0.05, "{a} vs {b}");
+    }
+}
