@@ -80,7 +80,12 @@ mod tests {
     fn all_measurements_positive() {
         let w = MvWorkload::synthesize(128, 128, 0.2, 3);
         let m = CpuMeasurement::measure(&w, &TimingHarness::quick());
-        for t in [m.dense_b1_us, m.sparse_b1_us, m.dense_b64_us, m.sparse_b64_us] {
+        for t in [
+            m.dense_b1_us,
+            m.sparse_b1_us,
+            m.dense_b64_us,
+            m.sparse_b64_us,
+        ] {
             assert!(t > 0.0);
         }
     }

@@ -116,10 +116,7 @@ mod tests {
         };
         let short = h.measure_us(work(50_000));
         let long = h.measure_us(work(5_000_000));
-        assert!(
-            long > short * 5.0,
-            "long {long} should dwarf short {short}"
-        );
+        assert!(long > short * 5.0, "long {long} should dwarf short {short}");
     }
 
     #[test]

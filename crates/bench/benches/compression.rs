@@ -3,9 +3,9 @@
 //! encoding.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eie_core::compress::prune::prune_to_density;
 use eie_core::compress::{compress, encode_with_codebook, Codebook, CompressConfig};
 use eie_core::prelude::*;
-use eie_core::compress::prune::prune_to_density;
 
 fn bench_prune(c: &mut Criterion) {
     let mut group = c.benchmark_group("prune");
@@ -37,9 +37,7 @@ fn bench_encode(c: &mut Criterion) {
     group.throughput(Throughput::Elements(sparse.nnz() as u64));
     for pes in [1usize, 16, 64] {
         group.bench_with_input(BenchmarkId::new("interleaved_csc", pes), &pes, |b, &n| {
-            b.iter(|| {
-                encode_with_codebook(&sparse, cb.clone(), CompressConfig::with_pes(n))
-            })
+            b.iter(|| encode_with_codebook(&sparse, cb.clone(), CompressConfig::with_pes(n)))
         });
     }
     group.bench_function("full_pipeline_64pe", |b| {

@@ -44,21 +44,14 @@ fn main() {
 
     let mut table = TextTable::new(
         "Figure 10: accuracy and multiply energy vs arithmetic precision",
-        &[
-            "precision",
-            "accuracy",
-            "mult energy (pJ)",
-            "energy vs 16b",
-        ],
+        &["precision", "accuracy", "mult energy (pJ)", "energy vs 16b"],
     );
     let e16 = tech::mult_energy_pj(Precision::Fixed16);
     let mut accuracies = Vec::new();
     for p in Precision::ALL {
         let acc = match p {
             Precision::Float32 => mlp.accuracy(&test.inputs, &test.labels),
-            _ => mlp
-                .quantized(p)
-                .accuracy(&test.inputs, &test.labels),
+            _ => mlp.quantized(p).accuracy(&test.inputs, &test.labels),
         };
         accuracies.push((p, acc));
         table.row(vec![

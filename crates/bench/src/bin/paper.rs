@@ -13,8 +13,22 @@
 use std::process::Command;
 
 const EXPERIMENTS: [&str; 16] = [
-    "table1", "table2", "table3", "table4", "table5", "fig6", "fig7", "fig8", "fig9", "fig10",
-    "fig11", "fig12", "fig13", "ablations", "waterfall", "timeline",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "ablations",
+    "waterfall",
+    "timeline",
 ];
 
 fn main() {

@@ -44,9 +44,7 @@ fn main() {
             scale_divisor(),
             config
         ),
-        &[
-            "layer", "platform", "batch", "dense", "sparse",
-        ],
+        &["layer", "platform", "batch", "dense", "sparse"],
     );
     let mut eie_table = TextTable::new(
         "Table IV, EIE rows (µs)",
@@ -85,7 +83,11 @@ fn main() {
         ]);
 
         // --- calibrated platform models ------------------------------
-        for (name, model) in [("CPU i7 (model)", &i7), ("GPU TitanX (model)", &gpu), ("mGPU TK1 (model)", &mgpu)] {
+        for (name, model) in [
+            ("CPU i7 (model)", &i7),
+            ("GPU TitanX (model)", &gpu),
+            ("mGPU TK1 (model)", &mgpu),
+        ] {
             for batch in [1usize, 64] {
                 table.row(vec![
                     benchmark.name().into(),

@@ -121,8 +121,18 @@ fn main() {
     let mut table = TextTable::new(
         format!("Table V reproduction: M×V on AlexNet FC7 (scale 1/{scale})"),
         &[
-            "platform", "type", "tech", "clock(MHz)", "memory", "max model", "quant",
-            "area(mm²)", "power(W)", "fps", "fps/mm²", "fps/W",
+            "platform",
+            "type",
+            "tech",
+            "clock(MHz)",
+            "memory",
+            "max model",
+            "quant",
+            "area(mm²)",
+            "power(W)",
+            "fps",
+            "fps/mm²",
+            "fps/W",
         ],
     );
     for r in &table_rows {

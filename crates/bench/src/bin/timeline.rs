@@ -23,8 +23,7 @@ fn main() {
         // Pick a window so each run renders to ~48 columns.
         let probe_run = simulate(&encoded, &acts, &config.sim_config());
         let window = (probe_run.stats.total_cycles / 48).max(1);
-        let (run, timeline) =
-            simulate_with_timeline(&encoded, &acts, &config.sim_config(), window);
+        let (run, timeline) = simulate_with_timeline(&encoded, &acts, &config.sim_config(), window);
         out.push_str(&format!(
             "{:<8} |{}| {:5.1}% mean busy, {} cycles, {} batches\n",
             benchmark.name(),

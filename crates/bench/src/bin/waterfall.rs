@@ -45,7 +45,12 @@ fn main() {
             weight_density * 100.0,
             act_density * 100.0
         ),
-        &["stage", "weight-memory energy (µJ)", "step factor", "cumulative"],
+        &[
+            "stage",
+            "weight-memory energy (µJ)",
+            "step factor",
+            "cumulative",
+        ],
     );
     let uj = 1e-6;
     let rungs = [

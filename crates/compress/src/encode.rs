@@ -58,7 +58,11 @@ pub enum ValidateLayerError {
 impl fmt::Display for ValidateLayerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ValidateLayerError::ColPtrLength { pe, expected, actual } => write!(
+            ValidateLayerError::ColPtrLength {
+                pe,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "PE {pe}: column pointer array has length {actual}, expected {expected}"
             ),
@@ -72,7 +76,10 @@ impl fmt::Display for ValidateLayerError {
                 write!(f, "PE {pe}: codebook index out of range at entry {entry}")
             }
             ValidateLayerError::RowOverflow { pe, col } => {
-                write!(f, "PE {pe}: decoded row overflows local rows in column {col}")
+                write!(
+                    f,
+                    "PE {pe}: decoded row overflows local rows in column {col}"
+                )
             }
         }
     }
@@ -149,7 +156,10 @@ impl Entry {
     /// Panics if either field exceeds a nibble (only possible when
     /// `index_bits > 4` was configured).
     pub fn packed(self) -> u8 {
-        assert!(self.code < 16 && self.zrun < 16, "entry exceeds 4-bit fields");
+        assert!(
+            self.code < 16 && self.zrun < 16,
+            "entry exceeds 4-bit fields"
+        );
         (self.zrun << 4) | self.code
     }
 
@@ -333,11 +343,7 @@ impl EncodedLayer {
             for j in 0..self.cols {
                 slice.walk_column(j, |local, code| {
                     if code != 0 {
-                        triplets.push((
-                            self.global_row(pe, local),
-                            j,
-                            self.codebook.lookup(code),
-                        ));
+                        triplets.push((self.global_row(pe, local), j, self.codebook.lookup(code)));
                     }
                 });
             }
@@ -622,7 +628,13 @@ mod tests {
         let m = random_sparse(40, 30, 0.2, 9);
         let enc = compress(&m, CompressConfig::with_pes(8));
         let a: Vec<f32> = (0..30)
-            .map(|i| if i % 3 == 0 { 0.0 } else { (i as f32 * 0.1).sin() })
+            .map(|i| {
+                if i % 3 == 0 {
+                    0.0
+                } else {
+                    (i as f32 * 0.1).sin()
+                }
+            })
             .collect();
         let y = enc.spmv_f32(&a);
         let y_ref = quantized_reference(&m, enc.codebook()).gemv(&a);
@@ -706,7 +718,10 @@ mod tests {
 
     #[test]
     fn packed_byte_layout() {
-        let e = Entry { code: 0x3, zrun: 0xA };
+        let e = Entry {
+            code: 0x3,
+            zrun: 0xA,
+        };
         assert_eq!(e.packed(), 0xA3);
     }
 

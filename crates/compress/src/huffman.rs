@@ -91,7 +91,9 @@ impl HuffmanCode {
 
     /// Total encoded payload length in bits for a stream.
     pub fn encoded_bits(&self, data: &[u8]) -> usize {
-        data.iter().map(|&b| self.lengths[b as usize] as usize).sum()
+        data.iter()
+            .map(|&b| self.lengths[b as usize] as usize)
+            .sum()
     }
 
     /// Encodes a stream into a bit vector (MSB-first per code).

@@ -182,10 +182,7 @@ mod tests {
         data.push(-10.0);
         let c = kmeans1d(&data, 16, 100);
         let err_hi = c.iter().map(|&x| (x - 10.0).abs()).fold(f32::MAX, f32::min);
-        let err_lo = c
-            .iter()
-            .map(|&x| (x + 10.0).abs())
-            .fold(f32::MAX, f32::min);
+        let err_lo = c.iter().map(|&x| (x + 10.0).abs()).fold(f32::MAX, f32::min);
         assert!(err_hi < 1.0, "large positive weight lost: {err_hi}");
         assert!(err_lo < 1.0, "large negative weight lost: {err_lo}");
     }

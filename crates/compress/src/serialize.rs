@@ -22,7 +22,7 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::encode::{ValidateLayerError};
+use crate::encode::ValidateLayerError;
 use crate::{Codebook, EncodedLayer, Entry, PeSlice};
 
 /// Magic bytes heading every layer image.
@@ -154,7 +154,9 @@ impl EncodedLayer {
         }
         let index_bits = r.u8()? as u32;
         if !(1..=8).contains(&index_bits) {
-            return Err(DecodeLayerError::BadHeader { field: "index_bits" });
+            return Err(DecodeLayerError::BadHeader {
+                field: "index_bits",
+            });
         }
         let codebook_len = r.u8()? as usize;
         if !(2..=crate::CODEBOOK_SIZE).contains(&codebook_len) {
@@ -201,7 +203,9 @@ impl EncodedLayer {
             slices.push(PeSlice::from_raw_parts(entries, col_ptr, local_rows));
         }
         if total_local != rows {
-            return Err(DecodeLayerError::BadHeader { field: "local_rows" });
+            return Err(DecodeLayerError::BadHeader {
+                field: "local_rows",
+            });
         }
 
         let layer = EncodedLayer::from_raw_parts(rows, cols, index_bits, codebook, slices);
@@ -233,7 +237,9 @@ mod tests {
     fn roundtrip_preserves_semantics() {
         let layer = sample();
         let back = EncodedLayer::from_bytes(&layer.to_bytes()).unwrap();
-        let acts: Vec<f32> = (0..32).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let acts: Vec<f32> = (0..32)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
         assert_eq!(layer.spmv_f32(&acts), back.spmv_f32(&acts));
     }
 

@@ -40,14 +40,9 @@ pub struct EncodingStats {
 impl EncodingStats {
     /// Computes statistics for a layer.
     pub fn from_layer(layer: &EncodedLayer) -> Self {
-        let entries_per_pe: Vec<usize> =
-            layer.slices().iter().map(PeSlice::num_entries).collect();
+        let entries_per_pe: Vec<usize> = layer.slices().iter().map(PeSlice::num_entries).collect();
         let total: usize = entries_per_pe.iter().sum();
-        let padding: usize = layer
-            .slices()
-            .iter()
-            .map(PeSlice::padding_entries)
-            .sum();
+        let padding: usize = layer.slices().iter().map(PeSlice::padding_entries).sum();
         let entry_bits = (crate::WEIGHT_BITS + layer.index_bits()) as usize;
         let huffman_total_bits: usize = layer
             .slices()
@@ -209,7 +204,12 @@ mod tests {
                 .stats()
                 .real_work_ratio()
         };
-        assert!(ratio(1) < ratio(16), "1PE {} vs 16PE {}", ratio(1), ratio(16));
+        assert!(
+            ratio(1) < ratio(16),
+            "1PE {} vs 16PE {}",
+            ratio(1),
+            ratio(16)
+        );
         assert!(ratio(16) <= ratio(64) + 1e-9);
     }
 

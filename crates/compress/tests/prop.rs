@@ -7,9 +7,16 @@ use proptest::prelude::*;
 
 /// Strategy: a random sparse matrix plus an arbitrary PE count.
 fn arb_case() -> impl Strategy<Value = (CsrMatrix, usize)> {
-    (2usize..48, 2usize..48, 0.05f64..0.6, any::<u64>(), 1usize..12).prop_map(
-        |(rows, cols, density, seed, pes)| (random_sparse(rows, cols, density, seed), pes),
+    (
+        2usize..48,
+        2usize..48,
+        0.05f64..0.6,
+        any::<u64>(),
+        1usize..12,
     )
+        .prop_map(|(rows, cols, density, seed, pes)| {
+            (random_sparse(rows, cols, density, seed), pes)
+        })
 }
 
 /// The dense matrix with every non-zero replaced by its codebook value.

@@ -85,7 +85,10 @@ impl EieConfig {
     ///
     /// Panics if `bits` is not a positive multiple of 8.
     pub fn with_spmat_width(mut self, bits: u32) -> Self {
-        assert!(bits >= 8 && bits.is_multiple_of(8), "width must be a multiple of 8");
+        assert!(
+            bits >= 8 && bits.is_multiple_of(8),
+            "width must be a multiple of 8"
+        );
         self.spmat_width_bits = bits;
         self
     }

@@ -16,7 +16,7 @@ pub use eie_compress::{
     compress, encode_with_codebook, Codebook, CompressConfig, EncodedLayer, EncodingStats,
 };
 pub use eie_energy::{platform::Platform, EnergyReport, LayerActivity, PeModel, SramModel};
-pub use eie_fixed::{Accum32, Fix16, Precision, QFormat, Q8p8};
+pub use eie_fixed::{Accum32, Fix16, Precision, Q8p8, QFormat};
 pub use eie_nn::zoo::{random_sparse, BenchLayer, Benchmark, DEFAULT_SEED};
 pub use eie_nn::{Activation, CscMatrix, CsrMatrix, FcLayer, LstmCell, LstmState, Matrix, Mlp};
 pub use eie_sim::{functional, simulate, simulate_network, LayerRun, SimConfig, SimStats};

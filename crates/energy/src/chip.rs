@@ -92,8 +92,16 @@ mod tests {
     fn paper_chip_matches_headline_numbers() {
         let chip = ChipModel::paper_64pe();
         assert_eq!(chip.lnzd_nodes(), 21);
-        assert!((chip.area_mm2() - 40.8).abs() / 40.8 < 0.10, "{}", chip.area_mm2());
-        assert!((chip.power_w() - 0.59).abs() / 0.59 < 0.10, "{}", chip.power_w());
+        assert!(
+            (chip.area_mm2() - 40.8).abs() / 40.8 < 0.10,
+            "{}",
+            chip.area_mm2()
+        );
+        assert!(
+            (chip.power_w() - 0.59).abs() / 0.59 < 0.10,
+            "{}",
+            chip.power_w()
+        );
         assert!((chip.peak_gops() - 102.4).abs() < 0.1);
         assert!((chip.max_dense_params() - 84e6).abs() / 84e6 < 0.01);
     }

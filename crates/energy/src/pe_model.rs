@@ -60,7 +60,11 @@ pub struct PeArea {
 impl PeArea {
     /// Total PE area in µm².
     pub fn total_um2(&self) -> f64 {
-        self.act_queue + self.ptr_read + self.spmat_read + self.arithm_unit + self.act_rw
+        self.act_queue
+            + self.ptr_read
+            + self.spmat_read
+            + self.arithm_unit
+            + self.act_rw
             + self.filler
     }
 
@@ -84,8 +88,8 @@ impl PeArea {
 
     /// Fraction of area in memory macros (paper: 93.22%).
     pub fn memory_fraction(&self) -> f64 {
-        let mem = self.spmat_read + self.ptr_read
-            + (self.act_rw - regfile_area() - ACT_CTRL_AREA_UM2);
+        let mem =
+            self.spmat_read + self.ptr_read + (self.act_rw - regfile_area() - ACT_CTRL_AREA_UM2);
         mem / self.total_um2()
     }
 }
@@ -110,7 +114,11 @@ pub struct PePower {
 impl PePower {
     /// Total PE power in mW.
     pub fn total_mw(&self) -> f64 {
-        self.act_queue + self.ptr_read + self.spmat_read + self.arithm_unit + self.act_rw
+        self.act_queue
+            + self.ptr_read
+            + self.spmat_read
+            + self.arithm_unit
+            + self.act_rw
             + self.leakage
     }
 
@@ -185,8 +193,7 @@ impl PeModel {
     pub fn area(&self) -> PeArea {
         let (spmat, ptr_bank, act) = self.srams();
         // Queue entries: 16-bit value + 12-bit index.
-        let act_queue =
-            self.fifo_depth as f64 * 28.0 * QUEUE_BIT_AREA_UM2 + QUEUE_CTRL_AREA_UM2;
+        let act_queue = self.fifo_depth as f64 * 28.0 * QUEUE_BIT_AREA_UM2 + QUEUE_CTRL_AREA_UM2;
         let ptr_read = 2.0 * ptr_bank.area_um2();
         let spmat_read = spmat.area_um2();
         let act_rw = act.area_um2() + regfile_area() + ACT_CTRL_AREA_UM2;
@@ -239,8 +246,7 @@ impl PeModel {
         assert!(avg_col_entries > 0.0, "column length must be positive");
         let per_row = (self.spmat_width_bits / 8) as f64;
         let rows_touched = 1.0 + (avg_col_entries - 1.0).max(0.0) / per_row;
-        SramModel::spmat(self.spmat_width_bits).read_energy_pj() * rows_touched
-            / avg_col_entries
+        SramModel::spmat(self.spmat_width_bits).read_energy_pj() * rows_touched / avg_col_entries
     }
 
     /// Per-event energies used by the activity model, pJ:
@@ -314,10 +320,7 @@ mod tests {
     fn module_areas_match_table_ii() {
         let a = PeModel::paper().area();
         let close = |got: f64, want: f64, tol: f64, what: &str| {
-            assert!(
-                (got - want).abs() / want < tol,
-                "{what}: {got} vs {want}"
-            );
+            assert!((got - want).abs() / want < tol, "{what}: {got} vs {want}");
         };
         close(a.spmat_read, 469_412.0, 0.05, "SpmatRead");
         close(a.ptr_read, 121_849.0, 0.05, "PtrRead");
@@ -349,8 +352,14 @@ mod tests {
         let pe = PeModel::paper();
         let chip_area = 64.0 * pe.area().total_mm2();
         let chip_power = 64.0 * pe.steady_state_power().total_mw() / 1000.0;
-        assert!((chip_area - 40.8).abs() / 40.8 < 0.10, "chip {chip_area} mm²");
-        assert!((chip_power - 0.59).abs() / 0.59 < 0.10, "chip {chip_power} W");
+        assert!(
+            (chip_area - 40.8).abs() / 40.8 < 0.10,
+            "chip {chip_area} mm²"
+        );
+        assert!(
+            (chip_power - 0.59).abs() / 0.59 < 0.10,
+            "chip {chip_power} W"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property-based tests for the fixed-point substrate.
 
-use eie_fixed::{Accum32, DynFix, Fix16, Precision, QFormat, Q8p8};
+use eie_fixed::{Accum32, DynFix, Fix16, Precision, Q8p8, QFormat};
 use proptest::prelude::*;
 
 fn arb_qformat() -> impl Strategy<Value = QFormat> {

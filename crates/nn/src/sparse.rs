@@ -105,10 +105,16 @@ impl CsrMatrix {
             assert!(w[0] <= w[1], "row_ptr must be non-decreasing");
             let (s, e) = (w[0] as usize, w[1] as usize);
             for pair in col_idx[s..e].windows(2) {
-                assert!(pair[0] < pair[1], "column indices must be strictly increasing");
+                assert!(
+                    pair[0] < pair[1],
+                    "column indices must be strictly increasing"
+                );
             }
             if e > s {
-                assert!((col_idx[e - 1] as usize) < cols, "column index out of range");
+                assert!(
+                    (col_idx[e - 1] as usize) < cols,
+                    "column index out of range"
+                );
             }
         }
         Self {

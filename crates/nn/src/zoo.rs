@@ -116,10 +116,7 @@ impl Benchmark {
     /// True for the NeuralTalk layers, whose inputs are dense and signed
     /// (embeddings / LSTM states rather than post-ReLU activations).
     pub fn has_signed_activations(self) -> bool {
-        matches!(
-            self,
-            Benchmark::NtWe | Benchmark::NtWd | Benchmark::NtLstm
-        )
+        matches!(self, Benchmark::NtWe | Benchmark::NtWd | Benchmark::NtLstm)
     }
 
     /// The source network, as described in Table III.
@@ -350,7 +347,10 @@ mod tests {
     fn weight_values_are_bounded_and_nonzero() {
         let m = random_sparse(100, 100, 0.3, 5);
         for &v in m.values() {
-            assert!(v != 0.0 && v.abs() >= 0.1 && v.abs() <= 2.0, "bad weight {v}");
+            assert!(
+                v != 0.0 && v.abs() >= 0.1 && v.abs() <= 2.0,
+                "bad weight {v}"
+            );
         }
     }
 

@@ -7,11 +7,8 @@ use proptest::prelude::*;
 /// Strategy: a small random dense matrix with a controllable zero fraction.
 fn arb_dense() -> impl Strategy<Value = Matrix> {
     (1usize..12, 1usize..12).prop_flat_map(|(r, c)| {
-        prop::collection::vec(
-            prop_oneof![3 => Just(0.0f32), 2 => -4.0f32..4.0],
-            r * c,
-        )
-        .prop_map(move |data| Matrix::from_vec(r, c, data))
+        prop::collection::vec(prop_oneof![3 => Just(0.0f32), 2 => -4.0f32..4.0], r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
     })
 }
 

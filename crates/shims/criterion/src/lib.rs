@@ -1,0 +1,292 @@
+//! Offline shim for the subset of the
+//! [`criterion`](https://crates.io/crates/criterion) API used by this
+//! workspace's benches.
+//!
+//! [`Bencher::iter`] warms up briefly, then times batches with
+//! [`std::time::Instant`] and prints one line per benchmark with the
+//! median per-iteration time and, when a [`Throughput`] was declared,
+//! an elements/second rate. This is enough for `cargo bench` to give a
+//! coarse signal and for `cargo test` to compile the bench targets; it
+//! makes no claim to criterion's statistical rigor. See
+//! `crates/shims/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque barrier preventing the optimizer from deleting benchmarked
+/// work (re-export of [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Work-rate declaration attached to subsequent benchmarks in a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier: a function name plus an optional
+/// parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, matching upstream's rendering.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Things accepted as a benchmark identifier (`&str`, `String`, or
+/// [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; [`iter`](Bencher::iter) runs and times
+/// the routine.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median per-iteration time measured by the last `iter` call.
+    measured: Option<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            measured: None,
+        }
+    }
+
+    /// Times `routine`, keeping its output alive via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~20ms have elapsed (at least once) to
+        // stabilize caches, and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u32 = 0;
+        while warm_iters == 0 || warm_start.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed() / warm_iters;
+
+        // Size batches so one sample takes ~1ms, then take the median
+        // over `sample_size` samples.
+        let batch =
+            (Duration::from_millis(1).as_nanos() / per_iter.as_nanos().max(1)).max(1) as u32;
+        let mut samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(routine());
+                }
+                start.elapsed() / batch
+            })
+            .collect();
+        samples.sort_unstable();
+        self.measured = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn human_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of related benchmarks sharing throughput/sample-size
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (upstream default 100; the
+    /// shim default is 20 to keep `cargo bench` quick).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the work rate reported for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        self.criterion.report(&full, b.measured, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        self.criterion.report(&full, b.measured, self.throughput);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; the shim has no
+    /// end-of-group reporting).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into_id();
+        let mut b = Bencher::new(20);
+        f(&mut b);
+        self.report(&full, b.measured, None);
+        self
+    }
+
+    fn report(&mut self, id: &str, measured: Option<Duration>, throughput: Option<Throughput>) {
+        let Some(t) = measured else {
+            println!("{id:<48} (no measurement: Bencher::iter was not called)");
+            return;
+        };
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if !t.is_zero() => {
+                format!("  {:.3} Melem/s", n as f64 / t.as_secs_f64() / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if !t.is_zero() => {
+                format!(
+                    "  {:.3} MiB/s",
+                    n as f64 / t.as_secs_f64() / (1024.0 * 1024.0)
+                )
+            }
+            _ => String::new(),
+        };
+        println!("{id:<48} {:>12}/iter{rate}", human_time(t));
+    }
+}
+
+/// Declares a function running each listed benchmark with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs harness-less bench binaries with
+            // `--test`; benches are compile-checked there but not run.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(64));
+        group.bench_function(BenchmarkId::new("sum", 64), |b| {
+            b.iter(|| (0..64u64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("sum_n", 32), &32u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_runs_and_measures() {
+        let mut c = Criterion::default();
+        trivial_bench(&mut c);
+        c.bench_function("ungrouped", |b| b.iter(|| black_box(1u32 + 1)));
+    }
+}

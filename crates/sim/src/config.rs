@@ -75,7 +75,10 @@ impl SimConfig {
     ///
     /// Panics if `bits` is not a positive multiple of 8.
     pub fn with_spmat_width(bits: u32) -> Self {
-        assert!(bits >= 8 && bits.is_multiple_of(8), "width must be a multiple of 8");
+        assert!(
+            bits >= 8 && bits.is_multiple_of(8),
+            "width must be a multiple of 8"
+        );
         Self {
             spmat_width_bits: bits,
             ..Self::default()

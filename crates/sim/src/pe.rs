@@ -246,7 +246,11 @@ mod tests {
     use eie_compress::{encode_with_codebook, Codebook, CompressConfig};
     use eie_nn::CsrMatrix;
 
-    fn one_pe_layer(triplets: &[(usize, usize, f32)], rows: usize, cols: usize) -> eie_compress::EncodedLayer {
+    fn one_pe_layer(
+        triplets: &[(usize, usize, f32)],
+        rows: usize,
+        cols: usize,
+    ) -> eie_compress::EncodedLayer {
         let m = CsrMatrix::from_triplets(rows, cols, triplets);
         encode_with_codebook(
             &m,
@@ -380,8 +384,7 @@ mod tests {
     fn spmat_row_reads_respect_width() {
         // 10 entries in one column: at 64-bit width (8 entries/row) that
         // is 2 row fetches (alignment starts at entry 0).
-        let triplets: Vec<(usize, usize, f32)> =
-            (0..10).map(|r| (r, 0usize, 1.0f32)).collect();
+        let triplets: Vec<(usize, usize, f32)> = (0..10).map(|r| (r, 0usize, 1.0f32)).collect();
         let layer = one_pe_layer(&triplets, 10, 1);
         let cb = layer.codebook().to_fix16::<8>();
         let mut pe = ProcessingElement::new(10, cb);
@@ -392,7 +395,12 @@ mod tests {
         // At 32-bit width (4 entries/row): 3 fetches.
         let mut pe2 = ProcessingElement::new(10, cb);
         pe2.push_activation(0, Q8p8::ONE);
-        drive(&mut pe2, layer.slice(0), &SimConfig::with_spmat_width(32), 100);
+        drive(
+            &mut pe2,
+            layer.slice(0),
+            &SimConfig::with_spmat_width(32),
+            100,
+        );
         assert_eq!(pe2.stats.spmat_row_reads, 3);
     }
 

@@ -158,8 +158,7 @@ impl Clocked for System<'_> {
                     if self.drain_remaining == 0 {
                         // Registers swapped: next batch begins; the LNZD
                         // pipeline refills.
-                        self.batch_boundary +=
-                            self.cfg.act_regfile_entries * self.layer.num_pes();
+                        self.batch_boundary += self.cfg.act_regfile_entries * self.layer.num_pes();
                         self.fill_remaining = self.cfg.lnzd_depth(self.layer.num_pes());
                         self.stats.batches += 1;
                     }
@@ -200,9 +199,23 @@ impl System<'_> {
 /// [`timeline`](crate::simulate_with_timeline) instrumentation plugs into.
 pub(crate) trait TimelineProbe {
     /// Called after every completed cycle with cumulative counters.
-    fn sample(&mut self, cycle: u64, busy_total: u64, queue_total: usize, broadcasts: u64, pes: usize);
+    fn sample(
+        &mut self,
+        cycle: u64,
+        busy_total: u64,
+        queue_total: usize,
+        broadcasts: u64,
+        pes: usize,
+    );
     /// Called once when the run completes.
-    fn finish(&mut self, cycle: u64, busy_total: u64, queue_total: usize, broadcasts: u64, pes: usize);
+    fn finish(
+        &mut self,
+        cycle: u64,
+        busy_total: u64,
+        queue_total: usize,
+        broadcasts: u64,
+        pes: usize,
+    );
 }
 
 /// A probe that records nothing (the plain `simulate` path).
@@ -448,12 +461,7 @@ mod tests {
     fn relu_clamps_negative_outputs() {
         let m = CsrMatrix::from_triplets(2, 1, &[(0, 0, -1.0), (1, 0, 1.0)]);
         let enc = compress(&m, CompressConfig::with_pes(1));
-        let run = simulate_fixed(
-            &enc,
-            &[Q8p8::from_f32(2.0)],
-            &SimConfig::default(),
-            true,
-        );
+        let run = simulate_fixed(&enc, &[Q8p8::from_f32(2.0)], &SimConfig::default(), true);
         assert_eq!(run.outputs[0], Q8p8::ZERO);
         assert!(run.outputs[1].to_f32() > 0.0);
     }

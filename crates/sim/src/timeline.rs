@@ -111,7 +111,14 @@ impl TimelineRecorder {
 }
 
 impl TimelineProbe for TimelineRecorder {
-    fn sample(&mut self, cycle: u64, busy_total: u64, queue_total: usize, broadcasts: u64, pes: usize) {
+    fn sample(
+        &mut self,
+        cycle: u64,
+        busy_total: u64,
+        queue_total: usize,
+        broadcasts: u64,
+        pes: usize,
+    ) {
         if !cycle.is_multiple_of(self.window) {
             return;
         }
@@ -128,7 +135,14 @@ impl TimelineProbe for TimelineRecorder {
         self.timeline.broadcasts.push(dbroadcast);
     }
 
-    fn finish(&mut self, cycle: u64, busy_total: u64, _queue_total: usize, broadcasts: u64, pes: usize) {
+    fn finish(
+        &mut self,
+        cycle: u64,
+        busy_total: u64,
+        _queue_total: usize,
+        broadcasts: u64,
+        pes: usize,
+    ) {
         let rem = cycle % self.window;
         if rem == 0 {
             return;

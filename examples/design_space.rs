@@ -58,7 +58,9 @@ fn main() {
     // --- SRAM width: total read energy, the Fig. 9 trade-off ----------
     println!("\nSpmat SRAM width sweep (16 PEs):");
     for width in [32u32, 64, 128, 256] {
-        let cfg = EieConfig::default().with_num_pes(16).with_spmat_width(width);
+        let cfg = EieConfig::default()
+            .with_num_pes(16)
+            .with_spmat_width(width);
         let result = Engine::new(cfg).run_layer(&enc16, &acts);
         let reads = result.run.stats.spmat_row_reads();
         let per_read = SramModel::spmat(width).read_energy_pj();

@@ -15,10 +15,7 @@ fn stack(seed: u64) -> (Vec<CsrMatrix>, Vec<f32>) {
 /// Host-side reference: the same quantized network computed layer by
 /// layer with f32 accumulation on the codebook-quantized weights.
 fn reference_forward(encoded: &[EncodedLayer], input: &[f32]) -> Vec<f32> {
-    let mut acts: Vec<f32> = input
-        .iter()
-        .map(|&a| Q8p8::from_f32(a).to_f32())
-        .collect();
+    let mut acts: Vec<f32> = input.iter().map(|&a| Q8p8::from_f32(a).to_f32()).collect();
     for (i, layer) in encoded.iter().enumerate() {
         let mut y = layer.spmv_f32(&acts);
         if i + 1 < encoded.len() {

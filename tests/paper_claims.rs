@@ -90,10 +90,7 @@ fn table_iv_claim_actual_near_theoretical() {
     let (enc, acts) = prep(Benchmark::Alex6, 8);
     let run = simulate(&enc, &acts, &SimConfig::default());
     let overhead = run.stats.overhead_factor();
-    assert!(
-        (1.0..1.4).contains(&overhead),
-        "overhead factor {overhead}"
-    );
+    assert!((1.0..1.4).contains(&overhead), "overhead factor {overhead}");
 }
 
 #[test]

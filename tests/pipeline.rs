@@ -16,17 +16,14 @@ fn verify_benchmark(benchmark: Benchmark, pes: usize) {
     // 1. Bit-exact vs the functional golden model.
     let acts_q: Vec<Q8p8> = acts.iter().map(|&a| Q8p8::from_f32(a)).collect();
     let golden = functional::execute(&encoded, &acts_q, false);
-    assert_eq!(result.run.outputs, golden, "{benchmark}: cycle != functional");
+    assert_eq!(
+        result.run.outputs, golden,
+        "{benchmark}: cycle != functional"
+    );
 
     // 2. Close to the f32 reference on the quantized matrix.
     let reference = encoded.spmv_f32(&acts);
-    for (i, (got, want)) in result
-        .run
-        .outputs_f32()
-        .iter()
-        .zip(&reference)
-        .enumerate()
-    {
+    for (i, (got, want)) in result.run.outputs_f32().iter().zip(&reference).enumerate() {
         assert!(
             (got - want).abs() < 0.5,
             "{benchmark} row {i}: {got} vs {want}"
@@ -39,7 +36,10 @@ fn verify_benchmark(benchmark: Benchmark, pes: usize) {
     // 4. Sanity on the stats.
     let stats = &result.run.stats;
     assert!(stats.total_cycles > 0, "{benchmark}");
-    assert!(stats.total_cycles >= stats.theoretical_cycles(), "{benchmark}");
+    assert!(
+        stats.total_cycles >= stats.theoretical_cycles(),
+        "{benchmark}"
+    );
     let eff = stats.load_balance_efficiency();
     assert!((0.0..=1.0).contains(&eff), "{benchmark}: efficiency {eff}");
 }
