@@ -34,6 +34,6 @@ mod measurement;
 mod timing;
 mod workload;
 
-pub use measurement::CpuMeasurement;
+pub use measurement::{BaselineBatchRun, CpuMeasurement};
 pub use timing::TimingHarness;
 pub use workload::{MvWorkload, MAX_BATCH};

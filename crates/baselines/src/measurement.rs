@@ -4,6 +4,44 @@ use std::fmt;
 
 use crate::{MvWorkload, TimingHarness};
 
+/// One measured CPU batch run: the baseline-side mirror of the engine's
+/// `BatchResult` accounting, so EIE-vs-CPU comparisons report the same
+/// quantities (per-frame latency and aggregate frames/s) on both sides.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineBatchRun {
+    /// Which kernel ran (`"dense"` or `"sparse"`).
+    pub kernel: &'static str,
+    /// Number of frames in the batch.
+    pub batch: usize,
+    /// Median wall-clock for the whole batch, µs.
+    pub wall_us: f64,
+}
+
+impl BaselineBatchRun {
+    /// Per-frame latency, µs (the paper's Table IV convention).
+    pub fn per_frame_us(&self) -> f64 {
+        self.wall_us / self.batch as f64
+    }
+
+    /// Aggregate inference throughput, frames/s.
+    pub fn frames_per_second(&self) -> f64 {
+        self.batch as f64 / (self.wall_us * 1e-6)
+    }
+}
+
+impl fmt::Display for BaselineBatchRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} batch {}: {:.1} µs/frame, {:.0} frames/s",
+            self.kernel,
+            self.batch,
+            self.per_frame_us(),
+            self.frames_per_second()
+        )
+    }
+}
+
 /// Measured per-frame CPU times for one benchmark layer, µs.
 ///
 /// Mirrors one CPU block of the paper's Table IV. Batched times are
@@ -33,6 +71,42 @@ impl CpuMeasurement {
             sparse_b1_us,
             dense_b64_us,
             sparse_b64_us,
+        }
+    }
+
+    /// Measures the dense kernel (`GEMV`/`GEMM`) at an arbitrary batch
+    /// size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is 0 or exceeds [`crate::MAX_BATCH`].
+    pub fn measure_dense_batch(
+        workload: &MvWorkload,
+        batch: usize,
+        harness: &TimingHarness,
+    ) -> BaselineBatchRun {
+        BaselineBatchRun {
+            kernel: "dense",
+            batch,
+            wall_us: harness.measure_us(|| workload.run_dense(batch)),
+        }
+    }
+
+    /// Measures the sparse kernel (`CSRMV`/`CSRMM`) at an arbitrary batch
+    /// size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is 0 or exceeds [`crate::MAX_BATCH`].
+    pub fn measure_sparse_batch(
+        workload: &MvWorkload,
+        batch: usize,
+        harness: &TimingHarness,
+    ) -> BaselineBatchRun {
+        BaselineBatchRun {
+            kernel: "sparse",
+            batch,
+            wall_us: harness.measure_us(|| workload.run_sparse(batch)),
         }
     }
 
@@ -88,6 +162,21 @@ mod tests {
         ] {
             assert!(t > 0.0);
         }
+    }
+
+    #[test]
+    fn batch_runs_report_consistent_rates() {
+        let w = MvWorkload::synthesize(96, 96, 0.15, 9);
+        let h = TimingHarness::quick();
+        let b1 = CpuMeasurement::measure_sparse_batch(&w, 1, &h);
+        let b16 = CpuMeasurement::measure_sparse_batch(&w, 16, &h);
+        assert_eq!(b1.batch, 1);
+        assert_eq!(b1.per_frame_us(), b1.wall_us);
+        assert!(b16.wall_us > b1.wall_us, "16 frames must cost more than 1");
+        assert!(b16.frames_per_second() > 0.0);
+        let d = CpuMeasurement::measure_dense_batch(&w, 4, &h);
+        assert_eq!(d.kernel, "dense");
+        assert!(d.to_string().contains("frames/s"));
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the execution backends: what batched serving
+//! costs on each path, against the dense GEMV baseline.
+//!
+//! The interesting comparisons on a Table III layer (Alex-7 at 1/8
+//! scale, batch 16):
+//!
+//! * `functional_loop` — the golden model looped per item (the naive
+//!   serving path the NativeCpu backend replaces),
+//! * `native_1thread` — the fused batch kernel, single worker: the
+//!   algorithmic win of streaming the compressed entries once per batch,
+//! * `native_multithread` — the same kernel with one worker per core:
+//!   the thread-scaling win on top,
+//! * `dense_gemv` — the dense f32 baseline looped per frame, and
+//!   `dense_gemm` — its batched form (what MKL batching buys a CPU).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eie_core::baselines::MvWorkload;
+use eie_core::prelude::*;
+
+const BATCH: usize = 16;
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backends_batch16");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    let layer = Benchmark::Alex7.generate_scaled(DEFAULT_SEED, 8); // 512×512 @ 9%
+    let enc = compress(&layer.weights, CompressConfig::with_pes(16));
+    let batch: Vec<Vec<Q8p8>> = layer
+        .sample_activation_batch(DEFAULT_SEED, BATCH)
+        .iter()
+        .map(|item| Q8p8::from_f32_slice(item))
+        .collect();
+
+    let functional = Functional::new();
+    group.bench_function("functional_loop", |b| {
+        b.iter(|| {
+            batch
+                .iter()
+                .map(|acts| functional.run_layer(&enc, acts, false))
+                .collect::<Vec<_>>()
+        })
+    });
+
+    let single = NativeCpu::with_threads(1);
+    group.bench_function("native_1thread", |b| {
+        b.iter(|| single.run_layer_batch(&enc, &batch, false))
+    });
+
+    let multi = NativeCpu::new();
+    group.bench_function(format!("native_multithread_{}", multi.threads()), |b| {
+        b.iter(|| multi.run_layer_batch(&enc, &batch, false))
+    });
+
+    let workload = MvWorkload::from_sparse(layer.weights.clone(), DEFAULT_SEED ^ 77);
+    group.bench_function("dense_gemv_loop", |b| {
+        b.iter(|| {
+            (0..BATCH)
+                .map(|_| workload.run_dense(1))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("dense_gemm_batched", |b| {
+        b.iter(|| workload.run_dense(BATCH))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -1,0 +1,378 @@
+//! Pluggable execution backends: one compiled artifact, three engines.
+//!
+//! The paper's evaluation runs the same compressed layer on three very
+//! different vehicles — RTL, a cycle-accurate simulator, and a golden
+//! Caffe model. This module captures that structure as a [`Backend`]
+//! trait over one [`CompiledModel`] artifact:
+//!
+//! * [`CycleAccurate`] — the `eie-sim` cycle model: *modelled* hardware
+//!   latency (cycles at the configured clock) plus full activity
+//!   statistics for energy pricing,
+//! * [`Functional`] — the untimed bit-exact golden model (per-item host
+//!   wall-clock is reported for bookkeeping, it models nothing),
+//! * [`NativeCpu`] — an optimized, multi-threaded interleaved-CSC SpMV
+//!   kernel executing the same [`EncodedLayer`] format at host speed:
+//!   the serving path.
+//!
+//! All three produce **bit-identical `Q8p8` outputs** for the same
+//! inputs: they share the broadcast schedule
+//! ([`eie_sim::broadcast_schedule`]) and the hardware's accumulation
+//! order, so saturation behaviour cannot diverge (asserted by the
+//! cross-backend test-suite and a property test).
+
+mod cycle;
+mod functional;
+mod native;
+
+use std::fmt;
+
+use eie_compress::{compress, EncodedLayer};
+use eie_fixed::Q8p8;
+use eie_nn::CsrMatrix;
+use eie_sim::SimStats;
+
+use crate::EieConfig;
+
+pub use cycle::CycleAccurate;
+pub use functional::Functional;
+pub use native::NativeCpu;
+
+/// Selects which backend executes a model — the serializable "name" of a
+/// backend, resolved to an implementation by [`BackendKind::instantiate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// The cycle-accurate simulator (modelled time and energy).
+    #[default]
+    CycleAccurate,
+    /// The untimed bit-exact golden model.
+    Functional,
+    /// The host-speed multi-threaded kernel with this many worker
+    /// threads (`0` = one per available core).
+    NativeCpu(usize),
+}
+
+impl BackendKind {
+    /// Builds the backend this kind names, for an accelerator config.
+    pub fn instantiate(self, config: &EieConfig) -> Box<dyn Backend> {
+        match self {
+            BackendKind::CycleAccurate => Box::new(CycleAccurate::new(config.sim_config())),
+            BackendKind::Functional => Box::new(Functional::new()),
+            BackendKind::NativeCpu(0) => Box::new(NativeCpu::new()),
+            BackendKind::NativeCpu(threads) => Box::new(NativeCpu::with_threads(threads)),
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendKind::CycleAccurate => write!(f, "cycle-accurate"),
+            BackendKind::Functional => write!(f, "functional"),
+            BackendKind::NativeCpu(0) => write!(f, "native-cpu"),
+            BackendKind::NativeCpu(t) => write!(f, "native-cpu({t})"),
+        }
+    }
+}
+
+/// Per-item result of one backend execution (a layer or a network).
+#[derive(Debug, Clone)]
+pub struct BackendRun {
+    /// Output activations by global row, Q8.8.
+    pub outputs: Vec<Q8p8>,
+    /// Item latency in seconds: modelled hardware time for
+    /// [`CycleAccurate`], measured host wall-clock otherwise.
+    pub latency_s: f64,
+    /// Full cycle/activity statistics ([`CycleAccurate`] only).
+    pub stats: Option<SimStats>,
+}
+
+impl BackendRun {
+    /// Item latency in microseconds.
+    pub fn latency_us(&self) -> f64 {
+        self.latency_s * 1e6
+    }
+}
+
+/// An execution backend: anything that can run a compressed layer (or a
+/// feed-forward stack of them) on quantized activations.
+///
+/// Implementations must be bit-exact with the functional golden model:
+/// same zero-activation skipping (the broadcast schedule), same
+/// accumulation order, same `Q8p8` writeback. Only *timing semantics*
+/// may differ — see [`Backend::is_modeled`].
+pub trait Backend: fmt::Debug + Send + Sync {
+    /// A short stable name for reports (`"cycle-accurate"`, …).
+    fn name(&self) -> &'static str;
+
+    /// `true` when [`BackendRun::latency_s`] is modelled hardware time;
+    /// `false` when it is measured host wall-clock.
+    fn is_modeled(&self) -> bool {
+        false
+    }
+
+    /// Executes one layer (raw M×V; `relu` applies ReLU on writeback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acts.len() != layer.cols()`.
+    fn run_layer(&self, layer: &EncodedLayer, acts: &[Q8p8], relu: bool) -> BackendRun;
+
+    /// Executes a batch of activation vectors against one layer.
+    ///
+    /// The default loops [`Backend::run_layer`]; [`NativeCpu`] overrides
+    /// it to spread items across worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any item's length differs from `layer.cols()`.
+    fn run_layer_batch(
+        &self,
+        layer: &EncodedLayer,
+        batch: &[Vec<Q8p8>],
+        relu: bool,
+    ) -> Vec<BackendRun> {
+        batch
+            .iter()
+            .map(|acts| self.run_layer(layer, acts, relu))
+            .collect()
+    }
+
+    /// Executes a feed-forward network (ReLU between layers, not after
+    /// the last), chaining [`Backend::run_layer`] and summing latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or dimensions mismatch.
+    fn run_network(&self, layers: &[&EncodedLayer], acts: &[Q8p8]) -> BackendRun {
+        assert!(!layers.is_empty(), "network needs at least one layer");
+        let mut current = acts.to_vec();
+        let mut latency_s = 0.0;
+        let mut stats: Option<SimStats> = None;
+        for (i, layer) in layers.iter().enumerate() {
+            let relu = i + 1 < layers.len();
+            let run = self.run_layer(layer, &current, relu);
+            current = run.outputs;
+            latency_s += run.latency_s;
+            match (&mut stats, run.stats) {
+                (None, s) => stats = s,
+                (Some(total), Some(s)) => total.merge(&s),
+                (Some(_), None) => {}
+            }
+        }
+        BackendRun {
+            outputs: current,
+            latency_s,
+            stats,
+        }
+    }
+
+    /// Executes a batch of inputs through a feed-forward network.
+    ///
+    /// The default loops [`Backend::run_network`]; [`NativeCpu`]
+    /// overrides it to spread items across worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Backend::run_network`], for any item.
+    fn run_network_batch(&self, layers: &[&EncodedLayer], batch: &[Vec<Q8p8>]) -> Vec<BackendRun> {
+        batch
+            .iter()
+            .map(|acts| self.run_network(layers, acts))
+            .collect()
+    }
+}
+
+/// A compressed model compiled for one accelerator configuration — the
+/// single artifact every [`Backend`] executes.
+///
+/// Compiling fixes the PE interleaving, codebooks and index width; after
+/// that the *same* artifact runs on the cycle model (for hardware
+/// numbers), the functional model (for verification) or the native
+/// kernel (for serving), with bit-identical outputs.
+///
+/// # Example
+///
+/// ```
+/// use eie_core::{BackendKind, CompiledModel, EieConfig};
+/// use eie_core::nn::zoo::random_sparse;
+///
+/// let w1 = random_sparse(32, 24, 0.2, 1);
+/// let w2 = random_sparse(16, 32, 0.2, 2);
+/// let model = CompiledModel::compile(
+///     EieConfig::default().with_num_pes(4),
+///     &[&w1, &w2],
+/// );
+/// assert_eq!(model.input_dim(), 24);
+/// assert_eq!(model.output_dim(), 16);
+/// let batch = vec![vec![1.0f32; 24]; 3];
+/// let result = model.run_batch(BackendKind::Functional, &batch);
+/// assert_eq!(result.batch_size(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    config: EieConfig,
+    layers: Vec<EncodedLayer>,
+}
+
+impl CompiledModel {
+    /// Compresses a feed-forward stack of pruned weight matrices for the
+    /// given accelerator configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, consecutive dimensions mismatch, or
+    /// any matrix has no non-zeros.
+    pub fn compile(config: EieConfig, weights: &[&CsrMatrix]) -> Self {
+        assert!(!weights.is_empty(), "model needs at least one layer");
+        for pair in weights.windows(2) {
+            assert_eq!(
+                pair[0].rows(),
+                pair[1].cols(),
+                "layer dimension mismatch in model"
+            );
+        }
+        let layers = weights
+            .iter()
+            .map(|w| compress(w, config.compress_config()))
+            .collect();
+        Self { config, layers }
+    }
+
+    /// Compiles a single-layer model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has no non-zeros.
+    pub fn compile_layer(config: EieConfig, weights: &CsrMatrix) -> Self {
+        Self::compile(config, &[weights])
+    }
+
+    /// The configuration the model was compiled for.
+    pub fn config(&self) -> &EieConfig {
+        &self.config
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The encoded layers, input to output.
+    pub fn layers(&self) -> &[EncodedLayer] {
+        &self.layers
+    }
+
+    /// One encoded layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_layers()`.
+    pub fn layer(&self, i: usize) -> &EncodedLayer {
+        &self.layers[i]
+    }
+
+    /// Input dimension (first layer's columns).
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].cols()
+    }
+
+    /// Output dimension (last layer's rows).
+    pub fn output_dim(&self) -> usize {
+        self.layers[self.layers.len() - 1].rows()
+    }
+
+    /// Runs a batch of `f32` input vectors end to end on the chosen
+    /// backend (quantizing to Q8.8 first), aggregating a
+    /// [`BatchResult`](crate::BatchResult).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or an item's length differs from
+    /// [`CompiledModel::input_dim`].
+    pub fn run_batch(&self, kind: BackendKind, batch: &[Vec<f32>]) -> crate::BatchResult {
+        let refs: Vec<&EncodedLayer> = self.layers.iter().collect();
+        crate::Engine::with_backend(self.config, kind).run_network_batch(&refs, batch)
+    }
+}
+
+impl fmt::Display for CompiledModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CompiledModel({} layers, {}→{}, {})",
+            self.num_layers(),
+            self.input_dim(),
+            self.output_dim(),
+            self.config
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eie_nn::zoo::random_sparse;
+
+    fn quantize(acts: &[f32]) -> Vec<Q8p8> {
+        acts.iter().map(|&a| Q8p8::from_f32(a)).collect()
+    }
+
+    #[test]
+    fn kinds_instantiate_matching_backends() {
+        let cfg = EieConfig::default().with_num_pes(2);
+        assert_eq!(
+            BackendKind::CycleAccurate.instantiate(&cfg).name(),
+            "cycle-accurate"
+        );
+        assert_eq!(
+            BackendKind::Functional.instantiate(&cfg).name(),
+            "functional"
+        );
+        assert_eq!(
+            BackendKind::NativeCpu(3).instantiate(&cfg).name(),
+            "native-cpu"
+        );
+        assert!(BackendKind::CycleAccurate.instantiate(&cfg).is_modeled());
+        assert!(!BackendKind::NativeCpu(0).instantiate(&cfg).is_modeled());
+        assert_eq!(BackendKind::default(), BackendKind::CycleAccurate);
+        assert_eq!(BackendKind::NativeCpu(4).to_string(), "native-cpu(4)");
+    }
+
+    #[test]
+    fn default_network_chaining_applies_relu_between() {
+        let w1 = CsrMatrix::from_triplets(2, 2, &[(0, 0, -1.0), (1, 1, 1.0)]);
+        let w2 = CsrMatrix::from_triplets(1, 2, &[(0, 0, 1.0), (0, 1, 1.0)]);
+        let cfg = EieConfig::default().with_num_pes(2);
+        let l1 = compress(&w1, cfg.compress_config());
+        let l2 = compress(&w2, cfg.compress_config());
+        let backend = Functional::new();
+        let run = backend.run_network(&[&l1, &l2], &quantize(&[1.0, 1.0]));
+        // Layer 1 raw: [-1, 1] → ReLU → [0, 1]; layer 2: 0 + 1 = 1.
+        assert_eq!(run.outputs.len(), 1);
+        assert_eq!(run.outputs[0].to_f32(), 1.0);
+    }
+
+    #[test]
+    fn compiled_model_reports_shape_and_runs() {
+        let w1 = random_sparse(24, 16, 0.3, 1);
+        let w2 = random_sparse(8, 24, 0.3, 2);
+        let model = CompiledModel::compile(EieConfig::default().with_num_pes(4), &[&w1, &w2]);
+        assert_eq!(model.num_layers(), 2);
+        assert_eq!(model.input_dim(), 16);
+        assert_eq!(model.output_dim(), 8);
+        assert_eq!(model.layer(0).num_pes(), 4);
+        assert!(model.to_string().contains("16→8"));
+        let batch = vec![vec![0.5f32; 16]; 2];
+        let result = model.run_batch(BackendKind::Functional, &batch);
+        assert_eq!(result.batch_size(), 2);
+        assert_eq!(result.outputs(0).len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn compile_rejects_mismatched_stack() {
+        let w1 = random_sparse(24, 16, 0.3, 1);
+        let w2 = random_sparse(8, 23, 0.3, 2);
+        let _ = CompiledModel::compile(EieConfig::default().with_num_pes(2), &[&w1, &w2]);
+    }
+}

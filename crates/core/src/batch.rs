@@ -1,0 +1,181 @@
+//! Batched execution results: latency distribution, throughput, energy.
+//!
+//! EIE's headline claim is latency *without* batching (§VI-B compares at
+//! batch 1, Table IV adds the CPU/GPU batch-64 columns the accelerator
+//! doesn't need). [`BatchResult`] makes that story measurable: per-item
+//! latencies as a distribution, aggregate frames/s over the whole batch,
+//! and — on the cycle-accurate backend — the activity-priced energy of
+//! the batch.
+
+use std::fmt;
+
+use eie_energy::EnergyReport;
+use eie_fixed::Q8p8;
+
+use crate::backend::BackendRun;
+
+/// Aggregated result of one batched run on some backend.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Name of the backend that ran the batch.
+    pub backend: &'static str,
+    /// Per-item runs, in batch order.
+    pub items: Vec<BackendRun>,
+    /// Whole-batch wall time, seconds: measured end to end for host
+    /// backends (so it reflects real parallel speed-up), the sum of
+    /// modelled item times for the cycle-accurate backend (the hardware
+    /// runs items back to back).
+    pub wall_s: f64,
+    /// Activity-priced energy over the whole batch (cycle-accurate
+    /// backend only).
+    pub energy: Option<EnergyReport>,
+}
+
+impl BatchResult {
+    /// Number of items in the batch.
+    pub fn batch_size(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Output activations of item `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= batch_size()`.
+    pub fn outputs(&self, i: usize) -> &[Q8p8] {
+        &self.items[i].outputs
+    }
+
+    /// Per-item latencies, µs, in batch order.
+    pub fn latencies_us(&self) -> Vec<f64> {
+        self.items.iter().map(BackendRun::latency_us).collect()
+    }
+
+    /// Mean per-item latency, µs.
+    pub fn mean_latency_us(&self) -> f64 {
+        self.latencies_us().iter().sum::<f64>() / self.batch_size() as f64
+    }
+
+    /// The `p`-th percentile of per-item latency, µs (nearest-rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0.0..=100.0`.
+    pub fn percentile_latency_us(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in 0..=100");
+        let mut lat = self.latencies_us();
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = ((p / 100.0) * lat.len() as f64).ceil() as usize;
+        lat[rank.saturating_sub(1)]
+    }
+
+    /// Worst per-item latency, µs.
+    pub fn max_latency_us(&self) -> f64 {
+        self.latencies_us()
+            .into_iter()
+            .fold(0.0f64, |m, l| m.max(l))
+    }
+
+    /// Whole-batch wall time, µs.
+    pub fn wall_time_us(&self) -> f64 {
+        self.wall_s * 1e6
+    }
+
+    /// Amortized per-frame time, µs: batch wall time over batch size —
+    /// the paper's Table IV convention, and the number to compare with
+    /// [`BaselineBatchRun::per_frame_us`](eie_baselines::BaselineBatchRun).
+    /// (Per-*item* latency can be larger: a fused host batch completes
+    /// as a unit, so each item's latency is the whole batch's wall.)
+    pub fn per_frame_us(&self) -> f64 {
+        self.wall_time_us() / self.batch_size() as f64
+    }
+
+    /// Aggregate inference throughput over the batch, frames/s.
+    pub fn frames_per_second(&self) -> f64 {
+        self.batch_size() as f64 / self.wall_s
+    }
+
+    /// Total batch energy, µJ (cycle-accurate backend only).
+    pub fn total_energy_uj(&self) -> Option<f64> {
+        self.energy.as_ref().map(EnergyReport::total_uj)
+    }
+
+    /// Energy per frame, µJ (cycle-accurate backend only).
+    pub fn energy_per_frame_uj(&self) -> Option<f64> {
+        self.total_energy_uj().map(|e| e / self.batch_size() as f64)
+    }
+}
+
+impl fmt::Display for BatchResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} batch {}: {:.2} µs/frame, {:.0} frames/s (item p95 {:.2} µs)",
+            self.backend,
+            self.batch_size(),
+            self.per_frame_us(),
+            self.frames_per_second(),
+            self.percentile_latency_us(95.0),
+        )?;
+        if let Some(uj) = self.energy_per_frame_uj() {
+            write!(f, ", {uj:.3} µJ/frame")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(latency_us: f64) -> BackendRun {
+        BackendRun {
+            outputs: vec![Q8p8::ONE],
+            latency_s: latency_us * 1e-6,
+            stats: None,
+        }
+    }
+
+    fn result(latencies_us: &[f64]) -> BatchResult {
+        BatchResult {
+            backend: "test",
+            items: latencies_us.iter().map(|&l| run(l)).collect(),
+            wall_s: latencies_us.iter().sum::<f64>() * 1e-6,
+            energy: None,
+        }
+    }
+
+    #[test]
+    fn latency_distribution_metrics() {
+        let r = result(&[1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(r.batch_size(), 4);
+        assert!((r.mean_latency_us() - 2.5).abs() < 1e-12);
+        assert_eq!(r.max_latency_us(), 4.0);
+        assert_eq!(r.percentile_latency_us(50.0), 2.0);
+        assert_eq!(r.percentile_latency_us(100.0), 4.0);
+        assert_eq!(r.percentile_latency_us(0.0), 1.0);
+        assert_eq!(r.outputs(0), &[Q8p8::ONE]);
+    }
+
+    #[test]
+    fn throughput_is_batch_over_wall() {
+        let r = result(&[10.0, 10.0]);
+        assert!((r.wall_time_us() - 20.0).abs() < 1e-9);
+        assert!((r.per_frame_us() - 10.0).abs() < 1e-9);
+        assert!((r.frames_per_second() - 1e5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn display_reports_rate_without_energy() {
+        let r = result(&[5.0]);
+        let s = r.to_string();
+        assert!(s.contains("frames/s") && !s.contains("µJ"), "{s}");
+        assert!(r.total_energy_uj().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn rejects_out_of_range_percentile() {
+        let _ = result(&[1.0]).percentile_latency_us(101.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Accelerator configuration: the design parameters of paper §IV/§VI.
+
+use std::fmt;
+
+use eie_compress::CompressConfig;
+use eie_energy::PeModel;
+use eie_sim::SimConfig;
+
+/// Accelerator configuration: the union of the design parameters the
+/// paper explores (§VI-C) with the paper's chosen values as defaults.
+///
+/// `EieConfig` is a non-consuming builder:
+///
+/// ```
+/// use eie_core::EieConfig;
+///
+/// let cfg = EieConfig::default()
+///     .with_num_pes(256)
+///     .with_fifo_depth(16)
+///     .with_spmat_width(128);
+/// assert_eq!(cfg.num_pes, 256);
+/// ```
+///
+/// Every ablation axis of §VI has a setter, so sweep configs never need
+/// struct-literal updates:
+///
+/// ```
+/// use eie_core::EieConfig;
+///
+/// // The "no hardware help" ablation point: oracle-free broadcast,
+/// // serialized pointer reads, hazard stalls, 8-bit relative indices.
+/// let cfg = EieConfig::default()
+///     .with_index_bits(8)
+///     .with_lnzd_tree(false)
+///     .with_ptr_banked(false)
+///     .with_accumulator_bypass(false);
+/// assert_eq!(cfg.compress_config().index_bits, 8);
+/// let sim = cfg.sim_config();
+/// assert!(!sim.lnzd_tree && !sim.ptr_banked && !sim.accumulator_bypass);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EieConfig {
+    /// Number of processing elements (paper default: 64; scalable to 256+).
+    pub num_pes: usize,
+    /// Activation FIFO depth (paper default: 8).
+    pub fifo_depth: usize,
+    /// Sparse-matrix SRAM width in bits (paper default: 64).
+    pub spmat_width_bits: u32,
+    /// Clock frequency in Hz (paper: 800 MHz at 45 nm).
+    pub clock_hz: f64,
+    /// Relative-index bits in the encoding (paper: 4).
+    pub index_bits: u32,
+    /// Model the LNZD tree (vs. an oracle broadcast).
+    pub lnzd_tree: bool,
+    /// Pointer SRAM banking (vs. serialized double reads).
+    pub ptr_banked: bool,
+    /// Accumulator bypass path (vs. hazard stalls).
+    pub accumulator_bypass: bool,
+}
+
+impl Default for EieConfig {
+    fn default() -> Self {
+        Self {
+            num_pes: 64,
+            fifo_depth: 8,
+            spmat_width_bits: 64,
+            clock_hz: 800e6,
+            index_bits: 4,
+            lnzd_tree: true,
+            ptr_banked: true,
+            accumulator_bypass: true,
+        }
+    }
+}
+
+impl EieConfig {
+    /// Sets the PE count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pes == 0`.
+    pub fn with_num_pes(mut self, num_pes: usize) -> Self {
+        assert!(num_pes > 0, "num_pes must be non-zero");
+        self.num_pes = num_pes;
+        self
+    }
+
+    /// Sets the activation FIFO depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn with_fifo_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "fifo depth must be non-zero");
+        self.fifo_depth = depth;
+        self
+    }
+
+    /// Sets the sparse-matrix SRAM width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not a positive multiple of 8.
+    pub fn with_spmat_width(mut self, bits: u32) -> Self {
+        assert!(
+            bits >= 8 && bits.is_multiple_of(8),
+            "width must be a multiple of 8"
+        );
+        self.spmat_width_bits = bits;
+        self
+    }
+
+    /// Sets the clock frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is not positive.
+    pub fn with_clock_hz(mut self, hz: f64) -> Self {
+        assert!(hz > 0.0, "clock must be positive");
+        self.clock_hz = hz;
+        self
+    }
+
+    /// Sets the relative-index width of the encoding (the Fig. 12 index
+    /// ablation; the paper uses 4 bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `1..=8` (the encoder's supported range).
+    pub fn with_index_bits(mut self, bits: u32) -> Self {
+        assert!((1..=8).contains(&bits), "index_bits must be in 1..=8");
+        self.index_bits = bits;
+        self
+    }
+
+    /// Enables or disables the LNZD broadcast tree model (`false` is the
+    /// oracle-broadcast ablation).
+    pub fn with_lnzd_tree(mut self, enabled: bool) -> Self {
+        self.lnzd_tree = enabled;
+        self
+    }
+
+    /// Enables or disables pointer-SRAM banking (`false` serializes the
+    /// two pointer reads — the banking ablation).
+    pub fn with_ptr_banked(mut self, enabled: bool) -> Self {
+        self.ptr_banked = enabled;
+        self
+    }
+
+    /// Enables or disables the accumulator bypass path (`false` inserts
+    /// read-after-write hazard stalls — the bypass ablation).
+    pub fn with_accumulator_bypass(mut self, enabled: bool) -> Self {
+        self.accumulator_bypass = enabled;
+        self
+    }
+
+    /// The compression configuration implied by this accelerator config.
+    pub fn compress_config(&self) -> CompressConfig {
+        CompressConfig {
+            num_pes: self.num_pes,
+            index_bits: self.index_bits,
+            ..CompressConfig::default()
+        }
+    }
+
+    /// The simulator configuration implied by this accelerator config.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            fifo_depth: self.fifo_depth,
+            spmat_width_bits: self.spmat_width_bits,
+            clock_hz: self.clock_hz,
+            lnzd_tree: self.lnzd_tree,
+            ptr_banked: self.ptr_banked,
+            accumulator_bypass: self.accumulator_bypass,
+            ..SimConfig::default()
+        }
+    }
+
+    /// The physical PE model implied by this accelerator config.
+    pub fn pe_model(&self) -> PeModel {
+        PeModel {
+            spmat_width_bits: self.spmat_width_bits,
+            fifo_depth: self.fifo_depth,
+            clock_hz: self.clock_hz,
+        }
+    }
+}
+
+impl fmt::Display for EieConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EIE[{} PEs, FIFO {}, {}b SRAM, {:.0} MHz]",
+            self.num_pes,
+            self.fifo_depth,
+            self.spmat_width_bits,
+            self.clock_hz / 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let cfg = EieConfig::default()
+            .with_num_pes(128)
+            .with_fifo_depth(4)
+            .with_spmat_width(256)
+            .with_clock_hz(1.2e9);
+        assert_eq!(cfg.num_pes, 128);
+        assert_eq!(cfg.fifo_depth, 4);
+        assert_eq!(cfg.spmat_width_bits, 256);
+        assert_eq!(cfg.clock_hz, 1.2e9);
+        assert_eq!(cfg.sim_config().fifo_depth, 4);
+        assert_eq!(cfg.compress_config().num_pes, 128);
+        assert_eq!(cfg.pe_model().spmat_width_bits, 256);
+    }
+
+    #[test]
+    fn ablation_setters_reach_both_sub_configs() {
+        let cfg = EieConfig::default()
+            .with_index_bits(6)
+            .with_lnzd_tree(false)
+            .with_ptr_banked(false)
+            .with_accumulator_bypass(false);
+        assert_eq!(cfg.index_bits, 6);
+        assert_eq!(cfg.compress_config().index_bits, 6);
+        let sim = cfg.sim_config();
+        assert!(!sim.lnzd_tree);
+        assert!(!sim.ptr_banked);
+        assert!(!sim.accumulator_bypass);
+        // Re-enabling restores the defaults' behaviour.
+        let back = cfg
+            .with_lnzd_tree(true)
+            .with_ptr_banked(true)
+            .with_accumulator_bypass(true);
+        assert!(back.sim_config().lnzd_tree);
+    }
+
+    #[test]
+    #[should_panic(expected = "index_bits")]
+    fn rejects_zero_index_bits() {
+        let _ = EieConfig::default().with_index_bits(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index_bits")]
+    fn rejects_oversized_index_bits() {
+        let _ = EieConfig::default().with_index_bits(9);
+    }
+}

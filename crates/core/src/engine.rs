@@ -1,153 +1,16 @@
 //! The engine: configure → compress → execute → report.
 
 use std::fmt;
+use std::time::Instant;
 
-use eie_compress::{compress, CompressConfig, EncodedLayer};
-use eie_energy::{EnergyReport, LayerActivity, PeModel};
+use eie_compress::{compress, EncodedLayer};
+use eie_energy::{EnergyReport, LayerActivity};
+use eie_fixed::Q8p8;
 use eie_nn::CsrMatrix;
-use eie_sim::{simulate, simulate_network, LayerRun, NetworkRun, SimConfig, SimStats};
+use eie_sim::{simulate, simulate_network, LayerRun, NetworkRun, SimStats};
 
-/// Accelerator configuration: the union of the design parameters the
-/// paper explores (§VI-C) with the paper's chosen values as defaults.
-///
-/// `EieConfig` is a non-consuming builder:
-///
-/// ```
-/// use eie_core::EieConfig;
-///
-/// let cfg = EieConfig::default()
-///     .with_num_pes(256)
-///     .with_fifo_depth(16)
-///     .with_spmat_width(128);
-/// assert_eq!(cfg.num_pes, 256);
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct EieConfig {
-    /// Number of processing elements (paper default: 64; scalable to 256+).
-    pub num_pes: usize,
-    /// Activation FIFO depth (paper default: 8).
-    pub fifo_depth: usize,
-    /// Sparse-matrix SRAM width in bits (paper default: 64).
-    pub spmat_width_bits: u32,
-    /// Clock frequency in Hz (paper: 800 MHz at 45 nm).
-    pub clock_hz: f64,
-    /// Relative-index bits in the encoding (paper: 4).
-    pub index_bits: u32,
-    /// Model the LNZD tree (vs. an oracle broadcast).
-    pub lnzd_tree: bool,
-    /// Pointer SRAM banking (vs. serialized double reads).
-    pub ptr_banked: bool,
-    /// Accumulator bypass path (vs. hazard stalls).
-    pub accumulator_bypass: bool,
-}
-
-impl Default for EieConfig {
-    fn default() -> Self {
-        Self {
-            num_pes: 64,
-            fifo_depth: 8,
-            spmat_width_bits: 64,
-            clock_hz: 800e6,
-            index_bits: 4,
-            lnzd_tree: true,
-            ptr_banked: true,
-            accumulator_bypass: true,
-        }
-    }
-}
-
-impl EieConfig {
-    /// Sets the PE count.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `num_pes == 0`.
-    pub fn with_num_pes(mut self, num_pes: usize) -> Self {
-        assert!(num_pes > 0, "num_pes must be non-zero");
-        self.num_pes = num_pes;
-        self
-    }
-
-    /// Sets the activation FIFO depth.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `depth == 0`.
-    pub fn with_fifo_depth(mut self, depth: usize) -> Self {
-        assert!(depth > 0, "fifo depth must be non-zero");
-        self.fifo_depth = depth;
-        self
-    }
-
-    /// Sets the sparse-matrix SRAM width.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bits` is not a positive multiple of 8.
-    pub fn with_spmat_width(mut self, bits: u32) -> Self {
-        assert!(
-            bits >= 8 && bits.is_multiple_of(8),
-            "width must be a multiple of 8"
-        );
-        self.spmat_width_bits = bits;
-        self
-    }
-
-    /// Sets the clock frequency.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `hz` is not positive.
-    pub fn with_clock_hz(mut self, hz: f64) -> Self {
-        assert!(hz > 0.0, "clock must be positive");
-        self.clock_hz = hz;
-        self
-    }
-
-    /// The compression configuration implied by this accelerator config.
-    pub fn compress_config(&self) -> CompressConfig {
-        CompressConfig {
-            num_pes: self.num_pes,
-            index_bits: self.index_bits,
-            ..CompressConfig::default()
-        }
-    }
-
-    /// The simulator configuration implied by this accelerator config.
-    pub fn sim_config(&self) -> SimConfig {
-        SimConfig {
-            fifo_depth: self.fifo_depth,
-            spmat_width_bits: self.spmat_width_bits,
-            clock_hz: self.clock_hz,
-            lnzd_tree: self.lnzd_tree,
-            ptr_banked: self.ptr_banked,
-            accumulator_bypass: self.accumulator_bypass,
-            ..SimConfig::default()
-        }
-    }
-
-    /// The physical PE model implied by this accelerator config.
-    pub fn pe_model(&self) -> PeModel {
-        PeModel {
-            spmat_width_bits: self.spmat_width_bits,
-            fifo_depth: self.fifo_depth,
-            clock_hz: self.clock_hz,
-        }
-    }
-}
-
-impl fmt::Display for EieConfig {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "EIE[{} PEs, FIFO {}, {}b SRAM, {:.0} MHz]",
-            self.num_pes,
-            self.fifo_depth,
-            self.spmat_width_bits,
-            self.clock_hz / 1e6
-        )
-    }
-}
+use crate::backend::{Backend, BackendKind, BackendRun};
+use crate::{BatchResult, EieConfig};
 
 /// Converts simulator statistics into the energy model's activity counts.
 pub fn activity_from_stats(stats: &SimStats) -> LayerActivity {
@@ -166,6 +29,37 @@ pub fn activity_from_stats(stats: &SimStats) -> LayerActivity {
     }
 }
 
+/// Cycle→wall-clock timing math shared by [`ExecutionResult`] and
+/// [`NetworkResult`] (one inference = one frame in both cases).
+#[derive(Debug, Clone, Copy)]
+struct CycleTiming {
+    cycles: u64,
+    theoretical_cycles: u64,
+    clock_hz: f64,
+}
+
+impl CycleTiming {
+    fn of(stats: &SimStats, clock_hz: f64) -> Self {
+        Self {
+            cycles: stats.total_cycles,
+            theoretical_cycles: stats.theoretical_cycles(),
+            clock_hz,
+        }
+    }
+
+    fn time_us(self) -> f64 {
+        self.cycles as f64 / self.clock_hz * 1e6
+    }
+
+    fn theoretical_time_us(self) -> f64 {
+        self.theoretical_cycles as f64 / self.clock_hz * 1e6
+    }
+
+    fn frames_per_second(self) -> f64 {
+        1e6 / self.time_us()
+    }
+}
+
 /// Result of executing one layer on the simulated accelerator.
 #[derive(Debug, Clone)]
 pub struct ExecutionResult {
@@ -178,20 +72,24 @@ pub struct ExecutionResult {
 }
 
 impl ExecutionResult {
+    fn timing(&self) -> CycleTiming {
+        CycleTiming::of(&self.run.stats, self.clock_hz)
+    }
+
     /// Wall-clock time in microseconds.
     pub fn time_us(&self) -> f64 {
-        self.run.stats.total_cycles as f64 / self.clock_hz * 1e6
+        self.timing().time_us()
     }
 
     /// The theoretical (perfectly balanced, stall-free) time, µs —
     /// Table IV's "EIE Theoretical Time" row.
     pub fn theoretical_time_us(&self) -> f64 {
-        self.run.stats.theoretical_cycles() as f64 / self.clock_hz * 1e6
+        self.timing().theoretical_time_us()
     }
 
     /// Inference throughput if this layer ran back-to-back, frames/s.
     pub fn frames_per_second(&self) -> f64 {
-        1e6 / self.time_us()
+        self.timing().frames_per_second()
     }
 
     /// Sustained GOP/s on the compressed workload.
@@ -230,28 +128,83 @@ pub struct NetworkResult {
 }
 
 impl NetworkResult {
+    fn timing(&self) -> CycleTiming {
+        CycleTiming::of(&self.run.total, self.clock_hz)
+    }
+
     /// End-to-end time, µs.
     pub fn time_us(&self) -> f64 {
-        self.run.total.total_cycles as f64 / self.clock_hz * 1e6
+        self.timing().time_us()
+    }
+
+    /// The theoretical (perfectly balanced, stall-free) end-to-end time,
+    /// µs — the network analogue of Table IV's theoretical row.
+    pub fn theoretical_time_us(&self) -> f64 {
+        self.timing().theoretical_time_us()
+    }
+
+    /// Inference throughput if the network ran back-to-back, frames/s.
+    pub fn frames_per_second(&self) -> f64 {
+        self.timing().frames_per_second()
     }
 }
 
-/// The accelerator engine: compresses layers and executes them on the
-/// cycle-accurate model, reporting time and energy.
+impl fmt::Display for NetworkResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} layers in {:.2} µs ({:.0} frames/s, {:.2} µJ)",
+            self.run.layers.len(),
+            self.time_us(),
+            self.frames_per_second(),
+            self.energy.total_uj()
+        )
+    }
+}
+
+/// The accelerator engine: compresses layers and executes them on a
+/// selectable [`Backend`] — cycle-accurate by default — reporting time
+/// (and, on the cycle model, energy).
+///
+/// [`Engine::run_layer`] / [`Engine::run_network`] always use the
+/// cycle-accurate model: their results carry activity statistics and an
+/// energy report only that model can produce. The batched entry points
+/// ([`Engine::run_batch`], [`Engine::run_network_batch`]) dispatch on
+/// the engine's configured backend.
 #[derive(Debug, Clone, Default)]
 pub struct Engine {
     config: EieConfig,
+    backend: BackendKind,
 }
 
 impl Engine {
-    /// Creates an engine with the given configuration.
+    /// Creates an engine with the given configuration and the default
+    /// (cycle-accurate) backend.
     pub fn new(config: EieConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            backend: BackendKind::default(),
+        }
+    }
+
+    /// Creates an engine that runs batches on the given backend.
+    pub fn with_backend(config: EieConfig, backend: BackendKind) -> Self {
+        Self { config, backend }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &EieConfig {
         &self.config
+    }
+
+    /// Which backend batched runs dispatch to.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Instantiates the engine's configured backend.
+    pub fn backend(&self) -> Box<dyn Backend> {
+        self.backend.instantiate(&self.config)
     }
 
     /// Compresses a pruned layer for this engine's PE array
@@ -264,18 +217,23 @@ impl Engine {
         compress(weights, self.config.compress_config())
     }
 
-    /// Executes one layer (raw M×V) and prices its energy.
+    fn check_layer(&self, layer: &EncodedLayer) {
+        assert_eq!(
+            layer.num_pes(),
+            self.config.num_pes,
+            "layer compressed for a different PE count"
+        );
+    }
+
+    /// Executes one layer (raw M×V) on the cycle-accurate model and
+    /// prices its energy.
     ///
     /// # Panics
     ///
     /// Panics if the layer was compressed for a different PE count or the
     /// activation length mismatches.
     pub fn run_layer(&self, layer: &EncodedLayer, acts: &[f32]) -> ExecutionResult {
-        assert_eq!(
-            layer.num_pes(),
-            self.config.num_pes,
-            "layer compressed for a different PE count"
-        );
+        self.check_layer(layer);
         let run = simulate(layer, acts, &self.config.sim_config());
         let energy = EnergyReport::price(&activity_from_stats(&run.stats), &self.config.pe_model());
         ExecutionResult {
@@ -285,18 +243,15 @@ impl Engine {
         }
     }
 
-    /// Executes a feed-forward network (ReLU between layers).
+    /// Executes a feed-forward network (ReLU between layers) on the
+    /// cycle-accurate model.
     ///
     /// # Panics
     ///
     /// Panics on dimension mismatches or a PE-count mismatch.
     pub fn run_network(&self, layers: &[&EncodedLayer], input: &[f32]) -> NetworkResult {
         for l in layers {
-            assert_eq!(
-                l.num_pes(),
-                self.config.num_pes,
-                "layer compressed for a different PE count"
-            );
+            self.check_layer(l);
         }
         let run = simulate_network(layers, input, &self.config.sim_config());
         let energy = EnergyReport::price(&activity_from_stats(&run.total), &self.config.pe_model());
@@ -306,6 +261,92 @@ impl Engine {
             clock_hz: self.config.clock_hz,
         }
     }
+
+    /// Executes a batch of activation vectors against one layer (raw
+    /// M×V) on the engine's configured backend.
+    ///
+    /// Inputs are quantized to Q8.8; outputs are bit-identical across
+    /// backends. Wall time is measured end to end for host backends and
+    /// summed over modelled item times for the cycle-accurate backend;
+    /// energy is reported by the cycle-accurate backend only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty, the layer was compressed for a
+    /// different PE count, or an item's length mismatches.
+    pub fn run_batch(&self, layer: &EncodedLayer, batch: &[Vec<f32>]) -> BatchResult {
+        self.check_layer(layer);
+        let quantized = quantize_batch(batch);
+        let backend = self.backend();
+        let start = Instant::now();
+        let items = backend.run_layer_batch(layer, &quantized, false);
+        self.aggregate(backend.as_ref(), items, start.elapsed().as_secs_f64())
+    }
+
+    /// Executes a batch of inputs through a feed-forward network (ReLU
+    /// between layers) on the engine's configured backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty, `layers` is empty, any layer was
+    /// compressed for a different PE count, or dimensions mismatch.
+    pub fn run_network_batch(&self, layers: &[&EncodedLayer], batch: &[Vec<f32>]) -> BatchResult {
+        assert!(!layers.is_empty(), "network needs at least one layer");
+        for l in layers {
+            self.check_layer(l);
+        }
+        let quantized = quantize_batch(batch);
+        let backend = self.backend();
+        let start = Instant::now();
+        let items = backend.run_network_batch(layers, &quantized);
+        self.aggregate(backend.as_ref(), items, start.elapsed().as_secs_f64())
+    }
+
+    /// Builds a [`BatchResult`] from per-item runs: wall-time semantics
+    /// per backend, energy pricing when cycle statistics exist.
+    fn aggregate(
+        &self,
+        backend: &dyn Backend,
+        items: Vec<BackendRun>,
+        measured_wall_s: f64,
+    ) -> BatchResult {
+        let wall_s = if backend.is_modeled() {
+            items.iter().map(|r| r.latency_s).sum()
+        } else {
+            measured_wall_s
+        };
+        let energy = if items.iter().all(|r| r.stats.is_some()) && !items.is_empty() {
+            let mut total = SimStats::default();
+            for run in &items {
+                total.merge(run.stats.as_ref().expect("checked above"));
+            }
+            Some(EnergyReport::price(
+                &activity_from_stats(&total),
+                &self.config.pe_model(),
+            ))
+        } else {
+            None
+        };
+        BatchResult {
+            backend: backend.name(),
+            items,
+            wall_s,
+            energy,
+        }
+    }
+}
+
+/// Quantizes a batch of `f32` activation vectors to the Q8.8 datapath.
+///
+/// # Panics
+///
+/// Panics if the batch is empty.
+fn quantize_batch(batch: &[Vec<f32>]) -> Vec<Vec<Q8p8>> {
+    assert!(!batch.is_empty(), "batch must be non-empty");
+    batch
+        .iter()
+        .map(|acts| Q8p8::from_f32_slice(acts))
+        .collect()
 }
 
 #[cfg(test)]
@@ -317,22 +358,6 @@ mod tests {
         let engine = Engine::new(EieConfig::default().with_num_pes(4));
         let layer = Benchmark::Alex7.generate_scaled(1, 32);
         (engine, layer)
-    }
-
-    #[test]
-    fn builder_chains() {
-        let cfg = EieConfig::default()
-            .with_num_pes(128)
-            .with_fifo_depth(4)
-            .with_spmat_width(256)
-            .with_clock_hz(1.2e9);
-        assert_eq!(cfg.num_pes, 128);
-        assert_eq!(cfg.fifo_depth, 4);
-        assert_eq!(cfg.spmat_width_bits, 256);
-        assert_eq!(cfg.clock_hz, 1.2e9);
-        assert_eq!(cfg.sim_config().fifo_depth, 4);
-        assert_eq!(cfg.compress_config().num_pes, 128);
-        assert_eq!(cfg.pe_model().spmat_width_bits, 256);
     }
 
     #[test]
@@ -398,5 +423,97 @@ mod tests {
             .map(|l| l.stats.total_cycles as f64 / 800e6 * 1e6)
             .sum();
         assert!((net.time_us() - sum_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn network_result_has_execution_result_parity() {
+        let engine = Engine::new(EieConfig::default().with_num_pes(2));
+        let w = eie_nn::zoo::random_sparse(24, 24, 0.3, 7);
+        let l = engine.compress(&w);
+        let input: Vec<f32> = (0..24).map(|i| (i % 4) as f32 * 0.5).collect();
+        let net = engine.run_network(&[&l], &input);
+        let single = engine.run_layer(&l, &input);
+        // One-layer network timing equals the layer result's timing.
+        assert!((net.time_us() - single.time_us()).abs() < 1e-9);
+        assert!((net.theoretical_time_us() - single.theoretical_time_us()).abs() < 1e-9);
+        assert!((net.frames_per_second() - single.frames_per_second()).abs() < 1e-6);
+        assert!(net.theoretical_time_us() <= net.time_us());
+        let display = net.to_string();
+        assert!(
+            display.contains("frames/s") && display.contains("µJ"),
+            "{display}"
+        );
+    }
+
+    #[test]
+    fn cycle_batch_matches_per_item_runs_and_prices_energy() {
+        let (engine, layer) = small_engine();
+        let enc = engine.compress(&layer.weights);
+        let batch = layer.sample_activation_batch(5, 3);
+        let result = engine.run_batch(&enc, &batch);
+        assert_eq!(result.backend, "cycle-accurate");
+        assert_eq!(result.batch_size(), 3);
+        let mut expected_wall = 0.0;
+        let mut expected_uj = 0.0;
+        for (i, item) in batch.iter().enumerate() {
+            let single = engine.run_layer(&enc, item);
+            assert_eq!(result.outputs(i), &single.run.outputs[..]);
+            assert!((result.items[i].latency_us() - single.time_us()).abs() < 1e-9);
+            expected_wall += single.time_us();
+            expected_uj += single.energy.total_uj();
+        }
+        assert!((result.wall_time_us() - expected_wall).abs() < 1e-9);
+        let uj = result
+            .total_energy_uj()
+            .expect("cycle backend prices energy");
+        // Energy pricing is linear in activity, so the merged-batch price
+        // equals the sum of per-item prices.
+        assert!((uj - expected_uj).abs() / expected_uj < 1e-9);
+    }
+
+    #[test]
+    fn host_backends_agree_with_cycle_batch_outputs() {
+        let (engine, layer) = small_engine();
+        let enc = engine.compress(&layer.weights);
+        let batch = layer.sample_activation_batch(11, 4);
+        let cycle = engine.run_batch(&enc, &batch);
+        for kind in [BackendKind::Functional, BackendKind::NativeCpu(2)] {
+            let host = Engine::with_backend(*engine.config(), kind).run_batch(&enc, &batch);
+            assert!(host.total_energy_uj().is_none());
+            assert!(host.wall_s >= 0.0);
+            for i in 0..batch.len() {
+                assert_eq!(host.outputs(i), cycle.outputs(i), "{kind} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn network_batch_chains_layers_per_item() {
+        let engine = Engine::with_backend(
+            EieConfig::default().with_num_pes(2),
+            BackendKind::NativeCpu(2),
+        );
+        let w1 = eie_nn::zoo::random_sparse(32, 24, 0.3, 1);
+        let w2 = eie_nn::zoo::random_sparse(16, 32, 0.3, 2);
+        let l1 = engine.compress(&w1);
+        let l2 = engine.compress(&w2);
+        let batch: Vec<Vec<f32>> = (0..5)
+            .map(|s| (0..24).map(|i| ((i + s) % 3) as f32).collect())
+            .collect();
+        let result = engine.run_network_batch(&[&l1, &l2], &batch);
+        assert_eq!(result.batch_size(), 5);
+        let reference = Engine::new(*engine.config());
+        for (i, item) in batch.iter().enumerate() {
+            let net = reference.run_network(&[&l1, &l2], item);
+            assert_eq!(result.outputs(i), &net.run.outputs[..]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be non-empty")]
+    fn rejects_empty_batch() {
+        let (engine, layer) = small_engine();
+        let enc = engine.compress(&layer.weights);
+        let _ = engine.run_batch(&enc, &[]);
     }
 }

@@ -9,7 +9,12 @@
 //!    sharing + interleaved CSC, paper §III),
 //! 3. **Execute** it cycle-accurately with [`Engine::run_layer`] /
 //!    [`Engine::run_network`], obtaining outputs, cycle statistics,
-//!    wall-clock time and an activity-based energy report.
+//!    wall-clock time and an activity-based energy report,
+//! 4. **Serve** batches on a pluggable [`Backend`] — the cycle model,
+//!    the bit-exact [`Functional`] golden model, or the host-speed
+//!    multi-threaded [`NativeCpu`] kernel — via [`Engine::run_batch`] /
+//!    [`Engine::run_network_batch`] or a [`CompiledModel`], obtaining a
+//!    [`BatchResult`] (latency distribution, frames/s, energy).
 //!
 //! The sub-crates are re-exported under [`compress`], [`nn`], [`sim`],
 //! [`energy`], [`baselines`] and [`fixed`] for direct access; the
@@ -32,12 +37,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
+mod batch;
 mod benchmarks;
+mod config;
 mod engine;
 pub mod prelude;
 
+pub use backend::{
+    Backend, BackendKind, BackendRun, CompiledModel, CycleAccurate, Functional, NativeCpu,
+};
+pub use batch::BatchResult;
 pub use benchmarks::BenchmarkInstance;
-pub use engine::{activity_from_stats, EieConfig, Engine, ExecutionResult, NetworkResult};
+pub use config::EieConfig;
+pub use engine::{activity_from_stats, Engine, ExecutionResult, NetworkResult};
 
 /// The Deep Compression pipeline (re-export of `eie-compress`).
 pub mod compress {

@@ -10,7 +10,11 @@
 //! assert_eq!(out.run.outputs.len(), 32);
 //! ```
 
-pub use crate::{activity_from_stats, BenchmarkInstance, EieConfig, Engine, ExecutionResult};
+pub use crate::{
+    activity_from_stats, Backend, BackendKind, BackendRun, BatchResult, BenchmarkInstance,
+    CompiledModel, CycleAccurate, EieConfig, Engine, ExecutionResult, Functional, NativeCpu,
+    NetworkResult,
+};
 
 pub use eie_compress::{
     compress, encode_with_codebook, Codebook, CompressConfig, EncodedLayer, EncodingStats,

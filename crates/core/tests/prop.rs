@@ -1,0 +1,119 @@
+//! Property-based tests: backend agreement is an invariant, not a
+//! coincidence of the unit-test inputs.
+//!
+//! For random layers, batches and PE counts in {1, 2, 4, 8}, the
+//! NativeCpu kernel and the cycle-accurate simulator must each produce
+//! `Q8p8` outputs bit-identical to the functional golden model —
+//! batched and unbatched, with and without ReLU, at any thread count.
+
+use eie_core::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a compressed layer, a batch of quantized inputs, and a PE
+/// count drawn from {1, 2, 4, 8}.
+fn arb_case() -> impl Strategy<Value = (eie_core::compress::EncodedLayer, Vec<Vec<Q8p8>>, usize)> {
+    (
+        4usize..48,
+        4usize..40,
+        0.05f64..0.5,
+        any::<u64>(),
+        prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+        0.1f64..1.0,
+        any::<u64>(),
+        1usize..5,
+    )
+        .prop_map(
+            |(rows, cols, density, seed, pes, act_density, act_seed, batch)| {
+                // Reroll degenerate all-zero matrices (compress rejects them).
+                let mut m = random_sparse(rows, cols, density, seed);
+                let mut reroll = seed;
+                while m.nnz() == 0 {
+                    reroll = reroll.wrapping_add(0x9E37_79B9);
+                    m = random_sparse(rows, cols, density.max(0.2), reroll);
+                }
+                let enc = eie_core::compress::compress(
+                    &m,
+                    eie_core::compress::CompressConfig::with_pes(pes),
+                );
+                let items = (0..batch as u64)
+                    .map(|i| {
+                        Q8p8::from_f32_slice(&eie_core::nn::zoo::sample_activations(
+                            cols,
+                            act_density,
+                            true,
+                            act_seed.wrapping_add(i),
+                        ))
+                    })
+                    .collect();
+                (enc, items, pes)
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Unbatched: both non-golden backends match the functional model
+    /// bit for bit, for both writeback modes.
+    #[test]
+    fn backends_bit_exact_unbatched((enc, batch, _pes) in arb_case()) {
+        let cycle = CycleAccurate::new(SimConfig::default());
+        let native = NativeCpu::with_threads(3);
+        for relu in [false, true] {
+            let golden = Functional::new().run_layer(&enc, &batch[0], relu);
+            prop_assert_eq!(
+                &cycle.run_layer(&enc, &batch[0], relu).outputs,
+                &golden.outputs,
+                "cycle diverged (relu={})", relu
+            );
+            prop_assert_eq!(
+                &native.run_layer(&enc, &batch[0], relu).outputs,
+                &golden.outputs,
+                "native diverged (relu={})", relu
+            );
+        }
+    }
+
+    /// Batched: whole-batch entry points agree item by item with the
+    /// golden model, across thread counts.
+    #[test]
+    fn backends_bit_exact_batched((enc, batch, _pes) in arb_case(), threads in 1usize..6) {
+        let golden = Functional::new().run_layer_batch(&enc, &batch, false);
+        let cycle = CycleAccurate::new(SimConfig::default())
+            .run_layer_batch(&enc, &batch, false);
+        let native = NativeCpu::with_threads(threads)
+            .run_layer_batch(&enc, &batch, false);
+        prop_assert_eq!(golden.len(), batch.len());
+        for i in 0..batch.len() {
+            prop_assert_eq!(
+                &cycle[i].outputs, &golden[i].outputs,
+                "cycle diverged at item {}", i
+            );
+            prop_assert_eq!(
+                &native[i].outputs, &golden[i].outputs,
+                "native diverged at item {} ({} threads)", i, threads
+            );
+        }
+    }
+
+    /// The batch dimension is semantically inert: running a batch equals
+    /// running its items one at a time, on every backend.
+    #[test]
+    fn batching_never_changes_outputs((enc, batch, _pes) in arb_case()) {
+        let backends: [Box<dyn Backend>; 3] = [
+            Box::new(Functional::new()),
+            Box::new(CycleAccurate::new(SimConfig::default())),
+            Box::new(NativeCpu::with_threads(2)),
+        ];
+        for backend in &backends {
+            let batched = backend.run_layer_batch(&enc, &batch, true);
+            for (i, item) in batch.iter().enumerate() {
+                let single = backend.run_layer(&enc, item, true);
+                prop_assert_eq!(
+                    &batched[i].outputs, &single.outputs,
+                    "{} batching changed item {}", backend.name(), i
+                );
+            }
+        }
+    }
+}

@@ -73,6 +73,13 @@ impl<const FRAC: u32> Fix16<FRAC> {
         }
     }
 
+    /// Quantizes a whole `f32` slice (the activation-vector case) —
+    /// the one definition of the datapath's input conversion, so every
+    /// execution path quantizes identically.
+    pub fn from_f32_slice(values: &[f32]) -> Vec<Self> {
+        values.iter().map(|&v| Self::from_f32(v)).collect()
+    }
+
     /// Converts back to `f32` (exact: every `Fix16` is representable).
     pub fn to_f32(self) -> f32 {
         self.0 as f32 / (1i64 << FRAC) as f32

@@ -188,6 +188,18 @@ impl BenchLayer {
             mix(seed, 0x0ac7 ^ self.benchmark as u64),
         )
     }
+
+    /// Samples a batch of independent input activation vectors at the
+    /// benchmark's Table III density — the input to batched serving runs.
+    ///
+    /// Item `i` equals `sample_activations(seed + i)`, so item 0 of a
+    /// batch is exactly the unbatched vector for the same seed and the
+    /// streams stay deterministic per `(seed, item)` pair.
+    pub fn sample_activation_batch(&self, seed: u64, batch: usize) -> Vec<Vec<f32>> {
+        (0..batch as u64)
+            .map(|i| self.sample_activations(seed.wrapping_add(i)))
+            .collect()
+    }
 }
 
 /// Generates a random sparse matrix with i.i.d. Bernoulli(`density`)
@@ -376,6 +388,19 @@ mod tests {
         let a = nt.sample_activations(0);
         assert_eq!(ops::density(&a), 1.0);
         assert!(a.iter().any(|&x| x < 0.0), "NT activations are signed");
+    }
+
+    #[test]
+    fn activation_batches_are_independent_and_anchored() {
+        let l = Benchmark::Vgg8.generate_scaled(3, 16);
+        let batch = l.sample_activation_batch(9, 4);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch[0], l.sample_activations(9));
+        assert_eq!(batch[1], l.sample_activations(10));
+        assert_ne!(batch[0], batch[1], "items must differ");
+        for item in &batch {
+            assert_eq!(item.len(), l.weights.cols());
+        }
     }
 
     #[test]

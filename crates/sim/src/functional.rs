@@ -75,6 +75,22 @@ pub fn execute(layer: &EncodedLayer, acts: &[Q8p8], relu: bool) -> Vec<Q8p8> {
     outputs
 }
 
+/// Executes a batch of activation vectors functionally, one output
+/// vector per item.
+///
+/// Each item is an independent [`execute`] — the golden model stays
+/// bit-exact against the cycle simulator item by item, batched or not.
+///
+/// # Panics
+///
+/// Panics if any item's length differs from `layer.cols()`.
+pub fn execute_batch(layer: &EncodedLayer, batch: &[Vec<Q8p8>], relu: bool) -> Vec<Vec<Q8p8>> {
+    batch
+        .iter()
+        .map(|acts| execute(layer, acts, relu))
+        .collect()
+}
+
 /// The number of multiply-accumulates (padding included) the hardware
 /// performs for this layer/input pair — the "workload" of Table IV's
 /// theoretical-time calculation.
@@ -139,6 +155,20 @@ mod tests {
             } else {
                 assert_eq!(r, c);
             }
+        }
+    }
+
+    #[test]
+    fn execute_batch_matches_per_item_execution() {
+        let layer = Benchmark::Alex8.generate_scaled(2, 64);
+        let enc = compress(&layer.weights, CompressConfig::with_pes(4));
+        let batch: Vec<Vec<Q8p8>> = (0..4)
+            .map(|i| quantize(&layer.sample_activations(i)))
+            .collect();
+        let outs = execute_batch(&enc, &batch, true);
+        assert_eq!(outs.len(), 4);
+        for (item, out) in batch.iter().zip(&outs) {
+            assert_eq!(out, &execute(&enc, item, true));
         }
     }
 

@@ -51,5 +51,8 @@ pub use config::SimConfig;
 pub use lnzd::LnzdTree;
 pub use pe::ProcessingElement;
 pub use stats::{PeStats, SimStats};
-pub use system::{simulate, simulate_fixed, simulate_network, LayerRun, NetworkRun};
+pub use system::{
+    broadcast_schedule, simulate, simulate_batch, simulate_fixed, simulate_network, LayerRun,
+    NetworkRun,
+};
 pub use timeline::{simulate_with_timeline, Timeline};

@@ -48,6 +48,23 @@ enum CcuAction {
     Done,
 }
 
+/// The broadcast schedule the LNZD network produces for an activation
+/// vector: the non-zero activations in index order, as `(index, value)`
+/// pairs.
+///
+/// This is the exact work list the CCU broadcasts to the PE array, and
+/// the contract every execution backend shares: the cycle model consumes
+/// it through its FIFOs, the functional golden model and host-speed
+/// kernels iterate it directly. Exposing it keeps "which activations are
+/// skipped, in which order" defined in one place.
+pub fn broadcast_schedule(acts: &[Q8p8]) -> Vec<(u32, Q8p8)> {
+    acts.iter()
+        .enumerate()
+        .filter(|(_, a)| !a.is_zero())
+        .map(|(j, &a)| (j as u32, a))
+        .collect()
+}
+
 /// The accelerator model: CCU + LNZD + PE array, clocked as one module.
 struct System<'a> {
     layer: &'a EncodedLayer,
@@ -73,12 +90,7 @@ impl<'a> System<'a> {
         let pes = (0..layer.num_pes())
             .map(|k| ProcessingElement::new(layer.slice(k).local_rows(), codebook))
             .collect();
-        let schedule: Vec<(u32, Q8p8)> = acts
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| !a.is_zero())
-            .map(|(j, &a)| (j as u32, a))
-            .collect();
+        let schedule = broadcast_schedule(acts);
         let fill = cfg.lnzd_depth(layer.num_pes());
         let batch_span = cfg.act_regfile_entries * layer.num_pes();
         let mut stats = SimStats {
@@ -228,7 +240,7 @@ impl TimelineProbe for NoProbe {
 
 /// Quantizes `f32` activations to the Q8.8 datapath format.
 fn quantize_acts(acts: &[f32]) -> Vec<Q8p8> {
-    acts.iter().map(|&a| Q8p8::from_f32(a)).collect()
+    Q8p8::from_f32_slice(acts)
 }
 
 /// Runs a layer under an observer probe (crate-internal; the public
@@ -306,6 +318,26 @@ pub fn simulate_fixed(
     relu: bool,
 ) -> LayerRun {
     simulate_with_probe(layer, acts, cfg, relu, &mut NoProbe)
+}
+
+/// Simulates a batch of activation vectors against one layer, one
+/// independent run per item (the accelerator has no batch dimension in
+/// hardware — Table IV's comparison runs EIE at batch 1 — so a batch is
+/// simply back-to-back layer executions).
+///
+/// # Panics
+///
+/// Same conditions as [`simulate_fixed`], for any item.
+pub fn simulate_batch(
+    layer: &EncodedLayer,
+    batch: &[Vec<Q8p8>],
+    cfg: &SimConfig,
+    relu: bool,
+) -> Vec<LayerRun> {
+    batch
+        .iter()
+        .map(|acts| simulate_fixed(layer, acts, cfg, relu))
+        .collect()
 }
 
 /// Simulates a feed-forward stack of layers, applying ReLU between layers
@@ -518,6 +550,43 @@ mod tests {
         assert_eq!(oracle.stats.lnzd_fill_cycles, 0);
         assert!(tree.stats.total_cycles >= oracle.stats.total_cycles);
         assert_eq!(tree.outputs, oracle.outputs);
+    }
+
+    #[test]
+    fn broadcast_schedule_lists_nonzeros_in_index_order() {
+        let acts = [
+            Q8p8::ZERO,
+            Q8p8::from_f32(1.5),
+            Q8p8::ZERO,
+            Q8p8::from_f32(-0.5),
+        ];
+        let sched = broadcast_schedule(&acts);
+        assert_eq!(
+            sched,
+            vec![(1, Q8p8::from_f32(1.5)), (3, Q8p8::from_f32(-0.5))]
+        );
+        assert!(broadcast_schedule(&[Q8p8::ZERO; 4]).is_empty());
+    }
+
+    #[test]
+    fn batch_runs_match_per_item_simulation() {
+        let (enc, acts) = small_case(4);
+        let batch: Vec<Vec<Q8p8>> = (0..3)
+            .map(|i| {
+                quantize_acts(&acts)
+                    .iter()
+                    .map(|a| if i == 2 { Q8p8::ZERO } else { *a })
+                    .collect()
+            })
+            .collect();
+        let runs = simulate_batch(&enc, &batch, &SimConfig::default(), false);
+        assert_eq!(runs.len(), 3);
+        for (item, run) in batch.iter().zip(&runs) {
+            let single = simulate_fixed(&enc, item, &SimConfig::default(), false);
+            assert_eq!(run.outputs, single.outputs);
+            assert_eq!(run.stats, single.stats);
+        }
+        assert!(runs[2].outputs.iter().all(|v| v.is_zero()));
     }
 
     #[test]

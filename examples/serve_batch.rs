@@ -1,0 +1,62 @@
+//! Serving a compressed model in batches on the pluggable backends.
+//!
+//! Compiles a two-layer feed-forward model once (the `CompiledModel`
+//! artifact), then serves the same batch three ways: the host-speed
+//! `NativeCpu` kernel (real serving), the functional golden model
+//! (verification), and the cycle-accurate simulator (modelled hardware
+//! latency and energy). Outputs are bit-identical across all three.
+//!
+//! ```text
+//! cargo run --release --example serve_batch
+//! ```
+
+use eie::prelude::*;
+
+fn main() {
+    // 1. A small two-layer network: Alex-7-like shapes at 1/16 scale.
+    let w1 = random_sparse(256, 256, 0.09, 1);
+    let w2 = random_sparse(64, 256, 0.09, 2);
+    let config = EieConfig::default().with_num_pes(16);
+    let model = CompiledModel::compile(config, &[&w1, &w2]);
+    println!("compiled    : {model}");
+
+    // 2. A batch of 32 requests at AlexNet FC7 activation density.
+    let batch: Vec<Vec<f32>> = (0..32u64)
+        .map(|i| eie::nn::zoo::sample_activations(256, 0.35, false, 40 + i))
+        .collect();
+    println!("requests    : batch of {}", batch.len());
+
+    // 3. Serve on the native kernel (one worker per core).
+    let native = model.run_batch(BackendKind::NativeCpu(0), &batch);
+    println!(
+        "native-cpu  : {:.0} frames/s, batch wall {:.1} µs",
+        native.frames_per_second(),
+        native.wall_time_us()
+    );
+
+    // 4. Verify against the golden model — bit-identical outputs.
+    let golden = model.run_batch(BackendKind::Functional, &batch);
+    for i in 0..batch.len() {
+        assert_eq!(native.outputs(i), golden.outputs(i), "bit-exactness broken");
+    }
+    println!(
+        "functional  : outputs bit-identical for all {} items",
+        batch.len()
+    );
+
+    // 5. What the accelerator itself would do, per frame (batch 1 —
+    //    EIE's latency needs no batching; §VI-B).
+    let hw = model.run_batch(BackendKind::CycleAccurate, &batch[..4]);
+    println!(
+        "EIE modelled: {:.2} µs/frame (p95 {:.2}), {:.0} frames/s, {:.3} µJ/frame",
+        hw.mean_latency_us(),
+        hw.percentile_latency_us(95.0),
+        hw.frames_per_second(),
+        hw.energy_per_frame_uj()
+            .expect("cycle backend prices energy")
+    );
+    for i in 0..4 {
+        assert_eq!(hw.outputs(i), golden.outputs(i), "cycle model diverged");
+    }
+    println!("done        : one artifact, three engines, same bits");
+}
