@@ -1,0 +1,51 @@
+//! Criterion benchmarks of the `.eie` model-artifact path: what
+//! build-once/load-many costs at serving-worker startup.
+//!
+//! * `to_bytes` / `from_bytes` — serialization and validated
+//!   deserialization of the container in memory (the load path's CPU
+//!   cost: decode + checksum + structural validation),
+//! * `save` / `load` — the same through the filesystem,
+//! * `compile` — the in-process pipeline the artifact replaces, for
+//!   scale: loading must beat recompressing or the artifact story is
+//!   pointless.
+//!
+//! Throughput is reported in container bytes, so regressions in the
+//! load path show up as MB/s drops in the perf trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eie_core::prelude::*;
+
+fn bench_artifact(c: &mut Criterion) {
+    let layer = Benchmark::Alex7.generate_scaled(DEFAULT_SEED, 8); // 512×512 @ 9%
+    let config = EieConfig::default().with_num_pes(16);
+    let model = CompiledModel::compile_layer(config, &layer.weights).with_name("bench artifact");
+    let bytes = model.to_bytes();
+
+    let mut group = c.benchmark_group("artifact");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+
+    group.bench_function("to_bytes", |b| b.iter(|| model.to_bytes()));
+
+    group.bench_function("from_bytes", |b| {
+        b.iter(|| CompiledModel::from_bytes(&bytes).expect("valid container"))
+    });
+
+    let path = std::env::temp_dir().join("eie_bench_artifact.eie");
+    group.bench_function("save", |b| b.iter(|| model.save(&path).expect("save")));
+
+    model.save(&path).expect("save for load bench");
+    group.bench_function("load", |b| {
+        b.iter(|| CompiledModel::load(&path).expect("load"))
+    });
+    let _ = std::fs::remove_file(&path);
+
+    group.bench_function("compile", |b| {
+        b.iter(|| CompiledModel::compile_layer(config, &layer.weights))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_artifact);
+criterion_main!(benches);

@@ -18,7 +18,6 @@ use eie_bench::*;
 
 fn main() {
     let config = paper_config();
-    let engine = Engine::new(config);
 
     let mut arch = TextTable::new(
         format!("Ablations: cycle cost of removing each mechanism ({config})"),
@@ -33,15 +32,16 @@ fn main() {
 
     for benchmark in Benchmark::ALL {
         let layer = layer_at_scale(benchmark);
-        let encoded = engine.compress(&layer.weights);
+        let model = model_at_scale(benchmark, config);
+        let encoded = model.layer(0);
         let acts = layer.sample_activations(DEFAULT_SEED);
         let base_cfg = config.sim_config();
-        let base = simulate(&encoded, &acts, &base_cfg).stats.total_cycles;
+        let base = simulate(encoded, &acts, &base_cfg).stats.total_cycles;
         let pct = |cycles: u64| -> String {
             format!("{:+.2}%", (cycles as f64 / base as f64 - 1.0) * 100.0)
         };
         let no_bypass = simulate(
-            &encoded,
+            encoded,
             &acts,
             &SimConfig {
                 accumulator_bypass: false,
@@ -51,7 +51,7 @@ fn main() {
         .stats
         .total_cycles;
         let no_banking = simulate(
-            &encoded,
+            encoded,
             &acts,
             &SimConfig {
                 ptr_banked: false,
@@ -61,7 +61,7 @@ fn main() {
         .stats
         .total_cycles;
         let oracle = simulate(
-            &encoded,
+            encoded,
             &acts,
             &SimConfig {
                 lnzd_tree: false,

@@ -40,13 +40,16 @@ fn main() {
 
     for benchmark in [Benchmark::Alex7, Benchmark::NtWe] {
         let layer = layer_at_scale(benchmark);
+        // Build-once/load-many: compile (or reload) the .eie artifact
+        // and serve every engine below from the same loaded model.
+        let model = model_at_scale(benchmark, config);
+        let enc = model.layer(0);
         let engine = Engine::new(config);
-        let enc = engine.compress(&layer.weights);
 
         // --- EIE cycle model: modelled latency, batch 1 and a small
         //     batch (per-frame time is flat — no batch dimension in HW).
-        let b1 = engine.run_batch(&enc, &layer.sample_activation_batch(DEFAULT_SEED, 1));
-        let b4 = engine.run_batch(&enc, &layer.sample_activation_batch(DEFAULT_SEED, 4));
+        let b1 = engine.run_batch(enc, &layer.sample_activation_batch(DEFAULT_SEED, 1));
+        let b4 = engine.run_batch(enc, &layer.sample_activation_batch(DEFAULT_SEED, 4));
         for result in [&b1, &b4] {
             table.row(vec![
                 benchmark.name().into(),
@@ -68,7 +71,7 @@ fn main() {
                 .iter()
                 .map(|item| Q8p8::from_f32_slice(item))
                 .collect();
-            let wall_us = harness.measure_us(|| native.run_layer_batch(&enc, &inputs, false));
+            let wall_us = harness.measure_us(|| native.run_layer_batch(enc, &inputs, false));
             let fps = batch as f64 / (wall_us * 1e-6);
             native_fps.push(fps);
             table.row(vec![

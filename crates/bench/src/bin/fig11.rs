@@ -25,8 +25,7 @@ fn main() {
         let mut base_cycles = None;
         for pes in PES {
             let config = EieConfig::default().with_num_pes(pes);
-            let engine = Engine::new(config);
-            let encoded = engine.compress(&layer.weights);
+            let encoded = config.pipeline().compile_matrix(&layer.weights);
             let run = simulate(&encoded, &acts, &config.sim_config());
             let cycles = run.stats.total_cycles.max(1);
             let base = *base_cycles.get_or_insert(cycles);

@@ -24,8 +24,7 @@ fn main() {
         let mut row = vec![benchmark.name().to_string()];
         for pes in PES {
             let config = EieConfig::default().with_num_pes(pes);
-            let engine = Engine::new(config);
-            let encoded = engine.compress(&layer.weights);
+            let encoded = config.pipeline().compile_matrix(&layer.weights);
             let run = simulate(&encoded, &acts, &config.sim_config());
             row.push(format!(
                 "{:.1}%",

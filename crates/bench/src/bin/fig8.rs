@@ -11,7 +11,6 @@ const DEPTHS: [usize; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
 
 fn main() {
     let config = paper_config();
-    let engine = Engine::new(config);
     let mut headers: Vec<String> = vec!["layer".into()];
     headers.extend(DEPTHS.iter().map(|d| format!("FIFO={d}")));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
@@ -22,7 +21,7 @@ fn main() {
 
     for benchmark in Benchmark::ALL {
         let layer = layer_at_scale(benchmark);
-        let encoded = engine.compress(&layer.weights);
+        let model = model_at_scale(benchmark, config);
         let acts = layer.sample_activations(DEFAULT_SEED);
         let mut row = vec![benchmark.name().to_string()];
         let mut last = 0.0;
@@ -31,7 +30,7 @@ fn main() {
                 fifo_depth: depth,
                 ..config.sim_config()
             };
-            let run = simulate(&encoded, &acts, &sim_cfg);
+            let run = simulate(model.layer(0), &acts, &sim_cfg);
             let eff = run.stats.load_balance_efficiency();
             row.push(format!("{:.1}%", eff * 100.0));
             last = eff;

@@ -11,7 +11,6 @@ const WIDTHS: [u32; 5] = [32, 64, 128, 256, 512];
 
 fn main() {
     let config = paper_config();
-    let engine = Engine::new(config);
 
     // Left plot: energy/read and #reads (AlexNet layers, as in the paper).
     let mut left = TextTable::new(
@@ -22,9 +21,9 @@ fn main() {
         .iter()
         .map(|&b| {
             let layer = layer_at_scale(b);
-            let encoded = engine.compress(&layer.weights);
+            let model = model_at_scale(b, config);
             let acts = layer.sample_activations(DEFAULT_SEED);
-            (encoded, acts)
+            (model, acts)
         })
         .collect();
     for width in WIDTHS {
@@ -35,7 +34,11 @@ fn main() {
         };
         let reads: u64 = alex
             .iter()
-            .map(|(enc, acts)| simulate(enc, acts, &sim_cfg).stats.spmat_row_reads())
+            .map(|(model, acts)| {
+                simulate(model.layer(0), acts, &sim_cfg)
+                    .stats
+                    .spmat_row_reads()
+            })
             .sum();
         left.row(vec![
             format!("{width} bit"),
@@ -55,7 +58,7 @@ fn main() {
     let mut minima = Vec::new();
     for benchmark in Benchmark::ALL {
         let layer = layer_at_scale(benchmark);
-        let encoded = engine.compress(&layer.weights);
+        let model = model_at_scale(benchmark, config);
         let acts = layer.sample_activations(DEFAULT_SEED);
         let mut row = vec![benchmark.name().to_string()];
         let mut totals = Vec::new();
@@ -64,7 +67,9 @@ fn main() {
                 spmat_width_bits: width,
                 ..config.sim_config()
             };
-            let reads = simulate(&encoded, &acts, &sim_cfg).stats.spmat_row_reads();
+            let reads = simulate(model.layer(0), &acts, &sim_cfg)
+                .stats
+                .spmat_row_reads();
             let total_nj = reads as f64 * SramModel::spmat(width).read_energy_pj() / 1e3;
             totals.push(total_nj);
             row.push(f(total_nj, 1));

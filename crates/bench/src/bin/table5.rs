@@ -69,7 +69,7 @@ fn main() {
     let pes64 = (64 / scale.min(16)).max(4);
     let cfg64 = EieConfig::default().with_num_pes(pes64);
     let engine64 = Engine::new(cfg64);
-    let enc64 = engine64.compress(&layer.weights);
+    let enc64 = cfg64.pipeline().compile_matrix(&layer.weights);
     let res64 = engine64.run_layer(&enc64, &acts);
     let chip64 = eie_core::energy::ChipModel {
         pe: PeModel::paper(),
@@ -94,7 +94,7 @@ fn main() {
     let pes256 = (256 / scale.min(16)).max(8);
     let cfg256 = EieConfig::default().with_num_pes(pes256);
     let engine256 = Engine::new(cfg256);
-    let enc256 = engine256.compress(&layer.weights);
+    let enc256 = cfg256.pipeline().compile_matrix(&layer.weights);
     let res256 = engine256.run_layer(&enc256, &acts);
     let tech = TechScale::paper_45_to_28();
     let chip256 = eie_core::energy::ChipModel {

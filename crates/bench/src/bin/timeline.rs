@@ -11,19 +11,19 @@ use eie_core::sim::simulate_with_timeline;
 
 fn main() {
     let config = paper_config();
-    let engine = Engine::new(config);
     let mut out = String::new();
     out.push_str(&format!(
         "## Utilization timelines ({config}, 48 windows per run)\n\n"
     ));
     for benchmark in Benchmark::ALL {
         let layer = layer_at_scale(benchmark);
-        let encoded = engine.compress(&layer.weights);
+        let model = model_at_scale(benchmark, config);
+        let encoded = model.layer(0);
         let acts = layer.sample_activations(DEFAULT_SEED);
         // Pick a window so each run renders to ~48 columns.
-        let probe_run = simulate(&encoded, &acts, &config.sim_config());
+        let probe_run = simulate(encoded, &acts, &config.sim_config());
         let window = (probe_run.stats.total_cycles / 48).max(1);
-        let (run, timeline) = simulate_with_timeline(&encoded, &acts, &config.sim_config(), window);
+        let (run, timeline) = simulate_with_timeline(encoded, &acts, &config.sim_config(), window);
         out.push_str(&format!(
             "{:<8} |{}| {:5.1}% mean busy, {} cycles, {} batches\n",
             benchmark.name(),

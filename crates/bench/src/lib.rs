@@ -160,6 +160,48 @@ pub fn paper_config() -> EieConfig {
     EieConfig::default().with_num_pes(pes)
 }
 
+/// The build-once/load-many entry point for experiments: the compiled
+/// `.eie` artifact of a zoo benchmark at the configured scale.
+///
+/// The first call compiles the model and saves it under
+/// `$EIE_MODEL_DIR` (default `<results>/models/`); later calls — in
+/// this process or any other — load the validated artifact instead of
+/// recompressing from f32 weights. A cached file whose configuration
+/// differs from the requested one (or that fails validation) is
+/// recompiled and overwritten.
+pub fn model_at_scale(benchmark: Benchmark, config: EieConfig) -> CompiledModel {
+    let divisor = scale_divisor();
+    let dir = std::env::var("EIE_MODEL_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| results_dir().join("models"));
+    let _ = fs::create_dir_all(&dir);
+    let slug: String = benchmark
+        .name()
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let path = dir.join(format!("{slug}_s{divisor}_p{}.eie", config.num_pes));
+
+    if let Ok(model) = CompiledModel::load(&path) {
+        if model.config() == &config {
+            return model;
+        }
+    }
+    let model = CompiledModel::from_zoo(benchmark, config, DEFAULT_SEED, divisor);
+    if let Err(e) = model.save(&path) {
+        eprintln!("warning: could not cache model at {}: {e}", path.display());
+    } else {
+        eprintln!("[cached {}]", path.display());
+    }
+    model
+}
+
 /// Batch-1 wall-clock and energy of all seven platforms of Fig. 6/7 on
 /// one benchmark: CPU/GPU/mGPU × dense/compressed (calibrated roofline
 /// models) plus EIE (cycle simulator + activity-priced energy).

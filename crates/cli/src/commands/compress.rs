@@ -1,0 +1,145 @@
+//! `eie compress` — build a versioned `.eie` artifact.
+
+use eie_core::prelude::*;
+
+use crate::opts::Opts;
+use crate::outln;
+use crate::CliError;
+
+const HELP: &str = "eie compress — compile a model into a versioned .eie artifact
+
+USAGE:
+    eie compress --zoo <NAME> [OPTIONS]
+    eie compress --layers <D0:D1:..:DN> --density <D> [OPTIONS]
+
+MODEL SOURCE (exactly one):
+    --zoo <NAME>          A Table III benchmark layer (alex6..8, vgg6..8,
+                          nt-we, nt-wd, nt-lstm); names are case/punctuation
+                          insensitive
+    --layers <DIMS>       A synthetic feed-forward stack with the given
+                          activation dimensions, e.g. 256:128:64 compiles
+                          two layers (128x256 and 64x128); needs --density
+
+OPTIONS:
+    -o, --output <PATH>   Where to write the artifact [default: model.eie]
+    --pes <N>             Processing elements [default: 64]
+    --scale <N>           Divide zoo dimensions by N (1 = full size) [default: 1]
+    --seed <N>            Generation seed [default: the zoo's 0xE1E]
+    --density <D>         Weight density for --layers stacks (0 < D <= 1)
+    --index-bits <N>      Relative-index width 1..=8 [default: 4]
+    --shared-codebook     Fit one codebook shared by every layer
+    --name <S>            Override the artifact's recorded model name
+    -h, --help            Show this help";
+
+pub fn run(mut opts: Opts) -> Result<(), CliError> {
+    if opts.wants_help() {
+        outln!("{HELP}");
+        return Ok(());
+    }
+    let zoo = opts.value(&["--zoo"])?;
+    let layers_spec = opts.value(&["--layers"])?;
+    let output = opts
+        .value(&["--output", "-o"])?
+        .unwrap_or_else(|| "model.eie".to_string());
+    let pes: usize = opts.parsed(&["--pes"])?.unwrap_or(64);
+    let scale: usize = opts.parsed(&["--scale"])?.unwrap_or(1);
+    let seed: u64 = opts.parsed(&["--seed"])?.unwrap_or(DEFAULT_SEED);
+    let density: Option<f64> = opts.parsed(&["--density"])?;
+    let index_bits: u32 = opts.parsed(&["--index-bits"])?.unwrap_or(4);
+    let shared = opts.flag("--shared-codebook");
+    let name = opts.value(&["--name"])?;
+    opts.finish(0)?;
+
+    if pes == 0 || scale == 0 {
+        return Err(CliError::Usage("--pes and --scale must be positive".into()));
+    }
+    if !(1..=8).contains(&index_bits) {
+        return Err(CliError::Usage("--index-bits must be in 1..=8".into()));
+    }
+    let config = EieConfig::default()
+        .with_num_pes(pes)
+        .with_index_bits(index_bits);
+
+    let mut model = match (zoo, layers_spec) {
+        (Some(zoo_name), None) => {
+            if density.is_some() {
+                // Zoo layers come at their Table III density; silently
+                // ignoring --density would ship a 9x-off artifact.
+                return Err(CliError::Usage(
+                    "--density only applies to --layers stacks; zoo benchmarks use \
+                     their Table III weight density"
+                        .into(),
+                ));
+            }
+            let benchmark = Benchmark::from_name(&zoo_name).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown zoo benchmark {zoo_name:?} (try alex7, vgg6, nt-lstm, ...)"
+                ))
+            })?;
+            // A single zoo layer trivially satisfies --shared-codebook.
+            CompiledModel::from_zoo(benchmark, config, seed, scale)
+        }
+        (None, Some(spec)) => compile_stack(&spec, config, density, shared, seed)?,
+        _ => {
+            return Err(CliError::Usage(
+                "exactly one of --zoo or --layers is required (see --help)".into(),
+            ))
+        }
+    };
+    if let Some(name) = name {
+        model = model.with_name(name);
+    }
+
+    model
+        .save(&output)
+        .map_err(|e| CliError::Runtime(format!("cannot write {output}: {e}")))?;
+    let bytes = std::fs::metadata(&output).map(|m| m.len()).unwrap_or(0);
+    outln!("compiled  {model}");
+    outln!(
+        "saved     {output} ({bytes} bytes, {} layer{})",
+        model.num_layers(),
+        if model.num_layers() == 1 { "" } else { "s" },
+    );
+    Ok(())
+}
+
+/// Compiles a random sparse stack from an `in:h1:..:out` dimension chain.
+fn compile_stack(
+    spec: &str,
+    config: EieConfig,
+    density: Option<f64>,
+    shared: bool,
+    seed: u64,
+) -> Result<CompiledModel, CliError> {
+    let density = density.ok_or_else(|| {
+        CliError::Usage("--layers needs --density (weight density after pruning)".into())
+    })?;
+    if !(density > 0.0 && density <= 1.0) {
+        return Err(CliError::Usage("--density must be in (0, 1]".into()));
+    }
+    let dims: Vec<usize> = spec
+        .split(':')
+        .map(|d| {
+            d.parse::<usize>()
+                .map_err(|_| format!("bad dimension {d:?} in --layers"))
+        })
+        .collect::<Result<_, _>>()
+        .map_err(CliError::Usage)?;
+    if dims.len() < 2 || dims.contains(&0) {
+        return Err(CliError::Usage(
+            "--layers needs at least two positive dimensions, e.g. 256:128:64".into(),
+        ));
+    }
+    let weights: Vec<CsrMatrix> = dims
+        .windows(2)
+        .enumerate()
+        .map(|(i, pair)| random_sparse(pair[1], pair[0], density, seed.wrapping_add(i as u64)))
+        .collect();
+    let refs: Vec<&CsrMatrix> = weights.iter().collect();
+    let model = if shared {
+        CompiledModel::compile_shared_codebook(config, &refs)
+    } else {
+        CompiledModel::compile(config, &refs)
+    };
+    Ok(model.with_name(format!("stack {spec} @{density}")))
+}

@@ -1,0 +1,75 @@
+//! `eie inspect` — print an artifact's header, topology and footprint.
+
+use eie_core::MODEL_VERSION;
+
+use crate::commands::load_model;
+use crate::opts::Opts;
+use crate::outln;
+use crate::CliError;
+
+const HELP: &str = "eie inspect — print an artifact's header, topology and footprint
+
+USAGE:
+    eie inspect <MODEL.eie>
+
+OPTIONS:
+    -h, --help    Show this help";
+
+pub fn run(opts: Opts) -> Result<(), CliError> {
+    if opts.wants_help() {
+        outln!("{HELP}");
+        return Ok(());
+    }
+    let positional = opts.finish(1)?;
+    let path = positional
+        .first()
+        .ok_or_else(|| CliError::Usage("inspect needs a model file (see --help)".into()))?;
+
+    let file_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    let model = load_model(path)?;
+
+    outln!("artifact  {path} ({file_bytes} bytes, container v{MODEL_VERSION})");
+    if !model.name().is_empty() {
+        outln!("name      {}", model.name());
+    }
+    outln!("config    {}", model.config());
+    outln!(
+        "topology  {} layer{}, {} -> {} activations, codebooks {}",
+        model.num_layers(),
+        if model.num_layers() == 1 { "" } else { "s" },
+        model.input_dim(),
+        model.output_dim(),
+        if model.has_shared_codebook() {
+            "shared"
+        } else {
+            "per-layer"
+        },
+    );
+
+    let mut dense_total = 0usize;
+    let mut compressed_total = 0usize;
+    for (i, layer) in model.layers().iter().enumerate() {
+        let stats = layer.stats();
+        dense_total += stats.dense_bytes;
+        compressed_total += stats.compressed_bytes();
+        outln!(
+            "layer {i:>3}  {}x{}  {} entries ({} padding), codebook {} entries, \
+             {} bytes ({:.1}x vs dense f32)",
+            layer.rows(),
+            layer.cols(),
+            stats.total_entries(),
+            stats.padding_entries,
+            layer.codebook().len(),
+            stats.compressed_bytes(),
+            stats.compression_ratio(),
+        );
+    }
+    if model.num_layers() > 1 {
+        outln!(
+            "total     {} compressed bytes, {:.1}x vs dense f32",
+            compressed_total,
+            dense_total as f64 / compressed_total as f64,
+        );
+    }
+    Ok(())
+}

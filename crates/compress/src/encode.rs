@@ -451,6 +451,11 @@ impl fmt::Display for EncodedLayer {
 /// Runs the full Deep Compression pipeline on an already-pruned matrix:
 /// fits a codebook by k-means, then encodes into interleaved CSC.
 ///
+/// This is a thin convenience shim over the unified
+/// [`CompilePipeline`](crate::CompilePipeline) (quantize → encode →
+/// validate with per-layer codebook strategy); prefer the pipeline
+/// directly when compiling whole models or configuring the stages.
+///
 /// # Panics
 ///
 /// Panics if the matrix has no non-zeros or `config.num_pes == 0`.
@@ -467,12 +472,7 @@ impl fmt::Display for EncodedLayer {
 /// assert_eq!(back.nnz(), w.nnz());
 /// ```
 pub fn compress(matrix: &CsrMatrix, config: CompressConfig) -> EncodedLayer {
-    assert!(matrix.nnz() > 0, "cannot compress an all-zero matrix");
-    let values = matrix.values();
-    let stride = (values.len() / config.kmeans_sample_limit).max(1);
-    let sample: Vec<f32> = values.iter().step_by(stride).cloned().collect();
-    let codebook = Codebook::fit(&sample, config.kmeans_iters);
-    encode_with_codebook(matrix, codebook, config)
+    crate::CompilePipeline::new(config).compile_matrix(matrix)
 }
 
 /// Encodes a pruned matrix with a caller-provided codebook.

@@ -8,6 +8,9 @@
 //!
 //! This crate implements that entire pipeline:
 //!
+//! * [`CompilePipeline`] — the **single unified code path** through the
+//!   stages (prune → quantize → encode → validate → pack), with optional
+//!   codebook sharing across the layers of a model,
 //! * [`prune`] — magnitude pruning of dense layers,
 //! * [`kmeans1d`] / [`Codebook`] — weight sharing (k-means clustering into
 //!   a 4-bit codebook; index 0 is reserved for the explicit zeros the
@@ -40,6 +43,7 @@ mod codebook;
 mod encode;
 pub mod huffman;
 mod kmeans;
+mod pipeline;
 pub mod prune;
 mod serialize;
 mod stats;
@@ -50,6 +54,7 @@ pub use encode::{
     ValidateLayerError,
 };
 pub use kmeans::kmeans1d;
+pub use pipeline::{CodebookStrategy, CompilePipeline};
 pub use serialize::{DecodeLayerError, MAGIC};
 pub use stats::{huffman_bits, EncodingStats};
 

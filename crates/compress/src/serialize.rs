@@ -37,6 +37,10 @@ pub enum DecodeLayerError {
     Truncated {
         /// Byte offset at which data ran out.
         offset: usize,
+        /// Which section of the layout was being read (`"magic"`,
+        /// `"header"`, `"codebook"`, `"pe header"`, `"col_ptr"`,
+        /// `"entries"`).
+        section: &'static str,
     },
     /// A header field holds an impossible value.
     BadHeader {
@@ -51,8 +55,11 @@ impl fmt::Display for DecodeLayerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeLayerError::BadMagic => write!(f, "not an EIE layer image (bad magic)"),
-            DecodeLayerError::Truncated { offset } => {
-                write!(f, "layer image truncated at byte {offset}")
+            DecodeLayerError::Truncated { offset, section } => {
+                write!(
+                    f,
+                    "layer image truncated at byte {offset} while reading {section}"
+                )
             }
             DecodeLayerError::BadHeader { field } => {
                 write!(f, "invalid header field: {field}")
@@ -77,16 +84,26 @@ impl From<ValidateLayerError> for DecodeLayerError {
     }
 }
 
-/// A little-endian byte cursor.
+/// A little-endian byte cursor that knows which layout section it is in,
+/// so truncation errors name the field group that ran dry.
 struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
+    section: &'static str,
 }
 
 impl<'a> Reader<'a> {
+    /// Marks the start of a layout section for error attribution.
+    fn enter(&mut self, section: &'static str) {
+        self.section = section;
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeLayerError> {
         if self.pos + n > self.bytes.len() {
-            return Err(DecodeLayerError::Truncated { offset: self.pos });
+            return Err(DecodeLayerError::Truncated {
+                offset: self.pos,
+                section: self.section,
+            });
         }
         let s = &self.bytes[self.pos..self.pos + n];
         self.pos += n;
@@ -148,10 +165,15 @@ impl EncodedLayer {
     /// Returns a [`DecodeLayerError`] on malformed bytes or any encoding
     /// invariant violation.
     pub fn from_bytes(bytes: &[u8]) -> Result<EncodedLayer, DecodeLayerError> {
-        let mut r = Reader { bytes, pos: 0 };
+        let mut r = Reader {
+            bytes,
+            pos: 0,
+            section: "magic",
+        };
         if r.take(4)? != MAGIC {
             return Err(DecodeLayerError::BadMagic);
         }
+        r.enter("header");
         let index_bits = r.u8()? as u32;
         if !(1..=8).contains(&index_bits) {
             return Err(DecodeLayerError::BadHeader {
@@ -175,6 +197,7 @@ impl EncodedLayer {
             return Err(DecodeLayerError::BadHeader { field: "num_pes" });
         }
 
+        r.enter("codebook");
         let mut values = Vec::with_capacity(codebook_len);
         for _ in 0..codebook_len {
             values.push(r.f32()?);
@@ -187,13 +210,16 @@ impl EncodedLayer {
         let mut slices = Vec::with_capacity(num_pes);
         let mut total_local = 0usize;
         for _ in 0..num_pes {
+            r.enter("pe header");
             let local_rows = r.u32()? as usize;
             total_local += local_rows;
             let n_entries = r.u32()? as usize;
+            r.enter("col_ptr");
             let mut col_ptr = Vec::with_capacity(cols + 1);
             for _ in 0..=cols {
                 col_ptr.push(r.u32()?);
             }
+            r.enter("entries");
             let mut entries = Vec::with_capacity(n_entries);
             for _ in 0..n_entries {
                 let code = r.u8()?;
@@ -260,6 +286,44 @@ mod tests {
         for cut in [4usize, 8, 16, 40, bytes.len() / 2, bytes.len() - 1] {
             let r = EncodedLayer::from_bytes(&bytes[..cut]);
             assert!(r.is_err(), "prefix of {cut} bytes decoded successfully");
+        }
+    }
+
+    #[test]
+    fn truncation_names_the_section_at_every_boundary() {
+        let layer = sample();
+        let bytes = layer.to_bytes();
+        // Walk the layout, computing each section's byte range, and
+        // require that a cut inside each section is attributed to it.
+        // magic 0..4 | header 4..20 | codebook .. | per PE:
+        // pe header (8) | col_ptr (4·(cols+1)) | entries (2·n).
+        let cb_end = 20 + 4 * layer.codebook().len();
+        let mut expectations = vec![
+            (2usize, "magic"),
+            (4, "header"),
+            (19, "header"),
+            (cb_end - 1, "codebook"),
+        ];
+        let mut pos = cb_end;
+        for slice in layer.slices() {
+            expectations.push((pos + 7, "pe header"));
+            pos += 8;
+            expectations.push((pos + 3, "col_ptr"));
+            pos += 4 * (layer.cols() + 1);
+            if slice.num_entries() > 0 {
+                expectations.push((pos + 1, "entries"));
+            }
+            pos += 2 * slice.num_entries();
+        }
+        assert_eq!(pos, bytes.len(), "layout walk disagrees with image size");
+        for (cut, want) in expectations {
+            match EncodedLayer::from_bytes(&bytes[..cut]) {
+                Err(DecodeLayerError::Truncated { offset, section }) => {
+                    assert_eq!(section, want, "cut at byte {cut}");
+                    assert!(offset <= cut, "offset {offset} past the cut {cut}");
+                }
+                other => panic!("cut at {cut}: expected truncation in {want}, got {other:?}"),
+            }
         }
     }
 

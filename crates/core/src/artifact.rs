@@ -1,0 +1,644 @@
+//! The versioned `.eie` whole-model container: the deployment unit.
+//!
+//! EIE's lasting contribution (per the paper's retrospective) is the
+//! *compressed model as the artifact*: prune + quantize + CSC-encode
+//! once, then deploy the compact result everywhere it fits in SRAM. This
+//! module gives [`CompiledModel`] that container: a deterministic,
+//! checksummed, little-endian file format holding the accelerator
+//! configuration, network topology metadata and every layer's SRAM
+//! image, written by [`CompiledModel::save`] and read back — **fully
+//! validated** — by [`CompiledModel::load`].
+//!
+//! # Wire format (version 1, all integers little-endian)
+//!
+//! ```text
+//! preamble (16 bytes, not checksummed):
+//!   magic "EIEM" | version u16 | flags u16 (bit 0: shared codebook)
+//!   payload_len u32 | payload_crc32 u32 (CRC-32/IEEE over the payload)
+//! payload (payload_len bytes, checksummed):
+//!   config: num_pes u32 | fifo_depth u32 | spmat_width_bits u32
+//!           | index_bits u32 | clock_hz f64
+//!           | hw_flags u8 (bit0 lnzd, bit1 ptr_banked, bit2 accum_bypass)
+//!           | pad u8 × 3
+//!   topology: name_len u16 | name (UTF-8) | num_layers u32
+//!   per layer: image_len u32 | layer image (the "EIE1" format of
+//!              `EncodedLayer::to_bytes`, embedding its codebook)
+//! ```
+//!
+//! # Version & compatibility policy
+//!
+//! * The version is bumped for any layout change; readers reject
+//!   versions they do not support ([`ModelArtifactError::UnsupportedVersion`])
+//!   rather than guessing.
+//! * `flags` bits other than bit 0 are reserved **and must be zero**; a
+//!   reader rejects unknown bits, so future writers can only use them
+//!   with a version bump or for features old readers may safely ignore
+//!   being absent from.
+//! * The CRC covers the whole payload, so a bit flip anywhere in config,
+//!   topology or layer images is caught before layer validation runs.
+//! * Trailing bytes after the declared payload are an error (a truncated
+//!   *next* file concatenated onto this one should never pass).
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use eie_compress::{DecodeLayerError, EncodedLayer};
+
+use crate::{CompiledModel, EieConfig};
+
+/// Magic bytes heading every `.eie` model container.
+pub const MODEL_MAGIC: [u8; 4] = *b"EIEM";
+
+/// The container format version this build writes and reads.
+pub const MODEL_VERSION: u16 = 1;
+
+/// Recommended file extension for model containers.
+pub const MODEL_EXTENSION: &str = "eie";
+
+/// Flag bit 0: every layer shares one codebook.
+const FLAG_SHARED_CODEBOOK: u16 = 1 << 0;
+/// All bits a version-1 reader understands.
+const KNOWN_FLAGS: u16 = FLAG_SHARED_CODEBOOK;
+
+/// Preamble length: magic (4) + version (2) + flags (2) + payload_len
+/// (4) + crc32 (4).
+const PREAMBLE_LEN: usize = 16;
+
+/// Failure to decode (or read) a `.eie` model container.
+///
+/// Every rejection is typed: corrupt bytes surface as
+/// [`ChecksumMismatch`](Self::ChecksumMismatch) or a specific structural
+/// error, never as a panic or a silently-wrong model.
+#[derive(Debug)]
+pub enum ModelArtifactError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The bytes do not start with [`MODEL_MAGIC`].
+    BadMagic,
+    /// The container was written by an unsupported format version.
+    UnsupportedVersion {
+        /// Version found in the preamble.
+        found: u16,
+        /// Version this build supports.
+        supported: u16,
+    },
+    /// The container ended before the declared payload.
+    Truncated {
+        /// Byte offset at which data ran out.
+        offset: usize,
+        /// Which section was being read.
+        section: &'static str,
+    },
+    /// The payload's CRC-32 does not match the preamble's.
+    ChecksumMismatch {
+        /// Checksum stored in the preamble.
+        stored: u32,
+        /// Checksum computed over the payload.
+        computed: u32,
+    },
+    /// A header or topology field holds an impossible value.
+    BadHeader {
+        /// Which field was invalid.
+        field: &'static str,
+    },
+    /// A layer image failed to decode or validate.
+    Layer {
+        /// Index of the offending layer (input to output).
+        index: usize,
+        /// The layer-level error.
+        source: DecodeLayerError,
+    },
+    /// Consecutive layer dimensions do not chain into a network.
+    TopologyMismatch {
+        /// Index of the layer whose input dimension is wrong.
+        index: usize,
+        /// Output count of the previous layer.
+        expected: usize,
+        /// Input count the layer actually declares.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ModelArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelArtifactError::Io(e) => write!(f, "model file I/O failed: {e}"),
+            ModelArtifactError::BadMagic => write!(f, "not an EIE model container (bad magic)"),
+            ModelArtifactError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported model container version {found} (this build reads {supported})"
+            ),
+            ModelArtifactError::Truncated { offset, section } => write!(
+                f,
+                "model container truncated at byte {offset} while reading {section}"
+            ),
+            ModelArtifactError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "model payload corrupt: stored CRC {stored:#010x}, computed {computed:#010x}"
+            ),
+            ModelArtifactError::BadHeader { field } => {
+                write!(f, "invalid model header field: {field}")
+            }
+            ModelArtifactError::Layer { index, source } => {
+                write!(f, "layer {index} invalid: {source}")
+            }
+            ModelArtifactError::TopologyMismatch {
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "topology broken at layer {index}: previous layer outputs {expected} \
+                 values but this layer consumes {found}"
+            ),
+        }
+    }
+}
+
+impl Error for ModelArtifactError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelArtifactError::Io(e) => Some(e),
+            ModelArtifactError::Layer { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ModelArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ModelArtifactError::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial), bitwise — model payloads
+/// are small enough that a table buys nothing worth the code.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// A little-endian cursor with section attribution (the container
+/// counterpart of the layer-image reader in `eie-compress`).
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    fn enter(&mut self, section: &'static str) {
+        self.section = section;
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ModelArtifactError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(ModelArtifactError::Truncated {
+                offset: self.pos,
+                section: self.section,
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ModelArtifactError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ModelArtifactError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, ModelArtifactError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn f64(&mut self) -> Result<f64, ModelArtifactError> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+impl CompiledModel {
+    /// Serializes the model into the versioned `.eie` container format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+
+        // Config block.
+        let cfg = self.config();
+        payload.extend_from_slice(&(cfg.num_pes as u32).to_le_bytes());
+        payload.extend_from_slice(&(cfg.fifo_depth as u32).to_le_bytes());
+        payload.extend_from_slice(&cfg.spmat_width_bits.to_le_bytes());
+        payload.extend_from_slice(&cfg.index_bits.to_le_bytes());
+        payload.extend_from_slice(&cfg.clock_hz.to_le_bytes());
+        let hw_flags = u8::from(cfg.lnzd_tree)
+            | u8::from(cfg.ptr_banked) << 1
+            | u8::from(cfg.accumulator_bypass) << 2;
+        payload.push(hw_flags);
+        payload.extend_from_slice(&[0u8; 3]);
+
+        // Topology metadata.
+        let name = self.name().as_bytes();
+        assert!(name.len() <= u16::MAX as usize, "model name too long");
+        payload.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        payload.extend_from_slice(name);
+        payload.extend_from_slice(&(self.num_layers() as u32).to_le_bytes());
+
+        // Layer images (each embeds its codebook; sharing is recorded in
+        // the preamble flags and costs only the duplicated table bytes).
+        for layer in self.layers() {
+            let image = layer.to_bytes();
+            assert!(
+                image.len() <= u32::MAX as usize,
+                "layer image exceeds the container's u32 length field"
+            );
+            payload.extend_from_slice(&(image.len() as u32).to_le_bytes());
+            payload.extend_from_slice(&image);
+        }
+
+        let mut out = Vec::with_capacity(PREAMBLE_LEN + payload.len());
+        out.extend_from_slice(&MODEL_MAGIC);
+        out.extend_from_slice(&MODEL_VERSION.to_le_bytes());
+        let flags = if self.has_shared_codebook() {
+            FLAG_SHARED_CODEBOOK
+        } else {
+            0
+        };
+        out.extend_from_slice(&flags.to_le_bytes());
+        assert!(
+            payload.len() <= u32::MAX as usize,
+            "model payload exceeds the container's u32 length field"
+        );
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Deserializes and **validates** a `.eie` container: magic,
+    /// version, flags, checksum, config ranges, topology chaining and
+    /// every layer image's structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelArtifactError`] naming the first problem found;
+    /// corrupt bytes never reach a backend.
+    pub fn from_bytes(bytes: &[u8]) -> Result<CompiledModel, ModelArtifactError> {
+        let mut r = Reader {
+            bytes,
+            pos: 0,
+            section: "magic",
+        };
+        if r.take(4)? != MODEL_MAGIC {
+            return Err(ModelArtifactError::BadMagic);
+        }
+        r.enter("preamble");
+        let version = r.u16()?;
+        if version != MODEL_VERSION {
+            return Err(ModelArtifactError::UnsupportedVersion {
+                found: version,
+                supported: MODEL_VERSION,
+            });
+        }
+        let flags = r.u16()?;
+        if flags & !KNOWN_FLAGS != 0 {
+            return Err(ModelArtifactError::BadHeader { field: "flags" });
+        }
+        let payload_len = r.u32()? as usize;
+        let stored_crc = r.u32()?;
+        r.enter("payload");
+        let payload = r.take(payload_len)?;
+        if r.pos != bytes.len() {
+            return Err(ModelArtifactError::BadHeader {
+                field: "trailing bytes",
+            });
+        }
+        let computed = crc32(payload);
+        if computed != stored_crc {
+            return Err(ModelArtifactError::ChecksumMismatch {
+                stored: stored_crc,
+                computed,
+            });
+        }
+
+        let mut r = Reader {
+            bytes: payload,
+            pos: 0,
+            section: "config",
+        };
+        let num_pes = r.u32()? as usize;
+        let fifo_depth = r.u32()? as usize;
+        let spmat_width_bits = r.u32()?;
+        let index_bits = r.u32()?;
+        let clock_hz = r.f64()?;
+        let hw_flags = r.u8()?;
+        let _pad = r.take(3)?;
+        if num_pes == 0 || num_pes > 1 << 20 {
+            return Err(ModelArtifactError::BadHeader { field: "num_pes" });
+        }
+        if fifo_depth == 0 {
+            return Err(ModelArtifactError::BadHeader {
+                field: "fifo_depth",
+            });
+        }
+        if spmat_width_bits < 8 || spmat_width_bits % 8 != 0 {
+            return Err(ModelArtifactError::BadHeader {
+                field: "spmat_width_bits",
+            });
+        }
+        if !(1..=8).contains(&index_bits) {
+            return Err(ModelArtifactError::BadHeader {
+                field: "index_bits",
+            });
+        }
+        if !clock_hz.is_finite() || clock_hz <= 0.0 {
+            return Err(ModelArtifactError::BadHeader { field: "clock_hz" });
+        }
+        if hw_flags & !0b111 != 0 {
+            return Err(ModelArtifactError::BadHeader { field: "hw_flags" });
+        }
+        let config = EieConfig {
+            num_pes,
+            fifo_depth,
+            spmat_width_bits,
+            clock_hz,
+            index_bits,
+            lnzd_tree: hw_flags & 1 != 0,
+            ptr_banked: hw_flags & 2 != 0,
+            accumulator_bypass: hw_flags & 4 != 0,
+        };
+
+        r.enter("topology");
+        let name_len = r.u16()? as usize;
+        let name = std::str::from_utf8(r.take(name_len)?)
+            .map_err(|_| ModelArtifactError::BadHeader { field: "name" })?
+            .to_owned();
+        let num_layers = r.u32()? as usize;
+        if num_layers == 0 {
+            return Err(ModelArtifactError::BadHeader {
+                field: "num_layers",
+            });
+        }
+
+        let mut layers: Vec<EncodedLayer> = Vec::with_capacity(num_layers.min(1 << 16));
+        for index in 0..num_layers {
+            r.enter("layer image");
+            let image_len = r.u32()? as usize;
+            let image = r.take(image_len)?;
+            let layer = EncodedLayer::from_bytes(image)
+                .map_err(|source| ModelArtifactError::Layer { index, source })?;
+            if layer.num_pes() != config.num_pes {
+                return Err(ModelArtifactError::BadHeader {
+                    field: "layer num_pes",
+                });
+            }
+            if layer.index_bits() != config.index_bits {
+                return Err(ModelArtifactError::BadHeader {
+                    field: "layer index_bits",
+                });
+            }
+            if let Some(prev) = layers.last() {
+                if layer.cols() != prev.rows() {
+                    return Err(ModelArtifactError::TopologyMismatch {
+                        index,
+                        expected: prev.rows(),
+                        found: layer.cols(),
+                    });
+                }
+            }
+            layers.push(layer);
+        }
+        if r.pos != payload.len() {
+            return Err(ModelArtifactError::BadHeader {
+                field: "payload length",
+            });
+        }
+
+        let model = CompiledModel::from_parts(config, layers, name);
+        let shared_flag = flags & FLAG_SHARED_CODEBOOK != 0;
+        if shared_flag != model.has_shared_codebook() {
+            return Err(ModelArtifactError::BadHeader {
+                field: "shared-codebook flag",
+            });
+        }
+        Ok(model)
+    }
+
+    /// Writes the model to a `.eie` file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelArtifactError::Io`] when the file cannot be
+    /// written.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ModelArtifactError> {
+        fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads and validates a `.eie` file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelArtifactError::Io`] when the file cannot be read,
+    /// or any decode error from [`CompiledModel::from_bytes`].
+    pub fn load(path: impl AsRef<Path>) -> Result<CompiledModel, ModelArtifactError> {
+        let bytes = fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BackendKind;
+    use eie_nn::zoo::random_sparse;
+
+    fn sample_model() -> CompiledModel {
+        let w1 = random_sparse(32, 24, 0.25, 1);
+        let w2 = random_sparse(16, 32, 0.25, 2);
+        CompiledModel::compile(EieConfig::default().with_num_pes(4), &[&w1, &w2])
+            .with_name("unit-test model")
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value of CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let model = sample_model();
+        let restored = CompiledModel::from_bytes(&model.to_bytes()).expect("roundtrip");
+        assert_eq!(restored, model);
+        assert_eq!(restored.name(), "unit-test model");
+    }
+
+    #[test]
+    fn roundtrip_preserves_outputs_bit_exactly() {
+        let model = sample_model();
+        let restored = CompiledModel::from_bytes(&model.to_bytes()).unwrap();
+        let batch = vec![vec![0.5f32; 24]; 2];
+        let a = model.run_batch(BackendKind::Functional, &batch);
+        let b = restored.run_batch(BackendKind::Functional, &batch);
+        for i in 0..batch.len() {
+            assert_eq!(a.outputs(i), b.outputs(i));
+        }
+    }
+
+    #[test]
+    fn shared_codebook_flag_roundtrips() {
+        let w1 = random_sparse(24, 16, 0.3, 5);
+        let w2 = random_sparse(8, 24, 0.3, 6);
+        let shared = CompiledModel::compile_shared_codebook(
+            EieConfig::default().with_num_pes(2),
+            &[&w1, &w2],
+        );
+        assert!(shared.has_shared_codebook());
+        let bytes = shared.to_bytes();
+        assert_eq!(
+            u16::from_le_bytes([bytes[6], bytes[7]]) & FLAG_SHARED_CODEBOOK,
+            FLAG_SHARED_CODEBOOK
+        );
+        let restored = CompiledModel::from_bytes(&bytes).unwrap();
+        assert!(restored.has_shared_codebook());
+
+        let per_layer = CompiledModel::compile(EieConfig::default().with_num_pes(2), &[&w1, &w2]);
+        assert!(!per_layer.has_shared_codebook());
+        let restored = CompiledModel::from_bytes(&per_layer.to_bytes()).unwrap();
+        assert!(!restored.has_shared_codebook());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = sample_model().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            CompiledModel::from_bytes(&bytes),
+            Err(ModelArtifactError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let mut bytes = sample_model().to_bytes();
+        bytes[4..6].copy_from_slice(&(MODEL_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            CompiledModel::from_bytes(&bytes),
+            Err(ModelArtifactError::UnsupportedVersion { found, supported })
+                if found == MODEL_VERSION + 1 && supported == MODEL_VERSION
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let mut bytes = sample_model().to_bytes();
+        bytes[6] |= 0x80;
+        assert!(matches!(
+            CompiledModel::from_bytes(&bytes),
+            Err(ModelArtifactError::BadHeader { field: "flags" })
+        ));
+    }
+
+    #[test]
+    fn any_payload_bitflip_is_caught_by_the_checksum() {
+        let bytes = sample_model().to_bytes();
+        let stride = ((bytes.len() - PREAMBLE_LEN) / 61).max(1);
+        for pos in (PREAMBLE_LEN..bytes.len()).step_by(stride) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x01;
+            assert!(
+                matches!(
+                    CompiledModel::from_bytes(&corrupt),
+                    Err(ModelArtifactError::ChecksumMismatch { .. })
+                ),
+                "flip at byte {pos} escaped the checksum"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_prefix_length() {
+        let bytes = sample_model().to_bytes();
+        for cut in [
+            0usize,
+            3,
+            8,
+            PREAMBLE_LEN - 1,
+            PREAMBLE_LEN + 5,
+            bytes.len() - 1,
+        ] {
+            let r = CompiledModel::from_bytes(&bytes[..cut]);
+            assert!(
+                matches!(r, Err(ModelArtifactError::Truncated { .. })),
+                "prefix of {cut} bytes: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut bytes = sample_model().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            CompiledModel::from_bytes(&bytes),
+            Err(ModelArtifactError::BadHeader {
+                field: "trailing bytes"
+            })
+        ));
+    }
+
+    #[test]
+    fn save_and_load_through_a_file() {
+        let model = sample_model();
+        let path = std::env::temp_dir().join("eie_core_artifact_unit_test.eie");
+        model.save(&path).expect("save");
+        let restored = CompiledModel::load(&path).expect("load");
+        assert_eq!(restored, model);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_of_missing_file_is_io_error() {
+        let err = CompiledModel::load("/nonexistent/definitely/missing.eie").unwrap_err();
+        assert!(matches!(err, ModelArtifactError::Io(_)));
+        assert!(err.to_string().contains("I/O"));
+        use std::error::Error as _;
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_display_names_the_problem() {
+        let e = ModelArtifactError::TopologyMismatch {
+            index: 1,
+            expected: 32,
+            found: 24,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("layer 1") && s.contains("32") && s.contains("24"),
+            "{s}"
+        );
+        let e = ModelArtifactError::ChecksumMismatch {
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("corrupt"));
+    }
+}

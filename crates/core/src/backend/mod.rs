@@ -26,7 +26,7 @@ mod native;
 
 use std::fmt;
 
-use eie_compress::{compress, EncodedLayer};
+use eie_compress::{CodebookStrategy, EncodedLayer};
 use eie_fixed::Q8p8;
 use eie_nn::CsrMatrix;
 use eie_sim::SimStats;
@@ -183,12 +183,15 @@ pub trait Backend: fmt::Debug + Send + Sync {
 }
 
 /// A compressed model compiled for one accelerator configuration — the
-/// single artifact every [`Backend`] executes.
+/// single artifact every [`Backend`] executes, and the unit of
+/// deployment (serializable to the versioned `.eie` container via
+/// [`CompiledModel::save`] / [`CompiledModel::load`]).
 ///
 /// Compiling fixes the PE interleaving, codebooks and index width; after
 /// that the *same* artifact runs on the cycle model (for hardware
 /// numbers), the functional model (for verification) or the native
-/// kernel (for serving), with bit-identical outputs.
+/// kernel (for serving), with bit-identical outputs — whether it was
+/// compiled in-process or loaded from a `.eie` file.
 ///
 /// # Example
 ///
@@ -207,35 +210,53 @@ pub trait Backend: fmt::Debug + Send + Sync {
 /// let batch = vec![vec![1.0f32; 24]; 3];
 /// let result = model.run_batch(BackendKind::Functional, &batch);
 /// assert_eq!(result.batch_size(), 3);
+///
+/// // The artifact roundtrips through the container format bit-exactly.
+/// let restored = CompiledModel::from_bytes(&model.to_bytes()).unwrap();
+/// assert_eq!(restored, model);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompiledModel {
     config: EieConfig,
     layers: Vec<EncodedLayer>,
+    name: String,
 }
 
 impl CompiledModel {
     /// Compresses a feed-forward stack of pruned weight matrices for the
-    /// given accelerator configuration.
+    /// given accelerator configuration, one codebook per layer
+    /// (delegates to the unified
+    /// [`CompilePipeline`](eie_compress::CompilePipeline)).
     ///
     /// # Panics
     ///
     /// Panics if `weights` is empty, consecutive dimensions mismatch, or
     /// any matrix has no non-zeros.
     pub fn compile(config: EieConfig, weights: &[&CsrMatrix]) -> Self {
-        assert!(!weights.is_empty(), "model needs at least one layer");
-        for pair in weights.windows(2) {
-            assert_eq!(
-                pair[0].rows(),
-                pair[1].cols(),
-                "layer dimension mismatch in model"
-            );
+        let layers = config.pipeline().compile_stack(weights);
+        Self {
+            config,
+            layers,
+            name: String::new(),
         }
-        let layers = weights
-            .iter()
-            .map(|w| compress(w, config.compress_config()))
-            .collect();
-        Self { config, layers }
+    }
+
+    /// Like [`CompiledModel::compile`], but fits **one codebook shared
+    /// by every layer** (a single weight-decoder table for the chip).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CompiledModel::compile`].
+    pub fn compile_shared_codebook(config: EieConfig, weights: &[&CsrMatrix]) -> Self {
+        let layers = config
+            .pipeline()
+            .with_codebook_strategy(CodebookStrategy::Shared)
+            .compile_stack(weights);
+        Self {
+            config,
+            layers,
+            name: String::new(),
+        }
     }
 
     /// Compiles a single-layer model.
@@ -245,6 +266,37 @@ impl CompiledModel {
     /// Panics if the matrix has no non-zeros.
     pub fn compile_layer(config: EieConfig, weights: &CsrMatrix) -> Self {
         Self::compile(config, &[weights])
+    }
+
+    /// Constructor for deserialization and zoo export: adopts
+    /// already-encoded layers without re-running the pipeline. The
+    /// caller (the artifact loader) has validated the invariants.
+    pub(crate) fn from_parts(config: EieConfig, layers: Vec<EncodedLayer>, name: String) -> Self {
+        Self {
+            config,
+            layers,
+            name,
+        }
+    }
+
+    /// Names the model (recorded in the `.eie` container's topology
+    /// metadata; purely descriptive).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The model's name ("" when unnamed).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// True when every layer references one identical codebook (the
+    /// pipeline's shared-codebook mode; trivially true for one layer).
+    pub fn has_shared_codebook(&self) -> bool {
+        self.layers
+            .windows(2)
+            .all(|pair| pair[0].codebook() == pair[1].codebook())
     }
 
     /// The configuration the model was compiled for.
@@ -260,6 +312,13 @@ impl CompiledModel {
     /// The encoded layers, input to output.
     pub fn layers(&self) -> &[EncodedLayer] {
         &self.layers
+    }
+
+    /// The layers as a reference vector — the shape
+    /// [`Engine::run_network`](crate::Engine::run_network) and the
+    /// [`Backend`] network entry points consume.
+    pub fn layer_refs(&self) -> Vec<&EncodedLayer> {
+        self.layers.iter().collect()
     }
 
     /// One encoded layer.
@@ -290,16 +349,19 @@ impl CompiledModel {
     /// Panics if the batch is empty or an item's length differs from
     /// [`CompiledModel::input_dim`].
     pub fn run_batch(&self, kind: BackendKind, batch: &[Vec<f32>]) -> crate::BatchResult {
-        let refs: Vec<&EncodedLayer> = self.layers.iter().collect();
-        crate::Engine::with_backend(self.config, kind).run_network_batch(&refs, batch)
+        crate::Engine::with_backend(self.config, kind).run_network_batch(&self.layer_refs(), batch)
     }
 }
 
 impl fmt::Display for CompiledModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CompiledModel(")?;
+        if !self.name.is_empty() {
+            write!(f, "{:?}, ", self.name)?;
+        }
         write!(
             f,
-            "CompiledModel({} layers, {}→{}, {})",
+            "{} layers, {}→{}, {})",
             self.num_layers(),
             self.input_dim(),
             self.output_dim(),
@@ -311,6 +373,7 @@ impl fmt::Display for CompiledModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eie_compress::compress;
     use eie_nn::zoo::random_sparse;
 
     fn quantize(acts: &[f32]) -> Vec<Q8p8> {

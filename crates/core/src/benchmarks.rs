@@ -5,7 +5,7 @@ use std::fmt;
 use eie_compress::EncodedLayer;
 use eie_nn::zoo::{BenchLayer, Benchmark, DEFAULT_SEED};
 
-use crate::{EieConfig, Engine, ExecutionResult};
+use crate::{CompiledModel, EieConfig, Engine, ExecutionResult};
 
 /// A ready-to-run instance of one Table III benchmark: the generated
 /// layer, its compressed encoding for a given PE count, and a sampled
@@ -57,8 +57,7 @@ impl BenchmarkInstance {
 
     /// Prepares an instance from an already-generated layer.
     pub fn from_layer(layer: BenchLayer, config: EieConfig) -> Self {
-        let engine = Engine::new(config);
-        let encoded = engine.compress(&layer.weights);
+        let encoded = config.pipeline().compile_matrix(&layer.weights);
         let activations = layer.sample_activations(DEFAULT_SEED);
         Self {
             benchmark: layer.benchmark,
@@ -78,6 +77,53 @@ impl BenchmarkInstance {
     /// of the paper's "equivalent dense throughput" claims.
     pub fn dense_gop(&self) -> f64 {
         2.0 * (self.layer.weights.rows() * self.layer.weights.cols()) as f64 / 1e9
+    }
+}
+
+impl CompiledModel {
+    /// Zoo artifact export: compiles a Table III benchmark layer into a
+    /// single-layer [`CompiledModel`] ready to
+    /// [`save`](CompiledModel::save) as a `.eie` file — the
+    /// build-once/load-many entry point for the benchmark zoo.
+    ///
+    /// `divisor` scales both dimensions down (1 = the paper's full
+    /// size); the model is named `"<bench> 1/<divisor>"` so `eie
+    /// inspect` can identify what an artifact holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor == 0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use eie_core::{CompiledModel, EieConfig};
+    /// use eie_core::nn::zoo::{Benchmark, DEFAULT_SEED};
+    ///
+    /// let model = CompiledModel::from_zoo(
+    ///     Benchmark::Alex7,
+    ///     EieConfig::default().with_num_pes(4),
+    ///     DEFAULT_SEED,
+    ///     32,
+    /// );
+    /// assert_eq!(model.name(), "Alex-7 1/32");
+    /// let restored = CompiledModel::from_bytes(&model.to_bytes()).unwrap();
+    /// assert_eq!(restored, model);
+    /// ```
+    pub fn from_zoo(
+        benchmark: Benchmark,
+        config: EieConfig,
+        seed: u64,
+        divisor: usize,
+    ) -> CompiledModel {
+        assert!(divisor > 0, "divisor must be non-zero");
+        let layer = if divisor == 1 {
+            benchmark.generate(seed)
+        } else {
+            benchmark.generate_scaled(seed, divisor)
+        };
+        CompiledModel::compile_layer(config, &layer.weights)
+            .with_name(format!("{} 1/{divisor}", benchmark.name()))
     }
 }
 

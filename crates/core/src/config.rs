@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use eie_compress::CompressConfig;
+use eie_compress::{CompilePipeline, CompressConfig};
 use eie_energy::PeModel;
 use eie_sim::SimConfig;
 
@@ -161,6 +161,22 @@ impl EieConfig {
             index_bits: self.index_bits,
             ..CompressConfig::default()
         }
+    }
+
+    /// The unified compile pipeline (prune → quantize → encode →
+    /// validate → pack) for this accelerator config — the single code
+    /// path every compression entry point delegates to.
+    ///
+    /// ```
+    /// use eie_core::EieConfig;
+    /// use eie_core::nn::zoo::random_sparse;
+    ///
+    /// let w = random_sparse(32, 32, 0.2, 1);
+    /// let layer = EieConfig::default().with_num_pes(4).pipeline().compile_matrix(&w);
+    /// assert_eq!(layer.num_pes(), 4);
+    /// ```
+    pub fn pipeline(&self) -> CompilePipeline {
+        CompilePipeline::new(self.compress_config())
     }
 
     /// The simulator configuration implied by this accelerator config.

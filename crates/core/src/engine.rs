@@ -3,7 +3,7 @@
 use std::fmt;
 use std::time::Instant;
 
-use eie_compress::{compress, EncodedLayer};
+use eie_compress::EncodedLayer;
 use eie_energy::{EnergyReport, LayerActivity};
 use eie_fixed::Q8p8;
 use eie_nn::CsrMatrix;
@@ -210,11 +210,20 @@ impl Engine {
     /// Compresses a pruned layer for this engine's PE array
     /// (k-means weight sharing + interleaved CSC, paper §III).
     ///
+    /// Deprecated thin shim: the engine no longer owns a compression
+    /// path. Use the unified pipeline ([`EieConfig::pipeline`]) or
+    /// compile a whole-model artifact with
+    /// [`CompiledModel`](crate::CompiledModel).
+    ///
     /// # Panics
     ///
     /// Panics if the matrix has no non-zeros.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use EieConfig::pipeline().compile_matrix(..) or CompiledModel::compile"
+    )]
     pub fn compress(&self, weights: &CsrMatrix) -> EncodedLayer {
-        compress(weights, self.config.compress_config())
+        self.config.pipeline().compile_matrix(weights)
     }
 
     fn check_layer(&self, layer: &EncodedLayer) {
@@ -363,7 +372,7 @@ mod tests {
     #[test]
     fn compress_then_run_produces_consistent_result() {
         let (engine, layer) = small_engine();
-        let enc = engine.compress(&layer.weights);
+        let enc = engine.config().pipeline().compile_matrix(&layer.weights);
         let acts = layer.sample_activations(3);
         let result = engine.run_layer(&enc, &acts);
         assert_eq!(result.run.outputs.len(), layer.weights.rows());
@@ -374,9 +383,21 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_compress_shim_matches_the_pipeline() {
+        // The legacy entry point must stay a bit-exact alias of the
+        // unified pipeline until it is removed.
+        let (engine, layer) = small_engine();
+        assert_eq!(
+            engine.compress(&layer.weights),
+            engine.config().pipeline().compile_matrix(&layer.weights)
+        );
+    }
+
+    #[test]
     fn activity_conversion_sums_pe_counters() {
         let (engine, layer) = small_engine();
-        let enc = engine.compress(&layer.weights);
+        let enc = engine.config().pipeline().compile_matrix(&layer.weights);
         let result = engine.run_layer(&enc, &layer.sample_activations(1));
         let act = activity_from_stats(&result.run.stats);
         assert_eq!(act.num_pes, 4);
@@ -391,7 +412,7 @@ mod tests {
         let slow = Engine::new(EieConfig::default().with_num_pes(4).with_clock_hz(800e6));
         let fast = Engine::new(EieConfig::default().with_num_pes(4).with_clock_hz(1.6e9));
         let acts = layer.sample_activations(9);
-        let enc = slow.compress(&layer.weights);
+        let enc = slow.config().pipeline().compile_matrix(&layer.weights);
         let t_slow = slow.run_layer(&enc, &acts).time_us();
         let t_fast = fast.run_layer(&enc, &acts).time_us();
         assert!((t_slow / t_fast - 2.0).abs() < 1e-9);
@@ -402,7 +423,7 @@ mod tests {
     fn rejects_pe_count_mismatch() {
         let (engine, layer) = small_engine();
         let other = Engine::new(EieConfig::default().with_num_pes(8));
-        let enc = other.compress(&layer.weights);
+        let enc = other.config().pipeline().compile_matrix(&layer.weights);
         let _ = engine.run_layer(&enc, &layer.sample_activations(1));
     }
 
@@ -411,8 +432,8 @@ mod tests {
         let engine = Engine::new(EieConfig::default().with_num_pes(2));
         let w1 = eie_nn::zoo::random_sparse(32, 24, 0.3, 1);
         let w2 = eie_nn::zoo::random_sparse(16, 32, 0.3, 2);
-        let l1 = engine.compress(&w1);
-        let l2 = engine.compress(&w2);
+        let l1 = engine.config().pipeline().compile_matrix(&w1);
+        let l2 = engine.config().pipeline().compile_matrix(&w2);
         let input: Vec<f32> = (0..24).map(|i| (i % 3) as f32).collect();
         let net = engine.run_network(&[&l1, &l2], &input);
         assert_eq!(net.run.outputs.len(), 16);
@@ -429,7 +450,7 @@ mod tests {
     fn network_result_has_execution_result_parity() {
         let engine = Engine::new(EieConfig::default().with_num_pes(2));
         let w = eie_nn::zoo::random_sparse(24, 24, 0.3, 7);
-        let l = engine.compress(&w);
+        let l = engine.config().pipeline().compile_matrix(&w);
         let input: Vec<f32> = (0..24).map(|i| (i % 4) as f32 * 0.5).collect();
         let net = engine.run_network(&[&l], &input);
         let single = engine.run_layer(&l, &input);
@@ -448,7 +469,7 @@ mod tests {
     #[test]
     fn cycle_batch_matches_per_item_runs_and_prices_energy() {
         let (engine, layer) = small_engine();
-        let enc = engine.compress(&layer.weights);
+        let enc = engine.config().pipeline().compile_matrix(&layer.weights);
         let batch = layer.sample_activation_batch(5, 3);
         let result = engine.run_batch(&enc, &batch);
         assert_eq!(result.backend, "cycle-accurate");
@@ -474,7 +495,7 @@ mod tests {
     #[test]
     fn host_backends_agree_with_cycle_batch_outputs() {
         let (engine, layer) = small_engine();
-        let enc = engine.compress(&layer.weights);
+        let enc = engine.config().pipeline().compile_matrix(&layer.weights);
         let batch = layer.sample_activation_batch(11, 4);
         let cycle = engine.run_batch(&enc, &batch);
         for kind in [BackendKind::Functional, BackendKind::NativeCpu(2)] {
@@ -495,8 +516,8 @@ mod tests {
         );
         let w1 = eie_nn::zoo::random_sparse(32, 24, 0.3, 1);
         let w2 = eie_nn::zoo::random_sparse(16, 32, 0.3, 2);
-        let l1 = engine.compress(&w1);
-        let l2 = engine.compress(&w2);
+        let l1 = engine.config().pipeline().compile_matrix(&w1);
+        let l2 = engine.config().pipeline().compile_matrix(&w2);
         let batch: Vec<Vec<f32>> = (0..5)
             .map(|s| (0..24).map(|i| ((i + s) % 3) as f32).collect())
             .collect();
@@ -513,7 +534,7 @@ mod tests {
     #[should_panic(expected = "batch must be non-empty")]
     fn rejects_empty_batch() {
         let (engine, layer) = small_engine();
-        let enc = engine.compress(&layer.weights);
+        let enc = engine.config().pipeline().compile_matrix(&layer.weights);
         let _ = engine.run_batch(&enc, &[]);
     }
 }

@@ -5,8 +5,11 @@
 //!
 //! 1. **Configure** the accelerator with [`EieConfig`] (PE count, FIFO
 //!    depth, SRAM width, clock — the design parameters of paper §IV/§VI),
-//! 2. **Compress** a pruned layer with [`Engine::compress`] (weight
-//!    sharing + interleaved CSC, paper §III),
+//! 2. **Compile** pruned weights through the unified pipeline
+//!    ([`EieConfig::pipeline`], or [`CompiledModel::compile`] for a
+//!    whole model — weight sharing + interleaved CSC, paper §III) and
+//!    optionally **deploy** the result as a versioned `.eie` artifact
+//!    ([`CompiledModel::save`] / [`CompiledModel::load`]),
 //! 3. **Execute** it cycle-accurately with [`Engine::run_layer`] /
 //!    [`Engine::run_network`], obtaining outputs, cycle statistics,
 //!    wall-clock time and an activity-based energy report,
@@ -27,8 +30,9 @@
 //!
 //! // AlexNet FC7 shape at 1/32 scale, Table III densities.
 //! let layer = Benchmark::Alex7.generate_scaled(1, 32);
-//! let engine = Engine::new(EieConfig::default().with_num_pes(4));
-//! let compressed = engine.compress(&layer.weights);
+//! let config = EieConfig::default().with_num_pes(4);
+//! let compressed = config.pipeline().compile_matrix(&layer.weights);
+//! let engine = Engine::new(config);
 //! let result = engine.run_layer(&compressed, &layer.sample_activations(7));
 //! assert!(result.time_us() > 0.0);
 //! assert!(result.energy.total_uj() > 0.0);
@@ -37,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod artifact;
 pub mod backend;
 mod batch;
 mod benchmarks;
@@ -44,6 +49,7 @@ mod config;
 mod engine;
 pub mod prelude;
 
+pub use artifact::{ModelArtifactError, MODEL_EXTENSION, MODEL_MAGIC, MODEL_VERSION};
 pub use backend::{
     Backend, BackendKind, BackendRun, CompiledModel, CycleAccurate, Functional, NativeCpu,
 };

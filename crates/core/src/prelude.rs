@@ -3,21 +3,22 @@
 //! ```
 //! use eie_core::prelude::*;
 //!
-//! let engine = Engine::new(EieConfig::default().with_num_pes(2));
+//! let config = EieConfig::default().with_num_pes(2);
 //! let weights = random_sparse(32, 32, 0.2, 1);
-//! let layer = engine.compress(&weights);
-//! let out = engine.run_layer(&layer, &vec![1.0; 32]);
+//! let layer = config.pipeline().compile_matrix(&weights);
+//! let out = Engine::new(config).run_layer(&layer, &vec![1.0; 32]);
 //! assert_eq!(out.run.outputs.len(), 32);
 //! ```
 
 pub use crate::{
     activity_from_stats, Backend, BackendKind, BackendRun, BatchResult, BenchmarkInstance,
-    CompiledModel, CycleAccurate, EieConfig, Engine, ExecutionResult, Functional, NativeCpu,
-    NetworkResult,
+    CompiledModel, CycleAccurate, EieConfig, Engine, ExecutionResult, Functional,
+    ModelArtifactError, NativeCpu, NetworkResult,
 };
 
 pub use eie_compress::{
-    compress, encode_with_codebook, Codebook, CompressConfig, EncodedLayer, EncodingStats,
+    compress, encode_with_codebook, Codebook, CodebookStrategy, CompilePipeline, CompressConfig,
+    EncodedLayer, EncodingStats,
 };
 pub use eie_energy::{platform::Platform, EnergyReport, LayerActivity, PeModel, SramModel};
 pub use eie_fixed::{Accum32, Fix16, Precision, Q8p8, QFormat};

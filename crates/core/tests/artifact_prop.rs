@@ -1,0 +1,110 @@
+//! Property test for the `.eie` whole-model container: for random layer
+//! stacks × PE counts × codebook-sharing choices, `save → load` must be
+//! an identity and the loaded artifact must run **bit-exactly** like the
+//! in-process compile on all three backends.
+
+use eie_core::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a stack of 1..=3 chained sparse matrices, a PE count from
+/// {1, 2, 3, 4, 8}, whether to share one codebook, and a small batch.
+#[allow(clippy::type_complexity)]
+fn arb_model_case() -> impl Strategy<Value = (Vec<CsrMatrix>, usize, bool, Vec<Vec<f32>>)> {
+    (
+        1usize..=3,
+        8usize..32,
+        0.1f64..0.5,
+        any::<u64>(),
+        prop_oneof![Just(1usize), Just(2), Just(3), Just(4), Just(8)],
+        any::<bool>(),
+        1usize..4,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(depth, dim_base, density, seed, pes, shared, batch, act_seed)| {
+                // Chained dims: in -> d1 -> d2 ... derived from the seed
+                // so consecutive matrices compose.
+                let mut dims = Vec::with_capacity(depth + 1);
+                let mut d = dim_base;
+                for i in 0..=depth {
+                    dims.push(d);
+                    d = 8 + (d * 7 + i * 13 + seed as usize % 11) % 24;
+                }
+                let weights: Vec<CsrMatrix> = dims
+                    .windows(2)
+                    .enumerate()
+                    .map(|(i, pair)| {
+                        let mut m =
+                            random_sparse(pair[1], pair[0], density, seed.wrapping_add(i as u64));
+                        let mut reroll = seed;
+                        while m.nnz() == 0 {
+                            reroll = reroll.wrapping_add(0x9E37_79B9);
+                            m = random_sparse(pair[1], pair[0], density.max(0.3), reroll);
+                        }
+                        m
+                    })
+                    .collect();
+                let input_dim = dims[0];
+                let batch: Vec<Vec<f32>> = (0..batch as u64)
+                    .map(|i| {
+                        eie_core::nn::zoo::sample_activations(
+                            input_dim,
+                            0.5,
+                            true,
+                            act_seed.wrapping_add(i),
+                        )
+                    })
+                    .collect();
+                (weights, pes, shared, batch)
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// save → load is the identity, the shared-codebook property
+    /// survives, and all three backends produce outputs bit-identical
+    /// to the never-serialized model's.
+    #[test]
+    fn container_roundtrip_is_bit_exact_on_all_backends(
+        (weights, pes, shared, batch) in arb_model_case()
+    ) {
+        let config = EieConfig::default().with_num_pes(pes);
+        let refs: Vec<&CsrMatrix> = weights.iter().collect();
+        let model = if shared {
+            CompiledModel::compile_shared_codebook(config, &refs)
+        } else {
+            CompiledModel::compile(config, &refs)
+        }
+        .with_name("prop roundtrip");
+
+        let loaded = match CompiledModel::from_bytes(&model.to_bytes()) {
+            Ok(m) => m,
+            Err(e) => return Err(proptest::test_runner::TestCaseError::fail(
+                format!("roundtrip failed: {e}"),
+            )),
+        };
+        prop_assert_eq!(&loaded, &model);
+        if shared {
+            prop_assert!(loaded.has_shared_codebook());
+        }
+
+        let golden = model.run_batch(BackendKind::Functional, &batch);
+        for kind in [
+            BackendKind::Functional,
+            BackendKind::CycleAccurate,
+            BackendKind::NativeCpu(2),
+        ] {
+            let from_disk = loaded.run_batch(kind, &batch);
+            for i in 0..batch.len() {
+                prop_assert_eq!(
+                    from_disk.outputs(i),
+                    golden.outputs(i),
+                    "{} diverged at item {} (pes={}, shared={})",
+                    kind, i, pes, shared
+                );
+            }
+        }
+    }
+}

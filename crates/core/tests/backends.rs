@@ -24,10 +24,9 @@ fn quantize_batch(batch: &[Vec<f32>]) -> Vec<Vec<Q8p8>> {
 #[test]
 fn all_backends_bit_exact_on_every_zoo_benchmark_at_4_pes() {
     let config = EieConfig::default().with_num_pes(4);
-    let engine = Engine::new(config);
     for benchmark in Benchmark::ALL {
         let layer = benchmark.generate_scaled(DEFAULT_SEED, 32);
-        let enc = engine.compress(&layer.weights);
+        let enc = config.pipeline().compile_matrix(&layer.weights);
         let batch = quantize_batch(&layer.sample_activation_batch(DEFAULT_SEED, 3));
 
         let functional = Functional::new();
@@ -104,7 +103,7 @@ fn native_batch_outpaces_functional_per_item_loop() {
     let config = EieConfig::default().with_num_pes(8);
     let layer = Benchmark::Alex7.generate_scaled(DEFAULT_SEED, 4); // 1024×1024 @ 9%
     let engine = Engine::with_backend(config, BackendKind::NativeCpu(4));
-    let enc = engine.compress(&layer.weights);
+    let enc = config.pipeline().compile_matrix(&layer.weights);
     let batch = layer.sample_activation_batch(DEFAULT_SEED, 64);
     let quantized = quantize_batch(&batch);
 

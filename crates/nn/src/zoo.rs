@@ -54,6 +54,27 @@ impl Benchmark {
         Benchmark::NtLstm,
     ];
 
+    /// Parses a benchmark from its name, forgiving about case and
+    /// punctuation: `"Alex-7"`, `"alex7"` and `"ALEX_7"` all name
+    /// [`Benchmark::Alex7`]. Returns `None` for unknown names — the
+    /// artifact tooling (`eie compress --zoo <name>`) resolves user
+    /// input through this.
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        let canonical: String = name
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        Benchmark::ALL.into_iter().find(|b| {
+            b.name()
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .map(|c| c.to_ascii_lowercase())
+                .collect::<String>()
+                == canonical
+        })
+    }
+
     /// The paper's display name (e.g. `"Alex-6"`).
     pub fn name(self) -> &'static str {
         match self {
@@ -320,6 +341,18 @@ mod tests {
                 "NT-LSTM"
             ]
         );
+    }
+
+    #[test]
+    fn from_name_roundtrips_and_forgives_formatting() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Benchmark::from_name("alex7"), Some(Benchmark::Alex7));
+        assert_eq!(Benchmark::from_name("VGG_6"), Some(Benchmark::Vgg6));
+        assert_eq!(Benchmark::from_name("nt-lstm"), Some(Benchmark::NtLstm));
+        assert_eq!(Benchmark::from_name("resnet50"), None);
+        assert_eq!(Benchmark::from_name(""), None);
     }
 
     #[test]

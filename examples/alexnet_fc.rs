@@ -49,10 +49,11 @@ fn main() {
         fc8.weights.cols()
     );
 
-    let enc6 = engine.compress(&fc6.weights);
-    let enc7 = engine.compress(&fc7.weights);
-    let enc8 = engine.compress(&fc8.weights);
-    let total_entries = enc6.total_entries() + enc7.total_entries() + enc8.total_entries();
+    // One whole-model artifact: the classifier head as a single
+    // CompiledModel, the unit a `.eie` file stores.
+    let model = CompiledModel::compile(config, &[&fc6.weights, &fc7.weights, &fc8.weights])
+        .with_name(format!("AlexNet FC6-8 1/{s}"));
+    let total_entries: usize = model.layers().iter().map(|l| l.total_entries()).sum();
     println!(
         "compressed: {total_entries} entries total ({:.1} KB/PE sparse-matrix storage)",
         total_entries as f64 / config.num_pes as f64 / 1024.0
@@ -63,7 +64,7 @@ fn main() {
     let input = fc6.sample_activations(DEFAULT_SEED);
 
     // Run the whole classifier head on the accelerator.
-    let result = engine.run_network(&[&enc6, &enc7, &enc8], &input);
+    let result = engine.run_network(&model.layer_refs(), &input);
     println!("\nper-layer results:");
     for (name, run) in ["FC6", "FC7", "FC8"].iter().zip(&result.run.layers) {
         println!(

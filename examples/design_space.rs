@@ -26,7 +26,7 @@ fn main() {
     // --- FIFO depth: pick the knee of the load-balance curve ----------
     println!("FIFO depth sweep (16 PEs):");
     let engine16 = Engine::new(EieConfig::default().with_num_pes(16));
-    let enc16 = engine16.compress(&weights);
+    let enc16 = engine16.config().pipeline().compile_matrix(&weights);
     for depth in [1usize, 2, 4, 8, 16, 32] {
         let cfg = EieConfig::default().with_num_pes(16).with_fifo_depth(depth);
         let result = Engine::new(cfg).run_layer(&enc16, &acts);
@@ -43,7 +43,7 @@ fn main() {
     for pes in [1usize, 4, 16, 64] {
         let cfg = EieConfig::default().with_num_pes(pes);
         let engine = Engine::new(cfg);
-        let enc = engine.compress(&weights);
+        let enc = cfg.pipeline().compile_matrix(&weights);
         let result = engine.run_layer(&enc, &acts);
         let cycles = result.run.stats.total_cycles;
         let b = *base.get_or_insert(cycles);

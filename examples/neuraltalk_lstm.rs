@@ -52,9 +52,13 @@ fn main() {
         wd.weights.cols()
     );
 
-    let enc_we = engine.compress(&we.weights);
-    let enc_lstm = engine.compress(&lstm_w.weights);
-    let enc_wd = engine.compress(&wd.weights);
+    // Three independent artifacts (embedding, gates, decoder): the
+    // caption loop below mixes them per step, so they are compiled as
+    // separate single-layer models through the unified pipeline.
+    let pipeline = engine.config().pipeline();
+    let enc_we = pipeline.compile_matrix(&we.weights);
+    let enc_lstm = pipeline.compile_matrix(&lstm_w.weights);
+    let enc_wd = pipeline.compile_matrix(&wd.weights);
 
     // Step 0: embed the "image feature" through We on the accelerator.
     let image_feature = we.sample_activations(DEFAULT_SEED);

@@ -1,13 +1,20 @@
-//! Quickstart: compress a dense FC layer end-to-end and run it on the
-//! simulated EIE accelerator.
+//! Quickstart: the model lifecycle end to end — compile a dense FC layer
+//! through the unified pipeline, save the versioned `.eie` artifact,
+//! load it back, and run it on the simulated EIE accelerator.
 //!
-//! Walks the full Deep Compression + EIE pipeline of the paper on a small
-//! dense layer: magnitude pruning (§III) → k-means weight sharing →
-//! interleaved CSC encoding → cycle-accurate execution (§IV) → time,
-//! energy and verification against the dense f32 reference.
+//! Walks the paper's full flow: magnitude pruning (§III) → k-means
+//! weight sharing → interleaved CSC encoding → validation → a `.eie`
+//! model container → cycle-accurate execution (§IV) → time, energy and
+//! verification against the f32 reference.
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! ```
+//!
+//! The same lifecycle is scriptable from the shell:
+//!
+//! ```text
+//! eie compress --zoo alex7 -o model.eie && eie run model.eie --verify
 //! ```
 
 use eie::compress::prune::prune_to_density;
@@ -22,31 +29,42 @@ fn main() {
     });
     println!("dense layer : 256x512 = {} weights", 256 * 512);
 
-    // 2. Prune to 10% density (Deep Compression stage 1).
+    // 2. Prune to 10% density (Deep Compression stage 1), then compile:
+    //    codebook fit, interleaved CSC encoding and validation all run
+    //    inside the unified pipeline behind `CompiledModel::compile`.
+    let config = EieConfig::default().with_num_pes(16);
     let pruned = prune_to_density(&dense, 0.10);
     println!(
         "pruned      : {} non-zeros ({:.1}% density)",
         pruned.nnz(),
         pruned.density() * 100.0
     );
-
-    // 3. Weight sharing + interleaved CSC for a 16-PE accelerator
-    //    (Deep Compression stage 2 + EIE's storage format).
-    let engine = Engine::new(EieConfig::default().with_num_pes(16));
-    let encoded = engine.compress(&pruned);
-    let stats = encoded.stats();
+    let model = CompiledModel::compile_layer(config, &pruned).with_name("quickstart fc");
+    let stats = model.layer(0).stats();
     println!(
-        "compressed  : {} entries ({} padding), {:.1}x smaller than dense f32",
+        "compiled    : {} entries ({} padding), {:.1}x smaller than dense f32",
         stats.total_entries(),
         stats.padding_entries,
         stats.compression_ratio()
     );
 
+    // 3. Save the versioned .eie artifact — the deployment unit — then
+    //    load it back as any serving worker would.
+    let path = std::env::temp_dir().join("quickstart.eie");
+    model.save(&path).expect("save artifact");
+    let loaded = CompiledModel::load(&path).expect("load artifact");
+    println!(
+        "artifact    : {} ({} bytes on disk)",
+        loaded,
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
+    );
+
     // 4. A 35%-dense input activation vector (post-ReLU statistics).
     let acts = eie::nn::zoo::sample_activations(512, 0.35, false, 42);
 
-    // 5. Cycle-accurate execution.
-    let result = engine.run_layer(&encoded, &acts);
+    // 5. Cycle-accurate execution of the loaded artifact.
+    let engine = Engine::new(*loaded.config());
+    let result = engine.run_layer(loaded.layer(0), &acts);
     println!(
         "execution   : {} cycles = {:.2} µs at 800 MHz",
         result.run.stats.total_cycles,
@@ -63,9 +81,10 @@ fn main() {
         result.average_power_w() * 1e3
     );
 
-    // 6. Verify against the dense f32 reference (the compressed model is
-    //    quantized, so allow codebook + fixed-point tolerance).
-    let quantized_ref = encoded.spmv_f32(&acts);
+    // 6. Verify against the f32 reference on the encoded form (the
+    //    compressed model is quantized, so allow codebook + fixed-point
+    //    tolerance).
+    let quantized_ref = loaded.layer(0).spmv_f32(&acts);
     let outputs = result.run.outputs_f32();
     let max_err = outputs
         .iter()
@@ -74,5 +93,6 @@ fn main() {
         .fold(0.0f32, f32::max);
     println!("verification: max |sim - reference| = {max_err:.4}");
     assert!(max_err < 0.25, "simulation diverged from reference");
+    let _ = std::fs::remove_file(&path);
     println!("OK");
 }

@@ -1,10 +1,13 @@
-//! Serving a compressed model in batches on the pluggable backends.
+//! Serving a compressed model in batches on the pluggable backends —
+//! build once, load many.
 //!
-//! Compiles a two-layer feed-forward model once (the `CompiledModel`
-//! artifact), then serves the same batch three ways: the host-speed
-//! `NativeCpu` kernel (real serving), the functional golden model
-//! (verification), and the cycle-accurate simulator (modelled hardware
-//! latency and energy). Outputs are bit-identical across all three.
+//! Compiles a two-layer feed-forward model once, saves the versioned
+//! `.eie` artifact, **reloads it** (as every serving worker would), then
+//! serves the same batch three ways: the host-speed `NativeCpu` kernel
+//! (real serving), the functional golden model (verification), and the
+//! cycle-accurate simulator (modelled hardware latency and energy).
+//! Outputs are bit-identical across all three — and identical whether
+//! the model came from memory or from disk.
 //!
 //! ```text
 //! cargo run --release --example serve_batch
@@ -13,20 +16,28 @@
 use eie::prelude::*;
 
 fn main() {
-    // 1. A small two-layer network: Alex-7-like shapes at 1/16 scale.
+    // 1. Build once: a small two-layer network (Alex-7-like shapes at
+    //    1/16 scale) compiled into a .eie artifact on disk.
     let w1 = random_sparse(256, 256, 0.09, 1);
     let w2 = random_sparse(64, 256, 0.09, 2);
     let config = EieConfig::default().with_num_pes(16);
-    let model = CompiledModel::compile(config, &[&w1, &w2]);
-    println!("compiled    : {model}");
+    let compiled = CompiledModel::compile(config, &[&w1, &w2]).with_name("serve demo");
+    let path = std::env::temp_dir().join("serve_batch.eie");
+    compiled.save(&path).expect("save artifact");
 
-    // 2. A batch of 32 requests at AlexNet FC7 activation density.
+    // 2. Load many: serving workers start from the validated artifact,
+    //    never from f32 weights.
+    let model = CompiledModel::load(&path).expect("load artifact");
+    assert_eq!(model, compiled, "artifact roundtrip must be bit-exact");
+    println!("loaded      : {model}");
+
+    // 3. A batch of 32 requests at AlexNet FC7 activation density.
     let batch: Vec<Vec<f32>> = (0..32u64)
         .map(|i| eie::nn::zoo::sample_activations(256, 0.35, false, 40 + i))
         .collect();
     println!("requests    : batch of {}", batch.len());
 
-    // 3. Serve on the native kernel (one worker per core).
+    // 4. Serve on the native kernel (one worker per core).
     let native = model.run_batch(BackendKind::NativeCpu(0), &batch);
     println!(
         "native-cpu  : {:.0} frames/s, batch wall {:.1} µs",
@@ -34,7 +45,7 @@ fn main() {
         native.wall_time_us()
     );
 
-    // 4. Verify against the golden model — bit-identical outputs.
+    // 5. Verify against the golden model — bit-identical outputs.
     let golden = model.run_batch(BackendKind::Functional, &batch);
     for i in 0..batch.len() {
         assert_eq!(native.outputs(i), golden.outputs(i), "bit-exactness broken");
@@ -44,7 +55,7 @@ fn main() {
         batch.len()
     );
 
-    // 5. What the accelerator itself would do, per frame (batch 1 —
+    // 6. What the accelerator itself would do, per frame (batch 1 —
     //    EIE's latency needs no batching; §VI-B).
     let hw = model.run_batch(BackendKind::CycleAccurate, &batch[..4]);
     println!(
@@ -58,5 +69,6 @@ fn main() {
     for i in 0..4 {
         assert_eq!(hw.outputs(i), golden.outputs(i), "cycle model diverged");
     }
+    let _ = std::fs::remove_file(&path);
     println!("done        : one artifact, three engines, same bits");
 }

@@ -48,12 +48,10 @@ fn main() {
     // --- compress the 16 position matrices for EIE ---------------------
     // The Winograd kernel transform preserves much of the pruned
     // sparsity structure; here we prune each U^(i,j) to 25% directly.
+    // The pipeline's dense path: prune (to 25%) -> codebook -> encode.
+    let pipeline = engine.config().pipeline().with_prune_density(0.25);
     let encoded: Vec<EncodedLayer> = (0..16)
-        .map(|pos| {
-            let u = conv.position_matrix(pos / 4, pos % 4);
-            let pruned = prune_to_density(u, 0.25);
-            engine.compress(&pruned)
-        })
+        .map(|pos| pipeline.compile_dense(conv.position_matrix(pos / 4, pos % 4)))
         .collect();
     let entries: usize = encoded.iter().map(|e| e.total_entries()).sum();
     println!("compressed: 16 position matrices, {entries} total entries");
@@ -110,7 +108,7 @@ fn main() {
     // --- 1x1 convolution rides the same path ---------------------------
     let w1x1 = Matrix::from_fn(out_ch, in_ch, |r, c| ((r * 7 + c) as f32 * 0.11).sin());
     let pruned = prune_to_density(&w1x1, 0.2);
-    let enc1 = engine.compress(&pruned);
+    let enc1 = engine.config().pipeline().compile_matrix(&pruned);
     let ref1 = conv1x1(&pruned.to_dense(), &input);
     let mut max_err1 = 0.0f32;
     let mut cycles1 = 0u64;

@@ -23,7 +23,7 @@ fn conv1x1_on_eie_matches_reference() {
     let w = Matrix::from_fn(out_ch, in_ch, |r, c| ((r * 5 + c) as f32 * 0.23).sin());
     let pruned = prune_to_density(&w, 0.3);
     let engine = Engine::new(EieConfig::default().with_num_pes(4));
-    let enc = engine.compress(&pruned);
+    let enc = engine.config().pipeline().compile_matrix(&pruned);
 
     let input = relu_map(in_ch, 5, 6);
     let reference = conv1x1(&enc.decode().to_dense(), &input);
@@ -65,7 +65,7 @@ fn winograd_on_eie_matches_reference() {
     let encoded: Vec<EncodedLayer> = (0..16)
         .map(|pos| {
             let pruned = prune_to_density(conv.position_matrix(pos / 4, pos % 4), 0.5);
-            engine.compress(&pruned)
+            engine.config().pipeline().compile_matrix(&pruned)
         })
         .collect();
 
@@ -101,7 +101,10 @@ fn winograd_exploits_dynamic_sparsity() {
     let engine = Engine::new(EieConfig::default().with_num_pes(2));
     // Position (1,1) mixes all kernel taps (G row 1 = [1/2,1/2,1/2]), so
     // its U matrix is dense even for center-only kernels.
-    let enc = engine.compress(&prune_to_density(conv.position_matrix(1, 1), 0.9));
+    let enc = engine
+        .config()
+        .pipeline()
+        .compile_matrix(&prune_to_density(conv.position_matrix(1, 1), 0.9));
 
     // A mostly-zero input map → mostly-zero transformed vectors.
     let input = FeatureMap::from_fn(in_ch, 4, 4, |c, y, x| {

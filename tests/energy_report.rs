@@ -6,7 +6,7 @@ use eie::prelude::*;
 fn run_benchmark(pes: usize) -> ExecutionResult {
     let layer = Benchmark::Alex7.generate_scaled(DEFAULT_SEED, 8); // 512×512
     let engine = Engine::new(EieConfig::default().with_num_pes(pes));
-    let encoded = engine.compress(&layer.weights);
+    let encoded = engine.config().pipeline().compile_matrix(&layer.weights);
     engine.run_layer(&encoded, &layer.sample_activations(DEFAULT_SEED))
 }
 

@@ -1,0 +1,133 @@
+//! The model-lifecycle acceptance test: a zoo model compiled to a
+//! `.eie` file and reloaded must produce **bit-exact** outputs versus
+//! the in-process compile on all three backends, and corrupt /
+//! truncated / version-mismatched files must be rejected with typed
+//! errors. (Runs in CI as part of the tier-1 suite.)
+
+use eie::prelude::*;
+use eie::{MODEL_MAGIC, MODEL_VERSION};
+
+fn zoo_model() -> CompiledModel {
+    CompiledModel::from_zoo(
+        Benchmark::Alex7,
+        EieConfig::default().with_num_pes(8),
+        DEFAULT_SEED,
+        32,
+    )
+}
+
+#[test]
+fn saved_zoo_model_runs_bit_exactly_on_all_three_backends() {
+    let model = zoo_model();
+    let path = std::env::temp_dir().join("eie_model_artifact_acceptance.eie");
+    model.save(&path).expect("save");
+    let loaded = CompiledModel::load(&path).expect("load");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(loaded, model, "save → load must be the identity");
+    assert_eq!(loaded.name(), "Alex-7 1/32");
+
+    let layer = Benchmark::Alex7.generate_scaled(DEFAULT_SEED, 32);
+    let batch = layer.sample_activation_batch(DEFAULT_SEED, 3);
+    let golden = model.run_batch(BackendKind::Functional, &batch);
+    for kind in [
+        BackendKind::CycleAccurate,
+        BackendKind::Functional,
+        BackendKind::NativeCpu(2),
+    ] {
+        let result = loaded.run_batch(kind, &batch);
+        for i in 0..batch.len() {
+            assert_eq!(
+                result.outputs(i),
+                golden.outputs(i),
+                "{kind} diverged from the in-process compile at item {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn container_starts_with_magic_and_version() {
+    let bytes = zoo_model().to_bytes();
+    assert_eq!(&bytes[..4], &MODEL_MAGIC);
+    assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), MODEL_VERSION);
+}
+
+#[test]
+fn corrupt_files_are_rejected_with_typed_errors() {
+    let bytes = zoo_model().to_bytes();
+
+    // Bit flip in the payload → checksum mismatch.
+    let mut corrupt = bytes.clone();
+    let mid = 16 + (corrupt.len() - 16) / 2;
+    corrupt[mid] ^= 0x40;
+    assert!(matches!(
+        CompiledModel::from_bytes(&corrupt),
+        Err(ModelArtifactError::ChecksumMismatch { .. })
+    ));
+
+    // Wrong magic.
+    let mut wrong = bytes.clone();
+    wrong[0] = b'Z';
+    assert!(matches!(
+        CompiledModel::from_bytes(&wrong),
+        Err(ModelArtifactError::BadMagic)
+    ));
+
+    // Future version.
+    let mut future = bytes.clone();
+    future[4..6].copy_from_slice(&(MODEL_VERSION + 7).to_le_bytes());
+    match CompiledModel::from_bytes(&future) {
+        Err(ModelArtifactError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, MODEL_VERSION + 7);
+            assert_eq!(supported, MODEL_VERSION);
+        }
+        other => panic!("expected version error, got {other:?}"),
+    }
+
+    // Truncation at many prefix lengths → typed truncation, never a panic.
+    for frac in [1usize, 3, 10, 30, 95] {
+        let cut = bytes.len() * frac / 100;
+        assert!(
+            matches!(
+                CompiledModel::from_bytes(&bytes[..cut]),
+                Err(ModelArtifactError::Truncated { .. })
+            ),
+            "prefix of {cut} bytes not rejected as truncated"
+        );
+    }
+}
+
+#[test]
+fn error_messages_are_actionable() {
+    let err = CompiledModel::from_bytes(b"EIEMxx").unwrap_err();
+    let msg = err.to_string();
+    assert!(!msg.is_empty());
+
+    let mut bytes = zoo_model().to_bytes();
+    bytes[20] ^= 0xFF; // payload corruption
+    let msg = CompiledModel::from_bytes(&bytes).unwrap_err().to_string();
+    assert!(msg.contains("CRC") || msg.contains("corrupt"), "{msg}");
+}
+
+#[test]
+fn multi_layer_and_shared_codebook_artifacts_roundtrip() {
+    let w1 = random_sparse(48, 32, 0.2, 11);
+    let w2 = random_sparse(24, 48, 0.2, 12);
+    let config = EieConfig::default().with_num_pes(4);
+    for shared in [false, true] {
+        let model = if shared {
+            CompiledModel::compile_shared_codebook(config, &[&w1, &w2])
+        } else {
+            CompiledModel::compile(config, &[&w1, &w2])
+        };
+        assert_eq!(model.has_shared_codebook(), shared);
+        let loaded = CompiledModel::from_bytes(&model.to_bytes()).expect("roundtrip");
+        assert_eq!(loaded, model);
+        let batch = vec![vec![0.25f32; 32]; 2];
+        let a = model.run_batch(BackendKind::NativeCpu(1), &batch);
+        let b = loaded.run_batch(BackendKind::NativeCpu(1), &batch);
+        for i in 0..batch.len() {
+            assert_eq!(a.outputs(i), b.outputs(i), "shared={shared}");
+        }
+    }
+}

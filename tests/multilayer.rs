@@ -34,7 +34,10 @@ fn reference_forward(encoded: &[EncodedLayer], input: &[f32]) -> Vec<f32> {
 fn network_matches_reference_within_fixed_point_error() {
     let (layers, input) = stack(100);
     let engine = Engine::new(EieConfig::default().with_num_pes(4));
-    let encoded: Vec<EncodedLayer> = layers.iter().map(|w| engine.compress(w)).collect();
+    let encoded: Vec<EncodedLayer> = layers
+        .iter()
+        .map(|w| engine.config().pipeline().compile_matrix(w))
+        .collect();
     let refs: Vec<&EncodedLayer> = encoded.iter().collect();
 
     let net = engine.run_network(&refs, &input);
@@ -58,7 +61,10 @@ fn network_matches_reference_within_fixed_point_error() {
 fn network_stats_merge_all_layers() {
     let (layers, input) = stack(200);
     let engine = Engine::new(EieConfig::default().with_num_pes(4));
-    let encoded: Vec<EncodedLayer> = layers.iter().map(|w| engine.compress(w)).collect();
+    let encoded: Vec<EncodedLayer> = layers
+        .iter()
+        .map(|w| engine.config().pipeline().compile_matrix(w))
+        .collect();
     let refs: Vec<&EncodedLayer> = encoded.iter().collect();
 
     let net = engine.run_network(&refs, &input);
@@ -75,7 +81,10 @@ fn relu_between_layers_sparsifies_activations() {
     // exploits: its broadcast count must be below its input length.
     let (layers, input) = stack(300);
     let engine = Engine::new(EieConfig::default().with_num_pes(2));
-    let encoded: Vec<EncodedLayer> = layers.iter().map(|w| engine.compress(w)).collect();
+    let encoded: Vec<EncodedLayer> = layers
+        .iter()
+        .map(|w| engine.config().pipeline().compile_matrix(w))
+        .collect();
     let refs: Vec<&EncodedLayer> = encoded.iter().collect();
 
     let net = engine.run_network(&refs, &input);
@@ -97,7 +106,7 @@ fn lstm_cell_runs_on_accelerated_gates() {
     let cell = LstmCell::new(gate_w.to_dense(), hidden);
 
     let engine = Engine::new(EieConfig::default().with_num_pes(4));
-    let encoded = engine.compress(&gate_w);
+    let encoded = engine.config().pipeline().compile_matrix(&gate_w);
 
     let x: Vec<f32> = (0..input_dim).map(|i| ((i as f32) * 0.3).sin()).collect();
     let mut state_accel = LstmState::zeros(hidden);

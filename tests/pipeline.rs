@@ -8,7 +8,7 @@ use eie::prelude::*;
 fn verify_benchmark(benchmark: Benchmark, pes: usize) {
     let layer = benchmark.generate_scaled(DEFAULT_SEED, 32);
     let engine = Engine::new(EieConfig::default().with_num_pes(pes));
-    let encoded = engine.compress(&layer.weights);
+    let encoded = engine.config().pipeline().compile_matrix(&layer.weights);
     let acts = layer.sample_activations(DEFAULT_SEED);
 
     let result = engine.run_layer(&encoded, &acts);
@@ -104,7 +104,7 @@ fn prune_compress_simulate_from_dense() {
     assert!((pruned.density() - 0.15).abs() < 0.02);
 
     let engine = Engine::new(EieConfig::default().with_num_pes(4));
-    let encoded = engine.compress(&pruned);
+    let encoded = engine.config().pipeline().compile_matrix(&pruned);
     let acts = eie::nn::zoo::sample_activations(128, 0.5, false, 3);
     let result = engine.run_layer(&encoded, &acts);
 
@@ -121,7 +121,7 @@ fn compression_ratio_in_paper_ballpark() {
     // regime for a 9%-dense layer.
     let layer = Benchmark::Alex7.generate_scaled(DEFAULT_SEED, 8);
     let engine = Engine::new(EieConfig::default().with_num_pes(16));
-    let encoded = engine.compress(&layer.weights);
+    let encoded = engine.config().pipeline().compile_matrix(&layer.weights);
     let ratio = encoded.stats().compression_ratio();
     assert!((5.0..50.0).contains(&ratio), "ratio {ratio}");
 }

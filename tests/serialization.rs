@@ -7,7 +7,7 @@ use eie::prelude::*;
 fn sample_layer() -> (EncodedLayer, Vec<f32>) {
     let layer = Benchmark::Alex7.generate_scaled(DEFAULT_SEED, 32);
     let engine = Engine::new(EieConfig::default().with_num_pes(4));
-    let enc = engine.compress(&layer.weights);
+    let enc = engine.config().pipeline().compile_matrix(&layer.weights);
     (enc, layer.sample_activations(DEFAULT_SEED))
 }
 
@@ -78,7 +78,7 @@ fn truncation_reports_offset() {
     let (enc, _) = sample_layer();
     let bytes = enc.to_bytes();
     match EncodedLayer::from_bytes(&bytes[..bytes.len() / 3]) {
-        Err(DecodeLayerError::Truncated { offset }) => {
+        Err(DecodeLayerError::Truncated { offset, .. }) => {
             assert!(offset <= bytes.len() / 3);
         }
         other => panic!("expected truncation error, got {other:?}"),
