@@ -44,12 +44,12 @@ fn main() {
         // and serve every engine below from the same loaded model.
         let model = model_at_scale(benchmark, config);
         let enc = model.layer(0);
-        let engine = Engine::new(config);
 
         // --- EIE cycle model: modelled latency, batch 1 and a small
         //     batch (per-frame time is flat — no batch dimension in HW).
-        let b1 = engine.run_batch(enc, &layer.sample_activation_batch(DEFAULT_SEED, 1));
-        let b4 = engine.run_batch(enc, &layer.sample_activation_batch(DEFAULT_SEED, 4));
+        let hw = model.infer(BackendKind::CycleAccurate);
+        let b1 = hw.submit(&layer.sample_activation_batch(DEFAULT_SEED, 1));
+        let b4 = hw.submit(&layer.sample_activation_batch(DEFAULT_SEED, 4));
         for result in [&b1, &b4] {
             table.row(vec![
                 benchmark.name().into(),

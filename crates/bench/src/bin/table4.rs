@@ -105,9 +105,9 @@ fn main() {
         let (paper_theo, paper_actual) = PAPER_EIE_US[i];
         eie_table.row(vec![
             benchmark.name().into(),
-            f(result.theoretical_time_us(), 1),
+            f(result.theoretical_time_us().expect("cycle backend"), 1),
             f(result.time_us(), 1),
-            x(result.run.stats.overhead_factor()),
+            x(result.stats(0).expect("cycle backend").overhead_factor()),
             f(paper_theo, 1),
             f(paper_actual, 1),
         ]);

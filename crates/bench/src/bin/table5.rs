@@ -68,9 +68,8 @@ fn main() {
     // --- EIE, 64 PE @ 45 nm --------------------------------------------
     let pes64 = (64 / scale.min(16)).max(4);
     let cfg64 = EieConfig::default().with_num_pes(pes64);
-    let engine64 = Engine::new(cfg64);
-    let enc64 = cfg64.pipeline().compile_matrix(&layer.weights);
-    let res64 = engine64.run_layer(&enc64, &acts);
+    let model64 = CompiledModel::compile_layer(cfg64, &layer.weights);
+    let res64 = model64.infer(BackendKind::CycleAccurate).submit_one(&acts);
     let chip64 = eie_core::energy::ChipModel {
         pe: PeModel::paper(),
         num_pes: pes64,
@@ -93,9 +92,8 @@ fn main() {
     // --- EIE, 256 PE projected to 28 nm --------------------------------
     let pes256 = (256 / scale.min(16)).max(8);
     let cfg256 = EieConfig::default().with_num_pes(pes256);
-    let engine256 = Engine::new(cfg256);
-    let enc256 = cfg256.pipeline().compile_matrix(&layer.weights);
-    let res256 = engine256.run_layer(&enc256, &acts);
+    let model256 = CompiledModel::compile_layer(cfg256, &layer.weights);
+    let res256 = model256.infer(BackendKind::CycleAccurate).submit_one(&acts);
     let tech = TechScale::paper_45_to_28();
     let chip256 = eie_core::energy::ChipModel {
         pe: PeModel::paper(),

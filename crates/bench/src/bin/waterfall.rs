@@ -87,8 +87,8 @@ fn main() {
          {:.2} µJ per inference → {:.0}x below the dense-DRAM weight-fetch energy\n\
          (paper observes ~10x less than theoretical from index overhead etc.)\n",
         e_dram_dense / e_final,
-        result.energy.total_uj(),
-        e_dram_dense * uj / result.energy.total_uj(),
+        result.energy().expect("cycle backend").total_uj(),
+        e_dram_dense * uj / result.energy().expect("cycle backend").total_uj(),
     ));
     emit("waterfall", &out);
 }

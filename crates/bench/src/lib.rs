@@ -244,7 +244,7 @@ impl SevenWay {
             mgpu_dense_us: mgpu.dense_time_us(rows, cols, 1),
             mgpu_sparse_us: mgpu.sparse_time_us(rows, cols, density, 1),
             eie_us: result.time_us(),
-            eie_energy_uj: result.energy.total_uj(),
+            eie_energy_uj: result.energy().expect("cycle backend").total_uj(),
         }
     }
 

@@ -68,9 +68,10 @@ pub fn run(mut opts: Opts) -> Result<(), CliError> {
 
     // Serving throughput: repeated batches, best and mean.
     let batch = sample_batch(&model, batch_size, density, false, seed);
-    let mut results: Vec<BatchResult> = Vec::with_capacity(iters);
+    let job = model.infer(backend);
+    let mut results: Vec<JobResult> = Vec::with_capacity(iters);
     for _ in 0..iters {
-        results.push(model.run_batch(backend, &batch));
+        results.push(job.submit(&batch));
     }
     let best = results
         .iter()
@@ -82,7 +83,7 @@ pub fn run(mut opts: Opts) -> Result<(), CliError> {
         .expect("iters >= 1");
     let mean_fps = results
         .iter()
-        .map(BatchResult::frames_per_second)
+        .map(JobResult::frames_per_second)
         .sum::<f64>()
         / results.len() as f64;
     outln!(

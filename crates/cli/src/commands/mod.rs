@@ -4,6 +4,7 @@ pub mod bench;
 pub mod compress;
 pub mod inspect;
 pub mod run;
+pub mod serve;
 
 use eie_core::prelude::*;
 use eie_core::BackendKind;

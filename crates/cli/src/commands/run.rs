@@ -50,14 +50,14 @@ pub fn run(mut opts: Opts) -> Result<(), CliError> {
     let model = load_model(path)?;
     outln!("loaded    {model}");
     let batch = sample_batch(&model, batch_size, density, signed, seed);
-    let result = model.run_batch(backend, &batch);
+    let result = model.infer(backend).submit(&batch);
     outln!("served    {result}");
     if let Some(uj) = result.energy_per_frame_uj() {
         outln!("energy    {uj:.3} uJ/frame (modelled)");
     }
 
     if verify {
-        let golden = model.run_batch(BackendKind::Functional, &batch);
+        let golden = model.infer(BackendKind::Functional).submit(&batch);
         for i in 0..batch.len() {
             if result.outputs(i) != golden.outputs(i) {
                 return Err(CliError::Runtime(format!(

@@ -1,0 +1,165 @@
+//! `eie serve` — serve an artifact under a self-driving request load.
+//!
+//! Loads a `.eie` model into a [`ModelServer`] (bounded queue, dynamic
+//! micro-batching, N backend workers) and drives it with a generated
+//! request stream at a target QPS, reporting the latency distribution
+//! (p50/p95/p99), queue time, coalescing behaviour and throughput.
+
+use std::time::{Duration, Instant};
+
+use eie_core::BackendKind;
+use eie_serve::{ModelServer, ServerConfig};
+
+use crate::commands::{load_model, parse_backend, sample_batch};
+use crate::opts::Opts;
+use crate::outln;
+use crate::CliError;
+
+const HELP: &str = "eie serve — serve a .eie artifact under a generated request load
+
+USAGE:
+    eie serve <MODEL.eie> [OPTIONS]
+
+SERVING POLICY:
+    --backend <B>       Worker backend: cycle | functional | native[:threads]
+                        [default: native:1 — workers provide the parallelism]
+    --workers <N>       Worker threads, one backend each [default: 2]
+    --max-batch <N>     Micro-batch coalescing cap [default: 8]
+    --max-wait-us <N>   Straggler-collection window, µs (0 = none) [default: 200]
+    --queue-depth <N>   Bounded queue depth (backpressure point) [default: 256]
+
+LOAD GENERATION:
+    --requests <N>      Total requests to drive [default: 256]
+    --qps <Q>           Target offered rate, requests/s (0 = unthrottled,
+                        backpressure-paced) [default: 0]
+    --density <D>       Input activation density in [0, 1] [default: 0.35]
+    --signed            Sample signed activations (embedding/LSTM inputs)
+    --seed <N>          Input sampling seed [default: 1]
+    --verify            Re-check every response against a one-at-a-time
+                        functional golden run (exit 1 on divergence)
+    -h, --help          Show this help";
+
+pub fn run(mut opts: Opts) -> Result<(), CliError> {
+    if opts.wants_help() {
+        outln!("{HELP}");
+        return Ok(());
+    }
+    let backend = match opts.value(&["--backend"])? {
+        Some(name) => parse_backend(&name)?,
+        None => BackendKind::NativeCpu(1),
+    };
+    let workers: usize = opts.parsed(&["--workers"])?.unwrap_or(2);
+    let max_batch: usize = opts.parsed(&["--max-batch"])?.unwrap_or(8);
+    let max_wait_us: u64 = opts.parsed(&["--max-wait-us"])?.unwrap_or(200);
+    let queue_depth: usize = opts.parsed(&["--queue-depth"])?.unwrap_or(256);
+    let requests: usize = opts.parsed(&["--requests"])?.unwrap_or(256);
+    let qps: f64 = opts.parsed(&["--qps"])?.unwrap_or(0.0);
+    let density: f64 = opts.parsed(&["--density"])?.unwrap_or(0.35);
+    let signed = opts.flag("--signed");
+    let seed: u64 = opts.parsed(&["--seed"])?.unwrap_or(1);
+    let verify = opts.flag("--verify");
+    let positional = opts.finish(1)?;
+    let path = positional
+        .first()
+        .ok_or_else(|| CliError::Usage("serve needs a model file (see --help)".into()))?;
+    if workers == 0 || max_batch == 0 || queue_depth == 0 || requests == 0 {
+        return Err(CliError::Usage(
+            "--workers, --max-batch, --queue-depth and --requests must be positive".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&density) {
+        return Err(CliError::Usage("--density must be in [0, 1]".into()));
+    }
+    if qps < 0.0 {
+        return Err(CliError::Usage("--qps must be non-negative".into()));
+    }
+
+    let model = load_model(path)?;
+    outln!("loaded    {model}");
+    let golden = verify.then(|| model.clone());
+    let config = ServerConfig::default()
+        .with_backend(backend)
+        .with_workers(workers)
+        .with_max_batch(max_batch)
+        .with_max_wait_us(max_wait_us)
+        .with_queue_depth(queue_depth);
+    outln!("serving   {config}");
+
+    let inputs = sample_batch(&model, requests, density, signed, seed);
+    let server = ModelServer::start(model, config);
+    outln!(
+        "load      {requests} requests at {}",
+        if qps > 0.0 {
+            format!("{qps:.0} requests/s target")
+        } else {
+            "max speed (backpressure-paced)".to_string()
+        }
+    );
+
+    // Open-loop pacing against absolute deadlines so a slow submit does
+    // not silently shift the whole schedule; qps 0 submits back to back
+    // and lets the bounded queue pace the stream.
+    let started = Instant::now();
+    let interval = (qps > 0.0).then(|| Duration::from_secs_f64(1.0 / qps));
+    let mut responses = Vec::with_capacity(requests);
+    for (i, input) in inputs.iter().enumerate() {
+        if let Some(interval) = interval {
+            let deadline = started + interval * i as u32;
+            if let Some(wait) = deadline.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+        }
+        let response = server
+            .submit(input)
+            .map_err(|e| CliError::Runtime(format!("submit failed at request {i}: {e}")))?;
+        responses.push(response);
+    }
+    let offered_s = started.elapsed().as_secs_f64();
+
+    let results: Vec<_> = responses.into_iter().map(|r| r.wait()).collect();
+    let stats = server.shutdown();
+
+    if let Some(golden) = &golden {
+        let job = golden.infer(BackendKind::Functional);
+        for (i, (input, result)) in inputs.iter().zip(&results).enumerate() {
+            if job.submit_one(input).outputs(0) != &result.outputs[..] {
+                return Err(CliError::Runtime(format!(
+                    "verification FAILED: served output diverged from the \
+                     one-at-a-time functional golden run at request {i}"
+                )));
+            }
+        }
+        outln!(
+            "verified  {} responses bit-exact against the functional golden model",
+            results.len()
+        );
+    }
+
+    outln!(
+        "offered   {:.0} requests/s over {:.1} ms",
+        requests as f64 / offered_s,
+        offered_s * 1e3
+    );
+    outln!(
+        "served    {:.0} frames/s ({} requests in {} micro-batches, mean {:.1}/batch, max {})",
+        stats.frames_per_second(),
+        stats.requests,
+        stats.batches,
+        stats.mean_coalesced(),
+        stats.max_coalesced
+    );
+    outln!(
+        "latency   p50 {:.1} µs | p95 {:.1} µs | p99 {:.1} µs (queue mean {:.1} µs)",
+        stats.p50(),
+        stats.p95(),
+        stats.p99(),
+        stats.mean_queue_us()
+    );
+    if stats.requests != requests as u64 {
+        return Err(CliError::Runtime(format!(
+            "server answered {} of {requests} requests",
+            stats.requests
+        )));
+    }
+    Ok(())
+}

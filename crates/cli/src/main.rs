@@ -7,8 +7,10 @@
 //! ```text
 //! eie compress --zoo alex7 -o model.eie     build a versioned artifact
 //! eie inspect model.eie                     headers, layers, footprint
-//! eie run model.eie --backend native        serve a batch from the file
-//! eie bench model.eie --iters 10            load + serve throughput
+//! eie run model.eie --backend native        run a batch from the file
+//! eie bench model.eie --iters 10            load + batch throughput
+//! eie serve model.eie --qps 2000            live serving under load:
+//!                                           micro-batching, p50/p95/p99
 //! ```
 //!
 //! Every subcommand takes `--help`. Exit codes: `0` success, `1`
@@ -41,8 +43,10 @@ USAGE:
 COMMANDS:
     compress    Compile a model into a versioned .eie artifact
     inspect     Print an artifact's header, topology and footprint
-    run         Load an artifact and serve a batch on a backend
-    bench       Measure artifact load and serving throughput
+    run         Load an artifact and run a batch on a backend
+    bench       Measure artifact load and batch throughput
+    serve       Serve an artifact under a generated request load
+                (micro-batching workers, p50/p95/p99 latency, fps)
 
 Run `eie <COMMAND> --help` for per-command options.";
 
@@ -63,6 +67,7 @@ fn main() -> ExitCode {
         "inspect" => commands::inspect::run(opts),
         "run" => commands::run::run(opts),
         "bench" => commands::bench::run(opts),
+        "serve" => commands::serve::run(opts),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}\n\n{USAGE}"
         ))),

@@ -495,8 +495,8 @@ mod tests {
         let model = sample_model();
         let restored = CompiledModel::from_bytes(&model.to_bytes()).unwrap();
         let batch = vec![vec![0.5f32; 24]; 2];
-        let a = model.run_batch(BackendKind::Functional, &batch);
-        let b = restored.run_batch(BackendKind::Functional, &batch);
+        let a = model.infer(BackendKind::Functional).submit(&batch);
+        let b = restored.infer(BackendKind::Functional).submit(&batch);
         for i in 0..batch.len() {
             assert_eq!(a.outputs(i), b.outputs(i));
         }

@@ -11,8 +11,8 @@ use super::{Backend, BackendRun};
 /// Latency is *modelled* hardware time — `total_cycles` at the
 /// configured clock — and every run carries the full
 /// [`SimStats`](eie_sim::SimStats) for energy pricing. This is the
-/// backend behind [`Engine::run_layer`](crate::Engine::run_layer); use
-/// it directly when you need trait-object dispatch.
+/// backend behind a [`BackendKind::CycleAccurate`](crate::BackendKind)
+/// inference job; use it directly when you need trait-object dispatch.
 #[derive(Debug, Clone)]
 pub struct CycleAccurate {
     sim: SimConfig,

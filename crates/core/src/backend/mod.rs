@@ -93,8 +93,15 @@ impl BackendRun {
     }
 }
 
-/// An execution backend: anything that can run a compressed layer (or a
-/// feed-forward stack of them) on quantized activations.
+/// An execution backend: anything that can run a compressed layer on
+/// quantized activations.
+///
+/// The trait's surface is deliberately the two layer-level primitives —
+/// multi-layer chaining (ReLU between layers) lives in exactly one
+/// place, the inference core behind
+/// [`CompiledModel::infer`](CompiledModel::infer) and
+/// [`run_stack_quantized`](crate::run_stack_quantized), so a second
+/// network path cannot drift from the served one.
 ///
 /// Implementations must be bit-exact with the functional golden model:
 /// same zero-activation skipping (the broadcast schedule), same
@@ -136,50 +143,6 @@ pub trait Backend: fmt::Debug + Send + Sync {
             .map(|acts| self.run_layer(layer, acts, relu))
             .collect()
     }
-
-    /// Executes a feed-forward network (ReLU between layers, not after
-    /// the last), chaining [`Backend::run_layer`] and summing latencies.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `layers` is empty or dimensions mismatch.
-    fn run_network(&self, layers: &[&EncodedLayer], acts: &[Q8p8]) -> BackendRun {
-        assert!(!layers.is_empty(), "network needs at least one layer");
-        let mut current = acts.to_vec();
-        let mut latency_s = 0.0;
-        let mut stats: Option<SimStats> = None;
-        for (i, layer) in layers.iter().enumerate() {
-            let relu = i + 1 < layers.len();
-            let run = self.run_layer(layer, &current, relu);
-            current = run.outputs;
-            latency_s += run.latency_s;
-            match (&mut stats, run.stats) {
-                (None, s) => stats = s,
-                (Some(total), Some(s)) => total.merge(&s),
-                (Some(_), None) => {}
-            }
-        }
-        BackendRun {
-            outputs: current,
-            latency_s,
-            stats,
-        }
-    }
-
-    /// Executes a batch of inputs through a feed-forward network.
-    ///
-    /// The default loops [`Backend::run_network`]; [`NativeCpu`]
-    /// overrides it to spread items across worker threads.
-    ///
-    /// # Panics
-    ///
-    /// Same conditions as [`Backend::run_network`], for any item.
-    fn run_network_batch(&self, layers: &[&EncodedLayer], batch: &[Vec<Q8p8>]) -> Vec<BackendRun> {
-        batch
-            .iter()
-            .map(|acts| self.run_network(layers, acts))
-            .collect()
-    }
 }
 
 /// A compressed model compiled for one accelerator configuration — the
@@ -208,7 +171,7 @@ pub trait Backend: fmt::Debug + Send + Sync {
 /// assert_eq!(model.input_dim(), 24);
 /// assert_eq!(model.output_dim(), 16);
 /// let batch = vec![vec![1.0f32; 24]; 3];
-/// let result = model.run_batch(BackendKind::Functional, &batch);
+/// let result = model.infer(BackendKind::Functional).submit(&batch);
 /// assert_eq!(result.batch_size(), 3);
 ///
 /// // The artifact roundtrips through the container format bit-exactly.
@@ -279,6 +242,39 @@ impl CompiledModel {
         }
     }
 
+    /// Adopts already-encoded layers as a model — the bridge for code
+    /// that compiles layers individually (e.g. via
+    /// [`CompilePipeline::compile_dense`](eie_compress::CompilePipeline::compile_dense))
+    /// but wants the unified [`CompiledModel::infer`] surface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty, any layer was compressed for a
+    /// different PE count than `config`, or consecutive layer dimensions
+    /// mismatch.
+    pub fn from_layers(config: EieConfig, layers: Vec<EncodedLayer>) -> Self {
+        assert!(!layers.is_empty(), "model needs at least one layer");
+        for layer in &layers {
+            assert_eq!(
+                layer.num_pes(),
+                config.num_pes,
+                "layer compressed for a different PE count"
+            );
+        }
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[1].cols(),
+                pair[0].rows(),
+                "layer dimension mismatch in the stack"
+            );
+        }
+        Self {
+            config,
+            layers,
+            name: String::new(),
+        }
+    }
+
     /// Names the model (recorded in the `.eie` container's topology
     /// metadata; purely descriptive).
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
@@ -314,9 +310,9 @@ impl CompiledModel {
         &self.layers
     }
 
-    /// The layers as a reference vector — the shape
-    /// [`Engine::run_network`](crate::Engine::run_network) and the
-    /// [`Backend`] network entry points consume.
+    /// The layers as a reference vector — the shape the execution core
+    /// ([`run_stack_quantized`](crate::run_stack_quantized)) and the
+    /// legacy `Engine` network shims consume.
     pub fn layer_refs(&self) -> Vec<&EncodedLayer> {
         self.layers.iter().collect()
     }
@@ -344,12 +340,18 @@ impl CompiledModel {
     /// backend (quantizing to Q8.8 first), aggregating a
     /// [`BatchResult`](crate::BatchResult).
     ///
+    /// Deprecated thin shim: [`CompiledModel::infer`] is the one
+    /// inference surface — `model.infer(kind).submit(batch)` returns a
+    /// [`JobResult`](crate::JobResult) whose `.batch` field is this
+    /// method's return value.
+    ///
     /// # Panics
     ///
     /// Panics if the batch is empty or an item's length differs from
     /// [`CompiledModel::input_dim`].
+    #[deprecated(since = "0.1.0", note = "use CompiledModel::infer(kind).submit(batch)")]
     pub fn run_batch(&self, kind: BackendKind, batch: &[Vec<f32>]) -> crate::BatchResult {
-        crate::Engine::with_backend(self.config, kind).run_network_batch(&self.layer_refs(), batch)
+        self.infer(kind).submit(batch).batch
     }
 }
 
@@ -402,17 +404,17 @@ mod tests {
     }
 
     #[test]
-    fn default_network_chaining_applies_relu_between() {
+    fn stack_chaining_applies_relu_between() {
         let w1 = CsrMatrix::from_triplets(2, 2, &[(0, 0, -1.0), (1, 1, 1.0)]);
         let w2 = CsrMatrix::from_triplets(1, 2, &[(0, 0, 1.0), (0, 1, 1.0)]);
         let cfg = EieConfig::default().with_num_pes(2);
         let l1 = compress(&w1, cfg.compress_config());
         let l2 = compress(&w2, cfg.compress_config());
         let backend = Functional::new();
-        let run = backend.run_network(&[&l1, &l2], &quantize(&[1.0, 1.0]));
+        let runs = crate::run_stack_quantized(&backend, &[&l1, &l2], &[quantize(&[1.0, 1.0])]);
         // Layer 1 raw: [-1, 1] → ReLU → [0, 1]; layer 2: 0 + 1 = 1.
-        assert_eq!(run.outputs.len(), 1);
-        assert_eq!(run.outputs[0].to_f32(), 1.0);
+        assert_eq!(runs[0].outputs.len(), 1);
+        assert_eq!(runs[0].outputs[0].to_f32(), 1.0);
     }
 
     #[test]
@@ -426,9 +428,55 @@ mod tests {
         assert_eq!(model.layer(0).num_pes(), 4);
         assert!(model.to_string().contains("16→8"));
         let batch = vec![vec![0.5f32; 16]; 2];
-        let result = model.run_batch(BackendKind::Functional, &batch);
+        let result = model.infer(BackendKind::Functional).submit(&batch);
         assert_eq!(result.batch_size(), 2);
         assert_eq!(result.outputs(0).len(), 8);
+        // The deprecated shim stays a bit-exact alias of the job surface.
+        #[allow(deprecated)]
+        let legacy = model.run_batch(BackendKind::Functional, &batch);
+        for i in 0..batch.len() {
+            assert_eq!(legacy.outputs(i), result.outputs(i));
+        }
+    }
+
+    #[test]
+    fn from_layers_adopts_individually_compiled_layers() {
+        let cfg = EieConfig::default().with_num_pes(2);
+        let w1 = random_sparse(24, 16, 0.3, 5);
+        let w2 = random_sparse(8, 24, 0.3, 6);
+        let pipeline = cfg.pipeline();
+        let model = CompiledModel::from_layers(
+            cfg,
+            vec![pipeline.compile_matrix(&w1), pipeline.compile_matrix(&w2)],
+        );
+        assert_eq!(model.input_dim(), 16);
+        assert_eq!(model.output_dim(), 8);
+        let compiled = CompiledModel::compile(cfg, &[&w1, &w2]);
+        let input = vec![vec![0.25f32; 16]];
+        assert_eq!(
+            model
+                .infer(BackendKind::Functional)
+                .submit(&input)
+                .outputs(0),
+            compiled
+                .infer(BackendKind::Functional)
+                .submit(&input)
+                .outputs(0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn from_layers_rejects_mismatched_stack() {
+        let cfg = EieConfig::default().with_num_pes(2);
+        let pipeline = cfg.pipeline();
+        let _ = CompiledModel::from_layers(
+            cfg,
+            vec![
+                pipeline.compile_matrix(&random_sparse(24, 16, 0.3, 5)),
+                pipeline.compile_matrix(&random_sparse(8, 23, 0.3, 6)),
+            ],
+        );
     }
 
     #[test]

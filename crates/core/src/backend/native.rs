@@ -332,19 +332,6 @@ impl Backend for NativeCpu {
         let outputs = execute_batch_fused(layer, batch, relu, self.threads);
         fused_runs(outputs, start.elapsed().as_secs_f64())
     }
-
-    fn run_network_batch(&self, layers: &[&EncodedLayer], batch: &[Vec<Q8p8>]) -> Vec<BackendRun> {
-        assert!(!layers.is_empty(), "network needs at least one layer");
-        if batch.len() == 1 {
-            return vec![self.run_network(layers, &batch[0])];
-        }
-        let start = Instant::now();
-        let mut current = batch.to_vec();
-        for (l, layer) in layers.iter().enumerate() {
-            current = execute_batch_fused(layer, &current, l + 1 < layers.len(), self.threads);
-        }
-        fused_runs(current, start.elapsed().as_secs_f64())
-    }
 }
 
 #[cfg(test)]

@@ -51,22 +51,42 @@ impl BatchResult {
         self.items.iter().map(BackendRun::latency_us).collect()
     }
 
-    /// Mean per-item latency, µs.
+    /// Mean per-item latency, µs; `0.0` for an empty batch.
     pub fn mean_latency_us(&self) -> f64 {
+        if self.items.is_empty() {
+            return 0.0;
+        }
         self.latencies_us().iter().sum::<f64>() / self.batch_size() as f64
     }
 
     /// The `p`-th percentile of per-item latency, µs (nearest-rank).
     ///
+    /// An empty batch has no distribution to rank; it reports `0.0`
+    /// rather than panicking, so metrics loops (server dashboards, load
+    /// generators between requests) can call this unconditionally.
+    ///
     /// # Panics
     ///
     /// Panics if `p` is outside `0.0..=100.0`.
     pub fn percentile_latency_us(&self, p: f64) -> f64 {
-        assert!((0.0..=100.0).contains(&p), "percentile must be in 0..=100");
-        let mut lat = self.latencies_us();
-        lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let rank = ((p / 100.0) * lat.len() as f64).ceil() as usize;
-        lat[rank.saturating_sub(1)]
+        percentile(&self.latencies_us(), p)
+    }
+
+    /// Median per-item latency, µs (`0.0` for an empty batch) — the
+    /// serving dashboards' headline number.
+    pub fn p50(&self) -> f64 {
+        self.percentile_latency_us(50.0)
+    }
+
+    /// 95th-percentile per-item latency, µs (`0.0` for an empty batch).
+    pub fn p95(&self) -> f64 {
+        self.percentile_latency_us(95.0)
+    }
+
+    /// 99th-percentile per-item latency, µs (`0.0` for an empty batch) —
+    /// the tail-latency number serving SLOs are written against.
+    pub fn p99(&self) -> f64 {
+        self.percentile_latency_us(99.0)
     }
 
     /// Worst per-item latency, µs.
@@ -104,6 +124,24 @@ impl BatchResult {
     pub fn energy_per_frame_uj(&self) -> Option<f64> {
         self.total_energy_uj().map(|e| e / self.batch_size() as f64)
     }
+}
+
+/// Nearest-rank percentile of an unsorted sample; `0.0` for an empty
+/// one — the shared latency-distribution helper behind
+/// [`BatchResult::percentile_latency_us`] and the serving metrics.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `0.0..=100.0` or a sample is NaN.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in 0..=100");
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1)]
 }
 
 impl fmt::Display for BatchResult {
@@ -177,5 +215,36 @@ mod tests {
     #[should_panic(expected = "percentile")]
     fn rejects_out_of_range_percentile() {
         let _ = result(&[1.0]).percentile_latency_us(101.0);
+    }
+
+    #[test]
+    fn empty_batch_reports_zero_latency_metrics() {
+        // The documented no-distribution path: an empty batch (a metrics
+        // tick before any request completed) must not panic.
+        let r = result(&[]);
+        assert_eq!(r.batch_size(), 0);
+        assert_eq!(r.mean_latency_us(), 0.0);
+        assert_eq!(r.percentile_latency_us(50.0), 0.0);
+        assert_eq!(r.p50(), 0.0);
+        assert_eq!(r.p99(), 0.0);
+        assert_eq!(r.max_latency_us(), 0.0);
+    }
+
+    #[test]
+    fn percentile_conveniences_match_the_general_form() {
+        let r = result(&[4.0, 1.0, 3.0, 2.0, 5.0]);
+        assert_eq!(r.p50(), r.percentile_latency_us(50.0));
+        assert_eq!(r.p95(), r.percentile_latency_us(95.0));
+        assert_eq!(r.p99(), r.percentile_latency_us(99.0));
+        assert_eq!(r.p50(), 3.0);
+        assert_eq!(r.p99(), 5.0);
+    }
+
+    #[test]
+    fn percentile_helper_is_nearest_rank() {
+        assert_eq!(percentile(&[], 99.0), 0.0);
+        assert_eq!(percentile(&[7.0], 0.0), 7.0);
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), 2.0);
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 100.0), 3.0);
     }
 }

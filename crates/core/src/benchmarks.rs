@@ -5,7 +5,7 @@ use std::fmt;
 use eie_compress::EncodedLayer;
 use eie_nn::zoo::{BenchLayer, Benchmark, DEFAULT_SEED};
 
-use crate::{CompiledModel, EieConfig, Engine, ExecutionResult};
+use crate::{BackendKind, CompiledModel, EieConfig, JobResult};
 
 /// A ready-to-run instance of one Table III benchmark: the generated
 /// layer, its compressed encoding for a given PE count, and a sampled
@@ -68,9 +68,20 @@ impl BenchmarkInstance {
         }
     }
 
-    /// Executes the instance on its engine.
-    pub fn run(&self) -> ExecutionResult {
-        Engine::new(self.config).run_layer(&self.encoded, &self.activations)
+    /// Executes the instance on the cycle-accurate model through the
+    /// unified inference surface (outputs, statistics and energy in one
+    /// [`JobResult`]).
+    pub fn run(&self) -> JobResult {
+        self.model()
+            .infer(BackendKind::CycleAccurate)
+            .submit_one(&self.activations)
+    }
+
+    /// The instance's encoded layer wrapped as a single-layer
+    /// [`CompiledModel`] — the artifact the inference surface executes.
+    pub fn model(&self) -> CompiledModel {
+        CompiledModel::from_layers(self.config, vec![self.encoded.clone()])
+            .with_name(self.benchmark.name().to_string())
     }
 
     /// The dense workload in GOP (2 × rows × cols / 1e9): the denominator
@@ -154,7 +165,8 @@ mod tests {
         assert_eq!(inst.encoded.num_pes(), 4);
         assert_eq!(inst.activations.len(), inst.layer.weights.cols());
         let result = inst.run();
-        assert_eq!(result.run.outputs.len(), inst.layer.weights.rows());
+        assert_eq!(result.outputs(0).len(), inst.layer.weights.rows());
+        assert!(result.energy().is_some(), "cycle backend prices energy");
     }
 
     #[test]
@@ -175,6 +187,6 @@ mod tests {
         let b = BenchmarkInstance::prepare_scaled(Benchmark::NtLstm, cfg, 16);
         assert_eq!(a.activations, b.activations);
         assert_eq!(a.encoded, b.encoded);
-        assert_eq!(a.run().run.stats, b.run().run.stats);
+        assert_eq!(a.run().stats(0), b.run().stats(0));
     }
 }

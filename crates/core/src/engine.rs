@@ -1,15 +1,19 @@
 //! The engine: configure → compress → execute → report.
+//!
+//! The execution entry points that used to live here
+//! (`run_layer`/`run_network`/`run_batch`/`run_network_batch`) are
+//! deprecated thin shims now: the single inference surface is
+//! [`CompiledModel::infer`](crate::CompiledModel::infer) →
+//! [`JobResult`](crate::JobResult).
 
 use std::fmt;
-use std::time::Instant;
 
 use eie_compress::EncodedLayer;
 use eie_energy::{EnergyReport, LayerActivity};
-use eie_fixed::Q8p8;
 use eie_nn::CsrMatrix;
 use eie_sim::{simulate, simulate_network, LayerRun, NetworkRun, SimStats};
 
-use crate::backend::{Backend, BackendKind, BackendRun};
+use crate::backend::{Backend, BackendKind};
 use crate::{BatchResult, EieConfig};
 
 /// Converts simulator statistics into the energy model's activity counts.
@@ -162,15 +166,23 @@ impl fmt::Display for NetworkResult {
     }
 }
 
-/// The accelerator engine: compresses layers and executes them on a
-/// selectable [`Backend`] — cycle-accurate by default — reporting time
-/// (and, on the cycle model, energy).
+/// The accelerator engine — the legacy façade over configuration and
+/// execution, kept for source compatibility.
 ///
-/// [`Engine::run_layer`] / [`Engine::run_network`] always use the
-/// cycle-accurate model: their results carry activity statistics and an
-/// energy report only that model can produce. The batched entry points
-/// ([`Engine::run_batch`], [`Engine::run_network_batch`]) dispatch on
-/// the engine's configured backend.
+/// Every execution method on it is `#[deprecated]`: build a
+/// [`CompiledModel`](crate::CompiledModel) and use
+/// [`CompiledModel::infer`](crate::CompiledModel::infer) instead (one
+/// builder-style job for single layers, networks, and batches on any
+/// backend). The batched entry points ([`Engine::run_batch`],
+/// [`Engine::run_network_batch`]) delegate to the same execution core
+/// as the inference surface; [`Engine::run_layer`] /
+/// [`Engine::run_network`] still drive the cycle simulator directly
+/// because their [`ExecutionResult`] / [`NetworkResult`] shapes carry
+/// per-layer `LayerRun`s the unified [`JobResult`](crate::JobResult)
+/// intentionally replaces — their outputs, timing and energy are
+/// pinned to the job surface by parity tests. The engine remains
+/// useful only as a `(config, backend)` pair holder for code that
+/// predates the redesign.
 #[derive(Debug, Clone, Default)]
 pub struct Engine {
     config: EieConfig,
@@ -237,10 +249,21 @@ impl Engine {
     /// Executes one layer (raw M×V) on the cycle-accurate model and
     /// prices its energy.
     ///
+    /// Deprecated thin shim over the cycle simulator, kept only for the
+    /// per-layer [`ExecutionResult`] shape. Use
+    /// [`CompiledModel::infer`](crate::CompiledModel::infer) with
+    /// [`BackendKind::CycleAccurate`]: `model.infer(backend).layer(i)
+    /// .submit_one(acts)` returns the same outputs, statistics and
+    /// energy through [`JobResult`](crate::JobResult).
+    ///
     /// # Panics
     ///
     /// Panics if the layer was compressed for a different PE count or the
     /// activation length mismatches.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use CompiledModel::infer(BackendKind::CycleAccurate).layer(i).submit_one(acts)"
+    )]
     pub fn run_layer(&self, layer: &EncodedLayer, acts: &[f32]) -> ExecutionResult {
         self.check_layer(layer);
         let run = simulate(layer, acts, &self.config.sim_config());
@@ -255,9 +278,19 @@ impl Engine {
     /// Executes a feed-forward network (ReLU between layers) on the
     /// cycle-accurate model.
     ///
+    /// Deprecated thin shim: use
+    /// [`CompiledModel::infer`](crate::CompiledModel::infer) —
+    /// `model.infer(BackendKind::CycleAccurate).submit_one(input)` runs
+    /// the same chain and exposes the per-layer breakdown via
+    /// [`JobResult::layer_phases`](crate::JobResult::layer_phases).
+    ///
     /// # Panics
     ///
     /// Panics on dimension mismatches or a PE-count mismatch.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use CompiledModel::infer(BackendKind::CycleAccurate).submit_one(input)"
+    )]
     pub fn run_network(&self, layers: &[&EncodedLayer], input: &[f32]) -> NetworkResult {
         for l in layers {
             self.check_layer(l);
@@ -274,93 +307,51 @@ impl Engine {
     /// Executes a batch of activation vectors against one layer (raw
     /// M×V) on the engine's configured backend.
     ///
-    /// Inputs are quantized to Q8.8; outputs are bit-identical across
-    /// backends. Wall time is measured end to end for host backends and
-    /// summed over modelled item times for the cycle-accurate backend;
-    /// energy is reported by the cycle-accurate backend only.
+    /// Deprecated thin shim over the unified execution core: identical
+    /// to `model.infer(kind).layer(i).submit(batch).batch` on a
+    /// [`CompiledModel`](crate::CompiledModel).
     ///
     /// # Panics
     ///
     /// Panics if the batch is empty, the layer was compressed for a
     /// different PE count, or an item's length mismatches.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use CompiledModel::infer(kind).layer(i).submit(batch)"
+    )]
     pub fn run_batch(&self, layer: &EncodedLayer, batch: &[Vec<f32>]) -> BatchResult {
-        self.check_layer(layer);
-        let quantized = quantize_batch(batch);
-        let backend = self.backend();
-        let start = Instant::now();
-        let items = backend.run_layer_batch(layer, &quantized, false);
-        self.aggregate(backend.as_ref(), items, start.elapsed().as_secs_f64())
+        assert!(!batch.is_empty(), "batch must be non-empty");
+        crate::infer::execute_stack(&self.config, self.backend, &[layer], batch, true).batch
     }
 
     /// Executes a batch of inputs through a feed-forward network (ReLU
     /// between layers) on the engine's configured backend.
     ///
+    /// Deprecated thin shim over the unified execution core: identical
+    /// to `model.infer(kind).submit(batch).batch` on a
+    /// [`CompiledModel`](crate::CompiledModel) of the same layers.
+    ///
     /// # Panics
     ///
     /// Panics if the batch is empty, `layers` is empty, any layer was
     /// compressed for a different PE count, or dimensions mismatch.
+    #[deprecated(since = "0.1.0", note = "use CompiledModel::infer(kind).submit(batch)")]
     pub fn run_network_batch(&self, layers: &[&EncodedLayer], batch: &[Vec<f32>]) -> BatchResult {
         assert!(!layers.is_empty(), "network needs at least one layer");
-        for l in layers {
-            self.check_layer(l);
-        }
-        let quantized = quantize_batch(batch);
-        let backend = self.backend();
-        let start = Instant::now();
-        let items = backend.run_network_batch(layers, &quantized);
-        self.aggregate(backend.as_ref(), items, start.elapsed().as_secs_f64())
+        assert!(!batch.is_empty(), "batch must be non-empty");
+        crate::infer::execute_stack(&self.config, self.backend, layers, batch, true).batch
     }
-
-    /// Builds a [`BatchResult`] from per-item runs: wall-time semantics
-    /// per backend, energy pricing when cycle statistics exist.
-    fn aggregate(
-        &self,
-        backend: &dyn Backend,
-        items: Vec<BackendRun>,
-        measured_wall_s: f64,
-    ) -> BatchResult {
-        let wall_s = if backend.is_modeled() {
-            items.iter().map(|r| r.latency_s).sum()
-        } else {
-            measured_wall_s
-        };
-        let energy = if items.iter().all(|r| r.stats.is_some()) && !items.is_empty() {
-            let mut total = SimStats::default();
-            for run in &items {
-                total.merge(run.stats.as_ref().expect("checked above"));
-            }
-            Some(EnergyReport::price(
-                &activity_from_stats(&total),
-                &self.config.pe_model(),
-            ))
-        } else {
-            None
-        };
-        BatchResult {
-            backend: backend.name(),
-            items,
-            wall_s,
-            energy,
-        }
-    }
-}
-
-/// Quantizes a batch of `f32` activation vectors to the Q8.8 datapath.
-///
-/// # Panics
-///
-/// Panics if the batch is empty.
-fn quantize_batch(batch: &[Vec<f32>]) -> Vec<Vec<Q8p8>> {
-    assert!(!batch.is_empty(), "batch must be non-empty");
-    batch
-        .iter()
-        .map(|acts| Q8p8::from_f32_slice(acts))
-        .collect()
 }
 
 #[cfg(test)]
 mod tests {
+    // The legacy entry points must stay behaviourally identical to the
+    // unified inference surface until they are removed; these tests
+    // exercise them (and their parity with it) deliberately.
+    #![allow(deprecated)]
+
     use super::*;
+    use crate::{BackendKind, CompiledModel};
     use eie_nn::zoo::Benchmark;
 
     fn small_engine() -> (Engine, eie_nn::zoo::BenchLayer) {
@@ -536,5 +527,69 @@ mod tests {
         let (engine, layer) = small_engine();
         let enc = engine.config().pipeline().compile_matrix(&layer.weights);
         let _ = engine.run_batch(&enc, &[]);
+    }
+
+    #[test]
+    fn deprecated_run_shims_match_the_inference_surface() {
+        // The four legacy entry points are thin shims over the same
+        // execution core as `CompiledModel::infer`; outputs, timing and
+        // energy must agree exactly.
+        let (engine, layer) = small_engine();
+        let model = CompiledModel::compile_layer(*engine.config(), &layer.weights);
+        let batch = layer.sample_activation_batch(5, 3);
+
+        let single = engine.run_layer(model.layer(0), &batch[0]);
+        let job = model
+            .infer(BackendKind::CycleAccurate)
+            .submit_one(&batch[0]);
+        assert_eq!(&single.run.outputs[..], job.outputs(0));
+        assert!((single.time_us() - job.time_us()).abs() < 1e-9);
+        assert!(
+            (single.energy.total_uj() - job.energy().unwrap().total_uj()).abs() < 1e-12,
+            "shim energy diverged from the job surface"
+        );
+
+        let legacy = engine.run_batch(model.layer(0), &batch);
+        let batched = model.infer(BackendKind::CycleAccurate).submit(&batch);
+        for i in 0..batch.len() {
+            assert_eq!(legacy.outputs(i), batched.outputs(i));
+        }
+        assert!((legacy.wall_s - batched.batch.wall_s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn deprecated_network_shims_match_the_inference_surface() {
+        // run_network keeps its own simulate_network call for the
+        // per-layer NetworkResult shape; outputs, per-layer stats,
+        // timing and energy must still agree exactly with a whole-stack
+        // inference job so the two paths cannot drift apart.
+        let engine = Engine::new(EieConfig::default().with_num_pes(2));
+        let w1 = eie_nn::zoo::random_sparse(32, 24, 0.3, 31);
+        let w2 = eie_nn::zoo::random_sparse(16, 32, 0.3, 32);
+        let model = CompiledModel::compile(*engine.config(), &[&w1, &w2]);
+        let batch: Vec<Vec<f32>> = (0..3)
+            .map(|s| (0..24).map(|i| ((i + s) % 3) as f32 * 0.5).collect())
+            .collect();
+
+        let net = engine.run_network(&model.layer_refs(), &batch[0]);
+        let job = model
+            .infer(BackendKind::CycleAccurate)
+            .submit_one(&batch[0]);
+        assert_eq!(&net.run.outputs[..], job.outputs(0));
+        assert!((net.time_us() - job.time_us()).abs() < 1e-12);
+        for (run, phase) in net.run.layers.iter().zip(job.layer_phases()) {
+            assert_eq!(Some(&run.stats), phase.stats.as_ref());
+        }
+        assert!(
+            (net.energy.total_uj() - job.energy().unwrap().total_uj()).abs() < 1e-12,
+            "network shim energy diverged from the job surface"
+        );
+
+        let legacy = engine.run_network_batch(&model.layer_refs(), &batch);
+        let batched = model.infer(BackendKind::CycleAccurate).submit(&batch);
+        for i in 0..batch.len() {
+            assert_eq!(legacy.outputs(i), batched.outputs(i));
+        }
+        assert!((legacy.wall_s - batched.batch.wall_s).abs() < 1e-15);
     }
 }

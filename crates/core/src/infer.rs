@@ -1,0 +1,627 @@
+//! The single inference surface: build an [`InferenceJob`], submit
+//! inputs, read a [`JobResult`].
+//!
+//! EIE's evaluation runs one compressed artifact on three engines; this
+//! module gives all of them one request/response lifecycle:
+//!
+//! ```
+//! use eie_core::{BackendKind, CompiledModel, EieConfig};
+//! use eie_core::nn::zoo::random_sparse;
+//!
+//! let w1 = random_sparse(32, 24, 0.2, 1);
+//! let w2 = random_sparse(16, 32, 0.2, 2);
+//! let model = CompiledModel::compile(EieConfig::default().with_num_pes(4), &[&w1, &w2]);
+//!
+//! // One surface for every execution mode: pick a backend, scope the
+//! // job, submit a batch.
+//! let batch = vec![vec![0.5f32; 24]; 3];
+//! let job = model.infer(BackendKind::CycleAccurate).energy(true).submit(&batch);
+//! assert_eq!(job.batch_size(), 3);
+//! assert!(job.energy().is_some());
+//!
+//! // A sub-stack of the model (here: just the first layer, raw M×V).
+//! let first = model.infer(BackendKind::Functional).layers(0..1).submit_one(&vec![0.5; 24]);
+//! assert_eq!(first.outputs(0).len(), 32);
+//! ```
+//!
+//! The job executes the selected layers **layer-at-a-time over the whole
+//! batch** (ReLU between selected layers, none after the last), so every
+//! backend's batched fast path stays in play while outputs remain
+//! bit-identical to a one-at-a-time functional run — the invariant the
+//! serving stack ([`eie-serve`]) builds on.
+//!
+//! [`eie-serve`]: https://github.com/eie-rs/eie
+
+use std::fmt;
+use std::ops::{Bound, RangeBounds};
+use std::time::Instant;
+
+use eie_compress::EncodedLayer;
+use eie_energy::EnergyReport;
+use eie_fixed::Q8p8;
+use eie_sim::SimStats;
+
+use crate::backend::{Backend, BackendKind, BackendRun, CompiledModel};
+use crate::engine::activity_from_stats;
+use crate::{BatchResult, EieConfig};
+
+impl CompiledModel {
+    /// Starts an inference job on this model for the given backend — the
+    /// single entry point that replaced the four `Engine::run_*`
+    /// methods.
+    ///
+    /// The job defaults to the whole layer stack, the model's compiled
+    /// configuration, and energy pricing on (a no-op on backends without
+    /// activity statistics); see the [`InferenceJob`] builders.
+    pub fn infer(&self, backend: BackendKind) -> InferenceJob<'_> {
+        InferenceJob {
+            model: self,
+            backend,
+            config: *self.config(),
+            first: 0,
+            end: self.num_layers(),
+            price_energy: true,
+        }
+    }
+}
+
+/// A configured-but-not-yet-submitted inference request against a
+/// [`CompiledModel`]: which backend executes, which contiguous slice of
+/// the layer stack runs, under which execution configuration, and
+/// whether activity statistics are priced into an energy report.
+///
+/// Built by [`CompiledModel::infer`]; consumed by
+/// [`InferenceJob::submit`] / [`InferenceJob::submit_one`].
+#[derive(Debug, Clone)]
+pub struct InferenceJob<'m> {
+    model: &'m CompiledModel,
+    backend: BackendKind,
+    config: EieConfig,
+    first: usize,
+    end: usize,
+    price_energy: bool,
+}
+
+impl<'m> InferenceJob<'m> {
+    /// Restricts the job to a contiguous sub-range of the model's layer
+    /// stack (default: all layers). ReLU applies between *selected*
+    /// layers and never after the last, so a single-layer job is a raw
+    /// M×V — the old `run_layer` semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    pub fn layers<R: RangeBounds<usize>>(mut self, range: R) -> Self {
+        let first = match range.start_bound() {
+            Bound::Unbounded => 0,
+            Bound::Included(&s) => s,
+            Bound::Excluded(&s) => s + 1,
+        };
+        let end = match range.end_bound() {
+            Bound::Unbounded => self.model.num_layers(),
+            Bound::Included(&e) => e + 1,
+            Bound::Excluded(&e) => e,
+        };
+        assert!(
+            first < end && end <= self.model.num_layers(),
+            "layer range {first}..{end} invalid for a {}-layer model",
+            self.model.num_layers()
+        );
+        self.first = first;
+        self.end = end;
+        self
+    }
+
+    /// Restricts the job to one layer (raw M×V, no ReLU) — shorthand for
+    /// `layers(i..=i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn layer(self, i: usize) -> Self {
+        self.layers(i..=i)
+    }
+
+    /// Overrides the execution configuration (clock, FIFO depth, SRAM
+    /// width, ablation switches) without recompiling the artifact — the
+    /// design-space-sweep entry point. The PE count must match the
+    /// compiled layers; [`InferenceJob::submit`] asserts it.
+    pub fn config(mut self, config: EieConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Enables or disables energy pricing of the run's activity
+    /// statistics (default: on). Only the cycle-accurate backend
+    /// produces statistics; on other backends this is a no-op and
+    /// [`JobResult::energy`] is `None` either way.
+    pub fn energy(mut self, price: bool) -> Self {
+        self.price_energy = price;
+        self
+    }
+
+    /// The backend this job will execute on.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Submits a batch of `f32` input vectors and runs the job to
+    /// completion, returning the unified [`JobResult`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty, an item's length differs from the
+    /// first selected layer's input dimension, or the execution
+    /// configuration's PE count mismatches the compiled layers.
+    pub fn submit(&self, inputs: &[Vec<f32>]) -> JobResult {
+        let layers: Vec<&EncodedLayer> = self.model.layers()[self.first..self.end].iter().collect();
+        execute_stack(
+            &self.config,
+            self.backend,
+            &layers,
+            inputs,
+            self.price_energy,
+        )
+    }
+
+    /// Submits a single input vector — shorthand for a batch of one.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`InferenceJob::submit`].
+    pub fn submit_one(&self, input: &[f32]) -> JobResult {
+        self.submit(std::slice::from_ref(&input.to_vec()))
+    }
+}
+
+/// Per-layer aggregate of one job: the summed item latencies and the
+/// merged activity statistics (cycle-accurate backend only) of one layer
+/// of the selected stack, over the whole batch.
+#[derive(Debug, Clone)]
+pub struct LayerPhase {
+    /// Summed per-item time spent in this layer, seconds (modelled time
+    /// on the cycle backend, measured host time otherwise).
+    pub latency_s: f64,
+    /// Activity statistics merged over the batch (cycle backend only).
+    pub stats: Option<SimStats>,
+}
+
+impl LayerPhase {
+    /// Summed per-item time spent in this layer, µs.
+    pub fn latency_us(&self) -> f64 {
+        self.latency_s * 1e6
+    }
+}
+
+/// The unified result of one [`InferenceJob`]: per-item outputs and
+/// latencies, a per-layer breakdown, and — on the cycle-accurate
+/// backend — merged activity statistics priced into an energy report.
+///
+/// The batched-distribution view (percentiles, frames/s, per-frame cost)
+/// lives in the embedded [`BatchResult`]; the accessors here delegate to
+/// it so callers need only one type.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Which backend executed the job.
+    backend: BackendKind,
+    /// Clock the job was timed at, Hz (for cycle → wall conversions).
+    clock_hz: f64,
+    /// The aggregated batch: per-item runs, wall time, energy.
+    pub batch: BatchResult,
+    /// Per-layer breakdown of the selected stack, input to output.
+    phases: Vec<LayerPhase>,
+}
+
+impl JobResult {
+    /// Which backend executed the job.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Number of items in the submitted batch.
+    pub fn batch_size(&self) -> usize {
+        self.batch.batch_size()
+    }
+
+    /// Output activations of item `i`, Q8.8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= batch_size()`.
+    pub fn outputs(&self, i: usize) -> &[Q8p8] {
+        self.batch.outputs(i)
+    }
+
+    /// Output activations of item `i`, converted to `f32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= batch_size()`.
+    pub fn outputs_f32(&self, i: usize) -> Vec<f32> {
+        self.batch.outputs(i).iter().map(|v| v.to_f32()).collect()
+    }
+
+    /// Item `i`'s end-to-end latency, µs (modelled hardware time on the
+    /// cycle backend, measured host time otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= batch_size()`.
+    pub fn latency_us(&self, i: usize) -> f64 {
+        self.batch.items[i].latency_us()
+    }
+
+    /// Item `i`'s cycle/activity statistics (cycle backend only), merged
+    /// over the selected layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= batch_size()`.
+    pub fn stats(&self, i: usize) -> Option<&SimStats> {
+        self.batch.items[i].stats.as_ref()
+    }
+
+    /// Activity statistics merged over the whole batch (cycle backend
+    /// only).
+    pub fn merged_stats(&self) -> Option<SimStats> {
+        let mut total: Option<SimStats> = None;
+        for item in &self.batch.items {
+            match (&mut total, item.stats.as_ref()) {
+                (_, None) => return None,
+                (None, Some(s)) => total = Some(s.clone()),
+                (Some(t), Some(s)) => t.merge(s),
+            }
+        }
+        total
+    }
+
+    /// The per-layer breakdown of the selected stack (one entry per
+    /// executed layer, input to output).
+    pub fn layer_phases(&self) -> &[LayerPhase] {
+        &self.phases
+    }
+
+    /// Activity statistics of executed layer `li`, merged over the batch
+    /// (cycle backend only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `li` is not an executed-layer index.
+    pub fn layer_stats(&self, li: usize) -> Option<&SimStats> {
+        self.phases[li].stats.as_ref()
+    }
+
+    /// Whole-job wall time, µs: the sum of modelled item times on the
+    /// cycle backend (the hardware runs items back to back), measured
+    /// end-to-end host time otherwise.
+    pub fn time_us(&self) -> f64 {
+        self.batch.wall_time_us()
+    }
+
+    /// The theoretical (perfectly balanced, stall-free) time for the
+    /// whole job, µs — Table IV's "EIE Theoretical Time" row (cycle
+    /// backend only).
+    pub fn theoretical_time_us(&self) -> Option<f64> {
+        self.merged_stats()
+            .map(|s| s.theoretical_cycles() as f64 / self.clock_hz * 1e6)
+    }
+
+    /// Aggregate inference throughput over the batch, frames/s.
+    pub fn frames_per_second(&self) -> f64 {
+        self.batch.frames_per_second()
+    }
+
+    /// Mean per-item latency, µs.
+    pub fn mean_latency_us(&self) -> f64 {
+        self.batch.mean_latency_us()
+    }
+
+    /// Amortized per-frame time, µs (batch wall over batch size).
+    pub fn per_frame_us(&self) -> f64 {
+        self.batch.per_frame_us()
+    }
+
+    /// Median per-item latency, µs.
+    pub fn p50(&self) -> f64 {
+        self.batch.p50()
+    }
+
+    /// 95th-percentile per-item latency, µs.
+    pub fn p95(&self) -> f64 {
+        self.batch.p95()
+    }
+
+    /// 99th-percentile per-item latency, µs.
+    pub fn p99(&self) -> f64 {
+        self.batch.p99()
+    }
+
+    /// Sustained GOP/s on the compressed workload (cycle backend only).
+    pub fn gops(&self) -> Option<f64> {
+        self.merged_stats().map(|s| s.gops_at(self.clock_hz))
+    }
+
+    /// Activity-priced energy over the whole batch (cycle backend, with
+    /// pricing enabled).
+    pub fn energy(&self) -> Option<&EnergyReport> {
+        self.batch.energy.as_ref()
+    }
+
+    /// Energy per frame, µJ (cycle backend, with pricing enabled).
+    pub fn energy_per_frame_uj(&self) -> Option<f64> {
+        self.batch.energy_per_frame_uj()
+    }
+
+    /// Average power over the run, W (cycle backend, with pricing
+    /// enabled).
+    pub fn average_power_w(&self) -> Option<f64> {
+        self.energy().map(EnergyReport::average_power_w)
+    }
+}
+
+impl fmt::Display for JobResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.batch.fmt(f)
+    }
+}
+
+/// Runs a quantized batch through a feed-forward layer stack on an
+/// already-instantiated backend, layer-at-a-time over the whole batch
+/// (ReLU between layers, none after the last).
+///
+/// This is the one execution loop behind [`InferenceJob::submit`] and
+/// the serving workers, so micro-batch coalescing can never change
+/// outputs: every path quantizes, chains and accumulates identically.
+///
+/// # Panics
+///
+/// Panics if `layers` or `batch` is empty, or dimensions mismatch.
+pub fn run_stack_quantized(
+    backend: &dyn Backend,
+    layers: &[&EncodedLayer],
+    batch: &[Vec<Q8p8>],
+) -> Vec<BackendRun> {
+    chain_stack(backend, layers, batch).0
+}
+
+/// The one chaining loop: run each selected layer over the whole batch,
+/// accumulating per-item latency/statistics and the per-layer phases.
+fn chain_stack(
+    backend: &dyn Backend,
+    layers: &[&EncodedLayer],
+    batch: &[Vec<Q8p8>],
+) -> (Vec<BackendRun>, Vec<LayerPhase>) {
+    assert!(!layers.is_empty(), "inference job needs at least one layer");
+    assert!(!batch.is_empty(), "batch must be non-empty");
+    let n = batch.len();
+    let mut latency_s = vec![0.0f64; n];
+    let mut stats: Vec<Option<SimStats>> = vec![None; n];
+    let mut current: Vec<Vec<Q8p8>> = batch.to_vec();
+    let mut phases: Vec<LayerPhase> = Vec::with_capacity(layers.len());
+    for (li, layer) in layers.iter().enumerate() {
+        let relu = li + 1 < layers.len();
+        let runs = backend.run_layer_batch(layer, &current, relu);
+        let mut phase = LayerPhase {
+            latency_s: 0.0,
+            stats: None,
+        };
+        let mut next: Vec<Vec<Q8p8>> = Vec::with_capacity(n);
+        for (i, run) in runs.into_iter().enumerate() {
+            latency_s[i] += run.latency_s;
+            phase.latency_s += run.latency_s;
+            match (&mut phase.stats, run.stats.as_ref()) {
+                (None, Some(s)) => phase.stats = Some(s.clone()),
+                (Some(t), Some(s)) => t.merge(s),
+                (_, None) => {}
+            }
+            match (&mut stats[i], run.stats) {
+                (slot @ None, s) => *slot = s,
+                (Some(total), Some(s)) => total.merge(&s),
+                (Some(_), None) => {}
+            }
+            next.push(run.outputs);
+        }
+        current = next;
+        phases.push(phase);
+    }
+    let items = current
+        .into_iter()
+        .zip(latency_s)
+        .zip(stats)
+        .map(|((outputs, latency_s), stats)| BackendRun {
+            outputs,
+            latency_s,
+            stats,
+        })
+        .collect();
+    (items, phases)
+}
+
+/// The shared execution core: quantize → chain the stack on the chosen
+/// backend → aggregate per-item, per-layer and whole-batch views.
+///
+/// Every public execution surface funnels here: [`InferenceJob::submit`]
+/// directly, and the deprecated `Engine::run_batch` /
+/// `Engine::run_network_batch` shims through their layer slices.
+pub(crate) fn execute_stack(
+    config: &EieConfig,
+    kind: BackendKind,
+    layers: &[&EncodedLayer],
+    inputs: &[Vec<f32>],
+    price_energy: bool,
+) -> JobResult {
+    assert!(!layers.is_empty(), "inference job needs at least one layer");
+    assert!(!inputs.is_empty(), "batch must be non-empty");
+    for layer in layers {
+        assert_eq!(
+            layer.num_pes(),
+            config.num_pes,
+            "layer compressed for a different PE count"
+        );
+    }
+    let quantized: Vec<Vec<Q8p8>> = inputs
+        .iter()
+        .map(|acts| Q8p8::from_f32_slice(acts))
+        .collect();
+    let backend = kind.instantiate(config);
+
+    let start = Instant::now();
+    let (items, phases) = chain_stack(backend.as_ref(), layers, &quantized);
+    let measured_wall_s = start.elapsed().as_secs_f64();
+
+    let wall_s = if backend.is_modeled() {
+        items.iter().map(|r| r.latency_s).sum()
+    } else {
+        measured_wall_s
+    };
+    let energy = if price_energy && items.iter().all(|r| r.stats.is_some()) {
+        let mut total = SimStats::default();
+        for run in &items {
+            total.merge(run.stats.as_ref().expect("checked above"));
+        }
+        Some(EnergyReport::price(
+            &activity_from_stats(&total),
+            &config.pe_model(),
+        ))
+    } else {
+        None
+    };
+    JobResult {
+        backend: kind,
+        clock_hz: config.clock_hz,
+        batch: BatchResult {
+            backend: backend.name(),
+            items,
+            wall_s,
+            energy,
+        },
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eie_nn::zoo::random_sparse;
+
+    fn two_layer_model() -> CompiledModel {
+        let w1 = random_sparse(32, 24, 0.3, 11);
+        let w2 = random_sparse(12, 32, 0.3, 12);
+        CompiledModel::compile(EieConfig::default().with_num_pes(4), &[&w1, &w2])
+    }
+
+    fn batch(n: usize) -> Vec<Vec<f32>> {
+        (0..n as u64)
+            .map(|i| eie_nn::zoo::sample_activations(24, 0.5, false, 50 + i))
+            .collect()
+    }
+
+    #[test]
+    fn job_runs_the_whole_stack_by_default() {
+        let model = two_layer_model();
+        let job = model.infer(BackendKind::Functional).submit(&batch(3));
+        assert_eq!(job.batch_size(), 3);
+        assert_eq!(job.outputs(0).len(), 12);
+        assert_eq!(job.layer_phases().len(), 2);
+        assert!(job.energy().is_none(), "functional backend has no energy");
+        assert!(job.merged_stats().is_none());
+        assert!(job.time_us() >= 0.0);
+    }
+
+    #[test]
+    fn cycle_jobs_price_energy_and_expose_stats() {
+        let model = two_layer_model();
+        let job = model.infer(BackendKind::CycleAccurate).submit(&batch(2));
+        let energy = job.energy().expect("cycle backend prices energy");
+        assert!(energy.total_uj() > 0.0);
+        assert!(job.average_power_w().unwrap() > 0.0);
+        assert!(job.gops().unwrap() > 0.0);
+        assert!(job.theoretical_time_us().unwrap() <= job.time_us());
+        let merged = job.merged_stats().unwrap();
+        let per_item: u64 = (0..2).map(|i| job.stats(i).unwrap().total_cycles).sum();
+        assert_eq!(merged.total_cycles, per_item);
+        let per_layer: u64 = (0..2)
+            .map(|li| job.layer_stats(li).unwrap().total_cycles)
+            .sum();
+        assert_eq!(merged.total_cycles, per_layer);
+        // Disabled pricing drops the report but not the statistics.
+        let unpriced = model
+            .infer(BackendKind::CycleAccurate)
+            .energy(false)
+            .submit(&batch(2));
+        assert!(unpriced.energy().is_none());
+        assert!(unpriced.stats(0).is_some());
+    }
+
+    #[test]
+    fn layer_scoping_matches_manual_chaining() {
+        let model = two_layer_model();
+        let inputs = batch(1);
+        // Layer 0 raw, host-side ReLU + quantize, layer 1 raw == whole
+        // stack (the job applies ReLU between layers on-device).
+        let l0 = model
+            .infer(BackendKind::Functional)
+            .layer(0)
+            .submit(&inputs);
+        let mid: Vec<f32> = l0.outputs_f32(0).iter().map(|&v| v.max(0.0)).collect();
+        let l1 = model
+            .infer(BackendKind::Functional)
+            .layers(1..)
+            .submit_one(&mid);
+        let whole = model.infer(BackendKind::Functional).submit(&inputs);
+        assert_eq!(l1.outputs(0), whole.outputs(0));
+        assert_eq!(whole.layer_phases().len(), 2);
+        assert_eq!(l0.layer_phases().len(), 1);
+    }
+
+    #[test]
+    fn config_override_retimes_without_recompiling() {
+        let model = two_layer_model();
+        let inputs = batch(1);
+        let slow = model.infer(BackendKind::CycleAccurate).submit(&inputs);
+        let fast = model
+            .infer(BackendKind::CycleAccurate)
+            .config(model.config().with_clock_hz(1.6e9))
+            .submit(&inputs);
+        assert_eq!(slow.outputs(0), fast.outputs(0));
+        assert!((slow.time_us() / fast.time_us() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backends_agree_through_the_job_surface() {
+        let model = two_layer_model();
+        let inputs = batch(4);
+        let golden = model.infer(BackendKind::Functional).submit(&inputs);
+        for kind in [BackendKind::CycleAccurate, BackendKind::NativeCpu(2)] {
+            let job = model.infer(kind).submit(&inputs);
+            for i in 0..inputs.len() {
+                assert_eq!(job.outputs(i), golden.outputs(i), "{kind} diverged");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "layer range")]
+    fn rejects_empty_layer_range() {
+        let model = two_layer_model();
+        #[allow(clippy::reversed_empty_ranges)]
+        let _ = model.infer(BackendKind::Functional).layers(1..1);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be non-empty")]
+    fn rejects_empty_batch() {
+        let model = two_layer_model();
+        let _ = model.infer(BackendKind::Functional).submit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different PE count")]
+    fn rejects_pe_mismatched_config_override() {
+        let model = two_layer_model();
+        let _ = model
+            .infer(BackendKind::Functional)
+            .config(EieConfig::default().with_num_pes(8))
+            .submit(&batch(1));
+    }
+}

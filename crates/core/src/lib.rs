@@ -10,14 +10,18 @@
 //!    whole model — weight sharing + interleaved CSC, paper §III) and
 //!    optionally **deploy** the result as a versioned `.eie` artifact
 //!    ([`CompiledModel::save`] / [`CompiledModel::load`]),
-//! 3. **Execute** it cycle-accurately with [`Engine::run_layer`] /
-//!    [`Engine::run_network`], obtaining outputs, cycle statistics,
-//!    wall-clock time and an activity-based energy report,
-//! 4. **Serve** batches on a pluggable [`Backend`] — the cycle model,
-//!    the bit-exact [`Functional`] golden model, or the host-speed
-//!    multi-threaded [`NativeCpu`] kernel — via [`Engine::run_batch`] /
-//!    [`Engine::run_network_batch`] or a [`CompiledModel`], obtaining a
-//!    [`BatchResult`] (latency distribution, frames/s, energy).
+//! 3. **Execute** through the single inference surface: build an
+//!    [`InferenceJob`] with [`CompiledModel::infer`] (pick a
+//!    [`Backend`] — the cycle model for hardware numbers, the bit-exact
+//!    [`Functional`] golden model for verification, the host-speed
+//!    multi-threaded [`NativeCpu`] kernel for serving), scope it
+//!    ([`InferenceJob::layers`], [`InferenceJob::config`],
+//!    [`InferenceJob::energy`]) and [`submit`](InferenceJob::submit) a
+//!    batch, obtaining a [`JobResult`] (outputs, latency distribution,
+//!    per-layer statistics, energy),
+//! 4. **Serve** the same artifact under live traffic with the
+//!    `eie-serve` crate's `ModelServer` (request queue, dynamic
+//!    micro-batching, worker threads — one [`Backend`] each).
 //!
 //! The sub-crates are re-exported under [`compress`], [`nn`], [`sim`],
 //! [`energy`], [`baselines`] and [`fixed`] for direct access; the
@@ -31,11 +35,12 @@
 //! // AlexNet FC7 shape at 1/32 scale, Table III densities.
 //! let layer = Benchmark::Alex7.generate_scaled(1, 32);
 //! let config = EieConfig::default().with_num_pes(4);
-//! let compressed = config.pipeline().compile_matrix(&layer.weights);
-//! let engine = Engine::new(config);
-//! let result = engine.run_layer(&compressed, &layer.sample_activations(7));
+//! let model = CompiledModel::compile_layer(config, &layer.weights);
+//! let result = model
+//!     .infer(BackendKind::CycleAccurate)
+//!     .submit_one(&layer.sample_activations(7));
 //! assert!(result.time_us() > 0.0);
-//! assert!(result.energy.total_uj() > 0.0);
+//! assert!(result.energy().unwrap().total_uj() > 0.0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -47,16 +52,18 @@ mod batch;
 mod benchmarks;
 mod config;
 mod engine;
+pub mod infer;
 pub mod prelude;
 
 pub use artifact::{ModelArtifactError, MODEL_EXTENSION, MODEL_MAGIC, MODEL_VERSION};
 pub use backend::{
     Backend, BackendKind, BackendRun, CompiledModel, CycleAccurate, Functional, NativeCpu,
 };
-pub use batch::BatchResult;
+pub use batch::{percentile, BatchResult};
 pub use benchmarks::BenchmarkInstance;
 pub use config::EieConfig;
 pub use engine::{activity_from_stats, Engine, ExecutionResult, NetworkResult};
+pub use infer::{run_stack_quantized, InferenceJob, JobResult, LayerPhase};
 
 /// The Deep Compression pipeline (re-export of `eie-compress`).
 pub mod compress {

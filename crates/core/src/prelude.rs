@@ -5,15 +5,15 @@
 //!
 //! let config = EieConfig::default().with_num_pes(2);
 //! let weights = random_sparse(32, 32, 0.2, 1);
-//! let layer = config.pipeline().compile_matrix(&weights);
-//! let out = Engine::new(config).run_layer(&layer, &vec![1.0; 32]);
-//! assert_eq!(out.run.outputs.len(), 32);
+//! let model = CompiledModel::compile_layer(config, &weights);
+//! let out = model.infer(BackendKind::CycleAccurate).submit_one(&vec![1.0; 32]);
+//! assert_eq!(out.outputs(0).len(), 32);
 //! ```
 
 pub use crate::{
-    activity_from_stats, Backend, BackendKind, BackendRun, BatchResult, BenchmarkInstance,
-    CompiledModel, CycleAccurate, EieConfig, Engine, ExecutionResult, Functional,
-    ModelArtifactError, NativeCpu, NetworkResult,
+    activity_from_stats, percentile, Backend, BackendKind, BackendRun, BatchResult,
+    BenchmarkInstance, CompiledModel, CycleAccurate, EieConfig, Engine, ExecutionResult,
+    Functional, InferenceJob, JobResult, LayerPhase, ModelArtifactError, NativeCpu, NetworkResult,
 };
 
 pub use eie_compress::{

@@ -90,13 +90,13 @@ proptest! {
             prop_assert!(loaded.has_shared_codebook());
         }
 
-        let golden = model.run_batch(BackendKind::Functional, &batch);
+        let golden = model.infer(BackendKind::Functional).submit(&batch);
         for kind in [
             BackendKind::Functional,
             BackendKind::CycleAccurate,
             BackendKind::NativeCpu(2),
         ] {
-            let from_disk = loaded.run_batch(kind, &batch);
+            let from_disk = loaded.infer(kind).submit(&batch);
             for i in 0..batch.len() {
                 prop_assert_eq!(
                     from_disk.outputs(i),

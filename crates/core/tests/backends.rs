@@ -76,13 +76,13 @@ fn engine_batches_agree_across_backends_through_a_network() {
     let batch: Vec<Vec<f32>> = (0..6)
         .map(|s| eie_core::nn::zoo::sample_activations(48, 0.4, false, 100 + s))
         .collect();
-    let reference = model.run_batch(BackendKind::Functional, &batch);
+    let reference = model.infer(BackendKind::Functional).submit(&batch);
     for kind in [
         BackendKind::CycleAccurate,
         BackendKind::NativeCpu(1),
         BackendKind::NativeCpu(4),
     ] {
-        let result = model.run_batch(kind, &batch);
+        let result = model.infer(kind).submit(&batch);
         assert_eq!(result.batch_size(), reference.batch_size());
         for i in 0..batch.len() {
             assert_eq!(
@@ -94,7 +94,7 @@ fn engine_batches_agree_across_backends_through_a_network() {
     }
 }
 
-/// The point of the NativeCpu backend: `Engine::run_batch` with ≥4
+/// The point of the NativeCpu backend: a batched inference job with ≥4
 /// threads beats looping the functional golden model item by item, with
 /// a generous margin. Run with `cargo test --release -- --ignored`.
 #[test]
@@ -102,15 +102,16 @@ fn engine_batches_agree_across_backends_through_a_network() {
 fn native_batch_outpaces_functional_per_item_loop() {
     let config = EieConfig::default().with_num_pes(8);
     let layer = Benchmark::Alex7.generate_scaled(DEFAULT_SEED, 4); // 1024×1024 @ 9%
-    let engine = Engine::with_backend(config, BackendKind::NativeCpu(4));
-    let enc = config.pipeline().compile_matrix(&layer.weights);
+    let model = CompiledModel::compile_layer(config, &layer.weights);
+    let native = model.infer(BackendKind::NativeCpu(4));
+    let enc = model.layer(0);
     let batch = layer.sample_activation_batch(DEFAULT_SEED, 64);
     let quantized = quantize_batch(&batch);
 
     // Warm both paths once.
     let functional = Functional::new();
-    let _ = functional.run_layer(&enc, &quantized[0], false);
-    let _ = engine.run_batch(&enc, &batch);
+    let _ = functional.run_layer(enc, &quantized[0], false);
+    let _ = native.submit(&batch);
 
     // Best-of-3 per path: robust against scheduler noise on small or
     // loaded machines (a single preemption can double one measurement).
@@ -120,17 +121,17 @@ fn native_batch_outpaces_functional_per_item_loop() {
         let start = Instant::now();
         golden_outputs = quantized
             .iter()
-            .map(|item| functional.run_layer(&enc, item, false).outputs)
+            .map(|item| functional.run_layer(enc, item, false).outputs)
             .collect();
         functional_s = functional_s.min(start.elapsed().as_secs_f64());
     }
 
     let mut native_s = f64::INFINITY;
-    let mut result = engine.run_batch(&enc, &batch);
-    native_s = native_s.min(result.wall_s);
+    let mut result = native.submit(&batch);
+    native_s = native_s.min(result.batch.wall_s);
     for _ in 0..2 {
-        result = engine.run_batch(&enc, &batch);
-        native_s = native_s.min(result.wall_s);
+        result = native.submit(&batch);
+        native_s = native_s.min(result.batch.wall_s);
     }
 
     for (i, golden) in golden_outputs.iter().enumerate() {

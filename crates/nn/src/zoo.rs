@@ -167,14 +167,26 @@ impl Benchmark {
     /// Generates a layer with both dimensions divided by `divisor`
     /// (clamped to ≥ 16): same densities, test-friendly size.
     ///
+    /// The NT-LSTM gate matrix keeps its structural invariants at every
+    /// scale: its full-size shape is `4·hidden × (input + hidden + 1)`
+    /// with `hidden == input == 600`, and naive division can break that
+    /// (2400/16 = 150 rows is not a multiple of 4, so no valid `hidden`
+    /// exists). Scaling instead rounds through `hidden`: `hidden =
+    /// max(600/divisor, 8)`, rows `= 4·hidden`, cols `= 2·hidden + 1` —
+    /// at `divisor == 1` this is exactly the Table III 2400×1201 shape.
+    ///
     /// # Panics
     ///
     /// Panics if `divisor == 0`.
     pub fn generate_scaled(self, seed: u64, divisor: usize) -> BenchLayer {
         assert!(divisor > 0, "divisor must be non-zero");
         let (rows, cols) = self.dims();
-        let rows = (rows / divisor).max(16);
-        let cols = (cols / divisor).max(16);
+        let (rows, cols) = if self == Benchmark::NtLstm {
+            let hidden = (rows / 4 / divisor).max(8);
+            (4 * hidden, 2 * hidden + 1)
+        } else {
+            ((rows / divisor).max(16), (cols / divisor).max(16))
+        };
         BenchLayer {
             benchmark: self,
             weights: random_sparse(rows, cols, self.weight_density(), mix(seed, self as u64)),
@@ -421,6 +433,31 @@ mod tests {
         let a = nt.sample_activations(0);
         assert_eq!(ops::density(&a), 1.0);
         assert!(a.iter().any(|&x| x < 0.0), "NT activations are signed");
+    }
+
+    #[test]
+    fn scaled_nt_lstm_keeps_a_valid_gate_shape_at_every_scale() {
+        // Regression: EIE_SCALE=16 used to yield 150 rows (2400/16),
+        // which is not a multiple of 4, so `LstmCell::new` panicked.
+        // Every scale must now produce a decomposable gate matrix.
+        for divisor in [1usize, 2, 4, 8, 16, 32, 64, 128, 600] {
+            let l = Benchmark::NtLstm.generate_scaled(1, divisor);
+            let rows = l.weights.rows();
+            let cols = l.weights.cols();
+            assert_eq!(rows % 4, 0, "scale 1/{divisor}: rows {rows} not 4·hidden");
+            let hidden = rows / 4;
+            assert_eq!(
+                cols,
+                2 * hidden + 1,
+                "scale 1/{divisor}: cols {cols} != input + hidden + 1"
+            );
+            // The decomposition the NeuralTalk example relies on.
+            let cell = crate::lstm::LstmCell::new(l.weights.to_dense(), hidden);
+            assert_eq!(cell.input_dim(), hidden);
+        }
+        // Full size is still the Table III shape.
+        let full = Benchmark::NtLstm.generate_scaled(1, 1);
+        assert_eq!((full.weights.rows(), full.weights.cols()), (2400, 1201));
     }
 
     #[test]

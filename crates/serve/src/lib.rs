@@ -1,0 +1,50 @@
+//! # eie-serve — serving compressed models under live traffic
+//!
+//! EIE's pitch is real-time inference: batch-1 latency on compressed FC
+//! layers (paper §VI-B). This crate is the serving stage around that
+//! claim — the piece that turns one compiled artifact plus the
+//! [`eie-core`](eie_core) inference surface into a request/response
+//! system:
+//!
+//! ```text
+//!                    ┌────────────────────────── ModelServer ─┐
+//!  submit(input) ──▶ │ bounded queue ──▶ micro-batcher ──▶ W0 │──▶ InferenceResponse
+//!  submit(input) ──▶ │   (backpressure)  (max_batch,      W1 │──▶     .wait()
+//!  submit(input) ──▶ │                    max_wait_us)    ... │──▶  RequestResult
+//!                    └────────────────────────────────────────┘
+//! ```
+//!
+//! * [`ModelServer`] loads a `.eie` artifact (or adopts a
+//!   [`CompiledModel`](eie_core::CompiledModel)) and spawns N worker
+//!   threads, each owning one instantiated
+//!   [`Backend`](eie_core::Backend).
+//! * Requests land in a **bounded queue** ([`ServerConfig::queue_depth`]):
+//!   [`ModelServer::submit`] blocks when it is full (backpressure),
+//!   [`ModelServer::try_submit`] sheds load instead.
+//! * Workers claim **dynamic micro-batches**: whatever is queued up to
+//!   [`ServerConfig::max_batch`], holding short batches open at most
+//!   [`ServerConfig::max_wait_us`] for stragglers. Under load, batches
+//!   fill instantly; idle requests wait at most the window.
+//! * Every response carries its own latency and queue time; a graceful
+//!   [`ModelServer::shutdown`] drains the queue (every accepted request
+//!   is answered) and returns aggregate [`ServerStats`].
+//!
+//! **Correctness invariant:** micro-batching is a throughput decision,
+//! never a numerical one. Workers execute through
+//! [`run_stack_quantized`](eie_core::run_stack_quantized) — the same
+//! chaining loop and `Q8p8` quantization behind
+//! [`CompiledModel::infer`](eie_core::CompiledModel::infer) — so
+//! outputs are bit-identical to a per-request functional-golden run no
+//! matter how requests were coalesced, which worker ran them, or which
+//! backend executed. The crate's property test submits from concurrent
+//! threads across all three backends and asserts exactly that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod queue;
+mod server;
+
+pub use server::{
+    InferenceResponse, ModelServer, RequestResult, ServerConfig, ServerStats, SubmitError,
+};

@@ -1,0 +1,645 @@
+//! The model server: one `.eie` artifact, N workers, one request queue.
+
+use std::fmt;
+use std::path::Path;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use eie_core::compress::EncodedLayer;
+use eie_core::fixed::Q8p8;
+use eie_core::{percentile, run_stack_quantized, BackendKind, CompiledModel, ModelArtifactError};
+
+use crate::queue::{MicroBatchQueue, PushError};
+
+/// Serving policy: which backend executes, how many workers run it, and
+/// how requests coalesce into micro-batches.
+///
+/// A non-consuming builder in the house style of
+/// [`EieConfig`](eie_core::EieConfig):
+///
+/// ```
+/// use eie_serve::ServerConfig;
+/// use eie_core::BackendKind;
+///
+/// let cfg = ServerConfig::default()
+///     .with_backend(BackendKind::NativeCpu(1))
+///     .with_workers(2)
+///     .with_max_batch(16)
+///     .with_max_wait_us(150)
+///     .with_queue_depth(64);
+/// assert_eq!(cfg.max_batch, 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Backend each worker instantiates (default: single-threaded
+    /// `NativeCpu` — the worker pool, not the kernel, provides the
+    /// parallelism; `NativeCpu(0)` inside several workers would
+    /// oversubscribe the cores).
+    pub backend: BackendKind,
+    /// Worker threads, one [`Backend`](eie_core::Backend) each.
+    pub workers: usize,
+    /// Most requests one micro-batch may coalesce.
+    pub max_batch: usize,
+    /// How long a worker holds a short batch open for stragglers, µs.
+    /// `0` disables the wait: every pop takes only what is queued.
+    pub max_wait_us: u64,
+    /// Bound on queued requests; at this depth
+    /// [`ModelServer::submit`] blocks and [`ModelServer::try_submit`]
+    /// sheds load.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            backend: BackendKind::NativeCpu(1),
+            workers: 2,
+            max_batch: 8,
+            max_wait_us: 200,
+            queue_depth: 256,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the backend each worker runs.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "server needs at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the micro-batch size cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0`.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        assert!(max_batch > 0, "max_batch must be non-zero");
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the straggler-collection window, µs (`0` = no wait).
+    pub fn with_max_wait_us(mut self, max_wait_us: u64) -> Self {
+        self.max_wait_us = max_wait_us;
+        self
+    }
+
+    /// Sets the bounded queue depth (the backpressure point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_depth == 0`.
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        assert!(queue_depth > 0, "queue_depth must be non-zero");
+        self.queue_depth = queue_depth;
+        self
+    }
+}
+
+impl fmt::Display for ServerConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} × {}, batch ≤{}, wait ≤{} µs, queue ≤{}",
+            self.workers, self.backend, self.max_batch, self.max_wait_us, self.queue_depth
+        )
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity ([`ModelServer::try_submit`]
+    /// only; [`ModelServer::submit`] blocks instead).
+    QueueFull {
+        /// The configured queue depth that was hit.
+        depth: usize,
+    },
+    /// The server is shutting down and accepts no new work.
+    ShuttingDown,
+    /// The input vector does not match the model's input dimension.
+    BadInputLength {
+        /// Submitted length.
+        got: usize,
+        /// The model's input dimension.
+        want: usize,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { depth } => {
+                write!(f, "request queue full ({depth} pending)")
+            }
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+            SubmitError::BadInputLength { got, want } => {
+                write!(f, "input length {got} != model input dimension {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The completed result of one served request.
+#[derive(Debug, Clone)]
+pub struct RequestResult {
+    /// Output activations, Q8.8 — bit-identical to a per-request
+    /// functional run, however the request was micro-batched.
+    pub outputs: Vec<Q8p8>,
+    /// Time from submission to the worker claiming the micro-batch, µs.
+    pub queue_us: f64,
+    /// End-to-end time from submission to completion, µs.
+    pub latency_us: f64,
+    /// How many requests rode in the same micro-batch (≥ 1).
+    pub coalesced: usize,
+    /// Which worker executed it.
+    pub worker: usize,
+}
+
+impl RequestResult {
+    /// Output activations converted to `f32`.
+    pub fn outputs_f32(&self) -> Vec<f32> {
+        self.outputs.iter().map(|v| v.to_f32()).collect()
+    }
+}
+
+/// A handle to an in-flight request, returned by
+/// [`ModelServer::submit`]. Redeem it with
+/// [`InferenceResponse::wait`]; every accepted request is answered,
+/// including during a graceful shutdown drain.
+#[derive(Debug)]
+pub struct InferenceResponse {
+    rx: mpsc::Receiver<RequestResult>,
+}
+
+impl InferenceResponse {
+    /// Blocks until the request completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the serving worker died before answering (a worker
+    /// panic — never part of normal operation or shutdown).
+    pub fn wait(self) -> RequestResult {
+        self.rx
+            .recv()
+            .expect("serving worker dropped an accepted request")
+    }
+
+    /// Returns the result if the request already completed.
+    pub fn try_wait(&self) -> Option<RequestResult> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// One queued request.
+#[derive(Debug)]
+struct Request {
+    input: Vec<Q8p8>,
+    submitted: Instant,
+    tx: mpsc::Sender<RequestResult>,
+}
+
+/// Per-worker reservoir capacity. Two reservoirs of `f64` per worker
+/// bound the metrics memory at ~256 KiB/worker however long the server
+/// runs; 16 Ki samples keep the p99 estimate tight (±~0.1% rank error).
+const RESERVOIR_CAP: usize = 16_384;
+
+/// A fixed-capacity uniform sample of a latency stream (Algorithm R):
+/// the first `RESERVOIR_CAP` values are kept verbatim, after which each
+/// new value replaces a random slot with probability `cap/seen` — so
+/// percentiles stay statistically valid at constant memory over an
+/// unbounded run.
+#[derive(Debug, Clone)]
+struct Reservoir {
+    samples: Vec<f64>,
+    seen: u64,
+    rng: u64,
+}
+
+impl Reservoir {
+    fn new(seed: u64) -> Self {
+        Self {
+            samples: Vec::new(),
+            // SplitMix64-style seeding keeps per-worker streams distinct.
+            seen: 0,
+            rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*: cheap, no external dependency, quality is ample
+        // for reservoir slot selection.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn push(&mut self, value: f64) {
+        self.seen += 1;
+        if self.samples.len() < RESERVOIR_CAP {
+            self.samples.push(value);
+        } else {
+            let slot = self.next_u64() % self.seen;
+            if (slot as usize) < RESERVOIR_CAP {
+                self.samples[slot as usize] = value;
+            }
+        }
+    }
+}
+
+/// Per-worker tallies, merged into [`ServerStats`] at shutdown.
+#[derive(Debug)]
+struct WorkerStats {
+    requests: u64,
+    batches: u64,
+    max_coalesced: usize,
+    latencies_us: Reservoir,
+    queue_us: Reservoir,
+}
+
+impl WorkerStats {
+    fn new(worker: usize) -> Self {
+        Self {
+            requests: 0,
+            batches: 0,
+            max_coalesced: 0,
+            latencies_us: Reservoir::new(worker as u64 + 1),
+            queue_us: Reservoir::new((worker as u64 + 1) << 32),
+        }
+    }
+}
+
+/// Aggregate serving statistics, returned by [`ModelServer::shutdown`].
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    /// Requests served to completion (exact count).
+    pub requests: u64,
+    /// Micro-batches executed (exact count).
+    pub batches: u64,
+    /// Largest micro-batch observed.
+    pub max_coalesced: usize,
+    /// Sampled per-request end-to-end latencies, µs. Exact below
+    /// 16 Ki requests per worker; a uniform reservoir sample beyond, so
+    /// the percentile accessors stay valid at constant memory over
+    /// unbounded runs. Caveat: per-worker reservoirs are concatenated
+    /// unweighted at shutdown, so once workers exceed capacity with
+    /// *unequal* request counts, the merged distribution weights each
+    /// worker equally rather than by traffic share.
+    pub latencies_us: Vec<f64>,
+    /// Sampled per-request queue times, µs (same reservoir policy and
+    /// merge caveat).
+    pub queue_us: Vec<f64>,
+    /// Server lifetime from start to the end of the shutdown drain, s.
+    pub wall_s: f64,
+}
+
+impl ServerStats {
+    /// Mean requests per executed micro-batch (`0.0` before any batch).
+    pub fn mean_coalesced(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.requests as f64 / self.batches as f64
+    }
+
+    /// The `p`-th percentile of end-to-end request latency, µs
+    /// (nearest-rank; `0.0` with no completed requests).
+    pub fn percentile_latency_us(&self, p: f64) -> f64 {
+        percentile(&self.latencies_us, p)
+    }
+
+    /// Median request latency, µs.
+    pub fn p50(&self) -> f64 {
+        self.percentile_latency_us(50.0)
+    }
+
+    /// 95th-percentile request latency, µs.
+    pub fn p95(&self) -> f64 {
+        self.percentile_latency_us(95.0)
+    }
+
+    /// 99th-percentile request latency, µs.
+    pub fn p99(&self) -> f64 {
+        self.percentile_latency_us(99.0)
+    }
+
+    /// Mean queue time, µs (`0.0` with no completed requests).
+    pub fn mean_queue_us(&self) -> f64 {
+        if self.queue_us.is_empty() {
+            return 0.0;
+        }
+        self.queue_us.iter().sum::<f64>() / self.queue_us.len() as f64
+    }
+
+    /// Aggregate throughput over the server's lifetime, frames/s.
+    pub fn frames_per_second(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            return 0.0;
+        }
+        self.requests as f64 / self.wall_s
+    }
+}
+
+impl fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} requests in {} batches (mean {:.1}/batch), {:.0} frames/s, \
+             p50 {:.1} µs / p95 {:.1} µs / p99 {:.1} µs, queue {:.1} µs mean",
+            self.requests,
+            self.batches,
+            self.mean_coalesced(),
+            self.frames_per_second(),
+            self.p50(),
+            self.p95(),
+            self.p99(),
+            self.mean_queue_us()
+        )
+    }
+}
+
+/// A live serving instance of one compiled model: a bounded request
+/// queue feeding `workers` threads, each owning one instantiated
+/// [`Backend`](eie_core::Backend).
+///
+/// Requests submitted concurrently are coalesced into micro-batches
+/// (bounded by [`ServerConfig::max_batch`] and
+/// [`ServerConfig::max_wait_us`]) purely for throughput: outputs are
+/// **bit-identical** to a per-request run of the functional golden
+/// model, because every execution path shares
+/// [`run_stack_quantized`]'s chaining loop and quantization.
+///
+/// # Example
+///
+/// ```
+/// use eie_core::nn::zoo::random_sparse;
+/// use eie_core::{BackendKind, CompiledModel, EieConfig};
+/// use eie_serve::{ModelServer, ServerConfig};
+///
+/// let w = random_sparse(32, 24, 0.2, 1);
+/// let model = CompiledModel::compile_layer(EieConfig::default().with_num_pes(4), &w);
+/// let golden = model.infer(BackendKind::Functional).submit_one(&vec![0.5; 24]);
+///
+/// let server = ModelServer::start(model, ServerConfig::default());
+/// let response = server.submit(&vec![0.5; 24]).unwrap();
+/// let result = response.wait();
+/// assert_eq!(result.outputs, golden.outputs(0));
+/// let stats = server.shutdown();
+/// assert_eq!(stats.requests, 1);
+/// ```
+#[derive(Debug)]
+pub struct ModelServer {
+    model: Arc<CompiledModel>,
+    queue: Arc<MicroBatchQueue<Request>>,
+    workers: Vec<JoinHandle<WorkerStats>>,
+    config: ServerConfig,
+    started: Instant,
+}
+
+impl ModelServer {
+    /// Starts the server: spawns the worker pool and begins accepting
+    /// requests immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is degenerate (`workers`, `max_batch` or
+    /// `queue_depth` of zero — the `with_*` builders enforce the same
+    /// bounds, but [`ServerConfig`]'s fields are public) or a worker
+    /// thread cannot be spawned.
+    pub fn start(model: CompiledModel, config: ServerConfig) -> Self {
+        assert!(config.workers > 0, "server needs at least one worker");
+        assert!(config.max_batch > 0, "max_batch must be non-zero");
+        assert!(config.queue_depth > 0, "queue_depth must be non-zero");
+        let model = Arc::new(model);
+        let queue = Arc::new(MicroBatchQueue::new(config.queue_depth));
+        let max_wait = Duration::from_micros(config.max_wait_us);
+        let workers = (0..config.workers)
+            .map(|worker| {
+                let model = Arc::clone(&model);
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("eie-serve-{worker}"))
+                    .spawn(move || {
+                        worker_loop(
+                            worker,
+                            &model,
+                            config.backend,
+                            &queue,
+                            config.max_batch,
+                            max_wait,
+                        )
+                    })
+                    .expect("spawn serving worker")
+            })
+            .collect();
+        Self {
+            model,
+            queue,
+            workers,
+            config,
+            started: Instant::now(),
+        }
+    }
+
+    /// Loads a versioned `.eie` artifact and starts serving it — the
+    /// deployment path: compress once, serve anywhere.
+    pub fn load(path: impl AsRef<Path>, config: ServerConfig) -> Result<Self, ModelArtifactError> {
+        Ok(Self::start(CompiledModel::load(path)?, config))
+    }
+
+    /// The model being served.
+    pub fn model(&self) -> &CompiledModel {
+        &self.model
+    }
+
+    /// The serving policy.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Requests queued but not yet claimed by a worker.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Submits one input vector, blocking while the bounded queue is
+    /// full (backpressure). Returns a handle redeemable for the result.
+    pub fn submit(&self, input: &[f32]) -> Result<InferenceResponse, SubmitError> {
+        let request = self.admit(input)?;
+        let (request, rx) = request;
+        match self.queue.push(request) {
+            Ok(()) => Ok(InferenceResponse { rx }),
+            Err(_) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Submits one input vector without blocking: fails fast with
+    /// [`SubmitError::QueueFull`] when the queue is at capacity — the
+    /// shed-load path for callers with their own retry policy.
+    pub fn try_submit(&self, input: &[f32]) -> Result<InferenceResponse, SubmitError> {
+        let (request, rx) = self.admit(input)?;
+        match self.queue.try_push(request) {
+            Ok(()) => Ok(InferenceResponse { rx }),
+            Err(PushError::Full) => Err(SubmitError::QueueFull {
+                depth: self.config.queue_depth,
+            }),
+            Err(PushError::Closed) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Validates and quantizes an input into a queued request. The
+    /// quantization here is the same `Q8p8` conversion
+    /// [`InferenceJob::submit`](eie_core::InferenceJob::submit) applies,
+    /// so served outputs stay bit-exact with direct jobs.
+    fn admit(
+        &self,
+        input: &[f32],
+    ) -> Result<(Request, mpsc::Receiver<RequestResult>), SubmitError> {
+        if input.len() != self.model.input_dim() {
+            return Err(SubmitError::BadInputLength {
+                got: input.len(),
+                want: self.model.input_dim(),
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        Ok((
+            Request {
+                input: Q8p8::from_f32_slice(input),
+                submitted: Instant::now(),
+                tx,
+            },
+            rx,
+        ))
+    }
+
+    /// Gracefully shuts down: stops accepting requests, lets the
+    /// workers drain everything already queued (every accepted request
+    /// is answered), joins them, and returns the aggregate statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.queue.close();
+        let mut stats = ServerStats::default();
+        // Take the handles so the Drop impl (which runs when `self` goes
+        // out of scope here) finds nothing left to join.
+        for handle in std::mem::take(&mut self.workers) {
+            let w = handle.join().expect("serving worker panicked");
+            stats.requests += w.requests;
+            stats.batches += w.batches;
+            stats.max_coalesced = stats.max_coalesced.max(w.max_coalesced);
+            stats.latencies_us.extend(w.latencies_us.samples);
+            stats.queue_us.extend(w.queue_us.samples);
+        }
+        stats.wall_s = self.started.elapsed().as_secs_f64();
+        stats
+    }
+}
+
+impl Drop for ModelServer {
+    /// Dropping a server without [`ModelServer::shutdown`] (an early
+    /// return, a `?`, a panic unwinding past it) must not leak the
+    /// worker pool: close the queue, let the workers drain, and join
+    /// them — discarding the statistics. Worker panics are swallowed
+    /// here (joining is best-effort during unwind); `shutdown` is the
+    /// path that surfaces them.
+    fn drop(&mut self) {
+        self.queue.close();
+        for handle in std::mem::take(&mut self.workers) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One worker: instantiate the backend once, then claim → execute →
+/// answer micro-batches until the queue closes and drains.
+fn worker_loop(
+    worker: usize,
+    model: &CompiledModel,
+    kind: BackendKind,
+    queue: &MicroBatchQueue<Request>,
+    max_batch: usize,
+    max_wait: Duration,
+) -> WorkerStats {
+    let backend = kind.instantiate(model.config());
+    let layers: Vec<&EncodedLayer> = model.layer_refs();
+    let mut stats = WorkerStats::new(worker);
+    while let Some(mut batch) = queue.pop_batch(max_batch, max_wait) {
+        if batch.is_empty() {
+            continue;
+        }
+        let claimed = Instant::now();
+        let inputs: Vec<Vec<Q8p8>> = batch
+            .iter_mut()
+            .map(|r| std::mem::take(&mut r.input))
+            .collect();
+        let runs = run_stack_quantized(backend.as_ref(), &layers, &inputs);
+        let done = Instant::now();
+        let coalesced = batch.len();
+        stats.batches += 1;
+        stats.max_coalesced = stats.max_coalesced.max(coalesced);
+        for (request, run) in batch.into_iter().zip(runs) {
+            let queue_us = claimed.duration_since(request.submitted).as_secs_f64() * 1e6;
+            let latency_us = done.duration_since(request.submitted).as_secs_f64() * 1e6;
+            stats.requests += 1;
+            stats.queue_us.push(queue_us);
+            stats.latencies_us.push(latency_us);
+            // A dropped receiver (caller gave up) is not an error.
+            let _ = request.tx.send(RequestResult {
+                outputs: run.outputs,
+                queue_us,
+                latency_us,
+                coalesced,
+                worker,
+            });
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservoir_is_exact_below_capacity_and_bounded_above() {
+        let mut r = Reservoir::new(7);
+        for i in 0..RESERVOIR_CAP {
+            r.push(i as f64);
+        }
+        assert_eq!(r.samples.len(), RESERVOIR_CAP);
+        // Exact while under capacity: insertion order preserved.
+        assert_eq!(r.samples[0], 0.0);
+        assert_eq!(r.samples[RESERVOIR_CAP - 1], (RESERVOIR_CAP - 1) as f64);
+        // Past capacity: memory stays bounded, the count keeps going,
+        // and replacement actually happens over a long stream.
+        for i in 0..(4 * RESERVOIR_CAP) {
+            r.push((RESERVOIR_CAP + i) as f64);
+        }
+        assert_eq!(r.samples.len(), RESERVOIR_CAP);
+        assert_eq!(r.seen, 5 * RESERVOIR_CAP as u64);
+        assert!(
+            r.samples.iter().any(|&v| v >= RESERVOIR_CAP as f64),
+            "no late sample ever replaced an early one"
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Scheduler-determinism property: however requests are interleaved by
+//! concurrent submitters and however the micro-batcher coalesces them,
+//! every served output is bit-identical to a one-at-a-time run of the
+//! functional golden model — on all three backends.
+//!
+//! This is the acceptance criterion of the serving redesign: batching
+//! is a throughput decision, never a numerical one.
+
+use eie_core::nn::zoo::{random_sparse, sample_activations};
+use eie_core::{BackendKind, CompiledModel, EieConfig};
+use eie_serve::{ModelServer, ServerConfig};
+use proptest::prelude::*;
+
+/// Strategy: a 1–2 layer model, a request load, and a serving policy
+/// (backend × workers × max_batch × max_wait × queue_depth).
+#[allow(clippy::type_complexity)]
+fn arb_case() -> impl Strategy<
+    Value = (
+        Vec<(usize, usize)>, // layer dims, output→input chained
+        u64,                 // weight seed
+        usize,               // requests
+        u64,                 // input seed
+        BackendKind,
+        usize, // workers
+        usize, // max_batch
+        u64,   // max_wait_us
+        usize, // submitter threads
+    ),
+> {
+    (
+        prop_oneof![
+            Just(vec![(24usize, 16usize)]),
+            Just(vec![(32, 20), (12, 32)]),
+        ],
+        any::<u64>(),
+        1usize..24,
+        any::<u64>(),
+        prop_oneof![
+            Just(BackendKind::Functional),
+            Just(BackendKind::CycleAccurate),
+            Just(BackendKind::NativeCpu(2)),
+        ],
+        1usize..4,
+        1usize..7,
+        prop_oneof![Just(0u64), Just(100), Just(2000)],
+        1usize..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn coalescing_and_submission_order_never_change_outputs(
+        (dims, weight_seed, requests, input_seed, backend, workers, max_batch, max_wait_us, submitters)
+            in arb_case()
+    ) {
+        // Build the model (reroll all-zero matrices; compile rejects them).
+        let mut weights = Vec::new();
+        for (li, &(rows, cols)) in dims.iter().enumerate() {
+            let mut seed = weight_seed.wrapping_add(li as u64);
+            let mut m = random_sparse(rows, cols, 0.3, seed);
+            while m.nnz() == 0 {
+                seed = seed.wrapping_add(0x9E37_79B9);
+                m = random_sparse(rows, cols, 0.4, seed);
+            }
+            weights.push(m);
+        }
+        let refs: Vec<_> = weights.iter().collect();
+        let model = CompiledModel::compile(EieConfig::default().with_num_pes(4), &refs);
+        let input_dim = model.input_dim();
+
+        let inputs: Vec<Vec<f32>> = (0..requests as u64)
+            .map(|i| sample_activations(input_dim, 0.5, true, input_seed.wrapping_add(i)))
+            .collect();
+
+        // Reference: one-at-a-time on the functional golden model.
+        let expected: Vec<Vec<_>> = inputs
+            .iter()
+            .map(|input| {
+                model
+                    .infer(BackendKind::Functional)
+                    .submit_one(input)
+                    .outputs(0)
+                    .to_vec()
+            })
+            .collect();
+
+        let server = ModelServer::start(
+            model,
+            ServerConfig::default()
+                .with_backend(backend)
+                .with_workers(workers)
+                .with_max_batch(max_batch)
+                .with_max_wait_us(max_wait_us)
+                .with_queue_depth(64),
+        );
+
+        // Concurrent submitters, each owning an interleaved slice of the
+        // request stream: the enqueue order the server sees is whatever
+        // the scheduler produced this run.
+        let results: Vec<(usize, Vec<_>)> = std::thread::scope(|scope| {
+            let server = &server;
+            let inputs = &inputs;
+            let handles: Vec<_> = (0..submitters)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut i = t;
+                        while i < inputs.len() {
+                            let response = server.submit(&inputs[i]).expect("submit");
+                            out.push((i, response.wait().outputs));
+                            i += submitters;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("submitter panicked"))
+                .collect()
+        });
+        let stats = server.shutdown();
+        prop_assert_eq!(stats.requests as usize, requests);
+        prop_assert!(stats.max_coalesced <= max_batch);
+
+        for (i, outputs) in results {
+            prop_assert_eq!(
+                &outputs,
+                &expected[i],
+                "request {} diverged from the one-at-a-time golden run \
+                 (backend {}, workers {}, max_batch {}, max_wait {} µs, {} submitters)",
+                i, backend, workers, max_batch, max_wait_us, submitters
+            );
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! ModelServer behaviour: lifecycle, batching, backpressure, shutdown.
+
+use eie_core::nn::zoo::{random_sparse, sample_activations};
+use eie_core::{BackendKind, CompiledModel, EieConfig};
+use eie_serve::{ModelServer, ServerConfig, SubmitError};
+
+fn small_model() -> CompiledModel {
+    let w1 = random_sparse(48, 32, 0.2, 41);
+    let w2 = random_sparse(16, 48, 0.25, 42);
+    CompiledModel::compile(EieConfig::default().with_num_pes(4), &[&w1, &w2])
+        .with_name("serve test")
+}
+
+fn inputs(n: usize) -> Vec<Vec<f32>> {
+    (0..n as u64)
+        .map(|i| sample_activations(32, 0.5, false, 900 + i))
+        .collect()
+}
+
+#[test]
+fn serves_bit_exact_with_the_functional_golden_model() {
+    let model = small_model();
+    let golden = model.infer(BackendKind::Functional).submit(&inputs(24));
+    let server = ModelServer::start(
+        model,
+        ServerConfig::default().with_workers(2).with_max_batch(5),
+    );
+    let responses: Vec<_> = inputs(24)
+        .iter()
+        .map(|input| server.submit(input).expect("submit"))
+        .collect();
+    for (i, response) in responses.into_iter().enumerate() {
+        let result = response.wait();
+        assert_eq!(
+            result.outputs[..],
+            *golden.outputs(i),
+            "served output diverged from the golden model at request {i}"
+        );
+        assert!(result.latency_us >= result.queue_us);
+        assert!((1..=5).contains(&result.coalesced));
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 24);
+    assert!(
+        stats.batches >= 5,
+        "24 requests at ≤5/batch need ≥5 batches"
+    );
+    assert!(stats.max_coalesced <= 5);
+    assert!(stats.frames_per_second() > 0.0);
+    assert!(stats.p50() <= stats.p99());
+    assert!(stats.to_string().contains("frames/s"));
+}
+
+#[test]
+fn load_serves_a_saved_artifact() {
+    let model = small_model();
+    let path = std::env::temp_dir().join("eie_serve_load_test.eie");
+    model.save(&path).expect("save artifact");
+    let golden = model.infer(BackendKind::Functional).submit(&inputs(4));
+
+    let server = ModelServer::load(&path, ServerConfig::default()).expect("load artifact");
+    assert_eq!(server.model().name(), "serve test");
+    for (i, input) in inputs(4).iter().enumerate() {
+        let result = server.submit(input).unwrap().wait();
+        assert_eq!(result.outputs[..], *golden.outputs(i));
+    }
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn rejects_mismatched_input_length() {
+    let server = ModelServer::start(small_model(), ServerConfig::default());
+    let err = server.submit(&[0.5; 31]).unwrap_err();
+    assert_eq!(err, SubmitError::BadInputLength { got: 31, want: 32 });
+    assert!(err.to_string().contains("31"));
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 0);
+    // The documented empty-distribution path: no requests, zero metrics.
+    assert_eq!(stats.p99(), 0.0);
+    assert_eq!(stats.mean_coalesced(), 0.0);
+    assert_eq!(stats.mean_queue_us(), 0.0);
+}
+
+#[test]
+fn dropping_a_server_without_shutdown_joins_the_workers() {
+    // A server abandoned on an early-return path must not leak its
+    // worker pool: Drop closes the queue, drains, and joins — so
+    // already-accepted requests are still answered.
+    let responses: Vec<_> = {
+        let server = ModelServer::start(small_model(), ServerConfig::default().with_workers(2));
+        inputs(6)
+            .iter()
+            .map(|input| server.submit(input).expect("submit"))
+            .collect()
+        // `server` dropped here without shutdown().
+    };
+    for response in responses {
+        assert_eq!(response.wait().outputs.len(), 16);
+    }
+}
+
+#[test]
+#[should_panic(expected = "max_batch")]
+fn start_rejects_degenerate_config_from_public_fields() {
+    // The pub fields can bypass the with_* builder asserts; start()
+    // must still refuse a policy that would busy-spin a worker.
+    let config = ServerConfig {
+        max_batch: 0,
+        ..ServerConfig::default()
+    };
+    let _ = ModelServer::start(small_model(), config);
+}
+
+#[test]
+fn graceful_shutdown_answers_every_accepted_request() {
+    // A modelled backend and one worker keep the queue populated at
+    // shutdown; the drain must still answer everything accepted.
+    let server = ModelServer::start(
+        small_model(),
+        ServerConfig::default()
+            .with_backend(BackendKind::CycleAccurate)
+            .with_workers(1)
+            .with_max_batch(2)
+            .with_max_wait_us(0),
+    );
+    let responses: Vec<_> = inputs(12)
+        .iter()
+        .map(|input| server.submit(input).expect("submit"))
+        .collect();
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 12, "shutdown drain lost requests");
+    for response in responses {
+        let result = response.wait();
+        assert_eq!(result.outputs.len(), 16);
+    }
+}
+
+#[test]
+fn try_submit_sheds_load_at_queue_capacity_and_submit_blocks() {
+    // One worker holding a long collection window (nothing drains until
+    // it expires) in front of a depth-2 queue: the queue must fill and
+    // shed within the first few fast pushes.
+    let server = ModelServer::start(
+        small_model(),
+        ServerConfig::default()
+            .with_workers(1)
+            .with_queue_depth(2)
+            .with_max_batch(64)
+            .with_max_wait_us(300_000),
+    );
+    let input = &inputs(1)[0];
+    let mut pending = Vec::new();
+    let mut shed = None;
+    for _ in 0..4 {
+        match server.try_submit(input) {
+            Ok(r) => pending.push(r),
+            Err(e) => {
+                shed = Some(e);
+                break;
+            }
+        }
+    }
+    assert_eq!(shed, Some(SubmitError::QueueFull { depth: 2 }));
+    assert_eq!(server.pending(), 2);
+
+    // Backpressured `submit` blocks rather than failing, then completes
+    // once the window expires and the worker drains the queue.
+    std::thread::scope(|scope| {
+        let blocked = scope.spawn(|| {
+            server
+                .submit(input)
+                .expect("backpressured submit completes after the drain")
+                .wait()
+        });
+        assert_eq!(blocked.join().unwrap().outputs.len(), 16);
+    });
+    for r in pending {
+        let _ = r.wait();
+    }
+    let stats = server.shutdown();
+    assert!(stats.requests >= 3);
+}
+
+#[test]
+fn micro_batches_coalesce_under_concurrent_load() {
+    // Several producers against one worker with a collection window: at
+    // least one micro-batch should coalesce more than one request (the
+    // dynamic-batching payoff), without changing any output.
+    let model = small_model();
+    let golden = model.infer(BackendKind::Functional);
+    let server = ModelServer::start(
+        model.clone(),
+        ServerConfig::default()
+            .with_workers(1)
+            .with_max_batch(8)
+            .with_max_wait_us(20_000),
+    );
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let server = &server;
+            let golden = &golden;
+            scope.spawn(move || {
+                for i in 0..6u64 {
+                    let input = sample_activations(32, 0.5, false, 1000 + t * 100 + i);
+                    let result = server.submit(&input).expect("submit").wait();
+                    let expected = golden.submit_one(&input);
+                    assert_eq!(
+                        result.outputs[..],
+                        *expected.outputs(0),
+                        "coalesced output diverged (producer {t}, request {i})"
+                    );
+                }
+            });
+        }
+    });
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 24);
+    assert!(
+        stats.max_coalesced > 1,
+        "no micro-batch ever coalesced (batches={})",
+        stats.batches
+    );
+    assert!(stats.batches < 24, "every request ran alone");
+}

@@ -25,7 +25,6 @@ fn scale() -> usize {
 fn main() {
     let s = scale();
     let config = EieConfig::default().with_num_pes(if s == 1 { 64 } else { 16 });
-    let engine = Engine::new(config);
     println!("engine: {config}");
 
     // Generate and compress the three AlexNet FC layers.
@@ -63,16 +62,18 @@ fn main() {
     // Table III says 35.1% dense).
     let input = fc6.sample_activations(DEFAULT_SEED);
 
-    // Run the whole classifier head on the accelerator.
-    let result = engine.run_network(&model.layer_refs(), &input);
+    // Run the whole classifier head through one inference job: the
+    // job's per-layer phases replace the old per-layer network runs.
+    let result = model.infer(BackendKind::CycleAccurate).submit_one(&input);
     println!("\nper-layer results:");
-    for (name, run) in ["FC6", "FC7", "FC8"].iter().zip(&result.run.layers) {
+    for (name, phase) in ["FC6", "FC7", "FC8"].iter().zip(result.layer_phases()) {
+        let stats = phase.stats.as_ref().expect("cycle backend");
         println!(
             "  {name}: {:>9} cycles  ({:.1} µs, balance {:.1}%, {:.1}% padding work)",
-            run.stats.total_cycles,
-            run.stats.total_cycles as f64 / config.clock_hz * 1e6,
-            run.stats.load_balance_efficiency() * 100.0,
-            (1.0 - run.stats.real_work_ratio()) * 100.0,
+            stats.total_cycles,
+            stats.total_cycles as f64 / config.clock_hz * 1e6,
+            stats.load_balance_efficiency() * 100.0,
+            (1.0 - stats.real_work_ratio()) * 100.0,
         );
     }
     let time_us = result.time_us();
@@ -81,14 +82,14 @@ fn main() {
         time_us,
         1e6 / time_us
     );
+    let energy = result.energy().expect("cycle backend prices energy");
     println!(
         "energy: {:.2} µJ/frame ({:.0} mW average over the run)",
-        result.energy.total_uj(),
-        result.energy.average_power_w() * 1e3
+        energy.total_uj(),
+        energy.average_power_w() * 1e3
     );
 
     // The logits leave the accelerator as 16-bit fixed point.
-    let logits = &result.run.outputs;
-    let top = eie::nn::ops::argmax(&logits.iter().map(|v| v.to_f32()).collect::<Vec<_>>());
+    let top = eie::nn::ops::argmax(&result.outputs_f32(0));
     println!("argmax logit: class {top} (synthetic weights — for pipeline demonstration)");
 }

@@ -24,16 +24,21 @@ fn main() {
     );
 
     // --- FIFO depth: pick the knee of the load-balance curve ----------
+    // Compile once; `InferenceJob::config` retimes the same artifact
+    // under each design point without recompiling.
     println!("FIFO depth sweep (16 PEs):");
-    let engine16 = Engine::new(EieConfig::default().with_num_pes(16));
-    let enc16 = engine16.config().pipeline().compile_matrix(&weights);
+    let model16 = CompiledModel::compile_layer(EieConfig::default().with_num_pes(16), &weights);
     for depth in [1usize, 2, 4, 8, 16, 32] {
         let cfg = EieConfig::default().with_num_pes(16).with_fifo_depth(depth);
-        let result = Engine::new(cfg).run_layer(&enc16, &acts);
+        let result = model16
+            .infer(BackendKind::CycleAccurate)
+            .config(cfg)
+            .submit_one(&acts);
+        let stats = result.stats(0).expect("cycle backend");
         println!(
             "  depth {depth:>2}: {:>7} cycles, balance {:.1}%",
-            result.run.stats.total_cycles,
-            result.run.stats.load_balance_efficiency() * 100.0
+            stats.total_cycles,
+            stats.load_balance_efficiency() * 100.0
         );
     }
 
@@ -42,16 +47,16 @@ fn main() {
     let mut base = None;
     for pes in [1usize, 4, 16, 64] {
         let cfg = EieConfig::default().with_num_pes(pes);
-        let engine = Engine::new(cfg);
-        let enc = cfg.pipeline().compile_matrix(&weights);
-        let result = engine.run_layer(&enc, &acts);
-        let cycles = result.run.stats.total_cycles;
+        let model = CompiledModel::compile_layer(cfg, &weights);
+        let result = model.infer(BackendKind::CycleAccurate).submit_one(&acts);
+        let stats = result.stats(0).expect("cycle backend");
+        let cycles = stats.total_cycles;
         let b = *base.get_or_insert(cycles);
         println!(
             "  {pes:>3} PEs: {:>8} cycles  ({:.1}x, padding work {:.1}%)",
             cycles,
             b as f64 / cycles as f64,
-            (1.0 - result.run.stats.real_work_ratio()) * 100.0
+            (1.0 - stats.real_work_ratio()) * 100.0
         );
     }
 
@@ -61,8 +66,11 @@ fn main() {
         let cfg = EieConfig::default()
             .with_num_pes(16)
             .with_spmat_width(width);
-        let result = Engine::new(cfg).run_layer(&enc16, &acts);
-        let reads = result.run.stats.spmat_row_reads();
+        let result = model16
+            .infer(BackendKind::CycleAccurate)
+            .config(cfg)
+            .submit_one(&acts);
+        let reads = result.stats(0).expect("cycle backend").spmat_row_reads();
         let per_read = SramModel::spmat(width).read_energy_pj();
         println!(
             "  {width:>3}b: {reads:>7} reads x {per_read:>6.1} pJ = {:>8.1} nJ",

@@ -25,7 +25,6 @@ fn scale() -> usize {
 fn main() {
     let s = scale();
     let config = EieConfig::default().with_num_pes(if s == 1 { 64 } else { 16 });
-    let engine = Engine::new(config);
     println!("engine: {config}");
 
     // The three NeuralTalk matrices at Table III shapes/densities.
@@ -54,20 +53,25 @@ fn main() {
 
     // Three independent artifacts (embedding, gates, decoder): the
     // caption loop below mixes them per step, so they are compiled as
-    // separate single-layer models through the unified pipeline.
-    let pipeline = engine.config().pipeline();
-    let enc_we = pipeline.compile_matrix(&we.weights);
-    let enc_lstm = pipeline.compile_matrix(&lstm_w.weights);
-    let enc_wd = pipeline.compile_matrix(&wd.weights);
+    // separate single-layer models, each served through the unified
+    // inference surface on the cycle-accurate backend.
+    let m_we = CompiledModel::compile_layer(config, &we.weights);
+    let m_lstm = CompiledModel::compile_layer(config, &lstm_w.weights);
+    let m_wd = CompiledModel::compile_layer(config, &wd.weights);
+    let (job_we, job_lstm, job_wd) = (
+        m_we.infer(BackendKind::CycleAccurate),
+        m_lstm.infer(BackendKind::CycleAccurate),
+        m_wd.infer(BackendKind::CycleAccurate),
+    );
 
     // Step 0: embed the "image feature" through We on the accelerator.
     let image_feature = we.sample_activations(DEFAULT_SEED);
-    let embed = engine.run_layer(&enc_we, &image_feature);
-    let mut x: Vec<f32> = embed.run.outputs_f32();
+    let embed = job_we.submit_one(&image_feature);
+    let mut x: Vec<f32> = embed.outputs_f32(0);
     println!(
         "embed (We): {:.1} µs on EIE, {:.2} µJ",
         embed.time_us(),
-        embed.energy.total_uj()
+        embed.energy().expect("cycle backend").total_uj()
     );
 
     // Decode a short caption: each step = one NT-LSTM M×V + one NT-Wd
@@ -80,16 +84,17 @@ fn main() {
     for t in 0..steps {
         // Gate pre-activations W · [x; h; 1] — the accelerated product.
         let gate_input = cell.concat_input(&x[..cell.input_dim()], &state.h);
-        let gates = engine.run_layer(&enc_lstm, &gate_input);
-        state = cell.apply_gates(&gates.run.outputs_f32(), &state);
+        let gates = job_lstm.submit_one(&gate_input);
+        state = cell.apply_gates(&gates.outputs_f32(0), &state);
 
         // Vocabulary projection of the new hidden state.
-        let logits = engine.run_layer(&enc_wd, &state.h);
-        let word = eie::nn::ops::argmax(&logits.run.outputs_f32());
+        let logits = job_wd.submit_one(&state.h);
+        let word = eie::nn::ops::argmax(&logits.outputs_f32(0));
         caption.push(word);
 
         total_us += gates.time_us() + logits.time_us();
-        total_uj += gates.energy.total_uj() + logits.energy.total_uj();
+        total_uj += gates.energy().expect("cycle backend").total_uj()
+            + logits.energy().expect("cycle backend").total_uj();
         // Next input: pretend the chosen word embeds to the hidden state
         // (a stand-in for the word-embedding lookup).
         x = state.h.clone();
@@ -98,8 +103,16 @@ fn main() {
                 "step 0: LSTM {:.1} µs + Wd {:.1} µs (balance {:.0}%/{:.0}%)",
                 gates.time_us(),
                 logits.time_us(),
-                gates.run.stats.load_balance_efficiency() * 100.0,
-                logits.run.stats.load_balance_efficiency() * 100.0
+                gates
+                    .stats(0)
+                    .expect("cycle backend")
+                    .load_balance_efficiency()
+                    * 100.0,
+                logits
+                    .stats(0)
+                    .expect("cycle backend")
+                    .load_balance_efficiency()
+                    * 100.0
             );
         }
     }

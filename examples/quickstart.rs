@@ -62,30 +62,35 @@ fn main() {
     // 4. A 35%-dense input activation vector (post-ReLU statistics).
     let acts = eie::nn::zoo::sample_activations(512, 0.35, false, 42);
 
-    // 5. Cycle-accurate execution of the loaded artifact.
-    let engine = Engine::new(*loaded.config());
-    let result = engine.run_layer(loaded.layer(0), &acts);
+    // 5. Cycle-accurate execution of the loaded artifact through the
+    //    unified inference surface: one job, outputs + stats + energy.
+    let result = loaded
+        .infer(BackendKind::CycleAccurate)
+        .energy(true)
+        .submit_one(&acts);
+    let stats = result.stats(0).expect("cycle backend records activity");
     println!(
         "execution   : {} cycles = {:.2} µs at 800 MHz",
-        result.run.stats.total_cycles,
+        stats.total_cycles,
         result.time_us()
     );
     println!(
         "              {:.1} GOP/s sustained, load balance {:.1}%",
-        result.gops(),
-        result.run.stats.load_balance_efficiency() * 100.0
+        result.gops().expect("cycle backend"),
+        stats.load_balance_efficiency() * 100.0
     );
+    let energy = result.energy().expect("energy pricing enabled");
     println!(
         "energy      : {:.3} µJ ({:.1} mW average)",
-        result.energy.total_uj(),
-        result.average_power_w() * 1e3
+        energy.total_uj(),
+        energy.average_power_w() * 1e3
     );
 
     // 6. Verify against the f32 reference on the encoded form (the
     //    compressed model is quantized, so allow codebook + fixed-point
     //    tolerance).
     let quantized_ref = loaded.layer(0).spmv_f32(&acts);
-    let outputs = result.run.outputs_f32();
+    let outputs = result.outputs_f32(0);
     let max_err = outputs
         .iter()
         .zip(&quantized_ref)

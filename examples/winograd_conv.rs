@@ -23,7 +23,7 @@ use eie::prelude::*;
 
 fn main() {
     let (out_ch, in_ch) = (32usize, 24usize);
-    let engine = Engine::new(EieConfig::default().with_num_pes(8));
+    let config = EieConfig::default().with_num_pes(8);
 
     // --- build a synthetic 3×3 conv layer ------------------------------
     let kernels: Vec<Vec<[f32; 9]>> = (0..out_ch)
@@ -49,11 +49,18 @@ fn main() {
     // The Winograd kernel transform preserves much of the pruned
     // sparsity structure; here we prune each U^(i,j) to 25% directly.
     // The pipeline's dense path: prune (to 25%) -> codebook -> encode.
-    let pipeline = engine.config().pipeline().with_prune_density(0.25);
-    let encoded: Vec<EncodedLayer> = (0..16)
-        .map(|pos| pipeline.compile_dense(conv.position_matrix(pos / 4, pos % 4)))
+    // Each position matrix becomes its own single-layer model so the
+    // per-tile reductions run through the unified inference surface.
+    let pipeline = config.pipeline().with_prune_density(0.25);
+    let models: Vec<CompiledModel> = (0..16)
+        .map(|pos| {
+            CompiledModel::from_layers(
+                config,
+                vec![pipeline.compile_dense(conv.position_matrix(pos / 4, pos % 4))],
+            )
+        })
         .collect();
-    let entries: usize = encoded.iter().map(|e| e.total_entries()).sum();
+    let entries: usize = models.iter().map(|m| m.layer(0).total_entries()).sum();
     println!("compressed: 16 position matrices, {entries} total entries");
 
     // --- a post-ReLU input feature map ---------------------------------
@@ -71,15 +78,16 @@ fn main() {
     let mut total_cycles = 0u64;
     let mut total_macs = 0u64;
     let out = conv.forward_with(&input, |pos, v| {
-        let result = engine.run_layer(&encoded[pos], v);
-        total_cycles += result.run.stats.total_cycles;
-        total_macs += result.run.stats.total_macs();
-        result.run.outputs_f32()
+        let result = models[pos].infer(BackendKind::CycleAccurate).submit_one(v);
+        let stats = result.stats(0).expect("cycle backend");
+        total_cycles += stats.total_cycles;
+        total_macs += stats.total_macs();
+        result.outputs_f32(0)
     });
 
     // --- verify against direct convolution on the same pruned weights --
     // Rebuild the pruned position matrices as the reference executor.
-    let reference = conv.forward_with(&input, |pos, v| encoded[pos].spmv_f32(v));
+    let reference = conv.forward_with(&input, |pos, v| models[pos].layer(0).spmv_f32(v));
     let mut max_err = 0.0f32;
     for c in 0..out.channels() {
         for y in 0..out.height() {
@@ -108,15 +116,16 @@ fn main() {
     // --- 1x1 convolution rides the same path ---------------------------
     let w1x1 = Matrix::from_fn(out_ch, in_ch, |r, c| ((r * 7 + c) as f32 * 0.11).sin());
     let pruned = prune_to_density(&w1x1, 0.2);
-    let enc1 = engine.config().pipeline().compile_matrix(&pruned);
+    let model1 = CompiledModel::compile_layer(config, &pruned);
     let ref1 = conv1x1(&pruned.to_dense(), &input);
+    let job1 = model1.infer(BackendKind::CycleAccurate);
     let mut max_err1 = 0.0f32;
     let mut cycles1 = 0u64;
     for y in 0..input.height() {
         for x in 0..input.width() {
-            let r = engine.run_layer(&enc1, &input.pixel_channels(y, x));
-            cycles1 += r.run.stats.total_cycles;
-            for (oc, v) in r.run.outputs_f32().iter().enumerate() {
+            let r = job1.submit_one(&input.pixel_channels(y, x));
+            cycles1 += r.stats(0).expect("cycle backend").total_cycles;
+            for (oc, v) in r.outputs_f32(0).iter().enumerate() {
                 max_err1 = max_err1.max((v - ref1.get(oc, y, x)).abs());
             }
         }

@@ -10,3 +10,9 @@
 #![forbid(unsafe_code)]
 
 pub use eie_core::*;
+
+/// The serving stack: `ModelServer`, dynamic micro-batching, worker
+/// pools (re-export of `eie-serve`).
+pub mod serve {
+    pub use eie_serve::*;
+}

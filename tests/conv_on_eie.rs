@@ -22,17 +22,14 @@ fn conv1x1_on_eie_matches_reference() {
     let (out_ch, in_ch) = (12usize, 16usize);
     let w = Matrix::from_fn(out_ch, in_ch, |r, c| ((r * 5 + c) as f32 * 0.23).sin());
     let pruned = prune_to_density(&w, 0.3);
-    let engine = Engine::new(EieConfig::default().with_num_pes(4));
-    let enc = engine.config().pipeline().compile_matrix(&pruned);
+    let model = CompiledModel::compile_layer(EieConfig::default().with_num_pes(4), &pruned);
+    let job = model.infer(BackendKind::CycleAccurate);
 
     let input = relu_map(in_ch, 5, 6);
-    let reference = conv1x1(&enc.decode().to_dense(), &input);
+    let reference = conv1x1(&model.layer(0).decode().to_dense(), &input);
     for y in 0..input.height() {
         for x in 0..input.width() {
-            let got = engine
-                .run_layer(&enc, &input.pixel_channels(y, x))
-                .run
-                .outputs_f32();
+            let got = job.submit_one(&input.pixel_channels(y, x)).outputs_f32(0);
             for (oc, &v) in got.iter().enumerate() {
                 assert!(
                     (v - reference.get(oc, y, x)).abs() < 0.25,
@@ -61,19 +58,22 @@ fn winograd_on_eie_matches_reference() {
         })
         .collect();
     let conv = WinogradConv3x3::from_kernels(&kernels);
-    let engine = Engine::new(EieConfig::default().with_num_pes(4));
-    let encoded: Vec<EncodedLayer> = (0..16)
+    let config = EieConfig::default().with_num_pes(4);
+    let models: Vec<CompiledModel> = (0..16)
         .map(|pos| {
             let pruned = prune_to_density(conv.position_matrix(pos / 4, pos % 4), 0.5);
-            engine.config().pipeline().compile_matrix(&pruned)
+            CompiledModel::compile_layer(config, &pruned)
         })
         .collect();
 
     let input = relu_map(in_ch, 6, 6);
     let on_eie = conv.forward_with(&input, |pos, v| {
-        engine.run_layer(&encoded[pos], v).run.outputs_f32()
+        models[pos]
+            .infer(BackendKind::CycleAccurate)
+            .submit_one(v)
+            .outputs_f32(0)
     });
-    let reference = conv.forward_with(&input, |pos, v| encoded[pos].spmv_f32(v));
+    let reference = conv.forward_with(&input, |pos, v| models[pos].layer(0).spmv_f32(v));
     for c in 0..on_eie.channels() {
         for y in 0..on_eie.height() {
             for x in 0..on_eie.width() {
@@ -98,13 +98,12 @@ fn winograd_exploits_dynamic_sparsity() {
         })
         .collect()];
     let conv = WinogradConv3x3::from_kernels(&kernels);
-    let engine = Engine::new(EieConfig::default().with_num_pes(2));
     // Position (1,1) mixes all kernel taps (G row 1 = [1/2,1/2,1/2]), so
     // its U matrix is dense even for center-only kernels.
-    let enc = engine
-        .config()
-        .pipeline()
-        .compile_matrix(&prune_to_density(conv.position_matrix(1, 1), 0.9));
+    let model = CompiledModel::compile_layer(
+        EieConfig::default().with_num_pes(2),
+        &prune_to_density(conv.position_matrix(1, 1), 0.9),
+    );
 
     // A mostly-zero input map → mostly-zero transformed vectors.
     let input = FeatureMap::from_fn(in_ch, 4, 4, |c, y, x| {
@@ -115,11 +114,12 @@ fn winograd_exploits_dynamic_sparsity() {
         }
     });
     let v = conv.input_tile_vectors(&input, 0, 0);
-    let run = engine.run_layer(&enc, &v[5]); // position (1,1)
+    let run = model.infer(BackendKind::CycleAccurate).submit_one(&v[5]); // position (1,1)
+    let stats = run.stats(0).expect("cycle backend");
     assert!(
-        run.run.stats.broadcasts < in_ch as u64,
+        stats.broadcasts < in_ch as u64,
         "expected sparse broadcast, got {} of {}",
-        run.run.stats.broadcasts,
+        stats.broadcasts,
         in_ch
     );
 }

@@ -3,19 +3,21 @@
 
 use eie::prelude::*;
 
-fn run_benchmark(pes: usize) -> ExecutionResult {
+fn run_benchmark(pes: usize) -> JobResult {
     let layer = Benchmark::Alex7.generate_scaled(DEFAULT_SEED, 8); // 512×512
-    let engine = Engine::new(EieConfig::default().with_num_pes(pes));
-    let encoded = engine.config().pipeline().compile_matrix(&layer.weights);
-    engine.run_layer(&encoded, &layer.sample_activations(DEFAULT_SEED))
+    let model =
+        CompiledModel::compile_layer(EieConfig::default().with_num_pes(pes), &layer.weights);
+    model
+        .infer(BackendKind::CycleAccurate)
+        .submit_one(&layer.sample_activations(DEFAULT_SEED))
 }
 
 #[test]
 fn components_sum_to_total() {
     let result = run_benchmark(16);
-    let rows = result.energy.rows();
+    let rows = result.energy().expect("cycle backend").rows();
     let sum: f64 = rows.iter().map(|r| r.1).sum();
-    assert!((sum - result.energy.total_nj()).abs() < 1e-9);
+    assert!((sum - result.energy().unwrap().total_nj()).abs() < 1e-9);
     let share_sum: f64 = rows.iter().map(|r| r.2).sum();
     assert!((share_sum - 1.0).abs() < 1e-9);
 }
@@ -26,7 +28,7 @@ fn sram_dominates_layer_energy() {
     // is memory in Table II; activity-priced runs should be in the same
     // regime).
     let result = run_benchmark(16);
-    let e = &result.energy;
+    let e = result.energy().expect("cycle backend");
     let mem = e.spmat_nj + e.ptr_nj;
     let frac = mem / e.total_nj();
     assert!(frac > 0.4, "memory fraction only {frac:.2}");
@@ -38,7 +40,7 @@ fn average_power_is_pe_scale() {
     // of Table II's 9.157 mW (exact value depends on utilization and
     // column lengths).
     let result = run_benchmark(16);
-    let per_pe_mw = result.average_power_w() * 1000.0 / 16.0;
+    let per_pe_mw = result.average_power_w().expect("cycle backend") * 1000.0 / 16.0;
     assert!(
         (2.0..60.0).contains(&per_pe_mw),
         "per-PE power {per_pe_mw} mW out of physical range"
@@ -50,8 +52,8 @@ fn energy_scales_with_work_not_pes() {
     // The same layer on more PEs takes less time but similar energy
     // (same MACs, same SRAM traffic) — the scalability argument of
     // §VII-B. Leakage and per-column overheads allow some growth.
-    let e4 = run_benchmark(4).energy.total_nj();
-    let e16 = run_benchmark(16).energy.total_nj();
+    let e4 = run_benchmark(4).energy().unwrap().total_nj();
+    let e16 = run_benchmark(16).energy().unwrap().total_nj();
     let ratio = e16 / e4;
     assert!(
         (0.5..2.0).contains(&ratio),
@@ -62,9 +64,9 @@ fn energy_scales_with_work_not_pes() {
 #[test]
 fn time_and_energy_consistent_with_power() {
     let result = run_benchmark(8);
-    let p = result.average_power_w();
+    let p = result.average_power_w().expect("cycle backend");
     let t = result.time_us() * 1e-6;
-    let e = result.energy.total_nj() * 1e-9;
+    let e = result.energy().unwrap().total_nj() * 1e-9;
     assert!((p * t - e).abs() / e < 1e-9, "P*t != E");
 }
 
@@ -76,7 +78,13 @@ fn dram_free_operation() {
     // the report has no DRAM field; this test documents the invariant
     // by pricing a run and listing its components.)
     let result = run_benchmark(8);
-    let names: Vec<&str> = result.energy.rows().iter().map(|r| r.0).collect();
+    let names: Vec<&str> = result
+        .energy()
+        .unwrap()
+        .rows()
+        .iter()
+        .map(|r| r.0)
+        .collect();
     assert!(!names.iter().any(|n| n.contains("DRAM")));
     assert_eq!(names.len(), 7);
 }

@@ -28,13 +28,13 @@ fn saved_zoo_model_runs_bit_exactly_on_all_three_backends() {
 
     let layer = Benchmark::Alex7.generate_scaled(DEFAULT_SEED, 32);
     let batch = layer.sample_activation_batch(DEFAULT_SEED, 3);
-    let golden = model.run_batch(BackendKind::Functional, &batch);
+    let golden = model.infer(BackendKind::Functional).submit(&batch);
     for kind in [
         BackendKind::CycleAccurate,
         BackendKind::Functional,
         BackendKind::NativeCpu(2),
     ] {
-        let result = loaded.run_batch(kind, &batch);
+        let result = loaded.infer(kind).submit(&batch);
         for i in 0..batch.len() {
             assert_eq!(
                 result.outputs(i),
@@ -124,8 +124,8 @@ fn multi_layer_and_shared_codebook_artifacts_roundtrip() {
         let loaded = CompiledModel::from_bytes(&model.to_bytes()).expect("roundtrip");
         assert_eq!(loaded, model);
         let batch = vec![vec![0.25f32; 32]; 2];
-        let a = model.run_batch(BackendKind::NativeCpu(1), &batch);
-        let b = loaded.run_batch(BackendKind::NativeCpu(1), &batch);
+        let a = model.infer(BackendKind::NativeCpu(1)).submit(&batch);
+        let b = loaded.infer(BackendKind::NativeCpu(1)).submit(&batch);
         for i in 0..batch.len() {
             assert_eq!(a.outputs(i), b.outputs(i), "shared={shared}");
         }

@@ -33,19 +33,14 @@ fn reference_forward(encoded: &[EncodedLayer], input: &[f32]) -> Vec<f32> {
 #[test]
 fn network_matches_reference_within_fixed_point_error() {
     let (layers, input) = stack(100);
-    let engine = Engine::new(EieConfig::default().with_num_pes(4));
-    let encoded: Vec<EncodedLayer> = layers
-        .iter()
-        .map(|w| engine.config().pipeline().compile_matrix(w))
-        .collect();
-    let refs: Vec<&EncodedLayer> = encoded.iter().collect();
+    let refs: Vec<&CsrMatrix> = layers.iter().collect();
+    let model = CompiledModel::compile(EieConfig::default().with_num_pes(4), &refs);
 
-    let net = engine.run_network(&refs, &input);
-    let expected = reference_forward(&encoded, &input);
+    let net = model.infer(BackendKind::CycleAccurate).submit_one(&input);
+    let expected = reference_forward(model.layers(), &input);
 
     for (i, (got, want)) in net
-        .run
-        .outputs
+        .outputs(0)
         .iter()
         .map(|v| v.to_f32())
         .zip(&expected)
@@ -60,19 +55,24 @@ fn network_matches_reference_within_fixed_point_error() {
 #[test]
 fn network_stats_merge_all_layers() {
     let (layers, input) = stack(200);
-    let engine = Engine::new(EieConfig::default().with_num_pes(4));
-    let encoded: Vec<EncodedLayer> = layers
-        .iter()
-        .map(|w| engine.config().pipeline().compile_matrix(w))
-        .collect();
-    let refs: Vec<&EncodedLayer> = encoded.iter().collect();
+    let refs: Vec<&CsrMatrix> = layers.iter().collect();
+    let model = CompiledModel::compile(EieConfig::default().with_num_pes(4), &refs);
 
-    let net = engine.run_network(&refs, &input);
-    assert_eq!(net.run.layers.len(), 3);
-    let cycles_sum: u64 = net.run.layers.iter().map(|l| l.stats.total_cycles).sum();
-    assert_eq!(net.run.total.total_cycles, cycles_sum);
-    let macs_sum: u64 = net.run.layers.iter().map(|l| l.stats.total_macs()).sum();
-    assert_eq!(net.run.total.total_macs(), macs_sum);
+    let net = model.infer(BackendKind::CycleAccurate).submit_one(&input);
+    assert_eq!(net.layer_phases().len(), 3);
+    let total = net.merged_stats().expect("cycle backend");
+    let cycles_sum: u64 = net
+        .layer_phases()
+        .iter()
+        .map(|p| p.stats.as_ref().unwrap().total_cycles)
+        .sum();
+    assert_eq!(total.total_cycles, cycles_sum);
+    let macs_sum: u64 = net
+        .layer_phases()
+        .iter()
+        .map(|p| p.stats.as_ref().unwrap().total_macs())
+        .sum();
+    assert_eq!(total.total_macs(), macs_sum);
 }
 
 #[test]
@@ -80,20 +80,16 @@ fn relu_between_layers_sparsifies_activations() {
     // The ReLU boundary creates the dynamic sparsity the next layer
     // exploits: its broadcast count must be below its input length.
     let (layers, input) = stack(300);
-    let engine = Engine::new(EieConfig::default().with_num_pes(2));
-    let encoded: Vec<EncodedLayer> = layers
-        .iter()
-        .map(|w| engine.config().pipeline().compile_matrix(w))
-        .collect();
-    let refs: Vec<&EncodedLayer> = encoded.iter().collect();
+    let refs: Vec<&CsrMatrix> = layers.iter().collect();
+    let model = CompiledModel::compile(EieConfig::default().with_num_pes(2), &refs);
 
-    let net = engine.run_network(&refs, &input);
-    let second = &net.run.layers[1].stats;
+    let net = model.infer(BackendKind::CycleAccurate).submit_one(&input);
+    let second = net.layer_stats(1).expect("cycle backend");
     assert!(
-        second.broadcasts < encoded[1].cols() as u64,
+        second.broadcasts < model.layer(1).cols() as u64,
         "ReLU produced no zeros? broadcasts {} of {}",
         second.broadcasts,
-        encoded[1].cols()
+        model.layer(1).cols()
     );
 }
 
@@ -105,8 +101,8 @@ fn lstm_cell_runs_on_accelerated_gates() {
     let gate_w = random_sparse(4 * hidden, input_dim + hidden + 1, 0.3, 9);
     let cell = LstmCell::new(gate_w.to_dense(), hidden);
 
-    let engine = Engine::new(EieConfig::default().with_num_pes(4));
-    let encoded = engine.config().pipeline().compile_matrix(&gate_w);
+    let model = CompiledModel::compile_layer(EieConfig::default().with_num_pes(4), &gate_w);
+    let job = model.infer(BackendKind::CycleAccurate);
 
     let x: Vec<f32> = (0..input_dim).map(|i| ((i as f32) * 0.3).sin()).collect();
     let mut state_accel = LstmState::zeros(hidden);
@@ -114,10 +110,12 @@ fn lstm_cell_runs_on_accelerated_gates() {
     for _ in 0..3 {
         // Accelerated: gate pre-activations from the simulator.
         let gate_in = cell.concat_input(&x, &state_accel.h);
-        let z = engine.run_layer(&encoded, &gate_in);
-        state_accel = cell.apply_gates(&z.run.outputs_f32(), &state_accel);
+        let z = job.submit_one(&gate_in);
+        state_accel = cell.apply_gates(&z.outputs_f32(0), &state_accel);
         // Host reference on the quantized weights.
-        let z_ref = encoded.spmv_f32(&cell.concat_input(&x, &state_host.h));
+        let z_ref = model
+            .layer(0)
+            .spmv_f32(&cell.concat_input(&x, &state_host.h));
         state_host = cell.apply_gates(&z_ref, &state_host);
     }
     for (a, b) in state_accel.h.iter().zip(&state_host.h) {

@@ -7,8 +7,8 @@ use eie::prelude::*;
 
 fn prep(benchmark: Benchmark, pes: usize) -> (EncodedLayer, Vec<f32>) {
     let layer = benchmark.generate_scaled(DEFAULT_SEED, 16);
-    let engine = Engine::new(EieConfig::default().with_num_pes(pes));
-    let enc = engine.config().pipeline().compile_matrix(&layer.weights);
+    let config = EieConfig::default().with_num_pes(pes);
+    let enc = config.pipeline().compile_matrix(&layer.weights);
     let acts = layer.sample_activations(DEFAULT_SEED);
     (enc, acts)
 }
@@ -141,9 +141,10 @@ fn section_vi_claim_eie_beats_roofline_gpu_per_frame() {
     // At batch 1 the GPU is bandwidth-bound; EIE's compressed SRAM
     // execution must beat it on the same (scaled) layer.
     let layer = Benchmark::Alex7.generate_scaled(DEFAULT_SEED, 8);
-    let engine = Engine::new(EieConfig::default().with_num_pes(16));
-    let enc = engine.config().pipeline().compile_matrix(&layer.weights);
-    let result = engine.run_layer(&enc, &layer.sample_activations(DEFAULT_SEED));
+    let model = CompiledModel::compile_layer(EieConfig::default().with_num_pes(16), &layer.weights);
+    let result = model
+        .infer(BackendKind::CycleAccurate)
+        .submit_one(&layer.sample_activations(DEFAULT_SEED));
     let gpu = Platform::titan_x().roofline.unwrap();
     let gpu_us = gpu.dense_time_us(layer.weights.rows(), layer.weights.cols(), 1);
     assert!(

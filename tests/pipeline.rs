@@ -7,23 +7,25 @@ use eie::prelude::*;
 /// against both the bit-exact functional model and the f32 reference.
 fn verify_benchmark(benchmark: Benchmark, pes: usize) {
     let layer = benchmark.generate_scaled(DEFAULT_SEED, 32);
-    let engine = Engine::new(EieConfig::default().with_num_pes(pes));
-    let encoded = engine.config().pipeline().compile_matrix(&layer.weights);
+    let model =
+        CompiledModel::compile_layer(EieConfig::default().with_num_pes(pes), &layer.weights);
+    let encoded = model.layer(0);
     let acts = layer.sample_activations(DEFAULT_SEED);
 
-    let result = engine.run_layer(&encoded, &acts);
+    let result = model.infer(BackendKind::CycleAccurate).submit_one(&acts);
 
     // 1. Bit-exact vs the functional golden model.
     let acts_q: Vec<Q8p8> = acts.iter().map(|&a| Q8p8::from_f32(a)).collect();
-    let golden = functional::execute(&encoded, &acts_q, false);
+    let golden = functional::execute(encoded, &acts_q, false);
     assert_eq!(
-        result.run.outputs, golden,
+        result.outputs(0),
+        golden,
         "{benchmark}: cycle != functional"
     );
 
     // 2. Close to the f32 reference on the quantized matrix.
     let reference = encoded.spmv_f32(&acts);
-    for (i, (got, want)) in result.run.outputs_f32().iter().zip(&reference).enumerate() {
+    for (i, (got, want)) in result.outputs_f32(0).iter().zip(&reference).enumerate() {
         assert!(
             (got - want).abs() < 0.5,
             "{benchmark} row {i}: {got} vs {want}"
@@ -34,7 +36,7 @@ fn verify_benchmark(benchmark: Benchmark, pes: usize) {
     assert_eq!(encoded.decode().nnz(), layer.weights.nnz(), "{benchmark}");
 
     // 4. Sanity on the stats.
-    let stats = &result.run.stats;
+    let stats = result.stats(0).expect("cycle backend records activity");
     assert!(stats.total_cycles > 0, "{benchmark}");
     assert!(
         stats.total_cycles >= stats.theoretical_cycles(),
@@ -103,13 +105,12 @@ fn prune_compress_simulate_from_dense() {
     let pruned = eie::compress::prune::prune_to_density(&dense, 0.15);
     assert!((pruned.density() - 0.15).abs() < 0.02);
 
-    let engine = Engine::new(EieConfig::default().with_num_pes(4));
-    let encoded = engine.config().pipeline().compile_matrix(&pruned);
+    let model = CompiledModel::compile_layer(EieConfig::default().with_num_pes(4), &pruned);
     let acts = eie::nn::zoo::sample_activations(128, 0.5, false, 3);
-    let result = engine.run_layer(&encoded, &acts);
+    let result = model.infer(BackendKind::CycleAccurate).submit_one(&acts);
 
-    let reference = encoded.spmv_f32(&acts);
-    for (got, want) in result.run.outputs_f32().iter().zip(&reference) {
+    let reference = model.layer(0).spmv_f32(&acts);
+    for (got, want) in result.outputs_f32(0).iter().zip(&reference) {
         assert!((got - want).abs() < 0.25, "{got} vs {want}");
     }
 }
@@ -120,8 +121,8 @@ fn compression_ratio_in_paper_ballpark() {
     // f32 before Huffman; verify the full-pipeline ratio is in that
     // regime for a 9%-dense layer.
     let layer = Benchmark::Alex7.generate_scaled(DEFAULT_SEED, 8);
-    let engine = Engine::new(EieConfig::default().with_num_pes(16));
-    let encoded = engine.config().pipeline().compile_matrix(&layer.weights);
+    let config = EieConfig::default().with_num_pes(16);
+    let encoded = config.pipeline().compile_matrix(&layer.weights);
     let ratio = encoded.stats().compression_ratio();
     assert!((5.0..50.0).contains(&ratio), "ratio {ratio}");
 }

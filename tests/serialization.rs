@@ -6,8 +6,8 @@ use eie::prelude::*;
 
 fn sample_layer() -> (EncodedLayer, Vec<f32>) {
     let layer = Benchmark::Alex7.generate_scaled(DEFAULT_SEED, 32);
-    let engine = Engine::new(EieConfig::default().with_num_pes(4));
-    let enc = engine.config().pipeline().compile_matrix(&layer.weights);
+    let config = EieConfig::default().with_num_pes(4);
+    let enc = config.pipeline().compile_matrix(&layer.weights);
     (enc, layer.sample_activations(DEFAULT_SEED))
 }
 
