@@ -1,0 +1,241 @@
+//! Kernel sweep: the reproducible perf baseline of the native hot path.
+//!
+//! Measures single-item and fused-batch layer throughput of the
+//! **streaming** kernel (per-call entry-stream decode, scoped threads —
+//! the pre-plan code path, kept alive as `NativeCpu::without_plans`)
+//! against the **plan** kernel (pre-decoded [`LayerPlan`]s, persistent
+//! worker pool, reusable scratch), across thread counts and zoo layers.
+//! Both kernels are bit-exact with the golden model (property-tested);
+//! this binary records what the layout change is *worth*.
+//!
+//! Output: a table + story on stdout (and `results/kernel_sweep.txt`),
+//! plus the machine-readable **`BENCH_kernel.json`** at the repo root —
+//! the recorded perf trajectory (schema documented in
+//! `EXPERIMENTS.md`). Only a full-scale non-quick run touches that
+//! file: `--quick` (the CI smoke: one layer, bounded iterations)
+//! writes `results/kernel_sweep_quick.json`, and an `EIE_SCALE`'d run
+//! writes `results/kernel_sweep_scaled.json`, so the committed scale-1
+//! record is never clobbered.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use eie_bench::*;
+use eie_core::baselines::TimingHarness;
+
+/// One measured cell of the sweep.
+struct Cell {
+    layer: &'static str,
+    rows: usize,
+    cols: usize,
+    pes: usize,
+    threads: usize,
+    /// `"single"` or `"batch16"`.
+    mode: &'static str,
+    /// `"streaming"` or `"plan"`.
+    kernel: &'static str,
+    us_per_frame: f64,
+    frames_per_second: f64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let started = Instant::now();
+    let config = paper_config();
+    let harness = if quick {
+        TimingHarness {
+            min_runs: 2,
+            max_runs: 4,
+            target_total_us: 1e5,
+        }
+    } else {
+        TimingHarness {
+            min_runs: 3,
+            max_runs: 9,
+            target_total_us: 7e5,
+        }
+    };
+    let available = NativeCpu::new().threads();
+    let mut thread_counts = vec![1usize];
+    if available > 1 && !quick {
+        thread_counts.push(available);
+    }
+    let benchmarks: &[Benchmark] = if quick {
+        &[Benchmark::Alex7]
+    } else {
+        &[Benchmark::Alex6, Benchmark::Alex7, Benchmark::NtWe]
+    };
+    const BATCH: usize = 16;
+
+    let mut table = TextTable::new(
+        format!(
+            "Kernel sweep: streaming vs plan, scale 1/{}, EIE = {}",
+            scale_divisor(),
+            config
+        ),
+        &[
+            "layer",
+            "threads",
+            "mode",
+            "kernel",
+            "µs/frame",
+            "frames/s",
+            "speedup",
+        ],
+    );
+    let mut cells: Vec<Cell> = Vec::new();
+    // (layer, threads, single-item speedup, batch speedup)
+    let mut headline: Option<(String, usize, f64, f64)> = None;
+
+    for &benchmark in benchmarks {
+        let layer = layer_at_scale(benchmark);
+        let (rows, cols) = (layer.weights.rows(), layer.weights.cols());
+        let model = model_at_scale(benchmark, config);
+        let enc = model.layer(0);
+        let acts = Q8p8::from_f32_slice(&layer.sample_activations(DEFAULT_SEED));
+        let batch: Vec<Vec<Q8p8>> = layer
+            .sample_activation_batch(DEFAULT_SEED, BATCH)
+            .iter()
+            .map(|item| Q8p8::from_f32_slice(item))
+            .collect();
+
+        for &threads in &thread_counts {
+            let plan = NativeCpu::with_threads(threads);
+            let stream = plan.clone().without_plans();
+            // Warm the plan engine explicitly so the measured cells are
+            // steady state: plan built, pool spawned, scratch at its
+            // high-water mark.
+            let warm_plan = plan.run_layer(enc, &acts, false);
+            let warm_stream = stream.run_layer(enc, &acts, false);
+            assert_eq!(
+                warm_plan.outputs, warm_stream.outputs,
+                "{benchmark}: kernels diverged — refusing to record perf of wrong answers"
+            );
+
+            let mut speedups = [0.0f64; 2];
+            for (m, mode) in ["single", "batch16"].into_iter().enumerate() {
+                let mut fps = [0.0f64; 2];
+                for (k, (kernel, backend)) in [("streaming", &stream), ("plan", &plan)]
+                    .into_iter()
+                    .enumerate()
+                {
+                    let us = match mode {
+                        "single" => harness.measure_us(|| backend.run_layer(enc, &acts, false)),
+                        _ => {
+                            harness.measure_us(|| backend.run_layer_batch(enc, &batch, false))
+                                / BATCH as f64
+                        }
+                    };
+                    fps[k] = 1e6 / us;
+                    cells.push(Cell {
+                        layer: benchmark.name(),
+                        rows,
+                        cols,
+                        pes: config.num_pes,
+                        threads,
+                        mode,
+                        kernel,
+                        us_per_frame: us,
+                        frames_per_second: fps[k],
+                    });
+                    table.row(vec![
+                        benchmark.name().into(),
+                        threads.to_string(),
+                        mode.into(),
+                        kernel.into(),
+                        f(us, 1),
+                        f(fps[k], 0),
+                        if k == 1 {
+                            x(fps[1] / fps[0])
+                        } else {
+                            "-".into()
+                        },
+                    ]);
+                }
+                speedups[m] = fps[1] / fps[0];
+            }
+            let better = headline
+                .as_ref()
+                .map(|(_, _, s, _)| speedups[0] > *s)
+                .unwrap_or(true);
+            if better {
+                headline = Some((
+                    benchmark.name().to_string(),
+                    threads,
+                    speedups[0],
+                    speedups[1],
+                ));
+            }
+            eprintln!(
+                "[{} @ {}t] done in {:.1}s",
+                benchmark.name(),
+                threads,
+                started.elapsed().as_secs_f64()
+            );
+        }
+    }
+
+    let (hl_layer, hl_threads, hl_single, hl_batch) = headline.expect("at least one benchmark ran");
+    let mut out = table.render();
+    let _ = writeln!(
+        out,
+        "\nHeadline: {hl_layer} single-item {} plan-over-streaming at {hl_threads} thread(s) \
+         (fused batch-{BATCH}: {}). The plan kernel reads pre-decoded (row, weight) pairs — \
+         no nibble decode, no codebook lookup, no padding branch — from a persistent pool \
+         with warm scratch; streaming re-decodes the compressed stream per call on scoped \
+         threads, which is exactly what the serving path used to do.",
+        x(hl_single),
+        x(hl_batch),
+    );
+    emit("kernel_sweep", &out);
+
+    // ---- machine-readable record ------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"eie-kernel-sweep/v1\",");
+    let _ = writeln!(json, "  \"scale_divisor\": {},", scale_divisor());
+    let _ = writeln!(json, "  \"pes\": {},", config.num_pes);
+    let _ = writeln!(json, "  \"threads_available\": {available},");
+    let _ = writeln!(json, "  \"batch\": {BATCH},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(
+        json,
+        "  \"headline\": {{\"layer\": \"{hl_layer}\", \"threads\": {hl_threads}, \
+         \"single_item_speedup\": {hl_single:.3}, \"batch_speedup\": {hl_batch:.3}}},"
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"layer\": \"{}\", \"rows\": {}, \"cols\": {}, \"pes\": {}, \
+             \"threads\": {}, \"mode\": \"{}\", \"kernel\": \"{}\", \
+             \"us_per_frame\": {:.3}, \"frames_per_second\": {:.1}}}",
+            c.layer,
+            c.rows,
+            c.cols,
+            c.pes,
+            c.threads,
+            c.mode,
+            c.kernel,
+            c.us_per_frame,
+            c.frames_per_second,
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    // Only a full-scale, non-quick run may refresh the committed
+    // repo-root record; quick and EIE_SCALE'd runs land in results/ so
+    // the recorded scale-1 trajectory is never clobbered.
+    let path = if quick {
+        results_dir().join("kernel_sweep_quick.json")
+    } else if scale_divisor() != 1 {
+        results_dir().join("kernel_sweep_scaled.json")
+    } else {
+        std::path::PathBuf::from("BENCH_kernel.json")
+    };
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[saved {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

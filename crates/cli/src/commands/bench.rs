@@ -16,7 +16,8 @@ USAGE:
     eie bench <MODEL.eie> [OPTIONS]
 
 OPTIONS:
-    --backend <B>     cycle | functional | native[:threads] [default: native]
+    --backend <B>     cycle | functional | native[:threads] | streaming[:threads]
+                      [default: native]
     --batch <N>       Batch size per iteration [default: 16]
     --iters <N>       Serving iterations (best is reported) [default: 5]
     --density <D>     Input activation density [default: 0.35]

@@ -13,7 +13,8 @@ USAGE:
     eie run <MODEL.eie> [OPTIONS]
 
 OPTIONS:
-    --backend <B>     cycle | functional | native[:threads] [default: native]
+    --backend <B>     cycle | functional | native[:threads] | streaming[:threads]
+                      [default: native]
     --batch <N>       Batch size [default: 4]
     --density <D>     Input activation density in [0, 1] [default: 0.35]
     --signed          Sample signed activations (embedding/LSTM inputs)

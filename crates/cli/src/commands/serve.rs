@@ -21,7 +21,7 @@ USAGE:
     eie serve <MODEL.eie> [OPTIONS]
 
 SERVING POLICY:
-    --backend <B>       Worker backend: cycle | functional | native[:threads]
+    --backend <B>       Worker backend: cycle | functional | native[:threads] | streaming[:threads]
                         [default: native:1 — workers provide the parallelism]
     --workers <N>       Worker threads, one backend each [default: 2]
     --max-batch <N>     Micro-batch coalescing cap [default: 8]

@@ -19,6 +19,10 @@
 //!   4-bit relative row indices and padding-zero insertion (paper Fig. 3),
 //! * [`EncodingStats`] — storage/padding statistics (drives the paper's
 //!   Fig. 12 and the compression-ratio accounting),
+//! * [`LayerPlan`] — the pre-decoded execution plan (padding dropped,
+//!   codebook pre-multiplied into flat per-PE `(row, weight)` arrays)
+//!   that host-speed kernels scan instead of re-decoding the compressed
+//!   stream per call,
 //! * decoding back to [`CsrMatrix`] for golden-model verification.
 //!
 //! # Example
@@ -44,6 +48,7 @@ mod encode;
 pub mod huffman;
 mod kmeans;
 mod pipeline;
+mod plan;
 pub mod prune;
 mod serialize;
 mod stats;
@@ -55,6 +60,7 @@ pub use encode::{
 };
 pub use kmeans::kmeans1d;
 pub use pipeline::{CodebookStrategy, CompilePipeline};
+pub use plan::{LayerPlan, PlanEntry, PlanSlice};
 pub use serialize::{DecodeLayerError, MAGIC};
 pub use stats::{huffman_bits, EncodingStats};
 

@@ -1,0 +1,348 @@
+//! Pre-decoded execution plans: the compressed format, lowered once for
+//! repeated host execution.
+//!
+//! The `.eie` artifact stores what the paper's SRAMs store — nibble-packed
+//! `(v, z)` entries plus a 16-entry codebook — because that is the format
+//! the *hardware* streams at zero decode cost. A host CPU pays real cost
+//! for the same stream: every M×V re-expands zero runs, looks the 4-bit
+//! code up in the codebook, and branches around padding, per column, per
+//! call. For repeated inference over a fixed model the winning move
+//! (Gleinig et al.'s I/O-efficiency argument, PAPERS.md) is to pay that
+//! layout cost **once**: a [`LayerPlan`] lowers each PE slice into a
+//! flat, cache-friendly array of [`PlanEntry`] — absolute local row plus
+//! the codebook value pre-multiplied out to the raw `i32` multiplicand —
+//! with a per-column extent index, and drops padding entries entirely
+//! (they decode to a raw-zero weight, and saturating-adding zero never
+//! changes an accumulator).
+//!
+//! The steady-state kernel over a plan is a branch-light linear scan:
+//! no nibble decoding, no codebook indirection, no `code == 0` test.
+//! Bit-exactness with the streaming kernels is structural: a plan
+//! preserves storage-order entries within broadcast-order columns, so
+//! every accumulator sees the identical saturating-add sequence.
+//!
+//! # Example
+//!
+//! ```
+//! use eie_compress::{compress, CompressConfig, LayerPlan};
+//! use eie_nn::zoo::random_sparse;
+//!
+//! let enc = compress(&random_sparse(64, 48, 0.2, 7), CompressConfig::with_pes(4));
+//! let plan = LayerPlan::build(&enc);
+//! assert_eq!(plan.num_pes(), 4);
+//! // Padding is dropped at plan-build time; real entries survive 1:1.
+//! let padding: usize = enc.slices().iter().map(|s| s.padding_entries()).sum();
+//! assert_eq!(plan.total_entries() + padding, enc.total_entries());
+//! ```
+
+use std::fmt;
+
+use eie_fixed::Q8p8;
+
+use crate::{EncodedLayer, CODEBOOK_SIZE};
+
+/// One pre-decoded weight: the absolute local row it accumulates into
+/// and the codebook value already expanded to the raw `i32` multiplicand
+/// of the Q8.8 MAC (`acc = acc.saturating_add(weight * act_raw)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanEntry {
+    /// Local row index within the owning PE slice (absolute, zero runs
+    /// already expanded away).
+    pub row: u32,
+    /// The decoded weight as a raw Q8.8 value widened to `i32` — the
+    /// exact multiplicand the streaming kernel computes per entry via
+    /// `codebook[code]`.
+    pub weight: i32,
+}
+
+/// The pre-decoded slice of one PE: real entries only (padding dropped),
+/// concatenated in column order with a `cols + 1` extent index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanSlice {
+    entries: Vec<PlanEntry>,
+    col_ptr: Vec<u32>,
+    local_rows: usize,
+}
+
+impl PlanSlice {
+    /// Number of local rows (accumulators) this PE owns.
+    pub fn local_rows(&self) -> usize {
+        self.local_rows
+    }
+
+    /// Total pre-decoded entries (padding is never stored in a plan).
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The flat entry array, all columns concatenated.
+    pub fn entries(&self) -> &[PlanEntry] {
+        &self.entries
+    }
+
+    /// The column extent index (`cols + 1` long).
+    pub fn col_ptr(&self) -> &[u32] {
+        &self.col_ptr
+    }
+
+    /// The entries of column `j`, in storage (local-row) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j + 1 >= col_ptr.len()`.
+    #[inline]
+    pub fn col_entries(&self, j: usize) -> &[PlanEntry] {
+        &self.entries[self.col_ptr[j] as usize..self.col_ptr[j + 1] as usize]
+    }
+}
+
+/// A compiled execution plan for one [`EncodedLayer`]: per-PE contiguous
+/// `(row, raw_weight)` arrays in column order, padding dropped, codebook
+/// pre-multiplied — built once, scanned on every subsequent M×V.
+///
+/// Plans trade memory for steady-state speed (8 bytes per surviving
+/// entry against the artifact's 1) — the build-once/run-many trade of a
+/// serving host, inverted from the paper's storage-bound hardware.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPlan {
+    rows: usize,
+    cols: usize,
+    slices: Vec<PlanSlice>,
+}
+
+impl LayerPlan {
+    /// Lowers an encoded layer into its execution plan: decodes the
+    /// compressed entry stream once (zero-run expansion + codebook
+    /// lookup via the hardware's Q8.8 table), drops padding entries, and
+    /// lays each PE slice out flat in column order.
+    pub fn build(layer: &EncodedLayer) -> Self {
+        let codebook = layer.codebook().to_fix16::<8>();
+        let mut raw = [0i32; CODEBOOK_SIZE];
+        for (slot, w) in raw.iter_mut().zip(&codebook) {
+            *slot = w.raw() as i32;
+        }
+        let cols = layer.cols();
+        let slices = layer
+            .slices()
+            .iter()
+            .map(|slice| {
+                let mut entries = Vec::with_capacity(slice.num_entries() - slice.padding_entries());
+                let mut col_ptr = Vec::with_capacity(cols + 1);
+                col_ptr.push(0u32);
+                for j in 0..cols {
+                    slice.walk_column(j, |row, code| {
+                        if code != 0 {
+                            entries.push(PlanEntry {
+                                row: row as u32,
+                                weight: raw[code as usize],
+                            });
+                        }
+                    });
+                    col_ptr.push(entries.len() as u32);
+                }
+                PlanSlice {
+                    entries,
+                    col_ptr,
+                    local_rows: slice.local_rows(),
+                }
+            })
+            .collect();
+        Self {
+            rows: layer.rows(),
+            cols,
+            slices,
+        }
+    }
+
+    /// Output dimension (matrix rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Input dimension (matrix columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of PE slices.
+    pub fn num_pes(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// The plan slice of PE `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= num_pes()`.
+    pub fn slice(&self, k: usize) -> &PlanSlice {
+        &self.slices[k]
+    }
+
+    /// All plan slices in PE order.
+    pub fn slices(&self) -> &[PlanSlice] {
+        &self.slices
+    }
+
+    /// Total pre-decoded entries across all PEs.
+    pub fn total_entries(&self) -> usize {
+        self.slices.iter().map(PlanSlice::num_entries).sum()
+    }
+
+    /// Approximate resident size of the plan's flat arrays, bytes — the
+    /// memory side of the build-once/run-many trade.
+    pub fn resident_bytes(&self) -> usize {
+        self.slices
+            .iter()
+            .map(|s| {
+                s.entries.len() * std::mem::size_of::<PlanEntry>()
+                    + s.col_ptr.len() * std::mem::size_of::<u32>()
+            })
+            .sum()
+    }
+
+    /// Reference M×V over the plan in `f32` (dequantizing raw Q8.8
+    /// weights) — the golden-model check that plan lowering preserved
+    /// every `(row, col, weight)` triple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != cols`.
+    pub fn spmv_f32(&self, a: &[f32]) -> Vec<f32> {
+        assert_eq!(a.len(), self.cols, "activation length mismatch");
+        let n = self.num_pes();
+        let mut y = vec![0.0f32; self.rows];
+        for (pe, slice) in self.slices.iter().enumerate() {
+            for (j, &aj) in a.iter().enumerate() {
+                if aj == 0.0 {
+                    continue;
+                }
+                for e in slice.col_entries(j) {
+                    let w = Q8p8::from_raw(e.weight as i16).to_f32();
+                    y[e.row as usize * n + pe] += w * aj;
+                }
+            }
+        }
+        y
+    }
+}
+
+impl fmt::Display for LayerPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LayerPlan({}x{}, {} PEs, {} entries, {} KiB)",
+            self.rows,
+            self.cols,
+            self.num_pes(),
+            self.total_entries(),
+            self.resident_bytes() / 1024
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compress, CompressConfig};
+    use eie_nn::zoo::random_sparse;
+    use eie_nn::CsrMatrix;
+
+    #[test]
+    fn plan_preserves_every_real_entry_and_drops_padding() {
+        // A tall single-column matrix with a bottom weight forces long
+        // zero runs and therefore padding entries.
+        let m = CsrMatrix::from_triplets(201, 1, &[(0, 0, 1.0), (200, 0, 1.5)]);
+        let enc = compress(&m, CompressConfig::with_pes(1));
+        assert!(enc.slice(0).padding_entries() > 0);
+        let plan = LayerPlan::build(&enc);
+        assert_eq!(plan.total_entries(), 2);
+        let rows: Vec<u32> = plan.slice(0).entries().iter().map(|e| e.row).collect();
+        assert_eq!(rows, vec![0, 200]);
+    }
+
+    #[test]
+    fn plan_weights_match_the_fixed_point_codebook() {
+        let m = random_sparse(40, 24, 0.25, 3);
+        let enc = compress(&m, CompressConfig::with_pes(4));
+        let table = enc.codebook().to_fix16::<8>();
+        let plan = LayerPlan::build(&enc);
+        for (slice, plan_slice) in enc.slices().iter().zip(plan.slices()) {
+            for j in 0..enc.cols() {
+                let mut want: Vec<(u32, i32)> = Vec::new();
+                slice.walk_column(j, |row, code| {
+                    if code != 0 {
+                        want.push((row as u32, table[code as usize].raw() as i32));
+                    }
+                });
+                let got: Vec<(u32, i32)> = plan_slice
+                    .col_entries(j)
+                    .iter()
+                    .map(|e| (e.row, e.weight))
+                    .collect();
+                assert_eq!(got, want, "column {j} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_spmv_matches_a_fix16_codebook_reference() {
+        let m = random_sparse(60, 40, 0.15, 11);
+        let enc = compress(&m, CompressConfig::with_pes(8));
+        let plan = LayerPlan::build(&enc);
+        let a: Vec<f32> = (0..40)
+            .map(|i| {
+                if i % 3 == 0 {
+                    0.0
+                } else {
+                    (i as f32 * 0.1).cos()
+                }
+            })
+            .collect();
+        // Plans hold the Q8.8-*rounded* codebook (what the hardware
+        // multiplies), so the reference walks the encoded layer with the
+        // same fix16 table rather than the f32 centroids.
+        let table = enc.codebook().to_fix16::<8>();
+        let n = enc.num_pes();
+        let mut want = vec![0.0f32; enc.rows()];
+        for (pe, slice) in enc.slices().iter().enumerate() {
+            for (j, &aj) in a.iter().enumerate() {
+                if aj == 0.0 {
+                    continue;
+                }
+                slice.walk_column(j, |local, code| {
+                    if code != 0 {
+                        want[local * n + pe] += table[code as usize].to_f32() * aj;
+                    }
+                });
+            }
+        }
+        let got = plan.spmv_f32(&a);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-5, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn plan_shape_accessors_and_display() {
+        let m = random_sparse(33, 17, 0.3, 5);
+        let enc = compress(&m, CompressConfig::with_pes(3));
+        let plan = LayerPlan::build(&enc);
+        assert_eq!(plan.rows(), 33);
+        assert_eq!(plan.cols(), 17);
+        assert_eq!(plan.num_pes(), 3);
+        assert_eq!(plan.slice(0).col_ptr().len(), 18);
+        assert!(plan.resident_bytes() > 0);
+        let s = plan.to_string();
+        assert!(s.contains("33x17") && s.contains("3 PEs"), "{s}");
+    }
+
+    #[test]
+    fn empty_columns_have_empty_plan_spans() {
+        let m = CsrMatrix::from_triplets(8, 4, &[(0, 1, 1.0)]);
+        let enc = compress(&m, CompressConfig::with_pes(2));
+        let plan = LayerPlan::build(&enc);
+        assert!(plan.slice(0).col_entries(0).is_empty());
+        assert_eq!(plan.slice(0).col_entries(1).len(), 1);
+        assert!(plan.slice(1).col_entries(1).is_empty());
+    }
+}

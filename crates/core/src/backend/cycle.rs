@@ -4,7 +4,7 @@ use eie_compress::EncodedLayer;
 use eie_fixed::Q8p8;
 use eie_sim::{simulate_fixed, SimConfig};
 
-use super::{Backend, BackendRun};
+use super::{check_activations, Backend, BackendRun};
 
 /// Executes layers on the cycle-accurate simulator (paper §V).
 ///
@@ -40,6 +40,7 @@ impl Backend for CycleAccurate {
     }
 
     fn run_layer(&self, layer: &EncodedLayer, acts: &[Q8p8], relu: bool) -> BackendRun {
+        check_activations(layer, acts);
         let run = simulate_fixed(layer, acts, &self.sim, relu);
         BackendRun {
             latency_s: run.stats.seconds_at(self.sim.clock_hz),

@@ -6,7 +6,7 @@ use eie_compress::EncodedLayer;
 use eie_fixed::Q8p8;
 use eie_sim::functional;
 
-use super::{Backend, BackendRun};
+use super::{check_activations, Backend, BackendRun};
 
 /// Executes layers on the bit-exact functional golden model.
 ///
@@ -32,6 +32,7 @@ impl Backend for Functional {
     }
 
     fn run_layer(&self, layer: &EncodedLayer, acts: &[Q8p8], relu: bool) -> BackendRun {
+        check_activations(layer, acts);
         let start = Instant::now();
         let outputs = functional::execute(layer, acts, relu);
         BackendRun {

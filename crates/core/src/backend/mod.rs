@@ -23,10 +23,12 @@
 mod cycle;
 mod functional;
 mod native;
+mod pool;
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
-use eie_compress::{CodebookStrategy, EncodedLayer};
+use eie_compress::{CodebookStrategy, EncodedLayer, LayerPlan};
 use eie_fixed::Q8p8;
 use eie_nn::CsrMatrix;
 use eie_sim::SimStats;
@@ -36,6 +38,29 @@ use crate::EieConfig;
 pub use cycle::CycleAccurate;
 pub use functional::Functional;
 pub use native::NativeCpu;
+
+/// Validates one activation vector against a layer's input dimension —
+/// the shared entry-point check every backend applies before touching
+/// the kernel, so malformed input fails with one message everywhere.
+///
+/// # Panics
+///
+/// Panics if `acts.len() != layer.cols()`.
+pub(crate) fn check_activations(layer: &EncodedLayer, acts: &[Q8p8]) {
+    assert_eq!(acts.len(), layer.cols(), "activation length mismatch");
+}
+
+/// Validates every item of a batch against a layer's input dimension
+/// (the batched entry-point analogue of [`check_activations`]).
+///
+/// # Panics
+///
+/// Panics if any item's length differs from `layer.cols()`.
+pub(crate) fn check_activation_batch(layer: &EncodedLayer, batch: &[Vec<Q8p8>]) {
+    for item in batch {
+        assert_eq!(item.len(), layer.cols(), "activation length mismatch");
+    }
+}
 
 /// Selects which backend executes a model — the serializable "name" of a
 /// backend, resolved to an implementation by [`BackendKind::instantiate`].
@@ -47,8 +72,14 @@ pub enum BackendKind {
     /// The untimed bit-exact golden model.
     Functional,
     /// The host-speed multi-threaded kernel with this many worker
-    /// threads (`0` = one per available core).
+    /// threads (`0` = one per available core), executing cached
+    /// pre-decoded [`LayerPlan`]s on a persistent worker pool.
     NativeCpu(usize),
+    /// The native kernel with plans disabled: per-call entry-stream
+    /// decode and scoped threads, exactly the pre-plan code path. The
+    /// measured A/B baseline (`kernel_sweep`, `eie bench
+    /// --backend streaming`), not a serving configuration.
+    NativeStreaming(usize),
 }
 
 impl BackendKind {
@@ -59,6 +90,10 @@ impl BackendKind {
             BackendKind::Functional => Box::new(Functional::new()),
             BackendKind::NativeCpu(0) => Box::new(NativeCpu::new()),
             BackendKind::NativeCpu(threads) => Box::new(NativeCpu::with_threads(threads)),
+            BackendKind::NativeStreaming(0) => Box::new(NativeCpu::new().without_plans()),
+            BackendKind::NativeStreaming(threads) => {
+                Box::new(NativeCpu::with_threads(threads).without_plans())
+            }
         }
     }
 }
@@ -70,7 +105,33 @@ impl fmt::Display for BackendKind {
             BackendKind::Functional => write!(f, "functional"),
             BackendKind::NativeCpu(0) => write!(f, "native-cpu"),
             BackendKind::NativeCpu(t) => write!(f, "native-cpu({t})"),
+            BackendKind::NativeStreaming(0) => write!(f, "native-streaming"),
+            BackendKind::NativeStreaming(t) => write!(f, "native-streaming({t})"),
         }
+    }
+}
+
+/// A layer paired with its pre-built execution plan, when the caller
+/// has one — the unit the inference core hands to
+/// [`Backend::run_layer_planned`] / [`Backend::run_layer_batch_planned`].
+///
+/// Callers that hold a [`CompiledModel`] get planned layers for free
+/// from its per-layer plan cache ([`CompiledModel::planned_layer`]);
+/// bare-layer callers use [`PlannedLayer::unplanned`] and the backend
+/// falls back to its own cache (plan-aware backends) or the compressed
+/// stream (everything else).
+#[derive(Debug, Clone, Copy)]
+pub struct PlannedLayer<'a> {
+    /// The compressed layer (always present — the artifact of record).
+    pub layer: &'a EncodedLayer,
+    /// The layer's pre-decoded plan, if the caller built one.
+    pub plan: Option<&'a Arc<LayerPlan>>,
+}
+
+impl<'a> PlannedLayer<'a> {
+    /// Wraps a bare layer with no pre-built plan.
+    pub fn unplanned(layer: &'a EncodedLayer) -> Self {
+        Self { layer, plan: None }
     }
 }
 
@@ -126,8 +187,9 @@ pub trait Backend: fmt::Debug + Send + Sync {
 
     /// Executes a batch of activation vectors against one layer.
     ///
-    /// The default loops [`Backend::run_layer`]; [`NativeCpu`] overrides
-    /// it to spread items across worker threads.
+    /// The default validates every item's length up front, then loops
+    /// [`Backend::run_layer`]; [`NativeCpu`] overrides it to run the
+    /// fused whole-batch kernel across its worker pool.
     ///
     /// # Panics
     ///
@@ -138,10 +200,48 @@ pub trait Backend: fmt::Debug + Send + Sync {
         batch: &[Vec<Q8p8>],
         relu: bool,
     ) -> Vec<BackendRun> {
+        check_activation_batch(layer, batch);
         batch
             .iter()
             .map(|acts| self.run_layer(layer, acts, relu))
             .collect()
+    }
+
+    /// `true` when this backend executes pre-decoded [`LayerPlan`]s, so
+    /// callers holding a [`CompiledModel`] should pass its cached plans
+    /// through the `_planned` entry points (and skip building plans for
+    /// backends that would ignore them).
+    fn wants_plans(&self) -> bool {
+        false
+    }
+
+    /// Executes one layer, using the caller's pre-built plan when the
+    /// backend can (default: ignores the plan and streams the layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acts.len() != planned.layer.cols()`.
+    fn run_layer_planned(
+        &self,
+        planned: PlannedLayer<'_>,
+        acts: &[Q8p8],
+        relu: bool,
+    ) -> BackendRun {
+        self.run_layer(planned.layer, acts, relu)
+    }
+
+    /// Batched analogue of [`Backend::run_layer_planned`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any item's length differs from `planned.layer.cols()`.
+    fn run_layer_batch_planned(
+        &self,
+        planned: PlannedLayer<'_>,
+        batch: &[Vec<Q8p8>],
+        relu: bool,
+    ) -> Vec<BackendRun> {
+        self.run_layer_batch(planned.layer, batch, relu)
     }
 }
 
@@ -183,6 +283,30 @@ pub struct CompiledModel {
     config: EieConfig,
     layers: Vec<EncodedLayer>,
     name: String,
+    /// Lazily-built execution plans, one slot per layer. Shared by
+    /// every worker serving this model (behind the `Arc<CompiledModel>`
+    /// a `ModelServer` hands out), so a model's layers are lowered at
+    /// most once per process however many backends execute them.
+    plans: PlanCache,
+}
+
+/// Per-layer [`LayerPlan`] slots. A cache, not model content: cloning
+/// clones whatever is built (cheap — the plans are `Arc`d), equality
+/// always holds (two models with equal layers are equal whether or not
+/// their plans have been built), and the artifact codec ignores it.
+#[derive(Debug, Clone, Default)]
+struct PlanCache(Vec<OnceLock<Arc<LayerPlan>>>);
+
+impl PlanCache {
+    fn for_layers(n: usize) -> Self {
+        Self((0..n).map(|_| OnceLock::new()).collect())
+    }
+}
+
+impl PartialEq for PlanCache {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
 }
 
 impl CompiledModel {
@@ -197,10 +321,12 @@ impl CompiledModel {
     /// any matrix has no non-zeros.
     pub fn compile(config: EieConfig, weights: &[&CsrMatrix]) -> Self {
         let layers = config.pipeline().compile_stack(weights);
+        let plans = PlanCache::for_layers(layers.len());
         Self {
             config,
             layers,
             name: String::new(),
+            plans,
         }
     }
 
@@ -215,10 +341,12 @@ impl CompiledModel {
             .pipeline()
             .with_codebook_strategy(CodebookStrategy::Shared)
             .compile_stack(weights);
+        let plans = PlanCache::for_layers(layers.len());
         Self {
             config,
             layers,
             name: String::new(),
+            plans,
         }
     }
 
@@ -235,10 +363,12 @@ impl CompiledModel {
     /// already-encoded layers without re-running the pipeline. The
     /// caller (the artifact loader) has validated the invariants.
     pub(crate) fn from_parts(config: EieConfig, layers: Vec<EncodedLayer>, name: String) -> Self {
+        let plans = PlanCache::for_layers(layers.len());
         Self {
             config,
             layers,
             name,
+            plans,
         }
     }
 
@@ -268,10 +398,12 @@ impl CompiledModel {
                 "layer dimension mismatch in the stack"
             );
         }
+        let plans = PlanCache::for_layers(layers.len());
         Self {
             config,
             layers,
             name: String::new(),
+            plans,
         }
     }
 
@@ -324,6 +456,50 @@ impl CompiledModel {
     /// Panics if `i >= num_layers()`.
     pub fn layer(&self, i: usize) -> &EncodedLayer {
         &self.layers[i]
+    }
+
+    /// The pre-decoded execution plan of layer `i`, lowered on first
+    /// access and cached for the life of the model. Every plan-aware
+    /// backend serving this model (however many workers) scans the same
+    /// shared plan — the entry stream is decoded at most once per layer
+    /// per process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_layers()`.
+    pub fn plan(&self, i: usize) -> &Arc<LayerPlan> {
+        self.plans.0[i].get_or_init(|| Arc::new(LayerPlan::build(&self.layers[i])))
+    }
+
+    /// How many of the model's layer plans have been built so far.
+    pub fn plans_built(&self) -> usize {
+        self.plans
+            .0
+            .iter()
+            .filter(|slot| slot.get().is_some())
+            .count()
+    }
+
+    /// Layer `i` paired with its cached plan — what the inference core
+    /// hands to plan-aware backends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_layers()`.
+    pub fn planned_layer(&self, i: usize) -> PlannedLayer<'_> {
+        PlannedLayer {
+            layer: &self.layers[i],
+            plan: Some(self.plan(i)),
+        }
+    }
+
+    /// Every layer paired with its cached plan, input to output
+    /// (building any plan not yet lowered) — the serving stack's
+    /// warmup-and-execute shape.
+    pub fn planned_layers(&self) -> Vec<PlannedLayer<'_>> {
+        (0..self.num_layers())
+            .map(|i| self.planned_layer(i))
+            .collect()
     }
 
     /// Input dimension (first layer's columns).

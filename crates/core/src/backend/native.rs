@@ -3,53 +3,140 @@
 //! The Retrospective (Han et al., 2023) argues that what aged well about
 //! EIE is the *dataflow* — skip zero activations, walk the interleaved
 //! CSC slices, accumulate per output row — not the 45 nm implementation.
-//! This backend is that argument as code: the same [`EncodedLayer`]
-//! artifact, the same broadcast schedule, the same fixed-point
-//! accumulation order, executed by `std::thread`-scoped workers at host
-//! speed instead of modelled 800 MHz cycles.
+//! This backend is that argument as code, with the decode and
+//! orchestration costs the paper's hardware never paid engineered out:
 //!
-//! Batches run through a **fused kernel**: each slice's compressed entry
-//! stream is decoded once for the whole batch (the CSC analogue of the
-//! GEMV→GEMM fusion that makes CPU batching pay, Table IV), so batch
-//! throughput beats looping the per-item kernel even single-threaded —
-//! at the cost of per-item latency, which is exactly the latency-versus-
-//! throughput trade the paper frames EIE against.
+//! * **Pre-decoded plans** — the first run of a layer lowers it into a
+//!   [`LayerPlan`] (zero runs expanded, codebook pre-multiplied into raw
+//!   `i32` weights, padding dropped), cached per layer instance; every
+//!   later run is a branch-light linear scan with no nibble decoding,
+//!   no codebook indirection, and no padding test in the inner loop.
+//! * **A persistent worker pool** — spawned once (lazily) per backend
+//!   and parked between runs, instead of `std::thread::scope` spawns
+//!   per layer per request.
+//! * **Reusable scratch** — broadcast/batch schedules, accumulators and
+//!   per-worker output blocks live in session- and worker-owned buffers
+//!   that grow to a high-water mark and are then reused, so the warm
+//!   hot path performs no internal heap allocation (the returned output
+//!   vectors, which the caller owns, are the only per-call
+//!   allocations).
+//!
+//! Batches run through a **fused kernel**: each plan slice is scanned
+//! once for the whole batch (the CSC analogue of the GEMV→GEMM fusion
+//! that makes CPU batching pay, Table IV), so batch throughput beats
+//! looping the per-item kernel even single-threaded — at the cost of
+//! per-item latency, which is exactly the latency-versus-throughput
+//! trade the paper frames EIE against.
+//!
+//! The pre-plan streaming kernel is retained behind
+//! [`NativeCpu::without_plans`] (and `BackendKind::NativeStreaming`) as
+//! the measured A/B baseline — `kernel_sweep` and the property tests
+//! hold the two paths bit-exact against each other.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
-use eie_compress::{EncodedLayer, PeSlice, CODEBOOK_SIZE};
+use eie_compress::{EncodedLayer, LayerPlan, PeSlice, PlanSlice, CODEBOOK_SIZE};
 use eie_fixed::{Accum32, Q8p8};
 use eie_sim::broadcast_schedule;
 
-use super::{Backend, BackendRun};
+use super::pool::{Latch, WorkerPool};
+use super::{check_activation_batch, check_activations, Backend, BackendRun, PlannedLayer};
+
+/// The host's core count, resolved once per process.
+///
+/// `ModelServer` and `InferenceJob` construct a backend per worker, so
+/// this sits on the setup path — one `available_parallelism` syscall
+/// for the process lifetime instead of one per construction.
+fn default_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
 
 /// An optimized, multi-threaded interleaved-CSC SpMV kernel over the
-/// compressed [`EncodedLayer`] format.
+/// compressed [`EncodedLayer`] format, executing pre-decoded
+/// [`LayerPlan`]s on a persistent worker pool.
 ///
 /// Bit-exactness with the hardware comes from preserving its arithmetic
 /// structure exactly: each accumulator belongs to one PE slice, and for
 /// any one item, columns are visited in broadcast order with entries in
 /// storage order — so every `Accum32` sees the *same sequence of
 /// saturating adds* as the cycle model, regardless of how slices are
-/// spread across threads or how many items share a fused pass.
+/// spread across threads, whether items share a fused pass, or whether
+/// the scan runs over the plan or the compressed stream (plans drop
+/// only padding entries, which add a raw zero — a proven no-op under
+/// saturating addition).
 ///
-/// Single items split their PE slices across workers; batches run the
+/// Single items split their PE slices across the pool; batches run the
 /// fused whole-batch kernel, also split by slice. A fused batch
 /// completes as a unit, so every item of a batched [`BackendRun`]
 /// reports the batch's wall time as its latency — batching buys
 /// throughput, not latency, as in the paper.
-#[derive(Debug, Clone, Copy)]
+///
+/// Clones share the same engine (plan cache, worker pool, scratch).
+/// Concurrent calls on one engine serialize on its execution session;
+/// for parallel serving give each worker its own backend instance, as
+/// `eie-serve`'s `ModelServer` does.
+#[derive(Clone)]
 pub struct NativeCpu {
+    inner: Arc<Inner>,
+}
+
+/// Soft bound on the engine plan cache's resident bytes. Serving works
+/// through `CompiledModel`'s per-model cache; this engine-level cache
+/// only accumulates for bare-layer callers, and a caller that streams
+/// ever-new layer instances through one engine (each `compress` or
+/// artifact load mints a fresh `instance_id`) must not grow it without
+/// bound — past the cap the cache is flushed and rebuilds lazily.
+const PLAN_CACHE_MAX_BYTES: usize = 256 << 20;
+
+/// The engine-level plan cache: plans by
+/// [`EncodedLayer::instance_id`] plus their summed resident size.
+#[derive(Default)]
+struct PlanCacheMap {
+    plans: HashMap<u64, Arc<LayerPlan>>,
+    bytes: usize,
+}
+
+struct Inner {
     threads: usize,
+    use_plans: bool,
+    /// Spawned on the first parallel planned run; `threads - 1` parked
+    /// workers (the session holder executes the remaining share).
+    pool: OnceLock<WorkerPool>,
+    /// The warm path is one read-lock and a hash probe, never a decode
+    /// of the entry stream; bounded by [`PLAN_CACHE_MAX_BYTES`].
+    plans: RwLock<PlanCacheMap>,
+    /// How many plans this engine has built (monotonic; a warm engine
+    /// stops incrementing — asserted by tests).
+    plan_builds: AtomicU64,
+    /// The single execution session: reusable schedule/scratch buffers
+    /// plus the completion latch. Locked for the duration of one layer
+    /// run, serializing concurrent callers.
+    session: Mutex<Session>,
+}
+
+impl std::fmt::Debug for NativeCpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeCpu")
+            .field("threads", &self.inner.threads)
+            .field("plans", &self.inner.use_plans)
+            .field("cached_plans", &self.cached_plans())
+            .finish()
+    }
 }
 
 impl NativeCpu {
-    /// A kernel with one worker per available core.
+    /// A kernel with one worker per available core (resolved once per
+    /// process).
     pub fn new() -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        Self { threads }
+        Self::with_threads(default_threads())
     }
 
     /// A kernel with an explicit worker count (1 = single-threaded).
@@ -59,12 +146,234 @@ impl NativeCpu {
     /// Panics if `threads == 0`.
     pub fn with_threads(threads: usize) -> Self {
         assert!(threads > 0, "threads must be non-zero");
-        Self { threads }
+        Self {
+            inner: Arc::new(Inner {
+                threads,
+                use_plans: true,
+                pool: OnceLock::new(),
+                plans: RwLock::new(PlanCacheMap::default()),
+                plan_builds: AtomicU64::new(0),
+                session: Mutex::new(Session::new()),
+            }),
+        }
+    }
+
+    /// Disables execution plans: every run decodes the compressed entry
+    /// stream with per-call scoped threads, exactly as the pre-plan
+    /// kernel did. This is the measured baseline for `kernel_sweep` and
+    /// the plan property tests, not a serving configuration.
+    pub fn without_plans(self) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                threads: self.inner.threads,
+                use_plans: false,
+                pool: OnceLock::new(),
+                plans: RwLock::new(PlanCacheMap::default()),
+                plan_builds: AtomicU64::new(0),
+                session: Mutex::new(Session::new()),
+            }),
+        }
     }
 
     /// The configured worker count.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.inner.threads
+    }
+
+    /// Whether runs execute pre-decoded plans (`false` only for the
+    /// [`NativeCpu::without_plans`] streaming baseline).
+    pub fn uses_plans(&self) -> bool {
+        self.inner.use_plans
+    }
+
+    /// Number of layer plans currently cached by this engine.
+    pub fn cached_plans(&self) -> usize {
+        self.inner
+            .plans
+            .read()
+            .expect("plan cache poisoned")
+            .plans
+            .len()
+    }
+
+    /// Total plans this engine has built — stops growing once every
+    /// served layer is cached (the "no per-call decode" invariant, in
+    /// observable form).
+    pub fn plan_builds(&self) -> u64 {
+        self.inner.plan_builds.load(Ordering::Relaxed)
+    }
+
+    /// Drops every cached plan (they rebuild lazily). Useful when an
+    /// engine outlives the models it served; plans cost ~8 bytes per
+    /// non-zero weight while cached (the engine also flushes itself
+    /// past a 256 MiB soft cap).
+    pub fn clear_plan_cache(&self) {
+        let mut cache = self.inner.plans.write().expect("plan cache poisoned");
+        cache.plans.clear();
+        cache.bytes = 0;
+    }
+
+    /// The cached plan for `layer`, building (and counting) it on the
+    /// first encounter of this layer instance. Past the soft byte cap
+    /// the cache flushes wholesale — crude, but it bounds residency for
+    /// callers that stream ever-new layer instances through one engine,
+    /// and a flushed plan simply rebuilds on next use.
+    fn plan_for(&self, layer: &EncodedLayer) -> Arc<LayerPlan> {
+        let id = layer.instance_id();
+        if let Some(plan) = self
+            .inner
+            .plans
+            .read()
+            .expect("plan cache poisoned")
+            .plans
+            .get(&id)
+        {
+            return Arc::clone(plan);
+        }
+        let plan = Arc::new(LayerPlan::build(layer));
+        let size = plan.resident_bytes();
+        let mut cache = self.inner.plans.write().expect("plan cache poisoned");
+        if let Some(existing) = cache.plans.get(&id) {
+            // A racing clone built the same plan first: adopt theirs so
+            // neither the byte accounting nor `plan_builds` counts the
+            // losing build (it is dropped here, never cached).
+            return Arc::clone(existing);
+        }
+        self.inner.plan_builds.fetch_add(1, Ordering::Relaxed);
+        if !cache.plans.is_empty() && cache.bytes + size > PLAN_CACHE_MAX_BYTES {
+            cache.plans.clear();
+            cache.bytes = 0;
+        }
+        cache.bytes += size;
+        cache.plans.insert(id, Arc::clone(&plan));
+        plan
+    }
+
+    /// Runs one item over a plan, splitting PE slices across the pool.
+    fn planned_single(&self, plan: &Arc<LayerPlan>, acts: &[Q8p8], relu: bool) -> Vec<Q8p8> {
+        let mut guard = self.inner.session.lock().expect("session poisoned");
+        let session = &mut *guard;
+        {
+            let schedule = exclusive(&mut session.single);
+            schedule.cols.clear();
+            for (j, &a) in acts.iter().enumerate() {
+                if !a.is_zero() {
+                    schedule.cols.push((j as u32, a.raw() as i32));
+                }
+            }
+        }
+        let input = TaskInput::Single(Arc::clone(&session.single));
+        let mut outputs = vec![Q8p8::ZERO; plan.rows()];
+        let failed = self.dispatch(session, plan, input, relu, &mut |plan, range, scratch| {
+            gather_single(plan, range, &scratch.out, &mut outputs);
+        });
+        // Re-raise a worker panic *after* the session guard drops: the
+        // run is fully drained (the latch released), so the session is
+        // reusable and clones of this engine keep working — the panic
+        // surfaces at this call site, as the old scoped-thread kernel's
+        // did, without bricking the engine.
+        drop(guard);
+        assert!(!failed, "native kernel pool worker panicked");
+        outputs
+    }
+
+    /// Runs a fused batch over a plan, splitting PE slices across the
+    /// pool. Returns `[item][global_row]` outputs.
+    fn planned_batch(
+        &self,
+        plan: &Arc<LayerPlan>,
+        batch: &[Vec<Q8p8>],
+        relu: bool,
+    ) -> Vec<Vec<Q8p8>> {
+        let b = batch.len();
+        let mut guard = self.inner.session.lock().expect("session poisoned");
+        let session = &mut *guard;
+        {
+            let schedule = exclusive(&mut session.batch);
+            schedule.live.clear();
+            schedule.col_ptr.clear();
+            schedule.col_ptr.push(0);
+            for j in 0..plan.cols() {
+                for (i, item) in batch.iter().enumerate() {
+                    let a = item[j];
+                    if !a.is_zero() {
+                        schedule.live.push((i as u32, a.raw() as i32));
+                    }
+                }
+                schedule.col_ptr.push(schedule.live.len() as u32);
+            }
+        }
+        let input = TaskInput::Batch {
+            schedule: Arc::clone(&session.batch),
+            batch: b,
+        };
+        let mut outputs: Vec<Vec<Q8p8>> = (0..b).map(|_| vec![Q8p8::ZERO; plan.rows()]).collect();
+        let failed = self.dispatch(session, plan, input, relu, &mut |plan, range, scratch| {
+            gather_batch(plan, range, b, &scratch.out, &mut outputs);
+        });
+        // See `planned_single`: the panic is re-raised lock-free.
+        drop(guard);
+        assert!(!failed, "native kernel pool worker panicked");
+        outputs
+    }
+
+    /// The shared fan-out: split the plan's PE slices into contiguous
+    /// ranges, hand every range but the first to pool workers, run the
+    /// first inline, wait, and let `gather` harvest each range's
+    /// outputs from its worker's scratch.
+    ///
+    /// Returns `true` if a pool worker panicked — the run is drained
+    /// (the latch released, every mailbox idle) and nothing was
+    /// gathered; the caller re-raises once the session guard is gone.
+    fn dispatch(
+        &self,
+        session: &mut Session,
+        plan: &Arc<LayerPlan>,
+        input: TaskInput,
+        relu: bool,
+        gather: &mut GatherFn<'_>,
+    ) -> bool {
+        let n = plan.num_pes();
+        let threads = self.inner.threads.min(n.max(1));
+        let chunk = n.div_ceil(threads.max(1)).max(1);
+        let ranges = n.div_ceil(chunk); // <= threads
+        let range = |r: usize| (r * chunk, ((r + 1) * chunk).min(n));
+        if ranges <= 1 {
+            run_pe_range(plan, &input, (0, n), relu, &mut session.local);
+            gather(plan, (0, n), &session.local);
+            return false;
+        }
+        let pool = self
+            .inner
+            .pool
+            .get_or_init(|| WorkerPool::new(self.inner.threads - 1));
+        debug_assert!(ranges - 1 <= pool.len());
+        session.latch.reset(ranges - 1);
+        for r in 1..ranges {
+            pool.submit(
+                r - 1,
+                Task {
+                    plan: Arc::clone(plan),
+                    input: input.clone(),
+                    pe_range: range(r),
+                    relu,
+                    latch: Arc::clone(&session.latch),
+                },
+            );
+        }
+        run_pe_range(plan, &input, range(0), relu, &mut session.local);
+        let failed = session.latch.wait();
+        drop(input); // release the schedule Arc for next-call reuse
+        if failed {
+            // Gather nothing: a dead range would leave silently wrong
+            // (partial) outputs. The caller re-raises the panic.
+            return true;
+        }
+        gather(plan, range(0), &session.local);
+        for r in 1..ranges {
+            pool.with_scratch(r - 1, |scratch| gather(plan, range(r), scratch));
+        }
+        false
     }
 }
 
@@ -73,6 +382,224 @@ impl Default for NativeCpu {
         Self::new()
     }
 }
+
+/// The harvest callback [`NativeCpu::dispatch`] hands each completed
+/// PE-slice range to (it interleaves one scratch's output blocks into
+/// the caller's global output buffers).
+type GatherFn<'a> = dyn FnMut(&LayerPlan, (usize, usize), &WorkerScratch) + 'a;
+
+/// Regains unique access to a session-owned `Arc` buffer. After a run's
+/// latch releases, every worker has dropped its clone, so this is a
+/// refcount check in the steady state; the fallback allocation only
+/// triggers if a buffer somehow leaked (defensive, not expected).
+fn exclusive<T: Default>(arc: &mut Arc<T>) -> &mut T {
+    if Arc::get_mut(arc).is_none() {
+        *arc = Arc::new(T::default());
+    }
+    Arc::get_mut(arc).expect("freshly allocated Arc is unique")
+}
+
+/// The per-item broadcast schedule on raw values: `(column, act_raw)`
+/// for every non-zero activation, ascending.
+#[derive(Debug, Default)]
+pub(super) struct SingleSchedule {
+    pub(super) cols: Vec<(u32, i32)>,
+}
+
+/// The fused-batch schedule, flattened for reuse: per column, the
+/// `(item, act_raw)` pairs with a non-zero activation, concatenated in
+/// column order with a `cols + 1` extent index.
+#[derive(Debug, Default)]
+pub(super) struct BatchSchedule {
+    pub(super) live: Vec<(u32, i32)>,
+    pub(super) col_ptr: Vec<u32>,
+}
+
+/// One run's shared read-only input, cloned (refcount-only) per worker.
+#[derive(Debug, Clone)]
+pub(super) enum TaskInput {
+    /// One item's broadcast schedule.
+    Single(Arc<SingleSchedule>),
+    /// A fused batch's schedule plus the batch size.
+    Batch {
+        /// Per-column live items.
+        schedule: Arc<BatchSchedule>,
+        /// Number of items in the batch.
+        batch: usize,
+    },
+}
+
+/// One worker's unit of work: a contiguous PE-slice range of one plan.
+#[derive(Debug)]
+pub(super) struct Task {
+    plan: Arc<LayerPlan>,
+    input: TaskInput,
+    pe_range: (usize, usize),
+    relu: bool,
+    latch: Arc<Latch>,
+}
+
+impl Task {
+    /// Executes the task into the worker's scratch.
+    pub(super) fn run(&self, scratch: &mut WorkerScratch) {
+        run_pe_range(&self.plan, &self.input, self.pe_range, self.relu, scratch);
+    }
+
+    /// The run's completion latch.
+    pub(super) fn latch(&self) -> &Arc<Latch> {
+        &self.latch
+    }
+}
+
+/// Reusable per-worker buffers: accumulators for one slice at a time
+/// and the range's written-back outputs, one block per PE (block layout
+/// `[local_row]` for single items, `[local_row * batch + item]` for
+/// fused batches). Grows to a high-water mark, then steady-state runs
+/// allocate nothing.
+#[derive(Debug, Default)]
+pub(super) struct WorkerScratch {
+    accum: Vec<i32>,
+    out: Vec<Q8p8>,
+}
+
+/// Scans a PE-slice range of a plan into `scratch` — the unit of work
+/// shared by pool workers and the session holder's inline share.
+fn run_pe_range(
+    plan: &LayerPlan,
+    input: &TaskInput,
+    (first, end): (usize, usize),
+    relu: bool,
+    scratch: &mut WorkerScratch,
+) {
+    let b = match input {
+        TaskInput::Single(_) => 1,
+        TaskInput::Batch { batch, .. } => *batch,
+    };
+    let slices = &plan.slices()[first..end];
+    let total: usize = slices.iter().map(|s| s.local_rows() * b).sum();
+    scratch.out.resize(total, Q8p8::ZERO);
+    let mut offset = 0;
+    for slice in slices {
+        let block = slice.local_rows() * b;
+        if scratch.accum.len() < block {
+            scratch.accum.resize(block, 0);
+        }
+        let accum = &mut scratch.accum[..block];
+        let out = &mut scratch.out[offset..offset + block];
+        match input {
+            TaskInput::Single(schedule) => {
+                plan_slice_single(slice, &schedule.cols, accum, out, relu);
+            }
+            TaskInput::Batch { schedule, batch } => {
+                plan_slice_batch(slice, schedule, *batch, accum, out, relu);
+            }
+        }
+        offset += block;
+    }
+}
+
+/// The steady-state single-item kernel: a linear scan of pre-decoded
+/// `(row, weight)` entries — no nibble decoding, no codebook
+/// indirection, no padding test. The add sequence per accumulator is
+/// identical to the streaming kernel's: columns in broadcast order,
+/// entries in storage order, padding dropped (adds a raw zero —
+/// saturating-add of zero never changes an accumulator).
+fn plan_slice_single(
+    slice: &PlanSlice,
+    schedule: &[(u32, i32)],
+    accum: &mut [i32],
+    out: &mut [Q8p8],
+    relu: bool,
+) {
+    accum.fill(0);
+    for &(j, a) in schedule {
+        for e in slice.col_entries(j as usize) {
+            let acc = &mut accum[e.row as usize];
+            *acc = acc.saturating_add(e.weight * a);
+        }
+    }
+    for (slot, &acc) in out.iter_mut().zip(accum.iter()) {
+        *slot = writeback(acc, relu);
+    }
+}
+
+/// The fused batch kernel over a plan slice: each pre-decoded entry is
+/// applied to every live item of its column, touching one contiguous
+/// `[row * batch .. (row + 1) * batch]` accumulator stripe. Outputs land
+/// in the same `[local_row * batch + item]` layout.
+fn plan_slice_batch(
+    slice: &PlanSlice,
+    schedule: &BatchSchedule,
+    batch: usize,
+    accum: &mut [i32],
+    out: &mut [Q8p8],
+    relu: bool,
+) {
+    accum.fill(0);
+    for j in 0..schedule.col_ptr.len() - 1 {
+        let live = &schedule.live[schedule.col_ptr[j] as usize..schedule.col_ptr[j + 1] as usize];
+        if live.is_empty() {
+            continue;
+        }
+        for e in slice.col_entries(j) {
+            let stripe = &mut accum[e.row as usize * batch..(e.row as usize + 1) * batch];
+            for &(i, a) in live {
+                let acc = &mut stripe[i as usize];
+                *acc = acc.saturating_add(e.weight * a);
+            }
+        }
+    }
+    for (slot, &acc) in out.iter_mut().zip(accum.iter()) {
+        *slot = writeback(acc, relu);
+    }
+}
+
+/// Interleaves a worker's single-item output blocks into global rows.
+fn gather_single(
+    plan: &LayerPlan,
+    (first, end): (usize, usize),
+    worker_out: &[Q8p8],
+    outputs: &mut [Q8p8],
+) {
+    let n = plan.num_pes();
+    let mut offset = 0;
+    for pe in first..end {
+        let rows = plan.slice(pe).local_rows();
+        for r in 0..rows {
+            outputs[r * n + pe] = worker_out[offset + r];
+        }
+        offset += rows;
+    }
+}
+
+/// Interleaves a worker's fused-batch output blocks into per-item
+/// global rows.
+fn gather_batch(
+    plan: &LayerPlan,
+    (first, end): (usize, usize),
+    batch: usize,
+    worker_out: &[Q8p8],
+    outputs: &mut [Vec<Q8p8>],
+) {
+    let n = plan.num_pes();
+    let mut offset = 0;
+    for pe in first..end {
+        let rows = plan.slice(pe).local_rows();
+        for r in 0..rows {
+            let stripe = &worker_out[offset + r * batch..offset + (r + 1) * batch];
+            for (i, &v) in stripe.iter().enumerate() {
+                outputs[i][r * n + pe] = v;
+            }
+        }
+        offset += rows * batch;
+    }
+}
+
+// --------------------------------------------------------------------
+// The pre-plan streaming kernel, retained verbatim as the measured A/B
+// baseline (`NativeCpu::without_plans`): per-call entry-stream decode,
+// per-call allocation, scoped threads per layer.
+// --------------------------------------------------------------------
 
 /// The decoded codebook as raw `i32` multiplicands — hoisting the
 /// fixed-point wrappers out of the inner loops.
@@ -131,7 +658,6 @@ fn writeback(acc_raw: i32, relu: bool) -> Q8p8 {
 fn batch_schedule(batch: &[Vec<Q8p8>], cols: usize) -> Vec<Vec<(u32, i32)>> {
     let mut per_col: Vec<Vec<(u32, i32)>> = vec![Vec::new(); cols];
     for (i, item) in batch.iter().enumerate() {
-        assert_eq!(item.len(), cols, "activation length mismatch");
         for (j, &a) in item.iter().enumerate() {
             if !a.is_zero() {
                 per_col[j].push((i as u32, a.raw() as i32));
@@ -209,7 +735,6 @@ fn raw_schedule(acts: &[Q8p8]) -> Vec<(u32, i32)> {
 
 /// One full layer, serially (used below one slice per worker).
 fn execute_serial(layer: &EncodedLayer, acts: &[Q8p8], relu: bool) -> Vec<Q8p8> {
-    assert_eq!(acts.len(), layer.cols(), "activation length mismatch");
     let schedule = raw_schedule(acts);
     let codebook = raw_codebook(&layer.codebook().to_fix16::<8>());
     let locals = layer
@@ -220,9 +745,9 @@ fn execute_serial(layer: &EncodedLayer, acts: &[Q8p8], relu: bool) -> Vec<Q8p8> 
     interleave(layer, locals)
 }
 
-/// One full layer with its PE slices spread over `threads` workers.
+/// One full layer with its PE slices spread over `threads` scoped
+/// workers (the pre-plan baseline path).
 fn execute_sliced(layer: &EncodedLayer, acts: &[Q8p8], relu: bool, threads: usize) -> Vec<Q8p8> {
-    assert_eq!(acts.len(), layer.cols(), "activation length mismatch");
     let n = layer.num_pes();
     if threads <= 1 || n <= 1 {
         return execute_serial(layer, acts, relu);
@@ -245,7 +770,8 @@ fn execute_sliced(layer: &EncodedLayer, acts: &[Q8p8], relu: bool, threads: usiz
 }
 
 /// One fused whole-batch layer pass, slices spread over `threads`
-/// workers. Returns `[item][global_row]` outputs.
+/// scoped workers (the pre-plan baseline path). Returns
+/// `[item][global_row]` outputs.
 fn execute_batch_fused(
     layer: &EncodedLayer,
     batch: &[Vec<Q8p8>],
@@ -289,6 +815,27 @@ fn execute_batch_fused(
     outputs
 }
 
+/// The session-holder side of one run: reusable schedule buffers, the
+/// completion latch, and the holder's own scratch (it executes the
+/// first PE-slice range inline while the pool runs the rest).
+struct Session {
+    single: Arc<SingleSchedule>,
+    batch: Arc<BatchSchedule>,
+    latch: Arc<Latch>,
+    local: WorkerScratch,
+}
+
+impl Session {
+    fn new() -> Self {
+        Self {
+            single: Arc::new(SingleSchedule::default()),
+            batch: Arc::new(BatchSchedule::default()),
+            latch: Arc::new(Latch::new()),
+            local: WorkerScratch::default(),
+        }
+    }
+}
+
 /// Wraps fused per-item outputs into runs that all report the batch's
 /// wall time: a fused batch completes as a unit, so that *is* each
 /// item's serving latency.
@@ -309,8 +856,19 @@ impl Backend for NativeCpu {
     }
 
     fn run_layer(&self, layer: &EncodedLayer, acts: &[Q8p8], relu: bool) -> BackendRun {
+        check_activations(layer, acts);
+        if !self.inner.use_plans {
+            let start = Instant::now();
+            let outputs = execute_sliced(layer, acts, relu, self.inner.threads);
+            return BackendRun {
+                outputs,
+                latency_s: start.elapsed().as_secs_f64(),
+                stats: None,
+            };
+        }
+        let plan = self.plan_for(layer);
         let start = Instant::now();
-        let outputs = execute_sliced(layer, acts, relu, self.threads);
+        let outputs = self.planned_single(&plan, acts, relu);
         BackendRun {
             outputs,
             latency_s: start.elapsed().as_secs_f64(),
@@ -324,13 +882,71 @@ impl Backend for NativeCpu {
         batch: &[Vec<Q8p8>],
         relu: bool,
     ) -> Vec<BackendRun> {
+        check_activation_batch(layer, batch);
         if batch.len() == 1 {
             // A lone item keeps slice-level parallelism and true latency.
             return vec![self.run_layer(layer, &batch[0], relu)];
         }
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        if !self.inner.use_plans {
+            let start = Instant::now();
+            let outputs = execute_batch_fused(layer, batch, relu, self.inner.threads);
+            return fused_runs(outputs, start.elapsed().as_secs_f64());
+        }
+        let plan = self.plan_for(layer);
         let start = Instant::now();
-        let outputs = execute_batch_fused(layer, batch, relu, self.threads);
+        let outputs = self.planned_batch(&plan, batch, relu);
         fused_runs(outputs, start.elapsed().as_secs_f64())
+    }
+
+    fn wants_plans(&self) -> bool {
+        self.inner.use_plans
+    }
+
+    fn run_layer_planned(
+        &self,
+        planned: PlannedLayer<'_>,
+        acts: &[Q8p8],
+        relu: bool,
+    ) -> BackendRun {
+        match (self.inner.use_plans, planned.plan) {
+            (true, Some(plan)) => {
+                check_activations(planned.layer, acts);
+                let start = Instant::now();
+                let outputs = self.planned_single(plan, acts, relu);
+                BackendRun {
+                    outputs,
+                    latency_s: start.elapsed().as_secs_f64(),
+                    stats: None,
+                }
+            }
+            _ => self.run_layer(planned.layer, acts, relu),
+        }
+    }
+
+    fn run_layer_batch_planned(
+        &self,
+        planned: PlannedLayer<'_>,
+        batch: &[Vec<Q8p8>],
+        relu: bool,
+    ) -> Vec<BackendRun> {
+        match (self.inner.use_plans, planned.plan) {
+            (true, Some(plan)) => {
+                check_activation_batch(planned.layer, batch);
+                if batch.len() == 1 {
+                    return vec![self.run_layer_planned(planned, &batch[0], relu)];
+                }
+                if batch.is_empty() {
+                    return Vec::new();
+                }
+                let start = Instant::now();
+                let outputs = self.planned_batch(plan, batch, relu);
+                fused_runs(outputs, start.elapsed().as_secs_f64())
+            }
+            _ => self.run_layer_batch(planned.layer, batch, relu),
+        }
     }
 }
 
@@ -354,6 +970,21 @@ mod tests {
         for threads in [1, 2, 3, 8, 16] {
             let run = NativeCpu::with_threads(threads).run_layer(&enc, &acts, false);
             assert_eq!(run.outputs, expected, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn streaming_baseline_matches_golden_model_across_thread_counts() {
+        let layer = Benchmark::Alex6.generate_scaled(4, 64);
+        let enc = compress(&layer.weights, CompressConfig::with_pes(8));
+        let acts = quantize(&layer.sample_activations(2));
+        let expected = functional::execute(&enc, &acts, false);
+        for threads in [1, 3, 8] {
+            let backend = NativeCpu::with_threads(threads).without_plans();
+            assert!(!backend.uses_plans());
+            let run = backend.run_layer(&enc, &acts, false);
+            assert_eq!(run.outputs, expected, "diverged at {threads} threads");
+            assert_eq!(backend.plan_builds(), 0, "baseline must not build plans");
         }
     }
 
@@ -397,10 +1028,77 @@ mod tests {
         let layer = Benchmark::NtWe.generate_scaled(3, 32);
         let enc = compress(&layer.weights, CompressConfig::with_pes(2));
         let acts = quantize(&layer.sample_activations(5));
-        let raw = NativeCpu::with_threads(2).run_layer(&enc, &acts, false);
-        let relu = NativeCpu::with_threads(2).run_layer(&enc, &acts, true);
+        let backend = NativeCpu::with_threads(2);
+        let raw = backend.run_layer(&enc, &acts, false);
+        let relu = backend.run_layer(&enc, &acts, true);
         assert!(raw.outputs.iter().any(|v| v.to_f32() < 0.0));
         assert!(relu.outputs.iter().all(|v| v.to_f32() >= 0.0));
+    }
+
+    #[test]
+    fn warm_engine_never_rebuilds_or_redecodes_a_layer() {
+        let layer = Benchmark::Alex7.generate_scaled(2, 64);
+        let enc = compress(&layer.weights, CompressConfig::with_pes(4));
+        let acts = quantize(&layer.sample_activations(1));
+        let batch: Vec<Vec<Q8p8>> = (0..3)
+            .map(|i| quantize(&layer.sample_activations(i)))
+            .collect();
+        let backend = NativeCpu::with_threads(2);
+        assert_eq!(backend.plan_builds(), 0);
+        let cold = backend.run_layer(&enc, &acts, false);
+        assert_eq!(backend.plan_builds(), 1);
+        assert_eq!(backend.cached_plans(), 1);
+        // Warm single, batch, and a clone of the same layer: the plan
+        // cache absorbs them all — no further decode of the stream.
+        let warm = backend.run_layer(&enc, &acts, false);
+        let _ = backend.run_layer_batch(&enc, &batch, true);
+        let clone = enc.clone();
+        let _ = backend.run_layer(&clone, &acts, false);
+        assert_eq!(backend.plan_builds(), 1, "warm runs must not rebuild");
+        assert_eq!(warm.outputs, cold.outputs);
+        // A *different* layer instance (equal content) is a new plan.
+        let other = compress(&layer.weights, CompressConfig::with_pes(4));
+        let _ = backend.run_layer(&other, &acts, false);
+        assert_eq!(backend.plan_builds(), 2);
+        backend.clear_plan_cache();
+        assert_eq!(backend.cached_plans(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_plan_cache_and_pool() {
+        let layer = Benchmark::NtWd.generate_scaled(1, 32);
+        let enc = compress(&layer.weights, CompressConfig::with_pes(4));
+        let acts = quantize(&layer.sample_activations(4));
+        let backend = NativeCpu::with_threads(3);
+        let twin = backend.clone();
+        let a = backend.run_layer(&enc, &acts, false);
+        let b = twin.run_layer(&enc, &acts, false);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(backend.plan_builds(), 1, "clone must reuse the cache");
+        assert_eq!(twin.plan_builds(), 1);
+    }
+
+    #[test]
+    fn plan_and_streaming_kernels_are_bit_exact() {
+        let layer = Benchmark::Vgg6.generate_scaled(3, 96);
+        let enc = compress(&layer.weights, CompressConfig::with_pes(8));
+        let batch: Vec<Vec<Q8p8>> = (0..5)
+            .map(|i| quantize(&layer.sample_activations(10 + i)))
+            .collect();
+        for threads in [1, 4] {
+            let plan = NativeCpu::with_threads(threads);
+            let stream = NativeCpu::with_threads(threads).without_plans();
+            for relu in [false, true] {
+                let p = plan.run_layer(&enc, &batch[0], relu);
+                let s = stream.run_layer(&enc, &batch[0], relu);
+                assert_eq!(p.outputs, s.outputs, "single diverged ({threads}t)");
+                let pb = plan.run_layer_batch(&enc, &batch, relu);
+                let sb = stream.run_layer_batch(&enc, &batch, relu);
+                for i in 0..batch.len() {
+                    assert_eq!(pb[i].outputs, sb[i].outputs, "batch item {i} ({threads}t)");
+                }
+            }
+        }
     }
 
     #[test]
@@ -408,6 +1106,9 @@ mod tests {
         assert!(NativeCpu::new().threads() >= 1);
         assert_eq!(NativeCpu::with_threads(5).threads(), 5);
         assert_eq!(NativeCpu::default().threads(), NativeCpu::new().threads());
+        assert!(NativeCpu::new().uses_plans());
+        let dbg = format!("{:?}", NativeCpu::with_threads(2));
+        assert!(dbg.contains("threads"), "{dbg}");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! [`JobResult`](crate::JobResult).
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use eie_compress::EncodedLayer;
 use eie_energy::{EnergyReport, LayerActivity};
@@ -187,6 +188,13 @@ impl fmt::Display for NetworkResult {
 pub struct Engine {
     config: EieConfig,
     backend: BackendKind,
+    /// The instantiated backend behind the deprecated batch shims,
+    /// built on first use and reused for the engine's lifetime — a
+    /// legacy caller looping `run_batch` keeps a warm `NativeCpu`
+    /// (plan cache, worker pool, scratch) instead of paying a fresh
+    /// plan build + pool spawn per call. Safe to cache: `config` and
+    /// `backend` are fixed at construction.
+    shim_engine: OnceLock<Arc<dyn Backend>>,
 }
 
 impl Engine {
@@ -196,12 +204,24 @@ impl Engine {
         Self {
             config,
             backend: BackendKind::default(),
+            shim_engine: OnceLock::new(),
         }
     }
 
     /// Creates an engine that runs batches on the given backend.
     pub fn with_backend(config: EieConfig, backend: BackendKind) -> Self {
-        Self { config, backend }
+        Self {
+            config,
+            backend,
+            shim_engine: OnceLock::new(),
+        }
+    }
+
+    /// The cached backend instance the deprecated batch shims execute
+    /// on (instantiated once per engine).
+    fn shim_backend(&self) -> &Arc<dyn Backend> {
+        self.shim_engine
+            .get_or_init(|| Arc::from(self.backend.instantiate(&self.config)))
     }
 
     /// The engine's configuration.
@@ -321,7 +341,16 @@ impl Engine {
     )]
     pub fn run_batch(&self, layer: &EncodedLayer, batch: &[Vec<f32>]) -> BatchResult {
         assert!(!batch.is_empty(), "batch must be non-empty");
-        crate::infer::execute_stack(&self.config, self.backend, &[layer], batch, true).batch
+        let planned = [crate::PlannedLayer::unplanned(layer)];
+        crate::infer::execute_stack(
+            &self.config,
+            self.backend,
+            self.shim_backend().as_ref(),
+            &planned,
+            batch,
+            true,
+        )
+        .batch
     }
 
     /// Executes a batch of inputs through a feed-forward network (ReLU
@@ -339,7 +368,19 @@ impl Engine {
     pub fn run_network_batch(&self, layers: &[&EncodedLayer], batch: &[Vec<f32>]) -> BatchResult {
         assert!(!layers.is_empty(), "network needs at least one layer");
         assert!(!batch.is_empty(), "batch must be non-empty");
-        crate::infer::execute_stack(&self.config, self.backend, layers, batch, true).batch
+        let planned: Vec<crate::PlannedLayer<'_>> = layers
+            .iter()
+            .map(|layer| crate::PlannedLayer::unplanned(layer))
+            .collect();
+        crate::infer::execute_stack(
+            &self.config,
+            self.backend,
+            self.shim_backend().as_ref(),
+            &planned,
+            batch,
+            true,
+        )
+        .batch
     }
 }
 

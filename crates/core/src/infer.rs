@@ -34,6 +34,7 @@
 
 use std::fmt;
 use std::ops::{Bound, RangeBounds};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use eie_compress::EncodedLayer;
@@ -41,7 +42,7 @@ use eie_energy::EnergyReport;
 use eie_fixed::Q8p8;
 use eie_sim::SimStats;
 
-use crate::backend::{Backend, BackendKind, BackendRun, CompiledModel};
+use crate::backend::{Backend, BackendKind, BackendRun, CompiledModel, PlannedLayer};
 use crate::engine::activity_from_stats;
 use crate::{BatchResult, EieConfig};
 
@@ -61,6 +62,7 @@ impl CompiledModel {
             first: 0,
             end: self.num_layers(),
             price_energy: true,
+            engine: OnceLock::new(),
         }
     }
 }
@@ -80,6 +82,13 @@ pub struct InferenceJob<'m> {
     first: usize,
     end: usize,
     price_energy: bool,
+    /// The instantiated backend, built on the first submit and reused
+    /// across submits of the same job — a looping caller keeps the
+    /// `NativeCpu` engine (worker pool, plan cache, warm scratch) alive
+    /// instead of re-spawning it per call, the same warm shape the
+    /// serving workers have. Cleared by [`InferenceJob::config`]
+    /// (backends capture the configuration at instantiation).
+    engine: OnceLock<Arc<dyn Backend>>,
 }
 
 impl<'m> InferenceJob<'m> {
@@ -128,6 +137,9 @@ impl<'m> InferenceJob<'m> {
     /// compiled layers; [`InferenceJob::submit`] asserts it.
     pub fn config(mut self, config: EieConfig) -> Self {
         self.config = config;
+        // Backends capture the configuration at instantiation; a
+        // cached engine built under the old one must not survive.
+        self.engine = OnceLock::new();
         self
     }
 
@@ -154,10 +166,27 @@ impl<'m> InferenceJob<'m> {
     /// first selected layer's input dimension, or the execution
     /// configuration's PE count mismatches the compiled layers.
     pub fn submit(&self, inputs: &[Vec<f32>]) -> JobResult {
-        let layers: Vec<&EncodedLayer> = self.model.layers()[self.first..self.end].iter().collect();
+        let backend = self
+            .engine
+            .get_or_init(|| Arc::from(self.backend.instantiate(&self.config)));
+        // Plans are fetched (building lazily into the model's shared
+        // cache) only for backends that execute them; the cycle model,
+        // the golden model and the streaming baseline stream the
+        // compressed artifact and would ignore them.
+        let layers: Vec<PlannedLayer<'_>> = if backend.wants_plans() {
+            (self.first..self.end)
+                .map(|i| self.model.planned_layer(i))
+                .collect()
+        } else {
+            self.model.layers()[self.first..self.end]
+                .iter()
+                .map(PlannedLayer::unplanned)
+                .collect()
+        };
         execute_stack(
             &self.config,
             self.backend,
+            backend.as_ref(),
             &layers,
             inputs,
             self.price_energy,
@@ -369,9 +398,10 @@ impl fmt::Display for JobResult {
 /// already-instantiated backend, layer-at-a-time over the whole batch
 /// (ReLU between layers, none after the last).
 ///
-/// This is the one execution loop behind [`InferenceJob::submit`] and
-/// the serving workers, so micro-batch coalescing can never change
-/// outputs: every path quantizes, chains and accumulates identically.
+/// This wraps the layers unplanned; callers holding a
+/// [`CompiledModel`] should prefer [`run_stack_planned`] with
+/// [`CompiledModel::planned_layers`] so plan-aware backends skip their
+/// own cache lookup.
 ///
 /// # Panics
 ///
@@ -381,6 +411,31 @@ pub fn run_stack_quantized(
     layers: &[&EncodedLayer],
     batch: &[Vec<Q8p8>],
 ) -> Vec<BackendRun> {
+    let planned: Vec<PlannedLayer<'_>> = layers
+        .iter()
+        .map(|layer| PlannedLayer::unplanned(layer))
+        .collect();
+    chain_stack(backend, &planned, batch).0
+}
+
+/// Runs a quantized batch through a stack of planned layers on an
+/// already-instantiated backend — the serving loop's entry point
+/// (ReLU between layers, none after the last).
+///
+/// This is the one execution loop behind [`InferenceJob::submit`] and
+/// the serving workers, so micro-batch coalescing can never change
+/// outputs: every path quantizes, chains and accumulates identically,
+/// and plans change *where the weights are read from*, never the
+/// accumulation order.
+///
+/// # Panics
+///
+/// Panics if `layers` or `batch` is empty, or dimensions mismatch.
+pub fn run_stack_planned(
+    backend: &dyn Backend,
+    layers: &[PlannedLayer<'_>],
+    batch: &[Vec<Q8p8>],
+) -> Vec<BackendRun> {
     chain_stack(backend, layers, batch).0
 }
 
@@ -388,7 +443,7 @@ pub fn run_stack_quantized(
 /// accumulating per-item latency/statistics and the per-layer phases.
 fn chain_stack(
     backend: &dyn Backend,
-    layers: &[&EncodedLayer],
+    layers: &[PlannedLayer<'_>],
     batch: &[Vec<Q8p8>],
 ) -> (Vec<BackendRun>, Vec<LayerPhase>) {
     assert!(!layers.is_empty(), "inference job needs at least one layer");
@@ -400,7 +455,7 @@ fn chain_stack(
     let mut phases: Vec<LayerPhase> = Vec::with_capacity(layers.len());
     for (li, layer) in layers.iter().enumerate() {
         let relu = li + 1 < layers.len();
-        let runs = backend.run_layer_batch(layer, &current, relu);
+        let runs = backend.run_layer_batch_planned(*layer, &current, relu);
         let mut phase = LayerPhase {
             latency_s: 0.0,
             stats: None,
@@ -437,24 +492,27 @@ fn chain_stack(
     (items, phases)
 }
 
-/// The shared execution core: quantize → chain the stack on the chosen
-/// backend → aggregate per-item, per-layer and whole-batch views.
+/// The shared execution core: quantize → chain the stack on an
+/// already-instantiated backend → aggregate per-item, per-layer and
+/// whole-batch views (`kind` names the backend in the result).
 ///
 /// Every public execution surface funnels here: [`InferenceJob::submit`]
-/// directly, and the deprecated `Engine::run_batch` /
-/// `Engine::run_network_batch` shims through their layer slices.
+/// directly (with its cached engine), and the deprecated
+/// `Engine::run_batch` / `Engine::run_network_batch` shims through
+/// their layer slices (instantiating per call).
 pub(crate) fn execute_stack(
     config: &EieConfig,
     kind: BackendKind,
-    layers: &[&EncodedLayer],
+    backend: &dyn Backend,
+    layers: &[PlannedLayer<'_>],
     inputs: &[Vec<f32>],
     price_energy: bool,
 ) -> JobResult {
     assert!(!layers.is_empty(), "inference job needs at least one layer");
     assert!(!inputs.is_empty(), "batch must be non-empty");
-    for layer in layers {
+    for planned in layers {
         assert_eq!(
-            layer.num_pes(),
+            planned.layer.num_pes(),
             config.num_pes,
             "layer compressed for a different PE count"
         );
@@ -463,10 +521,9 @@ pub(crate) fn execute_stack(
         .iter()
         .map(|acts| Q8p8::from_f32_slice(acts))
         .collect();
-    let backend = kind.instantiate(config);
 
     let start = Instant::now();
-    let (items, phases) = chain_stack(backend.as_ref(), layers, &quantized);
+    let (items, phases) = chain_stack(backend, layers, &quantized);
     let measured_wall_s = start.elapsed().as_secs_f64();
 
     let wall_s = if backend.is_modeled() {
@@ -572,6 +629,27 @@ mod tests {
         assert_eq!(l1.outputs(0), whole.outputs(0));
         assert_eq!(whole.layer_phases().len(), 2);
         assert_eq!(l0.layer_phases().len(), 1);
+    }
+
+    #[test]
+    fn jobs_reuse_their_engine_and_plans_across_submits() {
+        let model = two_layer_model();
+        let job = model.infer(BackendKind::NativeCpu(2));
+        assert_eq!(model.plans_built(), 0);
+        let first = job.submit(&batch(2));
+        // The native engine pulled both plans from the model's cache…
+        assert_eq!(model.plans_built(), 2);
+        let second = job.submit(&batch(2));
+        assert_eq!(first.outputs(0), second.outputs(0));
+        // …and resubmitting reuses engine and plans alike.
+        assert_eq!(model.plans_built(), 2);
+        // Non-plan backends never trigger plan builds.
+        let fresh = two_layer_model();
+        let _ = fresh.infer(BackendKind::Functional).submit(&batch(1));
+        let _ = fresh
+            .infer(BackendKind::NativeStreaming(1))
+            .submit(&batch(1));
+        assert_eq!(fresh.plans_built(), 0);
     }
 
     #[test]

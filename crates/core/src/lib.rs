@@ -58,12 +58,13 @@ pub mod prelude;
 pub use artifact::{ModelArtifactError, MODEL_EXTENSION, MODEL_MAGIC, MODEL_VERSION};
 pub use backend::{
     Backend, BackendKind, BackendRun, CompiledModel, CycleAccurate, Functional, NativeCpu,
+    PlannedLayer,
 };
 pub use batch::{percentile, BatchResult};
 pub use benchmarks::BenchmarkInstance;
 pub use config::EieConfig;
 pub use engine::{activity_from_stats, Engine, ExecutionResult, NetworkResult};
-pub use infer::{run_stack_quantized, InferenceJob, JobResult, LayerPhase};
+pub use infer::{run_stack_planned, run_stack_quantized, InferenceJob, JobResult, LayerPhase};
 
 /// The Deep Compression pipeline (re-export of `eie-compress`).
 pub mod compress {

@@ -14,11 +14,12 @@ pub use crate::{
     activity_from_stats, percentile, Backend, BackendKind, BackendRun, BatchResult,
     BenchmarkInstance, CompiledModel, CycleAccurate, EieConfig, Engine, ExecutionResult,
     Functional, InferenceJob, JobResult, LayerPhase, ModelArtifactError, NativeCpu, NetworkResult,
+    PlannedLayer,
 };
 
 pub use eie_compress::{
     compress, encode_with_codebook, Codebook, CodebookStrategy, CompilePipeline, CompressConfig,
-    EncodedLayer, EncodingStats,
+    EncodedLayer, EncodingStats, LayerPlan,
 };
 pub use eie_energy::{platform::Platform, EnergyReport, LayerActivity, PeModel, SramModel};
 pub use eie_fixed::{Accum32, Fix16, Precision, Q8p8, QFormat};

@@ -94,6 +94,59 @@ fn engine_batches_agree_across_backends_through_a_network() {
     }
 }
 
+/// Extracts the message of a caught panic (assert payloads are
+/// `String`s; literal panics are `&str`s).
+fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default()
+}
+
+/// Malformed activation lengths are rejected at every backend's entry
+/// points — single-item, whole batch, and the once-sneaky batch of one
+/// (which used to fall back to `run_layer` before any length check ran)
+/// — with one identical message. Validation is hoisted, not buried in
+/// whichever kernel happens to index first.
+#[test]
+fn all_backends_reject_bad_activation_lengths_uniformly() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let config = EieConfig::default().with_num_pes(2);
+    let enc = config
+        .pipeline()
+        .compile_matrix(&random_sparse(16, 12, 0.4, 3));
+    let good = vec![Q8p8::from_f32(0.5); 12];
+    let bad = vec![Q8p8::from_f32(0.5); 11];
+    for kind in [
+        BackendKind::CycleAccurate,
+        BackendKind::Functional,
+        BackendKind::NativeCpu(2),
+        BackendKind::NativeStreaming(2),
+    ] {
+        let backend = kind.instantiate(&config);
+        let cases: [Box<dyn Fn() + '_>; 3] = [
+            Box::new(|| {
+                backend.run_layer(&enc, &bad, false);
+            }),
+            Box::new(|| {
+                backend.run_layer_batch(&enc, &[good.clone(), bad.clone()], false);
+            }),
+            Box::new(|| {
+                backend.run_layer_batch(&enc, std::slice::from_ref(&bad), false);
+            }),
+        ];
+        for (i, case) in cases.iter().enumerate() {
+            let err = catch_unwind(AssertUnwindSafe(case))
+                .expect_err(&format!("{kind} accepted malformed input (case {i})"));
+            let message = panic_message(err);
+            assert!(
+                message.contains("activation length mismatch"),
+                "{kind} case {i} failed with the wrong message: {message:?}"
+            );
+        }
+    }
+}
+
 /// The point of the NativeCpu backend: a batched inference job with ≥4
 /// threads beats looping the functional golden model item by item, with
 /// a generous margin. Run with `cargo test --release -- --ignored`.
@@ -154,4 +207,90 @@ fn native_batch_outpaces_functional_per_item_loop() {
         functional_s * 1e3,
         native_s * 1e3
     );
+}
+
+/// The point of the plan refactor: once warmed, the pre-decoded plan
+/// kernel must not be slower than the streaming kernel it replaced —
+/// single-item and fused-batch, at one thread (pure kernel) and
+/// several (pool versus scoped spawns). Run with
+/// `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "wall-clock performance assertion; run explicitly with --ignored (release build)"]
+fn plan_kernel_not_slower_than_streaming() {
+    let config = EieConfig::default().with_num_pes(8);
+    let layer = Benchmark::Alex7.generate_scaled(DEFAULT_SEED, 4); // 1024×1024 @ 9%
+    let enc = config.pipeline().compile_matrix(&layer.weights);
+    let acts = Q8p8::from_f32_slice(&layer.sample_activations(DEFAULT_SEED));
+    let batch = quantize_batch(&layer.sample_activation_batch(DEFAULT_SEED, 16));
+
+    let best_of = |runs: usize, mut f: Box<dyn FnMut() + '_>| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..runs {
+            let start = Instant::now();
+            f();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+
+    for threads in [1usize, 4] {
+        let plan = NativeCpu::with_threads(threads);
+        let stream = plan.clone().without_plans();
+        // Warm both paths: plan build + pool spawn on one side, page
+        // cache on the other.
+        let warm_plan = plan.run_layer(&enc, &acts, false);
+        let warm_stream = stream.run_layer(&enc, &acts, false);
+        assert_eq!(warm_plan.outputs, warm_stream.outputs);
+
+        let iters = 20usize;
+        let plan_s = best_of(
+            3,
+            Box::new(|| {
+                for _ in 0..iters {
+                    let _ = plan.run_layer(&enc, &acts, false);
+                }
+            }),
+        );
+        let stream_s = best_of(
+            3,
+            Box::new(|| {
+                for _ in 0..iters {
+                    let _ = stream.run_layer(&enc, &acts, false);
+                }
+            }),
+        );
+        let single_ratio = stream_s / plan_s;
+
+        let plan_b = best_of(
+            3,
+            Box::new(|| {
+                let _ = plan.run_layer_batch(&enc, &batch, false);
+            }),
+        );
+        let stream_b = best_of(
+            3,
+            Box::new(|| {
+                let _ = stream.run_layer_batch(&enc, &batch, false);
+            }),
+        );
+        let batch_ratio = stream_b / plan_b;
+
+        eprintln!(
+            "plan vs streaming at {threads} thread(s): single {single_ratio:.2}×, \
+             batch-16 {batch_ratio:.2}×"
+        );
+        // "Not slower" with a little headroom eaten by scheduler noise;
+        // in practice the single-item win is well above 1.5× (see
+        // BENCH_kernel.json).
+        assert!(
+            single_ratio > 1.0,
+            "plan single-item kernel slower than streaming at {threads} threads \
+             ({single_ratio:.2}×)"
+        );
+        assert!(
+            batch_ratio > 1.0,
+            "plan batch kernel slower than streaming at {threads} threads \
+             ({batch_ratio:.2}×)"
+        );
+    }
 }

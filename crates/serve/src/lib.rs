@@ -31,13 +31,14 @@
 //!
 //! **Correctness invariant:** micro-batching is a throughput decision,
 //! never a numerical one. Workers execute through
-//! [`run_stack_quantized`](eie_core::run_stack_quantized) — the same
+//! [`run_stack_planned`](eie_core::run_stack_planned) — the same
 //! chaining loop and `Q8p8` quantization behind
-//! [`CompiledModel::infer`](eie_core::CompiledModel::infer) — so
-//! outputs are bit-identical to a per-request functional-golden run no
-//! matter how requests were coalesced, which worker ran them, or which
-//! backend executed. The crate's property test submits from concurrent
-//! threads across all three backends and asserts exactly that.
+//! [`CompiledModel::infer`](eie_core::CompiledModel::infer), fed the
+//! model's shared pre-decoded execution plans — so outputs are
+//! bit-identical to a per-request functional-golden run no matter how
+//! requests were coalesced, which worker ran them, or which backend
+//! executed. The crate's property test submits from concurrent threads
+//! across all three backends and asserts exactly that.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -6,9 +6,10 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use eie_core::compress::EncodedLayer;
 use eie_core::fixed::Q8p8;
-use eie_core::{percentile, run_stack_quantized, BackendKind, CompiledModel, ModelArtifactError};
+use eie_core::{
+    percentile, run_stack_planned, BackendKind, CompiledModel, ModelArtifactError, PlannedLayer,
+};
 
 use crate::queue::{MicroBatchQueue, PushError};
 
@@ -384,8 +385,10 @@ impl fmt::Display for ServerStats {
 /// (bounded by [`ServerConfig::max_batch`] and
 /// [`ServerConfig::max_wait_us`]) purely for throughput: outputs are
 /// **bit-identical** to a per-request run of the functional golden
-/// model, because every execution path shares
-/// [`run_stack_quantized`]'s chaining loop and quantization.
+/// model, because every execution path shares [`run_stack_planned`]'s
+/// chaining loop and quantization — pre-decoded execution plans change
+/// where a backend reads its weights from, never the accumulation
+/// order.
 ///
 /// # Example
 ///
@@ -570,8 +573,12 @@ impl Drop for ModelServer {
     }
 }
 
-/// One worker: instantiate the backend once, then claim → execute →
-/// answer micro-batches until the queue closes and drains.
+/// One worker: instantiate the backend once (its persistent kernel
+/// pool, if any, lives as long as the worker), resolve the model's
+/// planned layers once (plans are built into the model's shared cache
+/// at worker startup, so every worker scans the same pre-decoded
+/// arrays), then claim → execute → answer micro-batches until the
+/// queue closes and drains.
 fn worker_loop(
     worker: usize,
     model: &CompiledModel,
@@ -581,7 +588,11 @@ fn worker_loop(
     max_wait: Duration,
 ) -> WorkerStats {
     let backend = kind.instantiate(model.config());
-    let layers: Vec<&EncodedLayer> = model.layer_refs();
+    let layers: Vec<PlannedLayer<'_>> = if backend.wants_plans() {
+        model.planned_layers()
+    } else {
+        model.layers().iter().map(PlannedLayer::unplanned).collect()
+    };
     let mut stats = WorkerStats::new(worker);
     while let Some(mut batch) = queue.pop_batch(max_batch, max_wait) {
         if batch.is_empty() {
@@ -592,7 +603,7 @@ fn worker_loop(
             .iter_mut()
             .map(|r| std::mem::take(&mut r.input))
             .collect();
-        let runs = run_stack_quantized(backend.as_ref(), &layers, &inputs);
+        let runs = run_stack_planned(backend.as_ref(), &layers, &inputs);
         let done = Instant::now();
         let coalesced = batch.len();
         stats.batches += 1;
