@@ -1,42 +1,66 @@
-//! `eie serve` — serve an artifact under a self-driving request load.
+//! `eie serve` — serve artifacts under load, locally or over TCP.
 //!
-//! Loads a `.eie` model into a [`ModelServer`] (bounded queue, dynamic
-//! micro-batching, N backend workers) and drives it with a generated
-//! request stream at a target QPS, reporting the latency distribution
-//! (p50/p95/p99), queue time, coalescing behaviour and throughput.
+//! Three modes share one subcommand:
+//!
+//! * **Local** (default): load one `.eie` into a [`ModelServer`] and
+//!   drive it with a generated request stream at a target QPS,
+//!   reporting the latency distribution (p50/p95/p99), queue time,
+//!   coalescing behaviour and throughput.
+//! * **`--listen <addr>`**: put a [`ModelRegistry`] of named artifacts
+//!   behind a TCP listener speaking the EIE wire protocol
+//!   ([`eie_serve::protocol`]), with LRU-by-bytes eviction past
+//!   `--budget-bytes` and per-request shed-load admission control.
+//! * **`--connect <addr>`**: the matching load generator — N client
+//!   connections mixing requests across models, optionally verifying
+//!   every response bit-exact against a local functional golden run.
 
+use std::sync::Arc;
+use std::thread;
 use std::time::{Duration, Instant};
 
-use eie_core::BackendKind;
-use eie_serve::{ModelServer, ServerConfig};
+use eie_core::{BackendKind, CompiledModel};
+use eie_serve::protocol::Response;
+use eie_serve::{Client, ModelRegistry, ModelServer, NetServer, ServerConfig, ServerStats};
 
 use crate::commands::{load_model, parse_backend, sample_batch};
 use crate::opts::Opts;
 use crate::outln;
 use crate::CliError;
 
-const HELP: &str = "eie serve — serve a .eie artifact under a generated request load
+const HELP: &str = "eie serve — serve .eie artifacts under load, locally or over TCP
 
 USAGE:
-    eie serve <MODEL.eie> [OPTIONS]
+    eie serve <MODEL.eie> [OPTIONS]                          local self-driving load
+    eie serve --listen <ADDR> --model <NAME=PATH>... [OPTIONS]   network serving node
+    eie serve --connect <ADDR> --model <NAME=PATH>... [OPTIONS]  load-generator client
 
-SERVING POLICY:
+SERVING POLICY (local and --listen):
     --backend <B>       Worker backend: cycle | functional | native[:threads] | streaming[:threads]
                         [default: native:1 — workers provide the parallelism]
-    --workers <N>       Worker threads, one backend each [default: 2]
+    --workers <N>       Worker threads per model, one backend each [default: 2]
     --max-batch <N>     Micro-batch coalescing cap [default: 8]
     --max-wait-us <N>   Straggler-collection window, µs (0 = none) [default: 200]
-    --queue-depth <N>   Bounded queue depth (backpressure point) [default: 256]
+    --queue-depth <N>   Bounded queue depth (admission-control point) [default: 256]
 
-LOAD GENERATION:
-    --requests <N>      Total requests to drive [default: 256]
-    --qps <Q>           Target offered rate, requests/s (0 = unthrottled,
-                        backpressure-paced) [default: 0]
+NETWORK NODE (--listen):
+    --model <NAME=PATH> Register PATH under NAME (repeatable); a bare PATH
+                        registers under its file stem
+    --budget-bytes <N>  Resident-artifact byte budget: past it, cold models
+                        are evicted LRU [default: unbounded]
+
+LOAD GENERATION (local and --connect):
+    --requests <N>      Requests to drive (per connection when --connect)
+                        [default: 256]
+    --clients <N>       Concurrent client connections (--connect) [default: 4]
+    --qps <Q>           Target offered rate, requests/s, local mode only
+                        (0 = unthrottled, backpressure-paced) [default: 0]
     --density <D>       Input activation density in [0, 1] [default: 0.35]
     --signed            Sample signed activations (embedding/LSTM inputs)
     --seed <N>          Input sampling seed [default: 1]
     --verify            Re-check every response against a one-at-a-time
                         functional golden run (exit 1 on divergence)
+    --shutdown          After the load, ask the server to drain and exit
+                        (--connect)
     -h, --help          Show this help";
 
 pub fn run(mut opts: Opts) -> Result<(), CliError> {
@@ -44,6 +68,20 @@ pub fn run(mut opts: Opts) -> Result<(), CliError> {
         outln!("{HELP}");
         return Ok(());
     }
+    let listen = opts.value(&["--listen"])?;
+    let connect = opts.value(&["--connect"])?;
+    match (listen, connect) {
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "--listen and --connect are mutually exclusive".into(),
+        )),
+        (Some(addr), None) => run_listen(&addr, opts),
+        (None, Some(addr)) => run_connect(&addr, opts),
+        (None, None) => run_local(opts),
+    }
+}
+
+/// Parses the shared serving-policy options.
+fn parse_policy(opts: &mut Opts) -> Result<ServerConfig, CliError> {
     let backend = match opts.value(&["--backend"])? {
         Some(name) => parse_backend(&name)?,
         None => BackendKind::NativeCpu(1),
@@ -52,6 +90,293 @@ pub fn run(mut opts: Opts) -> Result<(), CliError> {
     let max_batch: usize = opts.parsed(&["--max-batch"])?.unwrap_or(8);
     let max_wait_us: u64 = opts.parsed(&["--max-wait-us"])?.unwrap_or(200);
     let queue_depth: usize = opts.parsed(&["--queue-depth"])?.unwrap_or(256);
+    if workers == 0 || max_batch == 0 || queue_depth == 0 {
+        return Err(CliError::Usage(
+            "--workers, --max-batch and --queue-depth must be positive".into(),
+        ));
+    }
+    Ok(ServerConfig::default()
+        .with_backend(backend)
+        .with_workers(workers)
+        .with_max_batch(max_batch)
+        .with_max_wait_us(max_wait_us)
+        .with_queue_depth(queue_depth))
+}
+
+/// Splits a `--model` operand: `name=path`, or a bare path registered
+/// under its file stem.
+fn parse_model_spec(spec: &str) -> Result<(String, String), CliError> {
+    if let Some((name, path)) = spec.split_once('=') {
+        if name.is_empty() || path.is_empty() {
+            return Err(CliError::Usage(format!(
+                "--model {spec:?}: expected NAME=PATH with both parts non-empty"
+            )));
+        }
+        return Ok((name.to_string(), path.to_string()));
+    }
+    let stem = std::path::Path::new(spec)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| CliError::Usage(format!("--model {spec:?}: cannot derive a model name")))?;
+    Ok((stem.to_string(), spec.to_string()))
+}
+
+/// Collects `--model` operands (plus an optional positional artifact)
+/// into (name, path) pairs; at least one is required.
+fn collect_models(opts: &mut Opts) -> Result<Vec<(String, String)>, CliError> {
+    let specs = opts.values(&["--model"])?;
+    let mut models = Vec::with_capacity(specs.len() + 1);
+    for spec in &specs {
+        models.push(parse_model_spec(spec)?);
+    }
+    Ok(models)
+}
+
+fn print_serving_stats(stats: &ServerStats) {
+    outln!(
+        "served    {:.0} frames/s ({} requests in {} micro-batches, mean {:.1}/batch, max {})",
+        stats.frames_per_second(),
+        stats.requests,
+        stats.batches,
+        stats.mean_coalesced(),
+        stats.max_coalesced
+    );
+    outln!(
+        "latency   p50 {:.1} µs | p95 {:.1} µs | p99 {:.1} µs (queue mean {:.1} µs)",
+        stats.p50(),
+        stats.p95(),
+        stats.p99(),
+        stats.mean_queue_us()
+    );
+}
+
+/// `--listen`: a network serving node. Runs until a client sends a
+/// SHUTDOWN frame, then drains and reports.
+fn run_listen(addr: &str, mut opts: Opts) -> Result<(), CliError> {
+    let config = parse_policy(&mut opts)?;
+    let budget: Option<u64> = opts.parsed(&["--budget-bytes"])?;
+    let mut models = collect_models(&mut opts)?;
+    let positional = opts.finish(1)?;
+    if let Some(path) = positional.first() {
+        models.push(parse_model_spec(path)?);
+    }
+    if models.is_empty() {
+        return Err(CliError::Usage(
+            "--listen needs at least one --model NAME=PATH (see --help)".into(),
+        ));
+    }
+
+    let mut registry = ModelRegistry::new(config);
+    if let Some(budget) = budget {
+        if budget == 0 {
+            return Err(CliError::Usage("--budget-bytes must be positive".into()));
+        }
+        registry = registry.with_budget_bytes(budget as usize);
+    }
+    for (name, path) in &models {
+        registry
+            .register_file(name.clone(), path)
+            .map_err(|e| CliError::Usage(e.to_string()))?;
+        outln!("model     {name} <- {path}");
+    }
+    outln!("serving   {}", registry.server_config());
+
+    let server = NetServer::bind(addr, registry)
+        .map_err(|e| CliError::Runtime(format!("cannot listen on {addr}: {e}")))?;
+    outln!("listening {}", server.local_addr());
+
+    server.wait_for_shutdown();
+    outln!("draining  shutdown requested");
+    let stats = server.stop();
+    print_serving_stats(&stats);
+    Ok(())
+}
+
+/// What one load-generator connection did.
+#[derive(Debug, Default)]
+struct ClientTally {
+    served: usize,
+    overloaded: usize,
+    verified: usize,
+}
+
+/// `--connect`: drive a serving node with N concurrent connections
+/// mixing requests across the named models.
+fn run_connect(addr: &str, mut opts: Opts) -> Result<(), CliError> {
+    let requests: usize = opts.parsed(&["--requests"])?.unwrap_or(256);
+    let clients: usize = opts.parsed(&["--clients"])?.unwrap_or(4);
+    let density: f64 = opts.parsed(&["--density"])?.unwrap_or(0.35);
+    let signed = opts.flag("--signed");
+    let seed: u64 = opts.parsed(&["--seed"])?.unwrap_or(1);
+    let verify = opts.flag("--verify");
+    let shutdown = opts.flag("--shutdown");
+    let models = collect_models(&mut opts)?;
+    opts.finish(0)?;
+    if models.is_empty() {
+        return Err(CliError::Usage(
+            "--connect needs at least one --model NAME=PATH (see --help)".into(),
+        ));
+    }
+    if requests == 0 || clients == 0 {
+        return Err(CliError::Usage(
+            "--requests and --clients must be positive".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&density) {
+        return Err(CliError::Usage("--density must be in [0, 1]".into()));
+    }
+
+    // The client loads each artifact locally too: it needs the input
+    // dimension to sample requests, and (under --verify) the model
+    // itself to recompute the functional golden answer.
+    let mut loaded: Vec<(String, Arc<CompiledModel>)> = Vec::with_capacity(models.len());
+    for (name, path) in &models {
+        loaded.push((name.clone(), Arc::new(load_model(path)?)));
+    }
+    outln!(
+        "load      {clients} connections x {requests} requests over {} models -> {addr}",
+        loaded.len()
+    );
+
+    let loaded = Arc::new(loaded);
+    let started = Instant::now();
+    let mut threads = Vec::with_capacity(clients);
+    for t in 0..clients {
+        let loaded = Arc::clone(&loaded);
+        let addr = addr.to_string();
+        threads.push(thread::spawn(move || {
+            drive_connection(&addr, t, requests, &loaded, density, signed, seed, verify)
+        }));
+    }
+    let mut tally = ClientTally::default();
+    for thread in threads {
+        let t = thread
+            .join()
+            .map_err(|_| CliError::Runtime("load-generator thread panicked".into()))?
+            .map_err(CliError::Runtime)?;
+        tally.served += t.served;
+        tally.overloaded += t.overloaded;
+        tally.verified += t.verified;
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    outln!(
+        "offered   {:.0} requests/s over {:.1} ms ({} served, {} shed as OVERLOADED)",
+        tally.served as f64 / wall_s,
+        wall_s * 1e3,
+        tally.served,
+        tally.overloaded
+    );
+    if verify {
+        outln!(
+            "verified  {} responses bit-exact against the functional golden model",
+            tally.verified
+        );
+    }
+
+    let mut control = Client::connect(addr)
+        .map_err(|e| CliError::Runtime(format!("cannot connect to {addr}: {e}")))?;
+    let report = control
+        .stats()
+        .map_err(|e| CliError::Runtime(format!("stats request failed: {e}")))?;
+    outln!(
+        "server    {} requests in {} micro-batches (max {}/batch), {}/{} models resident ({} bytes)",
+        report.requests,
+        report.batches,
+        report.max_coalesced,
+        report.models_resident,
+        report.models_registered,
+        report.resident_bytes
+    );
+    outln!(
+        "latency   p50 {:.1} µs | p95 {:.1} µs | p99 {:.1} µs (queue mean {:.1} µs, depth {})",
+        report.p50_us,
+        report.p95_us,
+        report.p99_us,
+        report.mean_queue_us,
+        report.queue_depth
+    );
+    if shutdown {
+        control
+            .shutdown_server()
+            .map_err(|e| CliError::Runtime(format!("shutdown request failed: {e}")))?;
+        outln!("shutdown  acknowledged");
+    }
+    Ok(())
+}
+
+/// One connection's request loop: round-robin across models, retry on
+/// shed load, verify against the local golden when asked.
+#[allow(clippy::too_many_arguments)]
+fn drive_connection(
+    addr: &str,
+    t: usize,
+    requests: usize,
+    models: &[(String, Arc<CompiledModel>)],
+    density: f64,
+    signed: bool,
+    seed: u64,
+    verify: bool,
+) -> Result<ClientTally, String> {
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("connection {t}: connect failed: {e}"))?;
+    let goldens: Vec<_> = if verify {
+        models
+            .iter()
+            .map(|(_, m)| m.infer(BackendKind::Functional))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut tally = ClientTally::default();
+    for j in 0..requests {
+        let m = (t + j) % models.len();
+        let (name, model) = &models[m];
+        let input = eie_core::nn::zoo::sample_activations(
+            model.input_dim(),
+            density,
+            signed,
+            seed.wrapping_add((t * requests + j) as u64),
+        );
+        // Shed load is an answer, not a failure: count it and retry
+        // until admitted (the queue drains every micro-batch window).
+        let output = loop {
+            match client
+                .infer(name, &input)
+                .map_err(|e| format!("connection {t}: request {j} failed: {e}"))?
+            {
+                Response::Output(output) => break output,
+                Response::Overloaded { .. } => {
+                    tally.overloaded += 1;
+                    thread::sleep(Duration::from_micros(500));
+                }
+                other => {
+                    return Err(format!(
+                        "connection {t}: request {j} to {name:?} refused: {other:?}"
+                    ))
+                }
+            }
+        };
+        tally.served += 1;
+        if verify {
+            let golden = goldens[m].submit_one(&input);
+            let expect: Vec<i16> = golden.outputs(0).iter().map(|q| q.raw()).collect();
+            if output.outputs != expect {
+                return Err(format!(
+                    "verification FAILED: connection {t} request {j} to {name:?} \
+                     diverged from the one-at-a-time functional golden run"
+                ));
+            }
+            tally.verified += 1;
+        }
+    }
+    Ok(tally)
+}
+
+/// The original self-driving mode: one model, in-process server,
+/// generated load.
+fn run_local(mut opts: Opts) -> Result<(), CliError> {
+    let config = parse_policy(&mut opts)?;
     let requests: usize = opts.parsed(&["--requests"])?.unwrap_or(256);
     let qps: f64 = opts.parsed(&["--qps"])?.unwrap_or(0.0);
     let density: f64 = opts.parsed(&["--density"])?.unwrap_or(0.35);
@@ -62,10 +387,8 @@ pub fn run(mut opts: Opts) -> Result<(), CliError> {
     let path = positional
         .first()
         .ok_or_else(|| CliError::Usage("serve needs a model file (see --help)".into()))?;
-    if workers == 0 || max_batch == 0 || queue_depth == 0 || requests == 0 {
-        return Err(CliError::Usage(
-            "--workers, --max-batch, --queue-depth and --requests must be positive".into(),
-        ));
+    if requests == 0 {
+        return Err(CliError::Usage("--requests must be positive".into()));
     }
     if !(0.0..=1.0).contains(&density) {
         return Err(CliError::Usage("--density must be in [0, 1]".into()));
@@ -77,12 +400,6 @@ pub fn run(mut opts: Opts) -> Result<(), CliError> {
     let model = load_model(path)?;
     outln!("loaded    {model}");
     let golden = verify.then(|| model.clone());
-    let config = ServerConfig::default()
-        .with_backend(backend)
-        .with_workers(workers)
-        .with_max_batch(max_batch)
-        .with_max_wait_us(max_wait_us)
-        .with_queue_depth(queue_depth);
     outln!("serving   {config}");
 
     let inputs = sample_batch(&model, requests, density, signed, seed);
@@ -140,21 +457,7 @@ pub fn run(mut opts: Opts) -> Result<(), CliError> {
         requests as f64 / offered_s,
         offered_s * 1e3
     );
-    outln!(
-        "served    {:.0} frames/s ({} requests in {} micro-batches, mean {:.1}/batch, max {})",
-        stats.frames_per_second(),
-        stats.requests,
-        stats.batches,
-        stats.mean_coalesced(),
-        stats.max_coalesced
-    );
-    outln!(
-        "latency   p50 {:.1} µs | p95 {:.1} µs | p99 {:.1} µs (queue mean {:.1} µs)",
-        stats.p50(),
-        stats.p95(),
-        stats.p99(),
-        stats.mean_queue_us()
-    );
+    print_serving_stats(&stats);
     if stats.requests != requests as u64 {
         return Err(CliError::Runtime(format!(
             "server answered {} of {requests} requests",

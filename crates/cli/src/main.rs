@@ -11,6 +11,12 @@
 //! eie bench model.eie --iters 10            load + batch throughput
 //! eie serve model.eie --qps 2000            live serving under load:
 //!                                           micro-batching, p50/p95/p99
+//! eie serve --listen 127.0.0.1:7070 \
+//!           --model fc6=a.eie --model fc7=b.eie
+//!                                           network node: multi-model
+//!                                           registry over TCP
+//! eie serve --connect 127.0.0.1:7070 \
+//!           --model fc6=a.eie --verify      load-generator client
 //! ```
 //!
 //! Every subcommand takes `--help`. Exit codes: `0` success, `1`
@@ -45,8 +51,9 @@ COMMANDS:
     inspect     Print an artifact's header, topology and footprint
     run         Load an artifact and run a batch on a backend
     bench       Measure artifact load and batch throughput
-    serve       Serve an artifact under a generated request load
-                (micro-batching workers, p50/p95/p99 latency, fps)
+    serve       Serve artifacts under load: local self-driving mode,
+                --listen (multi-model TCP node with LRU registry), or
+                --connect (concurrent load-generator client)
 
 Run `eie <COMMAND> --help` for per-command options.";
 

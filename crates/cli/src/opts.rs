@@ -57,6 +57,30 @@ impl Opts {
         Ok(found)
     }
 
+    /// Consumes every `--name value` / `--name=value` occurrence, in
+    /// command-line order — for repeatable options like
+    /// `--model name=path --model name=path`.
+    pub fn values(&mut self, names: &[&str]) -> Result<Vec<String>, String> {
+        let mut found = Vec::new();
+        while let Some(i) = self.raw.iter().position(|a| {
+            names.contains(&a.as_str())
+                || names
+                    .iter()
+                    .any(|n| a.starts_with(n) && a[n.len()..].starts_with('='))
+        }) {
+            let arg = self.raw.remove(i);
+            found.push(if let Some(eq) = arg.find('=') {
+                arg[eq + 1..].to_string()
+            } else {
+                if i >= self.raw.len() || self.raw[i].starts_with("--") {
+                    return Err(format!("option {arg} needs a value"));
+                }
+                self.raw.remove(i)
+            });
+        }
+        Ok(found)
+    }
+
     /// Consumes `--name value` and parses it.
     pub fn parsed<T: FromStr>(&mut self, names: &[&str]) -> Result<Option<T>, String> {
         match self.value(names)? {
@@ -128,6 +152,34 @@ mod tests {
 
         let o = opts(&["a", "b"]);
         assert!(o.finish(1).unwrap_err().contains("unexpected argument"));
+    }
+
+    #[test]
+    fn values_collects_every_occurrence_in_order() {
+        let mut o = opts(&[
+            "--model",
+            "a=a.eie",
+            "--model=b=b.eie",
+            "run",
+            "--model",
+            "c",
+        ]);
+        assert_eq!(
+            o.values(&["--model"]).unwrap(),
+            vec![
+                "a=a.eie".to_string(),
+                "b=b.eie".to_string(),
+                "c".to_string()
+            ]
+        );
+        assert_eq!(o.values(&["--model"]).unwrap(), Vec::<String>::new());
+        assert_eq!(o.finish(1).unwrap(), vec!["run".to_string()]);
+
+        let mut o = opts(&["--model", "a=a.eie", "--model"]);
+        assert!(o
+            .values(&["--model"])
+            .unwrap_err()
+            .contains("needs a value"));
     }
 
     #[test]

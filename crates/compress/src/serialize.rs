@@ -131,6 +131,21 @@ impl<'a> Reader<'a> {
 }
 
 impl EncodedLayer {
+    /// Exact byte length of [`EncodedLayer::to_bytes`]' image, computed
+    /// from the layout arithmetic without serializing — the unit a
+    /// serving registry charges against its residency budget.
+    pub fn image_bytes(&self) -> usize {
+        // magic (4) + index_bits/codebook_len/pad (4) + dims (12).
+        let header = 20;
+        let codebook = 4 * self.codebook().len();
+        let slices: usize = self
+            .slices()
+            .iter()
+            .map(|s| 8 + 4 * (self.cols() + 1) + 2 * s.num_entries())
+            .sum();
+        header + codebook + slices
+    }
+
     /// Serializes the layer into its I/O-mode binary image.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + self.total_entries() * 2);
@@ -360,6 +375,19 @@ mod tests {
         assert!(e.to_string().contains("invalid layer contents"));
         use std::error::Error as _;
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn image_bytes_matches_serialized_length() {
+        for (rows, cols, density, pes) in [(48, 32, 0.2, 4), (7, 5, 0.6, 2), (64, 48, 0.05, 8)] {
+            let m = random_sparse(rows, cols, density, rows as u64);
+            let layer = compress(&m, CompressConfig::with_pes(pes));
+            assert_eq!(
+                layer.image_bytes(),
+                layer.to_bytes().len(),
+                "{rows}×{cols} @ {pes} PEs"
+            );
+        }
     }
 
     #[test]

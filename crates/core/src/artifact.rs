@@ -235,6 +235,25 @@ impl<'a> Reader<'a> {
 }
 
 impl CompiledModel {
+    /// Exact byte length of [`CompiledModel::to_bytes`]' container,
+    /// computed from the layout arithmetic without serializing.
+    ///
+    /// This is the model's footprint as a deployment artifact — the
+    /// number a multi-model serving registry charges against its
+    /// residency budget when deciding which cold model to evict.
+    pub fn artifact_bytes(&self) -> usize {
+        // Config block: num_pes/fifo_depth/spmat_width/index_bits (16) +
+        // clock_hz (8) + hw_flags (1) + pad (3).
+        let config = 28;
+        let topology = 2 + self.name().len() + 4;
+        let layers: usize = self
+            .layers()
+            .iter()
+            .map(|l| 4 + l.image_bytes())
+            .sum::<usize>();
+        PREAMBLE_LEN + config + topology + layers
+    }
+
     /// Serializes the model into the versioned `.eie` container format.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut payload = Vec::new();
@@ -480,6 +499,18 @@ mod tests {
         // Standard check value of CRC-32/IEEE.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn artifact_bytes_matches_serialized_length() {
+        let model = sample_model();
+        assert_eq!(model.artifact_bytes(), model.to_bytes().len());
+        // Unnamed and single-layer shapes hit the other layout branches.
+        let single = CompiledModel::compile_layer(
+            EieConfig::default().with_num_pes(2),
+            &random_sparse(16, 12, 0.4, 9),
+        );
+        assert_eq!(single.artifact_bytes(), single.to_bytes().len());
     }
 
     #[test]

@@ -39,13 +39,32 @@
 //! requests were coalesced, which worker ran them, or which backend
 //! executed. The crate's property test submits from concurrent threads
 //! across all three backends and asserts exactly that.
+//!
+//! ## Beyond one model, beyond one process
+//!
+//! Two more layers turn the single-model server into a serving *node*:
+//!
+//! * [`ModelRegistry`] routes by model name across many `.eie`
+//!   artifacts, loading them on first use and evicting
+//!   least-recently-used cold models past a byte budget (models with
+//!   in-flight leases are pinned — see the [registry](ModelRegistry)
+//!   docs).
+//! * [`NetServer`] puts a registry on a TCP listener speaking the
+//!   length-prefixed [`protocol`] frames, with [`Client`] as the
+//!   matching blocking connector. Overload is a first-class response
+//!   ([`protocol::Response::Overloaded`]), not a dropped connection.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod net;
+pub mod protocol;
 mod queue;
+mod registry;
 mod server;
 
+pub use net::{Client, ClientError, NetServer};
+pub use registry::{ModelRegistry, RegistryError, RegistryStats};
 pub use server::{
     InferenceResponse, ModelServer, RequestResult, ServerConfig, ServerStats, SubmitError,
 };

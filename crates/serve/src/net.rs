@@ -1,0 +1,655 @@
+//! The TCP front-end: a [`ModelRegistry`] behind a listener speaking
+//! the [`protocol`](crate::protocol) frames, plus the matching blocking
+//! [`Client`].
+//!
+//! Built on `std::net` only (the workspace is offline — no async
+//! runtime, no HTTP stack). One thread accepts; each connection gets a
+//! handler thread running a strict request→response loop, so a
+//! connection has at most one request in flight and responses can never
+//! interleave. Concurrency comes from opening more connections — they
+//! all route into the same per-model bounded queues, where micro-batch
+//! coalescing happens exactly as for in-process callers.
+//!
+//! Three behaviors are deliberate:
+//!
+//! * **Overload is an answer, not a stall.** Inference uses the
+//!   shed-load [`try_submit`](crate::ModelServer::try_submit) path: a
+//!   full queue answers [`Response::Overloaded`] immediately and the
+//!   client owns the retry policy. A networked caller can always
+//!   distinguish "the box is busy" from "the box is gone".
+//! * **Malformed bytes end the connection, typed.** The server answers
+//!   [`ErrorCode::Malformed`] and closes — after a framing error the
+//!   stream position cannot be trusted, so resynchronizing would be a
+//!   guess. Other errors (unknown model, wrong input length) are
+//!   per-request and leave the connection open.
+//! * **Shutdown drains.** A SHUTDOWN frame (or
+//!   [`NetServer::request_shutdown`]) stops the accept loop, lets every
+//!   handler finish its in-flight request, then drains each resident
+//!   model's queue — every accepted request is answered before the
+//!   process lets go.
+
+use std::fmt;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, FrameError, OutputReport, Request, Response, StatsReport,
+};
+use crate::registry::{ModelRegistry, RegistryError};
+use crate::server::{ServerStats, SubmitError};
+
+use eie_core::fixed::Q8p8;
+
+/// How often a blocked handler wakes to check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// A fired-once shutdown latch: pollable without blocking (handlers)
+/// and waitable without spinning ([`NetServer::wait_for_shutdown`]).
+#[derive(Debug, Default)]
+struct ShutdownSignal {
+    fired: AtomicBool,
+    lock: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl ShutdownSignal {
+    fn fire(&self) {
+        self.fired.store(true, Ordering::SeqCst);
+        let mut fired = self.lock.lock().expect("shutdown signal poisoned");
+        *fired = true;
+        self.cv.notify_all();
+    }
+
+    fn is_fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    fn wait(&self) {
+        let mut fired = self.lock.lock().expect("shutdown signal poisoned");
+        while !*fired {
+            fired = self.cv.wait(fired).expect("shutdown signal poisoned");
+        }
+    }
+}
+
+/// Shared context every accept/handler thread carries.
+#[derive(Debug)]
+struct Ctx {
+    registry: Arc<ModelRegistry>,
+    shutdown: Arc<ShutdownSignal>,
+    addr: SocketAddr,
+}
+
+impl Ctx {
+    /// Fires the shutdown signal and pokes the (possibly blocked)
+    /// accept loop awake with a throwaway self-connection.
+    fn begin_shutdown(&self) {
+        self.shutdown.fire();
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A `Read` adapter that turns the socket's periodic read timeout into
+/// "keep waiting, unless shutdown fired". [`read_frame`] can then block
+/// across quiet stretches without ever losing partially-read frame
+/// state, and still notices a drain promptly.
+struct ShutdownAwareStream<'a> {
+    stream: &'a TcpStream,
+    shutdown: &'a ShutdownSignal,
+}
+
+impl Read for ShutdownAwareStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            match self.stream.read(buf) {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if self.shutdown.is_fired() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::ConnectionAborted,
+                            "server shutting down",
+                        ));
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+/// A running network serving node: TCP listener + accept loop +
+/// per-connection handlers, all routing through one [`ModelRegistry`].
+///
+/// # Example
+///
+/// ```
+/// use eie_core::nn::zoo::random_sparse;
+/// use eie_core::{CompiledModel, EieConfig};
+/// use eie_serve::protocol::Response;
+/// use eie_serve::{Client, ModelRegistry, NetServer, ServerConfig};
+///
+/// let w = random_sparse(16, 12, 0.25, 7);
+/// let model = CompiledModel::compile_layer(EieConfig::default().with_num_pes(4), &w);
+/// let registry = ModelRegistry::new(ServerConfig::default().with_max_wait_us(500));
+/// registry.register_model("toy", &model).unwrap();
+///
+/// let server = NetServer::bind("127.0.0.1:0", registry).unwrap();
+/// let mut client = Client::connect(server.local_addr()).unwrap();
+/// match client.infer("toy", &vec![0.5; 12]).unwrap() {
+///     Response::Output(out) => assert_eq!(out.outputs.len(), 16),
+///     other => panic!("expected an output, got {other:?}"),
+/// }
+/// client.shutdown_server().unwrap();
+/// let stats = server.stop();
+/// assert_eq!(stats.requests, 1);
+/// ```
+#[derive(Debug)]
+pub struct NetServer {
+    ctx: Arc<Ctx>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections for `registry`'s models.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from binding the listener.
+    pub fn bind(addr: impl ToSocketAddrs, registry: ModelRegistry) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let ctx = Arc::new(Ctx {
+            registry: Arc::new(registry),
+            shutdown: Arc::new(ShutdownSignal::default()),
+            addr: listener.local_addr()?,
+        });
+        let accept_ctx = Arc::clone(&ctx);
+        let accept = thread::Builder::new()
+            .name("eie-net-accept".into())
+            .spawn(move || accept_loop(listener, &accept_ctx))
+            .expect("spawn accept thread");
+        Ok(Self {
+            ctx,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.ctx.addr
+    }
+
+    /// The registry this node serves from.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.ctx.registry
+    }
+
+    /// True once shutdown has been requested (by a SHUTDOWN frame or
+    /// [`request_shutdown`](Self::request_shutdown)).
+    pub fn is_shutting_down(&self) -> bool {
+        self.ctx.shutdown.is_fired()
+    }
+
+    /// Initiates shutdown without blocking: stops accepting, lets
+    /// handlers drain. Idempotent. Follow with [`stop`](Self::stop) to
+    /// join and collect final statistics.
+    pub fn request_shutdown(&self) {
+        self.ctx.begin_shutdown();
+    }
+
+    /// Blocks until shutdown is requested — the serve-forever body of
+    /// `eie serve --listen`.
+    pub fn wait_for_shutdown(&self) {
+        self.ctx.shutdown.wait();
+    }
+
+    /// Shuts down (idempotent), joins the accept loop and every
+    /// connection handler, drains every resident model, and returns the
+    /// merged lifetime [`ServerStats`].
+    pub fn stop(mut self) -> ServerStats {
+        self.ctx.begin_shutdown();
+        if let Some(accept) = self.accept.take() {
+            accept.join().expect("accept thread panicked");
+        }
+        self.ctx.registry.drain()
+    }
+}
+
+impl Drop for NetServer {
+    /// Dropping without [`stop`](Self::stop) still shuts down cleanly;
+    /// only the final statistics are lost.
+    fn drop(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            self.ctx.begin_shutdown();
+            accept.join().expect("accept thread panicked");
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, ctx: &Arc<Ctx>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if ctx.shutdown.is_fired() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let ctx = Arc::clone(ctx);
+        let handler = thread::Builder::new()
+            .name("eie-net-conn".into())
+            .spawn(move || handle_connection(&stream, &ctx))
+            .expect("spawn connection handler");
+        handlers.push(handler);
+        // Reap finished handlers so a long-lived node doesn't accumulate
+        // one parked JoinHandle per connection ever served.
+        handlers.retain(|h| !h.is_finished());
+    }
+    for handler in handlers {
+        handler.join().expect("connection handler panicked");
+    }
+}
+
+/// One connection's request→response loop. Returning closes the stream.
+fn handle_connection(stream: &TcpStream, ctx: &Ctx) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let mut reader = ShutdownAwareStream {
+        stream,
+        shutdown: &ctx.shutdown,
+    };
+    loop {
+        let body = match read_frame(&mut reader) {
+            Ok(Some(body)) => body,
+            // Peer closed between frames, or shutdown fired while idle.
+            Ok(None) | Err(FrameError::Io(_)) => return,
+            // Framing is broken: answer typed, then close (the stream
+            // position cannot be trusted past a malformed frame).
+            Err(e) => {
+                let _ = respond(
+                    stream,
+                    &Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        let request = match Request::from_body(&body) {
+            Ok(request) => request,
+            Err(e) => {
+                let _ = respond(
+                    stream,
+                    &Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        match request {
+            Request::Infer { model, input } => {
+                let response = serve_infer(ctx, &model, &input);
+                if respond(stream, &response).is_err() {
+                    return;
+                }
+            }
+            Request::Stats => {
+                let response = Response::Stats(stats_report(&ctx.registry));
+                if respond(stream, &response).is_err() {
+                    return;
+                }
+            }
+            Request::Shutdown => {
+                let _ = respond(stream, &Response::Ok);
+                ctx.begin_shutdown();
+                return;
+            }
+        }
+    }
+}
+
+fn respond(mut stream: &TcpStream, response: &Response) -> Result<(), FrameError> {
+    write_frame(&mut stream, &response.to_frame())
+}
+
+/// Routes one INFER through the registry: acquire (load-on-miss) →
+/// shed-load submit → wait → raw-bits output. Every failure mode maps
+/// to a typed response; nothing here closes the connection.
+fn serve_infer(ctx: &Ctx, model: &str, input: &[f32]) -> Response {
+    if ctx.shutdown.is_fired() {
+        return Response::Error {
+            code: ErrorCode::ShuttingDown,
+            message: "server is draining".into(),
+        };
+    }
+    let server = match ctx.registry.acquire(model) {
+        Ok(server) => server,
+        Err(e @ RegistryError::UnknownModel { .. }) => {
+            return Response::Error {
+                code: ErrorCode::UnknownModel,
+                message: e.to_string(),
+            }
+        }
+        Err(e) => {
+            return Response::Error {
+                code: ErrorCode::LoadFailed,
+                message: e.to_string(),
+            }
+        }
+    };
+    match server.try_submit(input) {
+        Ok(pending) => {
+            let result = pending.wait();
+            Response::Output(OutputReport {
+                outputs: result.outputs.iter().map(|q| q.raw()).collect(),
+                queue_us: result.queue_us,
+                latency_us: result.latency_us,
+                coalesced: result.coalesced as u32,
+                worker: result.worker as u32,
+            })
+        }
+        Err(SubmitError::QueueFull { depth }) => Response::Overloaded {
+            depth: depth as u32,
+        },
+        Err(e @ SubmitError::ShuttingDown) => Response::Error {
+            code: ErrorCode::ShuttingDown,
+            message: e.to_string(),
+        },
+        Err(e @ SubmitError::BadInputLength { .. }) => Response::Error {
+            code: ErrorCode::BadInput,
+            message: e.to_string(),
+        },
+    }
+}
+
+/// Builds the STATS payload: live serving percentiles merged across
+/// resident models + registry occupancy, one lock-free-for-routing
+/// snapshot.
+fn stats_report(registry: &ModelRegistry) -> StatsReport {
+    let (serving, queued) = registry.serving_snapshot();
+    let occupancy = registry.stats();
+    StatsReport {
+        requests: serving.requests,
+        batches: serving.batches,
+        max_coalesced: serving.max_coalesced as u32,
+        queue_depth: queued as u32,
+        models_registered: occupancy.registered as u32,
+        models_resident: occupancy.resident as u32,
+        resident_bytes: occupancy.resident_bytes as u64,
+        budget_bytes: if occupancy.budget_bytes == usize::MAX {
+            u64::MAX
+        } else {
+            occupancy.budget_bytes as u64
+        },
+        loads: occupancy.loads,
+        evictions: occupancy.evictions,
+        p50_us: serving.p50(),
+        p95_us: serving.p95(),
+        p99_us: serving.p99(),
+        mean_queue_us: serving.mean_queue_us(),
+        frames_per_second: serving.frames_per_second(),
+    }
+}
+
+/// Why a [`Client`] call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Frame(FrameError),
+    /// The server closed the connection before answering.
+    Disconnected,
+    /// The server answered with a response kind the typed helper did
+    /// not expect (e.g. an error frame where [`Client::stats`] wanted
+    /// statistics).
+    Unexpected {
+        /// What the helper was waiting for.
+        expected: &'static str,
+        /// The response actually received.
+        got: Box<Response>,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "client transport failed: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection mid-request"),
+            ClientError::Unexpected { expected, got } => {
+                write!(f, "expected {expected}, server answered {got:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// A blocking connection to a [`NetServer`]: one request in flight at a
+/// time, matching the server's per-connection loop. Open more clients
+/// for concurrency.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a serving node.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from the connect.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        // Serving frames are small and latency-bound.
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Frame`] on transport/framing failure,
+    /// [`ClientError::Disconnected`] if the server closed instead of
+    /// answering.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.to_frame())?;
+        let body = read_frame(&mut self.stream)?.ok_or(ClientError::Disconnected)?;
+        Ok(Response::from_body(&body)?)
+    }
+
+    /// Runs one input through the named model. The returned
+    /// [`Response`] is the full typed answer — output, overloaded, or
+    /// error — so callers own the retry policy.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failures only (see [`Client::request`]);
+    /// server-side refusals arrive as `Ok(Response::...)`.
+    pub fn infer(&mut self, model: &str, input: &[f32]) -> Result<Response, ClientError> {
+        self.request(&Request::Infer {
+            model: model.into(),
+            input: input.to_vec(),
+        })
+    }
+
+    /// Convenience: [`infer`](Self::infer), converting the raw Q8.8
+    /// output words back to typed activations. Non-output answers
+    /// surface as [`ClientError::Unexpected`].
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, plus [`ClientError::Unexpected`] for
+    /// overload or error responses.
+    pub fn infer_outputs(&mut self, model: &str, input: &[f32]) -> Result<Vec<Q8p8>, ClientError> {
+        match self.infer(model, input)? {
+            Response::Output(out) => {
+                Ok(out.outputs.iter().map(|&raw| Q8p8::from_raw(raw)).collect())
+            }
+            other => Err(ClientError::Unexpected {
+                expected: "an inference output",
+                got: Box::new(other),
+            }),
+        }
+    }
+
+    /// Fetches the server's live statistics.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, plus [`ClientError::Unexpected`] if the
+    /// server answered anything but a statistics frame.
+    pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(report) => Ok(report),
+            other => Err(ClientError::Unexpected {
+                expected: "a statistics report",
+                got: Box::new(other),
+            }),
+        }
+    }
+
+    /// Asks the server to drain and exit; returns once acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, plus [`ClientError::Unexpected`] if the
+    /// server answered anything but an acknowledgement.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            other => Err(ClientError::Unexpected {
+                expected: "a shutdown acknowledgement",
+                got: Box::new(other),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use eie_core::nn::zoo::random_sparse;
+    use eie_core::{CompiledModel, EieConfig};
+
+    fn toy_registry() -> ModelRegistry {
+        let w = random_sparse(16, 12, 0.25, 3);
+        let model = CompiledModel::compile_layer(EieConfig::default().with_num_pes(4), &w);
+        let registry = ModelRegistry::new(ServerConfig::default().with_max_wait_us(500));
+        registry.register_model("toy", &model).unwrap();
+        registry
+    }
+
+    #[test]
+    fn unknown_model_and_bad_input_keep_the_connection_open() {
+        let server = NetServer::bind("127.0.0.1:0", toy_registry()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+
+        match client.infer("nope", &[0.0; 12]).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownModel),
+            other => panic!("expected unknown-model error, got {other:?}"),
+        }
+        match client.infer("toy", &[0.0; 5]).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadInput),
+            other => panic!("expected bad-input error, got {other:?}"),
+        }
+        // Same connection still serves real work afterwards.
+        let outputs = client.infer_outputs("toy", &[0.25; 12]).unwrap();
+        assert_eq!(outputs.len(), 16);
+
+        let stats = server.stop();
+        assert_eq!(stats.requests, 1, "only the valid request was served");
+    }
+
+    #[test]
+    fn malformed_frame_gets_typed_error_then_close() {
+        use std::io::Write;
+
+        let server = NetServer::bind("127.0.0.1:0", toy_registry()).unwrap();
+        let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+        // A frame whose body claims the right magic but a bogus version.
+        let mut body = Vec::from(crate::protocol::FRAME_MAGIC);
+        body.push(99);
+        body.push(0x01);
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&body);
+        raw.write_all(&wire).unwrap();
+        raw.flush().unwrap();
+
+        let reply = read_frame(&mut raw).unwrap().expect("typed error frame");
+        match Response::from_body(&reply).unwrap() {
+            Response::Error { code, message } => {
+                assert_eq!(code, ErrorCode::Malformed);
+                assert!(message.contains("version"), "message was {message:?}");
+            }
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+        // ...and the server closes the stream.
+        assert!(matches!(read_frame(&mut raw), Ok(None)));
+        server.stop();
+    }
+
+    #[test]
+    fn stats_reflect_registry_occupancy() {
+        let server = NetServer::bind("127.0.0.1:0", toy_registry()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+
+        let before = client.stats().unwrap();
+        assert_eq!(before.models_registered, 1);
+        assert_eq!(before.models_resident, 0, "nothing loads until routed to");
+        assert_eq!(before.budget_bytes, u64::MAX);
+
+        client.infer_outputs("toy", &[0.5; 12]).unwrap();
+        let after = client.stats().unwrap();
+        assert_eq!(after.models_resident, 1);
+        assert_eq!(after.requests, 1);
+        assert_eq!(after.loads, 1);
+        assert!(after.resident_bytes > 0);
+        server.stop();
+    }
+
+    #[test]
+    fn shutdown_frame_stops_the_node() {
+        let server = NetServer::bind("127.0.0.1:0", toy_registry()).unwrap();
+        let addr = server.local_addr();
+        let mut client = Client::connect(addr).unwrap();
+        client.infer_outputs("toy", &[1.0; 12]).unwrap();
+        client.shutdown_server().unwrap();
+
+        server.wait_for_shutdown();
+        assert!(server.is_shutting_down());
+        let stats = server.stop();
+        assert_eq!(stats.requests, 1);
+
+        // The listener is gone: a fresh connection gets refused or
+        // dropped without an answer.
+        match Client::connect(addr) {
+            Err(_) => {}
+            Ok(mut late) => assert!(late.stats().is_err()),
+        }
+    }
+}

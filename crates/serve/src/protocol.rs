@@ -1,0 +1,787 @@
+//! The wire protocol of the network serving front-end: length-prefixed
+//! binary frames, hand-rolled like every codec in this workspace (the
+//! build is offline; no serde, no HTTP stack).
+//!
+//! # Frame layout (all integers little-endian)
+//!
+//! ```text
+//! frame := body_len u32 | body               (body_len ≤ MAX_BODY)
+//! body  := magic "EIEW" | version u8 | kind u8 | payload
+//! ```
+//!
+//! Request payloads:
+//!
+//! | kind | name     | payload                                        |
+//! |------|----------|------------------------------------------------|
+//! | 0x01 | INFER    | `name_len u16 \| name utf-8 \| n u32 \| f32 × n` |
+//! | 0x02 | STATS    | empty                                          |
+//! | 0x03 | SHUTDOWN | empty                                          |
+//!
+//! Response payloads:
+//!
+//! | kind | name       | payload                                              |
+//! |------|------------|------------------------------------------------------|
+//! | 0x81 | OUTPUT     | `queue_us f64 \| latency_us f64 \| coalesced u32 \| worker u32 \| n u32 \| i16 × n` (raw Q8.8) |
+//! | 0x82 | STATS      | [`StatsReport`] fields in declaration order          |
+//! | 0x83 | OVERLOADED | `depth u32` (the queue bound that shed the request)  |
+//! | 0x84 | ERROR      | `code u8 \| msg_len u16 \| msg utf-8`                |
+//! | 0x85 | OK         | empty                                                |
+//!
+//! Output activations travel as **raw `Q8p8` bits** (`i16`), so the
+//! network boundary cannot perturb the bit-exactness invariant: the
+//! client reassembles exactly the words the worker wrote.
+//!
+//! Decoding is strict and total: every malformed input — truncation at
+//! any byte, an oversized length prefix, bad magic, an unknown kind,
+//! trailing bytes, invalid UTF-8, non-finite activations — returns a
+//! typed [`FrameError`]; nothing panics on untrusted bytes. The
+//! protocol property test sweeps all of these.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Magic bytes heading every frame body ("EIE Wire").
+pub const FRAME_MAGIC: [u8; 4] = *b"EIEW";
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on a frame body. Large enough for a 1M-activation INFER
+/// (4 MiB of `f32`) with room to spare; small enough that a corrupt or
+/// hostile length prefix cannot make the reader allocate unboundedly.
+pub const MAX_BODY: usize = 16 << 20;
+
+const KIND_INFER: u8 = 0x01;
+const KIND_STATS_REQ: u8 = 0x02;
+const KIND_SHUTDOWN: u8 = 0x03;
+const KIND_OUTPUT: u8 = 0x81;
+const KIND_STATS_RSP: u8 = 0x82;
+const KIND_OVERLOADED: u8 = 0x83;
+const KIND_ERROR: u8 = 0x84;
+const KIND_OK: u8 = 0x85;
+
+/// A request frame, client → server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run one input vector through the named model.
+    Infer {
+        /// Registry name of the model to route to.
+        model: String,
+        /// Input activations (quantized to Q8.8 server-side, exactly as
+        /// an in-process [`ModelServer::submit`](crate::ModelServer::submit)
+        /// would).
+        input: Vec<f32>,
+    },
+    /// Ask for the server's live statistics.
+    Stats,
+    /// Ask the server to drain and exit (answered with
+    /// [`Response::Ok`] before the listener closes).
+    Shutdown,
+}
+
+/// A response frame, server → client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A completed inference.
+    Output(OutputReport),
+    /// The model's bounded queue was full: the request was shed by
+    /// admission control and never queued. The client owns the retry
+    /// policy.
+    Overloaded {
+        /// The configured queue depth that was hit.
+        depth: u32,
+    },
+    /// The request failed.
+    Error {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Live server statistics.
+    Stats(StatsReport),
+    /// Acknowledgement with no payload (shutdown).
+    Ok,
+}
+
+/// The payload of [`Response::Output`]: the served result plus the same
+/// per-request timing a local [`RequestResult`](crate::RequestResult)
+/// carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputReport {
+    /// Output activations as raw Q8.8 bit patterns — bit-identical to
+    /// the serving worker's writeback.
+    pub outputs: Vec<i16>,
+    /// Time the request spent queued server-side, µs.
+    pub queue_us: f64,
+    /// Submission-to-completion time server-side, µs.
+    pub latency_us: f64,
+    /// How many requests rode in the same micro-batch (≥ 1).
+    pub coalesced: u32,
+    /// Which worker executed it.
+    pub worker: u32,
+}
+
+/// The payload of [`Response::Stats`]: reservoir percentiles, queue
+/// depth and registry occupancy in one snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StatsReport {
+    /// Requests served to completion, summed over resident models.
+    pub requests: u64,
+    /// Micro-batches executed, summed over resident models.
+    pub batches: u64,
+    /// Largest micro-batch observed on any model.
+    pub max_coalesced: u32,
+    /// Requests queued but unclaimed right now, summed over models.
+    pub queue_depth: u32,
+    /// Models the registry knows about.
+    pub models_registered: u32,
+    /// Models currently resident (loaded, workers running).
+    pub models_resident: u32,
+    /// Artifact bytes of the resident models.
+    pub resident_bytes: u64,
+    /// The registry's residency budget (`u64::MAX` = unbounded).
+    pub budget_bytes: u64,
+    /// Artifact loads since startup (cold starts + reloads).
+    pub loads: u64,
+    /// Models evicted since startup.
+    pub evictions: u64,
+    /// Median end-to-end request latency, µs (reservoir-sampled).
+    pub p50_us: f64,
+    /// 95th-percentile request latency, µs.
+    pub p95_us: f64,
+    /// 99th-percentile request latency, µs.
+    pub p99_us: f64,
+    /// Mean server-side queue time, µs.
+    pub mean_queue_us: f64,
+    /// Aggregate throughput since startup, frames/s.
+    pub frames_per_second: f64,
+}
+
+/// Machine-readable failure class of a [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request named a model the registry does not know.
+    UnknownModel,
+    /// The input length does not match the model's input dimension.
+    BadInput,
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+    /// The model is registered but its artifact failed to load.
+    LoadFailed,
+    /// The connection sent bytes the server could not parse (the
+    /// server answers with this, then closes the stream — framing
+    /// cannot be trusted after a malformed frame).
+    Malformed,
+}
+
+impl ErrorCode {
+    fn to_wire(self) -> u8 {
+        match self {
+            ErrorCode::UnknownModel => 1,
+            ErrorCode::BadInput => 2,
+            ErrorCode::ShuttingDown => 3,
+            ErrorCode::LoadFailed => 4,
+            ErrorCode::Malformed => 5,
+        }
+    }
+
+    fn from_wire(code: u8) -> Option<Self> {
+        Some(match code {
+            1 => ErrorCode::UnknownModel,
+            2 => ErrorCode::BadInput,
+            3 => ErrorCode::ShuttingDown,
+            4 => ErrorCode::LoadFailed,
+            5 => ErrorCode::Malformed,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorCode::UnknownModel => write!(f, "unknown model"),
+            ErrorCode::BadInput => write!(f, "bad input"),
+            ErrorCode::ShuttingDown => write!(f, "shutting down"),
+            ErrorCode::LoadFailed => write!(f, "model load failed"),
+            ErrorCode::Malformed => write!(f, "malformed frame"),
+        }
+    }
+}
+
+/// Failure to read or decode a frame. Every malformed input maps to a
+/// typed variant; decoding never panics.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// The frame body does not start with [`FRAME_MAGIC`].
+    BadMagic,
+    /// The frame was written by a protocol version this build does not
+    /// speak.
+    UnsupportedVersion {
+        /// Version found in the frame.
+        found: u8,
+        /// Version this build speaks.
+        supported: u8,
+    },
+    /// The frame kind is not a known request/response type.
+    UnknownKind(u8),
+    /// The body ended before the declared payload.
+    Truncated {
+        /// Byte offset (within the body) at which data ran out.
+        offset: usize,
+        /// Which payload section was being read.
+        section: &'static str,
+    },
+    /// The length prefix exceeds [`MAX_BODY`].
+    Oversized {
+        /// The declared body length.
+        len: usize,
+        /// The protocol bound.
+        max: usize,
+    },
+    /// A payload field holds an impossible value (invalid UTF-8,
+    /// non-finite activation, unknown error code, trailing bytes…).
+    BadPayload {
+        /// Which field was invalid.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O failed: {e}"),
+            FrameError::BadMagic => write!(f, "not an EIE wire frame (bad magic)"),
+            FrameError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported protocol version {found} (this build speaks {supported})"
+            ),
+            FrameError::UnknownKind(kind) => write!(f, "unknown frame kind {kind:#04x}"),
+            FrameError::Truncated { offset, section } => {
+                write!(
+                    f,
+                    "frame truncated at byte {offset} while reading {section}"
+                )
+            }
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame body of {len} bytes exceeds the {max}-byte bound")
+            }
+            FrameError::BadPayload { field } => write!(f, "invalid frame field: {field}"),
+        }
+    }
+}
+
+impl Error for FrameError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// A little-endian cursor over one frame body, with section attribution
+/// for truncation errors (the wire counterpart of the readers in the
+/// artifact and layer-image codecs).
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self {
+            bytes,
+            pos: 0,
+            section: "magic",
+        }
+    }
+
+    fn enter(&mut self, section: &'static str) {
+        self.section = section;
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(FrameError::Truncated {
+                offset: self.pos,
+                section: self.section,
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("take(8)")))
+    }
+
+    fn i16(&mut self) -> Result<i16, FrameError> {
+        let b = self.take(2)?;
+        Ok(i16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn f32(&mut self) -> Result<f32, FrameError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn f64(&mut self) -> Result<f64, FrameError> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("take(8)")))
+    }
+
+    /// The strict tail check: a valid frame's payload is consumed
+    /// exactly.
+    fn finish(self) -> Result<(), FrameError> {
+        if self.pos != self.bytes.len() {
+            return Err(FrameError::BadPayload {
+                field: "trailing bytes",
+            });
+        }
+        Ok(())
+    }
+}
+
+fn body_header(kind: u8) -> Vec<u8> {
+    let mut body = Vec::with_capacity(64);
+    body.extend_from_slice(&FRAME_MAGIC);
+    body.push(PROTOCOL_VERSION);
+    body.push(kind);
+    body
+}
+
+/// Wraps a finished body in its length prefix: the bytes that go on the
+/// wire.
+fn frame(body: Vec<u8>) -> Vec<u8> {
+    debug_assert!(body.len() <= MAX_BODY, "frame body exceeds MAX_BODY");
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Validates magic + version, returning the kind and payload reader.
+fn open_body(body: &[u8]) -> Result<(u8, Reader<'_>), FrameError> {
+    let mut r = Reader::new(body);
+    if r.take(4)? != FRAME_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    r.enter("header");
+    let version = r.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(FrameError::UnsupportedVersion {
+            found: version,
+            supported: PROTOCOL_VERSION,
+        });
+    }
+    let kind = r.u8()?;
+    Ok((kind, r))
+}
+
+impl Request {
+    /// Serializes the request into a complete wire frame (length prefix
+    /// included).
+    pub fn to_frame(&self) -> Vec<u8> {
+        match self {
+            Request::Infer { model, input } => {
+                let mut body = body_header(KIND_INFER);
+                assert!(
+                    model.len() <= u16::MAX as usize,
+                    "model name exceeds the u16 length field"
+                );
+                body.extend_from_slice(&(model.len() as u16).to_le_bytes());
+                body.extend_from_slice(model.as_bytes());
+                body.extend_from_slice(&(input.len() as u32).to_le_bytes());
+                for &v in input {
+                    body.extend_from_slice(&v.to_le_bytes());
+                }
+                frame(body)
+            }
+            Request::Stats => frame(body_header(KIND_STATS_REQ)),
+            Request::Shutdown => frame(body_header(KIND_SHUTDOWN)),
+        }
+    }
+
+    /// Decodes a frame body (the bytes after the length prefix).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`FrameError`] on any malformed input; never
+    /// panics.
+    pub fn from_body(body: &[u8]) -> Result<Request, FrameError> {
+        let (kind, mut r) = open_body(body)?;
+        let request = match kind {
+            KIND_INFER => {
+                r.enter("model name");
+                let name_len = r.u16()? as usize;
+                let model = std::str::from_utf8(r.take(name_len)?)
+                    .map_err(|_| FrameError::BadPayload {
+                        field: "model name",
+                    })?
+                    .to_owned();
+                r.enter("input");
+                let n = r.u32()? as usize;
+                // n is bounded by the already-enforced MAX_BODY, but cap
+                // the pre-allocation to what the body could actually hold.
+                let mut input = Vec::with_capacity(n.min(r.bytes.len() / 4 + 1));
+                for _ in 0..n {
+                    let v = r.f32()?;
+                    if !v.is_finite() {
+                        return Err(FrameError::BadPayload {
+                            field: "input activation",
+                        });
+                    }
+                    input.push(v);
+                }
+                Request::Infer { model, input }
+            }
+            KIND_STATS_REQ => Request::Stats,
+            KIND_SHUTDOWN => Request::Shutdown,
+            other => return Err(FrameError::UnknownKind(other)),
+        };
+        r.finish()?;
+        Ok(request)
+    }
+}
+
+impl Response {
+    /// Serializes the response into a complete wire frame (length
+    /// prefix included).
+    pub fn to_frame(&self) -> Vec<u8> {
+        match self {
+            Response::Output(o) => {
+                let mut body = body_header(KIND_OUTPUT);
+                body.extend_from_slice(&o.queue_us.to_le_bytes());
+                body.extend_from_slice(&o.latency_us.to_le_bytes());
+                body.extend_from_slice(&o.coalesced.to_le_bytes());
+                body.extend_from_slice(&o.worker.to_le_bytes());
+                body.extend_from_slice(&(o.outputs.len() as u32).to_le_bytes());
+                for &v in &o.outputs {
+                    body.extend_from_slice(&v.to_le_bytes());
+                }
+                frame(body)
+            }
+            Response::Overloaded { depth } => {
+                let mut body = body_header(KIND_OVERLOADED);
+                body.extend_from_slice(&depth.to_le_bytes());
+                frame(body)
+            }
+            Response::Error { code, message } => {
+                let mut body = body_header(KIND_ERROR);
+                body.push(code.to_wire());
+                assert!(
+                    message.len() <= u16::MAX as usize,
+                    "error message exceeds the u16 length field"
+                );
+                body.extend_from_slice(&(message.len() as u16).to_le_bytes());
+                body.extend_from_slice(message.as_bytes());
+                frame(body)
+            }
+            Response::Stats(s) => {
+                let mut body = body_header(KIND_STATS_RSP);
+                body.extend_from_slice(&s.requests.to_le_bytes());
+                body.extend_from_slice(&s.batches.to_le_bytes());
+                body.extend_from_slice(&s.max_coalesced.to_le_bytes());
+                body.extend_from_slice(&s.queue_depth.to_le_bytes());
+                body.extend_from_slice(&s.models_registered.to_le_bytes());
+                body.extend_from_slice(&s.models_resident.to_le_bytes());
+                body.extend_from_slice(&s.resident_bytes.to_le_bytes());
+                body.extend_from_slice(&s.budget_bytes.to_le_bytes());
+                body.extend_from_slice(&s.loads.to_le_bytes());
+                body.extend_from_slice(&s.evictions.to_le_bytes());
+                body.extend_from_slice(&s.p50_us.to_le_bytes());
+                body.extend_from_slice(&s.p95_us.to_le_bytes());
+                body.extend_from_slice(&s.p99_us.to_le_bytes());
+                body.extend_from_slice(&s.mean_queue_us.to_le_bytes());
+                body.extend_from_slice(&s.frames_per_second.to_le_bytes());
+                frame(body)
+            }
+            Response::Ok => frame(body_header(KIND_OK)),
+        }
+    }
+
+    /// Decodes a frame body (the bytes after the length prefix).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`FrameError`] on any malformed input; never
+    /// panics.
+    pub fn from_body(body: &[u8]) -> Result<Response, FrameError> {
+        let (kind, mut r) = open_body(body)?;
+        let response = match kind {
+            KIND_OUTPUT => {
+                r.enter("output header");
+                let queue_us = r.f64()?;
+                let latency_us = r.f64()?;
+                let coalesced = r.u32()?;
+                let worker = r.u32()?;
+                r.enter("outputs");
+                let n = r.u32()? as usize;
+                let mut outputs = Vec::with_capacity(n.min(r.bytes.len() / 2 + 1));
+                for _ in 0..n {
+                    outputs.push(r.i16()?);
+                }
+                Response::Output(OutputReport {
+                    outputs,
+                    queue_us,
+                    latency_us,
+                    coalesced,
+                    worker,
+                })
+            }
+            KIND_OVERLOADED => {
+                r.enter("overloaded");
+                Response::Overloaded { depth: r.u32()? }
+            }
+            KIND_ERROR => {
+                r.enter("error");
+                let code = ErrorCode::from_wire(r.u8()?).ok_or(FrameError::BadPayload {
+                    field: "error code",
+                })?;
+                let msg_len = r.u16()? as usize;
+                let message = std::str::from_utf8(r.take(msg_len)?)
+                    .map_err(|_| FrameError::BadPayload {
+                        field: "error message",
+                    })?
+                    .to_owned();
+                Response::Error { code, message }
+            }
+            KIND_STATS_RSP => {
+                r.enter("stats");
+                Response::Stats(StatsReport {
+                    requests: r.u64()?,
+                    batches: r.u64()?,
+                    max_coalesced: r.u32()?,
+                    queue_depth: r.u32()?,
+                    models_registered: r.u32()?,
+                    models_resident: r.u32()?,
+                    resident_bytes: r.u64()?,
+                    budget_bytes: r.u64()?,
+                    loads: r.u64()?,
+                    evictions: r.u64()?,
+                    p50_us: r.f64()?,
+                    p95_us: r.f64()?,
+                    p99_us: r.f64()?,
+                    mean_queue_us: r.f64()?,
+                    frames_per_second: r.f64()?,
+                })
+            }
+            KIND_OK => Response::Ok,
+            other => return Err(FrameError::UnknownKind(other)),
+        };
+        r.finish()?;
+        Ok(response)
+    }
+}
+
+/// Reads one frame body from a stream.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (the peer closed between
+/// frames). A stream that ends *inside* a frame — mid-prefix or
+/// mid-body — is a [`FrameError::Truncated`]; a length prefix above
+/// [`MAX_BODY`] is rejected before any allocation.
+///
+/// # Errors
+///
+/// [`FrameError::Io`] on transport failure, or the typed framing errors
+/// above.
+pub fn read_frame(stream: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match stream.read(&mut prefix[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(None);
+                }
+                return Err(FrameError::Truncated {
+                    offset: got,
+                    section: "length prefix",
+                });
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_BODY {
+        return Err(FrameError::Oversized { len, max: MAX_BODY });
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated {
+                offset: 4,
+                section: "frame body",
+            }
+        } else {
+            FrameError::Io(e)
+        }
+    })?;
+    Ok(Some(body))
+}
+
+/// Writes one already-encoded frame (from [`Request::to_frame`] /
+/// [`Response::to_frame`]) to a stream.
+///
+/// # Errors
+///
+/// [`FrameError::Io`] on transport failure.
+pub fn write_frame(stream: &mut impl Write, frame: &[u8]) -> Result<(), FrameError> {
+    stream.write_all(frame)?;
+    stream.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strip_prefix(frame: &[u8]) -> &[u8] {
+        let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, frame.len() - 4, "length prefix disagrees with body");
+        &frame[4..]
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        for request in [
+            Request::Infer {
+                model: "alex7".into(),
+                input: vec![0.5, -1.25, 0.0],
+            },
+            Request::Infer {
+                model: String::new(),
+                input: vec![],
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ] {
+            let wire = request.to_frame();
+            assert_eq!(Request::from_body(strip_prefix(&wire)).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        for response in [
+            Response::Output(OutputReport {
+                outputs: vec![1, -2, i16::MAX, i16::MIN],
+                queue_us: 12.5,
+                latency_us: 99.0,
+                coalesced: 3,
+                worker: 1,
+            }),
+            Response::Overloaded { depth: 64 },
+            Response::Error {
+                code: ErrorCode::UnknownModel,
+                message: "no model \"x\"".into(),
+            },
+            Response::Stats(StatsReport {
+                requests: 10,
+                batches: 4,
+                p99_us: 123.0,
+                budget_bytes: u64::MAX,
+                ..Default::default()
+            }),
+            Response::Ok,
+        ] {
+            let wire = response.to_frame();
+            assert_eq!(Response::from_body(strip_prefix(&wire)).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn read_frame_handles_clean_eof_and_oversized_prefix() {
+        let mut empty: &[u8] = &[];
+        assert!(matches!(read_frame(&mut empty), Ok(None)));
+
+        let mut oversized: &[u8] = &(MAX_BODY as u32 + 1).to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut oversized),
+            Err(FrameError::Oversized { .. })
+        ));
+
+        let wire = Request::Stats.to_frame();
+        let mut cut: &[u8] = &wire[..wire.len() - 1];
+        assert!(matches!(
+            read_frame(&mut cut),
+            Err(FrameError::Truncated {
+                section: "frame body",
+                ..
+            })
+        ));
+        let mut mid_prefix: &[u8] = &wire[..2];
+        assert!(matches!(
+            read_frame(&mut mid_prefix),
+            Err(FrameError::Truncated {
+                section: "length prefix",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn stream_roundtrip_reassembles_multiple_frames() {
+        let a = Request::Infer {
+            model: "fc6".into(),
+            input: vec![1.0; 7],
+        };
+        let b = Request::Stats;
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &a.to_frame()).unwrap();
+        write_frame(&mut wire, &b.to_frame()).unwrap();
+        let mut stream: &[u8] = &wire;
+        let first = read_frame(&mut stream).unwrap().unwrap();
+        let second = read_frame(&mut stream).unwrap().unwrap();
+        assert_eq!(Request::from_body(&first).unwrap(), a);
+        assert_eq!(Request::from_body(&second).unwrap(), b);
+        assert!(matches!(read_frame(&mut stream), Ok(None)));
+    }
+
+    #[test]
+    fn error_display_names_the_problem() {
+        assert!(FrameError::BadMagic.to_string().contains("magic"));
+        assert!(FrameError::UnknownKind(0x7F).to_string().contains("0x7f"));
+        assert!(FrameError::Oversized {
+            len: MAX_BODY + 1,
+            max: MAX_BODY
+        }
+        .to_string()
+        .contains("exceeds"));
+        let e = FrameError::Truncated {
+            offset: 6,
+            section: "input",
+        };
+        assert!(e.to_string().contains("input"));
+    }
+}

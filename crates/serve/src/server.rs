@@ -2,7 +2,7 @@
 
 use std::fmt;
 use std::path::Path;
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -266,7 +266,11 @@ impl Reservoir {
     }
 }
 
-/// Per-worker tallies, merged into [`ServerStats`] at shutdown.
+/// Per-worker tallies, published through a shared `Mutex` so a live
+/// snapshot ([`ModelServer::stats_snapshot`]) and the final merge
+/// ([`ModelServer::shutdown`]) read the same numbers. The lock is taken
+/// once per micro-batch, not per request, so it costs the hot path one
+/// uncontended lock per batch.
 #[derive(Debug)]
 struct WorkerStats {
     requests: u64,
@@ -288,7 +292,8 @@ impl WorkerStats {
     }
 }
 
-/// Aggregate serving statistics, returned by [`ModelServer::shutdown`].
+/// Aggregate serving statistics, returned by [`ModelServer::shutdown`]
+/// and sampled live by [`ModelServer::stats_snapshot`].
 #[derive(Debug, Clone, Default)]
 pub struct ServerStats {
     /// Requests served to completion (exact count).
@@ -313,6 +318,35 @@ pub struct ServerStats {
 }
 
 impl ServerStats {
+    /// Folds one worker's tallies in. **Merge semantics (documented
+    /// caveat):** per-worker reservoirs are concatenated unweighted, so
+    /// once workers exceed reservoir capacity with *unequal* request
+    /// counts, the merged distribution weights each worker equally
+    /// rather than by traffic share. Pinned by a unit test so a future
+    /// weighted merge is a deliberate change.
+    fn absorb(&mut self, w: &WorkerStats) {
+        self.requests += w.requests;
+        self.batches += w.batches;
+        self.max_coalesced = self.max_coalesced.max(w.max_coalesced);
+        self.latencies_us.extend_from_slice(&w.latencies_us.samples);
+        self.queue_us.extend_from_slice(&w.queue_us.samples);
+    }
+
+    /// Folds another aggregate in — how a multi-model front-end rolls
+    /// per-model statistics into one report. Counters add; the sample
+    /// pools concatenate with the same equal-weight-per-sample caveat
+    /// as the worker merge; `wall_s` keeps the longer lifetime (the
+    /// models served concurrently, so lifetimes overlap rather than
+    /// add).
+    pub fn merge(&mut self, other: &ServerStats) {
+        self.requests += other.requests;
+        self.batches += other.batches;
+        self.max_coalesced = self.max_coalesced.max(other.max_coalesced);
+        self.latencies_us.extend_from_slice(&other.latencies_us);
+        self.queue_us.extend_from_slice(&other.queue_us);
+        self.wall_s = self.wall_s.max(other.wall_s);
+    }
+
     /// Mean requests per executed micro-batch (`0.0` before any batch).
     pub fn mean_coalesced(&self) -> f64 {
         if self.batches == 0 {
@@ -412,7 +446,10 @@ impl fmt::Display for ServerStats {
 pub struct ModelServer {
     model: Arc<CompiledModel>,
     queue: Arc<MicroBatchQueue<Request>>,
-    workers: Vec<JoinHandle<WorkerStats>>,
+    workers: Vec<JoinHandle<()>>,
+    /// One shared tally per worker, written once per micro-batch; read
+    /// by [`ModelServer::stats_snapshot`] and [`ModelServer::shutdown`].
+    worker_stats: Vec<Arc<Mutex<WorkerStats>>>,
     config: ServerConfig,
     started: Instant,
 }
@@ -434,10 +471,14 @@ impl ModelServer {
         let model = Arc::new(model);
         let queue = Arc::new(MicroBatchQueue::new(config.queue_depth));
         let max_wait = Duration::from_micros(config.max_wait_us);
+        let worker_stats: Vec<Arc<Mutex<WorkerStats>>> = (0..config.workers)
+            .map(|worker| Arc::new(Mutex::new(WorkerStats::new(worker))))
+            .collect();
         let workers = (0..config.workers)
             .map(|worker| {
                 let model = Arc::clone(&model);
                 let queue = Arc::clone(&queue);
+                let stats = Arc::clone(&worker_stats[worker]);
                 std::thread::Builder::new()
                     .name(format!("eie-serve-{worker}"))
                     .spawn(move || {
@@ -448,6 +489,7 @@ impl ModelServer {
                             &queue,
                             config.max_batch,
                             max_wait,
+                            &stats,
                         )
                     })
                     .expect("spawn serving worker")
@@ -457,6 +499,7 @@ impl ModelServer {
             model,
             queue,
             workers,
+            worker_stats,
             config,
             started: Instant::now(),
         }
@@ -533,6 +576,20 @@ impl ModelServer {
         ))
     }
 
+    /// A live view of the aggregate serving statistics: every worker's
+    /// published tallies merged over the server's lifetime *so far*,
+    /// without stopping anything — the number behind a serving
+    /// front-end's STATS endpoint. Requests inside a micro-batch a
+    /// worker is still executing are not yet counted.
+    pub fn stats_snapshot(&self) -> ServerStats {
+        let mut stats = ServerStats::default();
+        for worker in &self.worker_stats {
+            stats.absorb(&worker.lock().expect("worker stats poisoned"));
+        }
+        stats.wall_s = self.started.elapsed().as_secs_f64();
+        stats
+    }
+
     /// Gracefully shuts down: stops accepting requests, lets the
     /// workers drain everything already queued (every accepted request
     /// is answered), joins them, and returns the aggregate statistics.
@@ -542,19 +599,12 @@ impl ModelServer {
     /// Panics if a worker thread panicked.
     pub fn shutdown(mut self) -> ServerStats {
         self.queue.close();
-        let mut stats = ServerStats::default();
         // Take the handles so the Drop impl (which runs when `self` goes
         // out of scope here) finds nothing left to join.
         for handle in std::mem::take(&mut self.workers) {
-            let w = handle.join().expect("serving worker panicked");
-            stats.requests += w.requests;
-            stats.batches += w.batches;
-            stats.max_coalesced = stats.max_coalesced.max(w.max_coalesced);
-            stats.latencies_us.extend(w.latencies_us.samples);
-            stats.queue_us.extend(w.queue_us.samples);
+            handle.join().expect("serving worker panicked");
         }
-        stats.wall_s = self.started.elapsed().as_secs_f64();
-        stats
+        self.stats_snapshot()
     }
 }
 
@@ -586,14 +636,14 @@ fn worker_loop(
     queue: &MicroBatchQueue<Request>,
     max_batch: usize,
     max_wait: Duration,
-) -> WorkerStats {
+    shared: &Mutex<WorkerStats>,
+) {
     let backend = kind.instantiate(model.config());
     let layers: Vec<PlannedLayer<'_>> = if backend.wants_plans() {
         model.planned_layers()
     } else {
         model.layers().iter().map(PlannedLayer::unplanned).collect()
     };
-    let mut stats = WorkerStats::new(worker);
     while let Some(mut batch) = queue.pop_batch(max_batch, max_wait) {
         if batch.is_empty() {
             continue;
@@ -606,6 +656,7 @@ fn worker_loop(
         let runs = run_stack_planned(backend.as_ref(), &layers, &inputs);
         let done = Instant::now();
         let coalesced = batch.len();
+        let mut stats = shared.lock().expect("worker stats poisoned");
         stats.batches += 1;
         stats.max_coalesced = stats.max_coalesced.max(coalesced);
         for (request, run) in batch.into_iter().zip(runs) {
@@ -624,12 +675,52 @@ fn worker_loop(
             });
         }
     }
-    stats
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stats_merge_is_equal_weight_per_sample_not_per_traffic_share() {
+        // Pins the documented ServerStats::absorb caveat: per-worker
+        // reservoirs are concatenated unweighted. Worker A saw 4× the
+        // reservoir capacity of requests (its reservoir holds CAP
+        // samples of value 1000); worker B saw only 10 requests (10
+        // samples of value 0). A traffic-weighted merge would put the
+        // p50 at 1000 (B is 0.015% of traffic); the documented
+        // equal-weight concatenation keeps every one of B's samples. If
+        // this test starts failing, a weighted merge was introduced —
+        // make that change deliberately and update the ServerStats docs.
+        let mut a = WorkerStats::new(0);
+        for _ in 0..(4 * RESERVOIR_CAP as u64) {
+            a.requests += 1;
+            a.latencies_us.push(1000.0);
+            a.queue_us.push(1000.0);
+        }
+        let mut b = WorkerStats::new(1);
+        for _ in 0..10 {
+            b.requests += 1;
+            b.latencies_us.push(0.0);
+            b.queue_us.push(0.0);
+        }
+        let mut merged = ServerStats::default();
+        merged.absorb(&a);
+        merged.absorb(&b);
+        // Exact request counts survive the merge…
+        assert_eq!(merged.requests, 4 * RESERVOIR_CAP as u64 + 10);
+        // …but the sample pool is a plain concatenation: CAP from A
+        // (reservoir-bounded) plus all 10 of B, regardless of traffic.
+        assert_eq!(merged.latencies_us.len(), RESERVOIR_CAP + 10);
+        assert_eq!(
+            merged.latencies_us.iter().filter(|&&v| v == 0.0).count(),
+            10
+        );
+        // The percentile view is therefore over samples, not traffic:
+        // B's 10 zeros occupy the bottom ~0.06% of the merged pool.
+        assert_eq!(merged.percentile_latency_us(0.01), 0.0);
+        assert_eq!(merged.p50(), 1000.0);
+    }
 
     #[test]
     fn reservoir_is_exact_below_capacity_and_bounded_above() {

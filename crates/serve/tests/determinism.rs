@@ -6,9 +6,11 @@
 //! This is the acceptance criterion of the serving redesign: batching
 //! is a throughput decision, never a numerical one.
 
+use std::sync::Arc;
+
 use eie_core::nn::zoo::{random_sparse, sample_activations};
 use eie_core::{BackendKind, CompiledModel, EieConfig};
-use eie_serve::{ModelServer, ServerConfig};
+use eie_serve::{Client, ModelRegistry, ModelServer, NetServer, ServerConfig};
 use proptest::prelude::*;
 
 /// Strategy: a 1–2 layer model, a request load, and a serving policy
@@ -134,5 +136,130 @@ proptest! {
                 i, backend, workers, max_batch, max_wait_us, submitters
             );
         }
+    }
+}
+
+/// Strategy for the networked variant: N client connections × M models
+/// behind one TCP node, with a serving policy drawn like the in-process
+/// case.
+#[allow(clippy::type_complexity)]
+fn arb_net_case() -> impl Strategy<
+    Value = (
+        usize,       // models (1..=2)
+        u64,         // weight seed
+        usize,       // requests per client
+        u64,         // input seed
+        BackendKind, // worker backend
+        usize,       // workers per model
+        usize,       // max_batch
+        usize,       // client connections
+    ),
+> {
+    (
+        1usize..=2,
+        any::<u64>(),
+        1usize..10,
+        any::<u64>(),
+        prop_oneof![
+            Just(BackendKind::Functional),
+            Just(BackendKind::NativeCpu(2)),
+        ],
+        1usize..3,
+        1usize..7,
+        1usize..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The same invariant with a real loopback socket in the middle:
+    /// however concurrent client connections interleave requests across
+    /// models, and however each model's micro-batcher coalesces them,
+    /// every wire response reassembles bit-identical to the
+    /// one-at-a-time functional golden run. The frame codec carries raw
+    /// Q8.8 words, so the network must be numerically invisible.
+    #[test]
+    fn network_serving_never_changes_outputs(
+        (num_models, weight_seed, requests, input_seed, backend, workers, max_batch, clients)
+            in arb_net_case()
+    ) {
+        let shapes: [&[usize]; 2] = [&[20, 14], &[16, 24, 12]];
+        let models: Vec<(String, Arc<CompiledModel>)> = (0..num_models)
+            .map(|m| {
+                let weights: Vec<_> = shapes[m]
+                    .windows(2)
+                    .enumerate()
+                    .map(|(i, pair)| {
+                        let mut seed = weight_seed.wrapping_add((m * 10 + i) as u64);
+                        let mut w = random_sparse(pair[1], pair[0], 0.3, seed);
+                        while w.nnz() == 0 {
+                            seed = seed.wrapping_add(0x9E37_79B9);
+                            w = random_sparse(pair[1], pair[0], 0.4, seed);
+                        }
+                        w
+                    })
+                    .collect();
+                let refs: Vec<_> = weights.iter().collect();
+                let model = CompiledModel::compile(EieConfig::default().with_num_pes(4), &refs);
+                (format!("m{m}"), Arc::new(model))
+            })
+            .collect();
+
+        let registry = ModelRegistry::new(
+            ServerConfig::default()
+                .with_backend(backend)
+                .with_workers(workers)
+                .with_max_batch(max_batch)
+                .with_max_wait_us(400)
+                .with_queue_depth(64),
+        );
+        for (name, model) in &models {
+            registry.register_model(name.clone(), model.as_ref()).unwrap();
+        }
+        let server = NetServer::bind("127.0.0.1:0", registry).expect("bind");
+        let addr = server.local_addr();
+
+        let failures: Vec<String> = std::thread::scope(|scope| {
+            let models = &models;
+            let handles: Vec<_> = (0..clients)
+                .map(|t| {
+                    scope.spawn(move || -> Result<(), String> {
+                        let mut client =
+                            Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                        for j in 0..requests {
+                            let (name, model) = &models[(t + j) % models.len()];
+                            let input = sample_activations(
+                                model.input_dim(),
+                                0.5,
+                                true,
+                                input_seed.wrapping_add((t * requests + j) as u64),
+                            );
+                            let served = client
+                                .infer_outputs(name, &input)
+                                .map_err(|e| format!("client {t} request {j}: {e}"))?;
+                            let golden =
+                                model.infer(BackendKind::Functional).submit_one(&input);
+                            if served != golden.outputs(0) {
+                                return Err(format!(
+                                    "client {t} request {j} to {name:?} diverged from the \
+                                     one-at-a-time golden run"
+                                ));
+                            }
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|h| h.join().expect("client thread panicked").err())
+                .collect()
+        });
+        prop_assert!(failures.is_empty(), "{}", failures.join("; "));
+
+        let stats = server.stop();
+        prop_assert_eq!(stats.requests as usize, clients * requests);
+        prop_assert!(stats.max_coalesced <= max_batch);
     }
 }

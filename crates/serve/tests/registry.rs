@@ -1,0 +1,249 @@
+//! Registry residency tests: LRU-by-bytes eviction order, pinning of
+//! in-flight models, and bit-exact reload after eviction. The byte
+//! budget is the knob that lets many compressed models share one box —
+//! these tests pin exactly what it may and may not evict.
+
+use eie_core::nn::zoo::{random_sparse, sample_activations};
+use eie_core::{CompiledModel, EieConfig};
+use eie_serve::{ModelRegistry, RegistryError, ServerConfig};
+
+/// A small model whose artifact size is deterministic for a seed.
+fn toy_model(rows: usize, cols: usize, seed: u64) -> CompiledModel {
+    let w = random_sparse(rows, cols, 0.3, seed);
+    CompiledModel::compile_layer(EieConfig::default().with_num_pes(4), &w)
+}
+
+fn quick_config() -> ServerConfig {
+    ServerConfig::default()
+        .with_workers(1)
+        .with_max_wait_us(200)
+}
+
+/// Three same-shape models behind a budget that fits exactly two:
+/// every admission past capacity evicts the least recently *used*
+/// model, not the least recently loaded one.
+#[test]
+fn eviction_follows_lru_order_by_last_use() {
+    let a = toy_model(24, 16, 1);
+    let b = toy_model(24, 16, 2);
+    let c = toy_model(24, 16, 3);
+    // Any two models fit; all three never do: total minus half the
+    // smallest is above every pairwise sum and below the full sum.
+    let sizes = [a.artifact_bytes(), b.artifact_bytes(), c.artifact_bytes()];
+    let budget = sizes.iter().sum::<usize>() - sizes.iter().min().unwrap() / 2;
+    let registry = ModelRegistry::new(quick_config()).with_budget_bytes(budget);
+    registry.register_model("a", &a).unwrap();
+    registry.register_model("b", &b).unwrap();
+    registry.register_model("c", &c).unwrap();
+
+    // Load a then b; drop both leases so neither is pinned.
+    drop(registry.acquire("a").unwrap());
+    drop(registry.acquire("b").unwrap());
+    assert!(registry.is_resident("a") && registry.is_resident("b"));
+    assert_eq!(registry.stats().evictions, 0);
+
+    // c does not fit: a is the least recently used and must go.
+    drop(registry.acquire("c").unwrap());
+    assert!(!registry.is_resident("a"), "LRU victim was not evicted");
+    assert!(registry.is_resident("b") && registry.is_resident("c"));
+    assert_eq!(registry.stats().evictions, 1);
+
+    // Touch b (a *use*, not a load) — now c is least recently used, so
+    // re-admitting a must evict c, not b.
+    drop(registry.acquire("b").unwrap());
+    drop(registry.acquire("a").unwrap());
+    assert!(!registry.is_resident("c"), "LRU order ignored the b touch");
+    assert!(registry.is_resident("a") && registry.is_resident("b"));
+
+    let stats = registry.stats();
+    assert_eq!(stats.evictions, 2);
+    assert_eq!(stats.loads, 4, "a, b, c cold + a reload");
+    assert_eq!(stats.hits, 1, "only the b touch was answered warm");
+    assert!(stats.resident_bytes <= stats.budget_bytes);
+}
+
+/// A model with an outstanding lease (requests possibly in flight) is
+/// pinned: admission pressure may exceed the budget but never severs
+/// it.
+#[test]
+fn pinned_models_are_never_evicted() {
+    let a = toy_model(24, 16, 10);
+    let bytes = a.artifact_bytes();
+    // Budget fits exactly one model.
+    let registry = ModelRegistry::new(quick_config()).with_budget_bytes(bytes + bytes / 2);
+    registry.register_model("a", &a).unwrap();
+    registry
+        .register_model("b", &toy_model(24, 16, 11))
+        .unwrap();
+
+    let lease = registry.acquire("a").unwrap();
+    let pending = lease.submit(&[0.5; 16]).unwrap();
+
+    // b does not fit next to a, and a is pinned: the registry admits b
+    // anyway (the budget bounds cold residency, not a pinned burst).
+    drop(registry.acquire("b").unwrap());
+    assert!(registry.is_resident("a"), "pinned model was evicted");
+    assert!(registry.is_resident("b"));
+    assert_eq!(registry.stats().evictions, 0);
+    assert!(
+        registry.stats().resident_bytes > registry.stats().budget_bytes,
+        "a pinned burst exceeds the budget rather than severing leases"
+    );
+
+    // The in-flight request on the pinned model completes normally.
+    assert_eq!(pending.wait().outputs.len(), 24);
+    drop(lease);
+
+    // Once unpinned, the next admission can evict a again.
+    registry
+        .register_model("c", &toy_model(24, 16, 12))
+        .unwrap();
+    drop(registry.acquire("c").unwrap());
+    assert!(!registry.is_resident("a") || !registry.is_resident("b"));
+    assert!(registry.stats().evictions >= 1);
+}
+
+/// Evict → re-acquire reloads from the stored artifact and serves
+/// outputs bit-identical to the first residency — eviction is a memory
+/// decision, never a numerical one.
+#[test]
+fn reload_after_eviction_is_bit_exact() {
+    let a = toy_model(32, 20, 21);
+    let bytes = a.artifact_bytes();
+    let registry = ModelRegistry::new(quick_config()).with_budget_bytes(bytes + bytes / 2);
+    registry.register_model("a", &a).unwrap();
+    registry
+        .register_model("filler", &toy_model(32, 20, 22))
+        .unwrap();
+
+    let inputs: Vec<Vec<f32>> = (0..4)
+        .map(|i| sample_activations(20, 0.5, true, 100 + i))
+        .collect();
+
+    let first: Vec<_> = {
+        let server = registry.acquire("a").unwrap();
+        inputs
+            .iter()
+            .map(|input| server.submit(input).unwrap().wait().outputs)
+            .collect()
+    };
+
+    // Force a out by loading the filler.
+    drop(registry.acquire("filler").unwrap());
+    assert!(!registry.is_resident("a"), "eviction did not happen");
+
+    let second: Vec<_> = {
+        let server = registry.acquire("a").unwrap();
+        inputs
+            .iter()
+            .map(|input| server.submit(input).unwrap().wait().outputs)
+            .collect()
+    };
+    assert_eq!(first, second, "reload after eviction changed outputs");
+    assert_eq!(registry.stats().loads, 3, "a cold, filler cold, a reload");
+}
+
+/// Eviction retires a server's final tallies into the registry's
+/// lifetime statistics instead of losing them: the STATS a network
+/// client sees counts every request ever served, not just the requests
+/// of currently-resident models.
+#[test]
+fn lifetime_stats_survive_eviction() {
+    let a = toy_model(24, 16, 50);
+    let bytes = a.artifact_bytes();
+    let registry = ModelRegistry::new(quick_config()).with_budget_bytes(bytes + bytes / 2);
+    registry.register_model("a", &a).unwrap();
+    registry
+        .register_model("filler", &toy_model(24, 16, 51))
+        .unwrap();
+
+    {
+        let server = registry.acquire("a").unwrap();
+        for i in 0..5 {
+            server
+                .submit(&sample_activations(16, 0.5, false, i))
+                .unwrap()
+                .wait();
+        }
+    }
+    drop(registry.acquire("filler").unwrap());
+    assert!(!registry.is_resident("a"));
+
+    let (stats, _) = registry.serving_snapshot();
+    assert_eq!(
+        stats.requests, 5,
+        "evicted model's requests vanished from the snapshot"
+    );
+    assert_eq!(
+        registry.drain().requests,
+        5,
+        "evicted model's requests vanished from drain"
+    );
+    // Drain resets the lifetime tallies.
+    assert_eq!(registry.serving_snapshot().0.requests, 0);
+}
+
+/// The registry's error surface: unknown names, duplicate registration,
+/// and artifacts that fail to load (typed, with the model named).
+#[test]
+fn registry_errors_are_typed() {
+    let registry = ModelRegistry::new(quick_config());
+    assert!(matches!(
+        registry.acquire("ghost"),
+        Err(RegistryError::UnknownModel { name }) if name == "ghost"
+    ));
+
+    registry
+        .register_model("a", &toy_model(16, 12, 30))
+        .unwrap();
+    assert!(matches!(
+        registry.register_model("a", &toy_model(16, 12, 31)),
+        Err(RegistryError::DuplicateName { name }) if name == "a"
+    ));
+
+    // Registration is lazy: a bad path only fails on first acquire, and
+    // the registry stays usable afterwards.
+    registry
+        .register_file("broken", "/nonexistent/model.eie")
+        .unwrap();
+    assert!(matches!(
+        registry.acquire("broken"),
+        Err(RegistryError::Load { name, .. }) if name == "broken"
+    ));
+    assert!(!registry.is_resident("broken"));
+    assert!(registry.acquire("a").is_ok());
+    assert_eq!(
+        registry.names(),
+        vec!["a".to_string(), "broken".to_string()]
+    );
+}
+
+/// Draining answers every queued request, resets residency but not
+/// registration, and a later acquire re-loads cleanly.
+#[test]
+fn drain_resets_residency_not_registration() {
+    let registry = ModelRegistry::new(quick_config());
+    registry
+        .register_model("a", &toy_model(24, 16, 40))
+        .unwrap();
+
+    let server = registry.acquire("a").unwrap();
+    let pending: Vec<_> = (0..8)
+        .map(|i| {
+            server
+                .submit(&sample_activations(16, 0.5, false, 40 + i))
+                .unwrap()
+        })
+        .collect();
+    drop(server);
+
+    let stats = registry.drain();
+    assert_eq!(stats.requests, 8, "drain lost accepted requests");
+    for p in pending {
+        assert_eq!(p.wait().outputs.len(), 24);
+    }
+    assert!(!registry.is_resident("a"));
+    assert_eq!(registry.stats().registered, 1);
+    drop(registry.acquire("a").unwrap());
+    assert_eq!(registry.stats().loads, 2);
+}

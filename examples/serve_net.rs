@@ -1,0 +1,153 @@
+//! A multi-model serving node on the wire — the deployment shape the
+//! compression pays for: many compressed models resident on one box,
+//! served over TCP.
+//!
+//! Walks the network serving stack end to end, in one process over
+//! loopback:
+//!
+//! 1. **`ModelRegistry`** — three named models behind one residency
+//!    budget; nothing loads until a request routes to it, and cold
+//!    models are evicted least-recently-used when the budget overflows.
+//! 2. **`NetServer`** — the registry behind a `std::net` TCP listener
+//!    speaking length-prefixed binary frames (`eie::serve::protocol`).
+//! 3. **`Client`** — concurrent connections mixing requests across
+//!    models, each response verified bit-identical to a one-at-a-time
+//!    functional golden run: output activations travel as raw Q8.8
+//!    words, so the network cannot perturb them.
+//! 4. **STATS / SHUTDOWN** — live percentiles + registry occupancy over
+//!    the wire, then a graceful drain.
+//!
+//! ```text
+//! cargo run --release --example serve_net
+//! ```
+
+use std::sync::Arc;
+use std::thread;
+
+use eie::prelude::*;
+use eie::serve::{Client, ModelRegistry, NetServer, ServerConfig};
+
+fn compile(name: &str, dims: &[usize], density: f64, seed: u64) -> CompiledModel {
+    let weights: Vec<_> = dims
+        .windows(2)
+        .enumerate()
+        .map(|(i, p)| random_sparse(p[1], p[0], density, seed + i as u64))
+        .collect();
+    let refs: Vec<_> = weights.iter().collect();
+    CompiledModel::compile(EieConfig::default().with_num_pes(16), &refs).with_name(name)
+}
+
+fn main() {
+    // 1. Three models, one registry, a budget sized to hold only two —
+    //    the third admission will evict the least recently used.
+    let models = [
+        ("fc6", compile("fc6", &[256, 128], 0.09, 1)),
+        ("fc7", compile("fc7", &[128, 128], 0.09, 2)),
+        ("lstm", compile("lstm", &[192, 96], 0.10, 3)),
+    ];
+    let budget: usize = models
+        .iter()
+        .map(|(_, m)| m.artifact_bytes())
+        .sum::<usize>()
+        - models
+            .iter()
+            .map(|(_, m)| m.artifact_bytes())
+            .min()
+            .unwrap()
+            / 2;
+    let registry = ModelRegistry::new(
+        ServerConfig::default()
+            .with_workers(2)
+            .with_max_batch(8)
+            .with_max_wait_us(200),
+    )
+    .with_budget_bytes(budget);
+    for (name, model) in &models {
+        registry.register_model(*name, model).expect("register");
+        println!(
+            "registered  : {name} ({} artifact bytes)",
+            model.artifact_bytes()
+        );
+    }
+    println!("budget      : {budget} bytes (fits two of three)");
+
+    // 2. On the wire. Port 0 = ephemeral; real deployments pass a fixed
+    //    address (`eie serve --listen 0.0.0.0:7070 --model fc6=fc6.eie ...`).
+    let server = NetServer::bind("127.0.0.1:0", registry).expect("bind");
+    let addr = server.local_addr();
+    println!("listening   : {addr}");
+
+    // 3. Four concurrent client connections, mixing fc6 and fc7
+    //    traffic, each verifying every response against the golden run.
+    let goldens: Arc<Vec<(String, CompiledModel)>> = Arc::new(
+        models[..2]
+            .iter()
+            .map(|(n, m)| (n.to_string(), m.clone()))
+            .collect(),
+    );
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let goldens = Arc::clone(&goldens);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for j in 0..24usize {
+                    let (name, model) = &goldens[(t + j) % goldens.len()];
+                    let input = eie::nn::zoo::sample_activations(
+                        model.input_dim(),
+                        0.35,
+                        false,
+                        (t * 100 + j) as u64,
+                    );
+                    let served = client.infer_outputs(name, &input).expect("infer");
+                    let golden = model.infer(BackendKind::Functional).submit_one(&input);
+                    assert_eq!(served, golden.outputs(0), "wire changed the numbers");
+                }
+            })
+        })
+        .collect();
+    threads.into_iter().for_each(|t| t.join().expect("client"));
+    println!("verified    : 96 responses bit-exact across 4 connections × 2 models");
+
+    // 4. Routing to the third model overflows the budget: the LRU
+    //    resident is evicted, the newcomer admitted.
+    let mut control = Client::connect(addr).expect("connect");
+    let lstm_in = eie::nn::zoo::sample_activations(192, 0.35, false, 999);
+    control.infer_outputs("lstm", &lstm_in).expect("lstm infer");
+
+    let report = control.stats().expect("stats");
+    println!(
+        "server      : {} requests in {} micro-batches (max {}/batch)",
+        report.requests, report.batches, report.max_coalesced
+    );
+    println!(
+        "latency     : p50 {:.1} µs | p95 {:.1} µs | p99 {:.1} µs",
+        report.p50_us, report.p95_us, report.p99_us
+    );
+    println!(
+        "registry    : {}/{} resident, {} of {} budget bytes, {} loads, {} evictions",
+        report.models_resident,
+        report.models_registered,
+        report.resident_bytes,
+        report.budget_bytes,
+        report.loads,
+        report.evictions
+    );
+    assert_eq!(
+        report.evictions, 1,
+        "lstm admission should evict one LRU model"
+    );
+
+    // 5. Graceful drain: acknowledged on the wire, every accepted
+    //    request answered before the listener dies.
+    control.shutdown_server().expect("shutdown");
+    let stats = server.stop();
+    assert_eq!(
+        stats.requests, 97,
+        "lifetime stats must include the evicted model's requests"
+    );
+    println!(
+        "drained     : {} requests served, {:.0} frames/s lifetime",
+        stats.requests,
+        stats.frames_per_second()
+    );
+}
