@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks of the batch-lane plan kernel: the
+//! simd-vs-scalar A/B on the warm fused path, and the lane-tile size
+//! sweep that sanity-checks `LaneTile::select`'s per-layer choice.
+//!
+//! `kernel_sweep` is the recorded experiment (BENCH_kernel.json, schema
+//! v2); these benches are the developer-loop view. Build with
+//! `--features simd` to put the AVX2 path under the `lane` IDs — the
+//! `isa` group label records which path actually ran.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eie_core::prelude::*;
+use std::sync::Arc;
+
+fn setup() -> (EncodedLayer, Vec<Vec<Q8p8>>) {
+    // Same shape as benches/plans.rs so the two files read side by
+    // side: 1024×1024 at AlexNet-FC7 density, 8 PEs, batch 16.
+    let sparse = random_sparse(1024, 1024, 0.09, 42);
+    let enc = compress(&sparse, CompressConfig::with_pes(8));
+    let batch: Vec<Vec<Q8p8>> = (0..16u64)
+        .map(|i| {
+            Q8p8::from_f32_slice(&eie_core::nn::zoo::sample_activations(
+                1024,
+                0.35,
+                false,
+                8 + i,
+            ))
+        })
+        .collect();
+    (enc, batch)
+}
+
+fn bench_lane_vs_scalar(c: &mut Criterion) {
+    let (enc, batch) = setup();
+    let mut group = c.benchmark_group(format!("lane_vs_scalar/{}", lane_isa()));
+    group.throughput(Throughput::Elements(
+        (enc.total_entries() * batch.len()) as u64,
+    ));
+    for threads in [1usize, 4] {
+        let lane = NativeCpu::with_threads(threads);
+        let scalar = lane.clone().without_lanes();
+        // Warm outside the measurement: plans built, pools spawned,
+        // lane scratch at its high-water mark.
+        let _ = lane.run_layer_batch(&enc, &batch, false);
+        let _ = scalar.run_layer_batch(&enc, &batch, false);
+
+        group.bench_function(BenchmarkId::new("batch16_scalar", threads), |b| {
+            b.iter(|| scalar.run_layer_batch(&enc, &batch, false))
+        });
+        group.bench_function(BenchmarkId::new("batch16_lane", threads), |b| {
+            b.iter(|| lane.run_layer_batch(&enc, &batch, false))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tile_sizes(c: &mut Criterion) {
+    let (enc, batch) = setup();
+    let chosen = LayerPlan::build(&enc).lane_tile().cols();
+    let mut group = c.benchmark_group("lane_tile_cols");
+    let backend = NativeCpu::with_threads(1);
+    let _ = backend.run_layer_batch(&enc, &batch, false);
+    // Candidate tile widths around the selector's pick, plus the
+    // no-tiling extreme (every column in one tile).
+    let cols = enc.cols();
+    for tile in [16usize, 64, 256, chosen, cols] {
+        let plan = Arc::new(LayerPlan::build(&enc).with_lane_tile(LaneTile::fixed(tile)));
+        let label = if tile == chosen {
+            format!("{tile}(selected)")
+        } else {
+            tile.to_string()
+        };
+        group.bench_function(BenchmarkId::new("batch16", label), |b| {
+            b.iter(|| {
+                backend.run_layer_batch_planned(
+                    PlannedLayer {
+                        layer: &enc,
+                        plan: Some(&plan),
+                    },
+                    &batch,
+                    false,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lane_vs_scalar, bench_tile_sizes);
+criterion_main!(benches);

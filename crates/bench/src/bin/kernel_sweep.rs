@@ -1,21 +1,33 @@
 //! Kernel sweep: the reproducible perf baseline of the native hot path.
 //!
-//! Measures single-item and fused-batch layer throughput of the
-//! **streaming** kernel (per-call entry-stream decode, scoped threads —
-//! the pre-plan code path, kept alive as `NativeCpu::without_plans`)
-//! against the **plan** kernel (pre-decoded [`LayerPlan`]s, persistent
-//! worker pool, reusable scratch), across thread counts and zoo layers.
-//! Both kernels are bit-exact with the golden model (property-tested);
-//! this binary records what the layout change is *worth*.
+//! Measures layer throughput across a batch-size sweep (1, 4, 8, 16,
+//! 32) for three kernels:
+//!
+//! * **streaming** — per-call entry-stream decode, scoped threads (the
+//!   pre-plan code path, kept alive as `NativeCpu::without_plans`),
+//! * **plan-scalar** — pre-decoded [`LayerPlan`]s on the persistent
+//!   pool, fused batches one MAC at a time (`NativeCpu::without_lanes`,
+//!   the pre-lane code path — the *scalar* half of the simd-vs-scalar
+//!   A/B),
+//! * **plan** — the batch-lane vectorized plan kernel (fixed-width
+//!   `[i32; LANE_WIDTH]` MACs, per-layer column tiles; AVX2 when built
+//!   with `--features simd` on a capable host — the recorded `simd`
+//!   field says which path ran).
+//!
+//! All three kernels are asserted bit-exact against each other here —
+//! at batch 1 and at the largest swept batch — before any number is
+//! recorded; the property tests pin the same equivalence against the
+//! functional golden model.
 //!
 //! Output: a table + story on stdout (and `results/kernel_sweep.txt`),
 //! plus the machine-readable **`BENCH_kernel.json`** at the repo root —
-//! the recorded perf trajectory (schema documented in
-//! `EXPERIMENTS.md`). Only a full-scale non-quick run touches that
-//! file: `--quick` (the CI smoke: one layer, bounded iterations)
-//! writes `results/kernel_sweep_quick.json`, and an `EIE_SCALE`'d run
-//! writes `results/kernel_sweep_scaled.json`, so the committed scale-1
-//! record is never clobbered.
+//! the recorded perf trajectory (schema `eie-kernel-sweep/v2`,
+//! documented in `EXPERIMENTS.md`). Only a full-scale non-quick run
+//! touches that file: `--quick` (the CI smoke: one layer, bounded
+//! iterations, batches 1 and 8) writes
+//! `results/kernel_sweep_quick.json`, and an `EIE_SCALE`'d run writes
+//! `results/kernel_sweep_scaled.json`, so the committed scale-1 record
+//! is never clobbered.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -30,12 +42,22 @@ struct Cell {
     cols: usize,
     pes: usize,
     threads: usize,
-    /// `"single"` or `"batch16"`.
-    mode: &'static str,
-    /// `"streaming"` or `"plan"`.
+    /// Batch size of the run (1 = single-item path).
+    batch: usize,
+    /// `"streaming"`, `"plan-scalar"` or `"plan"`.
     kernel: &'static str,
     us_per_frame: f64,
     frames_per_second: f64,
+}
+
+/// The per-(layer, threads) headline inputs.
+struct Headline {
+    layer: String,
+    threads: usize,
+    single_speedup: f64,
+    batch: usize,
+    batch_speedup: f64,
+    lane_over_scalar: f64,
 }
 
 fn main() {
@@ -65,11 +87,14 @@ fn main() {
     } else {
         &[Benchmark::Alex6, Benchmark::Alex7, Benchmark::NtWe]
     };
-    const BATCH: usize = 16;
+    let batches: &[usize] = if quick { &[1, 8] } else { &[1, 4, 8, 16, 32] };
+    let max_batch = *batches.last().expect("batch sweep is non-empty");
+    const KERNELS: [&str; 3] = ["streaming", "plan-scalar", "plan"];
 
     let mut table = TextTable::new(
         format!(
-            "Kernel sweep: streaming vs plan, scale 1/{}, EIE = {}",
+            "Kernel sweep: streaming vs plan-scalar vs plan (lanes: {}), scale 1/{}, EIE = {}",
+            lane_isa(),
             scale_divisor(),
             config
         ),
@@ -84,8 +109,8 @@ fn main() {
         ],
     );
     let mut cells: Vec<Cell> = Vec::new();
-    // (layer, threads, single-item speedup, batch speedup)
-    let mut headline: Option<(String, usize, f64, f64)> = None;
+    let mut tiles: Vec<(&'static str, usize)> = Vec::new();
+    let mut headline: Option<Headline> = None;
 
     for &benchmark in benchmarks {
         let layer = layer_at_scale(benchmark);
@@ -94,77 +119,110 @@ fn main() {
         let enc = model.layer(0);
         let acts = Q8p8::from_f32_slice(&layer.sample_activations(DEFAULT_SEED));
         let batch: Vec<Vec<Q8p8>> = layer
-            .sample_activation_batch(DEFAULT_SEED, BATCH)
+            .sample_activation_batch(DEFAULT_SEED, max_batch)
             .iter()
             .map(|item| Q8p8::from_f32_slice(item))
             .collect();
+        tiles.push((benchmark.name(), LayerPlan::build(enc).lane_tile().cols()));
 
         for &threads in &thread_counts {
             let plan = NativeCpu::with_threads(threads);
+            let scalar = plan.clone().without_lanes();
             let stream = plan.clone().without_plans();
-            // Warm the plan engine explicitly so the measured cells are
-            // steady state: plan built, pool spawned, scratch at its
-            // high-water mark.
-            let warm_plan = plan.run_layer(enc, &acts, false);
-            let warm_stream = stream.run_layer(enc, &acts, false);
-            assert_eq!(
-                warm_plan.outputs, warm_stream.outputs,
-                "{benchmark}: kernels diverged — refusing to record perf of wrong answers"
+            let engines = [&stream, &scalar, &plan];
+            // Warm every engine and refuse to record perf of wrong
+            // answers: the three kernels must agree bit-exactly at
+            // batch 1 and at the largest swept batch (covering the
+            // lane kernel's padded tail blocks).
+            let warmed: Vec<_> = engines
+                .iter()
+                .map(|e| e.run_layer(enc, &acts, false).outputs)
+                .collect();
+            assert!(
+                warmed.iter().all(|w| *w == warmed[0]),
+                "{benchmark}: single-item kernels diverged"
+            );
+            let warmed_b: Vec<_> = engines
+                .iter()
+                .map(|e| e.run_layer_batch(enc, &batch, false))
+                .collect();
+            for i in 0..max_batch {
+                assert!(
+                    warmed_b
+                        .iter()
+                        .all(|runs| runs[i].outputs == warmed_b[0][i].outputs),
+                    "{benchmark}: batch item {i} diverged across kernels"
+                );
+            }
+            println!(
+                "verified: streaming/plan-scalar/plan bit-exact on {} \
+                 (single + batch {max_batch}, {threads}t)",
+                benchmark.name()
             );
 
-            let mut speedups = [0.0f64; 2];
-            for (m, mode) in ["single", "batch16"].into_iter().enumerate() {
-                let mut fps = [0.0f64; 2];
-                for (k, (kernel, backend)) in [("streaming", &stream), ("plan", &plan)]
-                    .into_iter()
-                    .enumerate()
-                {
-                    let us = match mode {
-                        "single" => harness.measure_us(|| backend.run_layer(enc, &acts, false)),
-                        _ => {
-                            harness.measure_us(|| backend.run_layer_batch(enc, &batch, false))
-                                / BATCH as f64
-                        }
+            // fps by [batch index][kernel index] for the speedup math.
+            let mut fps = vec![[0.0f64; KERNELS.len()]; batches.len()];
+            for (bi, &b) in batches.iter().enumerate() {
+                let mode = if b == 1 {
+                    "single".to_string()
+                } else {
+                    format!("batch{b}")
+                };
+                for (k, (kernel, backend)) in KERNELS.iter().zip(engines).enumerate() {
+                    let us = if b == 1 {
+                        harness.measure_us(|| backend.run_layer(enc, &acts, false))
+                    } else {
+                        harness.measure_us(|| backend.run_layer_batch(enc, &batch[..b], false))
+                            / b as f64
                     };
-                    fps[k] = 1e6 / us;
+                    fps[bi][k] = 1e6 / us;
                     cells.push(Cell {
                         layer: benchmark.name(),
                         rows,
                         cols,
                         pes: config.num_pes,
                         threads,
-                        mode,
+                        batch: b,
                         kernel,
                         us_per_frame: us,
-                        frames_per_second: fps[k],
+                        frames_per_second: fps[bi][k],
                     });
                     table.row(vec![
                         benchmark.name().into(),
                         threads.to_string(),
-                        mode.into(),
-                        kernel.into(),
+                        mode.clone(),
+                        (*kernel).into(),
                         f(us, 1),
-                        f(fps[k], 0),
-                        if k == 1 {
-                            x(fps[1] / fps[0])
-                        } else {
+                        f(fps[bi][k], 0),
+                        if k == 0 {
                             "-".into()
+                        } else {
+                            x(fps[bi][k] / fps[bi][0])
                         },
                     ]);
                 }
-                speedups[m] = fps[1] / fps[0];
             }
-            let better = headline
+            // Headline by the fused-batch win at the reference batch
+            // (16, or the largest swept in quick mode): that is the
+            // number this kernel exists for.
+            let ref_bi = batches
+                .iter()
+                .position(|&b| b == 16)
+                .unwrap_or(batches.len() - 1);
+            let candidate = Headline {
+                layer: benchmark.name().to_string(),
+                threads,
+                single_speedup: fps[0][2] / fps[0][0],
+                batch: batches[ref_bi],
+                batch_speedup: fps[ref_bi][2] / fps[ref_bi][0],
+                lane_over_scalar: fps[ref_bi][2] / fps[ref_bi][1],
+            };
+            if headline
                 .as_ref()
-                .map(|(_, _, s, _)| speedups[0] > *s)
-                .unwrap_or(true);
-            if better {
-                headline = Some((
-                    benchmark.name().to_string(),
-                    threads,
-                    speedups[0],
-                    speedups[1],
-                ));
+                .map(|h| candidate.batch_speedup > h.batch_speedup)
+                .unwrap_or(true)
+            {
+                headline = Some(candidate);
             }
             eprintln!(
                 "[{} @ {}t] done in {:.1}s",
@@ -175,47 +233,76 @@ fn main() {
         }
     }
 
-    let (hl_layer, hl_threads, hl_single, hl_batch) = headline.expect("at least one benchmark ran");
+    let hl = headline.expect("at least one benchmark ran");
     let mut out = table.render();
     let _ = writeln!(
         out,
-        "\nHeadline: {hl_layer} single-item {} plan-over-streaming at {hl_threads} thread(s) \
-         (fused batch-{BATCH}: {}). The plan kernel reads pre-decoded (row, weight) pairs — \
-         no nibble decode, no codebook lookup, no padding branch — from a persistent pool \
-         with warm scratch; streaming re-decodes the compressed stream per call on scoped \
-         threads, which is exactly what the serving path used to do.",
-        x(hl_single),
-        x(hl_batch),
+        "\nHeadline: {} fused batch-{} {} plan-over-streaming at {} thread(s) \
+         (single-item {}, lane-over-scalar {} on {} lanes). The batch-lane kernel \
+         transposes activations into {}-item blocks once per batch and applies each \
+         pre-decoded weight to a whole block as one fixed-width saturating MAC, tiled \
+         per layer so the SoA entry runs stay cache-resident; plan-scalar is the same \
+         plan walked one MAC at a time, and streaming re-decodes the compressed stream \
+         per call — exactly what the serving path used to do.",
+        hl.layer,
+        hl.batch,
+        x(hl.batch_speedup),
+        hl.threads,
+        x(hl.single_speedup),
+        x(hl.lane_over_scalar),
+        lane_isa(),
+        LANE_WIDTH,
     );
     emit("kernel_sweep", &out);
 
     // ---- machine-readable record ------------------------------------
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"eie-kernel-sweep/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"eie-kernel-sweep/v2\",");
     let _ = writeln!(json, "  \"scale_divisor\": {},", scale_divisor());
     let _ = writeln!(json, "  \"pes\": {},", config.num_pes);
     let _ = writeln!(json, "  \"threads_available\": {available},");
-    let _ = writeln!(json, "  \"batch\": {BATCH},");
+    let _ = writeln!(
+        json,
+        "  \"batches\": [{}],",
+        batches
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(json, "  \"lane_width\": {LANE_WIDTH},");
+    let _ = writeln!(json, "  \"simd\": \"{}\",", lane_isa());
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(
         json,
-        "  \"headline\": {{\"layer\": \"{hl_layer}\", \"threads\": {hl_threads}, \
-         \"single_item_speedup\": {hl_single:.3}, \"batch_speedup\": {hl_batch:.3}}},"
+        "  \"lane_tiles\": [{}],",
+        tiles
+            .iter()
+            .map(|(name, cols)| format!("{{\"layer\": \"{name}\", \"cols_per_tile\": {cols}}}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        json,
+        "  \"headline\": {{\"layer\": \"{}\", \"threads\": {}, \"batch\": {}, \
+         \"single_item_speedup\": {:.3}, \"batch_speedup\": {:.3}, \
+         \"lane_over_scalar\": {:.3}}},",
+        hl.layer, hl.threads, hl.batch, hl.single_speedup, hl.batch_speedup, hl.lane_over_scalar
     );
     json.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let _ = write!(
             json,
             "    {{\"layer\": \"{}\", \"rows\": {}, \"cols\": {}, \"pes\": {}, \
-             \"threads\": {}, \"mode\": \"{}\", \"kernel\": \"{}\", \
+             \"threads\": {}, \"batch\": {}, \"kernel\": \"{}\", \
              \"us_per_frame\": {:.3}, \"frames_per_second\": {:.1}}}",
             c.layer,
             c.rows,
             c.cols,
             c.pes,
             c.threads,
-            c.mode,
+            c.batch,
             c.kernel,
             c.us_per_frame,
             c.frames_per_second,

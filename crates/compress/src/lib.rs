@@ -60,7 +60,7 @@ pub use encode::{
 };
 pub use kmeans::kmeans1d;
 pub use pipeline::{CodebookStrategy, CompilePipeline};
-pub use plan::{LayerPlan, PlanEntry, PlanSlice};
+pub use plan::{LaneTile, LayerPlan, PlanSlice, LANE_WIDTH};
 pub use serialize::{DecodeLayerError, MAGIC};
 pub use stats::{huffman_bits, EncodingStats};
 

@@ -8,12 +8,18 @@
 //! code up in the codebook, and branches around padding, per column, per
 //! call. For repeated inference over a fixed model the winning move
 //! (Gleinig et al.'s I/O-efficiency argument, PAPERS.md) is to pay that
-//! layout cost **once**: a [`LayerPlan`] lowers each PE slice into a
-//! flat, cache-friendly array of [`PlanEntry`] — absolute local row plus
-//! the codebook value pre-multiplied out to the raw `i32` multiplicand —
-//! with a per-column extent index, and drops padding entries entirely
-//! (they decode to a raw-zero weight, and saturating-adding zero never
-//! changes an accumulator).
+//! layout cost **once**: a [`LayerPlan`] lowers each PE slice into flat
+//! **structure-of-arrays** blocks — a `rows: Vec<u32>` run and a parallel
+//! `weights: Vec<i32>` run (the codebook value pre-multiplied out to the
+//! raw `i32` multiplicand), in column order with a per-column extent
+//! index — and drops padding entries entirely (they decode to a raw-zero
+//! weight, and saturating-adding zero never changes an accumulator).
+//!
+//! The SoA split is what the batch-lane kernel needs: the weight run is
+//! a contiguous `i32` stream a SIMD lane block multiplies by, and the row
+//! run is a contiguous index stream, instead of interleaved 8-byte
+//! `(row, weight)` records where every other word is the one the vector
+//! unit doesn't want.
 //!
 //! The steady-state kernel over a plan is a branch-light linear scan:
 //! no nibble decoding, no codebook indirection, no `code == 0` test.
@@ -24,7 +30,7 @@
 //! # Example
 //!
 //! ```
-//! use eie_compress::{compress, CompressConfig, LayerPlan};
+//! use eie_compress::{compress, CompressConfig, LaneTile, LayerPlan};
 //! use eie_nn::zoo::random_sparse;
 //!
 //! let enc = compress(&random_sparse(64, 48, 0.2, 7), CompressConfig::with_pes(4));
@@ -33,6 +39,8 @@
 //! // Padding is dropped at plan-build time; real entries survive 1:1.
 //! let padding: usize = enc.slices().iter().map(|s| s.padding_entries()).sum();
 //! assert_eq!(plan.total_entries() + padding, enc.total_entries());
+//! // The plan records a per-layer column tile for the batch-lane kernel.
+//! assert!(plan.lane_tile().cols() >= LaneTile::MIN_COLS.min(plan.cols()));
 //! ```
 
 use std::fmt;
@@ -41,25 +49,107 @@ use eie_fixed::Q8p8;
 
 use crate::{EncodedLayer, CODEBOOK_SIZE};
 
-/// One pre-decoded weight: the absolute local row it accumulates into
-/// and the codebook value already expanded to the raw `i32` multiplicand
-/// of the Q8.8 MAC (`acc = acc.saturating_add(weight * act_raw)`).
+/// Fixed width of one batch lane block: the fused batch kernel processes
+/// one pre-decoded weight against this many items' activations at a
+/// time, as one `[i32; LANE_WIDTH]` chunk (256 bits of `i32` lanes — one
+/// AVX2 vector, two SSE2 vectors, two NEON vectors).
+///
+/// The width is part of the *plan contract*, not a tuning knob: tile
+/// selection ([`LaneTile`]) sizes its working set around it, and the
+/// native kernel's scratch blocks are aligned to it. Batches that are
+/// not a multiple pad the last block with zero activations, which is
+/// bit-exact (saturating-adding a zero product never changes an
+/// accumulator) and discarded at gather.
+pub const LANE_WIDTH: usize = 8;
+
+/// The per-layer column-tile choice of the batch-lane kernel: how many
+/// broadcast columns one pass over a lane block covers before moving to
+/// the next lane block.
+///
+/// The fused kernel walks `(column tile) × (lane block)` tiles — the
+/// tile's plan entries (SoA row + weight runs) are re-read once per lane
+/// block, so the tile is sized to keep that working set L1-resident
+/// while the weight stream as a whole only streams from memory once.
+/// This is a *typed, per-layer* choice recorded in the plan at build
+/// time (the cudnn algo-picker shape: selection travels with the
+/// artifact it was made for, not as a global flag), derived from the
+/// layer's measured encoding statistics by [`LaneTile::select`] and
+/// overridable for calibration via [`LayerPlan::with_lane_tile`] — the
+/// `lanes` criterion bench measures candidate tiles against the
+/// selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PlanEntry {
-    /// Local row index within the owning PE slice (absolute, zero runs
-    /// already expanded away).
-    pub row: u32,
-    /// The decoded weight as a raw Q8.8 value widened to `i32` — the
-    /// exact multiplicand the streaming kernel computes per entry via
-    /// `codebook[code]`.
-    pub weight: i32,
+pub struct LaneTile {
+    cols: u32,
 }
 
-/// The pre-decoded slice of one PE: real entries only (padding dropped),
+impl LaneTile {
+    /// Smallest tile the selector will choose: below this the per-tile
+    /// loop overhead dominates any locality win.
+    pub const MIN_COLS: usize = 16;
+
+    /// Per-tile working-set budget, bytes. Half a typical 32 KiB L1d:
+    /// the tile's SoA entry runs plus one lane block of activations must
+    /// re-read from L1 on the second and later lane-block passes, while
+    /// leaving room for the hot accumulator stripes.
+    pub const BUDGET_BYTES: usize = 16 << 10;
+
+    /// Selects the tile for a layer from its measured shape: `cols`
+    /// broadcast columns and the *worst* (largest) per-PE entry count,
+    /// `max_slice_entries` — the slice that actually bounds the working
+    /// set when PE ranges split across workers.
+    ///
+    /// Each tile column costs its share of the SoA runs
+    /// (`entries/col × 8` bytes) plus one activation lane chunk
+    /// (`LANE_WIDTH × 4` bytes) plus one live-mask byte; the tile is the
+    /// largest column count whose total fits [`LaneTile::BUDGET_BYTES`],
+    /// clamped to `[MIN_COLS, cols]`.
+    pub fn select(cols: usize, max_slice_entries: usize) -> Self {
+        let cols = cols.max(1);
+        let entry_bytes_per_col = (max_slice_entries as f64 / cols as f64)
+            * (std::mem::size_of::<u32>() + std::mem::size_of::<i32>()) as f64;
+        let bytes_per_col =
+            entry_bytes_per_col + (LANE_WIDTH * std::mem::size_of::<i32>()) as f64 + 1.0;
+        let fit = (Self::BUDGET_BYTES as f64 / bytes_per_col) as usize;
+        // Narrow layers clamp to their own width even below MIN_COLS.
+        Self {
+            cols: fit.max(Self::MIN_COLS).min(cols) as u32,
+        }
+    }
+
+    /// An explicit tile of `cols` columns — the calibration override
+    /// ([`LayerPlan::with_lane_tile`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols == 0`.
+    pub fn fixed(cols: usize) -> Self {
+        assert!(cols > 0, "lane tile must cover at least one column");
+        Self { cols: cols as u32 }
+    }
+
+    /// Columns per tile.
+    pub fn cols(&self) -> usize {
+        self.cols as usize
+    }
+}
+
+impl fmt::Display for LaneTile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cols/tile", self.cols)
+    }
+}
+
+/// The pre-decoded slice of one PE in structure-of-arrays form: real
+/// entries only (padding dropped), as parallel `rows`/`weights` runs
 /// concatenated in column order with a `cols + 1` extent index.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanSlice {
-    entries: Vec<PlanEntry>,
+    /// Local row index per entry (absolute, zero runs expanded away).
+    rows: Vec<u32>,
+    /// Decoded weight per entry: the raw Q8.8 value widened to `i32` —
+    /// the exact multiplicand the streaming kernel computes per entry
+    /// via `codebook[code]`.
+    weights: Vec<i32>,
     col_ptr: Vec<u32>,
     local_rows: usize,
 }
@@ -72,12 +162,17 @@ impl PlanSlice {
 
     /// Total pre-decoded entries (padding is never stored in a plan).
     pub fn num_entries(&self) -> usize {
-        self.entries.len()
+        self.rows.len()
     }
 
-    /// The flat entry array, all columns concatenated.
-    pub fn entries(&self) -> &[PlanEntry] {
-        &self.entries
+    /// The flat local-row run, all columns concatenated.
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// The flat raw-weight run, parallel to [`PlanSlice::rows`].
+    pub fn weights(&self) -> &[i32] {
+        &self.weights
     }
 
     /// The column extent index (`cols + 1` long).
@@ -85,20 +180,35 @@ impl PlanSlice {
         &self.col_ptr
     }
 
-    /// The entries of column `j`, in storage (local-row) order.
+    /// Column `j`'s parallel `(rows, weights)` runs, in storage
+    /// (local-row) order.
     ///
     /// # Panics
     ///
     /// Panics if `j + 1 >= col_ptr.len()`.
     #[inline]
-    pub fn col_entries(&self, j: usize) -> &[PlanEntry] {
-        &self.entries[self.col_ptr[j] as usize..self.col_ptr[j + 1] as usize]
+    pub fn col(&self, j: usize) -> (&[u32], &[i32]) {
+        let span = self.col_ptr[j] as usize..self.col_ptr[j + 1] as usize;
+        (&self.rows[span.clone()], &self.weights[span])
+    }
+
+    /// Column `j`'s entries as `(row, weight)` pairs, in storage order —
+    /// the iteration shape of the scalar kernels and tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j + 1 >= col_ptr.len()`.
+    #[inline]
+    pub fn col_iter(&self, j: usize) -> impl Iterator<Item = (u32, i32)> + '_ {
+        let (rows, weights) = self.col(j);
+        rows.iter().copied().zip(weights.iter().copied())
     }
 }
 
 /// A compiled execution plan for one [`EncodedLayer`]: per-PE contiguous
-/// `(row, raw_weight)` arrays in column order, padding dropped, codebook
-/// pre-multiplied — built once, scanned on every subsequent M×V.
+/// SoA `rows`/`weights` runs in column order, padding dropped, codebook
+/// pre-multiplied, plus the layer's recorded [`LaneTile`] — built once,
+/// scanned on every subsequent M×V.
 ///
 /// Plans trade memory for steady-state speed (8 bytes per surviving
 /// entry against the artifact's 1) — the build-once/run-many trade of a
@@ -108,13 +218,15 @@ pub struct LayerPlan {
     rows: usize,
     cols: usize,
     slices: Vec<PlanSlice>,
+    lane_tile: LaneTile,
 }
 
 impl LayerPlan {
     /// Lowers an encoded layer into its execution plan: decodes the
     /// compressed entry stream once (zero-run expansion + codebook
-    /// lookup via the hardware's Q8.8 table), drops padding entries, and
-    /// lays each PE slice out flat in column order.
+    /// lookup via the hardware's Q8.8 table), drops padding entries,
+    /// lays each PE slice out as flat SoA runs in column order, and
+    /// records the layer's selected [`LaneTile`].
     pub fn build(layer: &EncodedLayer) -> Self {
         let codebook = layer.codebook().to_fix16::<8>();
         let mut raw = [0i32; CODEBOOK_SIZE];
@@ -122,36 +234,53 @@ impl LayerPlan {
             *slot = w.raw() as i32;
         }
         let cols = layer.cols();
-        let slices = layer
+        let slices: Vec<PlanSlice> = layer
             .slices()
             .iter()
             .map(|slice| {
-                let mut entries = Vec::with_capacity(slice.num_entries() - slice.padding_entries());
+                let real = slice.num_entries() - slice.padding_entries();
+                let mut rows = Vec::with_capacity(real);
+                let mut weights = Vec::with_capacity(real);
                 let mut col_ptr = Vec::with_capacity(cols + 1);
                 col_ptr.push(0u32);
                 for j in 0..cols {
                     slice.walk_column(j, |row, code| {
                         if code != 0 {
-                            entries.push(PlanEntry {
-                                row: row as u32,
-                                weight: raw[code as usize],
-                            });
+                            rows.push(row as u32);
+                            weights.push(raw[code as usize]);
                         }
                     });
-                    col_ptr.push(entries.len() as u32);
+                    col_ptr.push(rows.len() as u32);
                 }
                 PlanSlice {
-                    entries,
+                    rows,
+                    weights,
                     col_ptr,
                     local_rows: slice.local_rows(),
                 }
             })
             .collect();
+        let max_slice_entries = slices.iter().map(PlanSlice::num_entries).max().unwrap_or(0);
         Self {
             rows: layer.rows(),
             cols,
+            lane_tile: LaneTile::select(cols, max_slice_entries),
             slices,
         }
+    }
+
+    /// Replaces the recorded lane tile — the calibration hook for
+    /// benchmark-driven selection (see the `lanes` criterion bench,
+    /// which measures candidate tiles against [`LaneTile::select`]'s
+    /// choice).
+    pub fn with_lane_tile(mut self, tile: LaneTile) -> Self {
+        self.lane_tile = tile;
+        self
+    }
+
+    /// The column tile the batch-lane kernel runs this layer with.
+    pub fn lane_tile(&self) -> LaneTile {
+        self.lane_tile
     }
 
     /// Output dimension (matrix rows).
@@ -194,7 +323,8 @@ impl LayerPlan {
         self.slices
             .iter()
             .map(|s| {
-                s.entries.len() * std::mem::size_of::<PlanEntry>()
+                s.rows.len() * std::mem::size_of::<u32>()
+                    + s.weights.len() * std::mem::size_of::<i32>()
                     + s.col_ptr.len() * std::mem::size_of::<u32>()
             })
             .sum()
@@ -216,9 +346,9 @@ impl LayerPlan {
                 if aj == 0.0 {
                     continue;
                 }
-                for e in slice.col_entries(j) {
-                    let w = Q8p8::from_raw(e.weight as i16).to_f32();
-                    y[e.row as usize * n + pe] += w * aj;
+                for (row, weight) in slice.col_iter(j) {
+                    let w = Q8p8::from_raw(weight as i16).to_f32();
+                    y[row as usize * n + pe] += w * aj;
                 }
             }
         }
@@ -230,12 +360,13 @@ impl fmt::Display for LayerPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "LayerPlan({}x{}, {} PEs, {} entries, {} KiB)",
+            "LayerPlan({}x{}, {} PEs, {} entries, {} KiB, {})",
             self.rows,
             self.cols,
             self.num_pes(),
             self.total_entries(),
-            self.resident_bytes() / 1024
+            self.resident_bytes() / 1024,
+            self.lane_tile,
         )
     }
 }
@@ -256,8 +387,7 @@ mod tests {
         assert!(enc.slice(0).padding_entries() > 0);
         let plan = LayerPlan::build(&enc);
         assert_eq!(plan.total_entries(), 2);
-        let rows: Vec<u32> = plan.slice(0).entries().iter().map(|e| e.row).collect();
-        assert_eq!(rows, vec![0, 200]);
+        assert_eq!(plan.slice(0).rows(), &[0, 200]);
     }
 
     #[test]
@@ -274,13 +404,32 @@ mod tests {
                         want.push((row as u32, table[code as usize].raw() as i32));
                     }
                 });
-                let got: Vec<(u32, i32)> = plan_slice
-                    .col_entries(j)
-                    .iter()
-                    .map(|e| (e.row, e.weight))
-                    .collect();
+                let got: Vec<(u32, i32)> = plan_slice.col_iter(j).collect();
                 assert_eq!(got, want, "column {j} diverged");
             }
+        }
+    }
+
+    #[test]
+    fn soa_runs_are_parallel_and_extent_indexed() {
+        let m = random_sparse(48, 32, 0.3, 9);
+        let enc = compress(&m, CompressConfig::with_pes(4));
+        let plan = LayerPlan::build(&enc);
+        for slice in plan.slices() {
+            assert_eq!(slice.rows().len(), slice.num_entries());
+            assert_eq!(slice.col_ptr().len(), enc.cols() + 1);
+            assert_eq!(
+                *slice.col_ptr().last().unwrap() as usize,
+                slice.num_entries()
+            );
+            // Column spans tile the runs exactly.
+            let mut total = 0;
+            for j in 0..enc.cols() {
+                let (rows, weights) = slice.col(j);
+                assert_eq!(rows.len(), weights.len());
+                total += rows.len();
+            }
+            assert_eq!(total, slice.num_entries());
         }
     }
 
@@ -334,6 +483,7 @@ mod tests {
         assert!(plan.resident_bytes() > 0);
         let s = plan.to_string();
         assert!(s.contains("33x17") && s.contains("3 PEs"), "{s}");
+        assert!(s.contains("cols/tile"), "{s}");
     }
 
     #[test]
@@ -341,8 +491,31 @@ mod tests {
         let m = CsrMatrix::from_triplets(8, 4, &[(0, 1, 1.0)]);
         let enc = compress(&m, CompressConfig::with_pes(2));
         let plan = LayerPlan::build(&enc);
-        assert!(plan.slice(0).col_entries(0).is_empty());
-        assert_eq!(plan.slice(0).col_entries(1).len(), 1);
-        assert!(plan.slice(1).col_entries(1).is_empty());
+        assert!(plan.slice(0).col(0).0.is_empty());
+        assert_eq!(plan.slice(0).col(1).0.len(), 1);
+        assert!(plan.slice(1).col(1).0.is_empty());
+    }
+
+    #[test]
+    fn lane_tile_selection_scales_with_density() {
+        // A sparse layer affords wide tiles; a dense one must shrink the
+        // tile to keep its SoA runs L1-resident.
+        let sparse = LaneTile::select(4096, 4096); // ~1 entry/col
+        let dense = LaneTile::select(4096, 4096 * 200); // ~200 entries/col
+        assert!(sparse.cols() > dense.cols(), "{sparse} !> {dense}");
+        assert!(dense.cols() >= LaneTile::MIN_COLS);
+        // Narrow layers clamp to their own width.
+        assert_eq!(LaneTile::select(8, 64).cols(), 8);
+        // The override is recorded verbatim.
+        let m = random_sparse(16, 16, 0.5, 1);
+        let enc = compress(&m, CompressConfig::with_pes(2));
+        let plan = LayerPlan::build(&enc).with_lane_tile(LaneTile::fixed(5));
+        assert_eq!(plan.lane_tile().cols(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn zero_tile_rejected() {
+        let _ = LaneTile::fixed(0);
     }
 }

@@ -42,11 +42,8 @@ impl Backend for CycleAccurate {
     fn run_layer(&self, layer: &EncodedLayer, acts: &[Q8p8], relu: bool) -> BackendRun {
         check_activations(layer, acts);
         let run = simulate_fixed(layer, acts, &self.sim, relu);
-        BackendRun {
-            latency_s: run.stats.seconds_at(self.sim.clock_hz),
-            outputs: run.outputs,
-            stats: Some(run.stats),
-        }
+        let latency_s = run.stats.seconds_at(self.sim.clock_hz);
+        BackendRun::solo(run.outputs, latency_s, Some(run.stats))
     }
     // Batches use the trait's default per-item loop: the hardware has no
     // batch dimension, so there is nothing to fuse (`eie_sim`'s own

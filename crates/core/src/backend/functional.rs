@@ -35,11 +35,7 @@ impl Backend for Functional {
         check_activations(layer, acts);
         let start = Instant::now();
         let outputs = functional::execute(layer, acts, relu);
-        BackendRun {
-            outputs,
-            latency_s: start.elapsed().as_secs_f64(),
-            stats: None,
-        }
+        BackendRun::solo(outputs, start.elapsed().as_secs_f64(), None)
     }
 }
 

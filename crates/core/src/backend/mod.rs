@@ -37,7 +37,7 @@ use crate::EieConfig;
 
 pub use cycle::CycleAccurate;
 pub use functional::Functional;
-pub use native::NativeCpu;
+pub use native::{lane_isa, NativeCpu};
 
 /// Validates one activation vector against a layer's input dimension —
 /// the shared entry-point check every backend applies before touching
@@ -142,7 +142,17 @@ pub struct BackendRun {
     pub outputs: Vec<Q8p8>,
     /// Item latency in seconds: modelled hardware time for
     /// [`CycleAccurate`], measured host wall-clock otherwise.
+    ///
+    /// For items of a *fused* batch this is the whole batch's wall time
+    /// (the batch completes as a unit, so that is each item's serving
+    /// latency) — identical across the batch, which makes latency
+    /// percentiles over fused runs degenerate. Throughput-style
+    /// per-item cost lives in [`BackendRun::amortized_s`].
     pub latency_s: f64,
+    /// Item cost in seconds with fused-batch wall time amortized over
+    /// the batch (`wall / batch_size`). Equal to [`BackendRun::latency_s`]
+    /// for unfused (solo or looped) execution.
+    pub amortized_s: f64,
     /// Full cycle/activity statistics ([`CycleAccurate`] only).
     pub stats: Option<SimStats>,
 }
@@ -151,6 +161,22 @@ impl BackendRun {
     /// Item latency in microseconds.
     pub fn latency_us(&self) -> f64 {
         self.latency_s * 1e6
+    }
+
+    /// Amortized per-item cost in microseconds (`wall / batch` for
+    /// fused batches, the plain latency otherwise).
+    pub fn amortized_us(&self) -> f64 {
+        self.amortized_s * 1e6
+    }
+
+    /// An unfused run: the amortized cost *is* the latency.
+    pub(crate) fn solo(outputs: Vec<Q8p8>, latency_s: f64, stats: Option<SimStats>) -> Self {
+        Self {
+            outputs,
+            latency_s,
+            amortized_s: latency_s,
+            stats,
+        }
     }
 }
 

@@ -28,17 +28,33 @@
 //! per-item latency, which is exactly the latency-versus-throughput
 //! trade the paper frames EIE against.
 //!
-//! The pre-plan streaming kernel is retained behind
-//! [`NativeCpu::without_plans`] (and `BackendKind::NativeStreaming`) as
-//! the measured A/B baseline — `kernel_sweep` and the property tests
-//! hold the two paths bit-exact against each other.
+//! The fused kernel is **batch-lane vectorized**: activations are
+//! transposed once per batch into zero-padded [`LANE_WIDTH`]-item lane
+//! blocks, and each pre-decoded weight is applied to a whole block as
+//! one fixed-width `[i32; LANE_WIDTH]` saturating MAC — a shape the
+//! autovectorizer can prove, with an AVX2 `core::arch` path behind the
+//! `simd` cargo feature (runtime-detected; see [`lane_isa`]). Because
+//! every batch item's saturating-`Accum32` chain is independent and a
+//! padded lane adds a zero product (a no-op under saturating addition),
+//! vectorizing across the batch cannot change any item's add sequence.
+//! The scan is tiled by the plan's per-layer [`LaneTile`] (columns ×
+//! lane-block) so the tile's SoA entry runs stay cache-resident across
+//! lane blocks.
+//!
+//! Two measured A/B baselines are retained: the pre-plan streaming
+//! kernel behind [`NativeCpu::without_plans`] (and
+//! `BackendKind::NativeStreaming`) and the scalar fused plan kernel
+//! behind [`NativeCpu::without_lanes`] — `kernel_sweep` and the
+//! property tests hold all three bit-exact against each other.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
-use eie_compress::{EncodedLayer, LayerPlan, PeSlice, PlanSlice, CODEBOOK_SIZE};
+use eie_compress::{
+    EncodedLayer, LaneTile, LayerPlan, PeSlice, PlanSlice, CODEBOOK_SIZE, LANE_WIDTH,
+};
 use eie_fixed::{Accum32, Q8p8};
 use eie_sim::broadcast_schedule;
 
@@ -107,6 +123,9 @@ struct PlanCacheMap {
 struct Inner {
     threads: usize,
     use_plans: bool,
+    /// `false` only for the [`NativeCpu::without_lanes`] scalar fused
+    /// A/B baseline: batches run the pre-lane per-item-list kernel.
+    use_lanes: bool,
     /// Spawned on the first parallel planned run; `threads - 1` parked
     /// workers (the session holder executes the remaining share).
     pool: OnceLock<WorkerPool>,
@@ -127,6 +146,7 @@ impl std::fmt::Debug for NativeCpu {
         f.debug_struct("NativeCpu")
             .field("threads", &self.inner.threads)
             .field("plans", &self.inner.use_plans)
+            .field("lanes", &self.inner.use_lanes)
             .field("cached_plans", &self.cached_plans())
             .finish()
     }
@@ -150,6 +170,7 @@ impl NativeCpu {
             inner: Arc::new(Inner {
                 threads,
                 use_plans: true,
+                use_lanes: true,
                 pool: OnceLock::new(),
                 plans: RwLock::new(PlanCacheMap::default()),
                 plan_builds: AtomicU64::new(0),
@@ -167,6 +188,27 @@ impl NativeCpu {
             inner: Arc::new(Inner {
                 threads: self.inner.threads,
                 use_plans: false,
+                use_lanes: false,
+                pool: OnceLock::new(),
+                plans: RwLock::new(PlanCacheMap::default()),
+                plan_builds: AtomicU64::new(0),
+                session: Mutex::new(Session::new()),
+            }),
+        }
+    }
+
+    /// Disables batch-lane vectorization: fused batches run the scalar
+    /// plan kernel (per-column live-item lists, one MAC at a time).
+    /// This is the `simd-vs-scalar` A/B baseline for `kernel_sweep`,
+    /// the `lanes` criterion bench and the property tests, not a
+    /// serving configuration. Single items are unaffected (they never
+    /// use lanes).
+    pub fn without_lanes(self) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                threads: self.inner.threads,
+                use_plans: self.inner.use_plans,
+                use_lanes: false,
                 pool: OnceLock::new(),
                 plans: RwLock::new(PlanCacheMap::default()),
                 plan_builds: AtomicU64::new(0),
@@ -184,6 +226,13 @@ impl NativeCpu {
     /// [`NativeCpu::without_plans`] streaming baseline).
     pub fn uses_plans(&self) -> bool {
         self.inner.use_plans
+    }
+
+    /// Whether fused batches run the batch-lane vectorized kernel
+    /// (`false` for the [`NativeCpu::without_lanes`] scalar A/B
+    /// baseline and the streaming baseline).
+    pub fn uses_lanes(&self) -> bool {
+        self.inner.use_lanes
     }
 
     /// Number of layer plans currently cached by this engine.
@@ -288,24 +337,35 @@ impl NativeCpu {
         let b = batch.len();
         let mut guard = self.inner.session.lock().expect("session poisoned");
         let session = &mut *guard;
-        {
-            let schedule = exclusive(&mut session.batch);
-            schedule.live.clear();
-            schedule.col_ptr.clear();
-            schedule.col_ptr.push(0);
-            for j in 0..plan.cols() {
-                for (i, item) in batch.iter().enumerate() {
-                    let a = item[j];
-                    if !a.is_zero() {
-                        schedule.live.push((i as u32, a.raw() as i32));
-                    }
-                }
-                schedule.col_ptr.push(schedule.live.len() as u32);
+        let input = if self.inner.use_lanes {
+            {
+                let schedule = exclusive(&mut session.lanes);
+                schedule.fill(batch, plan.cols());
             }
-        }
-        let input = TaskInput::Batch {
-            schedule: Arc::clone(&session.batch),
-            batch: b,
+            TaskInput::Lanes {
+                schedule: Arc::clone(&session.lanes),
+                batch: b,
+            }
+        } else {
+            {
+                let schedule = exclusive(&mut session.batch);
+                schedule.live.clear();
+                schedule.col_ptr.clear();
+                schedule.col_ptr.push(0);
+                for j in 0..plan.cols() {
+                    for (i, item) in batch.iter().enumerate() {
+                        let a = item[j];
+                        if !a.is_zero() {
+                            schedule.live.push((i as u32, a.raw() as i32));
+                        }
+                    }
+                    schedule.col_ptr.push(schedule.live.len() as u32);
+                }
+            }
+            TaskInput::Batch {
+                schedule: Arc::clone(&session.batch),
+                batch: b,
+            }
         };
         let mut outputs: Vec<Vec<Q8p8>> = (0..b).map(|_| vec![Q8p8::ZERO; plan.rows()]).collect();
         let failed = self.dispatch(session, plan, input, relu, &mut |plan, range, scratch| {
@@ -415,16 +475,82 @@ pub(super) struct BatchSchedule {
     pub(super) col_ptr: Vec<u32>,
 }
 
+/// The batch-lane schedule: activations transposed once per batch into
+/// [`LANE_WIDTH`]-item lane blocks, so the kernel can apply one weight
+/// to a whole block as a fixed-width vector MAC.
+///
+/// Layouts (`blocks = batch.div_ceil(LANE_WIDTH)`):
+/// * `acts[(lb * cols + j) * LANE_WIDTH + k]` — item `lb * LANE_WIDTH + k`'s
+///   raw activation for column `j`; the last block's missing items are
+///   zero (a zero product is a saturating-add no-op, so padded lanes
+///   cannot perturb real items and their own lanes are discarded at
+///   gather).
+/// * `live[lb * cols + j]` — non-zero when *any* item of block `lb` has
+///   a non-zero activation in column `j` (the lane analogue of the
+///   broadcast schedule's zero-skip: a dead column costs one byte test
+///   per block instead of `entries × LANE_WIDTH` MACs).
+#[derive(Debug, Default)]
+pub(super) struct LaneSchedule {
+    acts: Vec<i32>,
+    live: Vec<u8>,
+    cols: usize,
+    blocks: usize,
+}
+
+impl LaneSchedule {
+    /// Rebuilds the schedule in place from a batch (buffers reused —
+    /// steady state allocates nothing once grown to high water).
+    fn fill(&mut self, batch: &[Vec<Q8p8>], cols: usize) {
+        let blocks = batch.len().div_ceil(LANE_WIDTH);
+        self.cols = cols;
+        self.blocks = blocks;
+        self.acts.clear();
+        self.acts.resize(blocks * cols * LANE_WIDTH, 0);
+        self.live.clear();
+        self.live.resize(blocks * cols, 0);
+        for (i, item) in batch.iter().enumerate() {
+            let (lb, k) = (i / LANE_WIDTH, i % LANE_WIDTH);
+            let base = lb * cols;
+            for (j, &a) in item.iter().enumerate() {
+                if !a.is_zero() {
+                    self.acts[(base + j) * LANE_WIDTH + k] = a.raw() as i32;
+                    self.live[base + j] = 1;
+                }
+            }
+        }
+    }
+
+    /// Lane block `lb`'s transposed activations (`cols × LANE_WIDTH`).
+    #[inline]
+    fn acts_block(&self, lb: usize) -> &[i32] {
+        &self.acts[lb * self.cols * LANE_WIDTH..][..self.cols * LANE_WIDTH]
+    }
+
+    /// Lane block `lb`'s per-column any-live mask (`cols` long).
+    #[inline]
+    fn live_block(&self, lb: usize) -> &[u8] {
+        &self.live[lb * self.cols..][..self.cols]
+    }
+}
+
 /// One run's shared read-only input, cloned (refcount-only) per worker.
 #[derive(Debug, Clone)]
 pub(super) enum TaskInput {
     /// One item's broadcast schedule.
     Single(Arc<SingleSchedule>),
-    /// A fused batch's schedule plus the batch size.
+    /// A fused batch's scalar schedule plus the batch size (the
+    /// `without_lanes` A/B baseline).
     Batch {
         /// Per-column live items.
         schedule: Arc<BatchSchedule>,
         /// Number of items in the batch.
+        batch: usize,
+    },
+    /// A fused batch's lane schedule plus the true batch size.
+    Lanes {
+        /// Transposed lane-block activations.
+        schedule: Arc<LaneSchedule>,
+        /// Number of real items (the last lane block may be padded).
         batch: usize,
     },
 }
@@ -454,8 +580,11 @@ impl Task {
 /// Reusable per-worker buffers: accumulators for one slice at a time
 /// and the range's written-back outputs, one block per PE (block layout
 /// `[local_row]` for single items, `[local_row * batch + item]` for
-/// fused batches). Grows to a high-water mark, then steady-state runs
-/// allocate nothing.
+/// fused batches). The lane kernel's accumulator blocks are
+/// lane-aligned — `local_rows × LANE_WIDTH × lane_blocks`, padded past
+/// the true batch size — so the high-water mark covers the vector
+/// stripes too. Grows to that mark, then steady-state runs allocate
+/// nothing.
 #[derive(Debug, Default)]
 pub(super) struct WorkerScratch {
     accum: Vec<i32>,
@@ -473,7 +602,7 @@ fn run_pe_range(
 ) {
     let b = match input {
         TaskInput::Single(_) => 1,
-        TaskInput::Batch { batch, .. } => *batch,
+        TaskInput::Batch { batch, .. } | TaskInput::Lanes { batch, .. } => *batch,
     };
     let slices = &plan.slices()[first..end];
     let total: usize = slices.iter().map(|s| s.local_rows() * b).sum();
@@ -481,10 +610,19 @@ fn run_pe_range(
     let mut offset = 0;
     for slice in slices {
         let block = slice.local_rows() * b;
-        if scratch.accum.len() < block {
-            scratch.accum.resize(block, 0);
+        // The lane kernel accumulates into lane-aligned blocks (batch
+        // rounded up to whole LANE_WIDTH lanes); the scalar kernels use
+        // exactly `block`. Size the shared scratch for whichever runs.
+        let accum_len = match input {
+            TaskInput::Lanes { batch, .. } => {
+                slice.local_rows() * batch.div_ceil(LANE_WIDTH) * LANE_WIDTH
+            }
+            _ => block,
+        };
+        if scratch.accum.len() < accum_len {
+            scratch.accum.resize(accum_len, 0);
         }
-        let accum = &mut scratch.accum[..block];
+        let accum = &mut scratch.accum[..accum_len];
         let out = &mut scratch.out[offset..offset + block];
         match input {
             TaskInput::Single(schedule) => {
@@ -492,6 +630,9 @@ fn run_pe_range(
             }
             TaskInput::Batch { schedule, batch } => {
                 plan_slice_batch(slice, schedule, *batch, accum, out, relu);
+            }
+            TaskInput::Lanes { schedule, batch } => {
+                plan_slice_lanes(slice, schedule, *batch, plan.lane_tile(), accum, out, relu);
             }
         }
         offset += block;
@@ -513,9 +654,10 @@ fn plan_slice_single(
 ) {
     accum.fill(0);
     for &(j, a) in schedule {
-        for e in slice.col_entries(j as usize) {
-            let acc = &mut accum[e.row as usize];
-            *acc = acc.saturating_add(e.weight * a);
+        let (rows, weights) = slice.col(j as usize);
+        for (&row, &w) in rows.iter().zip(weights) {
+            let acc = &mut accum[row as usize];
+            *acc = acc.saturating_add(w * a);
         }
     }
     for (slot, &acc) in out.iter_mut().zip(accum.iter()) {
@@ -523,10 +665,11 @@ fn plan_slice_single(
     }
 }
 
-/// The fused batch kernel over a plan slice: each pre-decoded entry is
-/// applied to every live item of its column, touching one contiguous
-/// `[row * batch .. (row + 1) * batch]` accumulator stripe. Outputs land
-/// in the same `[local_row * batch + item]` layout.
+/// The scalar fused batch kernel over a plan slice (the
+/// `without_lanes` A/B baseline): each pre-decoded entry is applied to
+/// every live item of its column, one MAC at a time, touching one
+/// contiguous `[row * batch .. (row + 1) * batch]` accumulator stripe.
+/// Outputs land in the same `[local_row * batch + item]` layout.
 fn plan_slice_batch(
     slice: &PlanSlice,
     schedule: &BatchSchedule,
@@ -541,16 +684,183 @@ fn plan_slice_batch(
         if live.is_empty() {
             continue;
         }
-        for e in slice.col_entries(j) {
-            let stripe = &mut accum[e.row as usize * batch..(e.row as usize + 1) * batch];
+        let (rows, weights) = slice.col(j);
+        for (&row, &w) in rows.iter().zip(weights) {
+            let stripe = &mut accum[row as usize * batch..(row as usize + 1) * batch];
             for &(i, a) in live {
                 let acc = &mut stripe[i as usize];
-                *acc = acc.saturating_add(e.weight * a);
+                *acc = acc.saturating_add(w * a);
             }
         }
     }
     for (slot, &acc) in out.iter_mut().zip(accum.iter()) {
         *slot = writeback(acc, relu);
+    }
+}
+
+/// The batch-lane vectorized fused kernel over a plan slice: one
+/// pre-decoded weight × one [`LANE_WIDTH`]-item activation block per
+/// MAC step, as a fixed-width `[i32; LANE_WIDTH]` saturating
+/// multiply-accumulate (autovectorized, or AVX2 under the `simd`
+/// feature — see [`mac_span`]).
+///
+/// The scan is tiled: column tiles (the plan's per-layer [`LaneTile`])
+/// outermost, lane blocks inside, so a tile's SoA entry runs are
+/// re-read L1-hot for every block instead of streaming the whole plan
+/// once per block.
+///
+/// **Add-order invariant.** For any one item (one lane `k` of one
+/// block `lb`), accumulator `(row, lb, k)` receives products from
+/// columns in ascending order — tiles ascend and blocks don't reorder
+/// columns within a tile — with entries in storage order, exactly the
+/// scalar kernels' sequence. Other lanes of the vector belong to other
+/// items (independent accumulator chains), and a lane whose item has a
+/// zero activation (or doesn't exist, in a padded tail block) adds a
+/// zero product — a saturating-add no-op. So vectorizing across the
+/// batch cannot change any item's saturation behaviour.
+///
+/// Accumulators are lane-aligned — `[(lb * local_rows + row) * LANE_WIDTH + k]`
+/// — and written back to the scalar layout `[row * batch + item]`,
+/// dropping padded lanes, so gather is shared with the scalar batch
+/// kernel.
+#[allow(clippy::too_many_arguments)]
+fn plan_slice_lanes(
+    slice: &PlanSlice,
+    schedule: &LaneSchedule,
+    batch: usize,
+    tile: LaneTile,
+    accum: &mut [i32],
+    out: &mut [Q8p8],
+    relu: bool,
+) {
+    let rows = slice.local_rows();
+    let (cols, blocks) = (schedule.cols, schedule.blocks);
+    let tile_cols = tile.cols().max(1);
+    accum.fill(0);
+    for tile_start in (0..cols).step_by(tile_cols) {
+        let tile_end = (tile_start + tile_cols).min(cols);
+        for lb in 0..blocks {
+            let acts = schedule.acts_block(lb);
+            let live = schedule.live_block(lb);
+            let acc = &mut accum[lb * rows * LANE_WIDTH..][..rows * LANE_WIDTH];
+            for j in tile_start..tile_end {
+                if live[j] == 0 {
+                    continue;
+                }
+                let a: &[i32; LANE_WIDTH] = acts[j * LANE_WIDTH..][..LANE_WIDTH]
+                    .try_into()
+                    .expect("lane chunk is LANE_WIDTH long");
+                let (col_rows, col_weights) = slice.col(j);
+                mac_span(col_rows, col_weights, a, acc);
+            }
+        }
+    }
+    // Write back to the shared `[row * batch + item]` layout, dropping
+    // the padded lanes of the last block.
+    for r in 0..rows {
+        let row_out = &mut out[r * batch..][..batch];
+        for (i, slot) in row_out.iter_mut().enumerate() {
+            let (lb, k) = (i / LANE_WIDTH, i % LANE_WIDTH);
+            *slot = writeback(accum[(lb * rows + r) * LANE_WIDTH + k], relu);
+        }
+    }
+}
+
+/// One column's MAC span: every pre-decoded `(row, weight)` entry times
+/// one [`LANE_WIDTH`]-item activation block, saturating into the
+/// lane-aligned accumulator stripes. Dispatches to the AVX2 intrinsics
+/// path when the `simd` feature is on and the CPU supports it
+/// (detection is cached by `std`), otherwise to the fixed-width scalar
+/// form the autovectorizer can prove.
+#[inline]
+#[cfg_attr(all(feature = "simd", target_arch = "x86_64"), allow(unsafe_code))]
+fn mac_span(rows: &[u32], weights: &[i32], a: &[i32; LANE_WIDTH], accum: &mut [i32]) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the AVX2 target feature was just detected at runtime.
+        unsafe { simd::mac_span_avx2(rows, weights, a, accum) };
+        return;
+    }
+    mac_span_scalar(rows, weights, a, accum);
+}
+
+/// The portable lane MAC: a fixed-width `[i32; LANE_WIDTH]` loop with
+/// no early exits, which the autovectorizer lowers to full-width vector
+/// adds (the saturation select becomes a vector blend).
+fn mac_span_scalar(rows: &[u32], weights: &[i32], a: &[i32; LANE_WIDTH], accum: &mut [i32]) {
+    for (&row, &w) in rows.iter().zip(weights) {
+        let acc: &mut [i32; LANE_WIDTH] = (&mut accum[row as usize * LANE_WIDTH..][..LANE_WIDTH])
+            .try_into()
+            .expect("lane stripe is LANE_WIDTH long");
+        for (slot, &ak) in acc.iter_mut().zip(a) {
+            // Raw weights and activations are i16-range (Q8.8), so the
+            // product fits i32 exactly; only the accumulate saturates.
+            *slot = slot.saturating_add(w * ak);
+        }
+    }
+}
+
+/// Which instruction path the lane kernel's MAC takes on this host:
+/// `"avx2"` when the `simd` feature is compiled in and the CPU has it,
+/// `"scalar"` (autovectorized fixed-width loops) otherwise. Recorded by
+/// `kernel_sweep` so committed numbers say what they measured.
+pub fn lane_isa() -> &'static str {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        return "avx2";
+    }
+    "scalar"
+}
+
+/// The AVX2 `core::arch` lane MAC, compiled only under the `simd`
+/// feature. i32 has no native saturating add; it is synthesized from
+/// two's-complement overflow detection (overflow iff the addends share
+/// a sign and the sum doesn't) and a sign-directed blend to
+/// `i32::MAX`/`i32::MIN` — bit-identical to `i32::saturating_add` per
+/// lane, verified against the scalar kernel by the lane property tests.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd {
+    #![allow(unsafe_code)]
+
+    use core::arch::x86_64::*;
+
+    use super::LANE_WIDTH;
+
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn mac_span_avx2(
+        rows: &[u32],
+        weights: &[i32],
+        a: &[i32; LANE_WIDTH],
+        accum: &mut [i32],
+    ) {
+        // SAFETY: `a` is exactly one 256-bit lane block (LANE_WIDTH = 8
+        // i32s); unaligned load is explicit.
+        let va = unsafe { _mm256_loadu_si256(a.as_ptr().cast()) };
+        let max = _mm256_set1_epi32(i32::MAX);
+        for (&row, &w) in rows.iter().zip(weights) {
+            let stripe = row as usize * LANE_WIDTH;
+            debug_assert!(stripe + LANE_WIDTH <= accum.len());
+            let ptr = unsafe { accum.as_mut_ptr().add(stripe) };
+            // SAFETY: plan rows index `local_rows` stripes of exactly
+            // LANE_WIDTH accumulators each (sized by `run_pe_range`).
+            let acc = unsafe { _mm256_loadu_si256(ptr.cast()) };
+            // Q8.8 × Q8.8 products fit i32; mullo is exact.
+            let prod = _mm256_mullo_epi32(_mm256_set1_epi32(w), va);
+            let sum = _mm256_add_epi32(acc, prod);
+            // Overflow per lane iff acc and prod agree in sign but the
+            // sum doesn't: sign bit of (~(acc^prod)) & (acc^sum).
+            let ovf = _mm256_andnot_si256(_mm256_xor_si256(acc, prod), _mm256_xor_si256(acc, sum));
+            // The saturated value has acc's sign flipped into the rail:
+            // acc >= 0 → MAX, acc < 0 → MIN.
+            let rail = _mm256_xor_si256(_mm256_srai_epi32(acc, 31), max);
+            let mask = _mm256_srai_epi32(ovf, 31);
+            let res = _mm256_blendv_epi8(sum, rail, mask);
+            // SAFETY: same stripe bounds as the load above.
+            unsafe { _mm256_storeu_si256(ptr.cast(), res) };
+        }
     }
 }
 
@@ -821,6 +1131,7 @@ fn execute_batch_fused(
 struct Session {
     single: Arc<SingleSchedule>,
     batch: Arc<BatchSchedule>,
+    lanes: Arc<LaneSchedule>,
     latch: Arc<Latch>,
     local: WorkerScratch,
 }
@@ -830,6 +1141,7 @@ impl Session {
         Self {
             single: Arc::new(SingleSchedule::default()),
             batch: Arc::new(BatchSchedule::default()),
+            lanes: Arc::new(LaneSchedule::default()),
             latch: Arc::new(Latch::new()),
             local: WorkerScratch::default(),
         }
@@ -837,14 +1149,18 @@ impl Session {
 }
 
 /// Wraps fused per-item outputs into runs that all report the batch's
-/// wall time: a fused batch completes as a unit, so that *is* each
-/// item's serving latency.
+/// wall time as their latency: a fused batch completes as a unit, so
+/// that *is* each item's serving latency. The amortized cost is the
+/// wall divided over the batch — the distribution callers should rank
+/// at batch > 1 (see [`BackendRun::amortized_s`]).
 fn fused_runs(outputs: Vec<Vec<Q8p8>>, wall_s: f64) -> Vec<BackendRun> {
+    let amortized_s = wall_s / outputs.len().max(1) as f64;
     outputs
         .into_iter()
         .map(|outputs| BackendRun {
             outputs,
             latency_s: wall_s,
+            amortized_s,
             stats: None,
         })
         .collect()
@@ -860,20 +1176,12 @@ impl Backend for NativeCpu {
         if !self.inner.use_plans {
             let start = Instant::now();
             let outputs = execute_sliced(layer, acts, relu, self.inner.threads);
-            return BackendRun {
-                outputs,
-                latency_s: start.elapsed().as_secs_f64(),
-                stats: None,
-            };
+            return BackendRun::solo(outputs, start.elapsed().as_secs_f64(), None);
         }
         let plan = self.plan_for(layer);
         let start = Instant::now();
         let outputs = self.planned_single(&plan, acts, relu);
-        BackendRun {
-            outputs,
-            latency_s: start.elapsed().as_secs_f64(),
-            stats: None,
-        }
+        BackendRun::solo(outputs, start.elapsed().as_secs_f64(), None)
     }
 
     fn run_layer_batch(
@@ -916,11 +1224,7 @@ impl Backend for NativeCpu {
                 check_activations(planned.layer, acts);
                 let start = Instant::now();
                 let outputs = self.planned_single(plan, acts, relu);
-                BackendRun {
-                    outputs,
-                    latency_s: start.elapsed().as_secs_f64(),
-                    stats: None,
-                }
+                BackendRun::solo(outputs, start.elapsed().as_secs_f64(), None)
             }
             _ => self.run_layer(planned.layer, acts, relu),
         }
@@ -1099,6 +1403,94 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn lane_and_scalar_fused_kernels_are_bit_exact_at_remainder_batches() {
+        // Every congruence class around LANE_WIDTH, including exact
+        // multiples, one-off remainders, and a lone spillover lane.
+        let layer = Benchmark::Alex6.generate_scaled(3, 96);
+        let enc = compress(&layer.weights, CompressConfig::with_pes(8));
+        for b in [2usize, 7, 8, 9, 13, 16, 17] {
+            let batch: Vec<Vec<Q8p8>> = (0..b)
+                .map(|i| quantize(&layer.sample_activations(i as u64)))
+                .collect();
+            for threads in [1, 4] {
+                let lanes = NativeCpu::with_threads(threads);
+                let scalar = NativeCpu::with_threads(threads).without_lanes();
+                assert!(lanes.uses_lanes());
+                assert!(!scalar.uses_lanes() && scalar.uses_plans());
+                for relu in [false, true] {
+                    let lv = lanes.run_layer_batch(&enc, &batch, relu);
+                    let sv = scalar.run_layer_batch(&enc, &batch, relu);
+                    for i in 0..b {
+                        assert_eq!(
+                            lv[i].outputs, sv[i].outputs,
+                            "batch {b} item {i} diverged ({threads}t, relu {relu})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_kernel_respects_overridden_tiles() {
+        // Any tile size must produce identical bits — tiles only change
+        // traversal grouping, never per-item column order.
+        let layer = Benchmark::Vgg6.generate_scaled(4, 96);
+        let enc = compress(&layer.weights, CompressConfig::with_pes(4));
+        let batch: Vec<Vec<Q8p8>> = (0..11)
+            .map(|i| quantize(&layer.sample_activations(i)))
+            .collect();
+        let expected: Vec<_> = batch
+            .iter()
+            .map(|acts| functional::execute(&enc, acts, true))
+            .collect();
+        for tile_cols in [1, 3, 64, enc.cols()] {
+            let plan = Arc::new(
+                LayerPlan::build(&enc).with_lane_tile(eie_compress::LaneTile::fixed(tile_cols)),
+            );
+            let backend = NativeCpu::with_threads(2);
+            let runs = backend.run_layer_batch_planned(
+                super::PlannedLayer {
+                    layer: &enc,
+                    plan: Some(&plan),
+                },
+                &batch,
+                true,
+            );
+            for (i, run) in runs.iter().enumerate() {
+                assert_eq!(run.outputs, expected[i], "tile {tile_cols} item {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_runs_amortize_wall_over_the_batch() {
+        let layer = Benchmark::Alex7.generate_scaled(4, 64);
+        let enc = compress(&layer.weights, CompressConfig::with_pes(4));
+        let batch: Vec<Vec<Q8p8>> = (0..6)
+            .map(|i| quantize(&layer.sample_activations(i)))
+            .collect();
+        let backend = NativeCpu::with_threads(2);
+        let runs = backend.run_layer_batch(&enc, &batch, false);
+        for run in &runs {
+            // Fused: every item carries the batch wall, amortized 1/6.
+            assert_eq!(run.latency_s, runs[0].latency_s);
+            assert!((run.amortized_s - run.latency_s / 6.0).abs() < 1e-15);
+        }
+        // Solo runs keep amortized == latency.
+        let solo = backend.run_layer(&enc, &batch[0], false);
+        assert_eq!(solo.amortized_s, solo.latency_s);
+    }
+
+    #[test]
+    fn lane_isa_reports_a_known_path() {
+        let isa = super::lane_isa();
+        assert!(isa == "avx2" || isa == "scalar", "{isa}");
+        #[cfg(not(feature = "simd"))]
+        assert_eq!(isa, "scalar");
     }
 
     #[test]

@@ -51,6 +51,26 @@ impl BatchResult {
         self.items.iter().map(BackendRun::latency_us).collect()
     }
 
+    /// Per-item *amortized* costs, µs, in batch order: fused-batch wall
+    /// time divided by the batch size, plain latency for unfused runs.
+    /// Every item of a fused batch reports the same latency (the batch
+    /// completes as a unit), so latency percentiles at batch > 1 are
+    /// degenerate — this is the distribution to rank for
+    /// throughput-style per-item cost.
+    pub fn amortized_us(&self) -> Vec<f64> {
+        self.items.iter().map(BackendRun::amortized_us).collect()
+    }
+
+    /// The `p`-th percentile of amortized per-item cost, µs
+    /// (nearest-rank; `0.0` for an empty batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0.0..=100.0`.
+    pub fn percentile_amortized_us(&self, p: f64) -> f64 {
+        percentile(&self.amortized_us(), p)
+    }
+
     /// Mean per-item latency, µs; `0.0` for an empty batch.
     pub fn mean_latency_us(&self) -> f64 {
         if self.items.is_empty() {
@@ -170,6 +190,7 @@ mod tests {
         BackendRun {
             outputs: vec![Q8p8::ONE],
             latency_s: latency_us * 1e-6,
+            amortized_s: latency_us * 1e-6,
             stats: None,
         }
     }
@@ -238,6 +259,38 @@ mod tests {
         assert_eq!(r.p99(), r.percentile_latency_us(99.0));
         assert_eq!(r.p50(), 3.0);
         assert_eq!(r.p99(), 5.0);
+    }
+
+    #[test]
+    fn amortized_distribution_separates_fused_items() {
+        // A fused batch of 4: every item stamped with the whole batch's
+        // 40 µs wall, amortized to 10 µs each.
+        let items: Vec<BackendRun> = (0..4)
+            .map(|_| BackendRun {
+                outputs: vec![Q8p8::ONE],
+                latency_s: 40.0e-6,
+                amortized_s: 10.0e-6,
+                stats: None,
+            })
+            .collect();
+        let r = BatchResult {
+            backend: "test",
+            items,
+            wall_s: 40.0e-6,
+            energy: None,
+        };
+        // Latency percentiles are degenerate (by design: the batch
+        // completes as a unit)...
+        assert_eq!(r.p50(), r.p99());
+        assert_eq!(r.p99(), 40.0);
+        // ...while the amortized distribution carries the per-frame
+        // number and sums back to the wall.
+        assert_eq!(r.percentile_amortized_us(50.0), 10.0);
+        assert!((r.amortized_us().iter().sum::<f64>() - r.wall_time_us()).abs() < 1e-9);
+        // Unfused runs keep amortized == latency.
+        assert_eq!(run(5.0).amortized_us(), run(5.0).latency_us());
+        // Empty batches still report without panicking.
+        assert_eq!(result(&[]).percentile_amortized_us(99.0), 0.0);
     }
 
     #[test]

@@ -280,6 +280,20 @@ impl JobResult {
         self.batch.items[i].latency_us()
     }
 
+    /// Item `i`'s amortized per-item cost, µs: fused-batch wall time
+    /// divided by the batch size (equal to [`JobResult::latency_us`]
+    /// for unfused execution). At batch > 1 the fused native kernel
+    /// stamps every item with the batch's wall time, so *latency*
+    /// percentiles are degenerate — this is the throughput-style
+    /// per-item number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= batch_size()`.
+    pub fn amortized_latency_us(&self, i: usize) -> f64 {
+        self.batch.items[i].amortized_us()
+    }
+
     /// Item `i`'s cycle/activity statistics (cycle backend only), merged
     /// over the selected layers.
     ///
@@ -450,6 +464,7 @@ fn chain_stack(
     assert!(!batch.is_empty(), "batch must be non-empty");
     let n = batch.len();
     let mut latency_s = vec![0.0f64; n];
+    let mut amortized_s = vec![0.0f64; n];
     let mut stats: Vec<Option<SimStats>> = vec![None; n];
     let mut current: Vec<Vec<Q8p8>> = batch.to_vec();
     let mut phases: Vec<LayerPhase> = Vec::with_capacity(layers.len());
@@ -463,6 +478,7 @@ fn chain_stack(
         let mut next: Vec<Vec<Q8p8>> = Vec::with_capacity(n);
         for (i, run) in runs.into_iter().enumerate() {
             latency_s[i] += run.latency_s;
+            amortized_s[i] += run.amortized_s;
             phase.latency_s += run.latency_s;
             match (&mut phase.stats, run.stats.as_ref()) {
                 (None, Some(s)) => phase.stats = Some(s.clone()),
@@ -481,11 +497,12 @@ fn chain_stack(
     }
     let items = current
         .into_iter()
-        .zip(latency_s)
+        .zip(latency_s.into_iter().zip(amortized_s))
         .zip(stats)
-        .map(|((outputs, latency_s), stats)| BackendRun {
+        .map(|((outputs, (latency_s, amortized_s)), stats)| BackendRun {
             outputs,
             latency_s,
+            amortized_s,
             stats,
         })
         .collect();

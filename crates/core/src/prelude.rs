@@ -10,6 +10,7 @@
 //! assert_eq!(out.outputs(0).len(), 32);
 //! ```
 
+pub use crate::backend::lane_isa;
 pub use crate::{
     activity_from_stats, percentile, Backend, BackendKind, BackendRun, BatchResult,
     BenchmarkInstance, CompiledModel, CycleAccurate, EieConfig, Engine, ExecutionResult,
@@ -19,7 +20,7 @@ pub use crate::{
 
 pub use eie_compress::{
     compress, encode_with_codebook, Codebook, CodebookStrategy, CompilePipeline, CompressConfig,
-    EncodedLayer, EncodingStats, LayerPlan,
+    EncodedLayer, EncodingStats, LaneTile, LayerPlan, LANE_WIDTH,
 };
 pub use eie_energy::{platform::Platform, EnergyReport, LayerActivity, PeModel, SramModel};
 pub use eie_fixed::{Accum32, Fix16, Precision, Q8p8, QFormat};

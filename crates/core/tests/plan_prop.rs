@@ -1,12 +1,15 @@
 //! Property tests of the execution-plan refactor: the plan kernel is a
 //! *layout* change, never a numerical one.
 //!
-//! For random layers, PE counts and batch shapes, the plan-based
-//! `NativeCpu` must produce `Q8p8` outputs bit-identical to the
-//! streaming kernel it replaced and to the functional golden model —
-//! including on saturation-heavy inputs near the `Accum32` limits,
-//! where any reordering or dropped-padding mistake in plan lowering
-//! would change which saturating add clamps first.
+//! For random layers, PE counts and batch shapes, the batch-lane
+//! vectorized `NativeCpu` must produce `Q8p8` outputs bit-identical to
+//! the scalar plan kernel (`without_lanes`), to the streaming kernel
+//! they replaced (`without_plans`), and to the functional golden model
+//! — including on saturation-heavy inputs near the `Accum32` limits,
+//! where any reordering, dropped-padding, or lane-padding mistake would
+//! change which saturating add clamps first, and at every lane-remainder
+//! batch size (each congruence class mod [`LANE_WIDTH`] plus a
+//! non-multiple like 13), where a tail-block bug would show.
 
 use eie_core::prelude::*;
 use proptest::prelude::*;
@@ -23,7 +26,10 @@ fn arb_case() -> impl Strategy<Value = (EncodedLayer, Vec<Vec<Q8p8>>)> {
         prop_oneof![Just(1usize), Just(2), Just(3), Just(4), Just(8)],
         0.1f64..1.0,
         any::<u64>(),
-        1usize..6,
+        // Every batch size through one past the lane width (covers each
+        // remainder class of the lane kernel's padded tail block), plus
+        // a larger non-multiple.
+        prop_oneof![1usize..=LANE_WIDTH + 1, Just(13usize)],
     )
         .prop_map(
             |(rows, cols, density, seed, pes, act_density, act_seed, batch)| {
@@ -59,7 +65,9 @@ fn arb_saturating_case() -> impl Strategy<Value = (EncodedLayer, Vec<Vec<Q8p8>>)
         4usize..24,
         any::<u64>(),
         prop_oneof![Just(1usize), Just(2), Just(4)],
-        1usize..4,
+        // Lane-remainder batches for the saturation cases too: padded
+        // tail lanes must stay no-ops even when real lanes clamp.
+        prop_oneof![1usize..=LANE_WIDTH + 1, Just(13usize)],
     )
         .prop_map(|(rows, cols, seed, pes, batch)| {
             let mut state = seed | 1;
@@ -106,8 +114,9 @@ fn arb_saturating_case() -> impl Strategy<Value = (EncodedLayer, Vec<Vec<Q8p8>>)
         })
 }
 
-/// Asserts plan NativeCpu == streaming NativeCpu == functional golden,
-/// item by item, single and batched, both writeback modes.
+/// Asserts lane NativeCpu == scalar plan NativeCpu == streaming
+/// NativeCpu == functional golden, item by item, single and batched,
+/// both writeback modes.
 fn assert_plan_streaming_golden_agree(
     enc: &EncodedLayer,
     batch: &[Vec<Q8p8>],
@@ -115,6 +124,7 @@ fn assert_plan_streaming_golden_agree(
 ) -> Result<(), TestCaseError> {
     let golden = Functional::new();
     let plan = NativeCpu::with_threads(threads);
+    let scalar = plan.clone().without_lanes();
     let stream = plan.clone().without_plans();
     for relu in [false, true] {
         let want = golden.run_layer(enc, &batch[0], relu);
@@ -136,13 +146,24 @@ fn assert_plan_streaming_golden_agree(
         );
         let want_b = golden.run_layer_batch(enc, batch, relu);
         let p_b = plan.run_layer_batch(enc, batch, relu);
+        let c_b = scalar.run_layer_batch(enc, batch, relu);
         let s_b = stream.run_layer_batch(enc, batch, relu);
         for i in 0..batch.len() {
             prop_assert_eq!(
                 &p_b[i].outputs,
                 &want_b[i].outputs,
-                "plan batch item {} diverged (relu={}, {} threads)",
+                "lane batch item {} of {} diverged (relu={}, {} threads)",
                 i,
+                batch.len(),
+                relu,
+                threads
+            );
+            prop_assert_eq!(
+                &c_b[i].outputs,
+                &want_b[i].outputs,
+                "scalar-plan batch item {} of {} diverged (relu={}, {} threads)",
+                i,
+                batch.len(),
                 relu,
                 threads
             );
