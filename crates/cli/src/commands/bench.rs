@@ -5,7 +5,7 @@ use std::time::Instant;
 use eie_core::prelude::*;
 use eie_core::BackendKind;
 
-use crate::commands::{load_model, parse_backend, sample_batch};
+use crate::commands::{load_model, parse_backend, parse_layout, sample_batch};
 use crate::opts::Opts;
 use crate::outln;
 use crate::CliError;
@@ -20,6 +20,12 @@ OPTIONS:
                       [default: native]
     --batch <N>       Batch size per iteration [default: 16]
     --iters <N>       Serving iterations (best is reported) [default: 5]
+    --shards <S>      Split each native dispatch into S row shards
+                      (native backend only)
+    --stages <N|auto> Pipeline the layer stack into N stages, `auto` =
+                      one stage per layer (native backend only)
+    --lane-tile <N>   Override the plan's lane-tile column width
+                      (native backend only)
     --density <D>     Input activation density [default: 0.35]
     --seed <N>        Input sampling seed [default: 1]
     -h, --help        Show this help";
@@ -33,6 +39,7 @@ pub fn run(mut opts: Opts) -> Result<(), CliError> {
         Some(name) => parse_backend(&name)?,
         None => BackendKind::NativeCpu(0),
     };
+    let (topology, lane_tile) = parse_layout(&mut opts, backend)?;
     let batch_size: usize = opts.parsed(&["--batch"])?.unwrap_or(16);
     let iters: usize = opts.parsed(&["--iters"])?.unwrap_or(5);
     let density: f64 = opts.parsed(&["--density"])?.unwrap_or(0.35);
@@ -69,7 +76,14 @@ pub fn run(mut opts: Opts) -> Result<(), CliError> {
 
     // Serving throughput: repeated batches, best and mean.
     let batch = sample_batch(&model, batch_size, density, false, seed);
-    let job = model.infer(backend);
+    let mut job = model.infer(backend);
+    if let Some(topology) = topology {
+        outln!("layout    {topology}");
+        job = job.topology(topology);
+    }
+    if let Some(tile) = lane_tile {
+        job = job.lane_tile(tile);
+    }
     let mut results: Vec<JobResult> = Vec::with_capacity(iters);
     for _ in 0..iters {
         results.push(job.submit(&batch));

@@ -2,7 +2,7 @@
 
 use eie_core::BackendKind;
 
-use crate::commands::{load_model, parse_backend, sample_batch};
+use crate::commands::{load_model, parse_backend, parse_layout, sample_batch};
 use crate::opts::Opts;
 use crate::outln;
 use crate::CliError;
@@ -16,6 +16,12 @@ OPTIONS:
     --backend <B>     cycle | functional | native[:threads] | streaming[:threads]
                       [default: native]
     --batch <N>       Batch size [default: 4]
+    --shards <S>      Split each native dispatch into S row shards
+                      (native backend only)
+    --stages <N|auto> Pipeline the layer stack into N stages, `auto` =
+                      one stage per layer (native backend only)
+    --lane-tile <N>   Override the plan's lane-tile column width
+                      (native backend only)
     --density <D>     Input activation density in [0, 1] [default: 0.35]
     --signed          Sample signed activations (embedding/LSTM inputs)
     --seed <N>        Input sampling seed [default: 1]
@@ -32,6 +38,7 @@ pub fn run(mut opts: Opts) -> Result<(), CliError> {
         Some(name) => parse_backend(&name)?,
         None => BackendKind::NativeCpu(0),
     };
+    let (topology, lane_tile) = parse_layout(&mut opts, backend)?;
     let batch_size: usize = opts.parsed(&["--batch"])?.unwrap_or(4);
     let density: f64 = opts.parsed(&["--density"])?.unwrap_or(0.35);
     let signed = opts.flag("--signed");
@@ -51,7 +58,15 @@ pub fn run(mut opts: Opts) -> Result<(), CliError> {
     let model = load_model(path)?;
     outln!("loaded    {model}");
     let batch = sample_batch(&model, batch_size, density, signed, seed);
-    let result = model.infer(backend).submit(&batch);
+    let mut job = model.infer(backend);
+    if let Some(topology) = topology {
+        outln!("layout    {topology}");
+        job = job.topology(topology);
+    }
+    if let Some(tile) = lane_tile {
+        job = job.lane_tile(tile);
+    }
+    let result = job.submit(&batch);
     outln!("served    {result}");
     if let Some(uj) = result.energy_per_frame_uj() {
         outln!("energy    {uj:.3} uJ/frame (modelled)");

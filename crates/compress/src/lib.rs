@@ -23,6 +23,10 @@
 //!   codebook pre-multiplied into flat per-PE `(row, weight)` arrays)
 //!   that host-speed kernels scan instead of re-decoding the compressed
 //!   stream per call,
+//! * [`Topology`] / [`ShardPlan`] — the execution layout layer: a plan
+//!   splits into contiguous row shards owned by independent worker
+//!   groups, and a topology describes shard → group and layer → stage
+//!   ownership for the sharded/pipelined executors,
 //! * decoding back to [`CsrMatrix`] for golden-model verification.
 //!
 //! # Example
@@ -60,7 +64,7 @@ pub use encode::{
 };
 pub use kmeans::kmeans1d;
 pub use pipeline::{CodebookStrategy, CompilePipeline};
-pub use plan::{LaneTile, LayerPlan, PlanSlice, LANE_WIDTH};
+pub use plan::{LaneTile, LayerPlan, PlanSlice, ShardPlan, Topology, LANE_WIDTH};
 pub use serialize::{DecodeLayerError, MAGIC};
 pub use stats::{huffman_bits, EncodingStats};
 

@@ -139,6 +139,150 @@ impl fmt::Display for LaneTile {
     }
 }
 
+/// How a compiled network's execution is laid out across worker groups:
+/// how many contiguous **row shards** split each layer's PE slices, how
+/// many pipeline **stages** split the layer stack, and how many threads
+/// each shard's worker group owns.
+///
+/// A topology is a pure description of ownership — shard `i` is owned
+/// by worker group `i` of a stage, stage `s` owns a contiguous span of
+/// layers — that engines and executors resolve against what they
+/// actually have (PE count, layer depth, available cores) via
+/// [`Topology::shard_ranges`] and [`Topology::stage_spans`]. The
+/// default ([`Topology::single`]) is one shard × one stage: exactly
+/// the single-pool execution path, unchanged.
+///
+/// Both axes partition **contiguously**: a shard owns a contiguous run
+/// of PE slices and a stage owns a contiguous run of layers. Contiguity
+/// is what makes the shard merge a pure gather (see [`ShardPlan`]) and
+/// the stage hand-off a single activation stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    shards: u32,
+    /// `0` = auto: one stage per layer.
+    stages: u32,
+    /// `0` = auto: the executor divides its available threads.
+    group_threads: u32,
+}
+
+impl Topology {
+    /// The degenerate topology: one shard, one stage — the single-pool
+    /// execution path.
+    pub fn single() -> Self {
+        Self {
+            shards: 1,
+            stages: 1,
+            group_threads: 0,
+        }
+    }
+
+    /// Splits each layer's PE slices across `shards` row-shard worker
+    /// groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "topology needs at least one shard");
+        self.shards = shards as u32;
+        self
+    }
+
+    /// Splits the layer stack across `stages` pipeline stages; `0`
+    /// means *auto* — one stage per layer, resolved by
+    /// [`Topology::stages_for`].
+    pub fn with_stages(mut self, stages: usize) -> Self {
+        self.stages = stages as u32;
+        self
+    }
+
+    /// Pins the thread count of every shard worker group; `0` means
+    /// *auto* — the executor divides what the host offers.
+    pub fn with_group_threads(mut self, threads: usize) -> Self {
+        self.group_threads = threads as u32;
+        self
+    }
+
+    /// Row-shard worker groups per stage.
+    pub fn shards(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// Requested pipeline stages (`0` = auto, one per layer).
+    pub fn stages(&self) -> usize {
+        self.stages as usize
+    }
+
+    /// Threads per shard worker group (`0` = auto).
+    pub fn group_threads(&self) -> usize {
+        self.group_threads as usize
+    }
+
+    /// The stage count resolved against a concrete network depth:
+    /// auto becomes one stage per layer, and a request deeper than the
+    /// network clamps to `depth`.
+    pub fn stages_for(&self, depth: usize) -> usize {
+        let depth = depth.max(1);
+        if self.stages == 0 {
+            depth
+        } else {
+            (self.stages as usize).min(depth)
+        }
+    }
+
+    /// Whether this topology resolves to the plain single-pool path for
+    /// a `depth`-layer network (one shard, one stage).
+    pub fn is_single(&self, depth: usize) -> bool {
+        self.shards == 1 && self.stages_for(depth) == 1
+    }
+
+    /// The contiguous PE ranges `[first, end)` owned by each shard of a
+    /// `num_pes`-slice layer, in shard order. More shards than PEs
+    /// clamp: every returned range is non-empty, so the result may be
+    /// shorter than [`Topology::shards`].
+    pub fn shard_ranges(&self, num_pes: usize) -> Vec<(usize, usize)> {
+        Self::contiguous_ranges(num_pes, self.shards as usize)
+    }
+
+    /// The contiguous layer spans `[first, end)` owned by each pipeline
+    /// stage of a `depth`-layer network, in stage order (resolved via
+    /// [`Topology::stages_for`]).
+    pub fn stage_spans(&self, depth: usize) -> Vec<(usize, usize)> {
+        Self::contiguous_ranges(depth, self.stages_for(depth))
+    }
+
+    /// Splits `n` items into at most `parts` contiguous non-empty
+    /// ranges — the one chunking rule shards, stages and the native
+    /// dispatcher's thread ranges all share.
+    pub fn contiguous_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+        let parts = parts.clamp(1, n.max(1));
+        let chunk = n.div_ceil(parts).max(1);
+        (0..n.div_ceil(chunk))
+            .map(|r| (r * chunk, ((r + 1) * chunk).min(n)))
+            .collect()
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} shard(s) × ", self.shards)?;
+        match self.stages {
+            0 => write!(f, "auto stages")?,
+            n => write!(f, "{n} stage(s)")?,
+        }
+        if self.group_threads > 0 {
+            write!(f, ", {} thread(s)/group", self.group_threads)?;
+        }
+        Ok(())
+    }
+}
+
 /// The pre-decoded slice of one PE in structure-of-arrays form: real
 /// entries only (padding dropped), as parallel `rows`/`weights` runs
 /// concatenated in column order with a `cols + 1` extent index.
@@ -330,6 +474,32 @@ impl LayerPlan {
             .sum()
     }
 
+    /// Splits the plan into at most `shards` [`ShardPlan`]s, each
+    /// owning a contiguous run of PE slices (SoA runs moved wholesale,
+    /// [`LaneTile`] preserved), in PE order.
+    ///
+    /// Sharding never divides a slice: every accumulator — one
+    /// `(item, pe, local_row)` cell — lives in exactly one PE slice, so
+    /// no accumulator's saturating-add stream is ever split across
+    /// shards, and combining shard outputs is a pure disjoint gather
+    /// (see [`ShardPlan::spmv_into_f32`] and the native dispatcher's
+    /// merge). More shards than PEs clamp to one slice per shard.
+    pub fn split(&self, shards: usize) -> Vec<ShardPlan> {
+        Topology::contiguous_ranges(self.num_pes(), shards)
+            .into_iter()
+            .map(|(first, end)| ShardPlan {
+                plan: LayerPlan {
+                    rows: self.rows,
+                    cols: self.cols,
+                    slices: self.slices[first..end].to_vec(),
+                    lane_tile: self.lane_tile,
+                },
+                first_pe: first,
+                total_pes: self.num_pes(),
+            })
+            .collect()
+    }
+
     /// Reference M×V over the plan in `f32` (dequantizing raw Q8.8
     /// weights) — the golden-model check that plan lowering preserved
     /// every `(row, col, weight)` triple.
@@ -353,6 +523,91 @@ impl LayerPlan {
             }
         }
         y
+    }
+}
+
+/// One shard of a split [`LayerPlan`]: a contiguous run of PE slices
+/// plus its global placement — which PE the run starts at
+/// ([`ShardPlan::first_pe`]) and how many PEs the whole layer has
+/// ([`ShardPlan::total_pes`]), so the shard can scatter its partial
+/// outputs straight into the layer's interleaved output layout.
+///
+/// **Merge-order argument.** The layer's output cell
+/// `y[row * total_pes + pe]` is owned by exactly one PE slice, and a
+/// slice is never split
+/// across shards; within its shard the slice's columns are walked in
+/// broadcast (ascending) order with entries in storage order — the
+/// identical saturating-add sequence the unsharded kernels execute.
+/// Merging shard outputs therefore touches disjoint output cells and
+/// reorders no accumulator's adds: the merged result is bit-exact by
+/// construction, whatever order shards finish in. The shard proptests
+/// pin this against the unsharded plan and the functional golden.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlan {
+    plan: LayerPlan,
+    first_pe: usize,
+    total_pes: usize,
+}
+
+impl ShardPlan {
+    /// The shard's own plan: the contiguous PE-slice run, with the
+    /// parent's shape and [`LaneTile`] preserved.
+    pub fn plan(&self) -> &LayerPlan {
+        &self.plan
+    }
+
+    /// Global index of the first PE slice this shard owns.
+    pub fn first_pe(&self) -> usize {
+        self.first_pe
+    }
+
+    /// One past the last global PE slice this shard owns.
+    pub fn end_pe(&self) -> usize {
+        self.first_pe + self.plan.num_pes()
+    }
+
+    /// Total PE count of the parent layer (the interleave stride of the
+    /// merged output).
+    pub fn total_pes(&self) -> usize {
+        self.total_pes
+    }
+
+    /// Reference M×V over the shard, scattered into the parent layer's
+    /// output vector: writes only the cells `y[row * total_pes + pe]`
+    /// for PEs in `[first_pe, end_pe)`. Running every shard of a split
+    /// against the same `y` reproduces [`LayerPlan::spmv_f32`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != cols` or `y.len() != rows`.
+    pub fn spmv_into_f32(&self, a: &[f32], y: &mut [f32]) {
+        assert_eq!(a.len(), self.plan.cols(), "activation length mismatch");
+        assert_eq!(y.len(), self.plan.rows(), "output length mismatch");
+        for (local_pe, slice) in self.plan.slices().iter().enumerate() {
+            let pe = self.first_pe + local_pe;
+            for (j, &aj) in a.iter().enumerate() {
+                if aj == 0.0 {
+                    continue;
+                }
+                for (row, weight) in slice.col_iter(j) {
+                    let w = Q8p8::from_raw(weight as i16).to_f32();
+                    y[row as usize * self.total_pes + pe] += w * aj;
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ShardPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ShardPlan(PEs {}..{} of {}, {} entries)",
+            self.first_pe,
+            self.end_pe(),
+            self.total_pes,
+            self.plan.total_entries(),
+        )
     }
 }
 
@@ -517,5 +772,93 @@ mod tests {
     #[should_panic(expected = "at least one column")]
     fn zero_tile_rejected() {
         let _ = LaneTile::fixed(0);
+    }
+
+    #[test]
+    fn split_preserves_slices_entries_and_lane_tile() {
+        let m = random_sparse(64, 40, 0.25, 13);
+        let enc = compress(&m, CompressConfig::with_pes(8));
+        let plan = LayerPlan::build(&enc).with_lane_tile(LaneTile::fixed(7));
+        for shards in [1, 2, 3, 7, 8, 20] {
+            let split = plan.split(shards);
+            assert!(split.len() <= shards.min(plan.num_pes()));
+            // Shards tile the PE axis contiguously and completely.
+            let mut next = 0;
+            let mut entries = 0;
+            for shard in &split {
+                assert_eq!(shard.first_pe(), next);
+                assert!(shard.plan().num_pes() > 0);
+                assert_eq!(shard.total_pes(), plan.num_pes());
+                assert_eq!(shard.plan().lane_tile(), plan.lane_tile());
+                assert_eq!(shard.plan().rows(), plan.rows());
+                assert_eq!(shard.plan().cols(), plan.cols());
+                for (k, slice) in shard.plan().slices().iter().enumerate() {
+                    assert_eq!(slice, plan.slice(shard.first_pe() + k));
+                }
+                entries += shard.plan().total_entries();
+                next = shard.end_pe();
+            }
+            assert_eq!(next, plan.num_pes());
+            assert_eq!(entries, plan.total_entries());
+        }
+    }
+
+    #[test]
+    fn shard_scatter_merge_reproduces_the_unsharded_spmv() {
+        let m = random_sparse(60, 36, 0.2, 17);
+        let enc = compress(&m, CompressConfig::with_pes(4));
+        let plan = LayerPlan::build(&enc);
+        let a: Vec<f32> = (0..36)
+            .map(|i| {
+                if i % 4 == 0 {
+                    0.0
+                } else {
+                    (i as f32 * 0.3).sin()
+                }
+            })
+            .collect();
+        let want = plan.spmv_f32(&a);
+        for shards in [1, 2, 3, 4] {
+            let mut got = vec![0.0f32; plan.rows()];
+            // Merge in reverse finish order on purpose: disjoint cells
+            // make the gather order-free.
+            for shard in plan.split(shards).iter().rev() {
+                shard.spmv_into_f32(&a, &mut got);
+            }
+            assert_eq!(got, want, "{shards} shards diverged");
+        }
+    }
+
+    #[test]
+    fn topology_resolution_and_display() {
+        let t = Topology::single();
+        assert!(t.is_single(5));
+        assert_eq!(t.stages_for(5), 1);
+        assert_eq!(t.shard_ranges(4), vec![(0, 4)]);
+        assert_eq!(t.stage_spans(3), vec![(0, 3)]);
+
+        let t = Topology::single().with_shards(3).with_stages(0);
+        assert!(!t.is_single(1));
+        assert_eq!(t.stages_for(5), 5); // auto: one stage per layer
+        assert_eq!(t.stages_for(1), 1);
+        assert_eq!(t.shard_ranges(8), vec![(0, 3), (3, 6), (6, 8)]);
+        // More shards than PEs clamp to non-empty ranges.
+        assert_eq!(t.shard_ranges(2), vec![(0, 1), (1, 2)]);
+        assert_eq!(t.to_string(), "3 shard(s) × auto stages");
+
+        let t = Topology::single()
+            .with_shards(2)
+            .with_stages(4)
+            .with_group_threads(2);
+        assert_eq!(t.stages_for(3), 3); // deeper than the net clamps
+        assert_eq!(t.stage_spans(3), vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(t.to_string(), "2 shard(s) × 4 stage(s), 2 thread(s)/group");
+        assert_eq!(Topology::default(), Topology::single());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = Topology::single().with_shards(0);
     }
 }

@@ -53,7 +53,7 @@ use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
 use eie_compress::{
-    EncodedLayer, LaneTile, LayerPlan, PeSlice, PlanSlice, CODEBOOK_SIZE, LANE_WIDTH,
+    EncodedLayer, LaneTile, LayerPlan, PeSlice, PlanSlice, Topology, CODEBOOK_SIZE, LANE_WIDTH,
 };
 use eie_fixed::{Accum32, Q8p8};
 use eie_sim::broadcast_schedule;
@@ -66,7 +66,7 @@ use super::{check_activation_batch, check_activations, Backend, BackendRun, Plan
 /// `ModelServer` and `InferenceJob` construct a backend per worker, so
 /// this sits on the setup path — one `available_parallelism` syscall
 /// for the process lifetime instead of one per construction.
-fn default_threads() -> usize {
+pub(crate) fn default_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
         std::thread::available_parallelism()
@@ -122,6 +122,10 @@ struct PlanCacheMap {
 
 struct Inner {
     threads: usize,
+    /// Row-shard worker groups per layer ([`NativeCpu::with_shards`]):
+    /// each shard owns a contiguous run of PE slices and a share of the
+    /// threads. `1` (the default) is the classic single-group dispatch.
+    shards: usize,
     use_plans: bool,
     /// `false` only for the [`NativeCpu::without_lanes`] scalar fused
     /// A/B baseline: batches run the pre-lane per-item-list kernel.
@@ -145,6 +149,7 @@ impl std::fmt::Debug for NativeCpu {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NativeCpu")
             .field("threads", &self.inner.threads)
+            .field("shards", &self.inner.shards)
             .field("plans", &self.inner.use_plans)
             .field("lanes", &self.inner.use_lanes)
             .field("cached_plans", &self.cached_plans())
@@ -169,8 +174,46 @@ impl NativeCpu {
         Self {
             inner: Arc::new(Inner {
                 threads,
+                shards: 1,
                 use_plans: true,
                 use_lanes: true,
+                pool: OnceLock::new(),
+                plans: RwLock::new(PlanCacheMap::default()),
+                plan_builds: AtomicU64::new(0),
+                session: Mutex::new(Session::new()),
+            }),
+        }
+    }
+
+    /// Splits each layer's PE slices across `shards` row-shard worker
+    /// groups (the in-process form of a [`Topology`] shard split):
+    /// shard `i` owns a contiguous run of PE slices subdivided among
+    /// its group's share of the threads, and the partial outputs merge
+    /// at the gather point.
+    ///
+    /// The merge is bit-exact by construction: every accumulator
+    /// belongs to exactly one PE slice and a slice is never divided, so
+    /// no accumulator's saturating-add stream crosses a shard boundary,
+    /// and shard outputs land in disjoint cells of the interleaved
+    /// output (`row * num_pes + pe`) — the same argument the per-thread
+    /// ranges have always relied on, one grouping level up. The shard
+    /// proptests pin it against the unsharded engine and the golden.
+    ///
+    /// More shards than a layer has PEs clamp to one slice per shard;
+    /// more shards than threads run in successive waves on the pool —
+    /// the multi-process rehearsal shape, not a speedup on its own.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn with_shards(self, shards: usize) -> Self {
+        assert!(shards > 0, "topology needs at least one shard");
+        Self {
+            inner: Arc::new(Inner {
+                threads: self.inner.threads,
+                shards,
+                use_plans: self.inner.use_plans,
+                use_lanes: self.inner.use_lanes,
                 pool: OnceLock::new(),
                 plans: RwLock::new(PlanCacheMap::default()),
                 plan_builds: AtomicU64::new(0),
@@ -187,6 +230,7 @@ impl NativeCpu {
         Self {
             inner: Arc::new(Inner {
                 threads: self.inner.threads,
+                shards: self.inner.shards,
                 use_plans: false,
                 use_lanes: false,
                 pool: OnceLock::new(),
@@ -207,6 +251,7 @@ impl NativeCpu {
         Self {
             inner: Arc::new(Inner {
                 threads: self.inner.threads,
+                shards: self.inner.shards,
                 use_plans: self.inner.use_plans,
                 use_lanes: false,
                 pool: OnceLock::new(),
@@ -220,6 +265,11 @@ impl NativeCpu {
     /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.inner.threads
+    }
+
+    /// The configured row-shard worker-group count (1 = unsharded).
+    pub fn shards(&self) -> usize {
+        self.inner.shards
     }
 
     /// Whether runs execute pre-decoded plans (`false` only for the
@@ -267,7 +317,10 @@ impl NativeCpu {
     /// the cache flushes wholesale — crude, but it bounds residency for
     /// callers that stream ever-new layer instances through one engine,
     /// and a flushed plan simply rebuilds on next use.
-    fn plan_for(&self, layer: &EncodedLayer) -> Arc<LayerPlan> {
+    ///
+    /// Crate-visible so the pipelined executor can resolve plans for
+    /// layers its caller handed over unplanned.
+    pub(crate) fn plan_for(&self, layer: &EncodedLayer) -> Arc<LayerPlan> {
         let id = layer.instance_id();
         if let Some(plan) = self
             .inner
@@ -377,14 +430,81 @@ impl NativeCpu {
         outputs
     }
 
-    /// The shared fan-out: split the plan's PE slices into contiguous
-    /// ranges, hand every range but the first to pool workers, run the
-    /// first inline, wait, and let `gather` harvest each range's
+    /// The lean chunk entry for the pipelined executor
+    /// (`crate::pipeline`): raw `[item][global_row]` outputs with no
+    /// per-item [`BackendRun`] wrapping — timing and bookkeeping are the
+    /// owning stage's job, and interior pipeline layers would discard
+    /// them anyway. Executes the identical kernels (and so stays
+    /// bit-exact with every other entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk is empty, an item's length differs from the
+    /// plan's input dimension, or a pool worker panicked.
+    pub(crate) fn run_chunk_planned(
+        &self,
+        plan: &Arc<LayerPlan>,
+        chunk: &[Vec<Q8p8>],
+        relu: bool,
+    ) -> Vec<Vec<Q8p8>> {
+        assert!(!chunk.is_empty(), "chunk must be non-empty");
+        for item in chunk {
+            assert_eq!(
+                item.len(),
+                plan.cols(),
+                "activation length mismatches the plan's input dimension"
+            );
+        }
+        if chunk.len() == 1 {
+            vec![self.planned_single(plan, &chunk[0], relu)]
+        } else {
+            self.planned_batch(plan, chunk, relu)
+        }
+    }
+
+    /// The shard-addressable dispatch table for an `n`-PE layer: the
+    /// engine's shard count carves the PE axis into contiguous shard
+    /// ranges ([`Topology::contiguous_ranges`] — shard `i` is worker
+    /// group `i`), and each shard range is subdivided among its group's
+    /// share of the threads. One shard (the default) reduces exactly to
+    /// the classic per-thread chunking.
+    fn dispatch_ranges(&self, n: usize) -> Vec<(usize, usize)> {
+        let threads = self.inner.threads.min(n.max(1));
+        let shard_ranges = Topology::contiguous_ranges(n, self.inner.shards);
+        let groups = shard_ranges.len();
+        let mut ranges = Vec::new();
+        for (g, &(first, end)) in shard_ranges.iter().enumerate() {
+            // Threads split across groups as evenly as they go; a group
+            // never drops below one thread, so shards > threads yields
+            // more ranges than threads (run in waves below).
+            let group = (threads / groups + usize::from(g < threads % groups)).max(1);
+            for (a, b) in Topology::contiguous_ranges(end - first, group) {
+                ranges.push((first + a, first + b));
+            }
+        }
+        ranges
+    }
+
+    /// The shared fan-out: build the shard-addressable dispatch table,
+    /// hand every range but the wave leader's to pool workers, run the
+    /// leader's range inline, wait, and let `gather` merge each range's
     /// outputs from its worker's scratch.
     ///
+    /// **Merge point.** Ranges hold whole PE slices, so every
+    /// accumulator's saturating-add stream runs inside exactly one
+    /// range; `gather` writes each range's finished values into
+    /// disjoint cells of the interleaved output. The merge therefore
+    /// reorders no adds and overlaps no writes — bit-exact for any
+    /// shard × thread split, which the shard proptests pin.
+    ///
+    /// With at most `threads` ranges (shards ≤ threads) everything
+    /// completes in one wave, scratch addressed by worker slot; more
+    /// shard ranges than threads run in successive waves, each wave's
+    /// scratch gathered before the slots are reused.
+    ///
     /// Returns `true` if a pool worker panicked — the run is drained
-    /// (the latch released, every mailbox idle) and nothing was
-    /// gathered; the caller re-raises once the session guard is gone.
+    /// (the latch released, every mailbox idle) and gathering stopped;
+    /// the caller re-raises once the session guard is gone.
     fn dispatch(
         &self,
         session: &mut Session,
@@ -394,11 +514,8 @@ impl NativeCpu {
         gather: &mut GatherFn<'_>,
     ) -> bool {
         let n = plan.num_pes();
-        let threads = self.inner.threads.min(n.max(1));
-        let chunk = n.div_ceil(threads.max(1)).max(1);
-        let ranges = n.div_ceil(chunk); // <= threads
-        let range = |r: usize| (r * chunk, ((r + 1) * chunk).min(n));
-        if ranges <= 1 {
+        let ranges = self.dispatch_ranges(n);
+        if ranges.len() <= 1 {
             run_pe_range(plan, &input, (0, n), relu, &mut session.local);
             gather(plan, (0, n), &session.local);
             return false;
@@ -407,32 +524,34 @@ impl NativeCpu {
             .inner
             .pool
             .get_or_init(|| WorkerPool::new(self.inner.threads - 1));
-        debug_assert!(ranges - 1 <= pool.len());
-        session.latch.reset(ranges - 1);
-        for r in 1..ranges {
-            pool.submit(
-                r - 1,
-                Task {
-                    plan: Arc::clone(plan),
-                    input: input.clone(),
-                    pe_range: range(r),
-                    relu,
-                    latch: Arc::clone(&session.latch),
-                },
-            );
+        let slots = pool.len() + 1; // the session holder runs one range inline
+        for wave in ranges.chunks(slots) {
+            session.latch.reset(wave.len() - 1);
+            for (w, &pe_range) in wave.iter().enumerate().skip(1) {
+                pool.submit(
+                    w - 1,
+                    Task {
+                        plan: Arc::clone(plan),
+                        input: input.clone(),
+                        pe_range,
+                        relu,
+                        latch: Arc::clone(&session.latch),
+                    },
+                );
+            }
+            run_pe_range(plan, &input, wave[0], relu, &mut session.local);
+            if session.latch.wait() {
+                // Gather nothing further: a dead range would leave
+                // silently wrong (partial) outputs. The caller
+                // re-raises the panic.
+                return true;
+            }
+            gather(plan, wave[0], &session.local);
+            for (w, &pe_range) in wave.iter().enumerate().skip(1) {
+                pool.with_scratch(w - 1, |scratch| gather(plan, pe_range, scratch));
+            }
         }
-        run_pe_range(plan, &input, range(0), relu, &mut session.local);
-        let failed = session.latch.wait();
         drop(input); // release the schedule Arc for next-call reuse
-        if failed {
-            // Gather nothing: a dead range would leave silently wrong
-            // (partial) outputs. The caller re-raises the panic.
-            return true;
-        }
-        gather(plan, range(0), &session.local);
-        for r in 1..ranges {
-            pool.with_scratch(r - 1, |scratch| gather(plan, range(r), scratch));
-        }
         false
     }
 }
@@ -1483,6 +1602,80 @@ mod tests {
         // Solo runs keep amortized == latency.
         let solo = backend.run_layer(&enc, &batch[0], false);
         assert_eq!(solo.amortized_s, solo.latency_s);
+    }
+
+    #[test]
+    fn sharded_dispatch_is_bit_exact_for_any_shard_thread_split() {
+        // Shards regroup whole PE slices across worker groups; no
+        // accumulator's add stream crosses a boundary, so every split —
+        // including more shards than threads (wave scheduling) and more
+        // shards than PEs (clamped) — must reproduce the unsharded
+        // outputs exactly.
+        let layer = Benchmark::Alex6.generate_scaled(4, 64);
+        let enc = compress(&layer.weights, CompressConfig::with_pes(8));
+        let acts = quantize(&layer.sample_activations(3));
+        let batch: Vec<Vec<Q8p8>> = (0..9)
+            .map(|i| quantize(&layer.sample_activations(i)))
+            .collect();
+        let baseline = NativeCpu::with_threads(1);
+        let single = baseline.run_layer(&enc, &acts, false).outputs;
+        let fused = baseline.run_layer_batch(&enc, &batch, true);
+        for threads in [1, 2, 4] {
+            for shards in [1, 2, 3, 7, 8, 16] {
+                let sharded = NativeCpu::with_threads(threads).with_shards(shards);
+                assert_eq!(sharded.shards(), shards);
+                let s = sharded.run_layer(&enc, &acts, false);
+                assert_eq!(s.outputs, single, "single {shards}s/{threads}t");
+                let sb = sharded.run_layer_batch(&enc, &batch, true);
+                for i in 0..batch.len() {
+                    assert_eq!(
+                        sb[i].outputs, fused[i].outputs,
+                        "batch item {i} {shards}s/{threads}t"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_ranges_tile_the_pe_axis_per_shard() {
+        // 8 PEs, 2 shards, 4 threads: each shard's range subdivides
+        // among its group's two threads.
+        let engine = NativeCpu::with_threads(4).with_shards(2);
+        assert_eq!(
+            engine.dispatch_ranges(8),
+            vec![(0, 2), (2, 4), (4, 6), (6, 8)]
+        );
+        // One shard reduces to the classic per-thread chunking.
+        let flat = NativeCpu::with_threads(4);
+        assert_eq!(
+            flat.dispatch_ranges(8),
+            vec![(0, 2), (2, 4), (4, 6), (6, 8)]
+        );
+        // More shards than threads: one range per shard, run in waves.
+        let waves = NativeCpu::with_threads(1).with_shards(3);
+        assert_eq!(waves.dispatch_ranges(8), vec![(0, 3), (3, 6), (6, 8)]);
+        // Uneven thread share: the remainder lands on the first groups.
+        let uneven = NativeCpu::with_threads(3).with_shards(2);
+        assert_eq!(uneven.dispatch_ranges(8), vec![(0, 2), (2, 4), (4, 8)]);
+        // Ranges always cover the axis exactly, in order.
+        for (threads, shards, pes) in [(5, 3, 17), (2, 7, 4), (8, 1, 3)] {
+            let engine = NativeCpu::with_threads(threads).with_shards(shards);
+            let ranges = engine.dispatch_ranges(pes);
+            let mut next = 0;
+            for (a, b) in ranges {
+                assert_eq!(a, next);
+                assert!(b > a);
+                next = b;
+            }
+            assert_eq!(next, pes);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn rejects_zero_shards() {
+        let _ = NativeCpu::new().with_shards(0);
     }
 
     #[test]

@@ -12,9 +12,12 @@
 //! The protocol is deliberately channel-free: a `Mutex<Slot>` +
 //! `Condvar` pair per worker is a fixed-size mailbox (no queue-node
 //! allocation per send, unlike `mpsc`), and a shared [`Latch`] counts
-//! the in-flight tasks of one layer run back to zero. The backend holds
+//! the in-flight tasks of one wave back to zero. The backend holds
 //! its session lock for the whole run, so at most one task is ever
-//! pending per worker — the mailbox can never overflow.
+//! pending per worker — the mailbox can never overflow. A sharded
+//! dispatch with more shard ranges than pool slots reuses the same
+//! discipline in successive waves: each wave's latch releases (and its
+//! scratch is gathered) before the next wave's submits.
 //!
 //! Lifecycle: the owning backend distributes one [`Task`] per busy
 //! worker, runs its own share of the PE slices inline, waits on the

@@ -37,13 +37,14 @@ use std::ops::{Bound, RangeBounds};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use eie_compress::EncodedLayer;
+use eie_compress::{EncodedLayer, LaneTile, LayerPlan, Topology};
 use eie_energy::EnergyReport;
 use eie_fixed::Q8p8;
 use eie_sim::SimStats;
 
 use crate::backend::{Backend, BackendKind, BackendRun, CompiledModel, PlannedLayer};
 use crate::engine::activity_from_stats;
+use crate::pipeline::PipelinedStack;
 use crate::{BatchResult, EieConfig};
 
 impl CompiledModel {
@@ -62,6 +63,9 @@ impl CompiledModel {
             first: 0,
             end: self.num_layers(),
             price_energy: true,
+            topology: None,
+            lane_tile: None,
+            custom_plans: OnceLock::new(),
             engine: OnceLock::new(),
         }
     }
@@ -82,6 +86,17 @@ pub struct InferenceJob<'m> {
     first: usize,
     end: usize,
     price_energy: bool,
+    /// Sharded/pipelined execution layout ([`InferenceJob::topology`]);
+    /// `None` runs the classic single-engine layer-at-a-time loop.
+    topology: Option<Topology>,
+    /// Per-layer lane-tile override ([`InferenceJob::lane_tile`]);
+    /// `None` keeps each plan's auto-selected tile.
+    lane_tile: Option<LaneTile>,
+    /// Plans rebuilt under a [`LaneTile`] override, built lazily on the
+    /// first submit and reused (the model's shared cache keeps its
+    /// auto-tiled plans; an override must not clobber them for other
+    /// jobs). Cleared whenever the layer range or tile changes.
+    custom_plans: OnceLock<Vec<Arc<LayerPlan>>>,
     /// The instantiated backend, built on the first submit and reused
     /// across submits of the same job — a looping caller keeps the
     /// `NativeCpu` engine (worker pool, plan cache, warm scratch) alive
@@ -118,6 +133,8 @@ impl<'m> InferenceJob<'m> {
         );
         self.first = first;
         self.end = end;
+        // Tile-overridden plans are per-range; a new range rebuilds.
+        self.custom_plans = OnceLock::new();
         self
     }
 
@@ -152,6 +169,32 @@ impl<'m> InferenceJob<'m> {
         self
     }
 
+    /// Routes the job through the sharded/pipelined executor
+    /// ([`PipelinedStack`]): the selected layers are carved into
+    /// `topology.stages()` stages (each with its own row-sharded
+    /// engine) and the batch streams between them through bounded
+    /// queues. Outputs stay bit-exact with the default path; latency
+    /// percentiles become degenerate (the batch completes as a unit)
+    /// and no energy report is produced.
+    ///
+    /// Only meaningful on [`BackendKind::NativeCpu`];
+    /// [`InferenceJob::submit`] panics for other backends (the CLI
+    /// validates this combination up front).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Overrides every selected layer's lane tile, rebuilding plans
+    /// under the given tile instead of using the model's auto-tiled
+    /// cache — the sweep knob behind `eie bench --lane-tile`. A no-op
+    /// on backends that don't execute plans.
+    pub fn lane_tile(mut self, tile: LaneTile) -> Self {
+        self.lane_tile = Some(tile);
+        self.custom_plans = OnceLock::new();
+        self
+    }
+
     /// The backend this job will execute on.
     pub fn backend(&self) -> BackendKind {
         self.backend
@@ -166,23 +209,13 @@ impl<'m> InferenceJob<'m> {
     /// first selected layer's input dimension, or the execution
     /// configuration's PE count mismatches the compiled layers.
     pub fn submit(&self, inputs: &[Vec<f32>]) -> JobResult {
+        if let Some(topology) = self.topology {
+            return self.submit_pipelined(inputs, &topology);
+        }
         let backend = self
             .engine
             .get_or_init(|| Arc::from(self.backend.instantiate(&self.config)));
-        // Plans are fetched (building lazily into the model's shared
-        // cache) only for backends that execute them; the cycle model,
-        // the golden model and the streaming baseline stream the
-        // compressed artifact and would ignore them.
-        let layers: Vec<PlannedLayer<'_>> = if backend.wants_plans() {
-            (self.first..self.end)
-                .map(|i| self.model.planned_layer(i))
-                .collect()
-        } else {
-            self.model.layers()[self.first..self.end]
-                .iter()
-                .map(PlannedLayer::unplanned)
-                .collect()
-        };
+        let layers = self.assemble_layers(backend.wants_plans());
         execute_stack(
             &self.config,
             self.backend,
@@ -191,6 +224,91 @@ impl<'m> InferenceJob<'m> {
             inputs,
             self.price_energy,
         )
+    }
+
+    /// The job's planned-layer list. Plans are fetched (building lazily
+    /// into the model's shared cache) only for backends that execute
+    /// them; the cycle model, the golden model and the streaming
+    /// baseline stream the compressed artifact and would ignore them. A
+    /// [`InferenceJob::lane_tile`] override rebuilds the plans under
+    /// the requested tile into the job's own cache instead.
+    fn assemble_layers(&self, wants_plans: bool) -> Vec<PlannedLayer<'_>> {
+        if !wants_plans {
+            return self.model.layers()[self.first..self.end]
+                .iter()
+                .map(PlannedLayer::unplanned)
+                .collect();
+        }
+        match self.lane_tile {
+            Some(tile) => {
+                let custom = self.custom_plans.get_or_init(|| {
+                    self.model.layers()[self.first..self.end]
+                        .iter()
+                        .map(|layer| Arc::new(LayerPlan::build(layer).with_lane_tile(tile)))
+                        .collect()
+                });
+                custom
+                    .iter()
+                    .zip(&self.model.layers()[self.first..self.end])
+                    .map(|(plan, layer)| PlannedLayer {
+                        layer,
+                        plan: Some(plan),
+                    })
+                    .collect()
+            }
+            None => (self.first..self.end)
+                .map(|i| self.model.planned_layer(i))
+                .collect(),
+        }
+    }
+
+    /// The topology-routed submit: quantize, stream the batch through a
+    /// [`PipelinedStack`], wrap the result in the unified [`JobResult`]
+    /// shape (fused semantics: every item reports the batch's wall
+    /// time; no activity statistics, so no energy report).
+    fn submit_pipelined(&self, inputs: &[Vec<f32>], topology: &Topology) -> JobResult {
+        let threads = match self.backend {
+            BackendKind::NativeCpu(t) => t,
+            other => panic!("a topology requires the native-cpu backend, not {other}"),
+        };
+        assert!(!inputs.is_empty(), "batch must be non-empty");
+        for i in self.first..self.end {
+            assert_eq!(
+                self.model.layers()[i].num_pes(),
+                self.config.num_pes,
+                "layer compressed for a different PE count"
+            );
+        }
+        let layers = self.assemble_layers(true);
+        let quantized: Vec<Vec<Q8p8>> = inputs
+            .iter()
+            .map(|acts| Q8p8::from_f32_slice(acts))
+            .collect();
+        let stack = PipelinedStack::new(&layers, topology, threads);
+        let run = stack.run(&quantized);
+        let n = run.outputs.len();
+        let amortized_s = run.wall_s / n as f64;
+        let items = run
+            .outputs
+            .into_iter()
+            .map(|outputs| BackendRun {
+                outputs,
+                latency_s: run.wall_s,
+                amortized_s,
+                stats: None,
+            })
+            .collect();
+        JobResult {
+            backend: self.backend,
+            clock_hz: self.config.clock_hz,
+            batch: BatchResult {
+                backend: "native-pipelined",
+                items,
+                wall_s: run.wall_s,
+                energy: None,
+            },
+            phases: run.phases,
+        }
     }
 
     /// Submits a single input vector — shorthand for a batch of one.
@@ -693,6 +811,58 @@ mod tests {
                 assert_eq!(job.outputs(i), golden.outputs(i), "{kind} diverged");
             }
         }
+    }
+
+    #[test]
+    fn topology_jobs_match_the_default_path_bit_for_bit() {
+        let model = two_layer_model();
+        let inputs = batch(5);
+        let baseline = model.infer(BackendKind::NativeCpu(1)).submit(&inputs);
+        for topology in [
+            Topology::single().with_shards(3),
+            Topology::single().with_stages(2),
+            Topology::single().with_stages(0).with_shards(2),
+        ] {
+            let job = model
+                .infer(BackendKind::NativeCpu(1))
+                .topology(topology)
+                .submit(&inputs);
+            assert_eq!(job.batch_size(), 5);
+            assert_eq!(job.layer_phases().len(), 2);
+            assert!(job.energy().is_none());
+            for i in 0..5 {
+                assert_eq!(job.outputs(i), baseline.outputs(i), "{topology} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_tile_override_keeps_outputs_and_spares_the_shared_cache() {
+        let model = two_layer_model();
+        let inputs = batch(4);
+        let baseline = model.infer(BackendKind::NativeCpu(1)).submit(&inputs);
+        let built_before = model.plans_built();
+        let job = model
+            .infer(BackendKind::NativeCpu(1))
+            .lane_tile(LaneTile::fixed(16));
+        let tiled = job.submit(&inputs);
+        let again = job.submit(&inputs);
+        for i in 0..4 {
+            assert_eq!(tiled.outputs(i), baseline.outputs(i));
+            assert_eq!(again.outputs(i), baseline.outputs(i));
+        }
+        // Overridden plans live in the job, not the model's cache.
+        assert_eq!(model.plans_built(), built_before);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the native-cpu backend")]
+    fn topology_rejects_non_native_backends() {
+        let model = two_layer_model();
+        let _ = model
+            .infer(BackendKind::Functional)
+            .topology(Topology::single().with_stages(2))
+            .submit(&batch(1));
     }
 
     #[test]

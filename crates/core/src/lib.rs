@@ -58,6 +58,7 @@ mod benchmarks;
 mod config;
 mod engine;
 pub mod infer;
+pub mod pipeline;
 pub mod prelude;
 
 pub use artifact::{ModelArtifactError, MODEL_EXTENSION, MODEL_MAGIC, MODEL_VERSION};
@@ -70,6 +71,12 @@ pub use benchmarks::BenchmarkInstance;
 pub use config::EieConfig;
 pub use engine::{activity_from_stats, Engine, ExecutionResult, NetworkResult};
 pub use infer::{run_stack_planned, run_stack_quantized, InferenceJob, JobResult, LayerPhase};
+pub use pipeline::{run_stack_pipelined, PipelineRun, PipelinedStack, QUEUE_DEPTH};
+
+// The execution-layout types are first-class core concepts (the
+// topology knob on `InferenceJob` and `PipelinedStack`), so they're
+// re-exported at the root alongside the executors that consume them.
+pub use eie_compress::{ShardPlan, Topology};
 
 /// The Deep Compression pipeline (re-export of `eie-compress`).
 pub mod compress {

@@ -12,15 +12,15 @@
 
 pub use crate::backend::lane_isa;
 pub use crate::{
-    activity_from_stats, percentile, Backend, BackendKind, BackendRun, BatchResult,
-    BenchmarkInstance, CompiledModel, CycleAccurate, EieConfig, Engine, ExecutionResult,
-    Functional, InferenceJob, JobResult, LayerPhase, ModelArtifactError, NativeCpu, NetworkResult,
-    PlannedLayer,
+    activity_from_stats, percentile, run_stack_pipelined, Backend, BackendKind, BackendRun,
+    BatchResult, BenchmarkInstance, CompiledModel, CycleAccurate, EieConfig, Engine,
+    ExecutionResult, Functional, InferenceJob, JobResult, LayerPhase, ModelArtifactError,
+    NativeCpu, NetworkResult, PipelineRun, PipelinedStack, PlannedLayer,
 };
 
 pub use eie_compress::{
     compress, encode_with_codebook, Codebook, CodebookStrategy, CompilePipeline, CompressConfig,
-    EncodedLayer, EncodingStats, LaneTile, LayerPlan, LANE_WIDTH,
+    EncodedLayer, EncodingStats, LaneTile, LayerPlan, ShardPlan, Topology, LANE_WIDTH,
 };
 pub use eie_energy::{platform::Platform, EnergyReport, LayerActivity, PeModel, SramModel};
 pub use eie_fixed::{Accum32, Fix16, Precision, Q8p8, QFormat};

@@ -1,0 +1,220 @@
+//! Property tests of the execution topology: sharding a dispatch and
+//! pipelining a stack are *scheduling* changes, never numerical ones.
+//!
+//! For random layer stacks, PE counts, shard counts (including more
+//! shards than PEs), stage counts and lane-remainder batches, the
+//! sharded pool and the pipelined executor must produce `Q8p8` outputs
+//! bit-identical to the unsharded [`run_stack_planned`] baseline and to
+//! the functional golden model — including on saturation-heavy inputs
+//! near the `Accum32` rails fed *through* ReLU into a second layer,
+//! where any change to a single add's order or a shard boundary that
+//! splits an accumulator chain would be observable.
+
+use eie_core::prelude::*;
+use eie_core::run_stack_planned;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Rerolls until the matrix compresses (all-zero layers are rejected).
+fn nonzero_sparse(rows: usize, cols: usize, density: f64, seed: u64) -> CsrMatrix {
+    let mut m = random_sparse(rows, cols, density, seed);
+    let mut reroll = seed;
+    while m.nnz() == 0 {
+        reroll = reroll.wrapping_add(0x9E37_79B9);
+        m = random_sparse(rows, cols, density.max(0.2), reroll);
+    }
+    m
+}
+
+/// Strategy: a 1–3 layer chained stack, a PE count from {1, 2, 4}, a
+/// lane-remainder batch, and a shard count from the issue's
+/// {1, 2, 3, 7} (7 exceeds every drawn PE count: the degenerate
+/// more-shards-than-PEs split must collapse, not crash).
+#[allow(clippy::type_complexity)]
+fn arb_case() -> impl Strategy<Value = (CompiledModel, Vec<Vec<Q8p8>>, usize, usize)> {
+    (
+        proptest::collection::vec(4usize..28, 2..=4),
+        0.1f64..0.5,
+        any::<u64>(),
+        prop_oneof![Just(1usize), Just(2), Just(4)],
+        0.2f64..1.0,
+        any::<u64>(),
+        // Every remainder class of the lane kernel's tail block plus a
+        // larger non-multiple.
+        prop_oneof![1usize..=LANE_WIDTH + 1, Just(13usize)],
+        prop_oneof![Just(1usize), Just(2), Just(3), Just(7)],
+        0usize..=4,
+    )
+        .prop_map(
+            |(dims, density, seed, pes, act_density, act_seed, batch, shards, stages)| {
+                let weights: Vec<CsrMatrix> = dims
+                    .windows(2)
+                    .enumerate()
+                    .map(|(i, w)| nonzero_sparse(w[1], w[0], density, seed.wrapping_add(i as u64)))
+                    .collect();
+                let refs: Vec<&CsrMatrix> = weights.iter().collect();
+                let model = CompiledModel::compile(EieConfig::default().with_num_pes(pes), &refs);
+                let items = (0..batch as u64)
+                    .map(|i| {
+                        Q8p8::from_f32_slice(&eie_core::nn::zoo::sample_activations(
+                            dims[0],
+                            act_density,
+                            true,
+                            act_seed.wrapping_add(i),
+                        ))
+                    })
+                    .collect();
+                (model, items, shards, stages)
+            },
+        )
+}
+
+/// Asserts unsharded baseline == functional golden == sharded pool ==
+/// pipelined executor (run + pinned chunk granularities), item by item.
+fn assert_topology_agrees(
+    model: &CompiledModel,
+    batch: &[Vec<Q8p8>],
+    shards: usize,
+    stages: usize,
+    threads: usize,
+) -> Result<(), TestCaseError> {
+    let planned = model.planned_layers();
+    let golden: Vec<Vec<Q8p8>> = run_stack_planned(&Functional::new(), &planned, batch)
+        .into_iter()
+        .map(|run| run.outputs)
+        .collect();
+    let baseline = run_stack_planned(&NativeCpu::with_threads(threads), &planned, batch);
+    for (i, run) in baseline.iter().enumerate() {
+        prop_assert_eq!(
+            &run.outputs,
+            &golden[i],
+            "unsharded baseline diverged from golden at item {} ({} threads)",
+            i,
+            threads
+        );
+    }
+
+    let sharded = NativeCpu::with_threads(threads).with_shards(shards);
+    let sharded_runs = run_stack_planned(&sharded, &planned, batch);
+    for (i, run) in sharded_runs.iter().enumerate() {
+        prop_assert_eq!(
+            &run.outputs,
+            &golden[i],
+            "sharded pool diverged at item {} ({} shards, {} threads)",
+            i,
+            shards,
+            threads
+        );
+    }
+
+    let topology = Topology::single().with_shards(shards).with_stages(stages);
+    let stack = PipelinedStack::new(&planned, &topology, threads);
+    let piped = stack.run(batch);
+    prop_assert_eq!(piped.outputs.len(), batch.len());
+    for (i, out) in piped.outputs.iter().enumerate() {
+        prop_assert_eq!(
+            out,
+            &golden[i],
+            "pipelined diverged at item {} ({}, {} threads)",
+            i,
+            topology,
+            threads
+        );
+    }
+    // Chunk granularity is scheduling only: single-item chunks maximise
+    // queue traffic, lane-width chunks exercise the tail block.
+    for chunk_frames in [1usize, LANE_WIDTH] {
+        let chunked = stack.run_chunked(batch, chunk_frames);
+        for (i, out) in chunked.outputs.iter().enumerate() {
+            prop_assert_eq!(
+                out,
+                &golden[i],
+                "pipelined chunk {} diverged at item {} ({})",
+                chunk_frames,
+                i,
+                topology
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random stacks × PEs × shards × stages × batch shapes: every
+    /// topology reproduces the unsharded planned baseline and the
+    /// golden model bit for bit.
+    #[test]
+    fn sharded_and_pipelined_stacks_are_bit_exact(
+        (model, batch, shards, stages) in arb_case(),
+        threads in 1usize..4,
+    ) {
+        assert_topology_agrees(&model, &batch, shards, stages, threads)?;
+    }
+
+    /// Near-rail weights and activations: layer-0 accumulators clamp,
+    /// ReLU gates the clamped values into layer 1, and every topology
+    /// must still agree on every bit — shard boundaries and stage
+    /// handoffs may never split or reorder one item's add chain.
+    #[test]
+    fn saturating_stacks_pin_the_add_order(
+        seed in any::<u64>(),
+        pes in prop_oneof![Just(1usize), Just(2), Just(4)],
+        batch in prop_oneof![1usize..=LANE_WIDTH + 1, Just(13usize)],
+        shards in prop_oneof![Just(1usize), Just(2), Just(3), Just(7)],
+        stages in 0usize..=3,
+    ) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let (mid, cols) = (12usize, 16usize);
+        // Dense-ish near-rail weights with mixed signs: two same-sign
+        // products already brush the Accum32 limit.
+        let mut stack_weights = Vec::new();
+        for (rows, cols) in [(mid, cols), (8, mid)] {
+            let mut triplets = Vec::new();
+            for r in 0..rows {
+                for c in 0..cols {
+                    if next() % 4 == 0 {
+                        continue;
+                    }
+                    let sign = if next() % 2 == 0 { 1.0 } else { -1.0 };
+                    triplets.push((r, c, sign * (100.0 + (next() % 28) as f32)));
+                }
+            }
+            if triplets.is_empty() {
+                triplets.push((0, 0, 127.0));
+            }
+            stack_weights.push(CsrMatrix::from_triplets(rows, cols, &triplets));
+        }
+        let refs: Vec<&CsrMatrix> = stack_weights.iter().collect();
+        let model = CompiledModel::compile(EieConfig::default().with_num_pes(pes), &refs);
+        let items: Vec<Vec<Q8p8>> = (0..batch)
+            .map(|_| {
+                (0..cols)
+                    .map(|_| {
+                        if next() % 5 == 0 {
+                            Q8p8::ZERO
+                        } else {
+                            let sign = if next() % 2 == 0 { 1.0 } else { -1.0 };
+                            Q8p8::from_f32(sign * (90.0 + (next() % 38) as f32))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        // The case is only interesting if layer 0 actually clamps
+        // before ReLU feeds it forward.
+        let first = Functional::new().run_layer(model.layer(0), &items[0], false).outputs;
+        prop_assert!(
+            first.iter().any(|v| *v == Q8p8::MAX || *v == Q8p8::MIN),
+            "saturation strategy produced no clamped layer-0 outputs"
+        );
+        assert_topology_agrees(&model, &items, shards, stages, 2)?;
+    }
+}

@@ -8,7 +8,8 @@ use std::time::{Duration, Instant};
 
 use eie_core::fixed::Q8p8;
 use eie_core::{
-    percentile, run_stack_planned, BackendKind, CompiledModel, ModelArtifactError, PlannedLayer,
+    percentile, run_stack_planned, BackendKind, CompiledModel, ModelArtifactError, PipelinedStack,
+    PlannedLayer, Topology,
 };
 
 use crate::queue::{MicroBatchQueue, PushError};
@@ -49,6 +50,12 @@ pub struct ServerConfig {
     /// [`ModelServer::submit`] blocks and [`ModelServer::try_submit`]
     /// sheds load.
     pub queue_depth: usize,
+    /// Execution layout inside each worker
+    /// ([`ServerConfig::with_topology`]): a non-single topology routes
+    /// micro-batches through the sharded/pipelined executor
+    /// ([`PipelinedStack`]) instead of the single-engine stack loop.
+    /// Requires a [`BackendKind::NativeCpu`] backend.
+    pub topology: Topology,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +66,7 @@ impl Default for ServerConfig {
             max_batch: 8,
             max_wait_us: 200,
             queue_depth: 256,
+            topology: Topology::single(),
         }
     }
 }
@@ -108,6 +116,18 @@ impl ServerConfig {
         self.queue_depth = queue_depth;
         self
     }
+
+    /// Sets the per-worker execution topology: each worker runs its
+    /// micro-batches through a sharded/pipelined [`PipelinedStack`]
+    /// instead of the single-engine stack loop. Outputs stay bit-exact
+    /// (the executor shares the kernels and the chaining semantics);
+    /// only the parallel layout changes. [`ModelServer::start`] panics
+    /// if a non-single topology is paired with a backend other than
+    /// [`BackendKind::NativeCpu`].
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
 }
 
 impl fmt::Display for ServerConfig {
@@ -116,7 +136,11 @@ impl fmt::Display for ServerConfig {
             f,
             "{} × {}, batch ≤{}, wait ≤{} µs, queue ≤{}",
             self.workers, self.backend, self.max_batch, self.max_wait_us, self.queue_depth
-        )
+        )?;
+        if self.topology != Topology::single() {
+            write!(f, ", topology {}", self.topology)?;
+        }
+        Ok(())
     }
 }
 
@@ -243,14 +267,7 @@ impl Reservoir {
     }
 
     fn next_u64(&mut self) -> u64 {
-        // xorshift64*: cheap, no external dependency, quality is ample
-        // for reservoir slot selection.
-        let mut x = self.rng;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.rng = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        xorshift64star(&mut self.rng)
     }
 
     fn push(&mut self, value: f64) {
@@ -262,6 +279,70 @@ impl Reservoir {
             if (slot as usize) < RESERVOIR_CAP {
                 self.samples[slot as usize] = value;
             }
+        }
+    }
+}
+
+/// xorshift64*: cheap, no external dependency, quality is ample for
+/// reservoir slot selection and merge-time source selection.
+fn xorshift64star(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Merges two uniform samples of two streams into one uniform sample of
+/// the combined stream: `pool` (a sample of `pool_seen` observations)
+/// absorbs `incoming` (a sample of `incoming_seen`).
+///
+/// While everything fits in [`RESERVOIR_CAP`] the union is kept exactly
+/// (a sub-capacity sample *is* its stream). Past capacity, each output
+/// slot draws its source hypergeometrically — from `pool` with
+/// probability proportional to the *remaining* unsampled weight of
+/// `pool_seen`, else from `incoming` — so each source contributes in
+/// proportion to its observed count, not its sample count. Reservoir
+/// samples are exchangeable, so consuming each source sequentially is
+/// itself uniform; the RNG is seeded from the two counts, keeping any
+/// given merge deterministic.
+fn merge_sample_pools(pool: &mut Vec<f64>, pool_seen: u64, incoming: &[f64], incoming_seen: u64) {
+    if incoming.is_empty() {
+        return;
+    }
+    if pool.is_empty() || pool.len() + incoming.len() <= RESERVOIR_CAP {
+        pool.extend_from_slice(incoming);
+        return;
+    }
+    let mut rng = pool_seen
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(incoming_seen)
+        | 1;
+    let target = RESERVOIR_CAP.min(pool.len() + incoming.len());
+    let source = std::mem::take(pool);
+    let (mut ia, mut ib) = (0usize, 0usize);
+    // Remaining stream weights behind each sample (≥ sample length —
+    // `seen` counts the whole stream the sample summarizes).
+    let mut wa = pool_seen.max(source.len() as u64);
+    let mut wb = incoming_seen.max(incoming.len() as u64);
+    pool.reserve(target);
+    for _ in 0..target {
+        let take_a = if ia >= source.len() {
+            false
+        } else if ib >= incoming.len() {
+            true
+        } else {
+            xorshift64star(&mut rng) % (wa + wb) < wa
+        };
+        if take_a {
+            pool.push(source[ia]);
+            ia += 1;
+            wa = wa.saturating_sub(1).max((source.len() - ia) as u64);
+        } else {
+            pool.push(incoming[ib]);
+            ib += 1;
+            wb = wb.saturating_sub(1).max((incoming.len() - ib) as u64);
         }
     }
 }
@@ -303,47 +384,70 @@ pub struct ServerStats {
     /// Largest micro-batch observed.
     pub max_coalesced: usize,
     /// Sampled per-request end-to-end latencies, µs. Exact below
-    /// 16 Ki requests per worker; a uniform reservoir sample beyond, so
-    /// the percentile accessors stay valid at constant memory over
-    /// unbounded runs. Caveat: per-worker reservoirs are concatenated
-    /// unweighted at shutdown, so once workers exceed capacity with
-    /// *unequal* request counts, the merged distribution weights each
-    /// worker equally rather than by traffic share.
+    /// 16 Ki requests total; a uniform reservoir sample beyond, so the
+    /// percentile accessors stay valid at constant memory over
+    /// unbounded runs. Per-worker reservoirs merge **weighted by each
+    /// worker's observed request count** (not per-sample), so the
+    /// merged pool is a uniform sample of the server's whole traffic
+    /// and p50/p95/p99 stay unbiased across workers with unequal
+    /// traffic shares.
     pub latencies_us: Vec<f64>,
     /// Sampled per-request queue times, µs (same reservoir policy and
-    /// merge caveat).
+    /// traffic-weighted merge).
     pub queue_us: Vec<f64>,
     /// Server lifetime from start to the end of the shutdown drain, s.
     pub wall_s: f64,
 }
 
 impl ServerStats {
-    /// Folds one worker's tallies in. **Merge semantics (documented
-    /// caveat):** per-worker reservoirs are concatenated unweighted, so
-    /// once workers exceed reservoir capacity with *unequal* request
-    /// counts, the merged distribution weights each worker equally
-    /// rather than by traffic share. Pinned by a unit test so a future
-    /// weighted merge is a deliberate change.
+    /// Folds one worker's tallies in. **Merge semantics:** sample pools
+    /// merge weighted by each side's observed request count
+    /// ([`merge_sample_pools`]), so a worker that served 99% of the
+    /// traffic contributes ~99% of the merged pool however its
+    /// reservoir was bounded — percentiles are over *traffic*, not over
+    /// per-worker samples. Pinned by a unit test.
     fn absorb(&mut self, w: &WorkerStats) {
+        let pool_seen = self.requests;
         self.requests += w.requests;
         self.batches += w.batches;
         self.max_coalesced = self.max_coalesced.max(w.max_coalesced);
-        self.latencies_us.extend_from_slice(&w.latencies_us.samples);
-        self.queue_us.extend_from_slice(&w.queue_us.samples);
+        merge_sample_pools(
+            &mut self.latencies_us,
+            pool_seen,
+            &w.latencies_us.samples,
+            w.latencies_us.seen,
+        );
+        merge_sample_pools(
+            &mut self.queue_us,
+            pool_seen,
+            &w.queue_us.samples,
+            w.queue_us.seen,
+        );
     }
 
     /// Folds another aggregate in — how a multi-model front-end rolls
     /// per-model statistics into one report. Counters add; the sample
-    /// pools concatenate with the same equal-weight-per-sample caveat
-    /// as the worker merge; `wall_s` keeps the longer lifetime (the
-    /// models served concurrently, so lifetimes overlap rather than
-    /// add).
+    /// pools merge weighted by each aggregate's request count (the same
+    /// traffic-share semantics as the worker merge); `wall_s` keeps the
+    /// longer lifetime (the models served concurrently, so lifetimes
+    /// overlap rather than add).
     pub fn merge(&mut self, other: &ServerStats) {
+        let pool_seen = self.requests;
         self.requests += other.requests;
         self.batches += other.batches;
         self.max_coalesced = self.max_coalesced.max(other.max_coalesced);
-        self.latencies_us.extend_from_slice(&other.latencies_us);
-        self.queue_us.extend_from_slice(&other.queue_us);
+        merge_sample_pools(
+            &mut self.latencies_us,
+            pool_seen,
+            &other.latencies_us,
+            other.requests,
+        );
+        merge_sample_pools(
+            &mut self.queue_us,
+            pool_seen,
+            &other.queue_us,
+            other.requests,
+        );
         self.wall_s = self.wall_s.max(other.wall_s);
     }
 
@@ -468,9 +572,14 @@ impl ModelServer {
         assert!(config.workers > 0, "server needs at least one worker");
         assert!(config.max_batch > 0, "max_batch must be non-zero");
         assert!(config.queue_depth > 0, "queue_depth must be non-zero");
+        assert!(
+            config.topology == Topology::single()
+                || matches!(config.backend, BackendKind::NativeCpu(_)),
+            "a topology requires the native-cpu backend, not {}",
+            config.backend
+        );
         let model = Arc::new(model);
         let queue = Arc::new(MicroBatchQueue::new(config.queue_depth));
-        let max_wait = Duration::from_micros(config.max_wait_us);
         let worker_stats: Vec<Arc<Mutex<WorkerStats>>> = (0..config.workers)
             .map(|worker| Arc::new(Mutex::new(WorkerStats::new(worker))))
             .collect();
@@ -481,17 +590,7 @@ impl ModelServer {
                 let stats = Arc::clone(&worker_stats[worker]);
                 std::thread::Builder::new()
                     .name(format!("eie-serve-{worker}"))
-                    .spawn(move || {
-                        worker_loop(
-                            worker,
-                            &model,
-                            config.backend,
-                            &queue,
-                            config.max_batch,
-                            max_wait,
-                            &stats,
-                        )
-                    })
+                    .spawn(move || worker_loop(worker, &model, config, &queue, &stats))
                     .expect("spawn serving worker")
             })
             .collect();
@@ -623,28 +722,38 @@ impl Drop for ModelServer {
     }
 }
 
-/// One worker: instantiate the backend once (its persistent kernel
-/// pool, if any, lives as long as the worker), resolve the model's
-/// planned layers once (plans are built into the model's shared cache
-/// at worker startup, so every worker scans the same pre-decoded
-/// arrays), then claim → execute → answer micro-batches until the
-/// queue closes and drains.
+/// One worker: build its executor once (a backend instance, or — under
+/// a non-single [`ServerConfig::topology`] — a [`PipelinedStack`] with
+/// per-stage engines), resolve the model's planned layers once (plans
+/// are built into the model's shared cache at worker startup, so every
+/// worker scans the same pre-decoded arrays), then claim → execute →
+/// answer micro-batches until the queue closes and drains. Both
+/// executors share the kernels and the chaining semantics, so served
+/// outputs are bit-identical either way.
 fn worker_loop(
     worker: usize,
     model: &CompiledModel,
-    kind: BackendKind,
+    config: ServerConfig,
     queue: &MicroBatchQueue<Request>,
-    max_batch: usize,
-    max_wait: Duration,
     shared: &Mutex<WorkerStats>,
 ) {
-    let backend = kind.instantiate(model.config());
-    let layers: Vec<PlannedLayer<'_>> = if backend.wants_plans() {
-        model.planned_layers()
-    } else {
-        model.layers().iter().map(PlannedLayer::unplanned).collect()
-    };
-    while let Some(mut batch) = queue.pop_batch(max_batch, max_wait) {
+    let max_wait = Duration::from_micros(config.max_wait_us);
+    let pipelined = config.topology != Topology::single();
+    let backend = (!pipelined).then(|| config.backend.instantiate(model.config()));
+    let layers: Vec<PlannedLayer<'_>> =
+        if pipelined || backend.as_deref().is_some_and(|b| b.wants_plans()) {
+            model.planned_layers()
+        } else {
+            model.layers().iter().map(PlannedLayer::unplanned).collect()
+        };
+    let stack = pipelined.then(|| {
+        let threads = match config.backend {
+            BackendKind::NativeCpu(t) => t,
+            other => unreachable!("ModelServer::start rejected topology × {other}"),
+        };
+        PipelinedStack::new(&layers, &config.topology, threads)
+    });
+    while let Some(mut batch) = queue.pop_batch(config.max_batch, max_wait) {
         if batch.is_empty() {
             continue;
         }
@@ -653,13 +762,20 @@ fn worker_loop(
             .iter_mut()
             .map(|r| std::mem::take(&mut r.input))
             .collect();
-        let runs = run_stack_planned(backend.as_ref(), &layers, &inputs);
+        let outputs: Vec<Vec<Q8p8>> = match (&stack, &backend) {
+            (Some(stack), _) => stack.run(&inputs).outputs,
+            (None, Some(backend)) => run_stack_planned(backend.as_ref(), &layers, &inputs)
+                .into_iter()
+                .map(|run| run.outputs)
+                .collect(),
+            (None, None) => unreachable!("worker has neither executor"),
+        };
         let done = Instant::now();
         let coalesced = batch.len();
         let mut stats = shared.lock().expect("worker stats poisoned");
         stats.batches += 1;
         stats.max_coalesced = stats.max_coalesced.max(coalesced);
-        for (request, run) in batch.into_iter().zip(runs) {
+        for (request, outputs) in batch.into_iter().zip(outputs) {
             let queue_us = claimed.duration_since(request.submitted).as_secs_f64() * 1e6;
             let latency_us = done.duration_since(request.submitted).as_secs_f64() * 1e6;
             stats.requests += 1;
@@ -667,7 +783,7 @@ fn worker_loop(
             stats.latencies_us.push(latency_us);
             // A dropped receiver (caller gave up) is not an error.
             let _ = request.tx.send(RequestResult {
-                outputs: run.outputs,
+                outputs,
                 queue_us,
                 latency_us,
                 coalesced,
@@ -682,16 +798,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn stats_merge_is_equal_weight_per_sample_not_per_traffic_share() {
-        // Pins the documented ServerStats::absorb caveat: per-worker
-        // reservoirs are concatenated unweighted. Worker A saw 4× the
-        // reservoir capacity of requests (its reservoir holds CAP
-        // samples of value 1000); worker B saw only 10 requests (10
-        // samples of value 0). A traffic-weighted merge would put the
-        // p50 at 1000 (B is 0.015% of traffic); the documented
-        // equal-weight concatenation keeps every one of B's samples. If
-        // this test starts failing, a weighted merge was introduced —
-        // make that change deliberately and update the ServerStats docs.
+    fn stats_merge_weights_samples_by_traffic_share() {
+        // Asserts the weighted reservoir merge (the old equal-weight
+        // concatenation is gone): worker A saw 4× the reservoir
+        // capacity of requests (its reservoir holds CAP samples of
+        // value 1000); worker B saw only 10 requests (10 samples of
+        // value 0). B is ~0.015% of traffic, so a traffic-weighted
+        // merge admits at most a handful of B's zeros into the bounded
+        // pool — the old concatenation kept all 10 regardless of
+        // traffic, biasing every low percentile toward the idle worker.
         let mut a = WorkerStats::new(0);
         for _ in 0..(4 * RESERVOIR_CAP as u64) {
             a.requests += 1;
@@ -709,17 +824,64 @@ mod tests {
         merged.absorb(&b);
         // Exact request counts survive the merge…
         assert_eq!(merged.requests, 4 * RESERVOIR_CAP as u64 + 10);
-        // …but the sample pool is a plain concatenation: CAP from A
-        // (reservoir-bounded) plus all 10 of B, regardless of traffic.
-        assert_eq!(merged.latencies_us.len(), RESERVOIR_CAP + 10);
-        assert_eq!(
-            merged.latencies_us.iter().filter(|&&v| v == 0.0).count(),
-            10
-        );
-        // The percentile view is therefore over samples, not traffic:
-        // B's 10 zeros occupy the bottom ~0.06% of the merged pool.
-        assert_eq!(merged.percentile_latency_us(0.01), 0.0);
+        // …and the merged pool stays bounded at reservoir capacity (a
+        // uniform sample of the union, not a concatenation).
+        assert_eq!(merged.latencies_us.len(), RESERVOIR_CAP);
+        // B's expected share of the pool is CAP × (10 / 65546) ≈ 2.5
+        // samples. Strictly fewer than the 10 the biased merge kept;
+        // a loose deterministic bound (the merge RNG is seeded from
+        // the observation counts) guards the proportionality.
+        let zeros = merged.latencies_us.iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros < 10, "traffic weighting must down-sample B: {zeros}");
+        // The percentile view is over traffic: the idle worker no
+        // longer defines the distribution's low tail…
         assert_eq!(merged.p50(), 1000.0);
+        assert_eq!(merged.percentile_latency_us(0.05), 1000.0);
+        // …while sub-capacity merges stay exact (nothing to weight).
+        let mut small = ServerStats::default();
+        let mut c = WorkerStats::new(2);
+        for _ in 0..4 {
+            c.requests += 1;
+            c.latencies_us.push(7.0);
+            c.queue_us.push(1.0);
+        }
+        small.absorb(&c);
+        small.absorb(&b);
+        assert_eq!(small.latencies_us.len(), 14);
+        assert_eq!(small.percentile_latency_us(1.0), 0.0);
+    }
+
+    #[test]
+    fn aggregate_merge_is_also_traffic_weighted_and_bounded() {
+        // The public ServerStats::merge (multi-model roll-up) applies
+        // the same weighted semantics: two over-capacity aggregates
+        // merge into one capacity-bounded pool with contributions
+        // proportional to their request counts.
+        let mut hot = ServerStats {
+            requests: 9 * RESERVOIR_CAP as u64,
+            latencies_us: vec![500.0; RESERVOIR_CAP],
+            ..ServerStats::default()
+        };
+        let cold = ServerStats {
+            requests: RESERVOIR_CAP as u64,
+            latencies_us: vec![5.0; RESERVOIR_CAP],
+            wall_s: 2.0,
+            ..ServerStats::default()
+        };
+        hot.merge(&cold);
+        assert_eq!(hot.requests, 10 * RESERVOIR_CAP as u64);
+        assert_eq!(hot.latencies_us.len(), RESERVOIR_CAP);
+        assert_eq!(hot.wall_s, 2.0);
+        let cold_share =
+            hot.latencies_us.iter().filter(|&&v| v == 5.0).count() as f64 / RESERVOIR_CAP as f64;
+        // Cold served 10% of the traffic; its pool share must sit near
+        // that, nowhere near the 50% an equal-weight merge would give.
+        assert!(
+            (0.05..0.2).contains(&cold_share),
+            "cold share {cold_share} should be ≈0.1"
+        );
+        // p50 lands on the hot aggregate's latency.
+        assert_eq!(hot.p50(), 500.0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! ModelServer behaviour: lifecycle, batching, backpressure, shutdown.
 
 use eie_core::nn::zoo::{random_sparse, sample_activations};
-use eie_core::{BackendKind, CompiledModel, EieConfig};
+use eie_core::{BackendKind, CompiledModel, EieConfig, Topology};
 use eie_serve::{ModelServer, ServerConfig, SubmitError};
 
 fn small_model() -> CompiledModel {
@@ -222,4 +222,57 @@ fn micro_batches_coalesce_under_concurrent_load() {
         stats.batches
     );
     assert!(stats.batches < 24, "every request ran alone");
+}
+
+#[test]
+fn topology_routed_serving_is_bit_exact_and_counts_every_request() {
+    // A sharded, pipelined worker must serve the same bits as the
+    // Functional golden model, under concurrent producers, and the
+    // merged stats must still account for every request.
+    let w1 = random_sparse(40, 32, 0.25, 61);
+    let w2 = random_sparse(48, 40, 0.2, 62);
+    let w3 = random_sparse(12, 48, 0.3, 63);
+    let model = CompiledModel::compile(EieConfig::default().with_num_pes(4), &[&w1, &w2, &w3])
+        .with_name("topology serve test");
+    let golden = model.infer(BackendKind::Functional);
+    let server = ModelServer::start(
+        model.clone(),
+        ServerConfig::default()
+            .with_workers(2)
+            .with_max_batch(6)
+            .with_backend(BackendKind::NativeCpu(1))
+            .with_topology(Topology::single().with_shards(2).with_stages(2)),
+    );
+    std::thread::scope(|scope| {
+        for t in 0..3u64 {
+            let server = &server;
+            let golden = &golden;
+            scope.spawn(move || {
+                for i in 0..7u64 {
+                    let input = sample_activations(32, 0.5, false, 2000 + t * 100 + i);
+                    let result = server.submit(&input).expect("submit").wait();
+                    let expected = golden.submit_one(&input);
+                    assert_eq!(
+                        result.outputs[..],
+                        *expected.outputs(0),
+                        "pipelined serving diverged (producer {t}, request {i})"
+                    );
+                }
+            });
+        }
+    });
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 21);
+    assert!(stats.frames_per_second() > 0.0);
+}
+
+#[test]
+#[should_panic(expected = "a topology requires the native-cpu backend")]
+fn start_rejects_a_topology_on_a_non_native_backend() {
+    ModelServer::start(
+        small_model(),
+        ServerConfig::default()
+            .with_backend(BackendKind::Functional)
+            .with_topology(Topology::single().with_shards(2)),
+    );
 }
