@@ -27,6 +27,10 @@ OPTIONS:
     --seed <N>            Generation seed [default: the zoo's 0xE1E]
     --density <D>         Weight density for --layers stacks (0 < D <= 1)
     --index-bits <N>      Relative-index width 1..=8 [default: 4]
+    --codec <NAME>        Weight codec for the stored layer images:
+                          csc-nibble (default, version-1 container),
+                          huffman-packed, bit-plane; storage-only —
+                          execution is bit-identical for every codec
     --shared-codebook     Fit one codebook shared by every layer
     --name <S>            Override the artifact's recorded model name
     -h, --help            Show this help";
@@ -46,6 +50,14 @@ pub fn run(mut opts: Opts) -> Result<(), CliError> {
     let seed: u64 = opts.parsed(&["--seed"])?.unwrap_or(DEFAULT_SEED);
     let density: Option<f64> = opts.parsed(&["--density"])?;
     let index_bits: u32 = opts.parsed(&["--index-bits"])?.unwrap_or(4);
+    let codec = match opts.value(&["--codec"])? {
+        Some(name) => WeightCodecKind::from_name(&name).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown codec {name:?} (try csc-nibble, huffman-packed or bit-plane)"
+            ))
+        })?,
+        None => WeightCodecKind::CscNibble,
+    };
     let shared = opts.flag("--shared-codebook");
     let name = opts.value(&["--name"])?;
     opts.finish(0)?;
@@ -58,7 +70,8 @@ pub fn run(mut opts: Opts) -> Result<(), CliError> {
     }
     let config = EieConfig::default()
         .with_num_pes(pes)
-        .with_index_bits(index_bits);
+        .with_index_bits(index_bits)
+        .with_codec(codec);
 
     let mut model = match (zoo, layers_spec) {
         (Some(zoo_name), None) => {
@@ -96,9 +109,10 @@ pub fn run(mut opts: Opts) -> Result<(), CliError> {
     let bytes = std::fs::metadata(&output).map(|m| m.len()).unwrap_or(0);
     outln!("compiled  {model}");
     outln!(
-        "saved     {output} ({bytes} bytes, {} layer{})",
+        "saved     {output} ({bytes} bytes, {} layer{}, codec {codec}, container v{})",
         model.num_layers(),
         if model.num_layers() == 1 { "" } else { "s" },
+        model.container_version(),
     );
     Ok(())
 }

@@ -1,7 +1,5 @@
 //! `eie inspect` — print an artifact's header, topology and footprint.
 
-use eie_core::MODEL_VERSION;
-
 use crate::commands::load_model;
 use crate::opts::Opts;
 use crate::outln;
@@ -28,7 +26,11 @@ pub fn run(opts: Opts) -> Result<(), CliError> {
     let file_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
     let model = load_model(path)?;
 
-    outln!("artifact  {path} ({file_bytes} bytes, container v{MODEL_VERSION})");
+    let codec = model.config().codec;
+    outln!(
+        "artifact  {path} ({file_bytes} bytes, container v{}, codec {codec})",
+        model.container_version(),
+    );
     if !model.name().is_empty() {
         outln!("name      {}", model.name());
     }
@@ -47,28 +49,29 @@ pub fn run(opts: Opts) -> Result<(), CliError> {
     );
 
     let mut dense_total = 0usize;
-    let mut compressed_total = 0usize;
+    let mut stored_total = 0usize;
     for (i, layer) in model.layers().iter().enumerate() {
         let stats = layer.stats();
+        let stored = codec.codec().encoded_bytes(layer);
         dense_total += stats.dense_bytes;
-        compressed_total += stats.compressed_bytes();
+        stored_total += stored;
         outln!(
             "layer {i:>3}  {}x{}  {} entries ({} padding), codebook {} entries, \
-             {} bytes ({:.1}x vs dense f32)",
+             codec {codec}: {} bytes ({:.1}x vs dense f32)",
             layer.rows(),
             layer.cols(),
             stats.total_entries(),
             stats.padding_entries,
             layer.codebook().len(),
-            stats.compressed_bytes(),
-            stats.compression_ratio(),
+            stored,
+            codec.codec().compression_ratio(layer),
         );
     }
     if model.num_layers() > 1 {
         outln!(
-            "total     {} compressed bytes, {:.1}x vs dense f32",
-            compressed_total,
-            dense_total as f64 / compressed_total as f64,
+            "total     {} stored bytes, {:.1}x vs dense f32",
+            stored_total,
+            dense_total as f64 / stored_total as f64,
         );
     }
     Ok(())

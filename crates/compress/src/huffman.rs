@@ -159,6 +159,27 @@ impl BitVec {
         Self::default()
     }
 
+    /// Reconstructs a bit vector from a packed buffer produced by
+    /// [`BitVec::as_bytes`].
+    ///
+    /// Returns `None` if the byte count disagrees with `len_bits` or any
+    /// padding bit past the end is set (the buffer is not canonical).
+    pub fn from_bytes(bytes: &[u8], len_bits: usize) -> Option<Self> {
+        if bytes.len() != len_bits.div_ceil(8) {
+            return None;
+        }
+        if !len_bits.is_multiple_of(8) {
+            let pad_mask = (1u8 << (8 - len_bits % 8)) - 1;
+            if bytes.last()? & pad_mask != 0 {
+                return None;
+            }
+        }
+        Some(Self {
+            bytes: bytes.to_vec(),
+            len_bits,
+        })
+    }
+
     /// Number of bits stored.
     pub fn len(&self) -> usize {
         self.len_bits
@@ -286,6 +307,18 @@ mod tests {
         let bits = code.encode(&data);
         // Ask for more symbols than encoded.
         assert_eq!(code.decode(&bits, data.len() + 1), None);
+    }
+
+    #[test]
+    fn bitvec_from_bytes_validates_padding() {
+        let mut bv = BitVec::new();
+        bv.push_code(0b1011, 4);
+        let back = BitVec::from_bytes(bv.as_bytes(), bv.len()).unwrap();
+        assert_eq!(back, bv);
+        // Wrong byte count for the declared bit length.
+        assert!(BitVec::from_bytes(&[0xB0, 0x00], 4).is_none());
+        // A set padding bit past the end is not canonical.
+        assert!(BitVec::from_bytes(&[0xB1], 4).is_none());
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!   codebook pre-multiplied into flat per-PE `(row, weight)` arrays)
 //!   that host-speed kernels scan instead of re-decoding the compressed
 //!   stream per call,
+//! * [`WeightCodec`] — pluggable layer-image codecs (`csc-nibble`,
+//!   `huffman-packed`, `bit-plane`): alternate byte streams that all
+//!   decode back to the same [`EncodedLayer`], trading stored bytes
+//!   against decode cost without touching any executor,
 //! * [`Topology`] / [`ShardPlan`] — the execution layout layer: a plan
 //!   splits into contiguous row shards owned by independent worker
 //!   groups, and a topology describes shard → group and layer → stage
@@ -48,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod codebook;
+pub mod codec;
 mod encode;
 pub mod huffman;
 mod kmeans;
@@ -58,6 +63,7 @@ mod serialize;
 mod stats;
 
 pub use codebook::{Codebook, CODEBOOK_SIZE, WEIGHT_BITS};
+pub use codec::{decode_any, BitPlane, CscNibble, HuffmanPacked, WeightCodec, WeightCodecKind};
 pub use encode::{
     compress, encode_with_codebook, CompressConfig, EncodedLayer, Entry, PeSlice,
     ValidateLayerError,

@@ -36,7 +36,7 @@
 use eie_nn::{CsrMatrix, Matrix};
 
 use crate::prune::prune_to_density;
-use crate::{encode_with_codebook, Codebook, CompressConfig, EncodedLayer};
+use crate::{encode_with_codebook, Codebook, CompressConfig, EncodedLayer, WeightCodecKind};
 
 /// How the pipeline assigns codebooks to the layers of a model.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -66,16 +66,20 @@ pub struct CompilePipeline {
     config: CompressConfig,
     prune_density: Option<f64>,
     codebook: CodebookStrategy,
+    codec: WeightCodecKind,
 }
 
 impl CompilePipeline {
-    /// A pipeline with the given encoding configuration, no prune stage
-    /// and per-layer codebooks.
+    /// A pipeline with the given encoding configuration, no prune stage,
+    /// per-layer codebooks and the raw [`CscNibble`] pack codec.
+    ///
+    /// [`CscNibble`]: crate::CscNibble
     pub fn new(config: CompressConfig) -> Self {
         Self {
             config,
             prune_density: None,
             codebook: CodebookStrategy::PerLayer,
+            codec: WeightCodecKind::CscNibble,
         }
     }
 
@@ -109,6 +113,20 @@ impl CompilePipeline {
     /// The configured codebook strategy.
     pub fn codebook_strategy(&self) -> &CodebookStrategy {
         &self.codebook
+    }
+
+    /// Sets the pack-stage codec (default:
+    /// [`WeightCodecKind::CscNibble`]). The codec only changes the
+    /// stored byte stream — the encode/validate stages and the decoded
+    /// layer are identical for every codec.
+    pub fn with_codec(mut self, codec: WeightCodecKind) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// The configured pack-stage codec.
+    pub fn codec(&self) -> WeightCodecKind {
+        self.codec
     }
 
     /// Quantize stage: fits a codebook over the pooled non-zero weights
@@ -199,10 +217,11 @@ impl CompilePipeline {
         }
     }
 
-    /// Pack stage: the layer's binary SRAM image
-    /// (delegates to [`EncodedLayer::to_bytes`]).
+    /// Pack stage: the layer's binary image under the configured codec
+    /// (for the default [`WeightCodecKind::CscNibble`] this is exactly
+    /// [`EncodedLayer::to_bytes`]).
     pub fn pack(&self, layer: &EncodedLayer) -> Vec<u8> {
-        layer.to_bytes()
+        self.codec.codec().encode(layer)
     }
 
     /// Encode + validate: the shared tail of every compile path.
@@ -296,6 +315,21 @@ mod tests {
         let pipeline = CompilePipeline::new(CompressConfig::with_pes(2));
         let layer = pipeline.compile_matrix(&w);
         assert_eq!(pipeline.pack(&layer), layer.to_bytes());
+    }
+
+    #[test]
+    fn pack_honours_the_configured_codec() {
+        use crate::{HuffmanPacked, WeightCodec as _};
+        let w = random_sparse(16, 8, 0.5, 7);
+        let pipeline = CompilePipeline::new(CompressConfig::with_pes(2))
+            .with_codec(WeightCodecKind::HuffmanPacked);
+        assert_eq!(pipeline.codec(), WeightCodecKind::HuffmanPacked);
+        let layer = pipeline.compile_matrix(&w);
+        assert_eq!(pipeline.pack(&layer), HuffmanPacked.encode(&layer));
+        assert_eq!(
+            crate::decode_any(&pipeline.pack(&layer)).expect("roundtrip"),
+            layer
+        );
     }
 
     #[test]

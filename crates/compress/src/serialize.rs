@@ -39,13 +39,22 @@ pub enum DecodeLayerError {
         offset: usize,
         /// Which section of the layout was being read (`"magic"`,
         /// `"header"`, `"codebook"`, `"pe header"`, `"col_ptr"`,
-        /// `"entries"`).
+        /// `"entries"` for the CSC-nibble image; the Huffman and
+        /// bit-plane codecs add `"code table"`, `"zrun table"`,
+        /// `"code stream"`, `"zrun stream"`, `"code planes"` and
+        /// `"zrun planes"`).
         section: &'static str,
     },
     /// A header field holds an impossible value.
     BadHeader {
         /// Which field was invalid.
         field: &'static str,
+    },
+    /// A compressed bitstream section is present but undecodable (an
+    /// impossible prefix, an over-long code, or nonzero padding bits).
+    BadStream {
+        /// Which stream section was malformed.
+        section: &'static str,
     },
     /// The payload decoded but violates an encoding invariant.
     Invalid(ValidateLayerError),
@@ -63,6 +72,9 @@ impl fmt::Display for DecodeLayerError {
             }
             DecodeLayerError::BadHeader { field } => {
                 write!(f, "invalid header field: {field}")
+            }
+            DecodeLayerError::BadStream { section } => {
+                write!(f, "malformed {section} bitstream")
             }
             DecodeLayerError::Invalid(e) => write!(f, "invalid layer contents: {e}"),
         }
@@ -85,20 +97,34 @@ impl From<ValidateLayerError> for DecodeLayerError {
 }
 
 /// A little-endian byte cursor that knows which layout section it is in,
-/// so truncation errors name the field group that ran dry.
-struct Reader<'a> {
+/// so truncation errors name the field group that ran dry. Shared by the
+/// CSC-nibble image below and the alternate codecs in `codec.rs`.
+pub(crate) struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
     section: &'static str,
 }
 
 impl<'a> Reader<'a> {
+    pub(crate) fn new(bytes: &'a [u8], section: &'static str) -> Self {
+        Self {
+            bytes,
+            pos: 0,
+            section,
+        }
+    }
+
     /// Marks the start of a layout section for error attribution.
-    fn enter(&mut self, section: &'static str) {
+    pub(crate) fn enter(&mut self, section: &'static str) {
         self.section = section;
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeLayerError> {
+    /// Bytes not yet consumed.
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeLayerError> {
         if self.pos + n > self.bytes.len() {
             return Err(DecodeLayerError::Truncated {
                 offset: self.pos,
@@ -110,16 +136,16 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, DecodeLayerError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, DecodeLayerError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, DecodeLayerError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, DecodeLayerError> {
         let b = self.take(2)?;
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
-    fn u32(&mut self) -> Result<u32, DecodeLayerError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, DecodeLayerError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
@@ -128,6 +154,88 @@ impl<'a> Reader<'a> {
         let b = self.take(4)?;
         Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
+}
+
+/// The header fields every codec image shares: shape, index width and
+/// the embedded codebook. Written by [`write_layer_header`] and read
+/// back — validated — by [`read_layer_header`].
+pub(crate) struct LayerHeader {
+    pub(crate) index_bits: u32,
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+    pub(crate) num_pes: usize,
+    pub(crate) codebook: Codebook,
+}
+
+/// Byte length of the shared header: magic (4) + index_bits /
+/// codebook_len / pad (4) + dims (12) + codebook f32s.
+pub(crate) fn layer_header_bytes(layer: &EncodedLayer) -> usize {
+    20 + 4 * layer.codebook().len()
+}
+
+/// Serializes the shared codec header (under the given magic).
+pub(crate) fn write_layer_header(layer: &EncodedLayer, magic: &[u8; 4], out: &mut Vec<u8>) {
+    out.extend_from_slice(magic);
+    out.push(layer.index_bits() as u8);
+    out.push(layer.codebook().len() as u8);
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&(layer.rows() as u32).to_le_bytes());
+    out.extend_from_slice(&(layer.cols() as u32).to_le_bytes());
+    out.extend_from_slice(&(layer.num_pes() as u32).to_le_bytes());
+    for &v in layer.codebook().values() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Reads and validates the shared codec header, rejecting a wrong magic
+/// and every impossible field value.
+pub(crate) fn read_layer_header(
+    r: &mut Reader<'_>,
+    magic: &[u8; 4],
+) -> Result<LayerHeader, DecodeLayerError> {
+    r.enter("magic");
+    if r.take(4)? != magic {
+        return Err(DecodeLayerError::BadMagic);
+    }
+    r.enter("header");
+    let index_bits = r.u8()? as u32;
+    if !(1..=8).contains(&index_bits) {
+        return Err(DecodeLayerError::BadHeader {
+            field: "index_bits",
+        });
+    }
+    let codebook_len = r.u8()? as usize;
+    if !(2..=crate::CODEBOOK_SIZE).contains(&codebook_len) {
+        return Err(DecodeLayerError::BadHeader {
+            field: "codebook_len",
+        });
+    }
+    let _pad = r.u16()?;
+    let rows = r.u32()? as usize;
+    let cols = r.u32()? as usize;
+    let num_pes = r.u32()? as usize;
+    if rows == 0 || cols == 0 {
+        return Err(DecodeLayerError::BadHeader { field: "dims" });
+    }
+    if num_pes == 0 || num_pes > 1 << 20 {
+        return Err(DecodeLayerError::BadHeader { field: "num_pes" });
+    }
+
+    r.enter("codebook");
+    let mut values = Vec::with_capacity(codebook_len);
+    for _ in 0..codebook_len {
+        values.push(r.f32()?);
+    }
+    if values[0] != 0.0 || values[1..].iter().any(|v| !v.is_finite() || *v == 0.0) {
+        return Err(DecodeLayerError::BadHeader { field: "codebook" });
+    }
+    Ok(LayerHeader {
+        index_bits,
+        rows,
+        cols,
+        num_pes,
+        codebook: Codebook::from_centroids(&values[1..]),
+    })
 }
 
 impl EncodedLayer {
@@ -149,16 +257,7 @@ impl EncodedLayer {
     /// Serializes the layer into its I/O-mode binary image.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + self.total_entries() * 2);
-        out.extend_from_slice(&MAGIC);
-        out.push(self.index_bits() as u8);
-        out.push(self.codebook().len() as u8);
-        out.extend_from_slice(&0u16.to_le_bytes());
-        out.extend_from_slice(&(self.rows() as u32).to_le_bytes());
-        out.extend_from_slice(&(self.cols() as u32).to_le_bytes());
-        out.extend_from_slice(&(self.num_pes() as u32).to_le_bytes());
-        for &v in self.codebook().values() {
-            out.extend_from_slice(&v.to_le_bytes());
-        }
+        write_layer_header(self, &MAGIC, &mut out);
         for slice in self.slices() {
             out.extend_from_slice(&(slice.local_rows() as u32).to_le_bytes());
             out.extend_from_slice(&(slice.num_entries() as u32).to_le_bytes());
@@ -180,58 +279,19 @@ impl EncodedLayer {
     /// Returns a [`DecodeLayerError`] on malformed bytes or any encoding
     /// invariant violation.
     pub fn from_bytes(bytes: &[u8]) -> Result<EncodedLayer, DecodeLayerError> {
-        let mut r = Reader {
-            bytes,
-            pos: 0,
-            section: "magic",
-        };
-        if r.take(4)? != MAGIC {
-            return Err(DecodeLayerError::BadMagic);
-        }
-        r.enter("header");
-        let index_bits = r.u8()? as u32;
-        if !(1..=8).contains(&index_bits) {
-            return Err(DecodeLayerError::BadHeader {
-                field: "index_bits",
-            });
-        }
-        let codebook_len = r.u8()? as usize;
-        if !(2..=crate::CODEBOOK_SIZE).contains(&codebook_len) {
-            return Err(DecodeLayerError::BadHeader {
-                field: "codebook_len",
-            });
-        }
-        let _pad = r.u16()?;
-        let rows = r.u32()? as usize;
-        let cols = r.u32()? as usize;
-        let num_pes = r.u32()? as usize;
-        if rows == 0 || cols == 0 {
-            return Err(DecodeLayerError::BadHeader { field: "dims" });
-        }
-        if num_pes == 0 || num_pes > 1 << 20 {
-            return Err(DecodeLayerError::BadHeader { field: "num_pes" });
-        }
+        let mut r = Reader::new(bytes, "magic");
+        let h = read_layer_header(&mut r, &MAGIC)?;
 
-        r.enter("codebook");
-        let mut values = Vec::with_capacity(codebook_len);
-        for _ in 0..codebook_len {
-            values.push(r.f32()?);
-        }
-        if values[0] != 0.0 || values[1..].iter().any(|v| !v.is_finite() || *v == 0.0) {
-            return Err(DecodeLayerError::BadHeader { field: "codebook" });
-        }
-        let codebook = Codebook::from_centroids(&values[1..]);
-
-        let mut slices = Vec::with_capacity(num_pes);
+        let mut slices = Vec::with_capacity(h.num_pes);
         let mut total_local = 0usize;
-        for _ in 0..num_pes {
+        for _ in 0..h.num_pes {
             r.enter("pe header");
             let local_rows = r.u32()? as usize;
             total_local += local_rows;
             let n_entries = r.u32()? as usize;
             r.enter("col_ptr");
-            let mut col_ptr = Vec::with_capacity(cols + 1);
-            for _ in 0..=cols {
+            let mut col_ptr = Vec::with_capacity(h.cols + 1);
+            for _ in 0..=h.cols {
                 col_ptr.push(r.u32()?);
             }
             r.enter("entries");
@@ -243,13 +303,13 @@ impl EncodedLayer {
             }
             slices.push(PeSlice::from_raw_parts(entries, col_ptr, local_rows));
         }
-        if total_local != rows {
+        if total_local != h.rows {
             return Err(DecodeLayerError::BadHeader {
                 field: "local_rows",
             });
         }
 
-        let layer = EncodedLayer::from_raw_parts(rows, cols, index_bits, codebook, slices);
+        let layer = EncodedLayer::from_raw_parts(h.rows, h.cols, h.index_bits, h.codebook, slices);
         layer.validate()?;
         Ok(layer)
     }

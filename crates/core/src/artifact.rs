@@ -9,7 +9,7 @@
 //! image, written by [`CompiledModel::save`] and read back — **fully
 //! validated** — by [`CompiledModel::load`].
 //!
-//! # Wire format (version 1, all integers little-endian)
+//! # Wire format (all integers little-endian)
 //!
 //! ```text
 //! preamble (16 bytes, not checksummed):
@@ -21,8 +21,11 @@
 //!           | hw_flags u8 (bit0 lnzd, bit1 ptr_banked, bit2 accum_bypass)
 //!           | pad u8 × 3
 //!   topology: name_len u16 | name (UTF-8) | num_layers u32
-//!   per layer: image_len u32 | layer image (the "EIE1" format of
-//!              `EncodedLayer::to_bytes`, embedding its codebook)
+//!   per layer (version 1): image_len u32 | layer image (the "EIE1"
+//!              format of `EncodedLayer::to_bytes`, embedding its
+//!              codebook — the `csc-nibble` codec)
+//!   per layer (version 2): codec_id u8 | image_len u32 | layer image
+//!              (that codec's stream — see `eie_compress::codec`)
 //! ```
 //!
 //! # Version & compatibility policy
@@ -30,6 +33,13 @@
 //! * The version is bumped for any layout change; readers reject
 //!   versions they do not support ([`ModelArtifactError::UnsupportedVersion`])
 //!   rather than guessing.
+//! * Version-1 layers imply the [`WeightCodecKind::CscNibble`] codec.
+//!   A writer emits version 1 whenever the model uses that codec — so
+//!   default-codec artifacts stay byte-identical to what version-1
+//!   builds wrote — and version 2 only when a non-default codec is
+//!   selected. Readers accept both; an unknown codec id in a version-2
+//!   layer is the typed [`ModelArtifactError::UnknownCodec`], never a
+//!   guess or a panic.
 //! * `flags` bits other than bit 0 are reserved **and must be zero**; a
 //!   reader rejects unknown bits, so future writers can only use them
 //!   with a version bump or for features old readers may safely ignore
@@ -44,15 +54,17 @@ use std::fmt;
 use std::fs;
 use std::path::Path;
 
-use eie_compress::{DecodeLayerError, EncodedLayer};
+use eie_compress::{DecodeLayerError, EncodedLayer, WeightCodecKind};
 
 use crate::{CompiledModel, EieConfig};
 
 /// Magic bytes heading every `.eie` model container.
 pub const MODEL_MAGIC: [u8; 4] = *b"EIEM";
 
-/// The container format version this build writes and reads.
-pub const MODEL_VERSION: u16 = 1;
+/// The newest container format version this build writes and reads
+/// (older versions back to 1 are still read; see the module docs for
+/// the per-version layer layout).
+pub const MODEL_VERSION: u16 = 2;
 
 /// Recommended file extension for model containers.
 pub const MODEL_EXTENSION: &str = "eie";
@@ -110,6 +122,14 @@ pub enum ModelArtifactError {
         /// The layer-level error.
         source: DecodeLayerError,
     },
+    /// A version-2 layer record names a codec id this build does not
+    /// implement.
+    UnknownCodec {
+        /// Index of the offending layer (input to output).
+        index: usize,
+        /// The codec id found in the layer record.
+        id: u8,
+    },
     /// Consecutive layer dimensions do not chain into a network.
     TopologyMismatch {
         /// Index of the layer whose input dimension is wrong.
@@ -143,6 +163,9 @@ impl fmt::Display for ModelArtifactError {
             }
             ModelArtifactError::Layer { index, source } => {
                 write!(f, "layer {index} invalid: {source}")
+            }
+            ModelArtifactError::UnknownCodec { index, id } => {
+                write!(f, "layer {index} uses unknown weight codec id {id}")
             }
             ModelArtifactError::TopologyMismatch {
                 index,
@@ -246,12 +269,27 @@ impl CompiledModel {
         // clock_hz (8) + hw_flags (1) + pad (3).
         let config = 28;
         let topology = 2 + self.name().len() + 4;
+        // Version-2 layer records carry a codec id byte ahead of the
+        // length; version 1 (the csc-nibble codec) does not.
+        let record = if self.container_version() == 1 { 4 } else { 5 };
+        let codec = self.config().codec.codec();
         let layers: usize = self
             .layers()
             .iter()
-            .map(|l| 4 + l.image_bytes())
+            .map(|l| record + codec.encoded_bytes(l))
             .sum::<usize>();
         PREAMBLE_LEN + config + topology + layers
+    }
+
+    /// The container version [`CompiledModel::to_bytes`] will write: 1
+    /// for the default `csc-nibble` codec (byte-identical to what
+    /// version-1 builds wrote), 2 for any other codec.
+    pub fn container_version(&self) -> u16 {
+        if self.config().codec == WeightCodecKind::CscNibble {
+            1
+        } else {
+            2
+        }
     }
 
     /// Serializes the model into the versioned `.eie` container format.
@@ -280,8 +318,13 @@ impl CompiledModel {
 
         // Layer images (each embeds its codebook; sharing is recorded in
         // the preamble flags and costs only the duplicated table bytes).
+        let version = self.container_version();
+        let codec = self.config().codec;
         for layer in self.layers() {
-            let image = layer.to_bytes();
+            if version >= 2 {
+                payload.push(codec.id());
+            }
+            let image = codec.codec().encode(layer);
             assert!(
                 image.len() <= u32::MAX as usize,
                 "layer image exceeds the container's u32 length field"
@@ -292,7 +335,7 @@ impl CompiledModel {
 
         let mut out = Vec::with_capacity(PREAMBLE_LEN + payload.len());
         out.extend_from_slice(&MODEL_MAGIC);
-        out.extend_from_slice(&MODEL_VERSION.to_le_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
         let flags = if self.has_shared_codebook() {
             FLAG_SHARED_CODEBOOK
         } else {
@@ -328,7 +371,7 @@ impl CompiledModel {
         }
         r.enter("preamble");
         let version = r.u16()?;
-        if version != MODEL_VERSION {
+        if !(1..=MODEL_VERSION).contains(&version) {
             return Err(ModelArtifactError::UnsupportedVersion {
                 found: version,
                 supported: MODEL_VERSION,
@@ -391,7 +434,7 @@ impl CompiledModel {
         if hw_flags & !0b111 != 0 {
             return Err(ModelArtifactError::BadHeader { field: "hw_flags" });
         }
-        let config = EieConfig {
+        let mut config = EieConfig {
             num_pes,
             fifo_depth,
             spmat_width_bits,
@@ -400,6 +443,8 @@ impl CompiledModel {
             lnzd_tree: hw_flags & 1 != 0,
             ptr_banked: hw_flags & 2 != 0,
             accumulator_bypass: hw_flags & 4 != 0,
+            // Provisional: the layer records carry the actual codec.
+            codec: WeightCodecKind::CscNibble,
         };
 
         r.enter("topology");
@@ -415,11 +460,31 @@ impl CompiledModel {
         }
 
         let mut layers: Vec<EncodedLayer> = Vec::with_capacity(num_layers.min(1 << 16));
+        let mut model_codec = WeightCodecKind::CscNibble;
         for index in 0..num_layers {
             r.enter("layer image");
+            // Version 1 has no codec id: every layer is csc-nibble.
+            let codec = if version >= 2 {
+                let id = r.u8()?;
+                WeightCodecKind::from_id(id)
+                    .ok_or(ModelArtifactError::UnknownCodec { index, id })?
+            } else {
+                WeightCodecKind::CscNibble
+            };
+            if index == 0 {
+                model_codec = codec;
+            } else if codec != model_codec {
+                // The writer packs a whole model with one codec; a mixed
+                // container did not come from this implementation.
+                return Err(ModelArtifactError::BadHeader {
+                    field: "layer codec",
+                });
+            }
             let image_len = r.u32()? as usize;
             let image = r.take(image_len)?;
-            let layer = EncodedLayer::from_bytes(image)
+            let layer = codec
+                .codec()
+                .decode(image)
                 .map_err(|source| ModelArtifactError::Layer { index, source })?;
             if layer.num_pes() != config.num_pes {
                 return Err(ModelArtifactError::BadHeader {
@@ -447,6 +512,7 @@ impl CompiledModel {
                 field: "payload length",
             });
         }
+        config.codec = model_codec;
 
         let model = CompiledModel::from_parts(config, layers, name);
         let shared_flag = flags & FLAG_SHARED_CODEBOOK != 0;
@@ -487,11 +553,30 @@ mod tests {
     use crate::BackendKind;
     use eie_nn::zoo::random_sparse;
 
-    fn sample_model() -> CompiledModel {
+    fn codec_model(codec: WeightCodecKind) -> CompiledModel {
         let w1 = random_sparse(32, 24, 0.25, 1);
         let w2 = random_sparse(16, 32, 0.25, 2);
-        CompiledModel::compile(EieConfig::default().with_num_pes(4), &[&w1, &w2])
-            .with_name("unit-test model")
+        CompiledModel::compile(
+            EieConfig::default().with_num_pes(4).with_codec(codec),
+            &[&w1, &w2],
+        )
+        .with_name("unit-test model")
+    }
+
+    fn sample_model() -> CompiledModel {
+        codec_model(WeightCodecKind::CscNibble)
+    }
+
+    /// Recomputes the payload CRC after a test patches payload bytes, so
+    /// the corruption under test is reached instead of the checksum.
+    fn reseal(bytes: &mut [u8]) {
+        let crc = crc32(&bytes[PREAMBLE_LEN..]);
+        bytes[12..16].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Byte offset of the first layer record inside a serialized model.
+    fn first_layer_record(model: &CompiledModel) -> usize {
+        PREAMBLE_LEN + 28 + 2 + model.name().len() + 4
     }
 
     #[test]
@@ -554,6 +639,126 @@ mod tests {
         assert!(!per_layer.has_shared_codebook());
         let restored = CompiledModel::from_bytes(&per_layer.to_bytes()).unwrap();
         assert!(!restored.has_shared_codebook());
+    }
+
+    #[test]
+    fn default_codec_still_writes_version_1_containers() {
+        let model = sample_model();
+        assert_eq!(model.container_version(), 1);
+        let bytes = model.to_bytes();
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), 1);
+        let restored = CompiledModel::from_bytes(&bytes).expect("v1 loads");
+        assert_eq!(restored.config().codec, WeightCodecKind::CscNibble);
+    }
+
+    #[test]
+    fn non_default_codecs_write_version_2_and_roundtrip() {
+        for codec in [WeightCodecKind::HuffmanPacked, WeightCodecKind::BitPlane] {
+            let model = codec_model(codec);
+            assert_eq!(model.container_version(), 2);
+            let bytes = model.to_bytes();
+            assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), 2, "{codec}");
+            assert_eq!(model.artifact_bytes(), bytes.len(), "{codec}");
+            let restored = CompiledModel::from_bytes(&bytes).expect("v2 loads");
+            assert_eq!(restored, model, "{codec}");
+            assert_eq!(restored.config().codec, codec, "{codec}");
+        }
+    }
+
+    #[test]
+    fn codec_only_changes_storage_not_outputs() {
+        let batch = vec![vec![0.5f32; 24]; 2];
+        let golden = sample_model().infer(BackendKind::Functional).submit(&batch);
+        for codec in [WeightCodecKind::HuffmanPacked, WeightCodecKind::BitPlane] {
+            let restored = CompiledModel::from_bytes(&codec_model(codec).to_bytes()).unwrap();
+            let out = restored.infer(BackendKind::Functional).submit(&batch);
+            for i in 0..batch.len() {
+                assert_eq!(out.outputs(i), golden.outputs(i), "{codec}");
+            }
+        }
+    }
+
+    #[test]
+    fn huffman_codec_shrinks_the_artifact() {
+        assert!(
+            codec_model(WeightCodecKind::HuffmanPacked).artifact_bytes()
+                < sample_model().artifact_bytes()
+        );
+    }
+
+    #[test]
+    fn unknown_codec_id_is_a_typed_error() {
+        let model = codec_model(WeightCodecKind::HuffmanPacked);
+        let mut bytes = model.to_bytes();
+        let pos = first_layer_record(&model);
+        assert_eq!(bytes[pos], WeightCodecKind::HuffmanPacked.id());
+        bytes[pos] = 9;
+        reseal(&mut bytes);
+        assert!(matches!(
+            CompiledModel::from_bytes(&bytes),
+            Err(ModelArtifactError::UnknownCodec { index: 0, id: 9 })
+        ));
+        let err = ModelArtifactError::UnknownCodec { index: 0, id: 9 };
+        assert!(err.to_string().contains("unknown weight codec id 9"));
+    }
+
+    #[test]
+    fn mixed_layer_codecs_are_rejected() {
+        let model = codec_model(WeightCodecKind::HuffmanPacked);
+        let mut bytes = model.to_bytes();
+        // Walk to the second layer record and relabel it csc-nibble.
+        let first = first_layer_record(&model);
+        let image_len =
+            u32::from_le_bytes(bytes[first + 1..first + 5].try_into().unwrap()) as usize;
+        let second = first + 5 + image_len;
+        assert_eq!(bytes[second], WeightCodecKind::HuffmanPacked.id());
+        bytes[second] = WeightCodecKind::CscNibble.id();
+        reseal(&mut bytes);
+        assert!(matches!(
+            CompiledModel::from_bytes(&bytes),
+            Err(ModelArtifactError::BadHeader {
+                field: "layer codec"
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_version_zero() {
+        let mut bytes = sample_model().to_bytes();
+        bytes[4..6].copy_from_slice(&0u16.to_le_bytes());
+        assert!(matches!(
+            CompiledModel::from_bytes(&bytes),
+            Err(ModelArtifactError::UnsupportedVersion {
+                found: 0,
+                supported: MODEL_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn v2_bitflips_and_truncations_are_rejected() {
+        let bytes = codec_model(WeightCodecKind::BitPlane).to_bytes();
+        let stride = ((bytes.len() - PREAMBLE_LEN) / 61).max(1);
+        for pos in (PREAMBLE_LEN..bytes.len()).step_by(stride) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x01;
+            assert!(
+                matches!(
+                    CompiledModel::from_bytes(&corrupt),
+                    Err(ModelArtifactError::ChecksumMismatch { .. })
+                ),
+                "flip at byte {pos} escaped the checksum"
+            );
+        }
+        for cut in [PREAMBLE_LEN + 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    CompiledModel::from_bytes(&bytes[..cut]),
+                    Err(ModelArtifactError::Truncated { .. })
+                ),
+                "prefix of {cut} bytes"
+            );
+        }
     }
 
     #[test]

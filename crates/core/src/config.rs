@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use eie_compress::{CompilePipeline, CompressConfig};
+use eie_compress::{CompilePipeline, CompressConfig, WeightCodecKind};
 use eie_energy::PeModel;
 use eie_sim::SimConfig;
 
@@ -56,6 +56,10 @@ pub struct EieConfig {
     pub ptr_banked: bool,
     /// Accumulator bypass path (vs. hazard stalls).
     pub accumulator_bypass: bool,
+    /// Weight codec the pack stage stores layer images with (default:
+    /// the raw CSC-nibble image; storage-only — execution is identical
+    /// for every codec).
+    pub codec: WeightCodecKind,
 }
 
 impl Default for EieConfig {
@@ -69,6 +73,7 @@ impl Default for EieConfig {
             lnzd_tree: true,
             ptr_banked: true,
             accumulator_bypass: true,
+            codec: WeightCodecKind::CscNibble,
         }
     }
 }
@@ -154,6 +159,14 @@ impl EieConfig {
         self
     }
 
+    /// Sets the weight codec artifacts are packed with. A non-default
+    /// codec bumps the model container to version 2; the decoded layers,
+    /// plans and every backend's outputs are bit-identical regardless.
+    pub fn with_codec(mut self, codec: WeightCodecKind) -> Self {
+        self.codec = codec;
+        self
+    }
+
     /// The compression configuration implied by this accelerator config.
     pub fn compress_config(&self) -> CompressConfig {
         CompressConfig {
@@ -176,7 +189,7 @@ impl EieConfig {
     /// assert_eq!(layer.num_pes(), 4);
     /// ```
     pub fn pipeline(&self) -> CompilePipeline {
-        CompilePipeline::new(self.compress_config())
+        CompilePipeline::new(self.compress_config()).with_codec(self.codec)
     }
 
     /// The simulator configuration implied by this accelerator config.
@@ -254,6 +267,14 @@ mod tests {
             .with_ptr_banked(true)
             .with_accumulator_bypass(true);
         assert!(back.sim_config().lnzd_tree);
+    }
+
+    #[test]
+    fn codec_setter_reaches_the_pipeline() {
+        assert_eq!(EieConfig::default().codec, WeightCodecKind::CscNibble);
+        let cfg = EieConfig::default().with_codec(WeightCodecKind::BitPlane);
+        assert_eq!(cfg.codec, WeightCodecKind::BitPlane);
+        assert_eq!(cfg.pipeline().codec(), WeightCodecKind::BitPlane);
     }
 
     #[test]

@@ -19,8 +19,9 @@ pub use crate::{
 };
 
 pub use eie_compress::{
-    compress, encode_with_codebook, Codebook, CodebookStrategy, CompilePipeline, CompressConfig,
-    EncodedLayer, EncodingStats, LaneTile, LayerPlan, ShardPlan, Topology, LANE_WIDTH,
+    compress, decode_any, encode_with_codebook, BitPlane, Codebook, CodebookStrategy,
+    CompilePipeline, CompressConfig, CscNibble, EncodedLayer, EncodingStats, HuffmanPacked,
+    LaneTile, LayerPlan, ShardPlan, Topology, WeightCodec, WeightCodecKind, LANE_WIDTH,
 };
 pub use eie_energy::{platform::Platform, EnergyReport, LayerActivity, PeModel, SramModel};
 pub use eie_fixed::{Accum32, Fix16, Precision, Q8p8, QFormat};

@@ -1,0 +1,153 @@
+//! Property test for the weight-codec subsystem: for random layer
+//! stacks × PE counts × **every registered codec**, `save → load` must
+//! be an identity, the loaded model must remember its codec, and all
+//! three backends must run the reloaded model **bit-exactly** like the
+//! never-serialized functional golden.
+
+use eie_core::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a stack of 1..=2 chained sparse matrices, a PE count from
+/// {1, 2, 4, 8}, a codec, and a small activation batch.
+#[allow(clippy::type_complexity)]
+fn arb_codec_case() -> impl Strategy<Value = (Vec<CsrMatrix>, usize, WeightCodecKind, Vec<Vec<f32>>)>
+{
+    (
+        1usize..=2,
+        8usize..28,
+        0.08f64..0.5,
+        any::<u64>(),
+        prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+        prop_oneof![
+            Just(WeightCodecKind::CscNibble),
+            Just(WeightCodecKind::HuffmanPacked),
+            Just(WeightCodecKind::BitPlane),
+        ],
+        1usize..3,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(depth, dim_base, density, seed, pes, codec, batch, act_seed)| {
+                // Chained dims derived from the seed so consecutive
+                // matrices compose (same scheme as artifact_prop.rs).
+                let mut dims = Vec::with_capacity(depth + 1);
+                let mut d = dim_base;
+                for i in 0..=depth {
+                    dims.push(d);
+                    d = 8 + (d * 7 + i * 13 + seed as usize % 11) % 24;
+                }
+                let weights: Vec<CsrMatrix> = dims
+                    .windows(2)
+                    .enumerate()
+                    .map(|(i, pair)| {
+                        let mut m =
+                            random_sparse(pair[1], pair[0], density, seed.wrapping_add(i as u64));
+                        let mut reroll = seed;
+                        while m.nnz() == 0 {
+                            reroll = reroll.wrapping_add(0x9E37_79B9);
+                            m = random_sparse(pair[1], pair[0], density.max(0.3), reroll);
+                        }
+                        m
+                    })
+                    .collect();
+                let input_dim = dims[0];
+                let batch: Vec<Vec<f32>> = (0..batch as u64)
+                    .map(|i| {
+                        eie_core::nn::zoo::sample_activations(
+                            input_dim,
+                            0.5,
+                            true,
+                            act_seed.wrapping_add(i),
+                        )
+                    })
+                    .collect();
+                (weights, pes, codec, batch)
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// encode → container → decode → plan is bit-exact versus the
+    /// never-serialized functional golden on all three backends, for
+    /// every codec.
+    #[test]
+    fn every_codec_roundtrips_bit_exactly_on_all_backends(
+        (weights, pes, codec, batch) in arb_codec_case()
+    ) {
+        let config = EieConfig::default().with_num_pes(pes).with_codec(codec);
+        let refs: Vec<&CsrMatrix> = weights.iter().collect();
+        let model = CompiledModel::compile(config, &refs).with_name("codec prop");
+        let golden = model.infer(BackendKind::Functional).submit(&batch);
+
+        let bytes = model.to_bytes();
+        prop_assert_eq!(
+            bytes.len(),
+            model.artifact_bytes(),
+            "artifact_bytes must predict the serialized size for {}", codec
+        );
+        let loaded = match CompiledModel::from_bytes(&bytes) {
+            Ok(m) => m,
+            Err(e) => return Err(proptest::test_runner::TestCaseError::fail(
+                format!("{codec} roundtrip failed: {e}"),
+            )),
+        };
+        prop_assert_eq!(&loaded, &model, "save → load must be the identity for {}", codec);
+        prop_assert_eq!(loaded.config().codec, codec);
+
+        for kind in [
+            BackendKind::Functional,
+            BackendKind::CycleAccurate,
+            BackendKind::NativeCpu(2),
+        ] {
+            let from_disk = loaded.infer(kind).submit(&batch);
+            for i in 0..batch.len() {
+                prop_assert_eq!(
+                    from_disk.outputs(i),
+                    golden.outputs(i),
+                    "{} via {} diverged at item {} (pes={})",
+                    kind, codec, i, pes
+                );
+            }
+        }
+    }
+
+    /// Per-layer codec roundtrip at the compress-crate boundary: every
+    /// codec's `encode → decode` preserves the layer exactly, and the
+    /// generic `decode_any` agrees with the codec-specific decoder.
+    #[test]
+    fn layer_images_roundtrip_under_every_codec(
+        rows in 4usize..40,
+        cols in 4usize..40,
+        density in 0.05f64..0.6,
+        seed in any::<u64>(),
+        pes in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+    ) {
+        let weights = random_sparse(rows, cols, density, seed);
+        let config = EieConfig::default().with_num_pes(pes);
+        let layer = config.pipeline().compile_matrix(&weights);
+        for codec in WeightCodecKind::ALL {
+            let image = codec.codec().encode(&layer);
+            prop_assert_eq!(
+                image.len(),
+                codec.codec().encoded_bytes(&layer),
+                "encoded_bytes must predict the image size for {}", codec
+            );
+            let decoded = match codec.codec().decode(&image) {
+                Ok(l) => l,
+                Err(e) => return Err(proptest::test_runner::TestCaseError::fail(
+                    format!("{codec} decode failed: {e}"),
+                )),
+            };
+            prop_assert_eq!(&decoded, &layer, "{} must be lossless", codec);
+            let dispatched = match decode_any(&image) {
+                Ok(l) => l,
+                Err(e) => return Err(proptest::test_runner::TestCaseError::fail(
+                    format!("decode_any failed on a {codec} image: {e}"),
+                )),
+            };
+            prop_assert_eq!(&dispatched, &layer, "decode_any must agree for {}", codec);
+        }
+    }
+}
