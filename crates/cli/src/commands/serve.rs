@@ -19,8 +19,11 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use eie_core::{BackendKind, CompiledModel};
-use eie_serve::protocol::Response;
-use eie_serve::{Client, ModelRegistry, ModelServer, NetServer, ServerConfig, ServerStats};
+use eie_serve::protocol::{ErrorCode, Response};
+use eie_serve::{
+    Client, ClientTimeouts, FaultPlan, ModelRegistry, ModelServer, NetPolicy, NetServer,
+    RetryPolicy, ServerConfig, ServerStats, SubmitOptions,
+};
 
 use crate::commands::{load_model, parse_backend, sample_batch};
 use crate::opts::Opts;
@@ -61,6 +64,20 @@ LOAD GENERATION (local and --connect):
                         functional golden run (exit 1 on divergence)
     --shutdown          After the load, ask the server to drain and exit
                         (--connect)
+
+FAULT TOLERANCE:
+    --deadline-ms <N>   Per-request deadline, ms; lapsed requests are
+                        answered DEADLINE_EXCEEDED, never executed
+                        (local and --connect) [default: none]
+    --retries <N>       Attempts per request (--connect): transport
+                        failures, OVERLOADED and WORKER_FAILED retry
+                        with deterministic exponential backoff
+                        [default: 3]
+    --write-grace-ms <N> Evict clients that stall response writes longer
+                        than this (--listen) [default: 2000]
+    EIE_FAULTS=<SPEC>   (--listen, env) Install a deterministic fault
+                        plan, e.g. \"panic@3,stall@5:2000,latency:100\" —
+                        chaos testing only
     -h, --help          Show this help";
 
 pub fn run(mut opts: Opts) -> Result<(), CliError> {
@@ -149,6 +166,27 @@ fn print_serving_stats(stats: &ServerStats) {
         stats.p99(),
         stats.mean_queue_us()
     );
+    let faulted = stats.shed
+        + stats.expired
+        + stats.failed
+        + stats.worker_restarts
+        + stats.slow_client_evictions
+        + stats.degraded;
+    if faulted > 0 || !stats.errors.is_empty() {
+        outln!(
+            "faults    shed {}, expired {}, failed {}, worker restarts {}, \
+             slow-client evictions {}{}",
+            stats.shed,
+            stats.expired,
+            stats.failed,
+            stats.worker_restarts,
+            stats.slow_client_evictions,
+            if stats.degraded > 0 { ", DEGRADED" } else { "" }
+        );
+        for error in &stats.errors {
+            outln!("fault     {error}");
+        }
+    }
 }
 
 /// `--listen`: a network serving node. Runs until a client sends a
@@ -156,6 +194,7 @@ fn print_serving_stats(stats: &ServerStats) {
 fn run_listen(addr: &str, mut opts: Opts) -> Result<(), CliError> {
     let config = parse_policy(&mut opts)?;
     let budget: Option<u64> = opts.parsed(&["--budget-bytes"])?;
+    let write_grace_ms: Option<u64> = opts.parsed(&["--write-grace-ms"])?;
     let mut models = collect_models(&mut opts)?;
     let positional = opts.finish(1)?;
     if let Some(path) = positional.first() {
@@ -174,6 +213,17 @@ fn run_listen(addr: &str, mut opts: Opts) -> Result<(), CliError> {
         }
         registry = registry.with_budget_bytes(budget as usize);
     }
+    // Chaos testing only: EIE_FAULTS installs a deterministic fault
+    // plan (worker panics, stalls, latency, connection faults) so the
+    // recovery path can be driven end to end from CI.
+    if let Ok(spec) = std::env::var("EIE_FAULTS") {
+        if !spec.trim().is_empty() {
+            let plan = FaultPlan::parse(&spec)
+                .map_err(|e| CliError::Usage(format!("EIE_FAULTS {spec:?}: {e}")))?;
+            outln!("faults    injecting {plan}");
+            registry = registry.with_fault_plan(Arc::new(plan));
+        }
+    }
     for (name, path) in &models {
         registry
             .register_file(name.clone(), path)
@@ -182,7 +232,14 @@ fn run_listen(addr: &str, mut opts: Opts) -> Result<(), CliError> {
     }
     outln!("serving   {}", registry.server_config());
 
-    let server = NetServer::bind(addr, registry)
+    let mut policy = NetPolicy::default();
+    if let Some(ms) = write_grace_ms {
+        if ms == 0 {
+            return Err(CliError::Usage("--write-grace-ms must be positive".into()));
+        }
+        policy = policy.with_write_grace(Duration::from_millis(ms));
+    }
+    let server = NetServer::bind_with_policy(addr, registry, policy)
         .map_err(|e| CliError::Runtime(format!("cannot listen on {addr}: {e}")))?;
     outln!("listening {}", server.local_addr());
 
@@ -199,6 +256,12 @@ struct ClientTally {
     served: usize,
     overloaded: usize,
     verified: usize,
+    /// Retry attempts spent (transport, OVERLOADED, WORKER_FAILED).
+    retried: usize,
+    /// Requests that succeeded only after ≥ 1 retry.
+    recovered: usize,
+    /// Requests answered DEADLINE_EXCEEDED.
+    expired: usize,
 }
 
 /// `--connect`: drive a serving node with N concurrent connections
@@ -211,6 +274,8 @@ fn run_connect(addr: &str, mut opts: Opts) -> Result<(), CliError> {
     let seed: u64 = opts.parsed(&["--seed"])?.unwrap_or(1);
     let verify = opts.flag("--verify");
     let shutdown = opts.flag("--shutdown");
+    let deadline_ms: Option<u64> = opts.parsed(&["--deadline-ms"])?;
+    let retries: u32 = opts.parsed(&["--retries"])?.unwrap_or(3);
     let models = collect_models(&mut opts)?;
     opts.finish(0)?;
     if models.is_empty() {
@@ -218,11 +283,16 @@ fn run_connect(addr: &str, mut opts: Opts) -> Result<(), CliError> {
             "--connect needs at least one --model NAME=PATH (see --help)".into(),
         ));
     }
-    if requests == 0 || clients == 0 {
+    if requests == 0 || clients == 0 || retries == 0 {
         return Err(CliError::Usage(
-            "--requests and --clients must be positive".into(),
+            "--requests, --clients and --retries must be positive".into(),
         ));
     }
+    let deadline = match deadline_ms {
+        Some(0) => return Err(CliError::Usage("--deadline-ms must be positive".into())),
+        Some(ms) => Some(Duration::from_millis(ms)),
+        None => None,
+    };
     if !(0.0..=1.0).contains(&density) {
         return Err(CliError::Usage("--density must be in [0, 1]".into()));
     }
@@ -246,7 +316,9 @@ fn run_connect(addr: &str, mut opts: Opts) -> Result<(), CliError> {
         let loaded = Arc::clone(&loaded);
         let addr = addr.to_string();
         threads.push(thread::spawn(move || {
-            drive_connection(&addr, t, requests, &loaded, density, signed, seed, verify)
+            drive_connection(
+                &addr, t, requests, &loaded, density, signed, seed, verify, deadline, retries,
+            )
         }));
     }
     let mut tally = ClientTally::default();
@@ -258,6 +330,9 @@ fn run_connect(addr: &str, mut opts: Opts) -> Result<(), CliError> {
         tally.served += t.served;
         tally.overloaded += t.overloaded;
         tally.verified += t.verified;
+        tally.retried += t.retried;
+        tally.recovered += t.recovered;
+        tally.expired += t.expired;
     }
     let wall_s = started.elapsed().as_secs_f64();
     outln!(
@@ -266,6 +341,12 @@ fn run_connect(addr: &str, mut opts: Opts) -> Result<(), CliError> {
         wall_s * 1e3,
         tally.served,
         tally.overloaded
+    );
+    outln!(
+        "resilience {} retried, {} recovered, {} expired past deadline",
+        tally.retried,
+        tally.recovered,
+        tally.expired
     );
     if verify {
         outln!(
@@ -296,6 +377,25 @@ fn run_connect(addr: &str, mut opts: Opts) -> Result<(), CliError> {
         report.mean_queue_us,
         report.queue_depth
     );
+    if report.shed + report.expired + report.failed + report.worker_restarts > 0
+        || report.degraded > 0
+        || report.slow_client_evictions > 0
+    {
+        outln!(
+            "faults    shed {}, expired {}, failed {}, worker restarts {}, \
+             slow-client evictions {}{}",
+            report.shed,
+            report.expired,
+            report.failed,
+            report.worker_restarts,
+            report.slow_client_evictions,
+            if report.degraded > 0 {
+                ", DEGRADED"
+            } else {
+                ""
+            }
+        );
+    }
     if shutdown {
         control
             .shutdown_server()
@@ -305,8 +405,9 @@ fn run_connect(addr: &str, mut opts: Opts) -> Result<(), CliError> {
     Ok(())
 }
 
-/// One connection's request loop: round-robin across models, retry on
-/// shed load, verify against the local golden when asked.
+/// One connection's request loop: round-robin across models, retrying
+/// under the typed [`RetryPolicy`] (transport failures, OVERLOADED,
+/// WORKER_FAILED), verifying against the local golden when asked.
 #[allow(clippy::too_many_arguments)]
 fn drive_connection(
     addr: &str,
@@ -317,9 +418,15 @@ fn drive_connection(
     signed: bool,
     seed: u64,
     verify: bool,
+    deadline: Option<Duration>,
+    retries: u32,
 ) -> Result<ClientTally, String> {
-    let mut client =
-        Client::connect(addr).map_err(|e| format!("connection {t}: connect failed: {e}"))?;
+    let policy = RetryPolicy::default()
+        .with_max_attempts(retries)
+        .with_jitter_seed(seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut client = Client::connect_with(addr, ClientTimeouts::all(Duration::from_secs(10)))
+        .map_err(|e| format!("connection {t}: connect failed: {e}"))?
+        .with_retry_policy(policy);
     let goldens: Vec<_> = if verify {
         models
             .iter()
@@ -338,17 +445,29 @@ fn drive_connection(
             signed,
             seed.wrapping_add((t * requests + j) as u64),
         );
-        // Shed load is an answer, not a failure: count it and retry
-        // until admitted (the queue drains every micro-batch window).
+        // Shed load is an answer, not a failure: when even the retry
+        // budget comes back OVERLOADED, wait out a micro-batch window
+        // and offer the request again.
         let output = loop {
-            match client
-                .infer(name, &input)
-                .map_err(|e| format!("connection {t}: request {j} failed: {e}"))?
-            {
-                Response::Output(output) => break output,
+            let (response, stats) = client
+                .infer_retrying(name, &input, deadline)
+                .map_err(|e| format!("connection {t}: request {j} failed: {e}"))?;
+            tally.retried += stats.retries as usize;
+            if stats.recovered {
+                tally.recovered += 1;
+            }
+            match response {
+                Response::Output(output) => break Some(output),
                 Response::Overloaded { .. } => {
                     tally.overloaded += 1;
                     thread::sleep(Duration::from_micros(500));
+                }
+                Response::Error {
+                    code: ErrorCode::DeadlineExceeded,
+                    ..
+                } => {
+                    tally.expired += 1;
+                    break None;
                 }
                 other => {
                     return Err(format!(
@@ -357,6 +476,7 @@ fn drive_connection(
                 }
             }
         };
+        let Some(output) = output else { continue };
         tally.served += 1;
         if verify {
             let golden = goldens[m].submit_one(&input);
@@ -383,6 +503,7 @@ fn run_local(mut opts: Opts) -> Result<(), CliError> {
     let signed = opts.flag("--signed");
     let seed: u64 = opts.parsed(&["--seed"])?.unwrap_or(1);
     let verify = opts.flag("--verify");
+    let deadline_ms: Option<u64> = opts.parsed(&["--deadline-ms"])?;
     let positional = opts.finish(1)?;
     let path = positional
         .first()
@@ -390,6 +511,11 @@ fn run_local(mut opts: Opts) -> Result<(), CliError> {
     if requests == 0 {
         return Err(CliError::Usage("--requests must be positive".into()));
     }
+    let deadline = match deadline_ms {
+        Some(0) => return Err(CliError::Usage("--deadline-ms must be positive".into())),
+        Some(ms) => Some(Duration::from_millis(ms)),
+        None => None,
+    };
     if !(0.0..=1.0).contains(&density) {
         return Err(CliError::Usage("--density must be in [0, 1]".into()));
     }
@@ -426,20 +552,36 @@ fn run_local(mut opts: Opts) -> Result<(), CliError> {
                 std::thread::sleep(wait);
             }
         }
-        let response = server
-            .submit(input)
-            .map_err(|e| CliError::Runtime(format!("submit failed at request {i}: {e}")))?;
-        responses.push(response);
+        let mut submit_opts = SubmitOptions::default();
+        if let Some(budget) = deadline {
+            submit_opts = submit_opts.with_deadline(Instant::now() + budget);
+        }
+        let response = match server.submit_with(input, submit_opts) {
+            Ok(response) => response,
+            // A pre-expired deadline is a typed answer, not a CLI
+            // failure; nothing to wait on.
+            Err(eie_serve::SubmitError::DeadlineExceeded) => continue,
+            Err(e) => {
+                return Err(CliError::Runtime(format!(
+                    "submit failed at request {i}: {e}"
+                )))
+            }
+        };
+        responses.push((i, response));
     }
     let offered_s = started.elapsed().as_secs_f64();
 
-    let results: Vec<_> = responses.into_iter().map(|r| r.wait()).collect();
+    let results: Vec<_> = responses.into_iter().map(|(i, r)| (i, r.wait())).collect();
     let stats = server.shutdown();
 
+    let answered: Vec<_> = results
+        .iter()
+        .filter_map(|(i, r)| r.as_ref().ok().map(|result| (*i, result)))
+        .collect();
     if let Some(golden) = &golden {
         let job = golden.infer(BackendKind::Functional);
-        for (i, (input, result)) in inputs.iter().zip(&results).enumerate() {
-            if job.submit_one(input).outputs(0) != &result.outputs[..] {
+        for (i, result) in &answered {
+            if job.submit_one(&inputs[*i]).outputs(0) != &result.outputs[..] {
                 return Err(CliError::Runtime(format!(
                     "verification FAILED: served output diverged from the \
                      one-at-a-time functional golden run at request {i}"
@@ -448,7 +590,7 @@ fn run_local(mut opts: Opts) -> Result<(), CliError> {
         }
         outln!(
             "verified  {} responses bit-exact against the functional golden model",
-            results.len()
+            answered.len()
         );
     }
 
@@ -458,10 +600,13 @@ fn run_local(mut opts: Opts) -> Result<(), CliError> {
         offered_s * 1e3
     );
     print_serving_stats(&stats);
-    if stats.requests != requests as u64 {
+    // Every request must have a disposition: answered, or typed as
+    // expired/failed. With no deadline and no faults this degenerates
+    // to the old exact answered == offered check.
+    if stats.requests + stats.expired + stats.failed != requests as u64 {
         return Err(CliError::Runtime(format!(
-            "server answered {} of {requests} requests",
-            stats.requests
+            "server answered {} of {requests} requests ({} expired, {} failed)",
+            stats.requests, stats.expired, stats.failed
         )));
     }
     Ok(())

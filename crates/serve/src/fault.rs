@@ -1,0 +1,401 @@
+//! Deterministic fault injection for the serving stack.
+//!
+//! A [`FaultPlan`] is a schedule of failures keyed to *logical* event
+//! counters — the Nth micro-batch dispatch, the Nth accepted
+//! connection — rather than wall-clock time, so a chaos run with a
+//! given plan and a single worker replays exactly. The plan is
+//! compiled into the crate unconditionally but is completely inert
+//! unless one is installed
+//! ([`ModelServer::start_with_faults`](crate::ModelServer::start_with_faults)
+//! or
+//! [`ModelRegistry::with_fault_plan`](crate::ModelRegistry::with_fault_plan));
+//! the healthy hot path pays one `Option` check per dispatch.
+//!
+//! Three injection surfaces:
+//!
+//! - **dispatch faults** — a worker about to execute a claimed
+//!   micro-batch asks [`FaultPlan::next_dispatch`] what to do: stall
+//!   (hold the batch, simulating a wedged queue/backend), panic
+//!   (exercising quarantine), or both, plus an optional latency added
+//!   to *every* dispatch;
+//! - **connection faults** — the accept path asks
+//!   [`FaultPlan::next_connection_panics`] whether this handler should
+//!   die, exercising the `NetServer::stop` join-recovery path;
+//! - **byte faults** — [`FaultyStream`] wraps any `Read + Write` stream
+//!   and corrupts or truncates the written byte stream at exact
+//!   offsets, exercising the protocol's typed-error totality from the
+//!   peer's side.
+//!
+//! Plans come from the builder API, from [`FaultPlan::seeded`] (a
+//! xorshift-derived random schedule for property tests), or from
+//! [`FaultPlan::parse`] (the `EIE_FAULTS` env format used by the CLI
+//! and the CI chaos smoke).
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// What a worker must do at one dispatch point, in order: sleep
+/// `stall`, then `panic` (inside the quarantine boundary) if set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchFault {
+    /// Hold the claimed batch this long before executing.
+    pub stall: Option<Duration>,
+    /// Panic instead of executing (the batch fails typed and the
+    /// worker respawns).
+    pub panic: bool,
+}
+
+impl DispatchFault {
+    /// True when the fault does nothing — the schedule had no entry for
+    /// this dispatch.
+    pub fn is_noop(&self) -> bool {
+        self.stall.is_none() && !self.panic
+    }
+}
+
+/// A deterministic schedule of injected failures. See the module docs.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    dispatch_faults: BTreeMap<u64, DispatchFault>,
+    /// Added to every dispatch, on top of any per-dispatch stall.
+    latency: Option<Duration>,
+    handler_panics: BTreeSet<u64>,
+    dispatch_seq: AtomicU64,
+    conn_seq: AtomicU64,
+}
+
+impl FaultPlan {
+    /// An empty plan: installs cleanly, injects nothing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Panic at the `n`th dispatch (0-based, counted across all
+    /// workers of the server the plan is installed on).
+    pub fn panic_on_dispatch(mut self, n: u64) -> Self {
+        self.dispatch_faults.entry(n).or_default().panic = true;
+        self
+    }
+
+    /// Stall the `n`th dispatch for `hold` before executing.
+    pub fn stall_dispatch(mut self, n: u64, hold: Duration) -> Self {
+        self.dispatch_faults.entry(n).or_default().stall = Some(hold);
+        self
+    }
+
+    /// Add `latency` to every dispatch.
+    pub fn with_latency(mut self, latency: Duration) -> Self {
+        self.latency = Some(latency);
+        self
+    }
+
+    /// Panic the handler of the `n`th accepted connection (0-based).
+    pub fn panic_on_connection(mut self, n: u64) -> Self {
+        self.handler_panics.insert(n);
+        self
+    }
+
+    /// A random-but-reproducible schedule over the first `horizon`
+    /// dispatches: each dispatch independently panics with probability
+    /// `panic_per_mille`/1000 and stalls (up to `max_stall`) with
+    /// probability `stall_per_mille`/1000, drawn from a xorshift64*
+    /// stream seeded with `seed`.
+    pub fn seeded(
+        seed: u64,
+        horizon: u64,
+        panic_per_mille: u32,
+        stall_per_mille: u32,
+        max_stall: Duration,
+    ) -> Self {
+        // Scramble before use: adjacent seeds must not collapse into
+        // the same stream, and the state must never be zero.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let mut plan = FaultPlan::new();
+        for n in 0..horizon {
+            if next() % 1000 < panic_per_mille as u64 {
+                plan = plan.panic_on_dispatch(n);
+            }
+            if next() % 1000 < stall_per_mille as u64 {
+                let frac = (next() % 1000) as f64 / 1000.0;
+                let hold = Duration::from_nanos((max_stall.as_nanos() as f64 * frac) as u64);
+                plan = plan.stall_dispatch(n, hold);
+            }
+        }
+        plan
+    }
+
+    /// Parses the `EIE_FAULTS` schedule format: comma-separated tokens
+    /// `panic@N` | `stall@N:US` | `latency:US` | `conn-panic@N`
+    /// (durations in µs). Example: `panic@2,panic@5,stall@3:1500`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first bad token.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::new();
+        for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let bad = || format!("bad fault token {token:?}");
+            if let Some(n) = token.strip_prefix("panic@") {
+                plan = plan.panic_on_dispatch(n.parse().map_err(|_| bad())?);
+            } else if let Some(rest) = token.strip_prefix("stall@") {
+                let (n, us) = rest.split_once(':').ok_or_else(bad)?;
+                plan = plan.stall_dispatch(
+                    n.parse().map_err(|_| bad())?,
+                    Duration::from_micros(us.parse().map_err(|_| bad())?),
+                );
+            } else if let Some(us) = token.strip_prefix("latency:") {
+                plan = plan.with_latency(Duration::from_micros(us.parse().map_err(|_| bad())?));
+            } else if let Some(n) = token.strip_prefix("conn-panic@") {
+                plan = plan.panic_on_connection(n.parse().map_err(|_| bad())?);
+            } else {
+                return Err(bad());
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Claims the next dispatch sequence number and returns what (if
+    /// anything) to inject there. Called once per claimed micro-batch.
+    pub fn next_dispatch(&self) -> DispatchFault {
+        let seq = self.dispatch_seq.fetch_add(1, Ordering::Relaxed);
+        let mut fault = self.dispatch_faults.get(&seq).copied().unwrap_or_default();
+        if let Some(extra) = self.latency {
+            fault.stall = Some(fault.stall.unwrap_or_default() + extra);
+        }
+        fault
+    }
+
+    /// Claims the next connection sequence number and returns whether
+    /// its handler should panic. Called once per accepted connection.
+    pub fn next_connection_panics(&self) -> bool {
+        let seq = self.conn_seq.fetch_add(1, Ordering::Relaxed);
+        self.handler_panics.contains(&seq)
+    }
+
+    /// Dispatches claimed so far (monotone; for tests asserting "no
+    /// backend dispatch happened").
+    pub fn dispatches(&self) -> u64 {
+        self.dispatch_seq.load(Ordering::Relaxed)
+    }
+
+    /// How many dispatch panics the schedule holds in total.
+    pub fn scheduled_panics(&self) -> usize {
+        self.dispatch_faults.values().filter(|f| f.panic).count()
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut sep = "";
+        for (n, fault) in &self.dispatch_faults {
+            if fault.panic {
+                write!(f, "{sep}panic@{n}")?;
+                sep = ",";
+            }
+            if let Some(hold) = fault.stall {
+                write!(f, "{sep}stall@{n}:{}", hold.as_micros())?;
+                sep = ",";
+            }
+        }
+        if let Some(latency) = self.latency {
+            write!(f, "{sep}latency:{}", latency.as_micros())?;
+            sep = ",";
+        }
+        for n in &self.handler_panics {
+            write!(f, "{sep}conn-panic@{n}")?;
+            sep = ",";
+        }
+        if sep.is_empty() {
+            write!(f, "(no faults)")?;
+        }
+        Ok(())
+    }
+}
+
+/// A byte-level fault injector for tests: wraps a stream and mangles
+/// the *written* side — reads pass through untouched. Used to prove
+/// the server answers corrupt or truncated frames with typed errors
+/// instead of hanging or panicking.
+#[derive(Debug)]
+pub struct FaultyStream<S> {
+    inner: S,
+    written: u64,
+    /// `(offset, mask)`: XOR the byte at absolute write offset.
+    corrupt: Vec<(u64, u8)>,
+    /// Swallow every byte past this absolute write offset (the peer
+    /// sees a frame that simply stops).
+    truncate_after: Option<u64>,
+}
+
+impl<S> FaultyStream<S> {
+    /// Wraps `inner` with no faults armed.
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            written: 0,
+            corrupt: Vec::new(),
+            truncate_after: None,
+        }
+    }
+
+    /// XOR the byte at absolute write `offset` with `mask` (non-zero,
+    /// or the fault is a no-op).
+    pub fn corrupt_byte(mut self, offset: u64, mask: u8) -> Self {
+        self.corrupt.push((offset, mask));
+        self
+    }
+
+    /// Silently drop every byte written at or past `offset`.
+    pub fn truncate_after(mut self, offset: u64) -> Self {
+        self.truncate_after = Some(offset);
+        self
+    }
+
+    /// Unwraps the inner stream.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: Write> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let start = self.written;
+        // Report the whole chunk written even when truncation swallows
+        // a suffix — the writer must not notice, the *peer* does.
+        self.written += buf.len() as u64;
+        let keep = match self.truncate_after {
+            Some(cut) if cut <= start => 0,
+            Some(cut) => ((cut - start) as usize).min(buf.len()),
+            None => buf.len(),
+        };
+        if keep > 0 {
+            let mut chunk = buf[..keep].to_vec();
+            for &(offset, mask) in &self.corrupt {
+                if (start..start + keep as u64).contains(&offset) {
+                    chunk[(offset - start) as usize] ^= mask;
+                }
+            }
+            self.inner.write_all(&chunk)?;
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl<S: Read> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_schedule_fires_in_sequence() {
+        let plan = FaultPlan::new()
+            .panic_on_dispatch(1)
+            .stall_dispatch(1, Duration::from_micros(5))
+            .stall_dispatch(2, Duration::from_micros(7));
+        assert_eq!(plan.next_dispatch(), DispatchFault::default());
+        assert_eq!(
+            plan.next_dispatch(),
+            DispatchFault {
+                stall: Some(Duration::from_micros(5)),
+                panic: true,
+            }
+        );
+        assert_eq!(
+            plan.next_dispatch(),
+            DispatchFault {
+                stall: Some(Duration::from_micros(7)),
+                panic: false,
+            }
+        );
+        assert!(plan.next_dispatch().is_noop());
+        assert_eq!(plan.dispatches(), 4);
+        assert_eq!(plan.scheduled_panics(), 1);
+    }
+
+    #[test]
+    fn latency_applies_to_every_dispatch() {
+        let plan = FaultPlan::new()
+            .with_latency(Duration::from_micros(10))
+            .stall_dispatch(0, Duration::from_micros(5));
+        assert_eq!(plan.next_dispatch().stall, Some(Duration::from_micros(15)));
+        assert_eq!(plan.next_dispatch().stall, Some(Duration::from_micros(10)));
+    }
+
+    #[test]
+    fn connection_schedule_fires_once_per_accept() {
+        let plan = FaultPlan::new().panic_on_connection(1);
+        assert!(!plan.next_connection_panics());
+        assert!(plan.next_connection_panics());
+        assert!(!plan.next_connection_panics());
+    }
+
+    #[test]
+    fn parse_roundtrips_through_display() {
+        let plan = FaultPlan::parse("panic@2,stall@3:1500,latency:250,conn-panic@0").unwrap();
+        assert_eq!(plan.scheduled_panics(), 1);
+        let reparsed = FaultPlan::parse(&plan.to_string()).unwrap();
+        assert_eq!(plan.to_string(), reparsed.to_string());
+        assert_eq!(FaultPlan::new().to_string(), "(no faults)");
+
+        for bad in ["panic@", "stall@3", "latency:x", "wat", "panic@-1"] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+        // Order and whitespace are forgiven.
+        assert!(FaultPlan::parse(" panic@1 , latency:10 ").is_ok());
+        assert!(FaultPlan::parse("").unwrap().to_string() == "(no faults)");
+    }
+
+    #[test]
+    fn seeded_plans_replay_and_respect_rates() {
+        let a = FaultPlan::seeded(42, 1000, 100, 50, Duration::from_millis(1));
+        let b = FaultPlan::seeded(42, 1000, 100, 50, Duration::from_millis(1));
+        assert_eq!(a.to_string(), b.to_string(), "same seed, same schedule");
+        let c = FaultPlan::seeded(43, 1000, 100, 50, Duration::from_millis(1));
+        assert_ne!(a.to_string(), c.to_string(), "different seed differs");
+        // ~10% of 1000 — loose bounds, the stream is deterministic.
+        let panics = a.scheduled_panics();
+        assert!((40..=250).contains(&panics), "panic count {panics}");
+        assert!(FaultPlan::seeded(7, 100, 0, 0, Duration::ZERO)
+            .to_string()
+            .contains("no faults"));
+    }
+
+    #[test]
+    fn faulty_stream_corrupts_and_truncates_exactly() {
+        let mut sink = Vec::new();
+        {
+            let mut s = FaultyStream::new(&mut sink)
+                .corrupt_byte(2, 0xFF)
+                .truncate_after(5);
+            // Split writes to cross the fault offsets.
+            s.write_all(&[0, 1, 2]).unwrap();
+            s.write_all(&[3, 4, 5, 6]).unwrap();
+            s.flush().unwrap();
+        }
+        assert_eq!(sink, vec![0, 1, 2 ^ 0xFF, 3, 4]);
+
+        let mut passthrough = FaultyStream::new(&b"abc"[..]);
+        let mut buf = [0u8; 3];
+        passthrough.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"abc");
+    }
+}

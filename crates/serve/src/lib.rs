@@ -53,18 +53,43 @@
 //!   length-prefixed [`protocol`] frames, with [`Client`] as the
 //!   matching blocking connector. Overload is a first-class response
 //!   ([`protocol::Response::Overloaded`]), not a dropped connection.
+//!
+//! ## Fault model
+//!
+//! Parts of a serving node fail without taking the node down, and
+//! every failure a caller can see is **typed** (DESIGN.md §12):
+//!
+//! * Requests may carry a **deadline** ([`SubmitOptions`], or the v2
+//!   INFER frame); once lapsed they are answered `DEADLINE_EXCEEDED`
+//!   at admission, coalesce, or dispatch time instead of burning a
+//!   backend slot.
+//! * A panicking worker is **quarantined**: only its in-flight batch
+//!   fails (typed [`RequestError::WorkerFailed`]), the worker respawns
+//!   under a bounded restart budget, and a server that spends the
+//!   budget degrades to shed-load (`degraded` in STATS; first victim
+//!   for registry eviction).
+//! * [`Client`] owns the retry side: connect/read/write timeouts and a
+//!   deterministic [`RetryPolicy`] that retries only idempotent-safe
+//!   failures (connect refused, OVERLOADED, timeout, worker failure).
+//! * The whole surface is driven by a deterministic [`FaultPlan`]
+//!   harness ([`fault`]) injecting panics, stalls, latency and
+//!   byte-level frame corruption in tests and behind `EIE_FAULTS` in
+//!   the CLI.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 mod net;
 pub mod protocol;
 mod queue;
 mod registry;
 mod server;
 
-pub use net::{Client, ClientError, NetServer};
+pub use fault::{DispatchFault, FaultPlan, FaultyStream};
+pub use net::{CallStats, Client, ClientError, ClientTimeouts, NetPolicy, NetServer, RetryPolicy};
 pub use registry::{ModelRegistry, RegistryError, RegistryStats};
 pub use server::{
-    InferenceResponse, ModelServer, RequestResult, ServerConfig, ServerStats, SubmitError,
+    InferenceResponse, ModelServer, RequestError, RequestResult, ServerConfig, ServerError,
+    ServerStats, SubmitError, SubmitOptions,
 };

@@ -31,21 +31,49 @@
 use std::fmt;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::protocol::{
     read_frame, write_frame, ErrorCode, FrameError, OutputReport, Request, Response, StatsReport,
 };
 use crate::registry::{ModelRegistry, RegistryError};
-use crate::server::{ServerStats, SubmitError};
+use crate::server::{RequestError, ServerError, ServerStats, SubmitError, SubmitOptions};
 
 use eie_core::fixed::Q8p8;
 
 /// How often a blocked handler wakes to check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Connection-level policy of a [`NetServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetPolicy {
+    /// How long one response write may sit blocked on a full socket
+    /// buffer before the client is judged slow and evicted (connection
+    /// closed, [`ServerStats::slow_client_evictions`] counted). A
+    /// handler thread is a finite resource; a peer that stops reading
+    /// must not pin one forever.
+    pub write_grace: Duration,
+}
+
+impl Default for NetPolicy {
+    fn default() -> Self {
+        Self {
+            write_grace: Duration::from_secs(2),
+        }
+    }
+}
+
+impl NetPolicy {
+    /// Sets the write-path grace period.
+    pub fn with_write_grace(mut self, write_grace: Duration) -> Self {
+        assert!(!write_grace.is_zero(), "write_grace must be non-zero");
+        self.write_grace = write_grace;
+        self
+    }
+}
 
 /// A fired-once shutdown latch: pollable without blocking (handlers)
 /// and waitable without spinning ([`NetServer::wait_for_shutdown`]).
@@ -82,6 +110,13 @@ struct Ctx {
     registry: Arc<ModelRegistry>,
     shutdown: Arc<ShutdownSignal>,
     addr: SocketAddr,
+    policy: NetPolicy,
+    /// Connections closed because the peer stopped reading.
+    slow_evicted: AtomicU64,
+    /// Handler threads that panicked (their join errors are caught in
+    /// the accept loop and surfaced as
+    /// [`ServerError::HandlerPanicked`]).
+    handler_panics: AtomicUsize,
 }
 
 impl Ctx {
@@ -165,11 +200,28 @@ impl NetServer {
     ///
     /// Any [`io::Error`] from binding the listener.
     pub fn bind(addr: impl ToSocketAddrs, registry: ModelRegistry) -> io::Result<Self> {
+        Self::bind_with_policy(addr, registry, NetPolicy::default())
+    }
+
+    /// [`NetServer::bind`] with an explicit connection-level
+    /// [`NetPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from binding the listener.
+    pub fn bind_with_policy(
+        addr: impl ToSocketAddrs,
+        registry: ModelRegistry,
+        policy: NetPolicy,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let ctx = Arc::new(Ctx {
             registry: Arc::new(registry),
             shutdown: Arc::new(ShutdownSignal::default()),
             addr: listener.local_addr()?,
+            policy,
+            slow_evicted: AtomicU64::new(0),
+            handler_panics: AtomicUsize::new(0),
         });
         let accept_ctx = Arc::clone(&ctx);
         let accept = thread::Builder::new()
@@ -213,52 +265,92 @@ impl NetServer {
 
     /// Shuts down (idempotent), joins the accept loop and every
     /// connection handler, drains every resident model, and returns the
-    /// merged lifetime [`ServerStats`].
+    /// merged lifetime [`ServerStats`]. A handler (or even the accept
+    /// loop) having panicked does not panic here: the join error is
+    /// caught, the rest of the node drains cleanly, and the failure is
+    /// surfaced typed as [`ServerError::HandlerPanicked`] in
+    /// [`ServerStats::errors`].
     pub fn stop(mut self) -> ServerStats {
         self.ctx.begin_shutdown();
         if let Some(accept) = self.accept.take() {
-            accept.join().expect("accept thread panicked");
+            if accept.join().is_err() {
+                self.ctx.handler_panics.fetch_add(1, Ordering::Relaxed);
+            }
         }
-        self.ctx.registry.drain()
+        let mut stats = self.ctx.registry.drain();
+        stats.slow_client_evictions = self.ctx.slow_evicted.load(Ordering::Relaxed);
+        let panicked = self.ctx.handler_panics.load(Ordering::Relaxed);
+        if panicked > 0 {
+            stats.errors.push(ServerError::HandlerPanicked {
+                connections: panicked,
+            });
+        }
+        stats
     }
 }
 
 impl Drop for NetServer {
     /// Dropping without [`stop`](Self::stop) still shuts down cleanly;
-    /// only the final statistics are lost.
+    /// only the final statistics are lost. Join failures are swallowed
+    /// (there is nowhere left to report them).
     fn drop(&mut self) {
         if let Some(accept) = self.accept.take() {
             self.ctx.begin_shutdown();
-            accept.join().expect("accept thread panicked");
+            let _ = accept.join();
         }
     }
 }
 
 fn accept_loop(listener: TcpListener, ctx: &Arc<Ctx>) {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    let reap = |handlers: &mut Vec<JoinHandle<()>>, ctx: &Arc<Ctx>, all: bool| {
+        // Reap finished handlers so a long-lived node doesn't
+        // accumulate one parked JoinHandle per connection ever served —
+        // counting the ones that panicked instead of propagating (one
+        // broken connection must not take the node down).
+        let mut kept = Vec::new();
+        for handler in handlers.drain(..) {
+            if all || handler.is_finished() {
+                if handler.join().is_err() {
+                    ctx.handler_panics.fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                kept.push(handler);
+            }
+        }
+        *handlers = kept;
+    };
     for stream in listener.incoming() {
         if ctx.shutdown.is_fired() {
             break;
         }
         let Ok(stream) = stream else { continue };
-        let ctx = Arc::clone(ctx);
+        let ctx_conn = Arc::clone(ctx);
         let handler = thread::Builder::new()
             .name("eie-net-conn".into())
-            .spawn(move || handle_connection(&stream, &ctx))
+            .spawn(move || handle_connection(&stream, &ctx_conn))
             .expect("spawn connection handler");
         handlers.push(handler);
-        // Reap finished handlers so a long-lived node doesn't accumulate
-        // one parked JoinHandle per connection ever served.
-        handlers.retain(|h| !h.is_finished());
+        reap(&mut handlers, ctx, false);
     }
-    for handler in handlers {
-        handler.join().expect("connection handler panicked");
-    }
+    reap(&mut handlers, ctx, true);
 }
 
 /// One connection's request→response loop. Returning closes the stream.
 fn handle_connection(stream: &TcpStream, ctx: &Ctx) {
-    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+    if let Some(plan) = ctx.registry.fault_plan() {
+        if plan.next_connection_panics() {
+            panic!("injected connection-handler panic");
+        }
+    }
+    // The write timeout is the slow-client grace: a peer that stops
+    // reading long enough to block a response write this long gets
+    // evicted instead of pinning this handler thread.
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err()
+        || stream
+            .set_write_timeout(Some(ctx.policy.write_grace))
+            .is_err()
+    {
         return;
     }
     let mut reader = ShutdownAwareStream {
@@ -297,15 +389,28 @@ fn handle_connection(stream: &TcpStream, ctx: &Ctx) {
             }
         };
         match request {
-            Request::Infer { model, input } => {
-                let response = serve_infer(ctx, &model, &input);
-                if respond(stream, &response).is_err() {
+            Request::Infer {
+                model,
+                input,
+                deadline_us,
+                attempt,
+            } => {
+                // Anchor the relative wire deadline here, at frame
+                // receipt, so a cold model load eats into the budget
+                // exactly as queueing does.
+                let opts = SubmitOptions {
+                    deadline: (deadline_us > 0)
+                        .then(|| Instant::now() + Duration::from_micros(deadline_us)),
+                    attempt: u32::from(attempt),
+                };
+                let response = serve_infer(ctx, &model, &input, opts);
+                if !answer(stream, ctx, &response) {
                     return;
                 }
             }
             Request::Stats => {
-                let response = Response::Stats(stats_report(&ctx.registry));
-                if respond(stream, &response).is_err() {
+                let response = Response::Stats(stats_report(ctx));
+                if !answer(stream, ctx, &response) {
                     return;
                 }
             }
@@ -322,10 +427,29 @@ fn respond(mut stream: &TcpStream, response: &Response) -> Result<(), FrameError
     write_frame(&mut stream, &response.to_frame())
 }
 
+/// [`respond`], classifying failures: a write that timed out means the
+/// peer stopped reading for the whole grace period — the connection is
+/// evicted and counted. Returns whether the connection stays usable.
+fn answer(stream: &TcpStream, ctx: &Ctx, response: &Response) -> bool {
+    match respond(stream, response) {
+        Ok(()) => true,
+        Err(FrameError::Io(e))
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            ctx.slow_evicted.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+        Err(_) => false,
+    }
+}
+
 /// Routes one INFER through the registry: acquire (load-on-miss) →
 /// shed-load submit → wait → raw-bits output. Every failure mode maps
 /// to a typed response; nothing here closes the connection.
-fn serve_infer(ctx: &Ctx, model: &str, input: &[f32]) -> Response {
+fn serve_infer(ctx: &Ctx, model: &str, input: &[f32], opts: SubmitOptions) -> Response {
     if ctx.shutdown.is_fired() {
         return Response::Error {
             code: ErrorCode::ShuttingDown,
@@ -347,17 +471,24 @@ fn serve_infer(ctx: &Ctx, model: &str, input: &[f32]) -> Response {
             }
         }
     };
-    match server.try_submit(input) {
-        Ok(pending) => {
-            let result = pending.wait();
-            Response::Output(OutputReport {
+    match server.try_submit_with(input, opts) {
+        Ok(pending) => match pending.wait() {
+            Ok(result) => Response::Output(OutputReport {
                 outputs: result.outputs.iter().map(|q| q.raw()).collect(),
                 queue_us: result.queue_us,
                 latency_us: result.latency_us,
                 coalesced: result.coalesced as u32,
                 worker: result.worker as u32,
-            })
-        }
+            }),
+            Err(e @ RequestError::DeadlineExceeded) => Response::Error {
+                code: ErrorCode::DeadlineExceeded,
+                message: e.to_string(),
+            },
+            Err(e @ RequestError::WorkerFailed { .. }) => Response::Error {
+                code: ErrorCode::WorkerFailed,
+                message: e.to_string(),
+            },
+        },
         Err(SubmitError::QueueFull { depth }) => Response::Overloaded {
             depth: depth as u32,
         },
@@ -369,13 +500,22 @@ fn serve_infer(ctx: &Ctx, model: &str, input: &[f32]) -> Response {
             code: ErrorCode::BadInput,
             message: e.to_string(),
         },
+        Err(e @ SubmitError::DeadlineExceeded) => Response::Error {
+            code: ErrorCode::DeadlineExceeded,
+            message: e.to_string(),
+        },
+        Err(e @ SubmitError::Degraded { .. }) => Response::Error {
+            code: ErrorCode::Degraded,
+            message: e.to_string(),
+        },
     }
 }
 
 /// Builds the STATS payload: live serving percentiles merged across
-/// resident models + registry occupancy, one lock-free-for-routing
-/// snapshot.
-fn stats_report(registry: &ModelRegistry) -> StatsReport {
+/// resident models + registry occupancy + the fault-tolerance tail,
+/// one lock-free-for-routing snapshot.
+fn stats_report(ctx: &Ctx) -> StatsReport {
+    let registry = &ctx.registry;
     let (serving, queued) = registry.serving_snapshot();
     let occupancy = registry.stats();
     StatsReport {
@@ -398,6 +538,14 @@ fn stats_report(registry: &ModelRegistry) -> StatsReport {
         p99_us: serving.p99(),
         mean_queue_us: serving.mean_queue_us(),
         frames_per_second: serving.frames_per_second(),
+        accepted: serving.accepted,
+        shed: serving.shed,
+        expired: serving.expired,
+        failed: serving.failed,
+        retries_upstream: serving.retries_upstream,
+        worker_restarts: serving.worker_restarts,
+        degraded: serving.degraded as u32,
+        slow_client_evictions: ctx.slow_evicted.load(Ordering::Relaxed),
     }
 }
 
@@ -446,25 +594,219 @@ impl From<FrameError> for ClientError {
     }
 }
 
+/// Connect/read/write timeouts of a [`Client`]. `None` means block
+/// indefinitely (the pre-fault-tolerance behavior, and the default).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientTimeouts {
+    /// Bound on establishing the TCP connection.
+    pub connect: Option<Duration>,
+    /// Bound on each blocking read (a response that takes longer
+    /// surfaces as a timed-out [`ClientError::Frame`]).
+    pub read: Option<Duration>,
+    /// Bound on each blocking write.
+    pub write: Option<Duration>,
+}
+
+impl ClientTimeouts {
+    /// One bound for connect, read and write alike.
+    pub fn all(timeout: Duration) -> Self {
+        Self {
+            connect: Some(timeout),
+            read: Some(timeout),
+            write: Some(timeout),
+        }
+    }
+}
+
+/// A typed retry policy: how many attempts a [`Client::infer_retrying`]
+/// call may spend, and how it backs off between them. Backoff is
+/// exponential with **bounded deterministic jitter** — the delay for
+/// attempt `n` is `base · 2ⁿ` scaled by a factor in `[0.5, 1.0]` drawn
+/// from a seeded xorshift stream, capped at `max_backoff` — so two runs
+/// with the same seed retry on an identical schedule (the chaos suite
+/// depends on that), while a fleet of clients with different seeds
+/// still decorrelates.
+///
+/// Only **idempotent-safe** failures are retried: connect refused,
+/// timeouts, disconnects, OVERLOADED, and WORKER_FAILED (inference is
+/// pure, so re-running it is safe). Typed model errors — unknown model,
+/// bad input, malformed, deadline exceeded, degraded, shutting down —
+/// never retry: the retry would deterministically fail again or mask a
+/// caller bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, the first one included (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Cap on any single backoff.
+    pub max_backoff: Duration,
+    /// Seed of the jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(100),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: exactly one attempt.
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the attempt budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts == 0`.
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        assert!(max_attempts > 0, "a call is at least one attempt");
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Sets the base backoff.
+    pub fn with_base_backoff(mut self, base_backoff: Duration) -> Self {
+        self.base_backoff = base_backoff;
+        self
+    }
+
+    /// Sets the backoff cap.
+    pub fn with_max_backoff(mut self, max_backoff: Duration) -> Self {
+        self.max_backoff = max_backoff;
+        self
+    }
+
+    /// Sets the jitter seed.
+    pub fn with_jitter_seed(mut self, jitter_seed: u64) -> Self {
+        self.jitter_seed = jitter_seed;
+        self
+    }
+
+    /// The delay before retry number `retry` (0-based), advancing the
+    /// caller-held jitter state.
+    fn backoff(&self, retry: u32, jitter: &mut u64) -> Duration {
+        let exp = self.base_backoff.saturating_mul(1u32 << retry.min(16));
+        // xorshift64* step; map to a factor in [0.5, 1.0].
+        let mut x = *jitter;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        *jitter = x;
+        let unit = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        let scaled = exp.mul_f64(0.5 + 0.5 * unit);
+        scaled.min(self.max_backoff)
+    }
+}
+
+/// What one [`Client::infer_retrying`] call spent and absorbed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CallStats {
+    /// Attempts made (≥ 1).
+    pub attempts: u32,
+    /// Retries made (`attempts - 1`).
+    pub retries: u32,
+    /// OVERLOADED answers absorbed by retrying.
+    pub overloaded: u32,
+    /// WORKER_FAILED answers absorbed by retrying.
+    pub worker_failed: u32,
+    /// Transport failures (refused / timeout / disconnect) absorbed by
+    /// reconnecting and retrying.
+    pub transport_retries: u32,
+    /// Total backoff slept.
+    pub backoff: Duration,
+    /// Whether the final answer was a success that needed ≥ 1 retry.
+    pub recovered: bool,
+}
+
 /// A blocking connection to a [`NetServer`]: one request in flight at a
 /// time, matching the server's per-connection loop. Open more clients
 /// for concurrency.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    /// The resolved peer, kept for reconnect-on-retry.
+    addr: SocketAddr,
+    timeouts: ClientTimeouts,
+    retry: RetryPolicy,
+    /// Jitter state, advanced per backoff.
+    jitter: u64,
 }
 
 impl Client {
-    /// Connects to a serving node.
+    /// Connects to a serving node with no timeouts and no retries.
     ///
     /// # Errors
     ///
     /// Any [`io::Error`] from the connect.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, ClientTimeouts::default())
+    }
+
+    /// Connects with explicit [`ClientTimeouts`]. Compose with
+    /// [`Client::with_retry_policy`] for the full resilience stack.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from resolving or connecting (every resolved
+    /// candidate address is tried before giving up).
+    pub fn connect_with(addr: impl ToSocketAddrs, timeouts: ClientTimeouts) -> io::Result<Self> {
+        let mut last_err = None;
+        for candidate in addr.to_socket_addrs()? {
+            match Self::open(candidate, timeouts) {
+                Ok(stream) => {
+                    let retry = RetryPolicy::none();
+                    return Ok(Self {
+                        stream,
+                        addr: candidate,
+                        timeouts,
+                        jitter: retry.jitter_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+                        retry,
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
+    }
+
+    fn open(addr: SocketAddr, timeouts: ClientTimeouts) -> io::Result<TcpStream> {
+        let stream = match timeouts.connect {
+            Some(bound) => TcpStream::connect_timeout(&addr, bound)?,
+            None => TcpStream::connect(addr)?,
+        };
         // Serving frames are small and latency-bound.
         stream.set_nodelay(true)?;
-        Ok(Self { stream })
+        stream.set_read_timeout(timeouts.read)?;
+        stream.set_write_timeout(timeouts.write)?;
+        Ok(stream)
+    }
+
+    /// Installs the [`RetryPolicy`] used by
+    /// [`Client::infer_retrying`].
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.jitter = retry.jitter_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        self.retry = retry;
+        self
+    }
+
+    /// Drops the current stream and dials the same peer again.
+    fn reconnect(&mut self) -> io::Result<()> {
+        self.stream = Self::open(self.addr, self.timeouts)?;
+        Ok(())
     }
 
     /// Sends one request and blocks for its response.
@@ -489,10 +831,114 @@ impl Client {
     /// Transport-level failures only (see [`Client::request`]);
     /// server-side refusals arrive as `Ok(Response::...)`.
     pub fn infer(&mut self, model: &str, input: &[f32]) -> Result<Response, ClientError> {
+        self.request(&Request::infer(model, input.to_vec()))
+    }
+
+    /// [`Client::infer`] with a deadline (remaining budget; `None` = no
+    /// deadline) and an attempt number for the server's upstream-retry
+    /// accounting.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failures only.
+    pub fn infer_with(
+        &mut self,
+        model: &str,
+        input: &[f32],
+        deadline: Option<Duration>,
+        attempt: u32,
+    ) -> Result<Response, ClientError> {
         self.request(&Request::Infer {
             model: model.into(),
             input: input.to_vec(),
+            deadline_us: deadline.map_or(0, |d| d.as_micros().min(u64::MAX as u128) as u64),
+            attempt: attempt.min(u8::MAX as u32) as u8,
         })
+    }
+
+    /// Whether a failed call may be retried on a fresh connection:
+    /// refused/reset/timeout transports and mid-frame disconnects
+    /// qualify (the server never half-executes — inference is pure and
+    /// a request is only served once fully read).
+    fn transport_retryable(error: &ClientError) -> bool {
+        match error {
+            ClientError::Disconnected => true,
+            ClientError::Frame(FrameError::Io(e)) => matches!(
+                e.kind(),
+                io::ErrorKind::ConnectionRefused
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::BrokenPipe
+                    | io::ErrorKind::UnexpectedEof
+                    | io::ErrorKind::WouldBlock
+                    | io::ErrorKind::TimedOut
+            ),
+            // The stream died mid-frame; the response is unrecoverable
+            // but the request is safe to resend.
+            ClientError::Frame(FrameError::Truncated { .. }) => true,
+            _ => false,
+        }
+    }
+
+    /// [`Client::infer_with`] under the installed [`RetryPolicy`]:
+    /// retries idempotent-safe failures (transport errors — with a
+    /// reconnect — OVERLOADED, WORKER_FAILED) with deterministic
+    /// exponential backoff, passes the attempt number upstream, and
+    /// reports what the call absorbed in [`CallStats`]. Typed model
+    /// errors and DEADLINE_EXCEEDED return immediately.
+    ///
+    /// # Errors
+    ///
+    /// The last transport failure, once the attempt budget is spent.
+    pub fn infer_retrying(
+        &mut self,
+        model: &str,
+        input: &[f32],
+        deadline: Option<Duration>,
+    ) -> Result<(Response, CallStats), ClientError> {
+        let policy = self.retry;
+        let mut stats = CallStats::default();
+        loop {
+            let attempt = stats.attempts;
+            stats.attempts += 1;
+            let outcome = self.infer_with(model, input, deadline, attempt);
+            let retryable = match &outcome {
+                Ok(Response::Overloaded { .. }) => {
+                    stats.overloaded += 1;
+                    true
+                }
+                Ok(Response::Error { code, .. }) if code.is_retryable() => {
+                    stats.worker_failed += 1;
+                    true
+                }
+                Ok(_) => false,
+                Err(e) if Self::transport_retryable(e) => {
+                    stats.transport_retries += 1;
+                    true
+                }
+                Err(_) => false,
+            };
+            if !retryable || stats.attempts >= policy.max_attempts {
+                stats.recovered = stats.retries > 0 && matches!(outcome, Ok(Response::Output(_)));
+                return outcome.map(|response| (response, stats));
+            }
+            stats.retries += 1;
+            let delay = policy.backoff(stats.retries - 1, &mut self.jitter);
+            stats.backoff += delay;
+            thread::sleep(delay);
+            if outcome.is_err() {
+                // The old stream is unusable (or the write may have
+                // half-landed); resend on a fresh connection. A failed
+                // reconnect is itself retryable — loop again until the
+                // budget runs out.
+                if let Err(e) = self.reconnect() {
+                    let error = ClientError::Frame(FrameError::Io(e));
+                    if stats.attempts >= policy.max_attempts || !Self::transport_retryable(&error) {
+                        return Err(error);
+                    }
+                }
+            }
+        }
     }
 
     /// Convenience: [`infer`](Self::infer), converting the raw Q8.8

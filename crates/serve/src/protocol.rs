@@ -13,16 +13,22 @@
 //!
 //! | kind | name     | payload                                        |
 //! |------|----------|------------------------------------------------|
-//! | 0x01 | INFER    | `name_len u16 \| name utf-8 \| n u32 \| f32 × n` |
+//! | 0x01 | INFER v1 | `name_len u16 \| name utf-8 \| n u32 \| f32 × n` |
+//! | 0x01 | INFER v2 | `name_len u16 \| name utf-8 \| deadline_us u64 \| attempt u8 \| n u32 \| f32 × n` |
 //! | 0x02 | STATS    | empty                                          |
 //! | 0x03 | SHUTDOWN | empty                                          |
+//!
+//! Every frame is stamped with the **lowest** version able to express
+//! it: an INFER with no deadline and attempt 0 still goes out as v1, so
+//! current clients interoperate with v1-only servers until they opt
+//! into the new fields. Readers accept 1..=[`PROTOCOL_VERSION`].
 //!
 //! Response payloads:
 //!
 //! | kind | name       | payload                                              |
 //! |------|------------|------------------------------------------------------|
 //! | 0x81 | OUTPUT     | `queue_us f64 \| latency_us f64 \| coalesced u32 \| worker u32 \| n u32 \| i16 × n` (raw Q8.8) |
-//! | 0x82 | STATS      | [`StatsReport`] fields in declaration order          |
+//! | 0x82 | STATS      | [`StatsReport`] fields in declaration order (tail is append-only: old decoders ignore fields they don't know, new decoders zero-fill fields an old server didn't send) |
 //! | 0x83 | OVERLOADED | `depth u32` (the queue bound that shed the request)  |
 //! | 0x84 | ERROR      | `code u8 \| msg_len u16 \| msg utf-8`                |
 //! | 0x85 | OK         | empty                                                |
@@ -44,8 +50,12 @@ use std::io::{self, Read, Write};
 /// Magic bytes heading every frame body ("EIE Wire").
 pub const FRAME_MAGIC: [u8; 4] = *b"EIEW";
 
-/// The protocol version this build speaks.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// The newest protocol version this build speaks. Version 2 added the
+/// optional per-request deadline and retry-attempt fields to INFER.
+pub const PROTOCOL_VERSION: u8 = 2;
+
+/// The oldest protocol version this build still decodes.
+pub const MIN_PROTOCOL_VERSION: u8 = 1;
 
 /// Upper bound on a frame body. Large enough for a 1M-activation INFER
 /// (4 MiB of `f32`) with room to spare; small enough that a corrupt or
@@ -72,6 +82,13 @@ pub enum Request {
         /// an in-process [`ModelServer::submit`](crate::ModelServer::submit)
         /// would).
         input: Vec<f32>,
+        /// Remaining time budget in µs at send time; `0` means no
+        /// deadline. The server anchors it at frame receipt and answers
+        /// `DEADLINE_EXCEEDED` instead of executing once it lapses.
+        deadline_us: u64,
+        /// Retry attempt number (0 = first try), so the server can
+        /// count upstream retries. Saturates at 255.
+        attempt: u8,
     },
     /// Ask for the server's live statistics.
     Stats,
@@ -157,6 +174,25 @@ pub struct StatsReport {
     pub mean_queue_us: f64,
     /// Aggregate throughput since startup, frames/s.
     pub frames_per_second: f64,
+    // -- Fault-tolerance tail (appended in PR 10; older servers omit
+    // -- these bytes and older clients ignore them).
+    /// Requests admitted past input validation, summed over models.
+    /// Invariant: `accepted = requests + shed + expired + failed`.
+    pub accepted: u64,
+    /// Requests shed by admission control (queue full or degraded).
+    pub shed: u64,
+    /// Requests whose deadline lapsed before execution.
+    pub expired: u64,
+    /// Requests failed typed by a worker panic.
+    pub failed: u64,
+    /// Requests that arrived marked as a retry (attempt > 0).
+    pub retries_upstream: u64,
+    /// Worker quarantine-and-respawn cycles since startup.
+    pub worker_restarts: u64,
+    /// Servers currently degraded to shed-load (restart budget spent).
+    pub degraded: u32,
+    /// Connections closed for not reading their responses in time.
+    pub slow_client_evictions: u64,
 }
 
 /// Machine-readable failure class of a [`Response::Error`].
@@ -174,6 +210,14 @@ pub enum ErrorCode {
     /// server answers with this, then closes the stream — framing
     /// cannot be trusted after a malformed frame).
     Malformed,
+    /// The request's deadline lapsed before a worker executed it.
+    DeadlineExceeded,
+    /// The worker executing the request panicked; the request was not
+    /// served. Inference is pure, so the request is safe to retry.
+    WorkerFailed,
+    /// The model's server spent its restart budget and now sheds all
+    /// load until it is evicted or the process restarts.
+    Degraded,
 }
 
 impl ErrorCode {
@@ -184,6 +228,9 @@ impl ErrorCode {
             ErrorCode::ShuttingDown => 3,
             ErrorCode::LoadFailed => 4,
             ErrorCode::Malformed => 5,
+            ErrorCode::DeadlineExceeded => 6,
+            ErrorCode::WorkerFailed => 7,
+            ErrorCode::Degraded => 8,
         }
     }
 
@@ -194,8 +241,18 @@ impl ErrorCode {
             3 => ErrorCode::ShuttingDown,
             4 => ErrorCode::LoadFailed,
             5 => ErrorCode::Malformed,
+            6 => ErrorCode::DeadlineExceeded,
+            7 => ErrorCode::WorkerFailed,
+            8 => ErrorCode::Degraded,
             _ => return None,
         })
+    }
+
+    /// Whether a retry of the same request can reasonably succeed.
+    /// Inference is pure and idempotent, so transient execution
+    /// failures qualify; typed model/request errors never do.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::WorkerFailed)
     }
 }
 
@@ -207,6 +264,9 @@ impl fmt::Display for ErrorCode {
             ErrorCode::ShuttingDown => write!(f, "shutting down"),
             ErrorCode::LoadFailed => write!(f, "model load failed"),
             ErrorCode::Malformed => write!(f, "malformed frame"),
+            ErrorCode::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ErrorCode::WorkerFailed => write!(f, "worker failed"),
+            ErrorCode::Degraded => write!(f, "server degraded"),
         }
     }
 }
@@ -368,12 +428,44 @@ impl<'a> Reader<'a> {
         }
         Ok(())
     }
+
+    /// Reads a `u64` from the append-only stats tail: a frame from an
+    /// older writer simply ends sooner, decoding as zero. A *partial*
+    /// field is still truncation — appended fields are all-or-nothing.
+    fn tail_u64(&mut self) -> Result<u64, FrameError> {
+        if self.pos == self.bytes.len() {
+            return Ok(0);
+        }
+        self.u64()
+    }
+
+    /// `tail_u64` for a `u32` field.
+    fn tail_u32(&mut self) -> Result<u32, FrameError> {
+        if self.pos == self.bytes.len() {
+            return Ok(0);
+        }
+        self.u32()
+    }
+
+    /// Discards bytes a newer writer appended past the fields this
+    /// build knows (the append-only forward-compatibility half).
+    fn skip_tail(&mut self) {
+        self.pos = self.bytes.len();
+    }
 }
 
+/// Header at the base version: every frame whose shape is unchanged
+/// since v1 keeps the v1 stamp so older peers still decode it.
 fn body_header(kind: u8) -> Vec<u8> {
+    body_header_v(MIN_PROTOCOL_VERSION, kind)
+}
+
+/// Frames are stamped with the lowest version able to express them, so
+/// most writers pass an explicit version here.
+fn body_header_v(version: u8, kind: u8) -> Vec<u8> {
     let mut body = Vec::with_capacity(64);
     body.extend_from_slice(&FRAME_MAGIC);
-    body.push(PROTOCOL_VERSION);
+    body.push(version);
     body.push(kind);
     body
 }
@@ -388,37 +480,61 @@ fn frame(body: Vec<u8>) -> Vec<u8> {
     out
 }
 
-/// Validates magic + version, returning the kind and payload reader.
-fn open_body(body: &[u8]) -> Result<(u8, Reader<'_>), FrameError> {
+/// Validates magic + version, returning the version, kind and payload
+/// reader.
+fn open_body(body: &[u8]) -> Result<(u8, u8, Reader<'_>), FrameError> {
     let mut r = Reader::new(body);
     if r.take(4)? != FRAME_MAGIC {
         return Err(FrameError::BadMagic);
     }
     r.enter("header");
     let version = r.u8()?;
-    if version != PROTOCOL_VERSION {
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
         return Err(FrameError::UnsupportedVersion {
             found: version,
             supported: PROTOCOL_VERSION,
         });
     }
     let kind = r.u8()?;
-    Ok((kind, r))
+    Ok((version, kind, r))
 }
 
 impl Request {
+    /// An INFER request with no deadline on its first attempt — the
+    /// common case, encoded as a v1 frame.
+    pub fn infer(model: impl Into<String>, input: Vec<f32>) -> Request {
+        Request::Infer {
+            model: model.into(),
+            input,
+            deadline_us: 0,
+            attempt: 0,
+        }
+    }
+
     /// Serializes the request into a complete wire frame (length prefix
     /// included).
     pub fn to_frame(&self) -> Vec<u8> {
         match self {
-            Request::Infer { model, input } => {
-                let mut body = body_header(KIND_INFER);
+            Request::Infer {
+                model,
+                input,
+                deadline_us,
+                attempt,
+            } => {
+                // Lowest version that can express the request: the new
+                // fields only force v2 when actually set.
+                let v2 = *deadline_us != 0 || *attempt != 0;
+                let mut body = body_header_v(if v2 { 2 } else { 1 }, KIND_INFER);
                 assert!(
                     model.len() <= u16::MAX as usize,
                     "model name exceeds the u16 length field"
                 );
                 body.extend_from_slice(&(model.len() as u16).to_le_bytes());
                 body.extend_from_slice(model.as_bytes());
+                if v2 {
+                    body.extend_from_slice(&deadline_us.to_le_bytes());
+                    body.push(*attempt);
+                }
                 body.extend_from_slice(&(input.len() as u32).to_le_bytes());
                 for &v in input {
                     body.extend_from_slice(&v.to_le_bytes());
@@ -437,7 +553,7 @@ impl Request {
     /// Returns a typed [`FrameError`] on any malformed input; never
     /// panics.
     pub fn from_body(body: &[u8]) -> Result<Request, FrameError> {
-        let (kind, mut r) = open_body(body)?;
+        let (version, kind, mut r) = open_body(body)?;
         let request = match kind {
             KIND_INFER => {
                 r.enter("model name");
@@ -447,6 +563,12 @@ impl Request {
                         field: "model name",
                     })?
                     .to_owned();
+                let (deadline_us, attempt) = if version >= 2 {
+                    r.enter("deadline");
+                    (r.u64()?, r.u8()?)
+                } else {
+                    (0, 0)
+                };
                 r.enter("input");
                 let n = r.u32()? as usize;
                 // n is bounded by the already-enforced MAX_BODY, but cap
@@ -461,7 +583,12 @@ impl Request {
                     }
                     input.push(v);
                 }
-                Request::Infer { model, input }
+                Request::Infer {
+                    model,
+                    input,
+                    deadline_us,
+                    attempt,
+                }
             }
             KIND_STATS_REQ => Request::Stats,
             KIND_SHUTDOWN => Request::Shutdown,
@@ -522,6 +649,14 @@ impl Response {
                 body.extend_from_slice(&s.p99_us.to_le_bytes());
                 body.extend_from_slice(&s.mean_queue_us.to_le_bytes());
                 body.extend_from_slice(&s.frames_per_second.to_le_bytes());
+                body.extend_from_slice(&s.accepted.to_le_bytes());
+                body.extend_from_slice(&s.shed.to_le_bytes());
+                body.extend_from_slice(&s.expired.to_le_bytes());
+                body.extend_from_slice(&s.failed.to_le_bytes());
+                body.extend_from_slice(&s.retries_upstream.to_le_bytes());
+                body.extend_from_slice(&s.worker_restarts.to_le_bytes());
+                body.extend_from_slice(&s.degraded.to_le_bytes());
+                body.extend_from_slice(&s.slow_client_evictions.to_le_bytes());
                 frame(body)
             }
             Response::Ok => frame(body_header(KIND_OK)),
@@ -535,7 +670,7 @@ impl Response {
     /// Returns a typed [`FrameError`] on any malformed input; never
     /// panics.
     pub fn from_body(body: &[u8]) -> Result<Response, FrameError> {
-        let (kind, mut r) = open_body(body)?;
+        let (_version, kind, mut r) = open_body(body)?;
         let response = match kind {
             KIND_OUTPUT => {
                 r.enter("output header");
@@ -576,7 +711,7 @@ impl Response {
             }
             KIND_STATS_RSP => {
                 r.enter("stats");
-                Response::Stats(StatsReport {
+                let report = StatsReport {
                     requests: r.u64()?,
                     batches: r.u64()?,
                     max_coalesced: r.u32()?,
@@ -592,7 +727,20 @@ impl Response {
                     p99_us: r.f64()?,
                     mean_queue_us: r.f64()?,
                     frames_per_second: r.f64()?,
-                })
+                    // The append-only tail: zero when an older server
+                    // stops short, extra fields from a newer server are
+                    // skipped below.
+                    accepted: r.tail_u64()?,
+                    shed: r.tail_u64()?,
+                    expired: r.tail_u64()?,
+                    failed: r.tail_u64()?,
+                    retries_upstream: r.tail_u64()?,
+                    worker_restarts: r.tail_u64()?,
+                    degraded: r.tail_u32()?,
+                    slow_client_evictions: r.tail_u64()?,
+                };
+                r.skip_tail();
+                Response::Stats(report)
             }
             KIND_OK => Response::Ok,
             other => return Err(FrameError::UnknownKind(other)),
@@ -675,13 +823,19 @@ mod tests {
     #[test]
     fn request_roundtrips() {
         for request in [
+            Request::infer("alex7", vec![0.5, -1.25, 0.0]),
+            Request::infer("", vec![]),
             Request::Infer {
                 model: "alex7".into(),
-                input: vec![0.5, -1.25, 0.0],
+                input: vec![0.5],
+                deadline_us: 2_000_000,
+                attempt: 3,
             },
             Request::Infer {
-                model: String::new(),
-                input: vec![],
+                model: "alex7".into(),
+                input: vec![0.5],
+                deadline_us: 0,
+                attempt: 1,
             },
             Request::Stats,
             Request::Shutdown,
@@ -689,6 +843,72 @@ mod tests {
             let wire = request.to_frame();
             assert_eq!(Request::from_body(strip_prefix(&wire)).unwrap(), request);
         }
+    }
+
+    #[test]
+    fn plain_infer_still_encodes_as_version_1() {
+        // A no-deadline first-attempt INFER must stay decodable by a
+        // v1-only peer: the frame is stamped v1 and carries the exact
+        // v1 payload shape.
+        let wire = Request::infer("fc6", vec![1.0, 2.0]).to_frame();
+        let body = strip_prefix(&wire);
+        assert_eq!(body[4], 1, "version byte");
+        // Hand-decode as a v1 reader would.
+        let name_len = u16::from_le_bytes([body[6], body[7]]) as usize;
+        assert_eq!(&body[8..8 + name_len], b"fc6");
+        let n = u32::from_le_bytes(body[11..15].try_into().unwrap());
+        assert_eq!(n, 2);
+
+        // And a deadline forces the v2 stamp.
+        let wire = Request::Infer {
+            model: "fc6".into(),
+            input: vec![1.0],
+            deadline_us: 500,
+            attempt: 0,
+        }
+        .to_frame();
+        assert_eq!(strip_prefix(&wire)[4], 2, "version byte");
+    }
+
+    #[test]
+    fn stats_tail_is_append_only_both_directions() {
+        let full = Response::Stats(StatsReport {
+            requests: 7,
+            accepted: 9,
+            shed: 1,
+            expired: 1,
+            worker_restarts: 2,
+            degraded: 1,
+            slow_client_evictions: 3,
+            ..Default::default()
+        });
+        let wire = full.to_frame();
+        let body = strip_prefix(&wire);
+
+        // Older server: stops after the 15 mandatory fields (104
+        // payload bytes + 6 header bytes). New fields decode as zero.
+        let old = Response::from_body(&body[..6 + 104]).unwrap();
+        let Response::Stats(s) = old else {
+            panic!("expected stats")
+        };
+        assert_eq!(s.requests, 7);
+        assert_eq!((s.accepted, s.worker_restarts, s.degraded), (0, 0, 0));
+
+        // Newer server: appends fields this build doesn't know — they
+        // are ignored, the known tail still decodes.
+        let mut extended = body.to_vec();
+        extended.extend_from_slice(&0xDEAD_BEEFu64.to_le_bytes());
+        let new = Response::from_body(&extended).unwrap();
+        let Response::Stats(s) = new else {
+            panic!("expected stats")
+        };
+        assert_eq!((s.accepted, s.shed, s.slow_client_evictions), (9, 1, 3));
+        // A cut *inside* a known appended field is a typed truncation,
+        // not a silent zero (fields are all-or-nothing).
+        assert!(matches!(
+            Response::from_body(&body[..6 + 104 + 43]),
+            Err(FrameError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -752,10 +972,7 @@ mod tests {
 
     #[test]
     fn stream_roundtrip_reassembles_multiple_frames() {
-        let a = Request::Infer {
-            model: "fc6".into(),
-            input: vec![1.0; 7],
-        };
+        let a = Request::infer("fc6", vec![1.0; 7]);
         let b = Request::Stats;
         let mut wire = Vec::new();
         write_frame(&mut wire, &a.to_frame()).unwrap();

@@ -29,6 +29,7 @@ use std::sync::{Arc, Mutex};
 
 use eie_core::{CompiledModel, ModelArtifactError};
 
+use crate::fault::FaultPlan;
 use crate::server::{ModelServer, ServerConfig, ServerStats};
 
 /// Where a registered model's artifact bytes come from.
@@ -180,7 +181,7 @@ impl fmt::Display for RegistryStats {
 /// registry.register_model("toy", &model).unwrap();
 ///
 /// let server = registry.acquire("toy").unwrap();
-/// let result = server.submit(&vec![0.5; 24]).unwrap().wait();
+/// let result = server.submit(&vec![0.5; 24]).unwrap().wait().unwrap();
 /// assert_eq!(result.outputs.len(), 32);
 /// assert_eq!(registry.stats().resident, 1);
 /// ```
@@ -188,6 +189,9 @@ impl fmt::Display for RegistryStats {
 pub struct ModelRegistry {
     server_config: ServerConfig,
     budget_bytes: usize,
+    /// Deterministic fault schedule every loaded server runs under
+    /// (tests and the `EIE_FAULTS` CLI gate); `None` in production.
+    fault_plan: Option<Arc<FaultPlan>>,
     inner: Mutex<Inner>,
 }
 
@@ -198,6 +202,7 @@ impl ModelRegistry {
         Self {
             server_config,
             budget_bytes: usize::MAX,
+            fault_plan: None,
             inner: Mutex::new(Inner {
                 entries: Vec::new(),
                 tick: 0,
@@ -216,6 +221,21 @@ impl ModelRegistry {
         assert!(budget_bytes > 0, "budget must be non-zero");
         self.budget_bytes = budget_bytes;
         self
+    }
+
+    /// Installs a deterministic [`FaultPlan`]: every model loaded from
+    /// here on dispatches under its schedule, and the network front-end
+    /// injects its connection faults. Inert by construction in
+    /// production — nothing installs a plan outside tests and the
+    /// `EIE_FAULTS` CLI gate.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault_plan.as_ref()
     }
 
     /// The serving policy each resident model runs under.
@@ -325,10 +345,12 @@ impl ModelRegistry {
         })?;
         let bytes = model.artifact_bytes();
 
-        // Make room: evict unpinned residents, least recently used
-        // first, until the newcomer fits (or nothing evictable is left —
-        // pinned models are never severed, so the budget is soft under
-        // a burst that pins everything).
+        // Make room: evict unpinned residents — degraded servers first
+        // (they shed everything anyway, so their residency buys
+        // nothing), then least recently used — until the newcomer fits
+        // (or nothing evictable is left — pinned models are never
+        // severed, so the budget is soft under a burst that pins
+        // everything).
         loop {
             let resident_bytes: usize = inner
                 .entries
@@ -347,7 +369,10 @@ impl ModelRegistry {
                         .as_ref()
                         .is_some_and(|r| Arc::strong_count(&r.server) == 1)
                 })
-                .min_by_key(|e| e.last_used)
+                .min_by_key(|e| {
+                    let degraded = e.resident.as_ref().is_some_and(|r| r.server.is_degraded());
+                    (!degraded, e.last_used)
+                })
             else {
                 break;
             };
@@ -356,7 +381,11 @@ impl ModelRegistry {
             inner.counters.evictions += 1;
         }
 
-        let server = Arc::new(ModelServer::start(model, self.server_config));
+        let server = Arc::new(ModelServer::start_with_faults(
+            model,
+            self.server_config,
+            self.fault_plan.clone(),
+        ));
         inner.entries[idx].resident = Some(Resident {
             server: Arc::clone(&server),
             bytes,

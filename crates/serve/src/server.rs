@@ -1,7 +1,9 @@
 //! The model server: one `.eie` artifact, N workers, one request queue.
 
 use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -12,6 +14,7 @@ use eie_core::{
     PlannedLayer, Topology,
 };
 
+use crate::fault::FaultPlan;
 use crate::queue::{MicroBatchQueue, PushError};
 
 /// Serving policy: which backend executes, how many workers run it, and
@@ -56,6 +59,14 @@ pub struct ServerConfig {
     /// ([`PipelinedStack`]) instead of the single-engine stack loop.
     /// Requires a [`BackendKind::NativeCpu`] backend.
     pub topology: Topology,
+    /// Worker quarantine-and-respawn cycles the server will pay for
+    /// before degrading to shed-load (see the module docs on the fault
+    /// model). Counted across all workers.
+    pub restart_budget: u32,
+    /// Base pause before a quarantined worker resumes claiming work,
+    /// µs; doubles per restart (capped at 64×) so a crash-looping
+    /// model cannot spin the pool.
+    pub restart_backoff_us: u64,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +78,8 @@ impl Default for ServerConfig {
             max_wait_us: 200,
             queue_depth: 256,
             topology: Topology::single(),
+            restart_budget: 8,
+            restart_backoff_us: 500,
         }
     }
 }
@@ -128,6 +141,19 @@ impl ServerConfig {
         self.topology = topology;
         self
     }
+
+    /// Sets the worker restart budget (`0` = the first panic degrades
+    /// the server).
+    pub fn with_restart_budget(mut self, restart_budget: u32) -> Self {
+        self.restart_budget = restart_budget;
+        self
+    }
+
+    /// Sets the base restart backoff, µs.
+    pub fn with_restart_backoff_us(mut self, restart_backoff_us: u64) -> Self {
+        self.restart_backoff_us = restart_backoff_us;
+        self
+    }
 }
 
 impl fmt::Display for ServerConfig {
@@ -162,6 +188,15 @@ pub enum SubmitError {
         /// The model's input dimension.
         want: usize,
     },
+    /// The request's deadline had already lapsed at admission; it was
+    /// never queued and no backend slot was spent.
+    DeadlineExceeded,
+    /// The server spent its restart budget and sheds all load until
+    /// evicted or restarted.
+    Degraded {
+        /// Worker restarts that were paid before degrading.
+        restarts: u64,
+    },
 }
 
 impl fmt::Display for SubmitError {
@@ -174,11 +209,121 @@ impl fmt::Display for SubmitError {
             SubmitError::BadInputLength { got, want } => {
                 write!(f, "input length {got} != model input dimension {want}")
             }
+            SubmitError::DeadlineExceeded => {
+                write!(f, "deadline expired before admission")
+            }
+            SubmitError::Degraded { restarts } => {
+                write!(
+                    f,
+                    "server degraded after {restarts} worker restarts; shedding load"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for SubmitError {}
+
+/// Why an *accepted* request failed: the typed answer
+/// [`InferenceResponse::wait`] returns instead of a result. Every
+/// accepted request gets exactly one of a result or one of these —
+/// worker panics and lapsed deadlines no longer propagate as panics at
+/// the dispatch site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// The worker executing this request's micro-batch panicked. The
+    /// worker was quarantined and respawned; inference is pure, so the
+    /// request is safe to retry.
+    WorkerFailed {
+        /// The panic payload, for diagnostics.
+        detail: String,
+    },
+    /// The request's deadline lapsed while it was queued or held in a
+    /// coalescing window; it was dropped before burning a backend slot.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::WorkerFailed { detail } => {
+                write!(f, "serving worker panicked: {detail}")
+            }
+            RequestError::DeadlineExceeded => write!(f, "deadline expired before execution"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// A failure the server survived and reports after the fact, carried
+/// in [`ServerStats::errors`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// Connection handler threads panicked; their connections dropped,
+    /// everything else kept serving.
+    HandlerPanicked {
+        /// How many handlers died this way.
+        connections: usize,
+    },
+    /// Worker threads were lost for good (the thread itself died — not
+    /// a quarantined-and-respawned panic, which is counted in
+    /// [`ServerStats::worker_restarts`] instead).
+    WorkerLost {
+        /// How many workers died this way.
+        workers: usize,
+    },
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::HandlerPanicked { connections } => {
+                write!(f, "{connections} connection handler(s) panicked")
+            }
+            ServerError::WorkerLost { workers } => {
+                write!(f, "{workers} worker thread(s) lost")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Per-request serving options beyond the input itself.
+///
+/// ```
+/// use std::time::{Duration, Instant};
+/// use eie_serve::SubmitOptions;
+///
+/// let opts = SubmitOptions::default()
+///     .with_deadline(Instant::now() + Duration::from_millis(50));
+/// assert!(opts.deadline.is_some());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubmitOptions {
+    /// Answer `DEADLINE_EXCEEDED` instead of executing once this
+    /// instant passes. Checked at admission, at coalesce time, and
+    /// right before dispatch.
+    pub deadline: Option<Instant>,
+    /// Retry attempt number (0 = first try); attempts > 0 count into
+    /// [`ServerStats::retries_upstream`].
+    pub attempt: u32,
+}
+
+impl SubmitOptions {
+    /// Sets the absolute deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Marks the submission as retry attempt `attempt`.
+    pub fn with_attempt(mut self, attempt: u32) -> Self {
+        self.attempt = attempt;
+        self
+    }
+}
 
 /// The completed result of one served request.
 #[derive(Debug, Clone)]
@@ -205,28 +350,37 @@ impl RequestResult {
 
 /// A handle to an in-flight request, returned by
 /// [`ModelServer::submit`]. Redeem it with
-/// [`InferenceResponse::wait`]; every accepted request is answered,
-/// including during a graceful shutdown drain.
+/// [`InferenceResponse::wait`]; every accepted request is answered —
+/// with a result or a typed [`RequestError`] — including during a
+/// graceful shutdown drain and across worker panics.
 #[derive(Debug)]
 pub struct InferenceResponse {
-    rx: mpsc::Receiver<RequestResult>,
+    rx: mpsc::Receiver<Result<RequestResult, RequestError>>,
 }
 
 impl InferenceResponse {
-    /// Blocks until the request completes.
+    /// Blocks until the request completes, successfully or with a
+    /// typed failure.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the serving worker died before answering (a worker
-    /// panic — never part of normal operation or shutdown).
-    pub fn wait(self) -> RequestResult {
-        self.rx
-            .recv()
-            .expect("serving worker dropped an accepted request")
+    /// [`RequestError::WorkerFailed`] if the executing worker
+    /// panicked (the worker is quarantined and respawned; the request
+    /// is safe to retry), [`RequestError::DeadlineExceeded`] if the
+    /// deadline lapsed before execution.
+    pub fn wait(self) -> Result<RequestResult, RequestError> {
+        self.rx.recv().unwrap_or_else(|_| {
+            // The sending side was dropped without an answer — only
+            // possible if a worker thread itself died (not a caught
+            // panic). Surface it typed rather than panicking here.
+            Err(RequestError::WorkerFailed {
+                detail: "worker thread died before answering".into(),
+            })
+        })
     }
 
-    /// Returns the result if the request already completed.
-    pub fn try_wait(&self) -> Option<RequestResult> {
+    /// Returns the outcome if the request already completed.
+    pub fn try_wait(&self) -> Option<Result<RequestResult, RequestError>> {
         self.rx.try_recv().ok()
     }
 }
@@ -236,7 +390,23 @@ impl InferenceResponse {
 struct Request {
     input: Vec<Q8p8>,
     submitted: Instant,
-    tx: mpsc::Sender<RequestResult>,
+    deadline: Option<Instant>,
+    tx: mpsc::Sender<Result<RequestResult, RequestError>>,
+}
+
+/// Fault-tolerance tallies shared by the admission path, every worker,
+/// and the stats snapshot. Plain relaxed atomics: each is a statistic,
+/// not a synchronization point — except `degraded`, which admission
+/// reads to shed load.
+#[derive(Debug, Default)]
+struct FaultCounters {
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
+    failed: AtomicU64,
+    retries_upstream: AtomicU64,
+    restarts: AtomicU64,
+    degraded: AtomicBool,
 }
 
 /// Per-worker reservoir capacity. Two reservoirs of `f64` per worker
@@ -397,6 +567,31 @@ pub struct ServerStats {
     pub queue_us: Vec<f64>,
     /// Server lifetime from start to the end of the shutdown drain, s.
     pub wall_s: f64,
+    /// Requests admitted past input validation. Accounting invariant
+    /// (pinned by the chaos property test):
+    /// `accepted = requests + shed + expired + failed`.
+    pub accepted: u64,
+    /// Requests shed by admission control (queue full, or degraded).
+    pub shed: u64,
+    /// Requests answered [`RequestError::DeadlineExceeded`] at
+    /// admission, coalesce, or dispatch time.
+    pub expired: u64,
+    /// Requests answered [`RequestError::WorkerFailed`] after a worker
+    /// panic.
+    pub failed: u64,
+    /// Requests that arrived marked as retries (attempt > 0).
+    pub retries_upstream: u64,
+    /// Worker quarantine-and-respawn cycles.
+    pub worker_restarts: u64,
+    /// Servers currently degraded to shed-load (0 or 1 for a single
+    /// [`ModelServer`]; sums across models under
+    /// [`ServerStats::merge`]).
+    pub degraded: u64,
+    /// Connections evicted for not reading responses within the write
+    /// grace period (filled in by the network front-end).
+    pub slow_client_evictions: u64,
+    /// Failures the server survived and reports after the fact.
+    pub errors: Vec<ServerError>,
 }
 
 impl ServerStats {
@@ -449,6 +644,15 @@ impl ServerStats {
             other.requests,
         );
         self.wall_s = self.wall_s.max(other.wall_s);
+        self.accepted += other.accepted;
+        self.shed += other.shed;
+        self.expired += other.expired;
+        self.failed += other.failed;
+        self.retries_upstream += other.retries_upstream;
+        self.worker_restarts += other.worker_restarts;
+        self.degraded += other.degraded;
+        self.slow_client_evictions += other.slow_client_evictions;
+        self.errors.extend(other.errors.iter().cloned());
     }
 
     /// Mean requests per executed micro-batch (`0.0` before any batch).
@@ -511,7 +715,24 @@ impl fmt::Display for ServerStats {
             self.p95(),
             self.p99(),
             self.mean_queue_us()
-        )
+        )?;
+        // The fault tail only appears once something actually failed,
+        // so healthy runs keep the familiar one-line shape.
+        if self.shed + self.expired + self.failed + self.worker_restarts + self.degraded > 0 {
+            write!(
+                f,
+                "; faults: {} shed, {} expired, {} failed, {} restarts{}",
+                self.shed,
+                self.expired,
+                self.failed,
+                self.worker_restarts,
+                if self.degraded > 0 { ", DEGRADED" } else { "" }
+            )?;
+        }
+        for e in &self.errors {
+            write!(f, "; {e}")?;
+        }
+        Ok(())
     }
 }
 
@@ -541,7 +762,7 @@ impl fmt::Display for ServerStats {
 ///
 /// let server = ModelServer::start(model, ServerConfig::default());
 /// let response = server.submit(&vec![0.5; 24]).unwrap();
-/// let result = response.wait();
+/// let result = response.wait().unwrap();
 /// assert_eq!(result.outputs, golden.outputs(0));
 /// let stats = server.shutdown();
 /// assert_eq!(stats.requests, 1);
@@ -554,6 +775,10 @@ pub struct ModelServer {
     /// One shared tally per worker, written once per micro-batch; read
     /// by [`ModelServer::stats_snapshot`] and [`ModelServer::shutdown`].
     worker_stats: Vec<Arc<Mutex<WorkerStats>>>,
+    counters: Arc<FaultCounters>,
+    /// Workers found dead at shutdown (thread death, not a caught
+    /// panic); surfaced as [`ServerError::WorkerLost`].
+    lost_workers: Mutex<usize>,
     config: ServerConfig,
     started: Instant,
 }
@@ -569,6 +794,18 @@ impl ModelServer {
     /// bounds, but [`ServerConfig`]'s fields are public) or a worker
     /// thread cannot be spawned.
     pub fn start(model: CompiledModel, config: ServerConfig) -> Self {
+        Self::start_with_faults(model, config, None)
+    }
+
+    /// [`ModelServer::start`] with a [`FaultPlan`] installed: every
+    /// dispatch consults the plan for injected panics, stalls and
+    /// latency. The chaos harness's entry point; `None` is exactly
+    /// `start`.
+    pub fn start_with_faults(
+        model: CompiledModel,
+        config: ServerConfig,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
         assert!(config.workers > 0, "server needs at least one worker");
         assert!(config.max_batch > 0, "max_batch must be non-zero");
         assert!(config.queue_depth > 0, "queue_depth must be non-zero");
@@ -580,6 +817,7 @@ impl ModelServer {
         );
         let model = Arc::new(model);
         let queue = Arc::new(MicroBatchQueue::new(config.queue_depth));
+        let counters = Arc::new(FaultCounters::default());
         let worker_stats: Vec<Arc<Mutex<WorkerStats>>> = (0..config.workers)
             .map(|worker| Arc::new(Mutex::new(WorkerStats::new(worker))))
             .collect();
@@ -588,9 +826,13 @@ impl ModelServer {
                 let model = Arc::clone(&model);
                 let queue = Arc::clone(&queue);
                 let stats = Arc::clone(&worker_stats[worker]);
+                let counters = Arc::clone(&counters);
+                let faults = faults.clone();
                 std::thread::Builder::new()
                     .name(format!("eie-serve-{worker}"))
-                    .spawn(move || worker_loop(worker, &model, config, &queue, &stats))
+                    .spawn(move || {
+                        worker_loop(worker, &model, config, &queue, &stats, &counters, faults)
+                    })
                     .expect("spawn serving worker")
             })
             .collect();
@@ -599,6 +841,8 @@ impl ModelServer {
             queue,
             workers,
             worker_stats,
+            counters,
+            lost_workers: Mutex::new(0),
             config,
             started: Instant::now(),
         }
@@ -628,10 +872,22 @@ impl ModelServer {
     /// Submits one input vector, blocking while the bounded queue is
     /// full (backpressure). Returns a handle redeemable for the result.
     pub fn submit(&self, input: &[f32]) -> Result<InferenceResponse, SubmitError> {
-        let request = self.admit(input)?;
-        let (request, rx) = request;
+        self.submit_with(input, SubmitOptions::default())
+    }
+
+    /// [`ModelServer::submit`] with per-request [`SubmitOptions`]
+    /// (deadline, attempt number).
+    pub fn submit_with(
+        &self,
+        input: &[f32],
+        opts: SubmitOptions,
+    ) -> Result<InferenceResponse, SubmitError> {
+        let (request, rx) = self.admit(input, opts)?;
         match self.queue.push(request) {
-            Ok(()) => Ok(InferenceResponse { rx }),
+            Ok(()) => {
+                self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                Ok(InferenceResponse { rx })
+            }
             Err(_) => Err(SubmitError::ShuttingDown),
         }
     }
@@ -640,35 +896,86 @@ impl ModelServer {
     /// [`SubmitError::QueueFull`] when the queue is at capacity — the
     /// shed-load path for callers with their own retry policy.
     pub fn try_submit(&self, input: &[f32]) -> Result<InferenceResponse, SubmitError> {
-        let (request, rx) = self.admit(input)?;
+        self.try_submit_with(input, SubmitOptions::default())
+    }
+
+    /// [`ModelServer::try_submit`] with per-request [`SubmitOptions`].
+    pub fn try_submit_with(
+        &self,
+        input: &[f32],
+        opts: SubmitOptions,
+    ) -> Result<InferenceResponse, SubmitError> {
+        let (request, rx) = self.admit(input, opts)?;
         match self.queue.try_push(request) {
-            Ok(()) => Ok(InferenceResponse { rx }),
-            Err(PushError::Full) => Err(SubmitError::QueueFull {
-                depth: self.config.queue_depth,
-            }),
+            Ok(()) => {
+                self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                Ok(InferenceResponse { rx })
+            }
+            Err(PushError::Full) => {
+                self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::QueueFull {
+                    depth: self.config.queue_depth,
+                })
+            }
             Err(PushError::Closed) => Err(SubmitError::ShuttingDown),
         }
     }
 
-    /// Validates and quantizes an input into a queued request. The
+    /// Whether the server spent its restart budget and now sheds all
+    /// load.
+    pub fn is_degraded(&self) -> bool {
+        self.counters.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Validates and quantizes an input into a queued request, and runs
+    /// the admission-time fault checks (deadline, degraded). The
     /// quantization here is the same `Q8p8` conversion
     /// [`InferenceJob::submit`](eie_core::InferenceJob::submit) applies,
     /// so served outputs stay bit-exact with direct jobs.
+    ///
+    /// Accounting: `accepted` counts submissions that passed input
+    /// validation and were *dispositioned* — queued, shed, or expired —
+    /// so `accepted = requests + shed + expired + failed` holds at
+    /// drain. Rejections a caller must fix (bad length) and
+    /// shutdown-window races are outside the equation.
+    #[allow(clippy::type_complexity)]
     fn admit(
         &self,
         input: &[f32],
-    ) -> Result<(Request, mpsc::Receiver<RequestResult>), SubmitError> {
+        opts: SubmitOptions,
+    ) -> Result<(Request, mpsc::Receiver<Result<RequestResult, RequestError>>), SubmitError> {
         if input.len() != self.model.input_dim() {
             return Err(SubmitError::BadInputLength {
                 got: input.len(),
                 want: self.model.input_dim(),
             });
         }
+        if opts.attempt > 0 {
+            self.counters
+                .retries_upstream
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if self.is_degraded() {
+            self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Degraded {
+                restarts: self.counters.restarts.load(Ordering::Relaxed),
+            });
+        }
+        if let Some(deadline) = opts.deadline {
+            if Instant::now() >= deadline {
+                self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                self.counters.expired.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::DeadlineExceeded);
+            }
+        }
         let (tx, rx) = mpsc::channel();
         Ok((
             Request {
                 input: Q8p8::from_f32_slice(input),
                 submitted: Instant::now(),
+                deadline: opts.deadline,
                 tx,
             },
             rx,
@@ -686,22 +993,42 @@ impl ModelServer {
             stats.absorb(&worker.lock().expect("worker stats poisoned"));
         }
         stats.wall_s = self.started.elapsed().as_secs_f64();
+        stats.accepted = self.counters.accepted.load(Ordering::Relaxed);
+        stats.shed = self.counters.shed.load(Ordering::Relaxed);
+        stats.expired = self.counters.expired.load(Ordering::Relaxed);
+        stats.failed = self.counters.failed.load(Ordering::Relaxed);
+        stats.retries_upstream = self.counters.retries_upstream.load(Ordering::Relaxed);
+        stats.worker_restarts = self.counters.restarts.load(Ordering::Relaxed);
+        stats.degraded = u64::from(self.counters.degraded.load(Ordering::Relaxed));
+        let lost = *self
+            .lost_workers
+            .lock()
+            .expect("lost-worker tally poisoned");
+        if lost > 0 {
+            stats.errors.push(ServerError::WorkerLost { workers: lost });
+        }
         stats
     }
 
     /// Gracefully shuts down: stops accepting requests, lets the
     /// workers drain everything already queued (every accepted request
-    /// is answered), joins them, and returns the aggregate statistics.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a worker thread panicked.
+    /// is answered — with a result or a typed [`RequestError`]), joins
+    /// them, and returns the aggregate statistics. A worker thread
+    /// found dead (its panics are normally caught and quarantined, so
+    /// this means the thread itself was killed) is reported as
+    /// [`ServerError::WorkerLost`] in [`ServerStats::errors`] instead
+    /// of propagating the panic to the caller.
     pub fn shutdown(mut self) -> ServerStats {
         self.queue.close();
         // Take the handles so the Drop impl (which runs when `self` goes
         // out of scope here) finds nothing left to join.
         for handle in std::mem::take(&mut self.workers) {
-            handle.join().expect("serving worker panicked");
+            if handle.join().is_err() {
+                *self
+                    .lost_workers
+                    .lock()
+                    .expect("lost-worker tally poisoned") += 1;
+            }
         }
         self.stats_snapshot()
     }
@@ -722,74 +1049,163 @@ impl Drop for ModelServer {
     }
 }
 
-/// One worker: build its executor once (a backend instance, or — under
-/// a non-single [`ServerConfig::topology`] — a [`PipelinedStack`] with
-/// per-stage engines), resolve the model's planned layers once (plans
-/// are built into the model's shared cache at worker startup, so every
+/// Extracts a printable message from a caught panic payload.
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// One worker: build its executor (a backend instance, or — under a
+/// non-single [`ServerConfig::topology`] — a [`PipelinedStack`] with
+/// per-stage engines), resolve the model's planned layers (plans are
+/// built into the model's shared cache at worker startup, so every
 /// worker scans the same pre-decoded arrays), then claim → execute →
 /// answer micro-batches until the queue closes and drains. Both
 /// executors share the kernels and the chaining semantics, so served
 /// outputs are bit-identical either way.
+///
+/// # Quarantine
+///
+/// Execution runs inside `catch_unwind`: a panic (a backend bug, or an
+/// injected [`FaultPlan`] fault) fails only the claimed batch — each of
+/// its requests is answered with a typed
+/// [`RequestError::WorkerFailed`] — and the worker *respawns*: the
+/// `'respawn` loop tears the executor down, waits out an exponential
+/// backoff, rebuilds it, and resumes claiming work. Restarts draw on
+/// the server-wide [`ServerConfig::restart_budget`]; once spent, the
+/// server flips to degraded and admission sheds everything, but the
+/// workers keep draining so every accepted request is still answered.
+///
+/// # Deadlines
+///
+/// A claimed batch is filtered twice — when claimed (covers time spent
+/// queued and in the coalescing window) and again right before dispatch
+/// (covers injected stalls and restart backoff): requests whose
+/// deadline lapsed are answered [`RequestError::DeadlineExceeded`]
+/// without a backend slot.
 fn worker_loop(
     worker: usize,
     model: &CompiledModel,
     config: ServerConfig,
     queue: &MicroBatchQueue<Request>,
     shared: &Mutex<WorkerStats>,
+    counters: &FaultCounters,
+    faults: Option<Arc<FaultPlan>>,
 ) {
     let max_wait = Duration::from_micros(config.max_wait_us);
     let pipelined = config.topology != Topology::single();
-    let backend = (!pipelined).then(|| config.backend.instantiate(model.config()));
-    let layers: Vec<PlannedLayer<'_>> =
-        if pipelined || backend.as_deref().is_some_and(|b| b.wants_plans()) {
-            model.planned_layers()
-        } else {
-            model.layers().iter().map(PlannedLayer::unplanned).collect()
-        };
-    let stack = pipelined.then(|| {
-        let threads = match config.backend {
-            BackendKind::NativeCpu(t) => t,
-            other => unreachable!("ModelServer::start rejected topology × {other}"),
-        };
-        PipelinedStack::new(&layers, &config.topology, threads)
-    });
-    while let Some(mut batch) = queue.pop_batch(config.max_batch, max_wait) {
-        if batch.is_empty() {
-            continue;
-        }
-        let claimed = Instant::now();
-        let inputs: Vec<Vec<Q8p8>> = batch
-            .iter_mut()
-            .map(|r| std::mem::take(&mut r.input))
-            .collect();
-        let outputs: Vec<Vec<Q8p8>> = match (&stack, &backend) {
-            (Some(stack), _) => stack.run(&inputs).outputs,
-            (None, Some(backend)) => run_stack_planned(backend.as_ref(), &layers, &inputs)
-                .into_iter()
-                .map(|run| run.outputs)
-                .collect(),
-            (None, None) => unreachable!("worker has neither executor"),
-        };
-        let done = Instant::now();
-        let coalesced = batch.len();
-        let mut stats = shared.lock().expect("worker stats poisoned");
-        stats.batches += 1;
-        stats.max_coalesced = stats.max_coalesced.max(coalesced);
-        for (request, outputs) in batch.into_iter().zip(outputs) {
-            let queue_us = claimed.duration_since(request.submitted).as_secs_f64() * 1e6;
-            let latency_us = done.duration_since(request.submitted).as_secs_f64() * 1e6;
-            stats.requests += 1;
-            stats.queue_us.push(queue_us);
-            stats.latencies_us.push(latency_us);
-            // A dropped receiver (caller gave up) is not an error.
-            let _ = request.tx.send(RequestResult {
-                outputs,
-                queue_us,
-                latency_us,
-                coalesced,
-                worker,
+    let mut consecutive_restarts = 0u32;
+    'respawn: loop {
+        let backend = (!pipelined).then(|| config.backend.instantiate(model.config()));
+        let layers: Vec<PlannedLayer<'_>> =
+            if pipelined || backend.as_deref().is_some_and(|b| b.wants_plans()) {
+                model.planned_layers()
+            } else {
+                model.layers().iter().map(PlannedLayer::unplanned).collect()
+            };
+        let stack = pipelined.then(|| {
+            let threads = match config.backend {
+                BackendKind::NativeCpu(t) => t,
+                other => unreachable!("ModelServer::start rejected topology × {other}"),
+            };
+            PipelinedStack::new(&layers, &config.topology, threads)
+        });
+        while let Some(mut batch) = queue.pop_batch(config.max_batch, max_wait) {
+            if batch.is_empty() {
+                continue;
+            }
+            let fault = faults
+                .as_ref()
+                .map(|f| f.next_dispatch())
+                .unwrap_or_default();
+            if let Some(hold) = fault.stall {
+                std::thread::sleep(hold);
+            }
+            // Deadline filter at dispatch time (pop_batch already spent
+            // the coalescing window, the stall may have spent more).
+            let now = Instant::now();
+            batch.retain(|r| match r.deadline {
+                Some(deadline) if now >= deadline => {
+                    counters.expired.fetch_add(1, Ordering::Relaxed);
+                    let _ = r.tx.send(Err(RequestError::DeadlineExceeded));
+                    false
+                }
+                _ => true,
             });
+            if batch.is_empty() {
+                continue;
+            }
+            let claimed = Instant::now();
+            let inputs: Vec<Vec<Q8p8>> = batch
+                .iter_mut()
+                .map(|r| std::mem::take(&mut r.input))
+                .collect();
+            let executed = panic::catch_unwind(AssertUnwindSafe(|| {
+                if fault.panic {
+                    panic!("injected worker panic");
+                }
+                let outputs: Vec<Vec<Q8p8>> = match (&stack, &backend) {
+                    (Some(stack), _) => stack.run(&inputs).outputs,
+                    (None, Some(backend)) => run_stack_planned(backend.as_ref(), &layers, &inputs)
+                        .into_iter()
+                        .map(|run| run.outputs)
+                        .collect(),
+                    (None, None) => unreachable!("worker has neither executor"),
+                };
+                outputs
+            }));
+            let outputs = match executed {
+                Ok(outputs) => {
+                    consecutive_restarts = 0;
+                    outputs
+                }
+                Err(payload) => {
+                    // Quarantine: fail only this batch, typed; then
+                    // respawn the executor after a bounded backoff.
+                    let detail = panic_detail(payload);
+                    for request in batch {
+                        counters.failed.fetch_add(1, Ordering::Relaxed);
+                        let _ = request.tx.send(Err(RequestError::WorkerFailed {
+                            detail: detail.clone(),
+                        }));
+                    }
+                    let restarts = counters.restarts.fetch_add(1, Ordering::Relaxed) + 1;
+                    if restarts > u64::from(config.restart_budget) {
+                        counters.degraded.store(true, Ordering::Relaxed);
+                    }
+                    let shift = consecutive_restarts.min(6);
+                    consecutive_restarts += 1;
+                    std::thread::sleep(Duration::from_micros(config.restart_backoff_us << shift));
+                    continue 'respawn;
+                }
+            };
+            let done = Instant::now();
+            let coalesced = batch.len();
+            let mut stats = shared.lock().expect("worker stats poisoned");
+            stats.batches += 1;
+            stats.max_coalesced = stats.max_coalesced.max(coalesced);
+            for (request, outputs) in batch.into_iter().zip(outputs) {
+                let queue_us = claimed.duration_since(request.submitted).as_secs_f64() * 1e6;
+                let latency_us = done.duration_since(request.submitted).as_secs_f64() * 1e6;
+                stats.requests += 1;
+                stats.queue_us.push(queue_us);
+                stats.latencies_us.push(latency_us);
+                // A dropped receiver (caller gave up) is not an error.
+                let _ = request.tx.send(Ok(RequestResult {
+                    outputs,
+                    queue_us,
+                    latency_us,
+                    coalesced,
+                    worker,
+                }));
+            }
         }
+        return;
     }
 }
 

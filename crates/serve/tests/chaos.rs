@@ -1,0 +1,516 @@
+//! The chaos suite: deterministic [`FaultPlan`] schedules driving the
+//! fault-tolerance machinery end to end — worker quarantine and
+//! respawn, deadline expiry at admission and at dispatch, restart-budget
+//! exhaustion and degraded shed-load, degraded-first registry eviction,
+//! byte-level frame corruption, and handler-panic surfacing.
+//!
+//! The invariant under every schedule: **every success is bit-exact
+//! with the functional golden run, every failure is typed, and the
+//! server drains clean** (`accepted = requests + shed + expired +
+//! failed`).
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use eie_core::nn::zoo::{random_sparse, sample_activations};
+use eie_core::{BackendKind, CompiledModel, EieConfig};
+use eie_serve::protocol::{write_frame, ErrorCode, Request, Response};
+use eie_serve::{
+    Client, FaultPlan, FaultyStream, ModelRegistry, ModelServer, NetServer, RequestError,
+    ServerConfig, ServerError, ServerStats, SubmitError, SubmitOptions,
+};
+
+/// Injected panics are part of the schedule, not noise: silence their
+/// default-hook stderr spew (real panics still print and still fail).
+fn quiet_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.contains("injected"))
+                || info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|s| s.contains("injected"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn small_model() -> CompiledModel {
+    let w1 = random_sparse(48, 32, 0.2, 41);
+    let w2 = random_sparse(16, 48, 0.25, 42);
+    CompiledModel::compile(EieConfig::default().with_num_pes(4), &[&w1, &w2])
+        .with_name("chaos test")
+}
+
+fn inputs(n: usize) -> Vec<Vec<f32>> {
+    (0..n as u64)
+        .map(|i| sample_activations(32, 0.5, false, 7100 + i))
+        .collect()
+}
+
+fn assert_accounting(stats: &ServerStats) {
+    assert_eq!(
+        stats.accepted,
+        stats.requests + stats.shed + stats.expired + stats.failed,
+        "accounting invariant violated: {stats:?}"
+    );
+}
+
+/// The quarantine acceptance criterion: a worker killed mid-batch fails
+/// only the in-flight request (typed), respawns, and every subsequent
+/// request is served bit-exact; `worker_restarts` increments.
+#[test]
+fn worker_panic_fails_only_inflight_then_recovers_bit_exact() {
+    quiet_injected_panics();
+    let model = small_model();
+    let batch = inputs(6);
+    let golden = model.infer(BackendKind::Functional).submit(&batch);
+    let plan = Arc::new(FaultPlan::new().panic_on_dispatch(0));
+    let server = ModelServer::start_with_faults(
+        model,
+        ServerConfig::default()
+            .with_workers(1)
+            .with_restart_backoff_us(50),
+        Some(Arc::clone(&plan)),
+    );
+
+    // Dispatch 0 panics: the first request fails typed, nothing else.
+    let first = server.submit(&batch[0]).unwrap().wait();
+    match first {
+        Err(RequestError::WorkerFailed { detail }) => {
+            assert!(detail.contains("injected"), "unexpected detail {detail:?}")
+        }
+        other => panic!("expected WorkerFailed, got {other:?}"),
+    }
+
+    // The worker respawned: every later request is served bit-exact.
+    for (i, input) in batch.iter().enumerate().skip(1) {
+        let result = server.submit(input).unwrap().wait().unwrap();
+        assert_eq!(
+            result.outputs[..],
+            *golden.outputs(i),
+            "post-respawn output diverged at request {i}"
+        );
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 5);
+    assert_eq!(stats.failed, 1);
+    assert!(stats.worker_restarts >= 1, "restart not counted: {stats:?}");
+    assert_eq!(stats.degraded, 0);
+    assert_accounting(&stats);
+    assert!(stats.to_string().contains("faults"));
+}
+
+/// The deadline acceptance criterion: a pre-expired request is answered
+/// `DEADLINE_EXCEEDED` without ever reaching a worker (the fault plan's
+/// dispatch counter proves no backend dispatch happened), and the
+/// expired/accepted counters stay consistent.
+#[test]
+fn preexpired_deadline_is_refused_without_a_dispatch() {
+    quiet_injected_panics();
+    let model = small_model();
+    let batch = inputs(2);
+    let golden = model.infer(BackendKind::Functional).submit(&batch);
+    // An empty plan: inert, but its dispatch counter observes the
+    // worker's claim sequence.
+    let plan = Arc::new(FaultPlan::new());
+    let server = ModelServer::start_with_faults(
+        model,
+        ServerConfig::default().with_workers(1),
+        Some(Arc::clone(&plan)),
+    );
+
+    let expired = server.submit_with(
+        &batch[0],
+        SubmitOptions::default().with_deadline(Instant::now()),
+    );
+    assert!(matches!(expired, Err(SubmitError::DeadlineExceeded)));
+    assert_eq!(plan.dispatches(), 0, "expired request reached a worker");
+
+    // A generous deadline sails through and stays bit-exact.
+    let result = server
+        .submit_with(
+            &batch[1],
+            SubmitOptions::default().with_deadline(Instant::now() + Duration::from_secs(30)),
+        )
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(result.outputs[..], *golden.outputs(1));
+
+    let stats = server.shutdown();
+    assert_eq!((stats.requests, stats.expired), (1, 1));
+    assert_eq!(stats.accepted, 2);
+    assert_accounting(&stats);
+}
+
+/// Deadline expiry at *dispatch* time: an injected stall outlasts the
+/// request's budget, so the worker claims it but answers
+/// `DEADLINE_EXCEEDED` instead of burning a backend slot on it.
+#[test]
+fn stalled_dispatch_expires_the_deadline_typed() {
+    quiet_injected_panics();
+    let model = small_model();
+    let batch = inputs(1);
+    let plan = Arc::new(FaultPlan::new().stall_dispatch(0, Duration::from_millis(50)));
+    let server = ModelServer::start_with_faults(
+        model,
+        ServerConfig::default().with_workers(1),
+        Some(Arc::clone(&plan)),
+    );
+
+    let response = server
+        .submit_with(
+            &batch[0],
+            SubmitOptions::default().with_deadline(Instant::now() + Duration::from_millis(5)),
+        )
+        .unwrap();
+    assert!(matches!(
+        response.wait(),
+        Err(RequestError::DeadlineExceeded)
+    ));
+
+    let stats = server.shutdown();
+    assert_eq!((stats.requests, stats.expired), (0, 1));
+    assert_accounting(&stats);
+}
+
+/// Restart-budget exhaustion: panics past the budget flip the server to
+/// degraded — admission sheds typed, in-flight work still drains — and
+/// the degraded bit shows up in the stats.
+#[test]
+fn spent_restart_budget_degrades_to_shed_load() {
+    quiet_injected_panics();
+    let model = small_model();
+    let batch = inputs(4);
+    let plan = Arc::new(
+        FaultPlan::new()
+            .panic_on_dispatch(0)
+            .panic_on_dispatch(1)
+            .panic_on_dispatch(2),
+    );
+    let server = ModelServer::start_with_faults(
+        model,
+        ServerConfig::default()
+            .with_workers(1)
+            .with_restart_budget(2)
+            .with_restart_backoff_us(50),
+        Some(plan),
+    );
+
+    for input in batch.iter().take(3) {
+        let waited = server.submit(input).unwrap().wait();
+        assert!(
+            matches!(waited, Err(RequestError::WorkerFailed { .. })),
+            "expected WorkerFailed, got {waited:?}"
+        );
+    }
+    // The typed failure is sent before the restart is tallied; give the
+    // worker a beat to publish the degraded flip.
+    let patience = Instant::now() + Duration::from_secs(5);
+    while !server.is_degraded() && Instant::now() < patience {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(server.is_degraded(), "third restart must spend the budget");
+
+    // Admission now sheds, typed, without touching the queue.
+    let shed = server.submit(&batch[3]);
+    assert!(
+        matches!(shed, Err(SubmitError::Degraded { restarts: 3 })),
+        "expected Degraded, got {shed:?}"
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 0);
+    assert_eq!(stats.failed, 3);
+    assert_eq!(stats.shed, 1);
+    assert_eq!(stats.worker_restarts, 3);
+    assert_eq!(stats.degraded, 1);
+    assert_accounting(&stats);
+    assert!(stats.to_string().contains("DEGRADED"));
+}
+
+/// Degraded-first eviction: a degraded resident is the first victim
+/// when the registry needs room, even when it is *more* recently used
+/// than a healthy one.
+#[test]
+fn registry_evicts_degraded_models_before_lru() {
+    quiet_injected_panics();
+    let model = small_model();
+    let bytes = model.to_bytes().len();
+    // Budget fits two residents but not three; "a" degrades on its
+    // first dispatch (budget 0), "b" and "c" never see a fault because
+    // only dispatch 0 is scheduled.
+    let registry = ModelRegistry::new(
+        ServerConfig::default()
+            .with_workers(1)
+            .with_restart_budget(0)
+            .with_restart_backoff_us(50),
+    )
+    .with_budget_bytes(bytes * 2 + bytes / 2)
+    .with_fault_plan(Arc::new(FaultPlan::new().panic_on_dispatch(0)));
+    registry.register_model("a", &model).unwrap();
+    registry.register_model("b", &model).unwrap();
+    registry.register_model("c", &model).unwrap();
+
+    let input = &inputs(1)[0];
+    {
+        let a = registry.acquire("a").unwrap();
+        let waited = a.submit(input).unwrap().wait();
+        assert!(matches!(waited, Err(RequestError::WorkerFailed { .. })));
+        let patience = Instant::now() + Duration::from_secs(5);
+        while !a.is_degraded() && Instant::now() < patience {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(a.is_degraded());
+    }
+    {
+        let b = registry.acquire("b").unwrap();
+        b.submit(input).unwrap().wait().unwrap();
+    }
+    // Touch "a" again: pure LRU would now pick "b" as the victim.
+    drop(registry.acquire("a").unwrap());
+
+    drop(registry.acquire("c").unwrap());
+    assert!(
+        !registry.is_resident("a"),
+        "degraded model survived eviction"
+    );
+    assert!(registry.is_resident("b"), "healthy LRU model was evicted");
+    assert!(registry.is_resident("c"));
+}
+
+/// Byte-level frame corruption from a hostile peer: the server answers
+/// typed MALFORMED (or drops the connection), never panics, and a
+/// healthy concurrent client stays bit-exact throughout.
+#[test]
+fn corrupt_and_truncated_frames_leave_healthy_clients_unharmed() {
+    quiet_injected_panics();
+    let model = small_model();
+    let batch = inputs(4);
+    let golden = model.infer(BackendKind::Functional).submit(&batch);
+    let registry = ModelRegistry::new(ServerConfig::default().with_workers(1));
+    registry.register_model("m", &model).unwrap();
+    let server = NetServer::bind("127.0.0.1:0", registry).unwrap();
+    let addr = server.local_addr();
+
+    // Hostile peer 1: flips a magic byte inside the body (offset 4 is
+    // the first body byte after the 4-byte length prefix).
+    {
+        let raw = TcpStream::connect(addr).unwrap();
+        let mut faulty = FaultyStream::new(raw).corrupt_byte(4, 0xFF);
+        write_frame(
+            &mut faulty,
+            &Request::infer("m", batch[0].clone()).to_frame(),
+        )
+        .unwrap();
+        faulty.flush().unwrap();
+        let mut stream = faulty.into_inner();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        // A typed MALFORMED answer is the expected shape; the server
+        // is also allowed to just drop the poisoned connection.
+        if let Ok(Some(body)) = eie_serve::protocol::read_frame(&mut stream) {
+            let response = Response::from_body(&body).unwrap();
+            assert!(
+                matches!(
+                    response,
+                    Response::Error {
+                        code: ErrorCode::Malformed,
+                        ..
+                    }
+                ),
+                "corrupt frame got {response:?}"
+            );
+        }
+    }
+
+    // Hostile peer 2: the frame stops mid-body (silent truncation),
+    // then the stream closes. The handler sees EOF mid-frame and must
+    // shrug it off.
+    {
+        let raw = TcpStream::connect(addr).unwrap();
+        let mut faulty = FaultyStream::new(raw).truncate_after(10);
+        write_frame(
+            &mut faulty,
+            &Request::infer("m", batch[1].clone()).to_frame(),
+        )
+        .unwrap();
+        faulty.flush().unwrap();
+    }
+
+    // The healthy client, interleaved with the hostiles: bit-exact.
+    let mut client = Client::connect(addr).unwrap();
+    for (i, input) in batch.iter().enumerate() {
+        match client.infer("m", input).unwrap() {
+            Response::Output(output) => {
+                let expect: Vec<i16> = golden.outputs(i).iter().map(|q| q.raw()).collect();
+                assert_eq!(output.outputs, expect, "healthy client diverged at {i}");
+            }
+            other => panic!("healthy client refused: {other:?}"),
+        }
+    }
+
+    let stats = server.stop();
+    assert!(stats.errors.is_empty(), "hostile bytes crashed a handler");
+    assert_accounting(&stats);
+}
+
+/// An injected connection-handler panic is contained (other connections
+/// keep serving) and surfaced: `stop()` reports it as a typed
+/// [`ServerError::HandlerPanicked`] instead of panicking the joiner —
+/// the regression test for the old `NetServer::stop` unwind.
+#[test]
+fn handler_panic_is_contained_and_surfaced_in_stats() {
+    quiet_injected_panics();
+    let model = small_model();
+    let batch = inputs(2);
+    let golden = model.infer(BackendKind::Functional).submit(&batch);
+    let registry = ModelRegistry::new(ServerConfig::default().with_workers(1))
+        .with_fault_plan(Arc::new(FaultPlan::new().panic_on_connection(0)));
+    registry.register_model("m", &model).unwrap();
+    let server = NetServer::bind("127.0.0.1:0", registry).unwrap();
+    let addr = server.local_addr();
+
+    // Connection 0: its handler panics on accept; the client sees a
+    // dead stream, not a hung one.
+    {
+        let mut victim = Client::connect(addr).unwrap();
+        assert!(victim.infer("m", &batch[0]).is_err());
+    }
+
+    // Connection 1: unaffected, bit-exact.
+    let mut healthy = Client::connect(addr).unwrap();
+    match healthy.infer("m", &batch[1]).unwrap() {
+        Response::Output(output) => {
+            let expect: Vec<i16> = golden.outputs(1).iter().map(|q| q.raw()).collect();
+            assert_eq!(output.outputs, expect);
+        }
+        other => panic!("healthy connection refused: {other:?}"),
+    }
+    drop(healthy);
+
+    let stats = server.stop();
+    assert!(
+        stats
+            .errors
+            .iter()
+            .any(|e| matches!(e, ServerError::HandlerPanicked { connections: 1 })),
+        "handler panic not surfaced: {:?}",
+        stats.errors
+    );
+    assert_accounting(&stats);
+}
+
+/// Slow-client eviction: a client that pipelines requests but never
+/// reads its responses eventually wedges the server's write path; after
+/// the write grace the connection is evicted (counted in stats), and
+/// the node keeps serving healthy clients.
+#[test]
+fn slow_client_is_evicted_after_the_write_grace() {
+    quiet_injected_panics();
+    // Wide output layer: each response is ~4 KiB, so a non-reading
+    // client wedges the socket long before the request stream ends.
+    let w = random_sparse(2048, 16, 0.2, 99);
+    let model = CompiledModel::compile(EieConfig::default().with_num_pes(4), &[&w]);
+    let input = sample_activations(16, 0.5, false, 1);
+    let registry = ModelRegistry::new(ServerConfig::default().with_workers(1));
+    registry.register_model("wide", &model).unwrap();
+    let server = NetServer::bind_with_policy(
+        "127.0.0.1:0",
+        registry,
+        eie_serve::NetPolicy::default().with_write_grace(Duration::from_millis(100)),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut slow = TcpStream::connect(addr).unwrap();
+    slow.set_write_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let frame = Request::infer("wide", input.clone()).to_frame();
+    // Pipeline requests and never read a response. Once the server's
+    // write path wedges, the grace expires and the eviction resets this
+    // stream — surfacing here as a failed write.
+    let mut evicted = false;
+    for i in 0..100_000 {
+        if write_frame(&mut slow, &frame).is_err() {
+            evicted = true;
+            break;
+        }
+        if i % 512 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    assert!(evicted, "server never closed the wedged connection");
+    drop(slow);
+
+    // The node is still healthy for a well-behaved client.
+    let mut healthy = Client::connect(addr).unwrap();
+    assert!(matches!(
+        healthy.infer("wide", &input).unwrap(),
+        Response::Output(_)
+    ));
+    drop(healthy);
+
+    let stats = server.stop();
+    assert!(
+        stats.slow_client_evictions >= 1,
+        "slow client was not evicted: {stats:?}"
+    );
+    assert_accounting(&stats);
+}
+
+/// End-to-end resilience: the retrying [`Client`] absorbs injected
+/// worker panics transparently — every request eventually succeeds
+/// bit-exact, and the call stats show what was absorbed.
+#[test]
+fn retrying_client_absorbs_worker_panics_bit_exact() {
+    quiet_injected_panics();
+    let model = small_model();
+    let batch = inputs(8);
+    let golden = model.infer(BackendKind::Functional).submit(&batch);
+    let registry = ModelRegistry::new(
+        ServerConfig::default()
+            .with_workers(1)
+            .with_restart_backoff_us(50),
+    )
+    .with_fault_plan(Arc::new(
+        FaultPlan::new().panic_on_dispatch(1).panic_on_dispatch(3),
+    ));
+    registry.register_model("m", &model).unwrap();
+    let server = NetServer::bind("127.0.0.1:0", registry).unwrap();
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr)
+        .unwrap()
+        .with_retry_policy(eie_serve::RetryPolicy::default().with_max_attempts(4));
+    let mut absorbed = 0u32;
+    for (i, input) in batch.iter().enumerate() {
+        let (response, stats) = client.infer_retrying("m", input, None).unwrap();
+        absorbed += stats.worker_failed;
+        match response {
+            Response::Output(output) => {
+                let expect: Vec<i16> = golden.outputs(i).iter().map(|q| q.raw()).collect();
+                assert_eq!(output.outputs, expect, "retried answer diverged at {i}");
+            }
+            other => panic!("request {i} not recovered: {other:?}"),
+        }
+    }
+    assert!(absorbed >= 2, "expected ≥2 absorbed worker failures");
+
+    let stats = server.stop();
+    assert!(stats.worker_restarts >= 2);
+    assert!(stats.retries_upstream >= 2, "attempt numbers not counted");
+    assert_accounting(&stats);
+}

@@ -111,7 +111,7 @@ proptest! {
                         let mut i = t;
                         while i < inputs.len() {
                             let response = server.submit(&inputs[i]).expect("submit");
-                            out.push((i, response.wait().outputs));
+                            out.push((i, response.wait().unwrap().outputs));
                             i += submitters;
                         }
                         out

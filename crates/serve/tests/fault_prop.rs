@@ -1,0 +1,153 @@
+//! The fault-injection property: under a *random* seeded [`FaultPlan`]
+//! (panics + stalls at random dispatch points) over random models and
+//! random deadlines, every answered request is bit-exact with the
+//! functional golden run, every failure is a typed error, and the
+//! server's accounting stays consistent:
+//! `accepted = requests + shed + expired + failed`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use eie_core::nn::zoo::{random_sparse, sample_activations};
+use eie_core::{BackendKind, CompiledModel, EieConfig};
+use eie_serve::{FaultPlan, ModelServer, RequestError, ServerConfig, SubmitError, SubmitOptions};
+use proptest::prelude::*;
+
+/// Silence the injected panics' default-hook stderr (real panics still
+/// print and still fail the test).
+fn quiet_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.contains("injected"))
+                || info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|s| s.contains("injected"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn model_for(dims: (usize, usize, usize), seed: u64) -> CompiledModel {
+    let (input, hidden, output) = dims;
+    let mut s = seed;
+    let mut w1 = random_sparse(hidden, input, 0.25, s);
+    while w1.nnz() == 0 {
+        s = s.wrapping_add(0x9E37_79B9);
+        w1 = random_sparse(hidden, input, 0.35, s);
+    }
+    let mut w2 = random_sparse(output, hidden, 0.25, s.wrapping_add(1));
+    while w2.nnz() == 0 {
+        s = s.wrapping_add(0x9E37_79B9);
+        w2 = random_sparse(output, hidden, 0.35, s.wrapping_add(1));
+    }
+    CompiledModel::compile(EieConfig::default().with_num_pes(4), &[&w1, &w2])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random chaos schedule × random model × random deadline mix: the
+    /// served surface stays bit-exact-or-typed and the books balance.
+    #[test]
+    fn random_fault_schedules_stay_bit_exact_or_typed(
+        fault_seed in any::<u64>(),
+        model_seed in 1u64..1_000,
+        dims in (8usize..=32, 8usize..=48, 4usize..=24),
+        requests in 4usize..=24,
+        workers in 1usize..=2,
+        panic_per_mille in 0u32..=300,
+        stall_per_mille in 0u32..=200,
+        with_deadlines in any::<bool>(),
+        restart_budget in 1u32..=8,
+    ) {
+        quiet_injected_panics();
+        let model = model_for(dims, model_seed);
+        let inputs: Vec<Vec<f32>> = (0..requests as u64)
+            .map(|i| sample_activations(dims.0, 0.4, false, model_seed.wrapping_add(3000 + i)))
+            .collect();
+        let golden = model.infer(BackendKind::Functional).submit(&inputs);
+
+        let plan = Arc::new(FaultPlan::seeded(
+            fault_seed,
+            4 * requests as u64,
+            panic_per_mille,
+            stall_per_mille,
+            Duration::from_micros(400),
+        ));
+        let server = ModelServer::start_with_faults(
+            model,
+            ServerConfig::default()
+                .with_workers(workers)
+                .with_max_batch(4)
+                .with_restart_budget(restart_budget)
+                .with_restart_backoff_us(50),
+            Some(plan),
+        );
+
+        // Submit everything, then wait everything: coalescing and the
+        // fault schedule interleave however they like.
+        let mut responses = Vec::with_capacity(requests);
+        let mut shed = 0u64;
+        let mut expired = 0u64;
+        for (i, input) in inputs.iter().enumerate() {
+            let opts = if with_deadlines && i % 3 == 0 {
+                // Tight but usually-satisfiable; some will expire under
+                // injected stalls, which is the point.
+                SubmitOptions::default().with_deadline(Instant::now() + Duration::from_millis(2))
+            } else {
+                SubmitOptions::default()
+            };
+            match server.submit_with(input, opts) {
+                Ok(response) => responses.push((i, response)),
+                Err(SubmitError::Degraded { .. }) => shed += 1,
+                Err(SubmitError::DeadlineExceeded) => expired += 1,
+                Err(other) => {
+                    return Err(proptest::test_runner::TestCaseError::fail(format!("untyped submit failure {other:?}")))
+                }
+            }
+        }
+
+        let mut answered = 0u64;
+        let mut failed = 0u64;
+        for (i, response) in responses {
+            match response.wait() {
+                Ok(result) => {
+                    answered += 1;
+                    prop_assert_eq!(
+                        &result.outputs[..],
+                        golden.outputs(i),
+                        "served output diverged from the functional golden at request {}",
+                        i
+                    );
+                }
+                Err(RequestError::WorkerFailed { .. }) => failed += 1,
+                Err(RequestError::DeadlineExceeded) => expired += 1,
+            }
+        }
+
+        let stats = server.shutdown();
+        prop_assert_eq!(stats.requests, answered);
+        prop_assert_eq!(stats.failed, failed);
+        prop_assert_eq!(stats.expired, expired);
+        prop_assert_eq!(stats.shed, shed);
+        prop_assert_eq!(
+            stats.accepted,
+            stats.requests + stats.shed + stats.expired + stats.failed,
+            "accounting invariant violated: {:?}",
+            stats.clone()
+        );
+        prop_assert_eq!(
+            stats.accepted,
+            requests as u64,
+            "every submission must be dispositioned exactly once"
+        );
+    }
+}

@@ -7,7 +7,7 @@
 
 use eie_serve::protocol::{
     read_frame, ErrorCode, FrameError, OutputReport, Request, Response, StatsReport, FRAME_MAGIC,
-    MAX_BODY, PROTOCOL_VERSION,
+    MAX_BODY, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use proptest::prelude::*;
 
@@ -22,9 +22,23 @@ fn arb_model_name() -> impl Strategy<Value = String> {
 }
 
 fn arb_request() -> impl Strategy<Value = Request> {
+    // Half the INFER frames carry no deadline/attempt (and therefore
+    // encode as version 1 on the wire), half exercise the v2 fields.
+    let deadline = prop_oneof![2 => Just(0u64), 1 => 1u64..=30_000_000];
+    let attempt = prop_oneof![2 => Just(0u8), 1 => 1u8..=7];
     prop_oneof![
-        3 => (arb_model_name(), prop::collection::vec(-8.0f32..8.0, 0..=48))
-            .prop_map(|(model, input)| Request::Infer { model, input }),
+        3 => (
+            arb_model_name(),
+            prop::collection::vec(-8.0f32..8.0, 0..=48),
+            deadline,
+            attempt,
+        )
+            .prop_map(|(model, input, deadline_us, attempt)| Request::Infer {
+                model,
+                input,
+                deadline_us,
+                attempt,
+            }),
         1 => Just(Request::Stats),
         1 => Just(Request::Shutdown),
     ]
@@ -84,6 +98,14 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     p99_us: p99,
                     mean_queue_us: p50 / 2.0,
                     frames_per_second: fps,
+                    accepted: requests.wrapping_add(c),
+                    shed: c % 11,
+                    expired: c % 13,
+                    failed: c % 17,
+                    retries_upstream: c % 19,
+                    worker_restarts: c % 23,
+                    degraded: (requests % 2) as u32,
+                    slow_client_evictions: c % 29,
                 })
             },
         );
@@ -153,10 +175,18 @@ proptest! {
         }
     }
 
-    /// Same totality property for response bodies.
+    /// Same totality property for response bodies — except the STATS
+    /// append-only tail, where a cut at/past the mandatory region is
+    /// *by design* a valid shorter frame (what an older server would
+    /// have written); such a cut must decode cleanly, never panic.
     #[test]
     fn every_truncation_of_a_response_is_a_typed_error(response in arb_response()) {
         let body = strip_prefix(&response.to_frame()).to_vec();
+        // The fault-tolerance tail appended to STATS in protocol v2:
+        // six u64 counters, a u32 flag, a final u64.
+        const STATS_TAIL: usize = 6 * 8 + 4 + 8;
+        let mandatory = matches!(response, Response::Stats(_))
+            .then(|| body.len() - STATS_TAIL);
         for cut in 0..body.len() {
             match Response::from_body(&body[..cut]) {
                 Err(
@@ -164,6 +194,9 @@ proptest! {
                     | FrameError::BadMagic
                     | FrameError::BadPayload { .. },
                 ) => {}
+                Ok(_) if mandatory.is_some_and(|m| cut >= m) => {
+                    // An old-server STATS frame: tail fields read as 0.
+                }
                 Ok(decoded) => return Err(proptest::test_runner::TestCaseError::fail(format!(
                     "prefix of {cut}/{} bytes decoded as {decoded:?}", body.len()
                 ))),
@@ -186,16 +219,16 @@ proptest! {
                 matches!(decoded, Err(FrameError::BadMagic)),
                 "corrupt magic byte {flip} gave {decoded:?}"
             ),
-            4 => prop_assert!(
-                matches!(decoded, Err(FrameError::UnsupportedVersion { .. })),
-                "corrupt version gave {decoded:?}"
-            ),
-            // A flipped kind byte may still name a *different* valid
-            // kind with a compatible payload (Stats ↔ Shutdown); the
-            // property is that it can never decode as the original.
+            // A flipped version byte usually lands outside the
+            // supported 1..=2 range (UnsupportedVersion), but may land
+            // on the *other* supported version — the payload then
+            // parses under the wrong field layout, which must fail
+            // typed or decode as something else; it can never decode
+            // back to the original. Same property for the kind byte
+            // (Stats ↔ Shutdown share a payload shape).
             _ => prop_assert!(
                 !matches!(&decoded, Ok(d) if *d == request),
-                "corrupt kind byte decoded back to the original {decoded:?}"
+                "corrupt header byte {flip} decoded back to the original {decoded:?}"
             ),
         }
     }
@@ -282,11 +315,32 @@ fn malformed_sweep_hits_every_error_variant() {
         })
     ));
 
-    // Non-finite input activation.
+    // Non-finite input activation. Hand-built at version 1 — the v1
+    // INFER layout has no deadline/attempt fields, and the reader must
+    // still speak it.
+    let mut v1 = Vec::from(FRAME_MAGIC);
+    v1.push(MIN_PROTOCOL_VERSION);
+    let mut body = v1.clone();
+    body.push(0x01);
+    body.extend_from_slice(&1u16.to_le_bytes());
+    body.push(b'm');
+    body.extend_from_slice(&1u32.to_le_bytes());
+    body.extend_from_slice(&f32::NAN.to_le_bytes());
+    assert!(matches!(
+        Request::from_body(&body),
+        Err(FrameError::BadPayload {
+            field: "input activation"
+        })
+    ));
+
+    // Same hostile activation under the v2 layout (deadline + attempt
+    // precede the input count).
     let mut body = valid.clone();
     body.push(0x01);
     body.extend_from_slice(&1u16.to_le_bytes());
     body.push(b'm');
+    body.extend_from_slice(&0u64.to_le_bytes()); // deadline_us
+    body.push(0); // attempt
     body.extend_from_slice(&1u32.to_le_bytes());
     body.extend_from_slice(&f32::NAN.to_le_bytes());
     assert!(matches!(
@@ -310,7 +364,7 @@ fn malformed_sweep_hits_every_error_variant() {
 
     // A declared input count far past the body: typed truncation, and
     // the capped pre-allocation means no unbounded Vec reservation.
-    let mut body = valid;
+    let mut body = v1;
     body.push(0x01);
     body.extend_from_slice(&0u16.to_le_bytes());
     body.extend_from_slice(&u32::MAX.to_le_bytes());

@@ -91,7 +91,7 @@ fn pinned_models_are_never_evicted() {
     );
 
     // The in-flight request on the pinned model completes normally.
-    assert_eq!(pending.wait().outputs.len(), 24);
+    assert_eq!(pending.wait().unwrap().outputs.len(), 24);
     drop(lease);
 
     // Once unpinned, the next admission can evict a again.
@@ -124,7 +124,7 @@ fn reload_after_eviction_is_bit_exact() {
         let server = registry.acquire("a").unwrap();
         inputs
             .iter()
-            .map(|input| server.submit(input).unwrap().wait().outputs)
+            .map(|input| server.submit(input).unwrap().wait().unwrap().outputs)
             .collect()
     };
 
@@ -136,7 +136,7 @@ fn reload_after_eviction_is_bit_exact() {
         let server = registry.acquire("a").unwrap();
         inputs
             .iter()
-            .map(|input| server.submit(input).unwrap().wait().outputs)
+            .map(|input| server.submit(input).unwrap().wait().unwrap().outputs)
             .collect()
     };
     assert_eq!(first, second, "reload after eviction changed outputs");
@@ -163,7 +163,8 @@ fn lifetime_stats_survive_eviction() {
             server
                 .submit(&sample_activations(16, 0.5, false, i))
                 .unwrap()
-                .wait();
+                .wait()
+                .unwrap();
         }
     }
     drop(registry.acquire("filler").unwrap());
@@ -240,7 +241,7 @@ fn drain_resets_residency_not_registration() {
     let stats = registry.drain();
     assert_eq!(stats.requests, 8, "drain lost accepted requests");
     for p in pending {
-        assert_eq!(p.wait().outputs.len(), 24);
+        assert_eq!(p.wait().unwrap().outputs.len(), 24);
     }
     assert!(!registry.is_resident("a"));
     assert_eq!(registry.stats().registered, 1);

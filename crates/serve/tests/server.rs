@@ -30,7 +30,7 @@ fn serves_bit_exact_with_the_functional_golden_model() {
         .map(|input| server.submit(input).expect("submit"))
         .collect();
     for (i, response) in responses.into_iter().enumerate() {
-        let result = response.wait();
+        let result = response.wait().expect("request failed");
         assert_eq!(
             result.outputs[..],
             *golden.outputs(i),
@@ -61,7 +61,7 @@ fn load_serves_a_saved_artifact() {
     let server = ModelServer::load(&path, ServerConfig::default()).expect("load artifact");
     assert_eq!(server.model().name(), "serve test");
     for (i, input) in inputs(4).iter().enumerate() {
-        let result = server.submit(input).unwrap().wait();
+        let result = server.submit(input).unwrap().wait().unwrap();
         assert_eq!(result.outputs[..], *golden.outputs(i));
     }
     server.shutdown();
@@ -96,7 +96,7 @@ fn dropping_a_server_without_shutdown_joins_the_workers() {
         // `server` dropped here without shutdown().
     };
     for response in responses {
-        assert_eq!(response.wait().outputs.len(), 16);
+        assert_eq!(response.wait().unwrap().outputs.len(), 16);
     }
 }
 
@@ -131,7 +131,7 @@ fn graceful_shutdown_answers_every_accepted_request() {
     let stats = server.shutdown();
     assert_eq!(stats.requests, 12, "shutdown drain lost requests");
     for response in responses {
-        let result = response.wait();
+        let result = response.wait().expect("request failed");
         assert_eq!(result.outputs.len(), 16);
     }
 }
@@ -172,6 +172,7 @@ fn try_submit_sheds_load_at_queue_capacity_and_submit_blocks() {
                 .submit(input)
                 .expect("backpressured submit completes after the drain")
                 .wait()
+                .unwrap()
         });
         assert_eq!(blocked.join().unwrap().outputs.len(), 16);
     });
@@ -203,7 +204,7 @@ fn micro_batches_coalesce_under_concurrent_load() {
             scope.spawn(move || {
                 for i in 0..6u64 {
                     let input = sample_activations(32, 0.5, false, 1000 + t * 100 + i);
-                    let result = server.submit(&input).expect("submit").wait();
+                    let result = server.submit(&input).expect("submit").wait().unwrap();
                     let expected = golden.submit_one(&input);
                     assert_eq!(
                         result.outputs[..],
@@ -250,7 +251,7 @@ fn topology_routed_serving_is_bit_exact_and_counts_every_request() {
             scope.spawn(move || {
                 for i in 0..7u64 {
                     let input = sample_activations(32, 0.5, false, 2000 + t * 100 + i);
-                    let result = server.submit(&input).expect("submit").wait();
+                    let result = server.submit(&input).expect("submit").wait().unwrap();
                     let expected = golden.submit_one(&input);
                     assert_eq!(
                         result.outputs[..],

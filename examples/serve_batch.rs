@@ -97,7 +97,7 @@ fn main() {
         .map(|input| server.submit(input).expect("submit"))
         .collect();
     for (i, response) in responses.into_iter().enumerate() {
-        let result = response.wait();
+        let result = response.wait().expect("request failed");
         assert_eq!(
             result.outputs[..],
             *golden.outputs(i),
